@@ -1,0 +1,69 @@
+//! Experiment E1/E9: arbiter (Figure 4) latency across camp configurations.
+//!
+//! Series:
+//! * lone-owner and lone-guest arbitrate latency (the uncontended paths of
+//!   lines 01–06);
+//! * owner + k guests racing (guests wait on `WINNER`, owners go through
+//!   `XCONS`);
+//! * guests-only with growing camps (no waiting — line 04's else-branch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use apc_core::arbiter::{Arbiter, Role};
+use apc_model::ProcessSet;
+
+fn solo_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1/solo-arbitrate");
+    g.bench_function("lone-owner", |b| {
+        b.iter_batched(
+            || Arbiter::new(ProcessSet::from_indices([0])),
+            |arb| black_box(arb.arbitrate(0, Role::Owner).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lone-guest", |b| {
+        b.iter_batched(
+            || Arbiter::new(ProcessSet::from_indices([0])),
+            |arb| black_box(arb.arbitrate(1, Role::Guest).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1/contended-arbitrate");
+    g.sample_size(10);
+    for guests in [1usize, 3, 7] {
+        g.bench_with_input(BenchmarkId::new("1-owner-vs-guests", guests), &guests, |b, &guests| {
+            b.iter_batched(
+                || Arbiter::new(ProcessSet::from_indices([0])),
+                |arb| {
+                    let times = apc_bench::timed_threads(guests + 1, |pid| {
+                        let role = if pid == 0 { Role::Owner } else { Role::Guest };
+                        let _ = arb.arbitrate(pid, role).unwrap();
+                    });
+                    black_box(times)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("guests-only", guests), &guests, |b, &guests| {
+            b.iter_batched(
+                || Arbiter::new(ProcessSet::from_indices([0])),
+                |arb| {
+                    let times = apc_bench::timed_threads(guests, |pid| {
+                        let _ = arb.arbitrate(pid + 1, Role::Guest).unwrap();
+                    });
+                    black_box(times)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, solo_paths, contended);
+criterion_main!(benches);

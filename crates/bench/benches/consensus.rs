@@ -1,0 +1,119 @@
+//! Experiment E7: the cost of progress conditions.
+//!
+//! Series reproduced (shape, not absolute numbers):
+//! * solo `propose` latency: CAS (wait-free) ≪ register rounds (OF) —
+//!   obstruction-freedom is cheap only because it promises little;
+//! * the asymmetric object's two faces: wait-free-member propose vs guest
+//!   propose, solo;
+//! * contended propose: the wait-free path is flat in the number of guests,
+//!   the guest path degrades — the asymmetry the paper formalizes;
+//! * adopt-commit (the register-only safety core) as the baseline unit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use apc_core::consensus::{
+    AdoptCommit, AsymmetricConsensus, CasConsensus, Consensus, ObstructionFreeConsensus,
+};
+use apc_core::liveness::Liveness;
+use apc_model::ProcessSet;
+
+fn solo_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7/solo-propose");
+    g.bench_function("cas-wait-free", |b| {
+        b.iter_batched(
+            || CasConsensus::new(Liveness::new_first_n(8, 8)),
+            |cons| black_box(cons.propose(0, 42u64).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("obstruction-free-registers", |b| {
+        b.iter_batched(
+            || {
+                ObstructionFreeConsensus::new(
+                    Liveness::obstruction_free(ProcessSet::first_n(8)).unwrap(),
+                )
+            },
+            |cons| black_box(cons.propose(0, 42u64).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("asymmetric-wait-free-member", |b| {
+        b.iter_batched(
+            || AsymmetricConsensus::new(Liveness::new_first_n(8, 2)),
+            |cons| black_box(cons.propose(0, 42u64).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("asymmetric-guest", |b| {
+        b.iter_batched(
+            || AsymmetricConsensus::new(Liveness::new_first_n(8, 2)),
+            |cons| black_box(cons.propose(5, 42u64).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn adopt_commit_unit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7/adopt-commit");
+    for n in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("solo", n), &n, |b, &n| {
+            b.iter_batched(
+                || AdoptCommit::new(n),
+                |ac| black_box(ac.adopt_commit(0, 7u64).unwrap()),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn contended_propose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7/contended-propose");
+    g.sample_size(10);
+    for threads in [2usize, 4, 8] {
+        // Wait-free member completes while `threads` guests contend.
+        g.bench_with_input(
+            BenchmarkId::new("wait-free-member-vs-guests", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || AsymmetricConsensus::new(Liveness::new_first_n(threads + 1, 1)),
+                    |cons| {
+                        let times = apc_bench::timed_threads(threads + 1, |pid| {
+                            let _ = cons.propose(pid, pid as u64).unwrap();
+                        });
+                        black_box(times)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        // All-guest contention on a pure OF object.
+        g.bench_with_input(
+            BenchmarkId::new("all-guests-of", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_batched(
+                    || {
+                        ObstructionFreeConsensus::new(
+                            Liveness::obstruction_free(ProcessSet::first_n(threads)).unwrap(),
+                        )
+                    },
+                    |cons| {
+                        let times = apc_bench::timed_threads(threads, |pid| {
+                            let _ = cons.propose(pid, pid as u64).unwrap();
+                        });
+                        black_box(times)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, solo_latency, adopt_commit_unit, contended_propose);
+criterion_main!(benches);

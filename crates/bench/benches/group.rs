@@ -1,0 +1,81 @@
+//! Experiments E2/E9: group-based asymmetric consensus (Figure 5) scaling.
+//!
+//! Series:
+//! * all-participate completion time vs (n, x) — more groups ⇒ longer
+//!   arbiter cascades (competition #2 runs `y−1` levels);
+//! * first-participating-group index `y` sweep at fixed (n, x): larger `y`
+//!   means a longer cascade for the winners, smaller `y` means the privileged
+//!   group short-circuits — the asymmetry of the termination condition;
+//! * solo propose per group index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use apc_core::group::GroupConsensus;
+
+fn all_participate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2/all-participate");
+    g.sample_size(10);
+    for (n, x) in [(4usize, 2usize), (6, 2), (6, 3), (8, 2), (8, 4)] {
+        g.bench_with_input(
+            BenchmarkId::new("n-x", format!("{n}x{x}")),
+            &(n, x),
+            |b, &(n, x)| {
+                b.iter_batched(
+                    || GroupConsensus::<u64>::new(n, x).unwrap(),
+                    |cons| {
+                        let times = apc_bench::timed_threads(n, |pid| {
+                            let _ = cons.propose(pid, pid as u64).unwrap();
+                        });
+                        black_box(times)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn first_group_sweep(c: &mut Criterion) {
+    // n = 8, x = 2 → 4 groups; participants drawn from group y only.
+    let mut g = c.benchmark_group("E9/first-group-index");
+    g.sample_size(10);
+    for y in [1usize, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("suffix-from-group", y), &y, |b, &y| {
+            b.iter_batched(
+                || GroupConsensus::<u64>::new(8, 2).unwrap(),
+                |cons| {
+                    let start = (y - 1) * 2;
+                    let times = apc_bench::timed_threads(8 - start, |i| {
+                        let pid = start + i;
+                        let _ = cons.propose(pid, pid as u64).unwrap();
+                    });
+                    black_box(times)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn solo_by_group(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9/solo-propose-by-group");
+    for y in [1usize, 2, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("group", y), &y, |b, &y| {
+            b.iter_batched(
+                || GroupConsensus::<u64>::new(8, 2).unwrap(),
+                |cons| {
+                    let pid = (y - 1) * 2;
+                    black_box(cons.propose(pid, 7).unwrap())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, all_participate, first_group_sweep, solo_by_group);
+criterion_main!(benches);

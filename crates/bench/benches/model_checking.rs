@@ -1,0 +1,127 @@
+//! Experiments E3/E5: the cost of the theorem machinery itself.
+//!
+//! Series:
+//! * exhaustive verification cost of the hierarchy's constructive direction
+//!   as `x` grows (state-space growth is the real wall);
+//! * non-termination certificate discovery (Theorem 2's adversary) — cheap,
+//!   because lockstep state spaces are tiny;
+//! * valence-oracle queries (the inner loop of the Theorem 1 adversary);
+//! * full exhaustive exploration of the arbiter and the group algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use apc_core::arbiter::model::arbiter_system;
+use apc_core::consensus::model::binary_register_consensus;
+use apc_core::group::model::group_system;
+use apc_core::group::GroupLayout;
+use apc_hierarchy::{theorem2, theorem3};
+use apc_model::explore::{Agreement, ExploreConfig, Explorer, NoFaults};
+use apc_model::ProcessSet;
+
+fn hierarchy_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3/verification-cost");
+    g.sample_size(10);
+    for x in [0usize, 1, 2] {
+        g.bench_with_input(BenchmarkId::new("constructive", x), &x, |b, &x| {
+            b.iter(|| black_box(theorem3::theorem3_constructive(x, 1, 1)))
+        });
+    }
+    for x in [0usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("negative-certificate", x), &x, |b, &x| {
+            b.iter(|| black_box(theorem2::theorem2_scenario(x + 2, x, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn valence_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5/valence-oracle");
+    g.sample_size(10);
+    for rounds in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::new("register-consensus", rounds), &rounds, |b, &rounds| {
+            let (sys, _) = binary_register_consensus(2, rounds);
+            let explorer = Explorer::new(
+                ExploreConfig::default().with_max_states(500_000).with_max_depth(90),
+            );
+            b.iter(|| black_box(explorer.valence(&sys)))
+        });
+    }
+    g.finish();
+}
+
+fn exhaustive_exploration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1-E2/exhaustive-exploration");
+    g.sample_size(10);
+    g.bench_function("arbiter-1v2-crash1", |b| {
+        b.iter(|| {
+            let (sys, _) = arbiter_system(
+                3,
+                ProcessSet::from_indices([0]),
+                ProcessSet::from_indices([1, 2]),
+            );
+            let explorer = Explorer::new(
+                ExploreConfig::default().with_crashes(1, ProcessSet::first_n(3)),
+            );
+            black_box(explorer.explore(&sys, &[&Agreement, &NoFaults]))
+        })
+    });
+    g.bench_function("group-3x1-full", |b| {
+        b.iter(|| {
+            let layout = GroupLayout::new(3, 1).unwrap();
+            let (sys, _) = group_system(layout, ProcessSet::first_n(3));
+            let explorer = Explorer::new(ExploreConfig::default().with_max_states(3_000_000));
+            black_box(explorer.explore(&sys, &[&Agreement, &NoFaults]))
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: the isolation-window parameter (how long "long enough in
+/// isolation" is). Longer windows delay a solo guest's termination
+/// linearly and do not affect the wait-free path at all — evidence that
+/// the window choice in the negative experiments is not load-bearing.
+fn window_ablation(c: &mut Criterion) {
+    use apc_model::programs::ProposeProgram;
+    use apc_model::{ProcessId, Runner, Schedule, SystemBuilder, Value};
+
+    let mut g = c.benchmark_group("ablation/isolation-window");
+    for window in [1u8, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("solo-guest-decides", window), &window, |b, &w| {
+            b.iter(|| {
+                let mut builder = SystemBuilder::new(2);
+                let cons = builder.add_obstruction_free_consensus(ProcessSet::first_n(2), w);
+                let sys =
+                    builder.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+                let mut runner = Runner::new(sys);
+                runner.run(&Schedule::solo(ProcessId::new(0), w as usize + 4));
+                black_box(runner.system().decision(ProcessId::new(0)))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("wait-free-unaffected", window), &window, |b, &w| {
+            b.iter(|| {
+                let mut builder = SystemBuilder::new(2);
+                let cons = builder.add_live_consensus(
+                    ProcessSet::first_n(2),
+                    ProcessSet::from_indices([0]),
+                    w,
+                );
+                let sys =
+                    builder.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+                let mut runner = Runner::new(sys);
+                runner.run(&Schedule::solo(ProcessId::new(0), 3));
+                black_box(runner.system().decision(ProcessId::new(0)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    hierarchy_verification,
+    valence_oracle,
+    exhaustive_exploration,
+    window_ablation
+);
+criterion_main!(benches);

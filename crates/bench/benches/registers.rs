@@ -1,0 +1,95 @@
+//! Substrate benches: the register layer everything else stands on.
+//!
+//! Series:
+//! * epoch-reclaimed `AtomicCell` vs allocation-free `PackedRegister`
+//!   (the cost of generality);
+//! * `StampedCell` pair swings;
+//! * wait-free snapshot scan/update as components grow — the classic
+//!   register-only object, quadratic-ish scans by construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use apc_registers::collect::StoreCollect;
+use apc_registers::snapshot::SwmrSnapshot;
+use apc_registers::{AtomicCell, PackedRegister, Stamped, StampedCell};
+
+fn cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/cells");
+    let cell = AtomicCell::with_value(1u64);
+    g.bench_function("atomic-cell-load", |b| b.iter(|| black_box(cell.load())));
+    g.bench_function("atomic-cell-store", |b| b.iter(|| cell.store(black_box(2))));
+    g.bench_function("atomic-cell-swap", |b| b.iter(|| black_box(cell.swap(3))));
+    let packed = PackedRegister::with_value(1);
+    g.bench_function("packed-load", |b| b.iter(|| black_box(packed.load())));
+    g.bench_function("packed-store", |b| b.iter(|| packed.store(black_box(2))));
+    let stamped = StampedCell::new();
+    stamped.store(Stamped::new(0, 5u64));
+    g.bench_function("stamped-store", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            stamped.store(Stamped::new(i, 5))
+        })
+    });
+    g.finish();
+}
+
+fn collect_and_snapshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/collect-snapshot");
+    for n in [4usize, 16, 64] {
+        let sc: StoreCollect<u64> = StoreCollect::new(n);
+        for i in 0..n {
+            sc.store(i, i as u64);
+        }
+        g.bench_with_input(BenchmarkId::new("store-collect", n), &n, |b, _| {
+            b.iter(|| black_box(sc.collect()))
+        });
+        let snap = SwmrSnapshot::new(n, 0u64);
+        for i in 0..n {
+            snap.update(i, i as u64);
+        }
+        g.bench_with_input(BenchmarkId::new("snapshot-scan", n), &n, |b, _| {
+            b.iter(|| black_box(snap.scan()))
+        });
+        g.bench_with_input(BenchmarkId::new("snapshot-update", n), &n, |b, _| {
+            let mut v = 0;
+            b.iter(|| {
+                v += 1;
+                snap.update(0, v)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn snapshot_under_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/snapshot-contended");
+    g.sample_size(10);
+    for writers in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("scan-vs-writers", writers), &writers, |b, &writers| {
+            b.iter_batched(
+                || SwmrSnapshot::new(writers + 1, 0u64),
+                |snap| {
+                    let times = apc_bench::timed_threads(writers + 1, |pid| {
+                        if pid < writers {
+                            for v in 0..50 {
+                                snap.update(pid, v);
+                            }
+                        } else {
+                            for _ in 0..50 {
+                                let _ = black_box(snap.scan());
+                            }
+                        }
+                    });
+                    black_box(times)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cells, collect_and_snapshot, snapshot_under_contention);
+criterion_main!(benches);

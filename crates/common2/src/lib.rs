@@ -1,0 +1,35 @@
+//! # `apc-common2` — Common2 objects (§3.5 of the paper)
+//!
+//! *Common2* (Afek, Weisberger, Weisman 1993) is the class of objects with
+//! consensus number 2 that are wait-free implementable from any other
+//! consensus-number-2 object: Test&Set, Fetch&Add, Swap (and queues and
+//! stacks). The paper's §3.5 observes that Theorem 1 survives when the
+//! atomic registers are replaced by arbitrary Common2 objects, because
+//! `(n−1,n−1)`-live consensus is strictly stronger than anything in
+//! Common2.
+//!
+//! This crate provides:
+//!
+//! * real lock-free [`TestAndSet`], [`FetchAndAdd`] and [`SwapCell`] objects
+//!   (their model forms are `apc-model` base objects);
+//! * [`two_consensus::TasConsensus`] — the classic wait-free **2-process**
+//!   consensus from Test&Set plus registers, witnessing consensus number
+//!   ≥ 2;
+//! * [`two_consensus::TasConsensusProgram`] — its model form, verified
+//!   exhaustively, together with the *naive 3-process extension* whose
+//!   agreement violation the explorer finds (the constructive face of
+//!   "consensus number exactly 2").
+
+#![warn(missing_docs)]
+
+mod faa;
+mod more_consensus;
+mod swap;
+mod tas;
+
+pub mod two_consensus;
+
+pub use faa::FetchAndAdd;
+pub use more_consensus::{swap_consensus_system, FaaConsensus, SwapConsensus, SwapConsensusProgram};
+pub use swap::SwapCell;
+pub use tas::TestAndSet;

@@ -1,0 +1,113 @@
+//! A lock-free swap register.
+
+use std::fmt;
+
+use apc_registers::AtomicCell;
+
+/// A wait-free swap register over arbitrary values (consensus number 2).
+///
+/// `swap` atomically exchanges the content with a new value and returns the
+/// previous one; the returned values over concurrent swaps form a chain, a
+/// property the tests verify.
+///
+/// # Examples
+///
+/// ```
+/// use apc_common2::SwapCell;
+/// let cell: SwapCell<u32> = SwapCell::new();
+/// assert_eq!(cell.swap(1), None);
+/// assert_eq!(cell.swap(2), Some(1));
+/// ```
+pub struct SwapCell<T> {
+    inner: AtomicCell<T>,
+}
+
+impl<T> SwapCell<T> {
+    /// Creates an empty swap register.
+    pub fn new() -> Self {
+        SwapCell { inner: AtomicCell::new() }
+    }
+
+    /// Creates a swap register holding `value`.
+    pub fn with_value(value: T) -> Self {
+        SwapCell { inner: AtomicCell::with_value(value) }
+    }
+}
+
+impl<T: Clone> SwapCell<T> {
+    /// Atomically installs `value`, returning the previous content.
+    pub fn swap(&self, value: T) -> Option<T> {
+        self.inner.swap(value)
+    }
+
+    /// Reads the current content.
+    pub fn read(&self) -> Option<T> {
+        self.inner.load()
+    }
+}
+
+impl<T> Default for SwapCell<T> {
+    fn default() -> Self {
+        SwapCell::new()
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for SwapCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SwapCell").field(&self.read()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn sequential_chain() {
+        let cell = SwapCell::new();
+        assert_eq!(cell.swap(1), None);
+        assert_eq!(cell.swap(2), Some(1));
+        assert_eq!(cell.swap(3), Some(2));
+        assert_eq!(cell.read(), Some(3));
+    }
+
+    #[test]
+    fn with_value_starts_filled() {
+        let cell = SwapCell::with_value(9);
+        assert_eq!(cell.swap(1), Some(9));
+    }
+
+    #[test]
+    fn concurrent_swaps_form_a_chain() {
+        // Each swap returns the previous element: collecting (got -> put)
+        // pairs must form one path covering all inserted values — i.e. every
+        // value is returned at most once, and exactly one thread receives
+        // `None` (the initial content).
+        for _ in 0..100 {
+            let cell: SwapCell<u64> = SwapCell::new();
+            let results = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for t in 1..=8u64 {
+                    let cell = &cell;
+                    let results = &results;
+                    s.spawn(move || {
+                        let prev = cell.swap(t);
+                        results.lock().unwrap().push((t, prev));
+                    });
+                }
+            });
+            let results = results.into_inner().unwrap();
+            let nones = results.iter().filter(|(_, p)| p.is_none()).count();
+            assert_eq!(nones, 1, "exactly one first swap: {results:?}");
+            let mut returned: Vec<u64> = results.iter().filter_map(|(_, p)| *p).collect();
+            returned.sort_unstable();
+            returned.dedup();
+            assert_eq!(returned.len(), results.len() - 1, "chain property: {results:?}");
+            // The final content is one of the swapped values and was never
+            // returned to anyone.
+            let last = cell.read().unwrap();
+            assert!(!returned.contains(&last));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! A lock-free test-and-set bit.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A wait-free test-and-set bit (consensus number 2).
+///
+/// `test_and_set` atomically sets the bit and reports whether the caller was
+/// the one to flip it — exactly one caller ever "wins" a fresh bit.
+///
+/// # Examples
+///
+/// ```
+/// use apc_common2::TestAndSet;
+/// let tas = TestAndSet::new();
+/// assert!(tas.test_and_set(), "first caller wins");
+/// assert!(!tas.test_and_set(), "everyone else loses");
+/// ```
+#[derive(Default)]
+pub struct TestAndSet {
+    bit: AtomicBool,
+}
+
+impl TestAndSet {
+    /// Creates an unset bit.
+    pub fn new() -> Self {
+        TestAndSet { bit: AtomicBool::new(false) }
+    }
+
+    /// Atomically sets the bit; returns `true` iff the caller flipped it
+    /// (i.e. the caller *won*).
+    ///
+    /// Uses `SeqCst`: Common2 consensus protocols order a register write
+    /// before the TAS and a register read after losing it, and that
+    /// cross-object reasoning needs the RMW in the global order.
+    pub fn test_and_set(&self) -> bool {
+        !self.bit.swap(true, Ordering::SeqCst)
+    }
+
+    /// Reads the bit without modifying it.
+    pub fn is_set(&self) -> bool {
+        self.bit.load(Ordering::SeqCst)
+    }
+}
+
+impl fmt::Debug for TestAndSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TestAndSet").field(&self.is_set()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn first_wins_rest_lose() {
+        let tas = TestAndSet::new();
+        assert!(!tas.is_set());
+        assert!(tas.test_and_set());
+        assert!(tas.is_set());
+        for _ in 0..5 {
+            assert!(!tas.test_and_set());
+        }
+    }
+
+    #[test]
+    fn exactly_one_concurrent_winner() {
+        for _ in 0..200 {
+            let tas = TestAndSet::new();
+            let winners = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    let tas = &tas;
+                    let winners = &winners;
+                    s.spawn(move || {
+                        if tas.test_and_set() {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(winners.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn debug_renders_state() {
+        let tas = TestAndSet::new();
+        assert!(format!("{tas:?}").contains("false"));
+    }
+}

@@ -1,0 +1,128 @@
+//! The **arbiter** object type (§6.1 of the paper, Figure 4).
+//!
+//! An arbiter lets two camps of processes — *owners* (at most `x` of them)
+//! and *guests* (everyone else) — agree on which camp "wins", with these
+//! properties:
+//!
+//! * **Termination** — if a correct owner invokes `arbitrate`, or only
+//!   guests invoke it, or some process has already returned, then every
+//!   invocation by a correct process terminates.
+//! * **Agreement** — a single winning camp is ever returned.
+//! * **Validity** — the returned camp actually has an invoker: `Owner`
+//!   (resp. `Guest`) cannot be returned if no owner (resp. guest)
+//!   participates.
+//!
+//! The implementation (Figure 4) uses two participation flags, one `WINNER`
+//! register, and one wait-free consensus object private to the owners:
+//!
+//! ```text
+//! arbitrate(b):
+//! (01) PART[b] ← true
+//! (02) if b = owner then guest_win ← XCONS.propose(PART[guest])
+//! (03)      if guest_win then WINNER ← guest else WINNER ← owner
+//! (04) else if PART[owner] then wait(WINNER ≠ ⊥) else WINNER ← guest
+//! (05) end if
+//! (06) return(WINNER)
+//! ```
+//!
+//! [`real::Arbiter`] is the threads-and-atomics version; [`model`] is the
+//! same algorithm as an `apc-model` program, checked exhaustively in the
+//! crate's tests (Lemmas 12–16 at small `n`).
+
+pub mod model;
+pub mod real;
+
+pub use real::Arbiter;
+
+use std::fmt;
+
+/// The two camps of an arbiter.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Role {
+    /// An owner: one of the ≤ `x` privileged processes sharing `XCONS`.
+    Owner,
+    /// A guest: any other process.
+    Guest,
+}
+
+impl Role {
+    /// Index into the `PART` array (owner = 0, guest = 1).
+    pub fn index(self) -> usize {
+        match self {
+            Role::Owner => 0,
+            Role::Guest => 1,
+        }
+    }
+
+    /// The opposite camp.
+    #[must_use]
+    pub fn opponent(self) -> Role {
+        match self {
+            Role::Owner => Role::Guest,
+            Role::Guest => Role::Owner,
+        }
+    }
+
+    /// Encodes the role as a register value (owner = 0, guest = 1).
+    pub fn encode(self) -> u64 {
+        self.index() as u64
+    }
+
+    /// Decodes a register value back into a role.
+    ///
+    /// # Panics
+    ///
+    /// Panics on values other than 0 or 1 (register discipline violation).
+    pub fn decode(value: u64) -> Role {
+        match value {
+            0 => Role::Owner,
+            1 => Role::Guest,
+            other => panic!("invalid WINNER encoding {other}"),
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Owner => write!(f, "owner"),
+            Role::Guest => write!(f, "guest"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_roundtrip() {
+        for role in [Role::Owner, Role::Guest] {
+            assert_eq!(Role::decode(role.encode()), role);
+        }
+    }
+
+    #[test]
+    fn opponent_is_involution() {
+        assert_eq!(Role::Owner.opponent(), Role::Guest);
+        assert_eq!(Role::Guest.opponent().opponent(), Role::Guest);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid WINNER encoding")]
+    fn decode_rejects_garbage() {
+        let _ = Role::decode(7);
+    }
+
+    #[test]
+    fn indices_cover_part_array() {
+        assert_eq!(Role::Owner.index(), 0);
+        assert_eq!(Role::Guest.index(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Role::Owner.to_string(), "owner");
+        assert_eq!(Role::Guest.to_string(), "guest");
+    }
+}

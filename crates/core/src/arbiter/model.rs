@@ -1,0 +1,387 @@
+//! The arbiter as an `apc-model` program (Figure 4, model form).
+//!
+//! One shared-memory event per step, exactly the events of Figure 4:
+//!
+//! | line | owner events | guest events |
+//! |------|--------------|--------------|
+//! | 01 | `write(PART[owner], true)` | `write(PART[guest], true)` |
+//! | 02 | `read(PART[guest])`, `propose(XCONS, ·)` | — |
+//! | 03 | `write(WINNER, ·)` | — |
+//! | 04 | — | `read(PART[owner])`, then either spin `read(WINNER)` or `write(WINNER, guest)` |
+//! | 06 | `read(WINNER)` | `read(WINNER)` |
+//!
+//! Small configurations of this program are verified **exhaustively** (all
+//! schedules, all crash patterns within budget) in the crate's test-suite,
+//! mechanically re-checking Lemmas 12–16.
+
+use apc_model::{Op, ObjectId, ProcessSet, Program, ProgramAction, SystemBuilder, Value};
+
+use crate::arbiter::Role;
+
+/// Object ids of one arbiter instance inside a model system.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ArbiterObjects {
+    /// `PART[owner]` flag register (`Bit`).
+    pub part_owner: ObjectId,
+    /// `PART[guest]` flag register (`Bit`).
+    pub part_guest: ObjectId,
+    /// `WINNER` register (`⊥`, then `Num(0)` = owner / `Num(1)` = guest).
+    pub winner: ObjectId,
+    /// Owners-only `(x,x)`-live consensus on `PART[guest]`.
+    pub xcons: ObjectId,
+}
+
+impl ArbiterObjects {
+    /// Adds the four shared objects of one arbiter to a system under
+    /// construction. `owners` becomes the port set (and wait-free set) of
+    /// the internal consensus object.
+    pub fn add_to(builder: &mut SystemBuilder, owners: ProcessSet) -> Self {
+        ArbiterObjects {
+            part_owner: builder.add_register(Value::Bit(false)),
+            part_guest: builder.add_register(Value::Bit(false)),
+            winner: builder.add_register(Value::Bot),
+            xcons: builder.add_wait_free_consensus(owners),
+        }
+    }
+
+    /// The `PART[b]` register for a role.
+    pub fn part(&self, role: Role) -> ObjectId {
+        match role {
+            Role::Owner => self.part_owner,
+            Role::Guest => self.part_guest,
+        }
+    }
+}
+
+/// Encodes a role as a model register value.
+pub fn role_value(role: Role) -> Value {
+    Value::Num(role.encode() as u32)
+}
+
+/// Decodes a model register value into a role.
+///
+/// # Panics
+///
+/// Panics if the value is not a valid encoding.
+pub fn value_role(value: Value) -> Role {
+    Role::decode(value.expect_num("WINNER register") as u64)
+}
+
+/// Figure 4's `arbitrate(b)` as a model program. The process decides the
+/// returned role encoded as `Num(0)` (owner) / `Num(1)` (guest).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ArbiterProgram {
+    objs: ArbiterObjects,
+    role: Role,
+    state: ArbState,
+}
+
+/// States are named after the value that *arrives next*: in
+/// `OwnerGotGuestFlag` the pending operation is the read of `PART[guest]`,
+/// whose result the next `resume` call receives.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum ArbState {
+    /// Nothing issued yet (before line 01).
+    Start,
+    /// Owner: awaiting the `PART[owner]` write acknowledgement.
+    OwnerWrotePart,
+    /// Owner: awaiting the read of `PART[guest]` (line 02).
+    OwnerGotGuestFlag,
+    /// Owner: awaiting the `XCONS` decision (line 02).
+    OwnerGotDecision,
+    /// Owner: awaiting the `WINNER` write (line 03).
+    OwnerWroteWinner,
+    /// Guest: awaiting the `PART[guest]` write acknowledgement.
+    GuestWrotePart,
+    /// Guest: awaiting the read of `PART[owner]` (line 04).
+    GuestGotOwnerFlag,
+    /// Guest: awaiting reads of `WINNER` (line 04 wait; spins on `⊥`).
+    GuestAwaitWinner,
+    /// Guest: awaiting the `WINNER ← guest` write (line 04 else-branch).
+    GuestWroteWinner,
+    /// Any: awaiting the final read of `WINNER` (line 06).
+    GotWinner,
+}
+
+impl ArbiterProgram {
+    /// A process invoking `arbitrate(role)` on the given arbiter objects.
+    pub fn new(objs: ArbiterObjects, role: Role) -> Self {
+        ArbiterProgram { objs, role, state: ArbState::Start }
+    }
+}
+
+impl Program for ArbiterProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        use ArbState::*;
+        match self.state {
+            Start => {
+                // (01) PART[b] ← true.
+                self.state = match self.role {
+                    Role::Owner => OwnerWrotePart,
+                    Role::Guest => GuestWrotePart,
+                };
+                ProgramAction::Invoke(Op::Write(self.objs.part(self.role), Value::Bit(true)))
+            }
+            OwnerWrotePart => {
+                // (02) read PART[guest] …
+                self.state = OwnerGotGuestFlag;
+                ProgramAction::Invoke(Op::Read(self.objs.part_guest))
+            }
+            OwnerGotGuestFlag => {
+                // (02) … and propose it to XCONS.
+                let guests_present = last
+                    .expect("read returns a value")
+                    .expect_bit("PART[guest]");
+                self.state = OwnerGotDecision;
+                ProgramAction::Invoke(Op::Propose(self.objs.xcons, Value::Bit(guests_present)))
+            }
+            OwnerGotDecision => {
+                // (03) WINNER ← guest / owner.
+                let guest_win = last
+                    .expect("propose returns a value")
+                    .expect_bit("XCONS decision");
+                let winner = if guest_win { Role::Guest } else { Role::Owner };
+                self.state = OwnerWroteWinner;
+                ProgramAction::Invoke(Op::Write(self.objs.winner, role_value(winner)))
+            }
+            OwnerWroteWinner => {
+                // (06) return(WINNER) — issue the final read.
+                self.state = GotWinner;
+                ProgramAction::Invoke(Op::Read(self.objs.winner))
+            }
+            GuestWrotePart => {
+                // (04) read PART[owner] …
+                self.state = GuestGotOwnerFlag;
+                ProgramAction::Invoke(Op::Read(self.objs.part_owner))
+            }
+            GuestGotOwnerFlag => {
+                // (04) if PART[owner] then wait(WINNER ≠ ⊥) else WINNER ← guest.
+                let owners_present = last
+                    .expect("read returns a value")
+                    .expect_bit("PART[owner]");
+                if owners_present {
+                    self.state = GuestAwaitWinner;
+                    ProgramAction::Invoke(Op::Read(self.objs.winner))
+                } else {
+                    self.state = GuestWroteWinner;
+                    ProgramAction::Invoke(Op::Write(self.objs.winner, role_value(Role::Guest)))
+                }
+            }
+            GuestAwaitWinner => {
+                // (04) wait(WINNER ≠ ⊥); (06) return it.
+                let w = last.expect("read returns a value");
+                if w.is_bot() {
+                    ProgramAction::Invoke(Op::Read(self.objs.winner))
+                } else {
+                    ProgramAction::Decide(w)
+                }
+            }
+            GuestWroteWinner => {
+                // (06) return(WINNER) — issue the final read.
+                self.state = GotWinner;
+                ProgramAction::Invoke(Op::Read(self.objs.winner))
+            }
+            GotWinner => {
+                // (06) return(WINNER).
+                let w = last.expect("read returns a value");
+                debug_assert!(!w.is_bot(), "WINNER written on this path");
+                ProgramAction::Decide(w)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.role {
+            Role::Owner => "arbitrate(owner)",
+            Role::Guest => "arbitrate(guest)",
+        }
+    }
+}
+
+/// Builds a complete arbiter model system: `n` processes, the processes in
+/// `owners` invoking `arbitrate(owner)`, those in `guests` invoking
+/// `arbitrate(guest)`, and the rest not participating. The declared owner
+/// set (ports of `XCONS`) equals the participating owner set.
+///
+/// Returns the system and the arbiter's object ids.
+pub fn arbiter_system(
+    n: usize,
+    owners: ProcessSet,
+    guests: ProcessSet,
+) -> (
+    apc_model::System<apc_model::MaybeParticipant<ArbiterProgram>>,
+    ArbiterObjects,
+) {
+    arbiter_system_with(n, owners, owners, guests)
+}
+
+/// Like [`arbiter_system`], but distinguishes the *declared* owner set (the
+/// ports of the internal consensus object) from the owners that actually
+/// participate — needed to model scenarios such as Lemma 13/16's "no owner
+/// invokes `arbitrate`" while owners still exist.
+pub fn arbiter_system_with(
+    n: usize,
+    declared_owners: ProcessSet,
+    owner_participants: ProcessSet,
+    guest_participants: ProcessSet,
+) -> (
+    apc_model::System<apc_model::MaybeParticipant<ArbiterProgram>>,
+    ArbiterObjects,
+) {
+    assert!(
+        owner_participants.is_subset(declared_owners),
+        "participating owners must be declared owners"
+    );
+    assert!(
+        owner_participants.intersection(guest_participants).is_empty(),
+        "a process invokes arbitrate at most once: owner and guest sets must be disjoint"
+    );
+    let mut builder = SystemBuilder::new(n);
+    let objs = ArbiterObjects::add_to(&mut builder, declared_owners);
+    let system = builder.build(|pid| {
+        if owner_participants.contains(pid) {
+            apc_model::MaybeParticipant::Present(ArbiterProgram::new(objs, Role::Owner))
+        } else if guest_participants.contains(pid) {
+            apc_model::MaybeParticipant::Present(ArbiterProgram::new(objs, Role::Guest))
+        } else {
+            apc_model::MaybeParticipant::Absent
+        }
+    });
+    (system, objs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_model::explore::{Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn};
+    use apc_model::fairness::{fair_termination, FairTermination, StateGraph};
+    use apc_model::{ProcessId, Runner, Schedule};
+
+    fn owner_value() -> Value {
+        role_value(Role::Owner)
+    }
+
+    fn guest_value() -> Value {
+        role_value(Role::Guest)
+    }
+
+    #[test]
+    fn solo_owner_decides_owner() {
+        let (sys, _) = arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::EMPTY);
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::solo(ProcessId::new(0), 20));
+        assert_eq!(runner.system().decision(ProcessId::new(0)), Some(owner_value()));
+    }
+
+    #[test]
+    fn solo_guest_decides_guest() {
+        let (sys, _) = arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::solo(ProcessId::new(1), 20));
+        assert_eq!(runner.system().decision(ProcessId::new(1)), Some(guest_value()));
+    }
+
+    /// Lemma 15 (agreement) + validity, checked over EVERY schedule for one
+    /// owner and one guest, with a crash budget of 1.
+    #[test]
+    fn exhaustive_agreement_owner_guest() {
+        let (sys, _) = arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
+        let explorer = Explorer::new(
+            ExploreConfig::default().with_crashes(1, ProcessSet::first_n(2)),
+        );
+        let result = explorer.explore(
+            &sys,
+            &[&Agreement, &ValidityIn::new([owner_value(), guest_value()]), &NoFaults],
+        );
+        assert!(result.ok(), "violations: {:?}", result.violations);
+        assert!(!result.truncated);
+        // Both outcomes are reachable depending on interleaving.
+        assert!(result.decisions.contains(&owner_value()));
+        assert!(result.decisions.contains(&guest_value()));
+    }
+
+    /// Lemma 16 (validity): with only guests participating, `owner` is never
+    /// decided — over every schedule and crash pattern. The owner is
+    /// declared (the consensus object exists) but never invokes.
+    #[test]
+    fn exhaustive_validity_only_guests() {
+        let (sys, _) = arbiter_system_with(
+            3,
+            ProcessSet::from_indices([0]),
+            ProcessSet::EMPTY,
+            ProcessSet::from_indices([1, 2]),
+        );
+        let explorer = Explorer::new(
+            ExploreConfig::default().with_crashes(1, ProcessSet::first_n(3)),
+        );
+        let result = explorer.explore(&sys, &[&Agreement, &ValidityIn::new([guest_value()]), &NoFaults]);
+        assert!(result.ok(), "violations: {:?}", result.violations);
+        assert_eq!(result.decisions.len(), 1, "only guest can be decided");
+    }
+
+    /// Lemma 12: a correct participating owner ⇒ every correct participant
+    /// terminates, under every fair schedule (no fair livelock).
+    #[test]
+    fn fair_termination_with_owner() {
+        let (sys, _) = arbiter_system(3, ProcessSet::from_indices([0]), ProcessSet::from_indices([1, 2]));
+        let graph = StateGraph::build(&sys, 1_000_000);
+        let verdict = fair_termination(&graph, |_| true);
+        assert!(verdict.holds(), "{verdict:?}");
+    }
+
+    /// Lemma 13: only guests ⇒ all correct guests terminate.
+    #[test]
+    fn fair_termination_only_guests() {
+        let (sys, _) = arbiter_system_with(
+            3,
+            ProcessSet::from_indices([0]),
+            ProcessSet::EMPTY,
+            ProcessSet::from_indices([1, 2]),
+        );
+        let graph = StateGraph::build(&sys, 1_000_000);
+        let verdict = fair_termination(&graph, |pid| pid.index() != 0);
+        assert!(verdict.holds(), "{verdict:?}");
+    }
+
+    /// The flip side of Lemma 12: an owner that crashes after announcing
+    /// itself can leave guests waiting forever. The explorer must find that
+    /// livelock (this is expected arbiter behaviour, not a bug).
+    #[test]
+    fn crashed_owner_can_block_guests() {
+        let (mut sys, _) =
+            arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
+        // Owner takes exactly one step (writes PART[owner]) and crashes.
+        sys.step(ProcessId::new(0));
+        sys.crash(ProcessId::new(0));
+        let graph = StateGraph::build(&sys, 1_000_000);
+        let verdict = fair_termination(&graph, |pid| pid.index() == 1);
+        assert!(
+            matches!(verdict, FairTermination::Livelock(_)),
+            "guest must be blockable by a crashed owner: {verdict:?}"
+        );
+    }
+
+    /// Lemma 14 via exploration: once any process has returned, every
+    /// correct participant terminates. We approximate by checking the
+    /// two-process system has no fair livelock in which a process has
+    /// already decided.
+    #[test]
+    fn decided_process_implies_no_stuck_peers() {
+        let (sys, _) = arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
+        let graph = StateGraph::build(&sys, 1_000_000);
+        for witness in apc_model::fairness::fair_livelocks(&graph) {
+            let state = &graph.states()[witness.sample_state];
+            assert_eq!(
+                state.decisions().len(),
+                0,
+                "no livelock may coexist with a decided process (Lemma 14)"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_roles_rejected() {
+        let _ = arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([0]));
+    }
+}

@@ -1,0 +1,342 @@
+//! The arbiter over threads and atomics (Figure 4, real form).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use apc_model::ProcessSet;
+use apc_registers::PackedRegister;
+
+use crate::arbiter::Role;
+use crate::consensus::{CasConsensus, Consensus};
+use crate::error::ArbiterError;
+use crate::liveness::Liveness;
+
+/// A crash-tolerant arbiter for threads (Figure 4).
+///
+/// Construction declares the owner set (the processes allowed to invoke
+/// `arbitrate(Owner)`; they share the internal wait-free consensus object
+/// `XCONS`). Any process index in `0..64` may invoke `arbitrate(Guest)`.
+///
+/// # Memory ordering
+///
+/// Lemma 15's agreement argument orders a *write-then-read* pattern on the
+/// two `PART` flags across camps (owner: `W(PART[owner]); R(PART[guest])`,
+/// guest: `W(PART[guest]); R(PART[owner])`). That is the store-buffering
+/// (Dekker) pattern, which is only sound under a total store order — all
+/// `PART` and `WINNER` accesses are `SeqCst`.
+///
+/// # Examples
+///
+/// ```
+/// use apc_core::arbiter::{Arbiter, Role};
+/// use apc_model::ProcessSet;
+///
+/// let arb = Arbiter::new(ProcessSet::from_indices([0]));
+/// // Only a guest participates: guests win (validity).
+/// assert_eq!(arb.arbitrate(3, Role::Guest).unwrap(), Role::Guest);
+/// ```
+pub struct Arbiter {
+    owners: ProcessSet,
+    /// `PART[owner], PART[guest]` (line 01).
+    part: [AtomicBool; 2],
+    /// `WINNER` (⊥ initially; 0 = owner, 1 = guest).
+    winner: PackedRegister,
+    /// Owners-only wait-free consensus on "are guests participating?".
+    xcons: CasConsensus<bool>,
+    /// At-most-once `arbitrate` per process (§6.1).
+    invoked: AtomicU64,
+}
+
+impl Arbiter {
+    /// Creates an arbiter with the given owner set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owners` is empty (Figure 4 assumes between 1 and `x`
+    /// owners attached to the object).
+    pub fn new(owners: ProcessSet) -> Self {
+        let spec = Liveness::wait_free(owners).expect("owner set must be non-empty");
+        Arbiter {
+            owners,
+            part: [AtomicBool::new(false), AtomicBool::new(false)],
+            winner: PackedRegister::new(),
+            xcons: CasConsensus::new(spec),
+            invoked: AtomicU64::new(0),
+        }
+    }
+
+    /// The declared owner set.
+    pub fn owners(&self) -> ProcessSet {
+        self.owners
+    }
+
+    /// The winning camp, if the arbitration has been resolved.
+    pub fn poll_winner(&self) -> Option<Role> {
+        self.winner.load().map(Role::decode)
+    }
+
+    fn claim_invocation(&self, pid: usize) -> Result<(), ArbiterError> {
+        let bit = 1u64 << pid;
+        if self.invoked.fetch_or(bit, Ordering::AcqRel) & bit != 0 {
+            return Err(ArbiterError::AlreadyArbitrated { pid });
+        }
+        Ok(())
+    }
+
+    /// `arbitrate(b)` — Figure 4, blocking form.
+    ///
+    /// A guest that observes a participating owner **waits** for `WINNER`
+    /// (line 04); per the arbiter's termination property this is guaranteed
+    /// to end only if a correct owner participates (or someone already
+    /// returned). Use [`Arbiter::arbitrate_cancelable`] when the caller
+    /// needs an escape hatch.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArbiterError::NotAnOwner`] — `arbitrate(Owner)` by a process
+    ///   outside the owner set (or any pid ≥ 64);
+    /// * [`ArbiterError::AlreadyArbitrated`] — second invocation by the same
+    ///   process.
+    pub fn arbitrate(&self, pid: usize, role: Role) -> Result<Role, ArbiterError> {
+        Ok(self
+            .arbitrate_inner(pid, role, &mut || false)?
+            .expect("uncancelable arbitrate always resolves"))
+    }
+
+    /// `arbitrate(b)` with an escape hatch: whenever the operation would
+    /// keep waiting, `cancel()` is consulted; if it returns `true`, the
+    /// invocation is abandoned and `Ok(None)` is returned.
+    ///
+    /// Abandoning is safe: it is indistinguishable (to the other processes)
+    /// from the caller crashing inside the operation, which the object
+    /// tolerates. Used by the group algorithm's task `T2` early return.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Arbiter::arbitrate`].
+    pub fn arbitrate_cancelable(
+        &self,
+        pid: usize,
+        role: Role,
+        mut cancel: impl FnMut() -> bool,
+    ) -> Result<Option<Role>, ArbiterError> {
+        self.arbitrate_inner(pid, role, &mut cancel)
+    }
+
+    fn arbitrate_inner(
+        &self,
+        pid: usize,
+        role: Role,
+        cancel: &mut dyn FnMut() -> bool,
+    ) -> Result<Option<Role>, ArbiterError> {
+        if pid >= 64 {
+            // Process indices are bounded by the 64-process model limit.
+            return Err(ArbiterError::NotAnOwner { pid });
+        }
+        if role == Role::Owner && !self.owners.contains(apc_model::ProcessId::new(pid)) {
+            return Err(ArbiterError::NotAnOwner { pid });
+        }
+        self.claim_invocation(pid)?;
+
+        // (01) PART[b] ← true.
+        self.part[role.index()].store(true, Ordering::SeqCst);
+
+        match role {
+            Role::Owner => {
+                // (02) guest_win ← XCONS.propose(PART[guest]).
+                let guests_present = self.part[Role::Guest.index()].load(Ordering::SeqCst);
+                let guest_win = self.xcons.propose(pid, guests_present)?;
+                // (03) WINNER ← guest / owner.
+                let w = if guest_win { Role::Guest } else { Role::Owner };
+                self.winner.store(w.encode());
+            }
+            Role::Guest => {
+                // (04) if PART[owner] then wait(WINNER ≠ ⊥) else WINNER ← guest.
+                if self.part[Role::Owner.index()].load(Ordering::SeqCst) {
+                    loop {
+                        if let Some(w) = self.winner.load() {
+                            return Ok(Some(Role::decode(w)));
+                        }
+                        if cancel() {
+                            return Ok(None);
+                        }
+                        std::hint::spin_loop();
+                        std::thread::yield_now();
+                    }
+                } else {
+                    self.winner.store(Role::Guest.encode());
+                }
+            }
+        }
+        // (06) return(WINNER).
+        Ok(Some(Role::decode(self.winner.load().expect("WINNER written on this path"))))
+    }
+}
+
+impl fmt::Debug for Arbiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Arbiter")
+            .field("owners", &self.owners)
+            .field("winner", &self.poll_winner())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn owners(ids: &[usize]) -> ProcessSet {
+        ProcessSet::from_indices(ids.iter().copied())
+    }
+
+    #[test]
+    fn lone_owner_wins() {
+        let arb = Arbiter::new(owners(&[0]));
+        assert_eq!(arb.arbitrate(0, Role::Owner).unwrap(), Role::Owner);
+        assert_eq!(arb.poll_winner(), Some(Role::Owner));
+    }
+
+    #[test]
+    fn lone_guest_wins() {
+        let arb = Arbiter::new(owners(&[0]));
+        assert_eq!(arb.arbitrate(5, Role::Guest).unwrap(), Role::Guest);
+    }
+
+    #[test]
+    fn guest_then_owner_guests_win() {
+        // The owner reads PART[guest] = true, so consensus proposes true.
+        let arb = Arbiter::new(owners(&[0]));
+        assert_eq!(arb.arbitrate(3, Role::Guest).unwrap(), Role::Guest);
+        assert_eq!(arb.arbitrate(0, Role::Owner).unwrap(), Role::Guest);
+    }
+
+    #[test]
+    fn owner_then_guest_owners_win() {
+        let arb = Arbiter::new(owners(&[0]));
+        assert_eq!(arb.arbitrate(0, Role::Owner).unwrap(), Role::Owner);
+        assert_eq!(arb.arbitrate(3, Role::Guest).unwrap(), Role::Owner);
+    }
+
+    #[test]
+    fn non_owner_cannot_claim_ownership() {
+        let arb = Arbiter::new(owners(&[0, 1]));
+        assert!(matches!(
+            arb.arbitrate(5, Role::Owner),
+            Err(ArbiterError::NotAnOwner { pid: 5 })
+        ));
+    }
+
+    #[test]
+    fn double_invocation_rejected() {
+        let arb = Arbiter::new(owners(&[0]));
+        arb.arbitrate(0, Role::Owner).unwrap();
+        assert!(matches!(
+            arb.arbitrate(0, Role::Owner),
+            Err(ArbiterError::AlreadyArbitrated { pid: 0 })
+        ));
+    }
+
+    #[test]
+    fn cancelable_guest_escapes_without_owner_winner() {
+        let arb = Arbiter::new(owners(&[0]));
+        // Simulate an owner that set PART[owner] but "crashed" before
+        // writing WINNER: flip the flag directly.
+        arb.part[Role::Owner.index()].store(true, Ordering::SeqCst);
+        let mut polls = 0;
+        let out = arb
+            .arbitrate_cancelable(3, Role::Guest, || {
+                polls += 1;
+                polls > 3
+            })
+            .unwrap();
+        assert_eq!(out, None, "guest must escape the wait");
+    }
+
+    #[test]
+    fn agreement_under_concurrency() {
+        // Owners and guests race; all returns must be the same role, and the
+        // returned camp must have a participant (validity).
+        for _ in 0..100 {
+            let arb = Arbiter::new(owners(&[0, 1]));
+            let results = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for pid in 0..2 {
+                    let arb = &arb;
+                    let results = &results;
+                    s.spawn(move || {
+                        let r = arb.arbitrate(pid, Role::Owner).unwrap();
+                        results.lock().unwrap().push(r);
+                    });
+                }
+                for pid in 2..5 {
+                    let arb = &arb;
+                    let results = &results;
+                    s.spawn(move || {
+                        let r = arb.arbitrate(pid, Role::Guest).unwrap();
+                        results.lock().unwrap().push(r);
+                    });
+                }
+            });
+            let results = results.into_inner().unwrap();
+            assert_eq!(results.len(), 5);
+            assert!(
+                results.windows(2).all(|w| w[0] == w[1]),
+                "agreement violated: {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_guests_concurrent_guests_win() {
+        for _ in 0..100 {
+            let arb = Arbiter::new(owners(&[0]));
+            let results = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for pid in 1..6 {
+                    let arb = &arb;
+                    let results = &results;
+                    s.spawn(move || {
+                        results.lock().unwrap().push(arb.arbitrate(pid, Role::Guest).unwrap());
+                    });
+                }
+            });
+            for r in results.into_inner().unwrap() {
+                assert_eq!(r, Role::Guest, "validity: no owner participated");
+            }
+        }
+    }
+
+    #[test]
+    fn only_owners_concurrent_owners_win() {
+        for _ in 0..100 {
+            let arb = Arbiter::new(owners(&[0, 1, 2]));
+            let results = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for pid in 0..3 {
+                    let arb = &arb;
+                    let results = &results;
+                    s.spawn(move || {
+                        results.lock().unwrap().push(arb.arbitrate(pid, Role::Owner).unwrap());
+                    });
+                }
+            });
+            for r in results.into_inner().unwrap() {
+                assert_eq!(r, Role::Owner, "validity: no guest participated");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_owner_set_rejected() {
+        let _ = Arbiter::new(ProcessSet::EMPTY);
+    }
+
+    #[test]
+    fn pid_64_or_more_rejected() {
+        let arb = Arbiter::new(owners(&[0]));
+        assert!(arb.arbitrate(64, Role::Guest).is_err());
+    }
+}

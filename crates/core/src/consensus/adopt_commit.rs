@@ -1,0 +1,252 @@
+//! Wait-free adopt-commit from registers (Gafni-style, two collect phases).
+//!
+//! Adopt-commit is the *safety half* of consensus that registers **can**
+//! implement wait-free. It is the building block of the round-based
+//! obstruction-free consensus (the possibility result `(n,0)`-liveness from
+//! registers, which the paper's §1.2 takes as its starting point).
+//!
+//! Properties of `adopt_commit(pid, v)` returning `(flag, w)`:
+//!
+//! * **Validity** — `w` is some process's input.
+//! * **Coherence** — if any process returns `(Commit, u)`, every process
+//!   returns `(_, u)`.
+//! * **Convergence** — if all inputs equal `v`, every process returns
+//!   `(Commit, v)`; in particular a process running solo commits.
+//! * **Wait-free termination** — two stores and two collects, regardless of
+//!   contention.
+
+use std::fmt;
+
+use apc_registers::collect::StoreCollect;
+
+use crate::consensus::ProposeOnce;
+use crate::error::ConsensusError;
+
+/// Result flag of an adopt-commit round.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AcOutcome {
+    /// The value is decided: it is safe to return it from a consensus.
+    Commit,
+    /// The value must be adopted as the new estimate and retried.
+    Adopt,
+}
+
+impl AcOutcome {
+    /// Whether this outcome commits.
+    pub fn is_commit(self) -> bool {
+        matches!(self, AcOutcome::Commit)
+    }
+}
+
+impl fmt::Display for AcOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcOutcome::Commit => write!(f, "commit"),
+            AcOutcome::Adopt => write!(f, "adopt"),
+        }
+    }
+}
+
+/// A wait-free register-based adopt-commit object for `n` processes.
+///
+/// # Examples
+///
+/// ```
+/// use apc_core::consensus::{AdoptCommit, AcOutcome};
+///
+/// let ac: AdoptCommit<u32> = AdoptCommit::new(2);
+/// let (flag, value) = ac.adopt_commit(0, 7).unwrap();
+/// assert_eq!(flag, AcOutcome::Commit); // ran alone: converges
+/// assert_eq!(value, 7);
+/// ```
+pub struct AdoptCommit<T> {
+    /// Phase-1 proposals.
+    proposals: StoreCollect<T>,
+    /// Phase-2 `(flag, value)` announcements.
+    flags: StoreCollect<(AcOutcome, T)>,
+    once: ProposeOnce,
+}
+
+impl<T: Clone + Eq + Send + Sync> AdoptCommit<T> {
+    /// Creates an adopt-commit object for processes `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 64`.
+    pub fn new(n: usize) -> Self {
+        assert!((1..=64).contains(&n), "n must be in 1..=64");
+        AdoptCommit {
+            proposals: StoreCollect::new(n),
+            flags: StoreCollect::new(n),
+            once: ProposeOnce::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.proposals.len()
+    }
+
+    /// One adopt-commit operation by `pid` with input `value`.
+    ///
+    /// Wait-free: 2 stores + 2 collects (`O(n)` register operations).
+    ///
+    /// # Errors
+    ///
+    /// * [`ConsensusError::NotAPort`] if `pid ≥ n`;
+    /// * [`ConsensusError::AlreadyProposed`] on a second call by `pid`.
+    pub fn adopt_commit(&self, pid: usize, value: T) -> Result<(AcOutcome, T), ConsensusError> {
+        if pid >= self.n() {
+            return Err(ConsensusError::NotAPort { pid });
+        }
+        self.once.claim(pid)?;
+
+        // Phase 1: publish the proposal, then collect.
+        //
+        // The correctness argument ("two processes cannot both see only
+        // their own value") is a store-buffering pattern: each process
+        // writes its slot and then reads the others'. That reasoning needs a
+        // total store order, which acquire/release alone does not give —
+        // hence the SeqCst fence between the store and the collect.
+        self.proposals.store(pid, value.clone());
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        let seen = self.proposals.collect_set();
+        let unanimous = seen.iter().all(|(_, v)| *v == value);
+        let phase2_entry = if unanimous {
+            (AcOutcome::Commit, value.clone())
+        } else {
+            // Mixed proposals: flag adopt, carrying the first value collected
+            // (deterministic choice; any collected value is valid).
+            let (_, first) = seen.first().expect("own proposal is present").clone();
+            (AcOutcome::Adopt, first)
+        };
+
+        // Phase 2: publish the flagged value, then collect (same
+        // store-buffering pattern, same fence).
+        self.flags.store(pid, phase2_entry.clone());
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        let seen2 = self.flags.collect_set();
+        let all_commit = seen2.iter().all(|(_, (f, _))| f.is_commit());
+        if all_commit {
+            // Everyone observed unanimity: commit. All committed values are
+            // equal (at most one commit value can exist, see module docs).
+            let (_, (_, w)) = seen2.first().expect("own flag is present").clone();
+            return Ok((AcOutcome::Commit, w));
+        }
+        if let Some((_, (_, w))) = seen2.iter().find(|(_, (f, _))| f.is_commit()) {
+            // Someone flagged commit: adopt that (unique) value.
+            return Ok((AcOutcome::Adopt, w.clone()));
+        }
+        // No commit flags seen: adopt own phase-2 value.
+        Ok((AcOutcome::Adopt, phase2_entry.1))
+    }
+}
+
+impl<T: Clone + Eq + fmt::Debug> fmt::Debug for AdoptCommit<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdoptCommit").field("n", &self.proposals.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn solo_run_commits_own_value() {
+        let ac = AdoptCommit::new(3);
+        assert_eq!(ac.adopt_commit(1, 42).unwrap(), (AcOutcome::Commit, 42));
+    }
+
+    #[test]
+    fn unanimous_inputs_commit() {
+        let ac = AdoptCommit::new(2);
+        let (f0, v0) = ac.adopt_commit(0, 5).unwrap();
+        let (f1, v1) = ac.adopt_commit(1, 5).unwrap();
+        assert!(f0.is_commit() && f1.is_commit());
+        assert_eq!((v0, v1), (5, 5));
+    }
+
+    #[test]
+    fn sequential_mixed_inputs_are_coherent() {
+        // p0 runs alone and commits; p1 arriving later must adopt p0's value.
+        let ac = AdoptCommit::new(2);
+        let (f0, v0) = ac.adopt_commit(0, 1).unwrap();
+        assert_eq!((f0, v0), (AcOutcome::Commit, 1));
+        let (f1, v1) = ac.adopt_commit(1, 2).unwrap();
+        assert_eq!(v1, 1, "p1 must adopt the committed value");
+        assert_eq!(f1, AcOutcome::Adopt);
+    }
+
+    #[test]
+    fn out_of_range_pid_rejected() {
+        let ac: AdoptCommit<u8> = AdoptCommit::new(2);
+        assert_eq!(ac.adopt_commit(5, 0), Err(ConsensusError::NotAPort { pid: 5 }));
+    }
+
+    #[test]
+    fn double_call_rejected() {
+        let ac = AdoptCommit::new(2);
+        ac.adopt_commit(0, 1).unwrap();
+        assert_eq!(ac.adopt_commit(0, 1), Err(ConsensusError::AlreadyProposed { pid: 0 }));
+    }
+
+    /// Coherence under real concurrency: if anyone commits `u`, everyone
+    /// returns `u`.
+    #[test]
+    fn concurrent_coherence_stress() {
+        for round in 0..200 {
+            let n = 4;
+            let ac = AdoptCommit::new(n);
+            let results = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for pid in 0..n {
+                    let ac = &ac;
+                    let results = &results;
+                    s.spawn(move || {
+                        let input = (pid % 2) as u64 + round; // two distinct inputs
+                        let out = ac.adopt_commit(pid, input).unwrap();
+                        results.lock().unwrap().push(out);
+                    });
+                }
+            });
+            let results = results.into_inner().unwrap();
+            let committed: Vec<u64> = results
+                .iter()
+                .filter(|(f, _)| f.is_commit())
+                .map(|(_, v)| *v)
+                .collect();
+            if let Some(&u) = committed.first() {
+                for (_, w) in &results {
+                    assert_eq!(*w, u, "coherence violated in round {round}: {results:?}");
+                }
+            }
+            // Validity: all outputs are inputs.
+            for (_, w) in &results {
+                assert!(*w == round || *w == round + 1, "validity violated: {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_stress_all_same_input() {
+        for _ in 0..100 {
+            let n = 6;
+            let ac = AdoptCommit::new(n);
+            let results = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for pid in 0..n {
+                    let ac = &ac;
+                    let results = &results;
+                    s.spawn(move || {
+                        results.lock().unwrap().push(ac.adopt_commit(pid, 9u8).unwrap());
+                    });
+                }
+            });
+            for (f, v) in results.into_inner().unwrap() {
+                assert_eq!((f, v), (AcOutcome::Commit, 9), "convergence violated");
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Round-based register consensus as an `apc-model` program.
+//!
+//! This is the model form of [`crate::consensus::ObstructionFreeConsensus`]:
+//! a protocol that uses **registers only** (per-round adopt-commit with two
+//! collect phases, plus a decision register). It matters for the theorem
+//! machinery because the paper's impossibility proofs (§3.3–3.4) reason
+//! about protocols whose events are register reads and writes:
+//!
+//! * Lemma 3 (every obstruction-free consensus object has a bivalent empty
+//!   run) is checked on *this* protocol by the explorer's valence analysis;
+//! * the bivalence-preserving adversary of `apc-hierarchy` starves *this*
+//!   protocol, exhibiting concretely why registers cannot give wait-freedom
+//!   to anyone.
+//!
+//! Rounds are pre-allocated (`rounds` parameter); a process that exhausts
+//! them halts undecided — exploration budgets are sized so this happens only
+//! under adversarial schedules, which is precisely the phenomenon under
+//! study.
+
+use apc_model::{
+    MaybeParticipant, ObjectId, Op, Program, ProgramAction, System, SystemBuilder, Value,
+};
+
+/// Shared objects of the register-consensus protocol.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RegisterConsensusObjects {
+    /// The decision register `D`.
+    pub decision: ObjectId,
+    /// `A[r][i]`: phase-1 proposal registers, `rounds × n`.
+    pub phase1: Vec<Vec<ObjectId>>,
+    /// `B[r][i]`: phase-2 flag registers, `rounds × n`.
+    pub phase2: Vec<Vec<ObjectId>>,
+}
+
+impl RegisterConsensusObjects {
+    /// Adds `1 + 2·rounds·n` registers to the builder.
+    pub fn add_to(builder: &mut SystemBuilder, n: usize, rounds: usize) -> Self {
+        let decision = builder.add_register(Value::Bot);
+        let phase1 = (0..rounds).map(|_| builder.add_register_array(n, Value::Bot)).collect();
+        let phase2 = (0..rounds).map(|_| builder.add_register_array(n, Value::Bot)).collect();
+        RegisterConsensusObjects { decision, phase1, phase2 }
+    }
+
+    /// Number of pre-allocated rounds.
+    pub fn rounds(&self) -> usize {
+        self.phase1.len()
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.phase1.first().map(Vec::len).unwrap_or(0)
+    }
+}
+
+/// One process of the round-based register consensus.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RegisterConsensusProgram {
+    objs: RegisterConsensusObjects,
+    pid: u8,
+    estimate: u32,
+    round: u16,
+    /// Collect cursor.
+    j: u8,
+    /// Phase-1 collect: saw a value different from the estimate?
+    mixed: bool,
+    /// Phase-1 collect: first non-`⊥` value.
+    first_seen: Option<u32>,
+    /// Phase-2 entry this process wrote (`(flag, value)`).
+    my_entry: (bool, u32),
+    /// Phase-2 collect: all non-`⊥` entries commit-flagged so far?
+    all_commit: bool,
+    /// Phase-2 collect: some commit-flagged value.
+    commit_seen: Option<u32>,
+    state: RcState,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum RcState {
+    /// Next: read the decision register (fast path).
+    Start,
+    /// Awaiting the decision register read.
+    GotDecision,
+    /// Awaiting the `A[r][i]` write.
+    WroteA,
+    /// Awaiting the read of `A[r][j]`.
+    CollectA,
+    /// Awaiting the `B[r][i]` write.
+    WroteB,
+    /// Awaiting the read of `B[r][j]`.
+    CollectB,
+    /// Awaiting the decision-register write; then decide.
+    WroteD,
+}
+
+impl RegisterConsensusProgram {
+    /// A participant proposing `value`.
+    pub fn new(objs: RegisterConsensusObjects, pid: usize, value: u32) -> Self {
+        RegisterConsensusProgram {
+            objs,
+            pid: pid as u8,
+            estimate: value,
+            round: 0,
+            j: 0,
+            mixed: false,
+            first_seen: None,
+            my_entry: (false, 0),
+            all_commit: true,
+            commit_seen: None,
+            state: RcState::Start,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.objs.n()
+    }
+
+    fn a(&self, j: usize) -> ObjectId {
+        self.objs.phase1[self.round as usize][j]
+    }
+
+    fn b(&self, j: usize) -> ObjectId {
+        self.objs.phase2[self.round as usize][j]
+    }
+
+    fn begin_round(&mut self) -> ProgramAction {
+        self.state = RcState::GotDecision;
+        ProgramAction::Invoke(Op::Read(self.objs.decision))
+    }
+}
+
+impl Program for RegisterConsensusProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        use RcState::*;
+        match self.state {
+            Start => self.begin_round(),
+            GotDecision => {
+                let d = last.expect("read returns a value");
+                if !d.is_bot() {
+                    return ProgramAction::Decide(d);
+                }
+                if (self.round as usize) >= self.objs.rounds() {
+                    // Out of pre-allocated rounds: halt undecided. This is
+                    // reachable only under adversarial schedules, which is
+                    // the object of study.
+                    return ProgramAction::Halt;
+                }
+                // Phase 1: publish the estimate.
+                self.mixed = false;
+                self.first_seen = None;
+                self.all_commit = true;
+                self.commit_seen = None;
+                self.state = WroteA;
+                ProgramAction::Invoke(Op::Write(
+                    self.a(self.pid as usize),
+                    Value::Num(self.estimate),
+                ))
+            }
+            WroteA => {
+                self.j = 0;
+                self.state = CollectA;
+                ProgramAction::Invoke(Op::Read(self.a(0)))
+            }
+            CollectA => {
+                let v = last.expect("read returns a value");
+                if let Value::Num(seen) = v {
+                    if self.first_seen.is_none() {
+                        self.first_seen = Some(seen);
+                    }
+                    if seen != self.estimate {
+                        self.mixed = true;
+                    }
+                }
+                self.j += 1;
+                if (self.j as usize) < self.n() {
+                    ProgramAction::Invoke(Op::Read(self.a(self.j as usize)))
+                } else {
+                    // Phase 2: publish (flag, value).
+                    self.my_entry = if self.mixed {
+                        (false, self.first_seen.expect("own value collected"))
+                    } else {
+                        (true, self.estimate)
+                    };
+                    self.state = WroteB;
+                    ProgramAction::Invoke(Op::Write(
+                        self.b(self.pid as usize),
+                        Value::Tagged(self.my_entry.0, self.my_entry.1),
+                    ))
+                }
+            }
+            WroteB => {
+                self.j = 0;
+                self.state = CollectB;
+                ProgramAction::Invoke(Op::Read(self.b(0)))
+            }
+            CollectB => {
+                let v = last.expect("read returns a value");
+                if let Value::Tagged(flag, value) = v {
+                    if flag {
+                        if self.commit_seen.is_none() {
+                            self.commit_seen = Some(value);
+                        }
+                    } else {
+                        self.all_commit = false;
+                    }
+                }
+                self.j += 1;
+                if (self.j as usize) < self.n() {
+                    return ProgramAction::Invoke(Op::Read(self.b(self.j as usize)));
+                }
+                // Resolve the round.
+                if self.all_commit {
+                    // All non-⊥ entries were commit-flagged; own entry is
+                    // among them, so commit_seen is set.
+                    let w = self.commit_seen.expect("own commit entry collected");
+                    self.estimate = w;
+                    self.state = WroteD;
+                    ProgramAction::Invoke(Op::Write(self.objs.decision, Value::Num(w)))
+                } else {
+                    // Adopt: a commit value if seen, else own phase-2 value.
+                    self.estimate = self.commit_seen.unwrap_or(self.my_entry.1);
+                    self.round += 1;
+                    self.begin_round()
+                }
+            }
+            WroteD => ProgramAction::Decide(Value::Num(self.estimate)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "register-consensus"
+    }
+}
+
+/// Builds an `n`-process register-consensus system with the given inputs
+/// (one entry per process; `None` = non-participant).
+pub fn register_consensus_system(
+    inputs: &[Option<u32>],
+    rounds: usize,
+) -> (System<MaybeParticipant<RegisterConsensusProgram>>, RegisterConsensusObjects) {
+    let n = inputs.len();
+    let mut builder = SystemBuilder::new(n);
+    let objs = RegisterConsensusObjects::add_to(&mut builder, n, rounds);
+    let system = builder.build(|pid| match inputs[pid.index()] {
+        Some(v) => {
+            MaybeParticipant::Present(RegisterConsensusProgram::new(objs.clone(), pid.index(), v))
+        }
+        None => MaybeParticipant::Absent,
+    });
+    (system, objs)
+}
+
+/// Convenience: binary inputs `0/1` for all `n` processes, process `i`
+/// proposing `i mod 2`.
+pub fn binary_register_consensus(
+    n: usize,
+    rounds: usize,
+) -> (System<MaybeParticipant<RegisterConsensusProgram>>, RegisterConsensusObjects) {
+    let inputs: Vec<Option<u32>> = (0..n).map(|i| Some((i % 2) as u32)).collect();
+    register_consensus_system(&inputs, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_model::explore::{Agreement, ExploreConfig, Explorer, NoFaults, Valence, ValidityIn};
+    use apc_model::{ProcessId, ProcessSet, Runner, Schedule};
+
+    #[test]
+    fn solo_process_decides_own_value() {
+        let (sys, _) = register_consensus_system(&[Some(7), None], 4);
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::solo(ProcessId::new(0), 50));
+        assert_eq!(runner.system().decision(ProcessId::new(0)), Some(Value::Num(7)));
+    }
+
+    #[test]
+    fn sequential_two_processes_agree() {
+        let (sys, _) = register_consensus_system(&[Some(3), Some(8)], 4);
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::solo(ProcessId::new(1), 50));
+        runner.run(&Schedule::solo(ProcessId::new(0), 80));
+        let d0 = runner.system().decision(ProcessId::new(0)).unwrap();
+        let d1 = runner.system().decision(ProcessId::new(1)).unwrap();
+        assert_eq!(d1, Value::Num(8), "p1 ran alone first");
+        assert_eq!(d0, d1, "agreement");
+    }
+
+    #[test]
+    fn round_robin_terminates_and_agrees() {
+        // Round-robin is *not* adversarial for this protocol: the
+        // deterministic min-index adopt rule converges.
+        let (sys, _) = binary_register_consensus(2, 8);
+        let mut runner = Runner::new(sys);
+        let terminated = runner.run_until_terminated(&Schedule::round_robin(2, 1), 2000);
+        assert!(terminated, "round-robin converges for this protocol");
+        let d0 = runner.system().decision(ProcessId::new(0)).unwrap();
+        let d1 = runner.system().decision(ProcessId::new(1)).unwrap();
+        assert_eq!(d0, d1);
+    }
+
+    /// Safety under EVERY schedule (bounded rounds keep the space finite):
+    /// agreement + validity for 2 processes with mixed inputs.
+    #[test]
+    fn exhaustive_safety_two_processes() {
+        let (sys, _) = binary_register_consensus(2, 2);
+        let explorer = Explorer::new(
+            ExploreConfig::default()
+                .with_max_states(2_000_000)
+                .with_max_depth(120)
+                .with_crashes(1, ProcessSet::first_n(2)),
+        );
+        let result = explorer.explore(
+            &sys,
+            &[&Agreement, &ValidityIn::new([Value::Num(0), Value::Num(1)]), &NoFaults],
+        );
+        assert!(result.ok(), "violations: {:?}", result.violations.first());
+    }
+
+    /// Lemma 3: the empty run with mixed binary inputs is bivalent.
+    #[test]
+    fn lemma3_bivalent_empty_run() {
+        let (sys, _) = binary_register_consensus(2, 2);
+        let explorer =
+            Explorer::new(ExploreConfig::default().with_max_states(2_000_000).with_max_depth(120));
+        let valence = explorer.valence(&sys);
+        assert!(matches!(valence, Valence::Bivalent(_)), "got {valence:?}");
+    }
+
+    /// Unanimous inputs make the empty run univalent (also part of
+    /// Lemma 3's argument).
+    #[test]
+    fn unanimous_inputs_univalent() {
+        let (sys, _) = register_consensus_system(&[Some(4), Some(4)], 2);
+        let explorer =
+            Explorer::new(ExploreConfig::default().with_max_states(2_000_000).with_max_depth(120));
+        match explorer.valence(&sys) {
+            Valence::Univalent(v) | Valence::UnivalentBounded(v) => assert_eq!(v, Value::Num(4)),
+            other => panic!("expected univalent, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Error types for the core objects.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a liveness specification.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SpecError {
+    /// The wait-free set is not a subset of the port set.
+    WaitFreeNotInPorts,
+    /// The port set is empty.
+    EmptyPorts,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::WaitFreeNotInPorts => {
+                write!(f, "wait-free set X must be a subset of the port set Y")
+            }
+            SpecError::EmptyPorts => write!(f, "port set Y must be non-empty"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+/// Error returned by consensus `propose` operations.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ConsensusError {
+    /// The invoking process is not a port of the object.
+    NotAPort {
+        /// The offending process index.
+        pid: usize,
+    },
+    /// The process invoked `propose` more than once (§2: "a process can
+    /// invoke it at most once").
+    AlreadyProposed {
+        /// The offending process index.
+        pid: usize,
+    },
+}
+
+impl fmt::Display for ConsensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusError::NotAPort { pid } => {
+                write!(f, "process {pid} is not a port of this consensus object")
+            }
+            ConsensusError::AlreadyProposed { pid } => {
+                write!(f, "process {pid} already proposed to this consensus object")
+            }
+        }
+    }
+}
+
+impl Error for ConsensusError {}
+
+/// Error returned by the arbiter's `arbitrate` operation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ArbiterError {
+    /// An owner invocation by a process outside the declared owner set.
+    NotAnOwner {
+        /// The offending process index.
+        pid: usize,
+    },
+    /// The process invoked `arbitrate` more than once on this object
+    /// (§6.1: "each process can invoke at most once").
+    AlreadyArbitrated {
+        /// The offending process index.
+        pid: usize,
+    },
+    /// The owners-only consensus object rejected the owner's proposal.
+    Consensus(ConsensusError),
+}
+
+impl fmt::Display for ArbiterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArbiterError::NotAnOwner { pid } => {
+                write!(f, "process {pid} invoked arbitrate(owner) but is not a declared owner")
+            }
+            ArbiterError::AlreadyArbitrated { pid } => {
+                write!(f, "process {pid} already invoked arbitrate on this object")
+            }
+            ArbiterError::Consensus(e) => write!(f, "owners' consensus failed: {e}"),
+        }
+    }
+}
+
+impl Error for ArbiterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArbiterError::Consensus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConsensusError> for ArbiterError {
+    fn from(e: ConsensusError) -> Self {
+        ArbiterError::Consensus(e)
+    }
+}
+
+/// Error returned by the group-based consensus `propose`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum GroupError {
+    /// The process index is outside `0..n`.
+    UnknownProcess {
+        /// The offending process index.
+        pid: usize,
+    },
+    /// The process invoked `propose` more than once.
+    AlreadyProposed {
+        /// The offending process index.
+        pid: usize,
+    },
+    /// A group-level consensus object failed.
+    Consensus(ConsensusError),
+    /// An arbiter failed.
+    Arbiter(ArbiterError),
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::UnknownProcess { pid } => write!(f, "process {pid} is not in 0..n"),
+            GroupError::AlreadyProposed { pid } => {
+                write!(f, "process {pid} already proposed to this group consensus")
+            }
+            GroupError::Consensus(e) => write!(f, "group consensus failed: {e}"),
+            GroupError::Arbiter(e) => write!(f, "arbiter failed: {e}"),
+        }
+    }
+}
+
+impl Error for GroupError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GroupError::Consensus(e) => Some(e),
+            GroupError::Arbiter(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConsensusError> for GroupError {
+    fn from(e: ConsensusError) -> Self {
+        GroupError::Consensus(e)
+    }
+}
+
+impl From<ArbiterError> for GroupError {
+    fn from(e: ArbiterError) -> Self {
+        GroupError::Arbiter(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ConsensusError::NotAPort { pid: 3 }.to_string().contains('3'));
+        assert!(ConsensusError::AlreadyProposed { pid: 1 }.to_string().contains("already"));
+        assert!(ArbiterError::NotAnOwner { pid: 2 }.to_string().contains("owner"));
+        assert!(SpecError::WaitFreeNotInPorts.to_string().contains("subset"));
+        assert!(GroupError::UnknownProcess { pid: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let e: ArbiterError = ConsensusError::NotAPort { pid: 0 }.into();
+        assert!(Error::source(&e).is_some());
+        let g: GroupError = e.into();
+        assert!(Error::source(&g).is_some());
+        let g2: GroupError = ConsensusError::AlreadyProposed { pid: 0 }.into();
+        assert!(matches!(g2, GroupError::Consensus(_)));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConsensusError>();
+        assert_send_sync::<ArbiterError>();
+        assert_send_sync::<GroupError>();
+        assert_send_sync::<SpecError>();
+    }
+}

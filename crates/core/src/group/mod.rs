@@ -1,0 +1,213 @@
+//! Group-based asymmetric consensus (§6.2–6.4 of the paper, Figure 5).
+//!
+//! Setting: `n` processes, read/write registers, and `(x,x)`-live consensus
+//! objects (wait-free consensus usable by at most `x` processes each). By
+//! the paper's Theorems 1–3, wait-free consensus for all `n` processes is
+//! impossible in this world. The group algorithm extracts the strongest
+//! *asymmetric* progress condition available:
+//!
+//! > Partition the processes into `m = ⌈n/x⌉` ordered groups. Let `y` be the
+//! > first group (in the order) with a participant. **If a correct process
+//! > of group `y` participates, every correct participating process
+//! > decides.**
+//!
+//! Each group solves consensus internally with its own `(x,x)`-live object;
+//! adjacent "winner so far" values are then merged down a cascade of
+//! [`crate::arbiter::Arbiter`] objects — group `g`'s members are the owners
+//! of `ARBITER[g]`, all higher groups its guests.
+//!
+//! [`GroupLayout`] computes the partition; [`real::GroupConsensus`] is the
+//! thread implementation; [`model`] is the exhaustive-checkable program.
+
+pub mod model;
+pub mod real;
+
+pub use real::GroupConsensus;
+
+use apc_model::{ProcessId, ProcessSet};
+
+use crate::error::GroupError;
+
+/// The partition of `n` processes into `m = ⌈n/x⌉` ordered groups of size at
+/// most `x` (§6.2: "it is possible to partition the n processes into
+/// `m = ⌈n/x⌉` groups").
+///
+/// Groups are numbered `1..=m` (1-based, as in the paper); group 1 is the
+/// most important. Process `p_i` belongs to group `⌊i/x⌋ + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use apc_core::group::GroupLayout;
+/// let layout = GroupLayout::new(7, 3).unwrap(); // m = ⌈7/3⌉ = 3 groups
+/// assert_eq!(layout.m(), 3);
+/// assert_eq!(layout.group_of(0), 1);
+/// assert_eq!(layout.group_of(6), 3);
+/// assert_eq!(layout.members(3).len(), 1); // the last group is smaller
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroupLayout {
+    n: usize,
+    x: usize,
+}
+
+impl GroupLayout {
+    /// Creates the layout for `n` processes with `(x,x)`-live objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GroupError::UnknownProcess`] if `n == 0` or `n > 64`, and
+    /// uses the same error for a degenerate `x` (`x == 0` or `x > n` is a
+    /// configuration error: an `(x,x)`-live object with `x > n` is just an
+    /// `(n,n)` one, and `x = 0` provides nothing).
+    pub fn new(n: usize, x: usize) -> Result<Self, GroupError> {
+        if n == 0 || n > 64 {
+            return Err(GroupError::UnknownProcess { pid: n });
+        }
+        if x == 0 || x > n {
+            return Err(GroupError::UnknownProcess { pid: x });
+        }
+        Ok(GroupLayout { n, x })
+    }
+
+    /// Total number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Size bound of each group (the `x` of the `(x,x)`-live objects).
+    pub fn x(&self) -> usize {
+        self.x
+    }
+
+    /// Number of groups `m = ⌈n/x⌉`.
+    pub fn m(&self) -> usize {
+        self.n.div_ceil(self.x)
+    }
+
+    /// The (1-based) group of process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ≥ n`.
+    pub fn group_of(&self, pid: usize) -> usize {
+        assert!(pid < self.n, "pid {pid} out of range (n = {})", self.n);
+        pid / self.x + 1
+    }
+
+    /// The member set of (1-based) group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not in `1..=m`.
+    pub fn members(&self, g: usize) -> ProcessSet {
+        assert!(g >= 1 && g <= self.m(), "group {g} out of range (m = {})", self.m());
+        let start = (g - 1) * self.x;
+        let end = (start + self.x).min(self.n);
+        ProcessSet::from_indices(start..end)
+    }
+
+    /// Iterates over `(group, members)` pairs in group order.
+    pub fn groups(&self) -> impl Iterator<Item = (usize, ProcessSet)> + '_ {
+        (1..=self.m()).map(move |g| (g, self.members(g)))
+    }
+
+    /// The first (most important) group containing any process of `set`,
+    /// or `None` if `set` is empty. This is the `y` of the paper's
+    /// asymmetric termination property.
+    pub fn first_group_of(&self, set: ProcessSet) -> Option<usize> {
+        set.iter().map(|p: ProcessId| self.group_of(p.index())).min()
+    }
+}
+
+impl std::fmt::Display for GroupLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} processes in {} group(s) of ≤ {}", self.n, self.m(), self.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_counts() {
+        let l = GroupLayout::new(10, 3).unwrap();
+        assert_eq!(l.m(), 4);
+        assert_eq!(l.members(1), ProcessSet::from_indices([0, 1, 2]));
+        assert_eq!(l.members(4), ProcessSet::from_indices([9]));
+        assert_eq!(l.n(), 10);
+        assert_eq!(l.x(), 3);
+    }
+
+    #[test]
+    fn exact_division() {
+        let l = GroupLayout::new(6, 3).unwrap();
+        assert_eq!(l.m(), 2);
+        assert_eq!(l.members(2).len(), 3);
+    }
+
+    #[test]
+    fn x_equals_n_single_group() {
+        let l = GroupLayout::new(4, 4).unwrap();
+        assert_eq!(l.m(), 1);
+        assert_eq!(l.members(1).len(), 4);
+    }
+
+    #[test]
+    fn x_equals_one_singleton_groups() {
+        let l = GroupLayout::new(3, 1).unwrap();
+        assert_eq!(l.m(), 3);
+        for g in 1..=3 {
+            assert_eq!(l.members(g).len(), 1);
+        }
+    }
+
+    #[test]
+    fn group_of_matches_members() {
+        let l = GroupLayout::new(7, 2).unwrap();
+        for pid in 0..7 {
+            let g = l.group_of(pid);
+            assert!(l.members(g).contains(ProcessId::new(pid)));
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(GroupLayout::new(0, 1).is_err());
+        assert!(GroupLayout::new(65, 1).is_err());
+        assert!(GroupLayout::new(4, 0).is_err());
+        assert!(GroupLayout::new(4, 5).is_err());
+    }
+
+    #[test]
+    fn first_group_of_picks_minimum() {
+        let l = GroupLayout::new(6, 2).unwrap(); // groups {0,1},{2,3},{4,5}
+        assert_eq!(l.first_group_of(ProcessSet::from_indices([4, 3])), Some(2));
+        assert_eq!(l.first_group_of(ProcessSet::from_indices([5])), Some(3));
+        assert_eq!(l.first_group_of(ProcessSet::EMPTY), None);
+    }
+
+    #[test]
+    fn groups_iterator_covers_all_processes() {
+        let l = GroupLayout::new(9, 4).unwrap();
+        let mut all = ProcessSet::new();
+        for (_, members) in l.groups() {
+            all = all.union(members);
+        }
+        assert_eq!(all, ProcessSet::first_n(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn group_of_out_of_range_panics() {
+        let l = GroupLayout::new(4, 2).unwrap();
+        let _ = l.group_of(4);
+    }
+
+    #[test]
+    fn display_renders() {
+        let l = GroupLayout::new(5, 2).unwrap();
+        assert!(l.to_string().contains("3 group(s)"));
+    }
+}

@@ -1,0 +1,481 @@
+//! Group-based asymmetric consensus as an `apc-model` program
+//! (Figure 5, model form).
+//!
+//! Every shared-memory access of Figure 5 — including the arbiter
+//! sub-protocol of Figure 4, inlined — is one atomic event, so small
+//! configurations can be explored exhaustively. The paper's two tasks are
+//! sequenced (`T1` then `T2`): `T2` is read-only, so sequencing preserves
+//! all safety properties, and Lemma 10 shows `T1` terminates exactly under
+//! the asymmetric progress condition, so the guaranteed termination cases
+//! are preserved as well. (The real implementation additionally interleaves
+//! the `T2` early return.)
+
+use apc_model::{
+    MaybeParticipant, ObjectId, Op, ProcessSet, Program, ProgramAction, System, SystemBuilder,
+    Value,
+};
+
+use crate::arbiter::model::{role_value, value_role, ArbiterObjects};
+use crate::arbiter::Role;
+use crate::group::GroupLayout;
+
+/// Object ids of a complete group-consensus instance in a model system.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroupObjects {
+    /// `GXCONS[g]` at index `g-1`: the per-group `(x,x)`-live consensus.
+    pub gxcons: Vec<ObjectId>,
+    /// `VAL[g]` at index `g-1`.
+    pub val: Vec<ObjectId>,
+    /// `ARB_VAL[g]` at index `g-1`.
+    pub arb_val: Vec<ObjectId>,
+    /// `ARBITER[g]` at index `g-1` (length `m-1`).
+    pub arbiters: Vec<ArbiterObjects>,
+}
+
+impl GroupObjects {
+    /// Adds all shared objects of Figure 5 for the given layout.
+    pub fn add_to(builder: &mut SystemBuilder, layout: GroupLayout) -> Self {
+        let m = layout.m();
+        let gxcons = (1..=m)
+            .map(|g| builder.add_wait_free_consensus(layout.members(g)))
+            .collect();
+        let val = (0..m).map(|_| builder.add_register(Value::Bot)).collect();
+        let arb_val = (0..m).map(|_| builder.add_register(Value::Bot)).collect();
+        let arbiters = (1..m)
+            .map(|g| ArbiterObjects::add_to(builder, layout.members(g)))
+            .collect();
+        GroupObjects { gxcons, val, arb_val, arbiters }
+    }
+}
+
+/// One process of Figure 5: `propose(v)`, then decide `ARB_VAL[1]`.
+///
+/// States are named after the value that *arrives next*: e.g. in
+/// `OwnerGotGuestFlag` the pending operation is the read of `PART[guest]`,
+/// whose result the next `resume` receives.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroupProgram {
+    objs: GroupObjects,
+    layout: GroupLayout,
+    pid: u8,
+    proposal: u32,
+    /// My group (1-based); the `y` of the paper.
+    y: u8,
+    /// The value being carried into the next `ARB_VAL` write.
+    carried: Value,
+    /// Current arbitration level: `y` during competition #1, then
+    /// `y-1 .. 1` during competition #2.
+    level: u8,
+    state: GState,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum GState {
+    /// Nothing issued yet; next: propose to `GXCONS[y]` (line 02).
+    Start,
+    /// Awaiting the group decision from `GXCONS[y]`.
+    GotGroupDecision,
+    /// Awaiting the `VAL[y]` write acknowledgement (line 02).
+    WroteVal,
+    /// Awaiting the `PART[owner]` write (Figure 4 line 01, owner side).
+    OwnerWrotePart,
+    /// Awaiting the read of `PART[guest]` (Figure 4 line 02).
+    OwnerGotGuestFlag,
+    /// Awaiting the `XCONS` decision (Figure 4 line 02).
+    OwnerGotDecision,
+    /// Awaiting the `WINNER` write (Figure 4 line 03).
+    OwnerWroteWinner,
+    /// Awaiting the final read of `WINNER` (Figure 4 line 06): resolves
+    /// competition #1.
+    Comp1GotWinner,
+    /// Awaiting the read of `ARB_VAL[y+1]` (line 07; spins while `⊥`).
+    Comp1GotNext,
+    /// Awaiting the `ARB_VAL[y]` write (lines 03/06/07).
+    WroteArbValComp1,
+    /// Awaiting the `PART[guest]` write at `level` (Figure 4 line 01).
+    GuestWrotePart,
+    /// Awaiting the read of `PART[owner]` at `level` (Figure 4 line 04).
+    GuestGotOwnerFlag,
+    /// Awaiting a read of `WINNER` at `level` (line 04 wait; spins on `⊥`).
+    GuestAwaitWinner,
+    /// Awaiting the `WINNER ← guest` write (line 04 else-branch).
+    GuestWroteWinner,
+    /// Awaiting the read-back of `WINNER` after writing it.
+    GuestGotWinner,
+    /// Awaiting the read of `ARB_VAL[level+1]` (line 14; spins while `⊥`).
+    GotSourceFromArbVal,
+    /// Awaiting the read of `VAL[level]` (line 15; spins while `⊥`).
+    GotSourceFromVal,
+    /// Awaiting the `ARB_VAL[level]` write (lines 14/15).
+    WroteArbValComp2,
+    /// Task T2: awaiting reads of `ARB_VAL[1]`; decides when non-`⊥`.
+    Final,
+}
+
+impl GroupProgram {
+    /// A participant proposing `proposal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid ≥ n`.
+    pub fn new(objs: GroupObjects, layout: GroupLayout, pid: usize, proposal: u32) -> Self {
+        let y = layout.group_of(pid) as u8;
+        GroupProgram {
+            objs,
+            layout,
+            pid: pid as u8,
+            proposal,
+            y,
+            carried: Value::Bot,
+            level: y,
+            state: GState::Start,
+        }
+    }
+
+    fn m(&self) -> u8 {
+        self.layout.m() as u8
+    }
+
+    fn arb(&self, level: u8) -> &ArbiterObjects {
+        &self.objs.arbiters[(level - 1) as usize]
+    }
+
+    fn arb_val(&self, g: u8) -> ObjectId {
+        self.objs.arb_val[(g - 1) as usize]
+    }
+
+    fn val(&self, g: u8) -> ObjectId {
+        self.objs.val[(g - 1) as usize]
+    }
+
+    fn gxcons(&self, g: u8) -> ObjectId {
+        self.objs.gxcons[(g - 1) as usize]
+    }
+
+    /// After `ARB_VAL[level]` was written: descend a level (competition #2,
+    /// lines 10–18) or move to task T2.
+    fn descend(&mut self) -> ProgramAction {
+        if self.level > 1 {
+            self.level -= 1;
+            self.state = GState::GuestWrotePart;
+            ProgramAction::Invoke(Op::Write(self.arb(self.level).part_guest, Value::Bit(true)))
+        } else {
+            self.state = GState::Final;
+            ProgramAction::Invoke(Op::Read(self.arb_val(1)))
+        }
+    }
+
+    /// The winner at `level` is known during competition #2: read the value
+    /// source (lines 13–15).
+    fn comp2_read_source(&mut self, winner: Role) -> ProgramAction {
+        match winner {
+            Role::Guest => {
+                self.state = GState::GotSourceFromArbVal;
+                ProgramAction::Invoke(Op::Read(self.arb_val(self.level + 1)))
+            }
+            Role::Owner => {
+                self.state = GState::GotSourceFromVal;
+                ProgramAction::Invoke(Op::Read(self.val(self.level)))
+            }
+        }
+    }
+}
+
+impl Program for GroupProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        use GState::*;
+        match self.state {
+            Start => {
+                // (02) GXCONS[y].propose(v_i).
+                self.state = GotGroupDecision;
+                ProgramAction::Invoke(Op::Propose(self.gxcons(self.y), Value::Num(self.proposal)))
+            }
+            GotGroupDecision => {
+                // (02) VAL[y] ← the group decision.
+                self.carried = last.expect("propose returns the group decision");
+                self.state = WroteVal;
+                ProgramAction::Invoke(Op::Write(self.val(self.y), self.carried))
+            }
+            WroteVal => {
+                if self.y == self.m() {
+                    // (03) ARB_VAL[m] ← VAL[m].
+                    self.state = WroteArbValComp1;
+                    ProgramAction::Invoke(Op::Write(self.arb_val(self.y), self.carried))
+                } else {
+                    // (04) ARBITER[y].arbitrate(owner): Figure 4 line 01.
+                    self.state = OwnerWrotePart;
+                    ProgramAction::Invoke(Op::Write(self.arb(self.y).part_owner, Value::Bit(true)))
+                }
+            }
+            OwnerWrotePart => {
+                // Figure 4 line 02: read PART[guest].
+                self.state = OwnerGotGuestFlag;
+                ProgramAction::Invoke(Op::Read(self.arb(self.y).part_guest))
+            }
+            OwnerGotGuestFlag => {
+                let guests = last.expect("read returns").expect_bit("PART[guest]");
+                self.state = OwnerGotDecision;
+                ProgramAction::Invoke(Op::Propose(self.arb(self.y).xcons, Value::Bit(guests)))
+            }
+            OwnerGotDecision => {
+                // Figure 4 line 03: WINNER ← guest / owner.
+                let guest_win = last.expect("propose returns").expect_bit("XCONS decision");
+                let w = if guest_win { Role::Guest } else { Role::Owner };
+                self.state = OwnerWroteWinner;
+                ProgramAction::Invoke(Op::Write(self.arb(self.y).winner, role_value(w)))
+            }
+            OwnerWroteWinner => {
+                // Figure 4 line 06: read WINNER back.
+                self.state = Comp1GotWinner;
+                ProgramAction::Invoke(Op::Read(self.arb(self.y).winner))
+            }
+            Comp1GotWinner => {
+                let w = value_role(last.expect("read returns"));
+                match w {
+                    Role::Owner => {
+                        // (06) ARB_VAL[y] ← VAL[y] (we hold the value).
+                        self.state = WroteArbValComp1;
+                        ProgramAction::Invoke(Op::Write(self.arb_val(self.y), self.carried))
+                    }
+                    Role::Guest => {
+                        // (07) ARB_VAL[y] ← ARB_VAL[y+1].
+                        self.state = Comp1GotNext;
+                        ProgramAction::Invoke(Op::Read(self.arb_val(self.y + 1)))
+                    }
+                }
+            }
+            Comp1GotNext => {
+                let v = last.expect("read returns");
+                if v.is_bot() {
+                    // Non-⊥ by the Lemma 10 argument; spin defensively (the
+                    // exhaustive fairness checks prove the spin is finite).
+                    ProgramAction::Invoke(Op::Read(self.arb_val(self.y + 1)))
+                } else {
+                    self.carried = v;
+                    self.state = WroteArbValComp1;
+                    ProgramAction::Invoke(Op::Write(self.arb_val(self.y), self.carried))
+                }
+            }
+            WroteArbValComp1 => self.descend(),
+            GuestWrotePart => {
+                // Figure 4 line 04: read PART[owner].
+                self.state = GuestGotOwnerFlag;
+                ProgramAction::Invoke(Op::Read(self.arb(self.level).part_owner))
+            }
+            GuestGotOwnerFlag => {
+                let owners = last.expect("read returns").expect_bit("PART[owner]");
+                if owners {
+                    // wait(WINNER ≠ ⊥).
+                    self.state = GuestAwaitWinner;
+                    ProgramAction::Invoke(Op::Read(self.arb(self.level).winner))
+                } else {
+                    // WINNER ← guest.
+                    self.state = GuestWroteWinner;
+                    ProgramAction::Invoke(Op::Write(
+                        self.arb(self.level).winner,
+                        role_value(Role::Guest),
+                    ))
+                }
+            }
+            GuestAwaitWinner => {
+                let v = last.expect("read returns");
+                if v.is_bot() {
+                    ProgramAction::Invoke(Op::Read(self.arb(self.level).winner))
+                } else {
+                    self.comp2_read_source(value_role(v))
+                }
+            }
+            GuestWroteWinner => {
+                // Figure 4 line 06: read WINNER back.
+                self.state = GuestGotWinner;
+                ProgramAction::Invoke(Op::Read(self.arb(self.level).winner))
+            }
+            GuestGotWinner => {
+                let w = value_role(last.expect("read returns"));
+                self.comp2_read_source(w)
+            }
+            GotSourceFromArbVal => {
+                let v = last.expect("read returns");
+                if v.is_bot() {
+                    ProgramAction::Invoke(Op::Read(self.arb_val(self.level + 1)))
+                } else {
+                    self.carried = v;
+                    self.state = WroteArbValComp2;
+                    ProgramAction::Invoke(Op::Write(self.arb_val(self.level), self.carried))
+                }
+            }
+            GotSourceFromVal => {
+                let v = last.expect("read returns");
+                if v.is_bot() {
+                    ProgramAction::Invoke(Op::Read(self.val(self.level)))
+                } else {
+                    self.carried = v;
+                    self.state = WroteArbValComp2;
+                    ProgramAction::Invoke(Op::Write(self.arb_val(self.level), self.carried))
+                }
+            }
+            WroteArbValComp2 => self.descend(),
+            Final => {
+                let v = last.expect("read returns");
+                if v.is_bot() {
+                    ProgramAction::Invoke(Op::Read(self.arb_val(1)))
+                } else {
+                    ProgramAction::Decide(v)
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "group-consensus"
+    }
+}
+
+/// Builds a group-consensus model system where `participants` propose
+/// (process `i` proposes `100 + i`) and the rest stay absent.
+pub fn group_system(
+    layout: GroupLayout,
+    participants: ProcessSet,
+) -> (System<MaybeParticipant<GroupProgram>>, GroupObjects) {
+    let mut builder = SystemBuilder::new(layout.n());
+    let objs = GroupObjects::add_to(&mut builder, layout);
+    let system = builder.build(|pid| {
+        if participants.contains(pid) {
+            MaybeParticipant::Present(GroupProgram::new(
+                objs.clone(),
+                layout,
+                pid.index(),
+                100 + pid.index() as u32,
+            ))
+        } else {
+            MaybeParticipant::Absent
+        }
+    });
+    (system, objs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_model::explore::{Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn};
+    use apc_model::fairness::{fair_termination, StateGraph};
+    use apc_model::{ProcessId, Runner, Schedule};
+
+    fn proposals(participants: &[usize]) -> Vec<Value> {
+        participants.iter().map(|&i| Value::Num(100 + i as u32)).collect()
+    }
+
+    #[test]
+    fn solo_group1_process_decides_its_value() {
+        let layout = GroupLayout::new(4, 2).unwrap();
+        let (sys, _) = group_system(layout, ProcessSet::from_indices([0]));
+        let mut runner = Runner::new(sys);
+        // Absent processes are never scheduled; only p0's termination matters.
+        runner.run_until_terminated(&Schedule::solo(ProcessId::new(0), 1), 500);
+        assert_eq!(runner.system().decision(ProcessId::new(0)), Some(Value::Num(100)));
+    }
+
+    #[test]
+    fn solo_last_group_process_decides_its_value() {
+        let layout = GroupLayout::new(4, 2).unwrap();
+        let (sys, _) = group_system(layout, ProcessSet::from_indices([3]));
+        let mut runner = Runner::new(sys);
+        runner.run_until_terminated(&Schedule::solo(ProcessId::new(3), 1), 500);
+        assert_eq!(runner.system().decision(ProcessId::new(3)), Some(Value::Num(103)));
+    }
+
+    /// Exhaustive agreement + validity for (n,x) = (3,1): three singleton
+    /// groups, all participating — every schedule.
+    #[test]
+    fn exhaustive_agreement_three_singleton_groups() {
+        let layout = GroupLayout::new(3, 1).unwrap();
+        let (sys, _) = group_system(layout, ProcessSet::first_n(3));
+        let explorer = Explorer::new(ExploreConfig::default().with_max_states(3_000_000));
+        let result = explorer.explore(
+            &sys,
+            &[&Agreement, &ValidityIn::new(proposals(&[0, 1, 2])), &NoFaults],
+        );
+        assert!(result.ok(), "violations: {:?}", result.violations.first());
+        assert!(!result.truncated, "state space must be explored fully");
+    }
+
+    /// Exhaustive agreement for (4,2): two groups of two (bounded at 1.2M
+    /// distinct states to bound memory; agreement is checked at every
+    /// visited state).
+    #[test]
+    fn exhaustive_agreement_two_groups_of_two() {
+        let layout = GroupLayout::new(4, 2).unwrap();
+        let (sys, _) = group_system(layout, ProcessSet::first_n(4));
+        let explorer = Explorer::new(ExploreConfig::default().with_max_states(1_200_000));
+        let result = explorer.explore(
+            &sys,
+            &[&Agreement, &ValidityIn::new(proposals(&[0, 1, 2, 3])), &NoFaults],
+        );
+        assert!(result.ok(), "violations: {:?}", result.violations.first());
+    }
+
+    /// Lemma 10 (asymmetric termination), exhaustively: participants from
+    /// the first participating group onwards always decide under fairness.
+    #[test]
+    fn fair_termination_all_participate_3x1() {
+        let layout = GroupLayout::new(3, 1).unwrap();
+        let (sys, _) = group_system(layout, ProcessSet::first_n(3));
+        let graph = StateGraph::build(&sys, 3_000_000);
+        let verdict = fair_termination(&graph, |_| true);
+        assert!(verdict.holds(), "{verdict:?}");
+    }
+
+    /// Lemma 10 with a non-participating first group: y = 2 is the first
+    /// participating group; all participants must still decide.
+    #[test]
+    fn fair_termination_suffix_participation() {
+        let layout = GroupLayout::new(3, 1).unwrap();
+        let (sys, _) = group_system(layout, ProcessSet::from_indices([1, 2]));
+        let graph = StateGraph::build(&sys, 3_000_000);
+        let verdict = fair_termination(&graph, |pid| pid.index() >= 1);
+        assert!(verdict.holds(), "{verdict:?}");
+    }
+
+    /// Only the last group participates.
+    #[test]
+    fn fair_termination_last_group_only() {
+        let layout = GroupLayout::new(4, 2).unwrap();
+        let (sys, _) = group_system(layout, ProcessSet::from_indices([2, 3]));
+        let graph = StateGraph::build(&sys, 3_000_000);
+        let verdict = fair_termination(&graph, |pid| pid.index() >= 2);
+        assert!(verdict.holds(), "{verdict:?}");
+    }
+
+    /// The asymmetric progress condition's crash caveat: if the whole first
+    /// participating group crashes mid-protocol, later groups may block.
+    /// (This is permitted — the condition requires a *correct* process in
+    /// group y.) We verify the complement: a crash of a group-2 process
+    /// never blocks group-1 processes.
+    #[test]
+    fn group1_untouched_by_group2_crash() {
+        let layout = GroupLayout::new(3, 1).unwrap();
+        let (mut sys, _) = group_system(layout, ProcessSet::first_n(3));
+        // p1 (group 2) takes two steps then crashes.
+        sys.step(ProcessId::new(1));
+        sys.step(ProcessId::new(1));
+        sys.crash(ProcessId::new(1));
+        let graph = StateGraph::build(&sys, 3_000_000);
+        let verdict = fair_termination(&graph, |pid| pid.index() == 0);
+        assert!(verdict.holds(), "group 1 must always decide: {verdict:?}");
+    }
+
+    #[test]
+    fn random_schedules_agree() {
+        let layout = GroupLayout::new(6, 2).unwrap();
+        for seed in 0..20 {
+            let (sys, _) = group_system(layout, ProcessSet::first_n(6));
+            let mut runner = Runner::new(sys);
+            let schedule = Schedule::random(ProcessSet::first_n(6), 4000, seed);
+            runner.run(&schedule);
+            let decisions = runner.system().decisions();
+            for ((_, a), (_, b)) in decisions.iter().zip(decisions.iter().skip(1)) {
+                assert_eq!(a, b, "agreement under seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # `apc-core` — asymmetric progress conditions
+//!
+//! The primary contribution of *On Asymmetric Progress Conditions*
+//! (Imbs, Raynal, Taubenfeld, PODC 2010), as a Rust library:
+//!
+//! * [`liveness`] — the `(y,x)`-liveness specification: an object accessible
+//!   by `y ≤ n` processes that is wait-free for `x` of them and
+//!   obstruction-free for the remaining `y − x`, together with the
+//!   consensus-number arithmetic of Theorem 3 and the hierarchy of
+//!   Corollary 1.
+//! * [`consensus`] — consensus objects under every symmetric and asymmetric
+//!   progress condition: wait-free consensus from compare-and-swap,
+//!   obstruction-free consensus from registers (round-based, via
+//!   adopt-commit), and the combined [`consensus::AsymmetricConsensus`]
+//!   `(y,x)`-live object.
+//! * [`arbiter`] — the paper's new **arbiter** object type (§6.1, Figure 4):
+//!   a crash-tolerant owner/guest arbitration object, implemented from
+//!   registers and one owners-only consensus object, in both real-thread and
+//!   model form.
+//! * [`group`] — **group-based asymmetric consensus** (§6.3, Figure 5): `n`
+//!   processes partitioned into `m = ⌈n/x⌉` ordered groups reach consensus
+//!   using `(x,x)`-live objects and a cascade of arbiters, with the paper's
+//!   asymmetric progress condition.
+//!
+//! Every algorithm exists twice: a **real** implementation over threads and
+//! atomics (`apc-registers` substrate), and a **model** implementation as an
+//! `apc-model` program whose small configurations are verified *exhaustively*
+//! (every schedule, every crash pattern within budget). The model form is
+//! how this repository reproduces the paper's lemmas; the real form is what
+//! a downstream user deploys.
+//!
+//! ## Example: a `(y,x)`-live consensus object across threads
+//!
+//! ```
+//! use apc_core::consensus::{AsymmetricConsensus, Consensus};
+//! use apc_core::liveness::Liveness;
+//!
+//! // 4 ports, wait-freedom for processes 0 and 1.
+//! let cons: AsymmetricConsensus<u64> = AsymmetricConsensus::new(Liveness::new_first_n(4, 2));
+//! std::thread::scope(|s| {
+//!     for pid in 0..4usize {
+//!         let cons = &cons;
+//!         s.spawn(move || {
+//!             let decided = cons.propose(pid, 100 + pid as u64).unwrap();
+//!             assert!((100..104).contains(&decided));
+//!         });
+//!     }
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod consensus;
+pub mod error;
+pub mod group;
+pub mod liveness;
+
+pub use error::{ArbiterError, ConsensusError, GroupError, SpecError};
+pub use liveness::Liveness;

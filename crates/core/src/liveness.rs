@@ -1,0 +1,301 @@
+//! The `(y,x)`-liveness specification and its hierarchy.
+//!
+//! A `(y,x)`-live object (§2 of the paper) can be accessed by a set `Y` of
+//! `y ≤ n` processes (its *ports*) and guarantees:
+//!
+//! * **wait-free termination** for the processes of `X ⊆ Y`, `|X| = x`, and
+//! * **obstruction-free termination** for the processes of `Y \ X`.
+//!
+//! `(n,n)`-liveness is plain wait-freedom; `(n,0)`-liveness is plain
+//! obstruction-freedom. Theorem 3 shows that for `x < n` the `(n,x)`-live
+//! consensus object has consensus number exactly `x + 1`, yielding the
+//! hierarchy of Corollary 1:
+//!
+//! ```text
+//! (n,0) ≺ (n,1) ≺ … ≺ (n,x) ≺ … ≺ (n,n−1) ≃ (n,n)
+//! ```
+//!
+//! [`Liveness`] carries the two process sets; [`Liveness::consensus_number`]
+//! implements Theorem 3's arithmetic; [`Liveness::hierarchy_cmp`] implements
+//! the `≺`/`≃` relation between specs over the same port count.
+
+use std::fmt;
+
+use apc_model::{ProcessId, ProcessSet};
+
+use crate::error::SpecError;
+
+/// A `(y,x)`-liveness specification: port set `Y` and wait-free set `X ⊆ Y`.
+///
+/// # Examples
+///
+/// ```
+/// use apc_core::liveness::Liveness;
+///
+/// let spec = Liveness::new_first_n(5, 2); // (5,2)-live
+/// assert_eq!(spec.y(), 5);
+/// assert_eq!(spec.x(), 2);
+/// assert!(!spec.is_wait_free());
+/// assert_eq!(spec.consensus_number(), 3); // Theorem 3: x + 1
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Liveness {
+    ports: ProcessSet,
+    wait_free: ProcessSet,
+}
+
+impl Liveness {
+    /// Creates a specification from explicit port and wait-free sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::WaitFreeNotInPorts`] if `wait_free ⊄ ports`, and
+    /// [`SpecError::EmptyPorts`] if `ports` is empty.
+    pub fn new(ports: ProcessSet, wait_free: ProcessSet) -> Result<Self, SpecError> {
+        if ports.is_empty() {
+            return Err(SpecError::EmptyPorts);
+        }
+        if !wait_free.is_subset(ports) {
+            return Err(SpecError::WaitFreeNotInPorts);
+        }
+        Ok(Liveness { ports, wait_free })
+    }
+
+    /// The `(y,x)` spec over processes `{0..y}` with wait-free prefix
+    /// `{0..x}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x > y`, `y == 0`, or `y > 64`.
+    pub fn new_first_n(y: usize, x: usize) -> Self {
+        assert!(x <= y, "x = {x} must be at most y = {y}");
+        Liveness::new(ProcessSet::first_n(y), ProcessSet::first_n(x))
+            .expect("prefix sets are well-formed")
+    }
+
+    /// A wait-free (`(y,y)`-live) spec over the given ports.
+    pub fn wait_free(ports: ProcessSet) -> Result<Self, SpecError> {
+        Liveness::new(ports, ports)
+    }
+
+    /// An obstruction-free (`(y,0)`-live) spec over the given ports.
+    pub fn obstruction_free(ports: ProcessSet) -> Result<Self, SpecError> {
+        Liveness::new(ports, ProcessSet::EMPTY)
+    }
+
+    /// The port set `Y`.
+    pub fn ports(&self) -> ProcessSet {
+        self.ports
+    }
+
+    /// The wait-free set `X`.
+    pub fn wait_free_set(&self) -> ProcessSet {
+        self.wait_free
+    }
+
+    /// The guest set `Y \ X` (obstruction-free processes).
+    pub fn guests(&self) -> ProcessSet {
+        self.ports.difference(self.wait_free)
+    }
+
+    /// `y = |Y|`: the size of the object.
+    pub fn y(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// `x = |X|`: the liveness degree of the object.
+    pub fn x(&self) -> usize {
+        self.wait_free.len()
+    }
+
+    /// Whether `pid` is a port.
+    pub fn is_port(&self, pid: usize) -> bool {
+        pid < 64 && self.ports.contains(ProcessId::new(pid))
+    }
+
+    /// Whether `pid` enjoys wait-freedom.
+    pub fn is_wait_free_for(&self, pid: usize) -> bool {
+        pid < 64 && self.wait_free.contains(ProcessId::new(pid))
+    }
+
+    /// Whether this is plain wait-freedom (`x = y`).
+    pub fn is_wait_free(&self) -> bool {
+        self.wait_free == self.ports
+    }
+
+    /// Whether this is plain obstruction-freedom (`x = 0`).
+    pub fn is_obstruction_free_only(&self) -> bool {
+        self.wait_free.is_empty()
+    }
+
+    /// The consensus number of a consensus object with this liveness
+    /// (Theorem 3 and §4).
+    ///
+    /// * `x = y` (wait-free): consensus number `y` (Herlihy).
+    /// * `x = y − 1`: consensus number `y` — the paper shows
+    ///   `(n,n−1) ≃ (n,n)` (both have consensus number `n`).
+    /// * `x < y − 1`: consensus number `x + 1` (Theorem 3).
+    pub fn consensus_number(&self) -> usize {
+        let (y, x) = (self.y(), self.x());
+        if x + 1 >= y {
+            y
+        } else {
+            x + 1
+        }
+    }
+
+    /// The hierarchy relation of Corollary 1, comparing two specs **with the
+    /// same port count** by constructive power:
+    ///
+    /// * `Less` — `self ≺ other` (other can implement self, not vice versa);
+    /// * `Equal` — `self ≃ other` (inter-implementable, e.g. `(n,n−1)` and
+    ///   `(n,n)`);
+    /// * `Greater` — `other ≺ self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port counts differ (the corollary compares `(n,·)`
+    /// objects only).
+    pub fn hierarchy_cmp(&self, other: &Liveness) -> std::cmp::Ordering {
+        assert_eq!(
+            self.y(),
+            other.y(),
+            "Corollary 1 compares (n,x)-live objects over the same n"
+        );
+        self.consensus_number().cmp(&other.consensus_number())
+    }
+
+    /// Restricts the object to fewer ports (used in Theorem 3's proof:
+    /// "given an `(n,x)`-live object it is possible to restrict it to obtain
+    /// an `(x+1,x)`-live object").
+    ///
+    /// The new port set is `ports ∩ keep`; the new wait-free set is
+    /// `wait_free ∩ keep`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::EmptyPorts`] if the restriction removes all
+    /// ports.
+    pub fn restrict(&self, keep: ProcessSet) -> Result<Liveness, SpecError> {
+        Liveness::new(self.ports.intersection(keep), self.wait_free.intersection(keep))
+    }
+}
+
+impl fmt::Display for Liveness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({},{})-live [ports {}, wait-free {}]",
+            self.y(),
+            self.x(),
+            self.ports,
+            self.wait_free
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn new_first_n_builds_prefixes() {
+        let spec = Liveness::new_first_n(4, 2);
+        assert_eq!(spec.y(), 4);
+        assert_eq!(spec.x(), 2);
+        assert!(spec.is_port(3));
+        assert!(!spec.is_port(4));
+        assert!(spec.is_wait_free_for(1));
+        assert!(!spec.is_wait_free_for(2));
+        assert_eq!(spec.guests().len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        let ports = ProcessSet::from_indices([0, 1]);
+        let wf = ProcessSet::from_indices([2]);
+        assert_eq!(Liveness::new(ports, wf), Err(SpecError::WaitFreeNotInPorts));
+        assert_eq!(
+            Liveness::new(ProcessSet::EMPTY, ProcessSet::EMPTY),
+            Err(SpecError::EmptyPorts)
+        );
+    }
+
+    #[test]
+    fn wait_free_and_obstruction_free_constructors() {
+        let ports = ProcessSet::first_n(3);
+        let wf = Liveness::wait_free(ports).unwrap();
+        assert!(wf.is_wait_free());
+        assert!(!wf.is_obstruction_free_only());
+        let of = Liveness::obstruction_free(ports).unwrap();
+        assert!(of.is_obstruction_free_only());
+        assert!(!of.is_wait_free());
+    }
+
+    #[test]
+    fn consensus_numbers_follow_theorem_3() {
+        // (n,x)-live with x < n-1 has consensus number x+1.
+        assert_eq!(Liveness::new_first_n(5, 0).consensus_number(), 1);
+        assert_eq!(Liveness::new_first_n(5, 1).consensus_number(), 2);
+        assert_eq!(Liveness::new_first_n(5, 2).consensus_number(), 3);
+        assert_eq!(Liveness::new_first_n(5, 3).consensus_number(), 4);
+        // (n,n-1) ≃ (n,n): both have consensus number n.
+        assert_eq!(Liveness::new_first_n(5, 4).consensus_number(), 5);
+        assert_eq!(Liveness::new_first_n(5, 5).consensus_number(), 5);
+    }
+
+    #[test]
+    fn hierarchy_matches_corollary_1() {
+        // (n,0) ≺ (n,1) ≺ … ≺ (n,n−1) ≃ (n,n).
+        let n = 6;
+        for x in 0..n - 1 {
+            let lo = Liveness::new_first_n(n, x);
+            let hi = Liveness::new_first_n(n, x + 1);
+            assert_eq!(lo.hierarchy_cmp(&hi), Ordering::Less, "(6,{x}) ≺ (6,{})", x + 1);
+        }
+        let top_minus = Liveness::new_first_n(n, n - 1);
+        let top = Liveness::new_first_n(n, n);
+        assert_eq!(top_minus.hierarchy_cmp(&top), Ordering::Equal, "(n,n−1) ≃ (n,n)");
+        assert_eq!(top.hierarchy_cmp(&top_minus), Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "same n")]
+    fn hierarchy_cmp_rejects_different_port_counts() {
+        let a = Liveness::new_first_n(3, 1);
+        let b = Liveness::new_first_n(4, 1);
+        let _ = a.hierarchy_cmp(&b);
+    }
+
+    #[test]
+    fn restrict_implements_theorem_3_construction() {
+        // (n,x)-live restricted to X ∪ {one guest} is (x+1,x)-live.
+        let spec = Liveness::new_first_n(6, 2); // wait-free {0,1}, guests {2..5}
+        let keep = ProcessSet::from_indices([0, 1, 4]);
+        let restricted = spec.restrict(keep).unwrap();
+        assert_eq!(restricted.y(), 3);
+        assert_eq!(restricted.x(), 2);
+        assert_eq!(restricted.consensus_number(), 3);
+    }
+
+    #[test]
+    fn restrict_to_nothing_fails() {
+        let spec = Liveness::new_first_n(3, 1);
+        assert_eq!(spec.restrict(ProcessSet::from_indices([10])), Err(SpecError::EmptyPorts));
+    }
+
+    #[test]
+    fn display_renders() {
+        let spec = Liveness::new_first_n(3, 1);
+        let s = spec.to_string();
+        assert!(s.contains("(3,1)-live"), "{s}");
+    }
+
+    #[test]
+    fn out_of_range_pid_is_not_port() {
+        let spec = Liveness::new_first_n(3, 1);
+        assert!(!spec.is_port(100));
+        assert!(!spec.is_wait_free_for(100));
+    }
+}

@@ -1,0 +1,28 @@
+//! # `apc-hierarchy` — the paper's theorems, executable
+//!
+//! Each module turns one result of *On Asymmetric Progress Conditions* into
+//! runnable machinery with machine-checkable outcomes:
+//!
+//! | module | paper result | outcome artifact |
+//! |--------|--------------|------------------|
+//! | [`theorem1`] | Theorem 1 + Lemmas 3–6 (valence machinery) | bivalent empty runs, decider points, a bivalence-preserving adversary that keeps register-based consensus undecided |
+//! | [`theorem2`] | Theorem 2 (no `(n,x+1)` from `(n,x)`) | [`apc_model::cycle::NonTerminationCertificate`]s from the crash-the-wait-free-set + lockstep adversary |
+//! | [`theorem3`] | Theorem 3 (consensus number `x+1`) | exhaustive verification of the constructive direction, certificates for the negative direction |
+//! | [`theorem4`] | Theorem 4 (no obstruction-free + fault-free consensus from registers) | the round-robin bivalence discipline of Lemma 7, kept alive for a configurable horizon |
+//! | [`corollary1`] | Corollary 1 (the hierarchy) | a verdict table sweeping `x` |
+//!
+//! Positive results are verified **exhaustively** at small `n` (every
+//! schedule, every crash pattern in budget). Impossibility results come in
+//! two strengths: *certificates* (a deterministic schedule that provably
+//! loops forever, found by state-repeat detection) where the adversary is
+//! finite-state, and *bounded evidence* (bivalence maintained for N steps)
+//! where the paper's adversary needs unbounded memory.
+
+#![warn(missing_docs)]
+
+pub mod corollary1;
+pub mod second_strongest;
+pub mod theorem1;
+pub mod theorem2;
+pub mod theorem3;
+pub mod theorem4;

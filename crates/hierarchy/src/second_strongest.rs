@@ -1,0 +1,113 @@
+//! §3.2: on second strongest objects.
+//!
+//! Gafni & Kuznetsov showed that under *symmetric* progress conditions,
+//! `(n−1)`-process wait-free consensus (an `(n−1,n−1)`-live object) is the
+//! second strongest object in an `n`-process system. The paper observes
+//! that asymmetric conditions break this: the `(n,n−1)`-live object —
+//! same number of wait-free ports, but *one extra obstruction-free port* —
+//! is **strictly stronger**: it solves wait-free consensus for all `n`
+//! processes (consensus number `n`), while the `(n−1,n−1)`-live object
+//! cannot even be accessed by process `n`.
+//!
+//! Both halves are made executable here:
+//!
+//! * [`n_minus_one_wait_free_solves_n`] — exhaustive verification that one
+//!   `(n,n−1)`-live base object yields `n`-process consensus (agreement,
+//!   validity, fair termination): the extra guest terminates because the
+//!   `n−1` wait-free ports always finish, leaving it in isolation.
+//! * [`port_limited_object_excludes_a_process`] — the structural gap: an
+//!   `(n−1,n−1)`-live object rejects process `n` outright, so any
+//!   implementation for `n` processes must fall back to registers for it —
+//!   and Theorem 1's adversary handles the rest.
+
+use apc_model::explore::{Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn};
+use apc_model::fairness::{fair_termination, StateGraph};
+use apc_model::programs::ProposeProgram;
+use apc_model::{Fault, ProcessSet, Runner, Schedule, SystemBuilder, Value};
+
+/// Exhaustively verifies that a single `(n,n−1)`-live base object solves
+/// wait-free consensus for `n` processes (the "stronger" half of §3.2).
+/// Returns `(states_explored, verified)`.
+pub fn n_minus_one_wait_free_solves_n(n: usize, window: u8) -> (usize, bool) {
+    assert!(n >= 2, "need at least two processes");
+    let ports = ProcessSet::first_n(n);
+    let wait_free = ProcessSet::first_n(n - 1);
+    let mut builder = SystemBuilder::new(n);
+    let object = builder.add_live_consensus(ports, wait_free, window);
+    let system =
+        builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+
+    let explorer = Explorer::new(
+        ExploreConfig::default().with_max_states(2_000_000).with_crashes(1, ports),
+    );
+    let proposals: Vec<Value> = (0..n).map(|i| Value::Num(i as u32)).collect();
+    let exploration =
+        explorer.explore(&system, &[&Agreement, &ValidityIn::new(proposals), &NoFaults]);
+
+    let graph = StateGraph::build(&system, 2_000_000);
+    let verdict = fair_termination(&graph, |_| true);
+
+    let verified =
+        exploration.ok() && verdict.holds() && !exploration.truncated && !graph.truncated();
+    (exploration.states, verified)
+}
+
+/// The structural gap of the `(n−1,n−1)`-live object: process `n−1`
+/// (0-indexed) is not a port and its proposal faults immediately.
+/// Returns `true` if the exclusion is enforced.
+pub fn port_limited_object_excludes_a_process(n: usize) -> bool {
+    assert!(n >= 2);
+    let ports = ProcessSet::first_n(n - 1); // (n−1, n−1)-live: process n−1 excluded
+    let mut builder = SystemBuilder::new(n);
+    let object = builder.add_live_consensus(ports, ports, 1);
+    let system =
+        builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+    let mut runner = Runner::new(system);
+    runner.run(&Schedule::round_robin(n, 2));
+    matches!(
+        runner.system().first_fault().map(|e| e.fault),
+        Some(Fault::NotAPort)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_n_minus_one_has_consensus_number_n() {
+        // (3,2)-live solves 3-process consensus — exhaustively.
+        let (states, verified) = n_minus_one_wait_free_solves_n(3, 1);
+        assert!(verified, "explored {states} states");
+        // And (2,1)-live solves 2-process consensus.
+        let (_, verified) = n_minus_one_wait_free_solves_n(2, 1);
+        assert!(verified);
+    }
+
+    #[test]
+    fn consensus_number_arithmetic_matches() {
+        use apc_core::liveness::Liveness;
+        // (n,n−1) ≃ (n,n) at the top (both consensus number n), strictly
+        // above (n−1,n−1) which tops out at n−1.
+        for n in 2..10 {
+            let asym = Liveness::new_first_n(n, n - 1);
+            let sym = Liveness::new_first_n(n - 1, n - 1);
+            assert_eq!(asym.consensus_number(), n);
+            assert_eq!(sym.consensus_number(), n - 1);
+            assert!(asym.consensus_number() > sym.consensus_number());
+        }
+    }
+
+    #[test]
+    fn excluded_process_faults() {
+        for n in [2, 3, 5] {
+            assert!(port_limited_object_excludes_a_process(n), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_degenerate_n() {
+        let _ = n_minus_one_wait_free_solves_n(1, 1);
+    }
+}

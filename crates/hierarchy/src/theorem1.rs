@@ -1,0 +1,194 @@
+//! Theorem 1's machinery: valence, deciders, and the bivalence-preserving
+//! adversary (Lemmas 3–6).
+//!
+//! Theorem 1 states that an `(n,1)`-live consensus object cannot be built
+//! from `(n−1,n−1)`-live consensus objects and registers. Its proof engine
+//! is the valence analysis of §3.3–3.4: any implementation whose events are
+//! register accesses can be *steered* by an adversary that always extends
+//! the run to a bivalent successor, so the process that is supposed to be
+//! wait-free never gets to decide.
+//!
+//! This module makes that adversary concrete against the repository's own
+//! register-based consensus protocol
+//! ([`apc_core::consensus::model::RegisterConsensusProgram`]): the adversary
+//! consults the explorer's valence oracle and picks steps that keep the run
+//! bivalent. The paper proves it can do so forever; the demonstration keeps
+//! it alive for a configurable horizon and reports the schedule it built.
+
+use std::fmt;
+
+use apc_core::consensus::model::binary_register_consensus;
+use apc_model::explore::{ExploreConfig, Explorer, Valence};
+use apc_model::{Program, Schedule, ScheduleEvent, System};
+
+/// Outcome of driving the bivalence-preserving adversary.
+#[derive(Clone, Debug)]
+pub struct AdversaryReport {
+    /// Steps executed while maintaining bivalence.
+    pub steps: usize,
+    /// The step horizon that was requested.
+    pub target: usize,
+    /// Whether the final state is still (provably) bivalent.
+    pub still_bivalent: bool,
+    /// The adversarial schedule that was constructed.
+    pub schedule: Schedule,
+}
+
+impl AdversaryReport {
+    /// Whether the adversary met the horizon with bivalence intact.
+    pub fn starved(&self) -> bool {
+        self.steps >= self.target && self.still_bivalent
+    }
+}
+
+impl fmt::Display for AdversaryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bivalence-preserving adversary: {}/{} steps, still bivalent: {}",
+            self.steps, self.target, self.still_bivalent
+        )
+    }
+}
+
+/// Drives the bivalence-preserving scheduling discipline (the `repeat` loop
+/// in Lemma 4's proof) against `system` for up to `target` steps.
+///
+/// At each point the adversary searches for a one-step extension that is
+/// still bivalent (falling back to a short breadth-first search for a
+/// bivalent descendant); if none exists within the oracle's bounds it stops
+/// early.
+pub fn bivalence_adversary<P: Program>(
+    system: System<P>,
+    oracle: ExploreConfig,
+    target: usize,
+) -> AdversaryReport {
+    let explorer = Explorer::new(oracle);
+    let mut state = system;
+    let mut schedule = Schedule::new();
+    if !explorer.valence(&state).is_bivalent() {
+        return AdversaryReport { steps: 0, target, still_bivalent: false, schedule };
+    }
+    let mut steps = 0usize;
+    'outer: while steps < target {
+        // Try one-step extensions first.
+        for pid in state.live_set().iter() {
+            let mut next = state.clone();
+            next.step(pid);
+            if explorer.valence(&next).is_bivalent() {
+                state = next;
+                schedule.push_step(pid);
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        // No single step preserves bivalence: breadth-first search for the
+        // nearest bivalent descendant (the lemma allows multi-event
+        // extensions).
+        match bfs_bivalent(&explorer, &state, 6) {
+            Some((next, ext)) => {
+                steps += ext.len();
+                for e in ext {
+                    if let ScheduleEvent::Step(p) = e {
+                        schedule.push_step(p);
+                    }
+                }
+                state = next;
+            }
+            None => break,
+        }
+    }
+    let still_bivalent = explorer.valence(&state).is_bivalent();
+    AdversaryReport { steps, target, still_bivalent, schedule }
+}
+
+fn bfs_bivalent<P: Program>(
+    explorer: &Explorer,
+    state: &System<P>,
+    max_depth: usize,
+) -> Option<(System<P>, Vec<ScheduleEvent>)> {
+    let mut queue = std::collections::VecDeque::new();
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(state.clone());
+    queue.push_back((state.clone(), Vec::new()));
+    while let Some((s, path)) = queue.pop_front() {
+        if path.len() >= max_depth {
+            continue;
+        }
+        for pid in s.live_set().iter() {
+            let mut next = s.clone();
+            next.step(pid);
+            if !visited.insert(next.clone()) {
+                continue;
+            }
+            let mut next_path = path.clone();
+            next_path.push(ScheduleEvent::Step(pid));
+            if !next_path.is_empty() && explorer.valence(&next).is_bivalent() {
+                return Some((next, next_path));
+            }
+            queue.push_back((next, next_path));
+        }
+    }
+    None
+}
+
+/// The Lemma 3 demonstration: the empty run of the register-based consensus
+/// with mixed binary inputs is bivalent; with unanimous inputs it is
+/// univalent.
+pub fn lemma3_bivalent_empty_run(n: usize, rounds: usize) -> Valence {
+    let (sys, _) = binary_register_consensus(n, rounds);
+    let explorer = Explorer::new(lemma_oracle());
+    explorer.valence(&sys)
+}
+
+/// The Theorem 1 starvation demonstration: the adversary keeps the
+/// register-based 2-process consensus undecided for `target` steps.
+///
+/// Under Theorem 1, if the protocol granted wait-freedom to either process,
+/// this adversary could not exist; its success for any horizon is the
+/// executable content of "registers give obstruction-freedom at best".
+pub fn theorem1_starvation(target: usize) -> AdversaryReport {
+    // Enough pre-allocated rounds that the adversary, not round exhaustion,
+    // is the binding constraint.
+    let (sys, _) = binary_register_consensus(2, 10);
+    bivalence_adversary(sys, lemma_oracle(), target)
+}
+
+fn lemma_oracle() -> ExploreConfig {
+    ExploreConfig::default().with_max_states(400_000).with_max_depth(90)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_model::explore::Valence;
+
+    #[test]
+    fn lemma3_mixed_inputs_bivalent() {
+        assert!(matches!(lemma3_bivalent_empty_run(2, 2), Valence::Bivalent(_)));
+    }
+
+    #[test]
+    fn adversary_starves_register_consensus() {
+        let report = theorem1_starvation(30);
+        assert!(report.starved(), "{report}");
+        assert!(report.schedule.len() >= 30);
+    }
+
+    #[test]
+    fn adversary_reports_univalent_start() {
+        use apc_core::consensus::model::register_consensus_system;
+        let (sys, _) = register_consensus_system(&[Some(5), Some(5)], 2);
+        let report = bivalence_adversary(sys, lemma_oracle(), 10);
+        assert_eq!(report.steps, 0);
+        assert!(!report.still_bivalent);
+        assert!(!report.starved());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let report = theorem1_starvation(5);
+        let s = report.to_string();
+        assert!(s.contains("bivalence"), "{s}");
+    }
+}

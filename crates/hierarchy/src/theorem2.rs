@@ -1,0 +1,176 @@
+//! Theorem 2: `(n,x+1)`-live consensus is not constructible from
+//! `(n,x)`-live consensus objects and registers.
+//!
+//! The proof's decisive scenario (§3.4): run any candidate implementation to
+//! the point where all `n` processes are about to access the same non-register
+//! base object `o` (which must exist by Lemma 6, and must be an `(n,x)`-live
+//! consensus object); then **crash the `x` wait-free processes at the door
+//! and run the remaining `n − x` guests in lockstep**. Obstruction-freedom
+//! promises those guests nothing, yet the candidate implementation promised
+//! `x + 1 > x` of them wait-freedom — contradiction.
+//!
+//! This module executes that scenario against the semantics-exact
+//! `(n,x)`-live base object of `apc-model` and returns a
+//! [`NonTerminationCertificate`]: the lockstep schedule provably loops
+//! forever (the global state repeats), so the guests starve *forever*, not
+//! just for a while.
+
+use std::fmt;
+
+use apc_model::cycle::{detect_cycle, CycleOutcome, NonTerminationCertificate};
+use apc_model::programs::ProposeProgram;
+use apc_model::{ProcessSet, Schedule, SystemBuilder, Value};
+
+/// Outcome of the Theorem 2 scenario for one `(n,x)` configuration.
+#[derive(Clone, Debug)]
+pub struct Theorem2Report {
+    /// Total processes `n`.
+    pub n: usize,
+    /// Wait-free set size `x` of the base object.
+    pub x: usize,
+    /// The starvation certificate (present = scenario confirmed).
+    pub certificate: Option<NonTerminationCertificate>,
+}
+
+impl Theorem2Report {
+    /// Whether the lockstep guests provably starve forever.
+    pub fn starves(&self) -> bool {
+        self.certificate.is_some()
+    }
+}
+
+impl fmt::Display for Theorem2Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.certificate {
+            Some(cert) => write!(
+                f,
+                "Theorem 2 scenario (n={}, x={}): guests starve — {}",
+                self.n, self.x, cert
+            ),
+            None => write!(
+                f,
+                "Theorem 2 scenario (n={}, x={}): no certificate found (unexpected)",
+                self.n, self.x
+            ),
+        }
+    }
+}
+
+/// Runs the Theorem 2 scenario: `n` processes propose to one `(n,x)`-live
+/// base object (isolation window `window`); the `x` wait-free ports crash
+/// before taking any step; the guests run in lockstep.
+///
+/// Returns the report with a non-termination certificate when the guests
+/// provably loop (which the paper predicts whenever `n − x ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if `x ≥ n` (the scenario needs at least one guest; with
+/// `n − x = 1` the lone guest runs in isolation and decides — see
+/// [`lone_guest_decides`]).
+pub fn theorem2_scenario(n: usize, x: usize, window: u8) -> Theorem2Report {
+    assert!(n >= 2 && x < n, "need at least one guest");
+    let ports = ProcessSet::first_n(n);
+    let wait_free = ProcessSet::first_n(x);
+    let guests = ports.difference(wait_free);
+
+    let mut builder = SystemBuilder::new(n);
+    let object = builder.add_live_consensus(ports, wait_free, window);
+    let mut system =
+        builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+
+    // Crash the wait-free set "just before all the processes access the
+    // consensus object o" (§3.4) — here: before their first step.
+    for pid in wait_free.iter() {
+        system.crash(pid);
+    }
+
+    let period = Schedule::lockstep(guests.iter(), 1);
+    let certificate = match detect_cycle(system, &period, 10_000) {
+        CycleOutcome::Cycle(cert) => Some(cert),
+        _ => None,
+    };
+    Theorem2Report { n, x, certificate }
+}
+
+/// The complement run: with the wait-free processes alive, the same
+/// schedule plus their steps terminates (everyone decides). Returns whether
+/// all scheduled processes decided.
+pub fn theorem2_complement(n: usize, x: usize, window: u8) -> bool {
+    let ports = ProcessSet::first_n(n);
+    let wait_free = ProcessSet::first_n(x);
+    let mut builder = SystemBuilder::new(n);
+    let object = builder.add_live_consensus(ports, wait_free, window);
+    let system =
+        builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+    let period = Schedule::lockstep(ports.iter(), 1);
+    detect_cycle(system, &period, 10_000).terminated()
+}
+
+/// The boundary case `n − x = 1`: a single guest is always "in isolation",
+/// so it decides — this is why Theorem 2 needs `n − x > 1` (its proof says
+/// "if `n − x > 1`, these processes may never run in isolation").
+/// Returns whether the lone guest decided.
+pub fn lone_guest_decides(n: usize, window: u8) -> bool {
+    assert!(n >= 2);
+    let x = n - 1;
+    let ports = ProcessSet::first_n(n);
+    let wait_free = ProcessSet::first_n(x);
+    let mut builder = SystemBuilder::new(n);
+    let object = builder.add_live_consensus(ports, wait_free, window);
+    let mut system =
+        builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+    for pid in wait_free.iter() {
+        system.crash(pid);
+    }
+    let lone = ProcessSet::first_n(n).difference(wait_free);
+    let period = Schedule::lockstep(lone.iter(), 1);
+    detect_cycle(system, &period, 10_000).terminated()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guests_starve_for_small_configs() {
+        for (n, x) in [(2, 0), (3, 0), (3, 1), (4, 1), (4, 2), (5, 3)] {
+            let report = theorem2_scenario(n, x, 1);
+            assert!(report.starves(), "expected starvation for (n,x)=({n},{x}): {report}");
+            let cert = report.certificate.as_ref().unwrap();
+            assert_eq!(cert.live_forever.len(), n - x, "all guests starve");
+        }
+    }
+
+    #[test]
+    fn bigger_isolation_window_also_starves() {
+        let report = theorem2_scenario(4, 1, 3);
+        assert!(report.starves(), "{report}");
+    }
+
+    #[test]
+    fn complement_terminates_with_wait_free_alive() {
+        for (n, x) in [(3, 1), (4, 2)] {
+            assert!(theorem2_complement(n, x, 1), "(n,x)=({n},{x}) should terminate");
+        }
+    }
+
+    #[test]
+    fn lone_guest_is_in_isolation() {
+        for n in [2, 3, 5] {
+            assert!(lone_guest_decides(n, 1), "lone guest must decide for n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one guest")]
+    fn rejects_no_guest_configs() {
+        let _ = theorem2_scenario(3, 3, 1);
+    }
+
+    #[test]
+    fn report_display() {
+        let report = theorem2_scenario(3, 1, 1);
+        assert!(report.to_string().contains("Theorem 2"));
+    }
+}

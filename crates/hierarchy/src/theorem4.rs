@@ -1,0 +1,192 @@
+//! Theorem 4: no consensus object can be both obstruction-free for all
+//! processes and fault-free for even one process, from `(n−1,n−1)`-live
+//! objects and registers.
+//!
+//! *Fault-freedom* requires a decision when **all** processes participate
+//! and none crashes. Lemma 7 adapts the bivalence discipline to that
+//! setting: the adversary extends the run with bivalence-preserving steps,
+//! **cycling round-robin over all processes** so that the constructed run is
+//! fault-free (everyone keeps taking steps) yet never decides.
+//!
+//! [`fault_freedom_adversary`] executes this discipline against the
+//! register-based consensus protocol: all processes participate, none
+//! crashes, every process takes infinitely many steps (up to the horizon) —
+//! and the run stays bivalent, so no one has decided.
+
+use std::fmt;
+
+use apc_core::consensus::model::binary_register_consensus;
+use apc_model::explore::{ExploreConfig, Explorer};
+use apc_model::{ProcessId, Schedule, System};
+
+/// Outcome of the Lemma 7 round-robin bivalence discipline.
+#[derive(Clone, Debug)]
+pub struct FaultFreedomReport {
+    /// Number of processes.
+    pub n: usize,
+    /// Steps executed while maintaining bivalence.
+    pub steps: usize,
+    /// The requested horizon.
+    pub target: usize,
+    /// Steps taken by each process (fault-freedom requires all > 0 and
+    /// growing with the horizon).
+    pub steps_per_process: Vec<usize>,
+    /// Whether the final state is still provably bivalent.
+    pub still_bivalent: bool,
+    /// The constructed fault-free schedule.
+    pub schedule: Schedule,
+}
+
+impl FaultFreedomReport {
+    /// Whether the adversary built a fault-free bivalent run of the full
+    /// horizon: every process stepped, nobody decided.
+    pub fn starved_fault_free(&self) -> bool {
+        self.steps >= self.target
+            && self.still_bivalent
+            && self.steps_per_process.iter().all(|&s| s > 0)
+    }
+}
+
+impl fmt::Display for FaultFreedomReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Lemma 7 discipline (n={}): {}/{} steps, per-process {:?}, still bivalent: {}",
+            self.n, self.steps, self.target, self.steps_per_process, self.still_bivalent
+        )
+    }
+}
+
+/// Runs Lemma 7's round-robin bivalence-preserving discipline against the
+/// `n`-process register consensus for up to `target` steps.
+///
+/// At each turn the adversary must extend the run by an event of the
+/// *scheduled* process `p_i` (cycling `i`) such that some bivalent
+/// continuation survives; it searches for a prefix of other-process events
+/// followed by `p_i`'s event, all bivalence-preserving — exactly the
+/// `x ← y p_i` of Lemma 7's proof.
+pub fn fault_freedom_adversary(n: usize, rounds: usize, target: usize) -> FaultFreedomReport {
+    let (sys, _) = binary_register_consensus(n, rounds);
+    let explorer = Explorer::new(
+        ExploreConfig::default().with_max_states(400_000).with_max_depth(90),
+    );
+    let mut state = sys;
+    let mut schedule = Schedule::new();
+    let mut steps_per_process = vec![0usize; n];
+    let mut steps = 0usize;
+    let mut turn = 0usize;
+
+    if !explorer.valence(&state).is_bivalent() {
+        return FaultFreedomReport {
+            n,
+            steps: 0,
+            target,
+            steps_per_process,
+            still_bivalent: false,
+            schedule,
+        };
+    }
+
+    'outer: while steps < target {
+        let pid = ProcessId::new(turn % n);
+        // Find a bivalent extension whose LAST event is by `pid`:
+        // BFS over short prefixes of other processes' steps.
+        let mut queue = std::collections::VecDeque::new();
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(state.clone());
+        queue.push_back((state.clone(), Vec::<ProcessId>::new()));
+        while let Some((s, prefix)) = queue.pop_front() {
+            // Candidate: step pid now.
+            if s.status(pid).is_live() {
+                let mut cand = s.clone();
+                cand.step(pid);
+                if explorer.valence(&cand).is_bivalent() {
+                    for &q in &prefix {
+                        schedule.push_step(q);
+                        steps_per_process[q.index()] += 1;
+                        steps += 1;
+                    }
+                    schedule.push_step(pid);
+                    steps_per_process[pid.index()] += 1;
+                    steps += 1;
+                    state = cand;
+                    turn += 1;
+                    continue 'outer;
+                }
+            }
+            if prefix.len() >= 5 {
+                continue;
+            }
+            for q in s.live_set().iter() {
+                if q == pid {
+                    continue;
+                }
+                let mut next = s.clone();
+                next.step(q);
+                if visited.insert(next.clone()) {
+                    let mut np = prefix.clone();
+                    np.push(q);
+                    queue.push_back((next, np));
+                }
+            }
+        }
+        // No bivalent extension through pid found: the discipline halts
+        // (for a correct consensus object this is where a decider appears).
+        break;
+    }
+
+    let still_bivalent = explorer.valence(&state).is_bivalent();
+    FaultFreedomReport { n, steps, target, steps_per_process, still_bivalent, schedule }
+}
+
+/// Sanity complement: without an adversary (plain round-robin), the same
+/// system decides — obstruction-freedom alone is not the obstacle, the
+/// adversarial schedule is. Returns whether all processes decided.
+pub fn fault_free_round_robin_decides(n: usize, rounds: usize, max_events: usize) -> bool {
+    let (sys, _) = binary_register_consensus(n, rounds);
+    let mut runner = apc_model::Runner::new(sys);
+    runner.run_until_terminated(&Schedule::round_robin(n, 1), max_events)
+}
+
+/// Helper used by examples: the final undecided system of an adversary run.
+pub fn starved_system(n: usize, rounds: usize, target: usize) -> Option<System<impl apc_model::Program>> {
+    let report = fault_freedom_adversary(n, rounds, target);
+    if !report.starved_fault_free() {
+        return None;
+    }
+    let (sys, _) = binary_register_consensus(n, rounds);
+    let mut runner = apc_model::Runner::new(sys);
+    runner.run(&report.schedule);
+    Some(runner.system().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_discipline_starves_two_processes() {
+        let report = fault_freedom_adversary(2, 10, 24);
+        assert!(report.starved_fault_free(), "{report}");
+        // Fault-freedom: both processes took steps.
+        assert!(report.steps_per_process.iter().all(|&s| s >= 2), "{report}");
+    }
+
+    #[test]
+    fn plain_round_robin_decides() {
+        assert!(fault_free_round_robin_decides(2, 8, 2000));
+    }
+
+    #[test]
+    fn starved_system_is_undecided() {
+        let sys = starved_system(2, 10, 16).expect("adversary succeeds");
+        assert!(sys.decisions().is_empty(), "nobody decided in the starved run");
+        assert_eq!(sys.live_set().len(), 2, "both processes still live");
+    }
+
+    #[test]
+    fn report_display() {
+        let report = fault_freedom_adversary(2, 6, 4);
+        assert!(report.to_string().contains("Lemma 7"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Non-termination certificates via cycle detection.
+//!
+//! The impossibility proofs of the paper exhibit *infinite* runs in which
+//! some process never decides. An implementation cannot run forever, but it
+//! can do something just as convincing: run a **deterministic cyclic
+//! schedule** and detect that the global state after `a` periods equals the
+//! state after `b > a` periods. Determinism then implies the run repeats the
+//! `b − a` period segment forever — a finite, machine-checkable certificate
+//! of non-termination.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::pid::ProcessSet;
+use crate::program::Program;
+use crate::schedule::Schedule;
+use crate::system::System;
+
+/// A machine-checked certificate that repeating `period` forever from some
+/// initial system never terminates.
+///
+/// Produced by [`detect_cycle`]; the equality of the two states has been
+/// verified structurally (full `Eq` on the global state, not hashes).
+#[derive(Clone, Debug)]
+pub struct NonTerminationCertificate {
+    /// Number of schedule periods before the loop starts.
+    pub prefix_periods: usize,
+    /// Length of the loop, in schedule periods.
+    pub loop_periods: usize,
+    /// Processes that are still live (undecided and stepping) in the loop.
+    pub live_forever: ProcessSet,
+    /// Events per period of the repeated schedule.
+    pub period_len: usize,
+}
+
+impl NonTerminationCertificate {
+    /// Total number of events executed to exhibit the cycle.
+    pub fn events_to_exhibit(&self) -> usize {
+        (self.prefix_periods + self.loop_periods) * self.period_len
+    }
+}
+
+impl fmt::Display for NonTerminationCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-termination certificate: after {} period(s) the global state repeats with loop \
+             length {} period(s) ({} events/period); processes {} take steps forever without \
+             deciding",
+            self.prefix_periods, self.loop_periods, self.period_len, self.live_forever
+        )
+    }
+}
+
+/// Outcome of driving a system with a repeated deterministic schedule.
+#[derive(Clone, Debug)]
+pub enum CycleOutcome<P> {
+    /// All processes terminated within the budget.
+    Terminated {
+        /// The final system state.
+        system: System<P>,
+        /// Periods executed before termination.
+        periods: usize,
+    },
+    /// The state repeated: the schedule loops forever.
+    Cycle(NonTerminationCertificate),
+    /// Neither termination nor a repeat within `max_periods`
+    /// (the state space grows along the run).
+    Exhausted {
+        /// The state after the last period.
+        system: System<P>,
+    },
+}
+
+impl<P> CycleOutcome<P> {
+    /// The certificate, if a cycle was found.
+    pub fn certificate(&self) -> Option<&NonTerminationCertificate> {
+        match self {
+            CycleOutcome::Cycle(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether the run terminated.
+    pub fn terminated(&self) -> bool {
+        matches!(self, CycleOutcome::Terminated { .. })
+    }
+}
+
+/// Repeats `period` on `system` up to `max_periods` times, looking for a
+/// state repeat.
+///
+/// Returns a [`NonTerminationCertificate`] if the global state after some
+/// period equals the state after an earlier period (hence the run loops
+/// forever), or reports termination / budget exhaustion.
+///
+/// The comparison uses full structural equality of [`System`] states —
+/// object contents, program states, statuses — so a returned certificate is
+/// sound: deterministic programs plus a deterministic schedule plus a state
+/// repeat imply an infinite non-terminating run.
+pub fn detect_cycle<P: Program>(
+    system: System<P>,
+    period: &Schedule,
+    max_periods: usize,
+) -> CycleOutcome<P> {
+    assert!(!period.is_empty(), "period schedule must be non-empty");
+    // Only processes the schedule actually steps can be expected to finish:
+    // the others are simply never scheduled (which models crashes or
+    // arbitrarily slow processes).
+    let scheduled = period.stepper_set();
+    let mut runner = crate::system::Runner::new(system);
+    // Map state -> period index at which it was seen (after that many periods).
+    let mut seen: HashMap<System<P>, usize> = HashMap::new();
+    seen.insert(runner.system().clone(), 0);
+    for completed in 1..=max_periods {
+        for &event in period.events() {
+            runner.execute(event);
+        }
+        let live = runner.system().live_set();
+        if live.intersection(scheduled).is_empty() {
+            return CycleOutcome::Terminated { system: runner.system().clone(), periods: completed };
+        }
+        if let Some(&earlier) = seen.get(runner.system()) {
+            return CycleOutcome::Cycle(NonTerminationCertificate {
+                prefix_periods: earlier,
+                loop_periods: completed - earlier,
+                live_forever: live.intersection(scheduled),
+                period_len: period.len(),
+            });
+        }
+        seen.insert(runner.system().clone(), completed);
+    }
+    CycleOutcome::Exhausted { system: runner.system().clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pid::{ProcessId, ProcessSet};
+    use crate::programs::ProposeProgram;
+    use crate::system::SystemBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn lockstep_guests_yield_certificate() {
+        // Theorem 2's scenario in miniature: two guests of an
+        // obstruction-free base object, driven in lockstep, loop forever.
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_obstruction_free_consensus(ProcessSet::first_n(2), 1);
+        let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+        let outcome = detect_cycle(sys, &Schedule::round_robin(2, 1), 100);
+        let cert = outcome.certificate().expect("lockstep guests must cycle");
+        assert_eq!(cert.live_forever, ProcessSet::first_n(2));
+        assert!(cert.loop_periods >= 1);
+        assert!(cert.events_to_exhibit() > 0);
+        let shown = cert.to_string();
+        assert!(shown.contains("non-termination"), "{shown}");
+    }
+
+    #[test]
+    fn wait_free_proposers_terminate() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_wait_free_consensus(ProcessSet::first_n(2));
+        let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+        let outcome = detect_cycle(sys, &Schedule::round_robin(2, 1), 100);
+        assert!(outcome.terminated());
+        assert!(outcome.certificate().is_none());
+    }
+
+    #[test]
+    fn solo_guest_terminates() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_obstruction_free_consensus(ProcessSet::first_n(2), 2);
+        let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+        let outcome = detect_cycle(sys, &Schedule::solo(ProcessId::new(0), 1), 100);
+        match outcome {
+            CycleOutcome::Terminated { system, .. } => {
+                assert_eq!(system.decision(ProcessId::new(0)), Some(Value::Num(0)));
+            }
+            other => panic!("expected termination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_period_rejected() {
+        let mut b = SystemBuilder::new(1);
+        let _ = b.add_register(Value::Bot);
+        let sys = b.build(|_| ProposeProgram::new(crate::ObjectId::new(0), Value::Num(0)));
+        let _ = detect_cycle(sys, &Schedule::new(), 10);
+    }
+}

@@ -1,0 +1,95 @@
+//! Model errors: protocol faults detected by the simulated substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::object::ObjectId;
+use crate::pid::ProcessId;
+
+/// A protocol fault: the simulated substrate rejected an operation.
+///
+/// Faults indicate bugs in the *protocol under test* (or deliberately
+/// malformed test setups), not in the model itself. A faulting process enters
+/// the [`crate::ProcStatus::Faulted`] status and takes no more steps; the
+/// explorer reports every reachable fault as a safety violation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Fault {
+    /// A process invoked an operation on an object it has no port for.
+    NotAPort,
+    /// A process proposed more than once to the same consensus object.
+    AlreadyProposed,
+    /// An operation was applied to an object of the wrong type
+    /// (e.g. `write` on a consensus object).
+    WrongObjectKind,
+    /// An operation referenced an object id that does not exist.
+    NoSuchObject,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::NotAPort => write!(f, "process is not a port of the object"),
+            Fault::AlreadyProposed => write!(f, "process already proposed to this consensus object"),
+            Fault::WrongObjectKind => write!(f, "operation does not match the object kind"),
+            Fault::NoSuchObject => write!(f, "no such object"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+/// An error raised while driving the model (fault + location).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ModelError {
+    /// The process whose operation faulted.
+    pub pid: ProcessId,
+    /// The object involved, if any.
+    pub object: Option<ObjectId>,
+    /// The kind of fault.
+    pub fault: Fault,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model fault at {}", self.pid)?;
+        if let Some(obj) = self.object {
+            write!(f, " on {obj}")?;
+        }
+        write!(f, ": {}", self.fault)
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_pid_and_fault() {
+        let err = ModelError {
+            pid: ProcessId::new(2),
+            object: Some(ObjectId::new(1)),
+            fault: Fault::NotAPort,
+        };
+        let s = err.to_string();
+        assert!(s.contains("p2"), "{s}");
+        assert!(s.contains("not a port"), "{s}");
+    }
+
+    #[test]
+    fn display_without_object() {
+        let err = ModelError { pid: ProcessId::new(0), object: None, fault: Fault::NoSuchObject };
+        assert!(err.to_string().contains("no such object"));
+    }
+
+    #[test]
+    fn error_source_is_fault() {
+        let err = ModelError { pid: ProcessId::new(0), object: None, fault: Fault::AlreadyProposed };
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,515 @@
+//! Bounded exhaustive exploration of all schedules, and valence analysis.
+//!
+//! The explorer enumerates every interleaving of process steps (optionally
+//! with a budget of crash events), memoizing on global [`System`] states.
+//! This is the strongest verification available for the paper's algorithms
+//! at small `n`: safety invariants are checked at *every* reachable state,
+//! and the paper's *valence* of a run (§3.3) is computed by exploring all
+//! extensions.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::pid::{ProcessId, ProcessSet};
+use crate::program::Program;
+use crate::schedule::ScheduleEvent;
+use crate::system::System;
+use crate::value::Value;
+
+/// A safety invariant checked at every explored state.
+pub trait Invariant<P: Program> {
+    /// Checks the invariant; returns a human-readable violation message if it
+    /// does not hold.
+    fn check(&self, sys: &System<P>) -> Result<(), String>;
+
+    /// Name of the invariant (for reports).
+    fn name(&self) -> &str;
+}
+
+/// Agreement: no two processes decide different values (the consensus
+/// agreement property of §2).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Agreement;
+
+impl<P: Program> Invariant<P> for Agreement {
+    fn check(&self, sys: &System<P>) -> Result<(), String> {
+        let decisions = sys.decisions();
+        if let Some(((p1, v1), (p2, v2))) = decisions
+            .iter()
+            .zip(decisions.iter().skip(1))
+            .find(|((_, a), (_, b))| a != b)
+        {
+            Err(format!("{p1} decided {v1} but {p2} decided {v2}"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn name(&self) -> &str {
+        "agreement"
+    }
+}
+
+/// Validity: every decided value belongs to the given proposal set (§2).
+#[derive(Clone, Debug)]
+pub struct ValidityIn {
+    allowed: BTreeSet<Value>,
+}
+
+impl ValidityIn {
+    /// Accepts decisions only within `allowed`.
+    pub fn new<I: IntoIterator<Item = Value>>(allowed: I) -> Self {
+        ValidityIn { allowed: allowed.into_iter().collect() }
+    }
+}
+
+impl<P: Program> Invariant<P> for ValidityIn {
+    fn check(&self, sys: &System<P>) -> Result<(), String> {
+        for (pid, v) in sys.decisions() {
+            if !self.allowed.contains(&v) {
+                return Err(format!("{pid} decided {v}, not a proposed value"));
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "validity"
+    }
+}
+
+/// No process ever faults (no protocol error is reachable).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NoFaults;
+
+impl<P: Program> Invariant<P> for NoFaults {
+    fn check(&self, sys: &System<P>) -> Result<(), String> {
+        match sys.first_fault() {
+            Some(err) => Err(err.to_string()),
+            None => Ok(()),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "no-faults"
+    }
+}
+
+/// A recorded invariant violation, with the schedule prefix that reproduces it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Name of the violated invariant.
+    pub invariant: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Schedule prefix reaching the violating state from the initial state.
+    pub path: Vec<ScheduleEvent>,
+}
+
+/// Exploration limits and crash adversary configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct ExploreConfig {
+    /// Maximum number of distinct states to visit before truncating.
+    pub max_states: usize,
+    /// Maximum run length (schedule events along one path).
+    pub max_depth: usize,
+    /// Maximum number of crash events the adversary may inject.
+    pub crash_budget: usize,
+    /// Processes the adversary is allowed to crash.
+    pub crashable: ProcessSet,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 1_000_000,
+            max_depth: 200,
+            crash_budget: 0,
+            crashable: ProcessSet::EMPTY,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// A configuration with the given crash adversary.
+    pub fn with_crashes(mut self, budget: usize, crashable: ProcessSet) -> Self {
+        self.crash_budget = budget;
+        self.crashable = crashable;
+        self
+    }
+
+    /// A configuration with the given state budget.
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// A configuration with the given depth budget.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+}
+
+/// Result of an exhaustive exploration.
+#[derive(Clone, Debug)]
+pub struct Exploration {
+    /// Every decision value observed at any reachable state.
+    pub decisions: BTreeSet<Value>,
+    /// Invariant violations (empty when all invariants hold everywhere).
+    pub violations: Vec<Violation>,
+    /// Number of distinct states visited.
+    pub states: usize,
+    /// Whether any budget (states / depth) truncated the search.
+    pub truncated: bool,
+    /// Number of reachable states in which every process has terminated.
+    pub terminal_states: usize,
+}
+
+impl Exploration {
+    /// Whether all invariants held at every visited state.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The valence of a state, following §3.3 of the paper, computed over all
+/// explored extensions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Valence {
+    /// Extensions deciding two or more distinct values exist. This is a
+    /// definitive (existence) result even under truncation.
+    Bivalent(BTreeSet<Value>),
+    /// Exactly one decided value is reachable and the exploration was
+    /// complete: the state is univalent.
+    Univalent(Value),
+    /// Exactly one decided value was reachable but the exploration was
+    /// truncated: univalent *within the explored bound*.
+    UnivalentBounded(Value),
+    /// No decision is reachable (within the explored bound).
+    Undecided,
+}
+
+impl Valence {
+    /// Whether the state is definitely bivalent.
+    pub fn is_bivalent(&self) -> bool {
+        matches!(self, Valence::Bivalent(_))
+    }
+}
+
+/// Bounded exhaustive explorer over all schedules.
+///
+/// # Examples
+///
+/// Wait-free consensus satisfies agreement and validity under *every*
+/// schedule:
+///
+/// ```
+/// use apc_model::{SystemBuilder, Value, ProcessSet};
+/// use apc_model::programs::ProposeProgram;
+/// use apc_model::explore::{Explorer, ExploreConfig, Agreement, ValidityIn};
+///
+/// let mut b = SystemBuilder::new(2);
+/// let cons = b.add_wait_free_consensus(ProcessSet::first_n(2));
+/// let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+/// let explorer = Explorer::new(ExploreConfig::default());
+/// let result = explorer.explore(
+///     &sys,
+///     &[&Agreement, &ValidityIn::new([Value::Num(0), Value::Num(1)])],
+/// );
+/// assert!(result.ok());
+/// assert!(!result.truncated);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Explorer {
+    config: ExploreConfig,
+}
+
+impl Explorer {
+    /// Creates an explorer with the given configuration.
+    pub fn new(config: ExploreConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExploreConfig {
+        &self.config
+    }
+
+    /// Exhaustively explores all schedules from `initial`, checking
+    /// `invariants` at every state.
+    pub fn explore<P: Program>(
+        &self,
+        initial: &System<P>,
+        invariants: &[&dyn Invariant<P>],
+    ) -> Exploration {
+        let mut result = Exploration {
+            decisions: BTreeSet::new(),
+            violations: Vec::new(),
+            states: 0,
+            truncated: false,
+            terminal_states: 0,
+        };
+        let mut visited: HashSet<System<P>> = HashSet::new();
+        // Iterative DFS: the stack holds (state, crashes_used, path).
+        let mut stack: Vec<(System<P>, usize, Vec<ScheduleEvent>)> = Vec::new();
+        if visited.insert(initial.clone()) {
+            self.visit(initial, &[], invariants, &mut result);
+            stack.push((initial.clone(), 0, Vec::new()));
+        }
+        while let Some((state, crashes, path)) = stack.pop() {
+            if path.len() >= self.config.max_depth {
+                result.truncated = true;
+                continue;
+            }
+            for pid in state.live_set().iter() {
+                if visited.len() >= self.config.max_states {
+                    result.truncated = true;
+                    break;
+                }
+                let mut next = state.clone();
+                next.step(pid);
+                if visited.insert(next.clone()) {
+                    let mut next_path = path.clone();
+                    next_path.push(ScheduleEvent::Step(pid));
+                    self.visit(&next, &next_path, invariants, &mut result);
+                    stack.push((next, crashes, next_path));
+                }
+                if crashes < self.config.crash_budget && self.config.crashable.contains(pid) {
+                    let mut crashed = state.clone();
+                    crashed.crash(pid);
+                    if visited.insert(crashed.clone()) {
+                        let mut next_path = path.clone();
+                        next_path.push(ScheduleEvent::Crash(pid));
+                        self.visit(&crashed, &next_path, invariants, &mut result);
+                        stack.push((crashed, crashes + 1, next_path));
+                    }
+                }
+            }
+        }
+        result.states = visited.len();
+        result
+    }
+
+    fn visit<P: Program>(
+        &self,
+        state: &System<P>,
+        path: &[ScheduleEvent],
+        invariants: &[&dyn Invariant<P>],
+        result: &mut Exploration,
+    ) {
+        for (_, v) in state.decisions() {
+            result.decisions.insert(v);
+        }
+        if state.all_terminated() {
+            result.terminal_states += 1;
+        }
+        for inv in invariants {
+            if let Err(message) = inv.check(state) {
+                result.violations.push(Violation {
+                    invariant: inv.name().to_owned(),
+                    message,
+                    path: path.to_vec(),
+                });
+            }
+        }
+    }
+
+    /// The set of decision values reachable from `state` (and whether the
+    /// search was truncated).
+    pub fn reachable_decisions<P: Program>(&self, state: &System<P>) -> (BTreeSet<Value>, bool) {
+        let result = self.explore(state, &[]);
+        (result.decisions, result.truncated)
+    }
+
+    /// Computes the valence of `state` (§3.3) over all explored extensions.
+    pub fn valence<P: Program>(&self, state: &System<P>) -> Valence {
+        let (decisions, truncated) = self.reachable_decisions(state);
+        match decisions.len() {
+            0 => Valence::Undecided,
+            1 => {
+                let v = *decisions.iter().next().expect("one element");
+                if truncated {
+                    Valence::UnivalentBounded(v)
+                } else {
+                    Valence::Univalent(v)
+                }
+            }
+            _ => Valence::Bivalent(decisions),
+        }
+    }
+
+    /// Searches for an extension of `state` after which `pid` is a *decider*
+    /// (Lemma 4): a bivalent state `x` such that for every explored extension
+    /// `y` of `x`, the run `y;p` is univalent.
+    ///
+    /// This is the paper's bivalence-preserving scheduling discipline made
+    /// executable: starting from `state`, repeatedly find *any* extension `y`
+    /// such that `y;p` is still bivalent and move there; when no such
+    /// extension exists (within the exploration bounds), `pid` is a decider
+    /// at the current state. Returns the decider state with the path that
+    /// reaches it, or `None` if `state` is not bivalent or bounds were hit.
+    pub fn decider_point<P: Program>(
+        &self,
+        state: &System<P>,
+        pid: ProcessId,
+    ) -> Option<(System<P>, Vec<ScheduleEvent>)> {
+        let mut current = state.clone();
+        let mut path: Vec<ScheduleEvent> = Vec::new();
+        if !self.valence(&current).is_bivalent() {
+            return None;
+        }
+        loop {
+            match self.find_bivalent_p_extension(&current, pid) {
+                Some((next, ext)) => {
+                    path.extend(ext);
+                    current = next;
+                    if path.len() > self.config.max_depth {
+                        return None;
+                    }
+                }
+                // No extension `y` of `current` keeps `y;p` bivalent:
+                // `pid` is a decider at `current` (within the bound).
+                None => return Some((current, path)),
+            }
+        }
+    }
+
+    /// Finds an extension `y` of `state` such that the run `y;p` is bivalent,
+    /// returning the state of `y;p` and the events from `state` to `y;p`.
+    /// Performs a BFS over all extensions within the exploration bounds.
+    fn find_bivalent_p_extension<P: Program>(
+        &self,
+        state: &System<P>,
+        pid: ProcessId,
+    ) -> Option<(System<P>, Vec<ScheduleEvent>)> {
+        let mut visited: HashSet<System<P>> = HashSet::new();
+        let mut queue: std::collections::VecDeque<(System<P>, Vec<ScheduleEvent>)> =
+            std::collections::VecDeque::new();
+        visited.insert(state.clone());
+        queue.push_back((state.clone(), Vec::new()));
+        while let Some((y, path)) = queue.pop_front() {
+            // Consider the extension y;p.
+            if y.status(pid).is_live() {
+                let mut yp = y.clone();
+                yp.step(pid);
+                if self.valence(&yp).is_bivalent() {
+                    let mut full = path.clone();
+                    full.push(ScheduleEvent::Step(pid));
+                    return Some((yp, full));
+                }
+            }
+            if path.len() >= self.config.max_depth || visited.len() >= self.config.max_states {
+                continue;
+            }
+            for q in y.live_set().iter() {
+                let mut next = y.clone();
+                next.step(q);
+                if visited.insert(next.clone()) {
+                    let mut next_path = path.clone();
+                    next_path.push(ScheduleEvent::Step(q));
+                    queue.push_back((next, next_path));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{ProposeProgram, TasRaceProgram};
+    use crate::system::SystemBuilder;
+
+    fn binary_consensus_system(
+        wait_free: ProcessSet,
+        window: u8,
+    ) -> System<ProposeProgram> {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_live_consensus(ProcessSet::first_n(2), wait_free, window);
+        b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)))
+    }
+
+    #[test]
+    fn wait_free_consensus_explored_completely() {
+        let sys = binary_consensus_system(ProcessSet::first_n(2), 1);
+        let explorer = Explorer::new(ExploreConfig::default());
+        let result = explorer.explore(
+            &sys,
+            &[&Agreement, &ValidityIn::new([Value::Num(0), Value::Num(1)]), &NoFaults],
+        );
+        assert!(result.ok(), "{:?}", result.violations);
+        assert!(!result.truncated);
+        assert!(result.terminal_states > 0);
+        assert_eq!(result.decisions, BTreeSet::from([Value::Num(0), Value::Num(1)]));
+    }
+
+    #[test]
+    fn empty_run_of_of_consensus_is_bivalent() {
+        // Lemma 3 in miniature: with mixed inputs, both decisions reachable.
+        let sys = binary_consensus_system(ProcessSet::EMPTY, 1);
+        let explorer = Explorer::new(ExploreConfig::default().with_max_depth(30));
+        let valence = explorer.valence(&sys);
+        assert!(valence.is_bivalent(), "got {valence:?}");
+    }
+
+    #[test]
+    fn same_inputs_make_run_univalent() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_obstruction_free_consensus(ProcessSet::first_n(2), 1);
+        let sys = b.build(|_| ProposeProgram::new(cons, Value::Num(7)));
+        let explorer = Explorer::new(ExploreConfig::default().with_max_depth(30));
+        match explorer.valence(&sys) {
+            Valence::Univalent(v) | Valence::UnivalentBounded(v) => assert_eq!(v, Value::Num(7)),
+            other => panic!("expected univalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agreement_violation_is_caught() {
+        // A deliberately broken "consensus": two processes race on TAS and
+        // decide different values; agreement must flag it.
+        let mut b = SystemBuilder::new(2);
+        let tas = b.add_test_and_set();
+        let sys = b.build(|_| TasRaceProgram::new(tas));
+        let explorer = Explorer::new(ExploreConfig::default());
+        let result = explorer.explore(&sys, &[&Agreement]);
+        assert!(!result.ok(), "TAS race decides different values; agreement must fail");
+        assert!(!result.violations[0].path.is_empty());
+    }
+
+    #[test]
+    fn crash_budget_explores_crashes() {
+        let sys = binary_consensus_system(ProcessSet::first_n(2), 1);
+        let no_crash = Explorer::new(ExploreConfig::default()).explore(&sys, &[]);
+        let with_crash = Explorer::new(
+            ExploreConfig::default().with_crashes(1, ProcessSet::first_n(2)),
+        )
+        .explore(&sys, &[]);
+        assert!(with_crash.states > no_crash.states, "crash branches add states");
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let sys = binary_consensus_system(ProcessSet::EMPTY, 1);
+        let explorer = Explorer::new(ExploreConfig::default().with_max_states(5));
+        let result = explorer.explore(&sys, &[]);
+        assert!(result.truncated);
+    }
+
+    #[test]
+    fn decider_point_exists_for_wait_free_process() {
+        // For an (2,1)-live object, the wait-free process is a decider at
+        // some bivalent run (Lemma 4).
+        let sys = binary_consensus_system(ProcessSet::from_indices([0]), 1);
+        let explorer = Explorer::new(ExploreConfig::default().with_max_depth(40));
+        let (state, _path) = explorer
+            .decider_point(&sys, ProcessId::new(0))
+            .expect("a decider point exists");
+        assert!(explorer.valence(&state).is_bivalent());
+        // Stepping the decider makes the run univalent.
+        let mut next = state.clone();
+        next.step(ProcessId::new(0));
+        assert!(!explorer.valence(&next).is_bivalent());
+    }
+}

@@ -1,0 +1,191 @@
+//! Operation histories of real (threaded) executions, and consensus checks.
+//!
+//! The real implementations in `apc-core` are exercised by multi-threaded
+//! stress tests. Those tests record what each thread proposed and what it
+//! got back; this module checks the consensus safety properties of §2 on
+//! such records:
+//!
+//! * **Agreement** — no two distinct values returned;
+//! * **Validity** — every returned value was proposed by someone;
+//! * **Integrity** — each process received exactly one response per invoke.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One completed `propose` operation: who, what was proposed, what came back.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProposeRecord<V> {
+    /// The proposing process (thread) index.
+    pub pid: usize,
+    /// The proposed value.
+    pub proposed: V,
+    /// The returned (decided) value.
+    pub returned: V,
+}
+
+/// A violation of the consensus safety properties in a recorded history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConsensusViolation<V> {
+    /// Two processes returned different values.
+    Disagreement {
+        /// First process and its returned value.
+        a: (usize, V),
+        /// Second process and its conflicting returned value.
+        b: (usize, V),
+    },
+    /// A returned value was never proposed.
+    InvalidValue {
+        /// The process that returned the rogue value.
+        pid: usize,
+        /// The value returned.
+        returned: V,
+    },
+    /// A process appears more than once (proposed twice).
+    DuplicateProcess {
+        /// The duplicated process id.
+        pid: usize,
+    },
+}
+
+impl<V: fmt::Debug> fmt::Display for ConsensusViolation<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusViolation::Disagreement { a, b } => write!(
+                f,
+                "agreement violated: p{} returned {:?} but p{} returned {:?}",
+                a.0, a.1, b.0, b.1
+            ),
+            ConsensusViolation::InvalidValue { pid, returned } => {
+                write!(f, "validity violated: p{pid} returned {returned:?}, never proposed")
+            }
+            ConsensusViolation::DuplicateProcess { pid } => {
+                write!(f, "integrity violated: p{pid} proposed more than once")
+            }
+        }
+    }
+}
+
+/// Checks the consensus safety properties on a set of completed proposals.
+///
+/// Returns all violations found (empty means the history is a correct
+/// consensus history).
+///
+/// # Examples
+///
+/// ```
+/// use apc_model::history::{check_consensus, ProposeRecord};
+/// let records = vec![
+///     ProposeRecord { pid: 0, proposed: 10, returned: 10 },
+///     ProposeRecord { pid: 1, proposed: 20, returned: 10 },
+/// ];
+/// assert!(check_consensus(&records).is_empty());
+/// ```
+pub fn check_consensus<V: Clone + Ord>(records: &[ProposeRecord<V>]) -> Vec<ConsensusViolation<V>> {
+    let mut violations = Vec::new();
+    let proposed: BTreeSet<&V> = records.iter().map(|r| &r.proposed).collect();
+    let mut seen_pids = BTreeSet::new();
+    for r in records {
+        if !seen_pids.insert(r.pid) {
+            violations.push(ConsensusViolation::DuplicateProcess { pid: r.pid });
+        }
+        if !proposed.contains(&r.returned) {
+            violations.push(ConsensusViolation::InvalidValue {
+                pid: r.pid,
+                returned: r.returned.clone(),
+            });
+        }
+    }
+    for pair in records.windows(2) {
+        if pair[0].returned != pair[1].returned {
+            violations.push(ConsensusViolation::Disagreement {
+                a: (pair[0].pid, pair[0].returned.clone()),
+                b: (pair[1].pid, pair[1].returned.clone()),
+            });
+        }
+    }
+    violations
+}
+
+/// Convenience wrapper asserting a correct consensus history.
+///
+/// # Panics
+///
+/// Panics with a descriptive message if any violation is present.
+pub fn assert_consensus<V: Clone + Ord + fmt::Debug>(records: &[ProposeRecord<V>]) {
+    let violations = check_consensus(records);
+    assert!(
+        violations.is_empty(),
+        "consensus history has {} violation(s): {}",
+        violations.len(),
+        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_history_passes() {
+        let records = vec![
+            ProposeRecord { pid: 0, proposed: 1, returned: 2 },
+            ProposeRecord { pid: 1, proposed: 2, returned: 2 },
+            ProposeRecord { pid: 2, proposed: 3, returned: 2 },
+        ];
+        assert!(check_consensus(&records).is_empty());
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        let records = vec![
+            ProposeRecord { pid: 0, proposed: 1, returned: 1 },
+            ProposeRecord { pid: 1, proposed: 2, returned: 2 },
+        ];
+        let violations = check_consensus(&records);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ConsensusViolation::Disagreement { .. })));
+    }
+
+    #[test]
+    fn invalid_value_detected() {
+        let records = vec![ProposeRecord { pid: 0, proposed: 1, returned: 9 }];
+        let violations = check_consensus(&records);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ConsensusViolation::InvalidValue { .. })));
+    }
+
+    #[test]
+    fn duplicate_process_detected() {
+        let records = vec![
+            ProposeRecord { pid: 0, proposed: 1, returned: 1 },
+            ProposeRecord { pid: 0, proposed: 1, returned: 1 },
+        ];
+        let violations = check_consensus(&records);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, ConsensusViolation::DuplicateProcess { pid: 0 })));
+    }
+
+    #[test]
+    fn empty_history_is_fine() {
+        assert!(check_consensus::<u32>(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "agreement violated")]
+    fn assert_consensus_panics_with_message() {
+        let records = vec![
+            ProposeRecord { pid: 0, proposed: 1, returned: 1 },
+            ProposeRecord { pid: 1, proposed: 2, returned: 2 },
+        ];
+        assert_consensus(&records);
+    }
+
+    #[test]
+    fn violation_messages_render() {
+        let v = ConsensusViolation::InvalidValue { pid: 3, returned: 9 };
+        assert!(v.to_string().contains("p3"));
+    }
+}

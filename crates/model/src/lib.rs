@@ -1,0 +1,76 @@
+//! # `apc-model` — a simulated asynchronous crash-prone shared-memory system
+//!
+//! This crate is the computational model of
+//! *On Asymmetric Progress Conditions* (Imbs, Raynal, Taubenfeld, PODC 2010)
+//! made executable:
+//!
+//! * **Processes** are deterministic state machines ([`Program`]) that perform
+//!   exactly one shared-memory *event* per scheduled step (§2 and §3.3 of the
+//!   paper).
+//! * **Shared objects** ([`ObjectState`]) are atomic base objects: read/write
+//!   registers, `(y,x)`-live consensus objects, and Common2-style
+//!   read-modify-write objects. A `(y,x)`-live base object is **exactly** as
+//!   live as the paper requires: wait-free for its `X` set, and terminating
+//!   for a guest only once the guest has executed an isolation window of
+//!   consecutive events on the object (the literal reading of
+//!   "runs long enough in isolation").
+//! * **Schedules** ([`Schedule`]) interleave steps and crashes; builders cover
+//!   round-robin, solo, lockstep and seeded-random adversaries.
+//! * **Exploration** ([`explore::Explorer`]) performs bounded exhaustive
+//!   search over all schedules (with an optional crash budget), memoized on
+//!   global states, checking safety invariants everywhere and computing the
+//!   paper's *valence* of runs (§3.3).
+//! * **Fairness analysis** ([`fairness`]) finds *fair livelocks* — reachable
+//!   strongly-connected components in which every live process keeps taking
+//!   steps yet never decides. This is the finite-state analogue of a
+//!   liveness violation, used to certify the impossibility scenarios.
+//! * **Cycle certificates** ([`cycle`]) turn "this deterministic adversary
+//!   schedule runs forever" into a finite, machine-checked certificate: a
+//!   deterministic schedule that revisits a global state loops forever.
+//!
+//! The crate has no unsafe code; every state is `Clone + Eq + Hash` so that
+//! the explorer can memoize.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use apc_model::{SystemBuilder, Value, Schedule, Runner};
+//! use apc_model::programs::WriteThenReadProgram;
+//!
+//! // Two processes write their id to a shared register and read it back.
+//! let mut builder = SystemBuilder::new(2);
+//! let reg = builder.add_register(Value::Bot);
+//! let sys = builder.build(|pid| WriteThenReadProgram::new(reg, Value::Num(pid.index() as u32)));
+//! let mut runner = Runner::new(sys);
+//! runner.run(&Schedule::round_robin(2, 8));
+//! assert!(runner.system().all_terminated());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod object;
+mod op;
+mod pid;
+mod program;
+mod schedule;
+mod system;
+mod value;
+
+pub mod cycle;
+pub mod explore;
+pub mod fairness;
+pub mod history;
+pub mod linearize;
+pub mod programs;
+pub mod shrink;
+
+pub use error::{Fault, ModelError};
+pub use object::{LiveConsensusState, ObjectId, ObjectState};
+pub use op::{Op, OpOutcome};
+pub use pid::{ProcessId, ProcessSet};
+pub use program::{Either, MaybeParticipant, Program, ProgramAction};
+pub use schedule::{Schedule, ScheduleEvent};
+pub use system::{ProcStatus, Runner, StepKind, System, SystemBuilder, TraceEntry};
+pub use value::Value;

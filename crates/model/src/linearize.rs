@@ -1,0 +1,272 @@
+//! A small Wing–Gong linearizability checker.
+//!
+//! Linearizability (Herlihy & Wing 1990) is the paper's correctness
+//! condition for concurrent objects (§1). This module provides a generic
+//! exhaustive checker for *complete* concurrent histories against a
+//! deterministic sequential specification — practical for the short
+//! histories produced by stress tests.
+//!
+//! The checker enumerates linearizations respecting the real-time order
+//! (an operation that responded before another was invoked must be
+//! linearized first), memoizing on (set of linearized operations,
+//! sequential state).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A deterministic sequential specification of an object.
+pub trait SeqSpec {
+    /// Sequential state.
+    type State: Clone + Eq + Hash;
+    /// Operation descriptors.
+    type Op: Clone;
+    /// Responses.
+    type Resp: Eq + Clone;
+
+    /// The initial state.
+    fn init(&self) -> Self::State;
+
+    /// Applies `op` to `state`, returning the next state and the response.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp);
+}
+
+/// One completed operation of a concurrent history.
+///
+/// `invoked_at` / `responded_at` are logical timestamps from a shared
+/// monotone counter: `a` precedes `b` in real time iff
+/// `a.responded_at < b.invoked_at`.
+#[derive(Clone, Debug)]
+pub struct CompleteOp<O, R> {
+    /// The operation performed.
+    pub op: O,
+    /// The response observed.
+    pub resp: R,
+    /// Logical invocation time.
+    pub invoked_at: u64,
+    /// Logical response time.
+    pub responded_at: u64,
+}
+
+/// Checks whether `history` is linearizable with respect to `spec`.
+///
+/// Exhaustive with memoization; exponential in the worst case, intended for
+/// histories of up to a few dozen operations (`history.len() <= 63`).
+///
+/// # Panics
+///
+/// Panics if the history has more than 63 operations (the memo uses a
+/// 64-bit occupancy mask).
+pub fn is_linearizable<S: SeqSpec>(spec: &S, history: &[CompleteOp<S::Op, S::Resp>]) -> bool {
+    assert!(history.len() <= 63, "checker supports at most 63 operations");
+    if history.is_empty() {
+        return true;
+    }
+    let n = history.len();
+    let full: u64 = (1u64 << n) - 1;
+    let mut memo: HashSet<(u64, S::State)> = HashSet::new();
+    search(spec, history, 0, &spec.init(), full, &mut memo)
+}
+
+fn search<S: SeqSpec>(
+    spec: &S,
+    history: &[CompleteOp<S::Op, S::Resp>],
+    done: u64,
+    state: &S::State,
+    full: u64,
+    memo: &mut HashSet<(u64, S::State)>,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if !memo.insert((done, state.clone())) {
+        return false;
+    }
+    // The earliest response among not-yet-linearized operations bounds which
+    // operations may be linearized next: op i is eligible iff no other
+    // pending op responded strictly before i was invoked.
+    let min_resp = (0..history.len())
+        .filter(|i| done & (1 << i) == 0)
+        .map(|i| history[i].responded_at)
+        .min()
+        .expect("non-empty remainder");
+    for i in 0..history.len() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        if history[i].invoked_at > min_resp {
+            continue; // some pending op finished before this one began
+        }
+        let (next_state, resp) = spec.apply(state, &history[i].op);
+        if resp != history[i].resp {
+            continue;
+        }
+        if search(spec, history, done | (1 << i), &next_state, full, memo) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Sequential specification of a read/write register over `u64` values
+/// (`0` is the initial value).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct RegisterSpec;
+
+/// Operations of [`RegisterSpec`].
+#[derive(Copy, Clone, Debug)]
+pub enum RegOp {
+    /// Read the register.
+    Read,
+    /// Write a value.
+    Write(u64),
+}
+
+impl SeqSpec for RegisterSpec {
+    type State = u64;
+    type Op = RegOp;
+    type Resp = Option<u64>;
+
+    fn init(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, op: &RegOp) -> (u64, Option<u64>) {
+        match op {
+            RegOp::Read => (*state, Some(*state)),
+            RegOp::Write(v) => (*v, None),
+        }
+    }
+}
+
+/// Sequential specification of single-shot consensus over `u64` proposals:
+/// the first proposal wins; every later propose returns the winner.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ConsensusSpec;
+
+impl SeqSpec for ConsensusSpec {
+    type State = Option<u64>;
+    type Op = u64; // the proposed value
+    type Resp = u64; // the decided value
+
+    fn init(&self) -> Option<u64> {
+        None
+    }
+
+    fn apply(&self, state: &Option<u64>, op: &u64) -> (Option<u64>, u64) {
+        match state {
+            Some(winner) => (Some(*winner), *winner),
+            None => (Some(*op), *op),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op<O, R>(op: O, resp: R, inv: u64, res: u64) -> CompleteOp<O, R> {
+        CompleteOp { op, resp, invoked_at: inv, responded_at: res }
+    }
+
+    #[test]
+    fn empty_history_linearizable() {
+        assert!(is_linearizable(&RegisterSpec, &[]));
+    }
+
+    #[test]
+    fn sequential_register_history() {
+        let h = vec![
+            op(RegOp::Write(5), None, 0, 1),
+            op(RegOp::Read, Some(5), 2, 3),
+        ];
+        assert!(is_linearizable(&RegisterSpec, &h));
+    }
+
+    #[test]
+    fn stale_read_after_write_is_not_linearizable() {
+        let h = vec![
+            op(RegOp::Write(5), None, 0, 1),
+            op(RegOp::Read, Some(0), 2, 3), // reads initial value after the write responded
+        ];
+        assert!(!is_linearizable(&RegisterSpec, &h));
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either() {
+        // Write overlaps the read: both old and new values are legal.
+        for seen in [Some(0), Some(5)] {
+            let h = vec![
+                op(RegOp::Write(5), None, 0, 3),
+                op(RegOp::Read, seen, 1, 2),
+            ];
+            assert!(is_linearizable(&RegisterSpec, &h), "read of {seen:?} must linearize");
+        }
+    }
+
+    #[test]
+    fn consensus_history_agreeing_on_first() {
+        let h = vec![
+            op(10, 10, 0, 1),
+            op(20, 10, 2, 3),
+        ];
+        assert!(is_linearizable(&ConsensusSpec, &h));
+    }
+
+    #[test]
+    fn consensus_history_wrong_winner_rejected() {
+        // Second proposal returned its own value even though the first had
+        // already completed: not linearizable.
+        let h = vec![
+            op(10, 10, 0, 1),
+            op(20, 20, 2, 3),
+        ];
+        assert!(!is_linearizable(&ConsensusSpec, &h));
+    }
+
+    #[test]
+    fn concurrent_consensus_either_winner() {
+        for winner in [10, 20] {
+            let h = vec![
+                op(10, winner, 0, 3),
+                op(20, winner, 1, 2),
+            ];
+            assert!(is_linearizable(&ConsensusSpec, &h), "winner {winner}");
+        }
+    }
+
+    #[test]
+    fn disagreeing_consensus_rejected() {
+        let h = vec![
+            op(10, 10, 0, 3),
+            op(20, 20, 1, 2),
+        ];
+        assert!(!is_linearizable(&ConsensusSpec, &h));
+    }
+
+    #[test]
+    fn real_time_order_respected() {
+        // w(1) ; w(2) ; read -> 1 is NOT linearizable (read started after
+        // both writes completed, must see 2).
+        let h = vec![
+            op(RegOp::Write(1), None, 0, 1),
+            op(RegOp::Write(2), None, 2, 3),
+            op(RegOp::Read, Some(1), 4, 5),
+        ];
+        assert!(!is_linearizable(&RegisterSpec, &h));
+        // But if the second write overlaps the read, 1 is fine.
+        let h2 = vec![
+            op(RegOp::Write(1), None, 0, 1),
+            op(RegOp::Write(2), None, 2, 6),
+            op(RegOp::Read, Some(1), 4, 5),
+        ];
+        assert!(is_linearizable(&RegisterSpec, &h2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 63")]
+    fn oversized_history_panics() {
+        let h: Vec<CompleteOp<RegOp, Option<u64>>> =
+            (0..64).map(|i| op(RegOp::Read, Some(0), i, i)).collect();
+        let _ = is_linearizable(&RegisterSpec, &h);
+    }
+}

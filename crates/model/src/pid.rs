@@ -1,0 +1,328 @@
+//! Process identifiers and compact process sets.
+
+use std::fmt;
+
+/// Identifier of one of the `n` processes of the simulated system.
+///
+/// Process ids are dense indices `0..n`. The paper names processes
+/// `p_1 … p_n`; we use zero-based indices and write `p0, p1, …` in output.
+///
+/// # Examples
+///
+/// ```
+/// use apc_model::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessId(u8);
+
+impl ProcessId {
+    /// Creates a process id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`: the model supports at most 64 processes so
+    /// that process sets fit in one machine word.
+    pub fn new(index: usize) -> Self {
+        assert!(index < 64, "the model supports at most 64 processes, got index {index}");
+        ProcessId(index as u8)
+    }
+
+    /// Returns the dense index of this process.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId::new(index)
+    }
+}
+
+/// A set of processes, stored as a 64-bit bitset.
+///
+/// Used for the port set `Y` and the wait-free set `X` of a `(y,x)`-live
+/// object, for crash sets, and for participation patterns.
+///
+/// # Examples
+///
+/// ```
+/// use apc_model::{ProcessId, ProcessSet};
+/// let set = ProcessSet::from_indices([0, 2]);
+/// assert!(set.contains(ProcessId::new(0)));
+/// assert!(!set.contains(ProcessId::new(1)));
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct ProcessSet(u64);
+
+impl ProcessSet {
+    /// The empty set.
+    pub const EMPTY: ProcessSet = ProcessSet(0);
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ProcessSet(0)
+    }
+
+    /// The set `{p_0, …, p_{n-1}}` of the first `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= 64, "at most 64 processes, got {n}");
+        if n == 64 {
+            ProcessSet(u64::MAX)
+        } else {
+            ProcessSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Builds a set from an iterator of dense indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(indices: I) -> Self {
+        let mut set = ProcessSet::new();
+        for i in indices {
+            set.insert(ProcessId::new(i));
+        }
+        set
+    }
+
+    /// Builds a set from an iterator of process ids.
+    pub fn from_pids<I: IntoIterator<Item = ProcessId>>(pids: I) -> Self {
+        let mut set = ProcessSet::new();
+        for p in pids {
+            set.insert(p);
+        }
+        set
+    }
+
+    /// Inserts a process; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, pid: ProcessId) -> bool {
+        let bit = 1u64 << pid.index();
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes a process; returns `true` if it was present.
+    pub fn remove(&mut self, pid: ProcessId) -> bool {
+        let bit = 1u64 << pid.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Whether `pid` is a member.
+    pub fn contains(self, pid: ProcessId) -> bool {
+        self.0 & (1u64 << pid.index()) != 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(self, other: ProcessSet) -> ProcessSet {
+        ProcessSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(self, other: ProcessSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over members in increasing index order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        ProcessSet::from_pids(iter)
+    }
+}
+
+impl FromIterator<usize> for ProcessSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        ProcessSet::from_indices(iter)
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl IntoIterator for ProcessSet {
+    type Item = ProcessId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`ProcessSet`], in increasing index order.
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = ProcessId;
+
+    fn next(&mut self) -> Option<ProcessId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(ProcessId::new(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_display_and_index() {
+        let p = ProcessId::new(5);
+        assert_eq!(p.index(), 5);
+        assert_eq!(p.to_string(), "p5");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 processes")]
+    fn pid_out_of_range_panics() {
+        let _ = ProcessId::new(64);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = ProcessSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn first_n_contains_exactly_prefix() {
+        let s = ProcessSet::first_n(3);
+        assert_eq!(s.len(), 3);
+        for i in 0..3 {
+            assert!(s.contains(ProcessId::new(i)));
+        }
+        assert!(!s.contains(ProcessId::new(3)));
+    }
+
+    #[test]
+    fn first_n_full_word() {
+        let s = ProcessSet::first_n(64);
+        assert_eq!(s.len(), 64);
+        assert!(s.contains(ProcessId::new(63)));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = ProcessSet::new();
+        let p = ProcessId::new(7);
+        assert!(s.insert(p));
+        assert!(!s.insert(p), "second insert reports not-fresh");
+        assert!(s.contains(p));
+        assert!(s.remove(p));
+        assert!(!s.remove(p), "second remove reports absent");
+        assert!(!s.contains(p));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcessSet::from_indices([0, 1, 2]);
+        let b = ProcessSet::from_indices([2, 3]);
+        assert_eq!(a.union(b), ProcessSet::from_indices([0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), ProcessSet::from_indices([2]));
+        assert_eq!(a.difference(b), ProcessSet::from_indices([0, 1]));
+        assert!(ProcessSet::from_indices([1]).is_subset(a));
+        assert!(!a.is_subset(b));
+        assert!(ProcessSet::EMPTY.is_subset(b));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s = ProcessSet::from_indices([9, 1, 4]);
+        let got: Vec<usize> = s.iter().map(|p| p.index()).collect();
+        assert_eq!(got, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = ProcessSet::from_indices([0, 2]);
+        assert_eq!(format!("{s:?}"), "{p0,p2}");
+    }
+
+    #[test]
+    fn from_iterators() {
+        let s: ProcessSet = [0usize, 3].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        let t: ProcessSet = s.iter().collect();
+        assert_eq!(s, t);
+    }
+}

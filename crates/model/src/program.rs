@@ -1,0 +1,199 @@
+//! Process programs: deterministic state machines driving the model.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::op::Op;
+use crate::value::Value;
+
+/// What a program wants to do next.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ProgramAction {
+    /// Perform one shared-memory operation. The result is delivered to the
+    /// next [`Program::resume`] call.
+    Invoke(Op),
+    /// Terminate, returning a decision value (the `return(v)` of the paper's
+    /// pseudo-code).
+    Decide(Value),
+    /// Terminate without a decision (a non-participating process, or a
+    /// program whose result is its side effects).
+    Halt,
+}
+
+/// A deterministic process: an explicit state machine performing exactly one
+/// shared-memory event per step.
+///
+/// The trait models the paper's deterministic processes (§3.3: "if `x;e_p`
+/// and `x;e'_p` are runs then `e_p = e'_p`"). Determinism is structural: the
+/// next action depends only on the program state and the last operation
+/// result.
+///
+/// Programs must be `Clone + Eq + Hash` so that the explorer can memoize
+/// global states and detect cycles.
+///
+/// # Examples
+///
+/// A process that writes `42` to a register and halts:
+///
+/// ```
+/// use apc_model::{Op, Program, ProgramAction, Value, ObjectId};
+///
+/// #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// enum WriteOnce { Start(ObjectId), Done }
+///
+/// impl Program for WriteOnce {
+///     fn resume(&mut self, _last: Option<Value>) -> ProgramAction {
+///         match *self {
+///             WriteOnce::Start(reg) => {
+///                 *self = WriteOnce::Done;
+///                 ProgramAction::Invoke(Op::Write(reg, Value::Num(42)))
+///             }
+///             WriteOnce::Done => ProgramAction::Halt,
+///         }
+///     }
+/// }
+/// ```
+pub trait Program: Clone + Eq + Hash + Debug {
+    /// Advances the program.
+    ///
+    /// `last` is the result of the previously invoked operation (`None` on
+    /// the first call, and after an action that performed no operation).
+    /// Returns the next action; if it is [`ProgramAction::Invoke`], the
+    /// operation is performed as this step's atomic event.
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction;
+
+    /// A short human-readable name for traces.
+    fn name(&self) -> &'static str {
+        "program"
+    }
+}
+
+/// Wraps a program to model optional participation.
+///
+/// The paper's progress conditions quantify over *participating* processes
+/// (those that invoke the operation). `MaybeParticipant::Absent` halts
+/// immediately without any shared-memory event, modelling a process that
+/// never participates.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MaybeParticipant<P> {
+    /// The process participates and runs `P`.
+    Present(P),
+    /// The process does not participate.
+    Absent,
+}
+
+impl<P: Program> MaybeParticipant<P> {
+    /// Whether the process participates.
+    pub fn is_present(&self) -> bool {
+        matches!(self, MaybeParticipant::Present(_))
+    }
+}
+
+impl<P: Program> Program for MaybeParticipant<P> {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        match self {
+            MaybeParticipant::Present(p) => p.resume(last),
+            MaybeParticipant::Absent => ProgramAction::Halt,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            MaybeParticipant::Present(p) => p.name(),
+            MaybeParticipant::Absent => "absent",
+        }
+    }
+}
+
+/// A program that combines two alternative program types.
+///
+/// Useful when different processes of one system run structurally different
+/// protocols (e.g. owners and guests of an arbiter driven by distinct state
+/// machines).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Either<A, B> {
+    /// Run the left program.
+    Left(A),
+    /// Run the right program.
+    Right(B),
+}
+
+impl<A: Program, B: Program> Program for Either<A, B> {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        match self {
+            Either::Left(a) => a.resume(last),
+            Either::Right(b) => b.resume(last),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Either::Left(a) => a.name(),
+            Either::Right(b) => b.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectId;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct DecideImmediately(u32);
+
+    impl Program for DecideImmediately {
+        fn resume(&mut self, _last: Option<Value>) -> ProgramAction {
+            ProgramAction::Decide(Value::Num(self.0))
+        }
+        fn name(&self) -> &'static str {
+            "decide-immediately"
+        }
+    }
+
+    #[test]
+    fn absent_halts() {
+        let mut p: MaybeParticipant<DecideImmediately> = MaybeParticipant::Absent;
+        assert_eq!(p.resume(None), ProgramAction::Halt);
+        assert!(!p.is_present());
+        assert_eq!(p.name(), "absent");
+    }
+
+    #[test]
+    fn present_delegates() {
+        let mut p = MaybeParticipant::Present(DecideImmediately(5));
+        assert_eq!(p.resume(None), ProgramAction::Decide(Value::Num(5)));
+        assert!(p.is_present());
+        assert_eq!(p.name(), "decide-immediately");
+    }
+
+    #[test]
+    fn either_delegates_both_sides() {
+        #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+        struct HaltNow;
+        impl Program for HaltNow {
+            fn resume(&mut self, _last: Option<Value>) -> ProgramAction {
+                ProgramAction::Halt
+            }
+            fn name(&self) -> &'static str {
+                "halt-now"
+            }
+        }
+        let mut l: Either<DecideImmediately, HaltNow> = Either::Left(DecideImmediately(1));
+        let mut r: Either<DecideImmediately, HaltNow> = Either::Right(HaltNow);
+        assert_eq!(l.resume(None), ProgramAction::Decide(Value::Num(1)));
+        assert_eq!(r.resume(None), ProgramAction::Halt);
+        assert_eq!(l.name(), "decide-immediately");
+        assert_eq!(r.name(), "halt-now");
+    }
+
+    #[test]
+    fn actions_are_comparable() {
+        let o = ObjectId::new(0);
+        assert_eq!(
+            ProgramAction::Invoke(Op::Read(o)),
+            ProgramAction::Invoke(Op::Read(o))
+        );
+        assert_ne!(ProgramAction::Halt, ProgramAction::Decide(Value::Bot));
+    }
+}

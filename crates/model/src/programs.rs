@@ -1,0 +1,235 @@
+//! A small library of reusable model programs.
+//!
+//! These are the building blocks used by tests, experiments and the paper's
+//! protocol implementations: propose-and-decide, write-then-read, spin-waits.
+
+use crate::object::ObjectId;
+use crate::op::Op;
+use crate::program::{Program, ProgramAction};
+use crate::value::Value;
+
+/// Proposes a value to a consensus object, then decides what it returns.
+///
+/// This is the whole life of a process in a consensus experiment: invoke
+/// `propose(v)`, return the result.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProposeProgram {
+    object: ObjectId,
+    value: Value,
+    state: ProposeState,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum ProposeState {
+    Start,
+    Proposed,
+}
+
+impl ProposeProgram {
+    /// A process that proposes `value` to `object` and decides the result.
+    pub fn new(object: ObjectId, value: Value) -> Self {
+        ProposeProgram { object, value, state: ProposeState::Start }
+    }
+}
+
+impl Program for ProposeProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        match self.state {
+            ProposeState::Start => {
+                self.state = ProposeState::Proposed;
+                ProgramAction::Invoke(Op::Propose(self.object, self.value))
+            }
+            ProposeState::Proposed => {
+                let decided = last.expect("propose completed with a value");
+                ProgramAction::Decide(decided)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "propose"
+    }
+}
+
+/// Writes a value to a register, reads it back, and decides the read value.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct WriteThenReadProgram {
+    object: ObjectId,
+    value: Value,
+    state: WtrState,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum WtrState {
+    Start,
+    Wrote,
+    Read,
+}
+
+impl WriteThenReadProgram {
+    /// A process that writes `value` to `object`, reads it back and decides.
+    pub fn new(object: ObjectId, value: Value) -> Self {
+        WriteThenReadProgram { object, value, state: WtrState::Start }
+    }
+}
+
+impl Program for WriteThenReadProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        match self.state {
+            WtrState::Start => {
+                self.state = WtrState::Wrote;
+                ProgramAction::Invoke(Op::Write(self.object, self.value))
+            }
+            WtrState::Wrote => {
+                self.state = WtrState::Read;
+                ProgramAction::Invoke(Op::Read(self.object))
+            }
+            WtrState::Read => ProgramAction::Decide(last.expect("read returns a value")),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "write-then-read"
+    }
+}
+
+/// Spins reading a register until it is non-`⊥`, then decides its value.
+///
+/// This is the model form of the paper's `wait(R ≠ ⊥); return(R)` statements
+/// (task `T2` of Figure 5, line 04 of Figure 4).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AwaitNonBotProgram {
+    object: ObjectId,
+    state: AwaitState,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum AwaitState {
+    Start,
+    Waiting,
+}
+
+impl AwaitNonBotProgram {
+    /// A process that waits until `object` is non-`⊥` and decides its value.
+    pub fn new(object: ObjectId) -> Self {
+        AwaitNonBotProgram { object, state: AwaitState::Start }
+    }
+}
+
+impl Program for AwaitNonBotProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        match self.state {
+            AwaitState::Start => {
+                self.state = AwaitState::Waiting;
+                ProgramAction::Invoke(Op::Read(self.object))
+            }
+            AwaitState::Waiting => {
+                let v = last.expect("read returns a value");
+                if v.is_bot() {
+                    ProgramAction::Invoke(Op::Read(self.object))
+                } else {
+                    ProgramAction::Decide(v)
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "await-non-bot"
+    }
+}
+
+/// Test-and-set race: decides `Num(0)` (winner) if it got the bit first,
+/// `Num(1)` (loser) otherwise.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TasRaceProgram {
+    object: ObjectId,
+    state: TasState,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum TasState {
+    Start,
+    Done,
+}
+
+impl TasRaceProgram {
+    /// A process that performs one test-and-set on `object`.
+    pub fn new(object: ObjectId) -> Self {
+        TasRaceProgram { object, state: TasState::Start }
+    }
+}
+
+impl Program for TasRaceProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        match self.state {
+            TasState::Start => {
+                self.state = TasState::Done;
+                ProgramAction::Invoke(Op::TestAndSet(self.object))
+            }
+            TasState::Done => {
+                let won = !last.expect("TAS returns the old bit").expect_bit("tas");
+                ProgramAction::Decide(Value::Num(if won { 0 } else { 1 }))
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tas-race"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pid::{ProcessId, ProcessSet};
+    use crate::schedule::Schedule;
+    use crate::system::{Runner, SystemBuilder};
+
+    #[test]
+    fn await_non_bot_spins_then_decides() {
+        let mut b = SystemBuilder::new(2);
+        let reg = b.add_register(Value::Bot);
+        let sys = b.build(|pid| {
+            if pid.index() == 0 {
+                crate::program::Either::Left(AwaitNonBotProgram::new(reg))
+            } else {
+                crate::program::Either::Right(WriteThenReadProgram::new(reg, Value::Num(5)))
+            }
+        });
+        let mut runner = Runner::new(sys);
+        // Let the waiter spin a few times first.
+        runner.run(&Schedule::solo(ProcessId::new(0), 5));
+        assert!(runner.system().status(ProcessId::new(0)).is_live(), "still spinning");
+        runner.run(&Schedule::round_robin(2, 10));
+        assert_eq!(runner.system().decision(ProcessId::new(0)), Some(Value::Num(5)));
+    }
+
+    #[test]
+    fn tas_race_has_exactly_one_winner() {
+        for schedule in [Schedule::round_robin(3, 3), Schedule::random(ProcessSet::first_n(3), 30, 9)] {
+            let mut b = SystemBuilder::new(3);
+            let tas = b.add_test_and_set();
+            let sys = b.build(|_| TasRaceProgram::new(tas));
+            let mut runner = Runner::new(sys);
+            runner.run(&schedule);
+            let winners = runner
+                .system()
+                .decisions()
+                .iter()
+                .filter(|(_, v)| *v == Value::Num(0))
+                .count();
+            if runner.system().all_terminated() {
+                assert_eq!(winners, 1, "exactly one TAS winner");
+            } else {
+                assert!(winners <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn propose_program_name() {
+        let p = ProposeProgram::new(ObjectId::new(0), Value::Num(1));
+        assert_eq!(p.name(), "propose");
+    }
+}

@@ -1,0 +1,257 @@
+//! Schedules: which process takes the next step, and when crashes occur.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::pid::{ProcessId, ProcessSet};
+
+/// One event of a schedule.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ScheduleEvent {
+    /// Process `pid` takes one step.
+    Step(ProcessId),
+    /// Process `pid` crashes (takes no further steps).
+    Crash(ProcessId),
+}
+
+/// A finite sequence of schedule events.
+///
+/// Schedules are data: they can be built, concatenated, repeated and
+/// inspected. The scheduler is the adversary of the paper's model — builders
+/// here cover the adversaries used in the proofs (solo runs for
+/// obstruction-freedom, lockstep runs for the impossibility scenarios,
+/// round-robin for fault-freedom, seeded-random for stress).
+///
+/// # Examples
+///
+/// ```
+/// use apc_model::{Schedule, ProcessId};
+/// let s = Schedule::lockstep([ProcessId::new(0), ProcessId::new(1)], 3);
+/// assert_eq!(s.len(), 6);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Schedule {
+    events: Vec<ScheduleEvent>,
+}
+
+impl Schedule {
+    /// The empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// The underlying event sequence.
+    pub fn events(&self) -> &[ScheduleEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends a step by `pid`.
+    pub fn push_step(&mut self, pid: ProcessId) -> &mut Self {
+        self.events.push(ScheduleEvent::Step(pid));
+        self
+    }
+
+    /// Appends a crash of `pid`.
+    pub fn push_crash(&mut self, pid: ProcessId) -> &mut Self {
+        self.events.push(ScheduleEvent::Crash(pid));
+        self
+    }
+
+    /// Concatenates another schedule after this one.
+    #[must_use]
+    pub fn then(mut self, other: &Schedule) -> Schedule {
+        self.events.extend_from_slice(&other.events);
+        self
+    }
+
+    /// Repeats this schedule `times` times.
+    #[must_use]
+    pub fn repeat(&self, times: usize) -> Schedule {
+        let mut events = Vec::with_capacity(self.events.len() * times);
+        for _ in 0..times {
+            events.extend_from_slice(&self.events);
+        }
+        Schedule { events }
+    }
+
+    /// Round-robin over processes `p0..p_{n-1}`, `rounds` full rounds.
+    pub fn round_robin(n: usize, rounds: usize) -> Schedule {
+        Schedule::lockstep((0..n).map(ProcessId::new), rounds)
+    }
+
+    /// `pid` runs alone for `steps` steps (the obstruction-freedom scenario).
+    pub fn solo(pid: ProcessId, steps: usize) -> Schedule {
+        Schedule { events: vec![ScheduleEvent::Step(pid); steps] }
+    }
+
+    /// The given processes step in a fixed cyclic order, `rounds` times.
+    ///
+    /// This is the adversary of Theorem 2's proof: processes that "access o
+    /// simultaneously" and never run in isolation.
+    pub fn lockstep<I: IntoIterator<Item = ProcessId>>(pids: I, rounds: usize) -> Schedule {
+        let order: Vec<ProcessId> = pids.into_iter().collect();
+        let mut events = Vec::with_capacity(order.len() * rounds);
+        for _ in 0..rounds {
+            for &p in &order {
+                events.push(ScheduleEvent::Step(p));
+            }
+        }
+        Schedule { events }
+    }
+
+    /// A uniformly random interleaving of `steps` steps among `set`,
+    /// deterministic in `seed`.
+    pub fn random(set: ProcessSet, steps: usize, seed: u64) -> Schedule {
+        let pids: Vec<ProcessId> = set.iter().collect();
+        assert!(!pids.is_empty(), "random schedule needs at least one process");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let events = (0..steps)
+            .map(|_| ScheduleEvent::Step(*pids.choose(&mut rng).expect("non-empty")))
+            .collect();
+        Schedule { events }
+    }
+
+    /// A random interleaving in which each process in `crashers` crashes at a
+    /// random point, deterministic in `seed`.
+    pub fn random_with_crashes(
+        set: ProcessSet,
+        steps: usize,
+        crashers: ProcessSet,
+        seed: u64,
+    ) -> Schedule {
+        let mut schedule = Schedule::random(set, steps, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        for pid in crashers.iter() {
+            let at = rand::Rng::gen_range(&mut rng, 0..=schedule.events.len());
+            schedule.events.insert(at, ScheduleEvent::Crash(pid));
+        }
+        schedule
+    }
+
+    /// The set of processes that crash somewhere in this schedule.
+    pub fn crash_set(&self) -> ProcessSet {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ScheduleEvent::Crash(p) => Some(*p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The set of processes that take at least one step.
+    pub fn stepper_set(&self) -> ProcessSet {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ScheduleEvent::Step(p) => Some(*p),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<ScheduleEvent> for Schedule {
+    fn from_iter<I: IntoIterator<Item = ScheduleEvent>>(iter: I) -> Self {
+        Schedule { events: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<ScheduleEvent> for Schedule {
+    fn extend<I: IntoIterator<Item = ScheduleEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn round_robin_order() {
+        let s = Schedule::round_robin(2, 2);
+        assert_eq!(
+            s.events(),
+            &[
+                ScheduleEvent::Step(pid(0)),
+                ScheduleEvent::Step(pid(1)),
+                ScheduleEvent::Step(pid(0)),
+                ScheduleEvent::Step(pid(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn solo_repeats_one_pid() {
+        let s = Schedule::solo(pid(2), 3);
+        assert_eq!(s.len(), 3);
+        assert!(s.events().iter().all(|e| *e == ScheduleEvent::Step(pid(2))));
+    }
+
+    #[test]
+    fn lockstep_preserves_given_order() {
+        let s = Schedule::lockstep([pid(1), pid(0)], 1);
+        assert_eq!(s.events(), &[ScheduleEvent::Step(pid(1)), ScheduleEvent::Step(pid(0))]);
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let set = ProcessSet::first_n(3);
+        let a = Schedule::random(set, 50, 42);
+        let b = Schedule::random(set, 50, 42);
+        let c = Schedule::random(set, 50, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn random_only_uses_given_set() {
+        let set = ProcessSet::from_indices([1, 3]);
+        let s = Schedule::random(set, 100, 7);
+        assert!(s.stepper_set().is_subset(set));
+    }
+
+    #[test]
+    fn crashes_recorded_in_crash_set() {
+        let set = ProcessSet::first_n(3);
+        let s = Schedule::random_with_crashes(set, 30, ProcessSet::from_indices([2]), 5);
+        assert!(s.crash_set().contains(pid(2)));
+        assert_eq!(s.crash_set().len(), 1);
+        assert_eq!(s.len(), 31);
+    }
+
+    #[test]
+    fn then_and_repeat_compose() {
+        let a = Schedule::solo(pid(0), 2);
+        let b = Schedule::solo(pid(1), 1);
+        let c = a.clone().then(&b).repeat(2);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.events()[2], ScheduleEvent::Step(pid(1)));
+    }
+
+    #[test]
+    fn builder_pushes() {
+        let mut s = Schedule::new();
+        s.push_step(pid(0)).push_crash(pid(1)).push_step(pid(1));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.crash_set(), ProcessSet::from_indices([1]));
+        // A crashed process stepping later is allowed in the schedule;
+        // the system treats it as a no-op.
+        assert_eq!(s.stepper_set(), ProcessSet::from_indices([0, 1]));
+    }
+}

@@ -1,0 +1,160 @@
+//! Schedule minimization: shrink a violating schedule to a minimal repro.
+//!
+//! The explorer reports invariant violations together with the schedule
+//! prefix that reaches them. Those prefixes come from a depth-first search
+//! and are rarely minimal; [`shrink_schedule`] applies delta-debugging
+//! (greedy event removal, then chunk removal) to produce a locally-minimal
+//! schedule that still triggers the violation — the artifact a human wants
+//! to read.
+
+use crate::explore::Invariant;
+use crate::program::Program;
+use crate::schedule::{Schedule, ScheduleEvent};
+use crate::system::{Runner, System};
+
+/// Whether running `schedule` from `initial` violates `invariant` at any
+/// point along the run.
+pub fn schedule_violates<P: Program>(
+    initial: &System<P>,
+    schedule: &[ScheduleEvent],
+    invariant: &dyn Invariant<P>,
+) -> bool {
+    let mut runner = Runner::new(initial.clone());
+    if invariant.check(runner.system()).is_err() {
+        return true;
+    }
+    for &event in schedule {
+        runner.execute(event);
+        if invariant.check(runner.system()).is_err() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Shrinks `schedule` to a locally-minimal event sequence that still
+/// violates `invariant` when run from `initial`.
+///
+/// Strategy: repeated passes of chunk removal with halving chunk sizes
+/// (classic delta debugging), until a fixpoint. The result is
+/// 1-minimal: removing any single remaining event breaks the repro.
+///
+/// Returns the original schedule unchanged if it does not violate the
+/// invariant (nothing to shrink).
+pub fn shrink_schedule<P: Program>(
+    initial: &System<P>,
+    schedule: &Schedule,
+    invariant: &dyn Invariant<P>,
+) -> Schedule {
+    let mut events: Vec<ScheduleEvent> = schedule.events().to_vec();
+    if !schedule_violates(initial, &events, invariant) {
+        return schedule.clone();
+    }
+    let mut chunk = events.len().max(1);
+    while chunk >= 1 {
+        let mut i = 0;
+        let mut removed_any = false;
+        while i < events.len() {
+            let end = (i + chunk).min(events.len());
+            let mut candidate = events.clone();
+            candidate.drain(i..end);
+            if schedule_violates(initial, &candidate, invariant) {
+                events = candidate;
+                removed_any = true;
+                // Do not advance: the next chunk now occupies position i.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+    }
+    events.into_iter().collect()
+}
+
+/// Renders a trace of the schedule against the system, as a human-readable
+/// multi-line string — used by examples and failure messages.
+pub fn render_run<P: Program>(initial: &System<P>, schedule: &Schedule) -> String {
+    let mut runner = Runner::new(initial.clone());
+    runner.run(schedule);
+    let mut out = String::new();
+    for (i, entry) in runner.trace().iter().enumerate() {
+        out.push_str(&format!("{i:4}  {entry}\n"));
+    }
+    let decisions = runner.system().decisions();
+    if decisions.is_empty() {
+        out.push_str("      (no decisions)\n");
+    } else {
+        for (pid, v) in decisions {
+            out.push_str(&format!("      {pid} decided {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{Agreement, ExploreConfig, Explorer};
+    use crate::pid::ProcessSet;
+    use crate::programs::TasRaceProgram;
+    use crate::system::SystemBuilder;
+    use crate::value::Value;
+
+    /// The TAS race "decides" winner/loser values — a deliberate agreement
+    /// violation the explorer finds; shrinking must keep it reproducible
+    /// and 1-minimal.
+    #[test]
+    fn shrinks_tas_race_violation() {
+        let mut b = SystemBuilder::new(3);
+        let tas = b.add_test_and_set();
+        let sys = b.build(|_| TasRaceProgram::new(tas));
+        let explorer = Explorer::new(ExploreConfig::default());
+        let result = explorer.explore(&sys, &[&Agreement]);
+        assert!(!result.ok());
+        let path: Schedule = result.violations[0].path.iter().copied().collect();
+        let shrunk = shrink_schedule(&sys, &path, &Agreement);
+        assert!(schedule_violates(&sys, shrunk.events(), &Agreement));
+        assert!(shrunk.len() <= path.len());
+        // 1-minimality: removing any one event breaks the repro.
+        for skip in 0..shrunk.len() {
+            let mut candidate: Vec<_> = shrunk.events().to_vec();
+            candidate.remove(skip);
+            assert!(
+                !schedule_violates(&sys, &candidate, &Agreement),
+                "not 1-minimal at index {skip}"
+            );
+        }
+        // The minimal repro needs two deciders: a winner and a loser — at
+        // least 4 events (two TAS + two decide steps).
+        assert!(shrunk.len() >= 4, "unexpectedly small: {}", shrunk.len());
+    }
+
+    #[test]
+    fn non_violating_schedule_returned_unchanged() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_wait_free_consensus(ProcessSet::first_n(2));
+        let sys = b.build(|pid| {
+            crate::programs::ProposeProgram::new(cons, Value::Num(pid.index() as u32))
+        });
+        let schedule = Schedule::round_robin(2, 5);
+        let shrunk = shrink_schedule(&sys, &schedule, &Agreement);
+        assert_eq!(shrunk, schedule);
+    }
+
+    #[test]
+    fn render_run_shows_steps_and_decisions() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_wait_free_consensus(ProcessSet::first_n(2));
+        let sys = b.build(|pid| {
+            crate::programs::ProposeProgram::new(cons, Value::Num(pid.index() as u32))
+        });
+        let rendered = render_run(&sys, &Schedule::round_robin(2, 5));
+        assert!(rendered.contains("propose"), "{rendered}");
+        assert!(rendered.contains("decided"), "{rendered}");
+    }
+}

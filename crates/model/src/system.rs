@@ -1,0 +1,533 @@
+//! The global state of the simulated system and its step semantics.
+
+use std::fmt;
+
+use crate::error::{Fault, ModelError};
+use crate::object::{LiveConsensusState, ObjectId, ObjectState};
+use crate::op::{Op, OpOutcome};
+use crate::pid::{ProcessId, ProcessSet};
+use crate::program::{Program, ProgramAction};
+use crate::schedule::{Schedule, ScheduleEvent};
+use crate::value::Value;
+
+/// Execution status of one simulated process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ProcStatus {
+    /// Ready to take its next program step.
+    Ready,
+    /// Blocked on an incomplete operation (a guest proposal waiting for
+    /// isolation); each scheduled step retries the operation.
+    PendingOp(Op),
+    /// Terminated with a decision value.
+    Decided(Value),
+    /// Terminated without a decision.
+    Halted,
+    /// Crashed: takes no more steps (the paper's crash failure).
+    Crashed,
+    /// The substrate rejected an operation (protocol bug); takes no more steps.
+    Faulted(Fault),
+}
+
+impl ProcStatus {
+    /// Whether the process can still take steps.
+    pub fn is_live(&self) -> bool {
+        matches!(self, ProcStatus::Ready | ProcStatus::PendingOp(_))
+    }
+
+    /// Whether the process terminated with a decision.
+    pub fn decision(&self) -> Option<Value> {
+        match self {
+            ProcStatus::Decided(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// What happened during one scheduled step.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StepKind {
+    /// The process performed an operation that completed.
+    OpCompleted(Op, Value),
+    /// The process attempted an operation that remains pending.
+    OpPending(Op),
+    /// The process terminated with a decision (no shared event).
+    Decided(Value),
+    /// The process halted without deciding (no shared event).
+    Halted,
+    /// The process was not live; the step was a no-op.
+    NoOp,
+    /// The process crashed (a crash event of the schedule).
+    Crashed,
+}
+
+/// One entry of an execution trace.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TraceEntry {
+    /// The process that took the step.
+    pub pid: ProcessId,
+    /// What the step did.
+    pub kind: StepKind,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            StepKind::OpCompleted(op, v) => write!(f, "{}: {op} -> {v}", self.pid),
+            StepKind::OpPending(op) => write!(f, "{}: {op} (pending)", self.pid),
+            StepKind::Decided(v) => write!(f, "{}: decide({v})", self.pid),
+            StepKind::Halted => write!(f, "{}: halt", self.pid),
+            StepKind::NoOp => write!(f, "{}: (no-op)", self.pid),
+            StepKind::Crashed => write!(f, "{}: CRASH", self.pid),
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ProcEntry<P> {
+    program: P,
+    status: ProcStatus,
+    last: Option<Value>,
+}
+
+/// Builder for a [`System`]: declare shared objects, then attach programs.
+///
+/// # Examples
+///
+/// ```
+/// use apc_model::{SystemBuilder, Value, ProcessSet};
+/// use apc_model::programs::ProposeProgram;
+///
+/// let mut b = SystemBuilder::new(3);
+/// let cons = b.add_live_consensus(ProcessSet::first_n(3), ProcessSet::from_indices([0]), 1);
+/// let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+/// assert_eq!(sys.n(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    n: usize,
+    objects: Vec<ObjectState>,
+}
+
+impl SystemBuilder {
+    /// Starts building a system of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 64`.
+    pub fn new(n: usize) -> Self {
+        assert!((1..=64).contains(&n), "n must be in 1..=64, got {n}");
+        SystemBuilder { n, objects: Vec::new() }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds an atomic register with the given initial value.
+    pub fn add_register(&mut self, init: Value) -> ObjectId {
+        self.push(ObjectState::Register { value: init })
+    }
+
+    /// Adds an array of `len` atomic registers, all initialized to `init`.
+    pub fn add_register_array(&mut self, len: usize, init: Value) -> Vec<ObjectId> {
+        (0..len).map(|_| self.add_register(init)).collect()
+    }
+
+    /// Adds a `(y,x)`-live consensus base object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wait_free ⊄ ports`.
+    pub fn add_live_consensus(
+        &mut self,
+        ports: ProcessSet,
+        wait_free: ProcessSet,
+        isolation_window: u8,
+    ) -> ObjectId {
+        self.push(ObjectState::LiveConsensus(LiveConsensusState::new(
+            ports,
+            wait_free,
+            isolation_window,
+        )))
+    }
+
+    /// Adds an `(x,x)`-live (wait-free, `x`-ported) consensus object.
+    pub fn add_wait_free_consensus(&mut self, ports: ProcessSet) -> ObjectId {
+        self.add_live_consensus(ports, ports, 1)
+    }
+
+    /// Adds an obstruction-free (`(y,0)`-live) consensus object.
+    pub fn add_obstruction_free_consensus(
+        &mut self,
+        ports: ProcessSet,
+        isolation_window: u8,
+    ) -> ObjectId {
+        self.add_live_consensus(ports, ProcessSet::EMPTY, isolation_window)
+    }
+
+    /// Adds a test-and-set bit.
+    pub fn add_test_and_set(&mut self) -> ObjectId {
+        self.push(ObjectState::TestAndSet { set: false })
+    }
+
+    /// Adds a fetch-and-add counter.
+    pub fn add_fetch_and_add(&mut self, init: u32) -> ObjectId {
+        self.push(ObjectState::FetchAndAdd { count: init })
+    }
+
+    /// Adds a swap register.
+    pub fn add_swap(&mut self, init: Value) -> ObjectId {
+        self.push(ObjectState::Swap { value: init })
+    }
+
+    fn push(&mut self, state: ObjectState) -> ObjectId {
+        let id = ObjectId::new(self.objects.len());
+        self.objects.push(state);
+        id
+    }
+
+    /// Finishes the build, creating each process's program from its id.
+    pub fn build<P: Program>(self, mut program: impl FnMut(ProcessId) -> P) -> System<P> {
+        let procs = (0..self.n)
+            .map(|i| ProcEntry {
+                program: program(ProcessId::new(i)),
+                status: ProcStatus::Ready,
+                last: None,
+            })
+            .collect();
+        System { objects: self.objects, procs }
+    }
+}
+
+/// The complete global state of a simulated system: all shared objects plus
+/// every process's program state and status.
+///
+/// `System` is `Clone + Eq + Hash`, so the explorer can branch and memoize.
+/// Traces are kept outside the state (in [`Runner`]) so that two runs
+/// reaching the same configuration compare equal — this is what makes cycle
+/// detection sound.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct System<P> {
+    objects: Vec<ObjectState>,
+    procs: Vec<ProcEntry<P>>,
+}
+
+impl<P: Program> System<P> {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Status of one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn status(&self, pid: ProcessId) -> &ProcStatus {
+        &self.procs[pid.index()].status
+    }
+
+    /// The decision of `pid`, if it has decided.
+    pub fn decision(&self, pid: ProcessId) -> Option<Value> {
+        self.procs[pid.index()].status.decision()
+    }
+
+    /// All decisions made so far, as `(pid, value)` pairs.
+    pub fn decisions(&self) -> Vec<(ProcessId, Value)> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.status.decision().map(|v| (ProcessId::new(i), v)))
+            .collect()
+    }
+
+    /// The set of live (schedulable) processes.
+    pub fn live_set(&self) -> ProcessSet {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.status.is_live())
+            .map(|(i, _)| ProcessId::new(i))
+            .collect()
+    }
+
+    /// Whether every process has terminated (decided, halted, crashed or
+    /// faulted).
+    pub fn all_terminated(&self) -> bool {
+        self.procs.iter().all(|p| !p.status.is_live())
+    }
+
+    /// Whether any process faulted (a protocol bug).
+    pub fn any_faulted(&self) -> bool {
+        self.procs.iter().any(|p| matches!(p.status, ProcStatus::Faulted(_)))
+    }
+
+    /// Direct read access to an object's state (for invariant checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object id is out of range.
+    pub fn object(&self, id: ObjectId) -> &ObjectState {
+        &self.objects[id.index()]
+    }
+
+    /// Crashes a process: it takes no further steps.
+    ///
+    /// Crashing a terminated process leaves it terminated (the paper only
+    /// distinguishes faulty/correct by whether crash happens before the end
+    /// of the run; crashing after termination is indistinguishable).
+    pub fn crash(&mut self, pid: ProcessId) {
+        let entry = &mut self.procs[pid.index()];
+        if entry.status.is_live() {
+            entry.status = ProcStatus::Crashed;
+        }
+    }
+
+    /// Executes one step of `pid`, returning what happened.
+    ///
+    /// The step performs at most one shared-memory event, per the paper's
+    /// model. Stepping a non-live process is a no-op.
+    pub fn step(&mut self, pid: ProcessId) -> StepKind {
+        let idx = pid.index();
+        match self.procs[idx].status.clone() {
+            ProcStatus::Decided(_) | ProcStatus::Halted | ProcStatus::Crashed | ProcStatus::Faulted(_) => {
+                StepKind::NoOp
+            }
+            ProcStatus::PendingOp(op) => self.attempt(pid, op),
+            ProcStatus::Ready => {
+                let last = self.procs[idx].last.take();
+                let action = self.procs[idx].program.resume(last);
+                match action {
+                    ProgramAction::Invoke(op) => self.attempt(pid, op),
+                    ProgramAction::Decide(v) => {
+                        self.procs[idx].status = ProcStatus::Decided(v);
+                        StepKind::Decided(v)
+                    }
+                    ProgramAction::Halt => {
+                        self.procs[idx].status = ProcStatus::Halted;
+                        StepKind::Halted
+                    }
+                }
+            }
+        }
+    }
+
+    fn attempt(&mut self, pid: ProcessId, op: Op) -> StepKind {
+        let idx = pid.index();
+        let obj = op.object();
+        let Some(state) = self.objects.get_mut(obj.index()) else {
+            self.procs[idx].status = ProcStatus::Faulted(Fault::NoSuchObject);
+            return StepKind::NoOp;
+        };
+        match state.apply(pid, op) {
+            Ok(OpOutcome::Done(v)) => {
+                self.procs[idx].last = Some(v);
+                self.procs[idx].status = ProcStatus::Ready;
+                StepKind::OpCompleted(op, v)
+            }
+            Ok(OpOutcome::Pending) => {
+                self.procs[idx].status = ProcStatus::PendingOp(op);
+                StepKind::OpPending(op)
+            }
+            Err(fault) => {
+                self.procs[idx].status = ProcStatus::Faulted(fault);
+                StepKind::NoOp
+            }
+        }
+    }
+
+    /// The first fault among processes, as a [`ModelError`], if any.
+    pub fn first_fault(&self) -> Option<ModelError> {
+        self.procs.iter().enumerate().find_map(|(i, p)| match p.status {
+            ProcStatus::Faulted(fault) => {
+                Some(ModelError { pid: ProcessId::new(i), object: None, fault })
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Drives a [`System`] along schedules, recording a trace.
+#[derive(Clone, Debug)]
+pub struct Runner<P> {
+    system: System<P>,
+    trace: Vec<TraceEntry>,
+}
+
+impl<P: Program> Runner<P> {
+    /// Wraps a system for execution.
+    pub fn new(system: System<P>) -> Self {
+        Runner { system, trace: Vec::new() }
+    }
+
+    /// The current system state.
+    pub fn system(&self) -> &System<P> {
+        &self.system
+    }
+
+    /// Mutable access to the system (for crash injection mid-run).
+    pub fn system_mut(&mut self) -> &mut System<P> {
+        &mut self.system
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Executes one schedule event.
+    pub fn execute(&mut self, event: ScheduleEvent) -> StepKind {
+        match event {
+            ScheduleEvent::Step(pid) => {
+                let kind = self.system.step(pid);
+                self.trace.push(TraceEntry { pid, kind });
+                kind
+            }
+            ScheduleEvent::Crash(pid) => {
+                self.system.crash(pid);
+                let kind = StepKind::Crashed;
+                self.trace.push(TraceEntry { pid, kind });
+                kind
+            }
+        }
+    }
+
+    /// Runs the whole schedule (stopping early if every process terminates).
+    /// Returns the number of schedule events consumed.
+    pub fn run(&mut self, schedule: &Schedule) -> usize {
+        let mut used = 0;
+        for &event in schedule.events() {
+            if self.system.all_terminated() {
+                break;
+            }
+            self.execute(event);
+            used += 1;
+        }
+        used
+    }
+
+    /// Repeats a cyclic schedule until all processes terminate or
+    /// `max_events` events have executed. Returns `true` if the system
+    /// terminated.
+    pub fn run_until_terminated(&mut self, cycle: &Schedule, max_events: usize) -> bool {
+        let mut executed = 0;
+        while !self.system.all_terminated() && executed < max_events {
+            for &event in cycle.events() {
+                if self.system.all_terminated() || executed >= max_events {
+                    break;
+                }
+                self.execute(event);
+                executed += 1;
+            }
+        }
+        self.system.all_terminated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{ProposeProgram, WriteThenReadProgram};
+
+    #[test]
+    fn builder_rejects_zero_processes() {
+        let result = std::panic::catch_unwind(|| SystemBuilder::new(0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut b = SystemBuilder::new(1);
+        let reg = b.add_register(Value::Bot);
+        let sys = b.build(|_| WriteThenReadProgram::new(reg, Value::Num(3)));
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::solo(ProcessId::new(0), 10));
+        assert_eq!(runner.system().decision(ProcessId::new(0)), Some(Value::Num(3)));
+    }
+
+    #[test]
+    fn wait_free_propose_decides_under_any_interleaving() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_wait_free_consensus(ProcessSet::first_n(2));
+        let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::round_robin(2, 10));
+        let d0 = runner.system().decision(ProcessId::new(0)).unwrap();
+        let d1 = runner.system().decision(ProcessId::new(1)).unwrap();
+        assert_eq!(d0, d1, "agreement");
+        assert!(d0 == Value::Num(0) || d0 == Value::Num(1), "validity");
+    }
+
+    #[test]
+    fn guests_in_lockstep_stay_pending() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_obstruction_free_consensus(ProcessSet::first_n(2), 1);
+        let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+        let mut runner = Runner::new(sys);
+        let terminated = runner.run_until_terminated(&Schedule::round_robin(2, 2), 1000);
+        assert!(!terminated, "lockstep guests must not decide");
+        assert!(runner.system().live_set().len() == 2);
+    }
+
+    #[test]
+    fn solo_guest_decides() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_obstruction_free_consensus(ProcessSet::first_n(2), 1);
+        let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::solo(ProcessId::new(1), 10));
+        assert_eq!(runner.system().decision(ProcessId::new(1)), Some(Value::Num(1)));
+    }
+
+    #[test]
+    fn crash_stops_steps() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_obstruction_free_consensus(ProcessSet::first_n(2), 1);
+        let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+        let mut runner = Runner::new(sys);
+        runner.execute(ScheduleEvent::Step(ProcessId::new(0)));
+        runner.execute(ScheduleEvent::Crash(ProcessId::new(0)));
+        assert_eq!(*runner.system().status(ProcessId::new(0)), ProcStatus::Crashed);
+        let kind = runner.execute(ScheduleEvent::Step(ProcessId::new(0)));
+        assert_eq!(kind, StepKind::NoOp);
+        // After the crash, the other guest can decide alone.
+        runner.run(&Schedule::solo(ProcessId::new(1), 10));
+        assert_eq!(runner.system().decision(ProcessId::new(1)), Some(Value::Num(1)));
+    }
+
+    #[test]
+    fn fault_on_wrong_kind() {
+        let mut b = SystemBuilder::new(1);
+        let reg = b.add_register(Value::Bot);
+        // ProposeProgram targets a register: kind mismatch -> fault.
+        let sys = b.build(|_| ProposeProgram::new(reg, Value::Num(1)));
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::solo(ProcessId::new(0), 3));
+        assert!(runner.system().any_faulted());
+        assert_eq!(runner.system().first_fault().unwrap().fault, Fault::WrongObjectKind);
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let mut b = SystemBuilder::new(1);
+        let reg = b.add_register(Value::Bot);
+        let sys = b.build(|_| WriteThenReadProgram::new(reg, Value::Num(3)));
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::solo(ProcessId::new(0), 10));
+        assert!(runner.trace().len() >= 3, "write, read, decide");
+        let rendered: Vec<String> = runner.trace().iter().map(|t| t.to_string()).collect();
+        assert!(rendered[0].contains("write"), "{rendered:?}");
+    }
+
+    #[test]
+    fn decisions_lists_all() {
+        let mut b = SystemBuilder::new(2);
+        let cons = b.add_wait_free_consensus(ProcessSet::first_n(2));
+        let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+        let mut runner = Runner::new(sys);
+        runner.run(&Schedule::round_robin(2, 10));
+        assert_eq!(runner.system().decisions().len(), 2);
+        assert!(runner.system().all_terminated());
+    }
+}

@@ -1,0 +1,171 @@
+//! Model values stored in shared objects and exchanged with programs.
+
+use std::fmt;
+
+/// A small, copyable value as stored in model registers and consensus objects.
+///
+/// The paper's algorithms need four kinds of values:
+///
+/// * `⊥` (the initial value of registers and of decision slots) — [`Value::Bot`];
+/// * booleans (the `PART` array of the arbiter, the proposals of `XCONS`) —
+///   [`Value::Bit`];
+/// * proposal values — [`Value::Num`];
+/// * small tagged pairs (adopt-commit `(flag, value)` pairs, stamped values) —
+///   [`Value::Tagged`].
+///
+/// Keeping values `Copy + Eq + Hash + Ord` lets the explorer memoize global
+/// states cheaply.
+///
+/// # Examples
+///
+/// ```
+/// use apc_model::Value;
+/// assert!(Value::Bot.is_bot());
+/// assert_eq!(Value::Num(7).as_num(), Some(7));
+/// assert_eq!(Value::Tagged(true, 3).to_string(), "(true,3)");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Value {
+    /// The undefined / initial value `⊥`.
+    #[default]
+    Bot,
+    /// A boolean value.
+    Bit(bool),
+    /// A numeric value (consensus proposals, group indices, …).
+    Num(u32),
+    /// A tagged pair `(flag, payload)` — used by adopt-commit and stamped cells.
+    Tagged(bool, u32),
+}
+
+impl Value {
+    /// Whether this value is `⊥`.
+    pub fn is_bot(self) -> bool {
+        matches!(self, Value::Bot)
+    }
+
+    /// Returns the numeric payload if this is a [`Value::Num`].
+    pub fn as_num(self) -> Option<u32> {
+        match self {
+            Value::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a [`Value::Bit`].
+    pub fn as_bit(self) -> Option<bool> {
+        match self {
+            Value::Bit(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the `(flag, payload)` pair if this is a [`Value::Tagged`].
+    pub fn as_tagged(self) -> Option<(bool, u32)> {
+        match self {
+            Value::Tagged(f, v) => Some((f, v)),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, panicking on other variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not [`Value::Num`]. Intended for protocol code
+    /// where the register discipline guarantees the variant.
+    pub fn expect_num(self, context: &str) -> u32 {
+        match self {
+            Value::Num(n) => n,
+            other => panic!("expected Num in {context}, got {other}"),
+        }
+    }
+
+    /// The boolean payload, panicking on other variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not [`Value::Bit`].
+    pub fn expect_bit(self, context: &str) -> bool {
+        match self {
+            Value::Bit(b) => b,
+            other => panic!("expected Bit in {context}, got {other}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bot => write!(f, "⊥"),
+            Value::Bit(b) => write!(f, "{b}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Tagged(b, v) => write!(f, "({b},{v})"),
+        }
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_bot() {
+        assert_eq!(Value::default(), Value::Bot);
+        assert!(Value::default().is_bot());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Num(3).as_num(), Some(3));
+        assert_eq!(Value::Bit(true).as_num(), None);
+        assert_eq!(Value::Bit(true).as_bit(), Some(true));
+        assert_eq!(Value::Num(3).as_bit(), None);
+        assert_eq!(Value::Tagged(false, 9).as_tagged(), Some((false, 9)));
+        assert_eq!(Value::Bot.as_tagged(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Bot.to_string(), "⊥");
+        assert_eq!(Value::Bit(false).to_string(), "false");
+        assert_eq!(Value::Num(42).to_string(), "42");
+        assert_eq!(Value::Tagged(true, 1).to_string(), "(true,1)");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5u32), Value::Num(5));
+        assert_eq!(Value::from(true), Value::Bit(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Num in test")]
+    fn expect_num_panics_on_bit() {
+        let _ = Value::Bit(true).expect_num("test");
+    }
+
+    #[test]
+    fn expect_accessors_happy_path() {
+        assert_eq!(Value::Num(1).expect_num("ok"), 1);
+        assert!(Value::Bit(true).expect_bit("ok"));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = [Value::Num(2), Value::Bot, Value::Bit(true), Value::Num(1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Bot);
+    }
+}

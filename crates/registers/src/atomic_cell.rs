@@ -1,0 +1,282 @@
+//! An epoch-reclaimed MWMR atomic register over `Option<T>`.
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+
+/// A linearizable multi-writer multi-reader atomic register holding an
+/// `Option<T>` — the real-thread analogue of the paper's atomic registers,
+/// with a null pointer playing the role of `⊥`.
+///
+/// Readers clone the stored value under an epoch guard; writers swing an
+/// `AtomicPtr` and defer destruction of the previous value to
+/// crossbeam-epoch. All operations are lock-free; none blocks.
+///
+/// The extra primitive [`AtomicCell::set_if_bot`] (compare-and-swap from
+/// `⊥`) is the *decision slot* idiom used by wait-free consensus: the first
+/// writer wins and every process can read the winner. Note that a CAS-backed
+/// register is strictly stronger than a read/write register — the
+/// implementations in `apc-core` are explicit about which primitive each
+/// algorithm needs, because the whole point of the paper is that this
+/// difference matters.
+///
+/// # Examples
+///
+/// ```
+/// use apc_registers::AtomicCell;
+///
+/// let cell: AtomicCell<String> = AtomicCell::new();
+/// assert_eq!(cell.load(), None);
+/// cell.store("hello".to_owned());
+/// assert_eq!(cell.load().as_deref(), Some("hello"));
+/// ```
+pub struct AtomicCell<T> {
+    inner: Atomic<T>,
+}
+
+impl<T> AtomicCell<T> {
+    /// Creates an empty (`⊥`) cell.
+    pub fn new() -> Self {
+        AtomicCell { inner: Atomic::null() }
+    }
+
+    /// Creates a cell holding `value`.
+    pub fn with_value(value: T) -> Self {
+        AtomicCell { inner: Atomic::new(value) }
+    }
+
+    /// Whether the cell currently holds `⊥`.
+    pub fn is_bot(&self) -> bool {
+        let guard = epoch::pin();
+        self.inner.load(Ordering::Acquire, &guard).is_null()
+    }
+
+    /// Stores a value, discarding the previous one.
+    pub fn store(&self, value: T) {
+        let guard = epoch::pin();
+        let old = self.inner.swap(Owned::new(value), Ordering::AcqRel, &guard);
+        // SAFETY: `old` was produced by this cell and is no longer reachable
+        // through it; epoch reclamation defers destruction until no thread
+        // holds a guard that could still reference it.
+        unsafe { defer_destroy(old, &guard) };
+    }
+
+    /// Clears the cell back to `⊥`.
+    pub fn clear(&self) {
+        let guard = epoch::pin();
+        let old = self.inner.swap(Shared::null(), Ordering::AcqRel, &guard);
+        // SAFETY: as in `store`.
+        unsafe { defer_destroy(old, &guard) };
+    }
+
+    /// Sets the cell to `value` only if it is currently `⊥`.
+    ///
+    /// This is the wait-free decision-slot primitive: exactly one concurrent
+    /// `set_if_bot` succeeds on an empty cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` (giving the value back) if the cell was already
+    /// set.
+    pub fn set_if_bot(&self, value: T) -> Result<(), T> {
+        let guard = epoch::pin();
+        let new = Owned::new(value);
+        match self.inner.compare_exchange(
+            Shared::null(),
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+            &guard,
+        ) {
+            Ok(_) => Ok(()),
+            Err(failure) => Err(*failure.new.into_box()),
+        }
+    }
+}
+
+impl<T: Clone> AtomicCell<T> {
+    /// Reads the current value (cloning it), or `None` if the cell is `⊥`.
+    pub fn load(&self) -> Option<T> {
+        let guard = epoch::pin();
+        let shared = self.inner.load(Ordering::Acquire, &guard);
+        // SAFETY: `shared` is protected by `guard`: it cannot be reclaimed
+        // while the guard is live, so the reference is valid for the clone.
+        unsafe { shared.as_ref() }.cloned()
+    }
+
+    /// Swaps in `value`, returning the previous value.
+    pub fn swap(&self, value: T) -> Option<T> {
+        let guard = epoch::pin();
+        let old = self.inner.swap(Owned::new(value), Ordering::AcqRel, &guard);
+        // SAFETY: protected by `guard` for the clone; destruction deferred.
+        let previous = unsafe { old.as_ref() }.cloned();
+        unsafe { defer_destroy(old, &guard) };
+        previous
+    }
+
+    /// Reads the value, initializing the cell with `init()` first if it is
+    /// `⊥`. Returns the value that ended up being read.
+    ///
+    /// Under a race, exactly one initializer wins and all callers observe a
+    /// single consistent value.
+    pub fn load_or_init(&self, init: impl FnOnce() -> T) -> T {
+        if let Some(v) = self.load() {
+            return v;
+        }
+        let _ = self.set_if_bot(init());
+        self.load().expect("cell was just initialized and is never cleared concurrently")
+    }
+}
+
+/// # Safety
+///
+/// `old` must have been removed from the cell (unreachable for new readers)
+/// and must not be destroyed twice.
+unsafe fn defer_destroy<T>(old: Shared<'_, T>, guard: &epoch::Guard) {
+    if !old.is_null() {
+        guard.defer_destroy(old);
+    }
+}
+
+impl<T> Default for AtomicCell<T> {
+    fn default() -> Self {
+        AtomicCell::new()
+    }
+}
+
+impl<T> Drop for AtomicCell<T> {
+    fn drop(&mut self) {
+        // SAFETY: we have `&mut self`, so no other thread can access the
+        // cell; the value can be dropped immediately.
+        let shared = unsafe { self.inner.load(Ordering::Relaxed, epoch::unprotected()) };
+        if !shared.is_null() {
+            drop(unsafe { shared.into_owned() });
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for AtomicCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.load() {
+            Some(v) => f.debug_tuple("AtomicCell").field(&v).finish(),
+            None => f.debug_tuple("AtomicCell").field(&"⊥").finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_bot() {
+        let cell: AtomicCell<u64> = AtomicCell::new();
+        assert!(cell.is_bot());
+        assert_eq!(cell.load(), None);
+    }
+
+    #[test]
+    fn with_value_starts_set() {
+        let cell = AtomicCell::with_value(9u64);
+        assert!(!cell.is_bot());
+        assert_eq!(cell.load(), Some(9));
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let cell = AtomicCell::new();
+        cell.store(vec![1, 2, 3]);
+        assert_eq!(cell.load(), Some(vec![1, 2, 3]));
+        cell.store(vec![4]);
+        assert_eq!(cell.load(), Some(vec![4]));
+    }
+
+    #[test]
+    fn clear_resets_to_bot() {
+        let cell = AtomicCell::with_value(1u8);
+        cell.clear();
+        assert!(cell.is_bot());
+    }
+
+    #[test]
+    fn swap_returns_previous() {
+        let cell = AtomicCell::new();
+        assert_eq!(cell.swap(1u64), None);
+        assert_eq!(cell.swap(2), Some(1));
+        assert_eq!(cell.load(), Some(2));
+    }
+
+    #[test]
+    fn set_if_bot_once() {
+        let cell = AtomicCell::new();
+        assert!(cell.set_if_bot(10u64).is_ok());
+        assert_eq!(cell.set_if_bot(20), Err(20));
+        assert_eq!(cell.load(), Some(10));
+    }
+
+    #[test]
+    fn load_or_init_initializes_once() {
+        let cell: AtomicCell<u64> = AtomicCell::new();
+        assert_eq!(cell.load_or_init(|| 5), 5);
+        assert_eq!(cell.load_or_init(|| 6), 5);
+    }
+
+    #[test]
+    fn concurrent_set_if_bot_has_one_winner() {
+        let cell: Arc<AtomicCell<usize>> = Arc::new(AtomicCell::new());
+        let wins = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cell = Arc::clone(&cell);
+                let wins = Arc::clone(&wins);
+                s.spawn(move || {
+                    if cell.set_if_bot(t).is_ok() {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+        let winner = cell.load().unwrap();
+        assert!(winner < 8);
+    }
+
+    #[test]
+    fn concurrent_store_load_stress() {
+        let cell: Arc<AtomicCell<u64>> = Arc::new(AtomicCell::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        cell.store(t * 10_000 + i);
+                        let _ = cell.load();
+                    }
+                });
+            }
+        });
+        let last = cell.load().unwrap();
+        assert!(last % 10_000 < 1000, "last value was actually written: {last}");
+    }
+
+    #[test]
+    fn drop_releases_value() {
+        // Drop a cell holding an Arc and confirm the refcount falls.
+        let tracked = Arc::new(());
+        let cell = AtomicCell::with_value(Arc::clone(&tracked));
+        assert_eq!(Arc::strong_count(&tracked), 2);
+        drop(cell);
+        assert_eq!(Arc::strong_count(&tracked), 1);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let cell: AtomicCell<u8> = AtomicCell::new();
+        assert!(format!("{cell:?}").contains("⊥"));
+        cell.store(3);
+        assert!(format!("{cell:?}").contains('3'));
+    }
+}

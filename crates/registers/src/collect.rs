@@ -1,0 +1,150 @@
+//! Store/collect: the one-round communication primitive over registers.
+//!
+//! A *store-collect* object is an array of single-writer registers, one per
+//! process, with `store(i, v)` writing process `i`'s register and
+//! `collect()` reading all of them one by one. A collect is *regular*, not
+//! atomic — the values read may never have coexisted — which is exactly the
+//! guarantee adopt-commit and round-based consensus are designed around.
+
+use std::fmt;
+
+use crate::atomic_cell::AtomicCell;
+
+/// A store/collect array over `n` processes.
+///
+/// # Examples
+///
+/// ```
+/// use apc_registers::collect::StoreCollect;
+/// let sc: StoreCollect<u32> = StoreCollect::new(3);
+/// sc.store(1, 11);
+/// let view = sc.collect();
+/// assert_eq!(view, vec![None, Some(11), None]);
+/// ```
+pub struct StoreCollect<T> {
+    slots: Vec<AtomicCell<T>>,
+}
+
+impl<T> StoreCollect<T> {
+    /// Creates an array for `n` processes, all slots `⊥`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "store-collect needs at least one slot");
+        StoreCollect { slots: (0..n).map(|_| AtomicCell::new()).collect() }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false (the array has at least one slot).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Writes process `i`'s slot (one register write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn store(&self, i: usize, value: T) {
+        self.slots[i].store(value);
+    }
+}
+
+impl<T: Clone> StoreCollect<T> {
+    /// Reads every slot, one register read per slot, in index order.
+    ///
+    /// The result is a *regular* collect: it need not correspond to any
+    /// single instant.
+    pub fn collect(&self) -> Vec<Option<T>> {
+        self.slots.iter().map(|s| s.load()).collect()
+    }
+
+    /// Reads process `i`'s slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn load(&self, i: usize) -> Option<T> {
+        self.slots[i].load()
+    }
+
+    /// Collects and returns only the set values (with their slot indices).
+    pub fn collect_set(&self) -> Vec<(usize, T)> {
+        self.collect()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (i, v)))
+            .collect()
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for StoreCollect<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.collect()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_collect_is_all_bot() {
+        let sc: StoreCollect<u8> = StoreCollect::new(4);
+        assert_eq!(sc.collect(), vec![None; 4]);
+        assert_eq!(sc.collect_set(), vec![]);
+        assert_eq!(sc.len(), 4);
+        assert!(!sc.is_empty());
+    }
+
+    #[test]
+    fn store_shows_up_in_collect() {
+        let sc = StoreCollect::new(3);
+        sc.store(0, 'a');
+        sc.store(2, 'c');
+        assert_eq!(sc.collect(), vec![Some('a'), None, Some('c')]);
+        assert_eq!(sc.collect_set(), vec![(0, 'a'), (2, 'c')]);
+    }
+
+    #[test]
+    fn later_store_overwrites() {
+        let sc = StoreCollect::new(1);
+        sc.store(0, 1);
+        sc.store(0, 2);
+        assert_eq!(sc.load(0), Some(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_store_panics() {
+        let sc: StoreCollect<u8> = StoreCollect::new(2);
+        sc.store(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _: StoreCollect<u8> = StoreCollect::new(0);
+    }
+
+    #[test]
+    fn concurrent_stores_are_all_visible_eventually() {
+        let sc = std::sync::Arc::new(StoreCollect::new(8));
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let sc = std::sync::Arc::clone(&sc);
+                s.spawn(move || sc.store(i, i as u32 * 10));
+            }
+        });
+        let view = sc.collect();
+        for (i, v) in view.into_iter().enumerate() {
+            assert_eq!(v, Some(i as u32 * 10));
+        }
+    }
+}

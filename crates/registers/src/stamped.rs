@@ -1,0 +1,167 @@
+//! Registers holding `(stamp, value)` pairs swung atomically.
+
+use std::fmt;
+
+use crate::atomic_cell::AtomicCell;
+
+/// A value together with a monotone round/sequence stamp.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Stamped<T> {
+    /// The round or sequence number.
+    pub stamp: u64,
+    /// The payload.
+    pub value: T,
+}
+
+impl<T> Stamped<T> {
+    /// Pairs a value with a stamp.
+    pub fn new(stamp: u64, value: T) -> Self {
+        Stamped { stamp, value }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Stamped<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.stamp, self.value)
+    }
+}
+
+/// An atomic register whose content is a `(stamp, value)` pair, written as a
+/// unit — the per-process register of round-based protocols (each process
+/// publishes its current round and estimate in one atomic event).
+///
+/// # Examples
+///
+/// ```
+/// use apc_registers::{Stamped, StampedCell};
+/// let cell: StampedCell<u32> = StampedCell::new();
+/// cell.store(Stamped::new(1, 40));
+/// assert_eq!(cell.load(), Some(Stamped::new(1, 40)));
+/// ```
+pub struct StampedCell<T> {
+    inner: AtomicCell<Stamped<T>>,
+}
+
+impl<T> StampedCell<T> {
+    /// Creates an empty cell (`⊥`, conceptually stamp `-∞`).
+    pub fn new() -> Self {
+        StampedCell { inner: AtomicCell::new() }
+    }
+
+    /// Stores a stamped value (single atomic event).
+    pub fn store(&self, stamped: Stamped<T>) {
+        self.inner.store(stamped);
+    }
+}
+
+impl<T: Clone> StampedCell<T> {
+    /// Reads the current stamped value, or `None` if never written.
+    pub fn load(&self) -> Option<Stamped<T>> {
+        self.inner.load()
+    }
+
+    /// Reads the current stamp (`None` if never written).
+    pub fn stamp(&self) -> Option<u64> {
+        self.load().map(|s| s.stamp)
+    }
+}
+
+impl<T> Default for StampedCell<T> {
+    fn default() -> Self {
+        StampedCell::new()
+    }
+}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for StampedCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("StampedCell").field(&self.load()).finish()
+    }
+}
+
+/// Returns the entry with the highest stamp among `cells`, if any is set.
+///
+/// Ties are broken toward the earliest cell, which suffices for protocols
+/// that only need *a* maximally-stamped value.
+pub fn max_stamped<T: Clone>(cells: &[StampedCell<T>]) -> Option<Stamped<T>> {
+    let mut best: Option<Stamped<T>> = None;
+    for cell in cells {
+        if let Some(current) = cell.load() {
+            let better = match &best {
+                Some(b) => current.stamp > b.stamp,
+                None => true,
+            };
+            if better {
+                best = Some(current);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let c: StampedCell<u32> = StampedCell::new();
+        assert_eq!(c.load(), None);
+        assert_eq!(c.stamp(), None);
+    }
+
+    #[test]
+    fn store_load_pair_atomically() {
+        let c = StampedCell::new();
+        c.store(Stamped::new(3, "x"));
+        let got = c.load().unwrap();
+        assert_eq!(got.stamp, 3);
+        assert_eq!(got.value, "x");
+    }
+
+    #[test]
+    fn max_stamped_picks_highest() {
+        let cells: Vec<StampedCell<u32>> = (0..3).map(|_| StampedCell::new()).collect();
+        assert_eq!(max_stamped(&cells), None);
+        cells[0].store(Stamped::new(1, 10));
+        cells[2].store(Stamped::new(5, 50));
+        cells[1].store(Stamped::new(3, 30));
+        assert_eq!(max_stamped(&cells), Some(Stamped::new(5, 50)));
+    }
+
+    #[test]
+    fn max_stamped_tie_prefers_first() {
+        let cells: Vec<StampedCell<u32>> = (0..2).map(|_| StampedCell::new()).collect();
+        cells[0].store(Stamped::new(2, 11));
+        cells[1].store(Stamped::new(2, 22));
+        assert_eq!(max_stamped(&cells), Some(Stamped::new(2, 11)));
+    }
+
+    #[test]
+    fn display_renders_pair() {
+        assert_eq!(Stamped::new(2, 7).to_string(), "⟨2, 7⟩");
+    }
+
+    #[test]
+    fn concurrent_stores_keep_pairs_intact() {
+        // Stamp and value are written together: readers never see a torn pair.
+        let cell = std::sync::Arc::new(StampedCell::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cell = std::sync::Arc::clone(&cell);
+                s.spawn(move || {
+                    for i in 0..500 {
+                        cell.store(Stamped::new(t, t * 1000 + i % 7));
+                    }
+                });
+            }
+            let reader = std::sync::Arc::clone(&cell);
+            s.spawn(move || {
+                for _ in 0..2000 {
+                    if let Some(st) = reader.load() {
+                        assert_eq!(st.value / 1000, st.stamp, "pair torn: {st:?}");
+                    }
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,93 @@
+//! Consensus factories: which progress condition each log cell gets.
+
+use apc_core::consensus::{AsymmetricConsensus, CasConsensus, Consensus};
+use apc_core::liveness::Liveness;
+
+/// Creates one consensus object per log cell.
+///
+/// The factory determines the progress condition of the entire universal
+/// object: wait-free cells yield a wait-free object; `(n,x)`-live cells
+/// yield an `(n,x)`-live object.
+pub trait ConsensusFactory<T>: Send + Sync {
+    /// The consensus object type produced.
+    type Object: Consensus<T>;
+
+    /// Creates a fresh single-shot consensus instance.
+    fn create(&self) -> Self::Object;
+
+    /// The liveness specification of the produced objects.
+    fn spec(&self) -> Liveness;
+}
+
+/// Factory of wait-free CAS-based consensus cells.
+#[derive(Copy, Clone, Debug)]
+pub struct CasFactory {
+    spec: Liveness,
+}
+
+impl CasFactory {
+    /// A factory producing wait-free consensus for the ports of `spec`.
+    pub fn new(spec: Liveness) -> Self {
+        CasFactory { spec }
+    }
+}
+
+impl<T: Clone + Send + Sync> ConsensusFactory<T> for CasFactory {
+    type Object = CasConsensus<T>;
+
+    fn create(&self) -> CasConsensus<T> {
+        CasConsensus::new(self.spec)
+    }
+
+    fn spec(&self) -> Liveness {
+        self.spec
+    }
+}
+
+/// Factory of `(y,x)`-live asymmetric consensus cells.
+#[derive(Copy, Clone, Debug)]
+pub struct AsymmetricFactory {
+    spec: Liveness,
+}
+
+impl AsymmetricFactory {
+    /// A factory producing `(y,x)`-live consensus with the given spec.
+    pub fn new(spec: Liveness) -> Self {
+        AsymmetricFactory { spec }
+    }
+}
+
+impl<T: Clone + Eq + Send + Sync> ConsensusFactory<T> for AsymmetricFactory {
+    type Object = AsymmetricConsensus<T>;
+
+    fn create(&self) -> AsymmetricConsensus<T> {
+        AsymmetricConsensus::new(self.spec)
+    }
+
+    fn spec(&self) -> Liveness {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_factory_creates_fresh_objects() {
+        let f = CasFactory::new(Liveness::new_first_n(2, 2));
+        let a: CasConsensus<u64> = f.create();
+        let b: CasConsensus<u64> = f.create();
+        assert_eq!(a.propose(0, 1).unwrap(), 1);
+        assert_eq!(b.propose(0, 2).unwrap(), 2, "objects are independent");
+        assert_eq!(ConsensusFactory::<u64>::spec(&f).y(), 2);
+    }
+
+    #[test]
+    fn asymmetric_factory_respects_spec() {
+        let f = AsymmetricFactory::new(Liveness::new_first_n(3, 1));
+        let obj: AsymmetricConsensus<u64> = f.create();
+        assert_eq!(obj.spec().x(), 1);
+        assert_eq!(ConsensusFactory::<u64>::spec(&f).consensus_number(), 2);
+    }
+}

@@ -1,0 +1,445 @@
+//! The announce-and-help universal construction (Herlihy [7]).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use apc_core::error::ConsensusError;
+use apc_core::consensus::Consensus;
+use apc_registers::AtomicCell;
+
+use crate::factory::ConsensusFactory;
+use crate::seq::SequentialSpec;
+
+/// Errors of the universal object.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UniversalError {
+    /// The process index is not a port of the underlying consensus spec.
+    NotAPort {
+        /// The offending process index.
+        pid: usize,
+    },
+    /// A handle for this process was already taken (one handle per process).
+    HandleTaken {
+        /// The offending process index.
+        pid: usize,
+    },
+}
+
+impl fmt::Display for UniversalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UniversalError::NotAPort { pid } => {
+                write!(f, "process {pid} is not a port of the universal object")
+            }
+            UniversalError::HandleTaken { pid } => {
+                write!(f, "a handle for process {pid} already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UniversalError {}
+
+/// An operation stamped with its invoker and per-invoker sequence number —
+/// the value the per-cell consensus objects agree on.
+///
+/// Appears in the [`ConsensusFactory`] bound of [`Universal`]; its fields
+/// are an implementation detail.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpRecord<O> {
+    pid: u8,
+    seq: u64,
+    op: O,
+}
+
+/// A per-process announcement: "my operation `seq` is `op`, please help".
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Announce<O> {
+    seq: u64,
+    op: O,
+}
+
+/// One cell of the operation log.
+struct CellNode<O, C> {
+    cons: C,
+    next: AtomicCell<Arc<CellNode<O, C>>>,
+    _marker: std::marker::PhantomData<O>,
+}
+
+impl<O, C> CellNode<O, C> {
+    fn new(cons: C) -> Self {
+        CellNode { cons, next: AtomicCell::new(), _marker: std::marker::PhantomData }
+    }
+}
+
+/// A linearizable shared object built from a sequential specification and a
+/// consensus factory (see the crate docs).
+///
+/// Operations go through per-process [`Handle`]s (one per process index),
+/// which carry the replayed local copy of the state.
+pub struct Universal<S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    spec: S,
+    factory: F,
+    n: usize,
+    announce: Vec<AtomicCell<Announce<S::Op>>>,
+    head: Arc<CellNode<S::Op, F::Object>>,
+    handles: AtomicU64,
+}
+
+/// The record type agreed on by each log cell for spec `S`.
+///
+/// (Public in the factory bound, opaque otherwise.)
+pub type OpRecordOf<S> = OpRecord<<S as SequentialSpec>::Op>;
+
+impl<S, F> Universal<S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    /// Creates a universal object for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 64`.
+    pub fn new(spec: S, factory: F, n: usize) -> Self {
+        assert!((1..=64).contains(&n), "n must be in 1..=64");
+        let head = Arc::new(CellNode::new(factory.create()));
+        Universal {
+            spec,
+            factory,
+            n,
+            announce: (0..n).map(|_| AtomicCell::new()).collect(),
+            head,
+            handles: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Takes the (unique) operation handle for process `pid`.
+    ///
+    /// # Errors
+    ///
+    /// * [`UniversalError::NotAPort`] if `pid` is not a port of the
+    ///   factory's liveness spec;
+    /// * [`UniversalError::HandleTaken`] if the handle was already taken.
+    pub fn handle(&self, pid: usize) -> Result<Handle<'_, S, F>, UniversalError> {
+        if pid >= self.n || !self.factory.spec().is_port(pid) {
+            return Err(UniversalError::NotAPort { pid });
+        }
+        let bit = 1u64 << pid;
+        if self.handles.fetch_or(bit, Ordering::AcqRel) & bit != 0 {
+            return Err(UniversalError::HandleTaken { pid });
+        }
+        Ok(Handle {
+            obj: self,
+            pid,
+            seq: 0,
+            cursor: Arc::clone(&self.head),
+            cell_index: 0,
+            state: self.spec.init(),
+            applied: vec![0; self.n],
+        })
+    }
+}
+
+impl<S, F> fmt::Debug for Universal<S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Universal").field("n", &self.n).finish()
+    }
+}
+
+/// A per-process handle on a [`Universal`] object.
+///
+/// Holds the process's replay cursor and local state copy; `apply` is
+/// linearizable across handles, with the progress condition of the
+/// underlying consensus factory (wait-free for the factory's wait-free set,
+/// obstruction-free for the rest).
+pub struct Handle<'a, S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    obj: &'a Universal<S, F>,
+    pid: usize,
+    /// Sequence number of my most recent operation.
+    seq: u64,
+    /// The next undecided-or-unapplied cell.
+    cursor: Arc<CellNode<S::Op, F::Object>>,
+    cell_index: u64,
+    /// Local replayed state.
+    state: S::State,
+    /// `applied[p]` = highest sequence number of `p` applied so far.
+    applied: Vec<u64>,
+}
+
+impl<S, F> Handle<'_, S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    /// The process this handle belongs to.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Applies `op` to the shared object, returning its response at its
+    /// linearization point.
+    ///
+    /// Progress: wait-free if `pid` is in the factory's wait-free set
+    /// (placement within ~2·n cells by the helping rule); otherwise
+    /// obstruction-free.
+    pub fn apply(&mut self, op: S::Op) -> S::Resp {
+        self.seq += 1;
+        let my_seq = self.seq;
+        self.obj.announce[self.pid].store(Announce { seq: my_seq, op: op.clone() });
+        loop {
+            let decided = self.decide_current_cell(&op, my_seq);
+            // Apply the decided operation to the local replica.
+            let resp = self.obj.spec.apply(&mut self.state, &decided.op);
+            self.applied[decided.pid as usize] = decided.seq;
+            self.advance();
+            if decided.pid as usize == self.pid && decided.seq == my_seq {
+                return resp;
+            }
+        }
+    }
+
+    /// Produces (or learns) the decision of the cursor cell.
+    fn decide_current_cell(&self, my_op: &S::Op, my_seq: u64) -> OpRecord<S::Op> {
+        if let Some(d) = self.cursor.cons.peek() {
+            return d;
+        }
+        // Helping rule: cell k prefers the announcement of process k mod n,
+        // if it is pending (announced and not yet applied in my replay —
+        // which is exact for all cells before this one).
+        let slot = (self.cell_index as usize) % self.obj.n;
+        let candidate = self.obj.announce[slot]
+            .load()
+            .filter(|a| a.seq > self.applied[slot])
+            .map(|a| OpRecord { pid: slot as u8, seq: a.seq, op: a.op });
+        let proposal = match candidate {
+            Some(rec) => rec,
+            None => OpRecord { pid: self.pid as u8, seq: my_seq, op: my_op.clone() },
+        };
+        match self.cursor.cons.propose(self.pid, proposal) {
+            Ok(decided) => decided,
+            Err(ConsensusError::AlreadyProposed { .. }) => self
+                .cursor
+                .cons
+                .peek()
+                .expect("a proposed-to cell that rejects re-proposals has decided"),
+            Err(ConsensusError::NotAPort { pid }) => {
+                unreachable!("handle creation verified port membership for {pid}")
+            }
+        }
+    }
+
+    /// Moves the cursor to the next cell, creating it if necessary.
+    fn advance(&mut self) {
+        let next = self
+            .cursor
+            .next
+            .load_or_init(|| Arc::new(CellNode::new(self.obj.factory.create())));
+        self.cursor = next;
+        self.cell_index += 1;
+    }
+
+    /// The number of log cells this handle has replayed.
+    pub fn replayed_cells(&self) -> u64 {
+        self.cell_index
+    }
+
+    /// Read-only access to the local replica (exact as of the last `apply`).
+    pub fn local_state(&self) -> &S::State {
+        &self.state
+    }
+}
+
+impl<S, F> fmt::Debug for Handle<'_, S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Handle")
+            .field("pid", &self.pid)
+            .field("replayed_cells", &self.cell_index)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{AsymmetricFactory, CasFactory};
+    use crate::seq::{Counter, CounterOp, KvOp, KvStore, Queue, QueueOp};
+    use apc_core::liveness::Liveness;
+    use std::sync::Mutex;
+
+    fn wait_free_counter(n: usize) -> Universal<Counter, CasFactory> {
+        Universal::new(Counter, CasFactory::new(Liveness::new_first_n(n, n)), n)
+    }
+
+    #[test]
+    fn sequential_counter() {
+        let obj = wait_free_counter(2);
+        let mut h = obj.handle(0).unwrap();
+        assert_eq!(h.apply(CounterOp::Add(5)), 5);
+        assert_eq!(h.apply(CounterOp::Add(5)), 10);
+        assert_eq!(h.apply(CounterOp::Get), 10);
+        assert_eq!(h.replayed_cells(), 3);
+    }
+
+    #[test]
+    fn two_handles_see_each_other() {
+        let obj = wait_free_counter(2);
+        let mut h0 = obj.handle(0).unwrap();
+        let mut h1 = obj.handle(1).unwrap();
+        h0.apply(CounterOp::Add(1));
+        h1.apply(CounterOp::Add(2));
+        assert_eq!(h0.apply(CounterOp::Get), 3);
+    }
+
+    #[test]
+    fn one_handle_per_pid() {
+        let obj = wait_free_counter(2);
+        let _h = obj.handle(0).unwrap();
+        assert_eq!(obj.handle(0).unwrap_err(), UniversalError::HandleTaken { pid: 0 });
+        assert_eq!(obj.handle(9).unwrap_err(), UniversalError::NotAPort { pid: 9 });
+    }
+
+    #[test]
+    fn concurrent_counter_total_is_exact() {
+        // n−1 workers increment concurrently; a late reader must observe the
+        // exact total (no lost updates).
+        let n = 6;
+        let per_thread = 50;
+        let obj = wait_free_counter(n);
+        std::thread::scope(|s| {
+            for pid in 0..n - 1 {
+                let obj = &obj;
+                s.spawn(move || {
+                    let mut h = obj.handle(pid).unwrap();
+                    for _ in 0..per_thread {
+                        h.apply(CounterOp::Add(1));
+                    }
+                });
+            }
+        });
+        let mut late = obj.handle(n - 1).unwrap();
+        assert_eq!(late.apply(CounterOp::Get), ((n - 1) * per_thread) as u64);
+    }
+
+    #[test]
+    fn queue_is_fifo_under_concurrency() {
+        // Concurrent enqueues then a drain: the drain must see every element
+        // exactly once, and per-producer subsequences must stay ordered.
+        let n = 4;
+        let per_thread = 25u64;
+        let obj = Universal::new(Queue, CasFactory::new(Liveness::new_first_n(n, n)), n);
+        std::thread::scope(|s| {
+            for pid in 0..n - 1 {
+                let obj = &obj;
+                s.spawn(move || {
+                    let mut h = obj.handle(pid).unwrap();
+                    for i in 0..per_thread {
+                        h.apply(QueueOp::Enqueue(pid as u64 * 1000 + i));
+                    }
+                });
+            }
+        });
+        let mut consumer = obj.handle(n - 1).unwrap();
+        let mut seen: Vec<u64> = Vec::new();
+        while let Some(v) = consumer.apply(QueueOp::Dequeue) {
+            seen.push(v);
+        }
+        assert_eq!(seen.len(), (n - 1) * per_thread as usize);
+        // Per-producer order is preserved.
+        for pid in 0..(n - 1) as u64 {
+            let mine: Vec<u64> = seen.iter().copied().filter(|v| v / 1000 == pid).collect();
+            let mut sorted = mine.clone();
+            sorted.sort_unstable();
+            assert_eq!(mine, sorted, "producer {pid} order violated");
+        }
+    }
+
+    #[test]
+    fn kv_store_linearizes_puts() {
+        let n = 4;
+        let obj = Universal::new(KvStore, CasFactory::new(Liveness::new_first_n(n, n)), n);
+        std::thread::scope(|s| {
+            for pid in 0..n - 1 {
+                let obj = &obj;
+                s.spawn(move || {
+                    let mut h = obj.handle(pid).unwrap();
+                    h.apply(KvOp::Put(format!("k{pid}"), pid as u64));
+                });
+            }
+        });
+        let mut reader = obj.handle(n - 1).unwrap();
+        for pid in 0..n - 1 {
+            assert_eq!(reader.apply(KvOp::Get(format!("k{pid}"))), Some(pid as u64));
+        }
+        assert_eq!(reader.apply(KvOp::Get("missing".into())), None);
+    }
+
+    #[test]
+    fn asymmetric_factory_wait_free_members_progress_under_contention() {
+        // (4,1)-live cells: pid 0 is wait-free. Guests hammer the object
+        // while pid 0 performs operations; pid 0 must complete all of them.
+        let n = 4;
+        let obj = Universal::new(
+            Counter,
+            AsymmetricFactory::new(Liveness::new_first_n(n, 1)),
+            n,
+        );
+        let done = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for pid in 1..n {
+                let obj = &obj;
+                s.spawn(move || {
+                    let mut h = obj.handle(pid).unwrap();
+                    for _ in 0..20 {
+                        h.apply(CounterOp::Add(1));
+                    }
+                });
+            }
+            let obj = &obj;
+            let done = &done;
+            s.spawn(move || {
+                let mut h = obj.handle(0).unwrap();
+                for _ in 0..20 {
+                    let v = h.apply(CounterOp::Add(1));
+                    done.lock().unwrap().push(v);
+                }
+            });
+        });
+        let done = done.into_inner().unwrap();
+        assert_eq!(done.len(), 20, "the wait-free member completed every operation");
+        // Counter responses are strictly increasing (linearizable Adds).
+        for w in done.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn local_state_reflects_replay() {
+        let obj = wait_free_counter(2);
+        let mut h = obj.handle(0).unwrap();
+        h.apply(CounterOp::Add(7));
+        assert_eq!(*h.local_state(), 7);
+    }
+}

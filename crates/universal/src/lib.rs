@@ -1,0 +1,45 @@
+//! # `apc-universal` — what consensus buys you
+//!
+//! Herlihy's universality theorem (reference \[7\] of the paper) says any
+//! object with a sequential specification has a wait-free implementation
+//! from consensus objects and registers. This crate implements that
+//! construction and — the novel twist enabled by *asymmetric progress
+//! conditions* — parameterizes it by the **consensus factory**:
+//!
+//! * plug in wait-free (`CasConsensus`) cells → the classic wait-free
+//!   universal object;
+//! * plug in `(n,x)`-live (`AsymmetricConsensus`) cells → an `(n,x)`-live
+//!   universal object: operations by the `x` privileged processes are
+//!   wait-free, everyone else is obstruction-free. This is the constructive
+//!   reading of the paper's hierarchy (Theorem 3): `x+1` matters because it
+//!   bounds which *groups of processes* can be given hard guarantees.
+//!
+//! The construction is the standard announce-and-help log: operations are
+//! placed into a linked list of cells, each cell's order decided by one
+//! consensus instance; helping (cell `k` prefers the announcement of
+//! process `k mod n`) makes placement wait-free whenever the cell consensus
+//! is.
+//!
+//! ## Example
+//!
+//! ```
+//! use apc_universal::{seq::Counter, Universal, CasFactory};
+//! use apc_core::liveness::Liveness;
+//!
+//! let obj = Universal::new(Counter, CasFactory::new(Liveness::new_first_n(2, 2)), 2);
+//! let mut h0 = obj.handle(0).unwrap();
+//! let mut h1 = obj.handle(1).unwrap();
+//! h0.apply(apc_universal::seq::CounterOp::Add(2));
+//! h1.apply(apc_universal::seq::CounterOp::Add(3));
+//! assert_eq!(h1.apply(apc_universal::seq::CounterOp::Get), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod seq;
+
+mod factory;
+mod herlihy;
+
+pub use factory::{AsymmetricFactory, CasFactory, ConsensusFactory};
+pub use herlihy::{Handle, Universal, UniversalError};

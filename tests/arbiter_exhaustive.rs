@@ -1,0 +1,140 @@
+//! Experiment E1: the arbiter (Figure 4 / Theorem 5), exhaustively
+//! model-checked across configurations — the executable form of
+//! Lemmas 12–16.
+
+use asymmetric_progress::core::arbiter::model::{
+    arbiter_system, arbiter_system_with, role_value,
+};
+use asymmetric_progress::core::arbiter::Role;
+use asymmetric_progress::model::explore::{
+    Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn,
+};
+use asymmetric_progress::model::fairness::{fair_termination, FairTermination, StateGraph};
+use asymmetric_progress::model::{ProcessId, ProcessSet};
+
+fn owner() -> asymmetric_progress::model::Value {
+    role_value(Role::Owner)
+}
+
+fn guest() -> asymmetric_progress::model::Value {
+    role_value(Role::Guest)
+}
+
+/// Agreement + validity for every owner/guest split of up to 4 processes,
+/// with a crash budget of 1 — every schedule, every crash position.
+#[test]
+fn agreement_validity_all_small_splits() {
+    let configs: &[(usize, &[usize], &[usize])] = &[
+        (2, &[0], &[1]),
+        (3, &[0], &[1, 2]),
+        (3, &[0, 1], &[2]),
+        (4, &[0, 1], &[2, 3]),
+    ];
+    for &(n, owners, guests) in configs {
+        let owners = ProcessSet::from_indices(owners.iter().copied());
+        let guests = ProcessSet::from_indices(guests.iter().copied());
+        let (sys, _) = arbiter_system(n, owners, guests);
+        let explorer =
+            Explorer::new(ExploreConfig::default().with_crashes(1, ProcessSet::first_n(n)));
+        let result = explorer.explore(
+            &sys,
+            &[&Agreement, &ValidityIn::new([owner(), guest()]), &NoFaults],
+        );
+        assert!(result.ok(), "({n}, {owners}, {guests}): {:?}", result.violations.first());
+        assert!(!result.truncated, "({n}, {owners}, {guests}) truncated");
+        // Both outcomes reachable when both camps participate.
+        assert!(result.decisions.contains(&owner()), "owner win reachable");
+        assert!(result.decisions.contains(&guest()), "guest win reachable");
+    }
+}
+
+/// Lemma 16 matrix: with only one camp participating, only that camp can be
+/// returned.
+#[test]
+fn validity_single_camp_matrix() {
+    // Only owners.
+    let (sys, _) = arbiter_system(3, ProcessSet::from_indices([0, 1]), ProcessSet::EMPTY);
+    let explorer = Explorer::new(ExploreConfig::default().with_crashes(1, ProcessSet::first_n(3)));
+    let result = explorer.explore(&sys, &[&ValidityIn::new([owner()]), &NoFaults]);
+    assert!(result.ok(), "only owners ⇒ only owner decided: {:?}", result.violations.first());
+
+    // Only guests (owners declared but absent).
+    let (sys, _) = arbiter_system_with(
+        3,
+        ProcessSet::from_indices([0]),
+        ProcessSet::EMPTY,
+        ProcessSet::from_indices([1, 2]),
+    );
+    let result = explorer.explore(&sys, &[&ValidityIn::new([guest()]), &NoFaults]);
+    assert!(result.ok(), "only guests ⇒ only guest decided: {:?}", result.violations.first());
+}
+
+/// Lemma 12 under fairness for several configurations: a correct
+/// participating owner means every correct participant terminates.
+#[test]
+fn fair_termination_with_correct_owner_matrix() {
+    for (n, owners, guests) in [
+        (2usize, vec![0usize], vec![1usize]),
+        (3, vec![0], vec![1, 2]),
+        (4, vec![0, 1], vec![2, 3]),
+    ] {
+        let (sys, _) = arbiter_system(
+            n,
+            ProcessSet::from_indices(owners.iter().copied()),
+            ProcessSet::from_indices(guests.iter().copied()),
+        );
+        let graph = StateGraph::build(&sys, 2_000_000);
+        let verdict = fair_termination(&graph, |_| true);
+        assert!(verdict.holds(), "n={n}: {verdict:?}");
+    }
+}
+
+/// Lemma 14: once anyone returns, everyone terminates. Exhaustive
+/// approximation: no reachable fair livelock contains a decided process.
+#[test]
+fn no_livelock_after_any_return() {
+    for (owners, guests) in [(vec![0usize], vec![1usize, 2]), (vec![0, 1], vec![2])] {
+        let (sys, _) = arbiter_system(
+            3,
+            ProcessSet::from_indices(owners.iter().copied()),
+            ProcessSet::from_indices(guests.iter().copied()),
+        );
+        let graph = StateGraph::build(&sys, 2_000_000);
+        for witness in asymmetric_progress::model::fairness::fair_livelocks(&graph) {
+            let state = &graph.states()[witness.sample_state];
+            assert!(
+                state.decisions().is_empty(),
+                "a process returned yet a fair livelock persists (Lemma 14 violated)"
+            );
+        }
+    }
+}
+
+/// The documented caveat: an owner crashing between its PART write and the
+/// WINNER write may strand the guests — the arbiter's termination property
+/// deliberately does not cover this. The livelock must be *detectable*.
+#[test]
+fn crashed_owner_stranding_detected() {
+    let (mut sys, _) =
+        arbiter_system(3, ProcessSet::from_indices([0]), ProcessSet::from_indices([1, 2]));
+    sys.step(ProcessId::new(0)); // owner writes PART[owner]
+    sys.crash(ProcessId::new(0));
+    let graph = StateGraph::build(&sys, 2_000_000);
+    let verdict = fair_termination(&graph, |pid| pid.index() != 0);
+    assert!(matches!(verdict, FairTermination::Livelock(_)), "{verdict:?}");
+}
+
+/// Conversely, an owner crashing AFTER the WINNER write strands no one.
+#[test]
+fn owner_crash_after_winner_write_is_harmless() {
+    let (mut sys, _) =
+        arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
+    // Owner: PART write, PART[guest] read, XCONS propose, WINNER write.
+    for _ in 0..4 {
+        sys.step(ProcessId::new(0));
+    }
+    sys.crash(ProcessId::new(0));
+    let graph = StateGraph::build(&sys, 1_000_000);
+    let verdict = fair_termination(&graph, |pid| pid.index() == 1);
+    assert!(verdict.holds(), "{verdict:?}");
+}

@@ -1,0 +1,87 @@
+//! Experiments E3 + E4: the (n,x)-liveness hierarchy (Theorems 2 and 3,
+//! Corollary 1) and the Theorem 1 / §3.5 starvation demonstrations.
+
+use asymmetric_progress::hierarchy::{corollary1, theorem1, theorem2, theorem3};
+
+/// E3, constructive half: an `(x+1,x)`-live object solves wait-free
+/// consensus for `x+1` processes — exhaustively verified for x = 0, 1, 2.
+#[test]
+fn hierarchy_constructive_sweep() {
+    for x in 0..=2 {
+        let report = theorem3::theorem3_constructive(x, 1, 1);
+        assert!(report.verified(), "x={x}: {report}");
+    }
+}
+
+/// E3, negative half: an `(x+2,x)`-live object leaves two guests starving
+/// under the crash-and-lockstep adversary — machine-checked certificates.
+#[test]
+fn hierarchy_negative_sweep() {
+    for x in 0..=4 {
+        let cert = theorem3::theorem3_negative(x, 1).unwrap_or_else(|| {
+            panic!("x={x}: expected a starvation certificate");
+        });
+        assert_eq!(cert.live_forever.len(), 2);
+        assert!(cert.loop_periods >= 1);
+    }
+}
+
+/// E3: the full hierarchy table — every row verified in both directions,
+/// consensus numbers matching Theorem 3.
+#[test]
+fn hierarchy_table_consistent() {
+    let rows = corollary1::hierarchy_table(2, 1);
+    for row in &rows {
+        assert_eq!(row.consensus_number, row.x + 1);
+        assert!(row.constructive_verified && row.negative_certified, "{row}");
+        assert!(row.states_explored > 0);
+    }
+    // Rows are strictly increasing in consensus number.
+    for pair in rows.windows(2) {
+        assert!(pair[0].consensus_number < pair[1].consensus_number);
+    }
+}
+
+/// E3: isolation-window robustness — the certificates exist regardless of
+/// how long "long enough in isolation" is.
+#[test]
+fn negative_direction_robust_to_window() {
+    for window in [1u8, 2, 4] {
+        let report = theorem2::theorem2_scenario(4, 2, window);
+        assert!(report.starves(), "window {window}: {report}");
+    }
+}
+
+/// E4: Theorem 1's starvation content — the bivalence-preserving adversary
+/// keeps the register-based consensus undecided; no process is wait-free.
+#[test]
+fn theorem1_adversary_starves() {
+    let report = theorem1::theorem1_starvation(25);
+    assert!(report.starved(), "{report}");
+}
+
+/// E4, boundary: the complement facts that sharpen the impossibility — a
+/// lone guest decides, and live wait-free members unblock everyone.
+#[test]
+fn impossibility_boundaries() {
+    assert!(theorem2::lone_guest_decides(4, 1));
+    assert!(theorem2::theorem2_complement(4, 1, 1));
+    assert!(theorem2::theorem2_complement(5, 4, 1));
+}
+
+/// E4, §3.5 variant: Common2 objects do not help — Test&Set solves exactly
+/// 2-process consensus; the naive 3-process protocol breaks agreement
+/// (found exhaustively), so the "second strongest object" reasoning stands.
+#[test]
+fn common2_boundary() {
+    use asymmetric_progress::common2::two_consensus::{
+        naive_three_process_system, tas_consensus_system,
+    };
+    use asymmetric_progress::model::explore::{Agreement, ExploreConfig, Explorer};
+
+    let explorer = Explorer::new(ExploreConfig::default());
+    let two = explorer.explore(&tas_consensus_system(2), &[&Agreement]);
+    assert!(two.ok(), "2-process TAS consensus is correct");
+    let three = explorer.explore(&naive_three_process_system(), &[&Agreement]);
+    assert!(!three.ok(), "3-process naive extension must fail");
+}

@@ -1,0 +1,86 @@
+//! Experiments E5 + E6: the valence machinery (Lemmas 3–5) and the
+//! fault-freedom impossibility (Theorem 4 / Lemma 7).
+
+use asymmetric_progress::core::consensus::model::{
+    binary_register_consensus, register_consensus_system,
+};
+use asymmetric_progress::hierarchy::theorem4;
+use asymmetric_progress::model::explore::{ExploreConfig, Explorer, Valence};
+use asymmetric_progress::model::{ProcessId, ProcessSet, SystemBuilder, Value};
+use asymmetric_progress::model::programs::ProposeProgram;
+
+fn oracle() -> Explorer {
+    Explorer::new(ExploreConfig::default().with_max_states(500_000).with_max_depth(100))
+}
+
+/// E5 / Lemma 3: with mixed inputs, the empty run is bivalent — both for the
+/// register-based protocol and for a bare obstruction-free base object.
+#[test]
+fn lemma3_bivalent_empty_runs() {
+    // Register-based protocol.
+    let (sys, _) = binary_register_consensus(2, 2);
+    assert!(matches!(oracle().valence(&sys), Valence::Bivalent(_)));
+
+    // Bare (2,0)-live base object.
+    let mut b = SystemBuilder::new(2);
+    let cons = b.add_obstruction_free_consensus(ProcessSet::first_n(2), 1);
+    let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+    assert!(matches!(oracle().valence(&sys), Valence::Bivalent(_)));
+}
+
+/// E5 / Lemma 3's complement: unanimity forces univalence.
+#[test]
+fn lemma3_unanimous_univalent() {
+    let (sys, _) = register_consensus_system(&[Some(9), Some(9)], 2);
+    match oracle().valence(&sys) {
+        Valence::Univalent(v) | Valence::UnivalentBounded(v) => assert_eq!(v, Value::Num(9)),
+        other => panic!("expected univalence, got {other:?}"),
+    }
+}
+
+/// E5 / Lemma 4: for a (2,1)-live object, the wait-free process has a
+/// decider point — a bivalent run from which its every step decides.
+#[test]
+fn lemma4_decider_point() {
+    let mut b = SystemBuilder::new(2);
+    let cons = b.add_live_consensus(ProcessSet::first_n(2), ProcessSet::from_indices([0]), 1);
+    let sys = b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)));
+    let explorer = oracle();
+    let (state, path) = explorer
+        .decider_point(&sys, ProcessId::new(0))
+        .expect("the wait-free process is a decider somewhere");
+    assert!(explorer.valence(&state).is_bivalent());
+    // One step of the decider resolves the valence.
+    let mut next = state.clone();
+    next.step(ProcessId::new(0));
+    assert!(!explorer.valence(&next).is_bivalent());
+    // The path is replayable.
+    assert!(path.len() < 100);
+}
+
+/// E6 / Theorem 4: the Lemma 7 round-robin discipline constructs a
+/// fault-free (all-participating, crash-free, everyone-stepping) run that
+/// never decides.
+#[test]
+fn lemma7_fault_free_starvation() {
+    let report = theorem4::fault_freedom_adversary(2, 10, 20);
+    assert!(report.starved_fault_free(), "{report}");
+    assert!(report.steps_per_process.iter().all(|&s| s > 0), "fault-freedom: everyone steps");
+}
+
+/// E6 complement: the same protocol decides without the adversary, so the
+/// impossibility is about *schedules*, not about the protocol.
+#[test]
+fn fault_free_happy_path_decides() {
+    assert!(theorem4::fault_free_round_robin_decides(2, 8, 2000));
+    assert!(theorem4::fault_free_round_robin_decides(3, 10, 6000));
+}
+
+/// E6: the starved run's end state is still live and undecided — exactly the
+/// run Theorem 4's proof constructs.
+#[test]
+fn starved_run_is_live_and_undecided() {
+    let sys = theorem4::starved_system(2, 10, 14).expect("adversary succeeds");
+    assert!(sys.decisions().is_empty());
+    assert_eq!(sys.live_set().len(), 2);
+}
