@@ -1,0 +1,77 @@
+//! Workspace smoke test: one real-thread consensus round and one model
+//! Explorer run, exercising every facade re-export
+//! (`asymmetric_progress::{core, model, registers, common2, universal,
+//! hierarchy}`) so a wiring regression in `src/lib.rs` or the workspace
+//! manifests fails fast and obviously.
+
+use asymmetric_progress::common2::TestAndSet;
+use asymmetric_progress::core::consensus::{AsymmetricConsensus, Consensus};
+use asymmetric_progress::core::liveness::Liveness;
+use asymmetric_progress::hierarchy::theorem3;
+use asymmetric_progress::model::explore::{Agreement, ExploreConfig, Explorer, ValidityIn};
+use asymmetric_progress::model::programs::ProposeProgram;
+use asymmetric_progress::model::{ProcessSet, SystemBuilder, Value};
+use asymmetric_progress::registers::AtomicCell;
+use asymmetric_progress::universal::seq::{Counter, CounterOp};
+use asymmetric_progress::universal::{CasFactory, Universal};
+
+/// Real threads: a full `(4,2)`-live propose round must agree on one of the
+/// proposed values, and wait-free ports must see their guarantee honored.
+#[test]
+fn real_thread_asymmetric_consensus_round() {
+    let spec = Liveness::new_first_n(4, 2);
+    let cons: AsymmetricConsensus<u64> = AsymmetricConsensus::new(spec);
+    let mut decisions = vec![0u64; 4];
+    std::thread::scope(|s| {
+        for (pid, slot) in decisions.iter_mut().enumerate() {
+            let cons = &cons;
+            s.spawn(move || {
+                *slot = cons.propose(pid, 100 + pid as u64).unwrap();
+            });
+        }
+    });
+    let winner = decisions[0];
+    assert!((100..104).contains(&winner), "decided value was proposed: {winner}");
+    assert!(decisions.iter().all(|&d| d == winner), "agreement: {decisions:?}");
+}
+
+/// Model: the explorer exhaustively verifies agreement + validity for a
+/// small `(3,1)`-live consensus system, reaching at least one decision.
+#[test]
+fn model_explorer_verifies_small_live_consensus() {
+    let mut builder = SystemBuilder::new(3);
+    let object = builder.add_live_consensus(ProcessSet::first_n(3), ProcessSet::first_n(1), 1);
+    let system = builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+    let explorer = Explorer::new(ExploreConfig::default().with_max_states(500_000));
+    let validity = ValidityIn::new((0..3).map(Value::Num));
+    let result = explorer.explore(&system, &[&Agreement, &validity]);
+    assert!(result.ok(), "violations: {:?}", result.violations);
+    assert!(!result.truncated, "exploration must be exhaustive at this size");
+    assert!(!result.decisions.is_empty(), "some schedule must reach a decision");
+}
+
+/// The remaining facade crates each do one small real operation.
+#[test]
+fn facade_crates_all_wired() {
+    // registers
+    let cell: AtomicCell<u64> = AtomicCell::new();
+    assert!(cell.set_if_bot(7).is_ok());
+    assert_eq!(cell.load(), Some(7));
+
+    // common2
+    let tas = TestAndSet::new();
+    assert!(tas.test_and_set(), "first TAS wins");
+    assert!(!tas.test_and_set(), "second TAS loses");
+
+    // universal
+    let counter = Universal::new(Counter, CasFactory::new(Liveness::new_first_n(2, 2)), 2);
+    let mut h0 = counter.handle(0).unwrap();
+    let mut h1 = counter.handle(1).unwrap();
+    h0.apply(CounterOp::Add(2));
+    h1.apply(CounterOp::Add(3));
+    assert_eq!(h0.apply(CounterOp::Get), 5);
+
+    // hierarchy
+    let report = theorem3::theorem3_constructive(1, 1, 1);
+    assert!(report.verified(), "Theorem 3 constructive direction at x=1: {report}");
+}
