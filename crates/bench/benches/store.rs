@@ -1,0 +1,133 @@
+//! Experiment E10: the `apc-store` service layer.
+//!
+//! Series:
+//! * every [`Scenario`] (uniform, hot-key, vip-heavy, guest-contention) at
+//!   1 and 4 shards — the scaling and contention picture of the sharded
+//!   commit path;
+//! * same-shard batching vs one-append-per-op — what the operation layer's
+//!   batching buys;
+//! * the wait-free stats snapshot under guest load — the VIP dashboard
+//!   path.
+//!
+//! Run with `BENCH_JSON=BENCH_store.json cargo bench -p apc-bench --bench
+//! store` to record the machine-readable series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use apc_store::workload::Scenario;
+use apc_store::{StoreBuilder, StoreOp};
+
+const CLIENTS: usize = 6;
+const OPS_PER_CLIENT: usize = 40;
+const KEY_SPACE: usize = 64;
+const VIP_CAPACITY: usize = 2;
+
+fn build_store(shards: usize) -> apc_store::Store {
+    StoreBuilder::new()
+        .shards(shards)
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .build()
+        .expect("bench sizing is valid")
+}
+
+/// Builds the store and admits the scenario's client mix — the untimed
+/// setup of one scenario iteration.
+fn setup_scenario(
+    scenario: Scenario,
+    shards: usize,
+) -> (apc_store::Store, Vec<apc_store::ClientTicket>) {
+    let store = build_store(shards);
+    let (vips, guests) = scenario.client_mix(CLIENTS, VIP_CAPACITY);
+    let tickets: Vec<_> = (0..vips)
+        .map(|_| store.admit_vip().expect("mix respects capacity"))
+        .chain((0..guests).map(|_| store.admit_guest()))
+        .collect();
+    (store, tickets)
+}
+
+/// The timed half: every client issues its deterministic op stream on its
+/// own thread.
+fn run_scenario(scenario: Scenario, store: &apc_store::Store, tickets: &[apc_store::ClientTicket]) {
+    apc_bench::timed_threads(tickets.len(), |i| {
+        let mut client = store.client(tickets[i]);
+        for step in 0..OPS_PER_CLIENT {
+            let _ = client.execute(vec![scenario.op(i, step, KEY_SPACE)]);
+        }
+    });
+}
+
+fn scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/scenarios");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((CLIENTS * OPS_PER_CLIENT) as u64));
+    for scenario in Scenario::ALL {
+        for shards in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(scenario.name(), shards),
+                &shards,
+                |b, &shards| {
+                    b.iter_batched(
+                        || setup_scenario(scenario, shards),
+                        |(store, tickets)| run_scenario(scenario, &store, &tickets),
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn batching(c: &mut Criterion) {
+    const OPS: usize = 64;
+    let mut g = c.benchmark_group("store/batching");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(OPS as u64));
+    let puts = |i: usize| StoreOp::Put(format!("key/{i:04}"), i as u64);
+    g.bench_function("one-append-per-op", |b| {
+        b.iter_batched(
+            || build_store(2),
+            |store| {
+                let mut client = store.client(store.admit_vip().unwrap());
+                for i in 0..OPS {
+                    let _ = client.execute(vec![puts(i)]);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("single-batch", |b| {
+        b.iter_batched(
+            || build_store(2),
+            |store| {
+                let mut client = store.client(store.admit_vip().unwrap());
+                let _ = client.execute((0..OPS).map(puts).collect());
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn stats_snapshot_under_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/stats-snapshot");
+    g.sample_size(10);
+    // Pre-load a store, then measure the register-only dashboard read.
+    let store = build_store(4);
+    let mut loader = store.client(store.admit_guest());
+    for i in 0..256 {
+        loader.put(&format!("key/{i:04}"), i);
+    }
+    g.bench_function("snapshot-4-shards", |b| {
+        b.iter(|| {
+            let digests = criterion::black_box(store.snapshot_stats());
+            assert_eq!(digests.len(), 4);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, scenarios, batching, stats_snapshot_under_load);
+criterion_main!(benches);

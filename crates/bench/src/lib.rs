@@ -12,6 +12,11 @@
 //! | `universal` | E8 — asymmetric universal object: VIP vs guest latency |
 //! | `registers` | substrate — cells, stamped registers, snapshots |
 //! | `model_checking` | E3/E5 — cost of exhaustive verification & valence |
+//! | `store` | E10 — apc-store scenarios, batching, wait-free stats |
+//!
+//! Setting `BENCH_JSON=<path>` makes a bench run write its measurements as
+//! machine-readable JSON (see the criterion shim); CI records
+//! `BENCH_store.json` as the perf-trajectory artifact.
 
 use std::sync::Mutex;
 

@@ -1,0 +1,315 @@
+//! The admission layer: who gets which progress class.
+//!
+//! A store serves two tiers of clients against every shard's `(y,x)`-live
+//! universal object:
+//!
+//! * a **bounded VIP tier** — each VIP client owns one port of the shard
+//!   spec's wait-free set `X` exclusively, so its operations are wait-free.
+//!   Capacity is `x` per store: admission *fails* once `X` is exhausted,
+//!   which is exactly the paper's point that hard guarantees only scale to
+//!   `x` processes (Theorem 3: consensus number `x+1`);
+//! * an **unbounded guest tier** — guests are obstruction-free. Any number
+//!   of guest clients are admitted; they are multiplexed onto the shard
+//!   spec's guest ports `Y \ X`, placed round-robin into the
+//!   [`GroupLayout`]-computed groups that structure the guest ports as an
+//!   arbiter cascade (§6.2 of the paper: `⌈g/width⌉` ordered groups, lower
+//!   group index = earlier in the cascade = stronger asymmetric claim on
+//!   the group termination property).
+//!
+//! [`Admission`] owns the per-shard [`Liveness`] specification; every shard
+//! of one store uses the same spec, so a ticket's port is valid on all
+//! shards.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use apc_core::group::GroupLayout;
+use apc_core::liveness::Liveness;
+use apc_model::ProcessSet;
+
+/// The progress class a client was admitted into.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ProgressClass {
+    /// Wait-free: the client owns a port of the wait-free set `X`.
+    Vip,
+    /// Obstruction-free: the client shares a guest port.
+    Guest,
+}
+
+impl fmt::Display for ProgressClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProgressClass::Vip => "vip",
+            ProgressClass::Guest => "guest",
+        })
+    }
+}
+
+/// Sizing of the admission layer (per shard; every shard is identical).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AdmissionConfig {
+    /// `x`: the bounded wait-free VIP port count.
+    pub vip_capacity: usize,
+    /// Number of obstruction-free guest ports clients multiplex onto.
+    pub guest_ports: usize,
+    /// Group width for the guest arbiter cascade (the `x` of the guests'
+    /// [`GroupLayout`]).
+    pub guest_group_width: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { vip_capacity: 2, guest_ports: 6, guest_group_width: 2 }
+    }
+}
+
+/// Errors of the admission layer.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AdmissionError {
+    /// All `x` VIP ports are taken; the wait-free tier is bounded by design.
+    VipCapacityExhausted {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The configuration is unrealizable.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::VipCapacityExhausted { capacity } => {
+                write!(f, "all {capacity} wait-free VIP ports are taken")
+            }
+            AdmissionError::BadConfig(msg) => write!(f, "bad admission config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A client's admission ticket: identity, class, and port placement.
+///
+/// Tickets are `Copy`: they are capabilities describing placement, not
+/// handles. The port is valid on every shard of the issuing store.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ClientTicket {
+    id: u64,
+    class: ProgressClass,
+    port: usize,
+    group: Option<usize>,
+}
+
+impl ClientTicket {
+    /// The unique client id within the issuing store.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The admitted progress class.
+    pub fn class(&self) -> ProgressClass {
+        self.class
+    }
+
+    /// The per-shard port this client operates through.
+    pub fn port(&self) -> usize {
+        self.port
+    }
+
+    /// For guests, the 1-based arbiter-cascade group of the client's port
+    /// (lower = earlier in the cascade); `None` for VIPs.
+    pub fn cascade_group(&self) -> Option<usize> {
+        self.group
+    }
+}
+
+/// The admission state of one store.
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    spec: Liveness,
+    layout: GroupLayout,
+    next_id: AtomicU64,
+    vips_issued: AtomicUsize,
+    guests_issued: AtomicU64,
+}
+
+impl Admission {
+    /// Builds the admission layer, deriving the per-shard [`Liveness`] spec
+    /// (`(vip_capacity + guest_ports, vip_capacity)`-live) and the guest
+    /// [`GroupLayout`].
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::BadConfig`] if there are no guest ports, the group
+    /// width is zero or exceeds the guest port count, or the total port
+    /// count leaves the representable range (`1..=64`).
+    pub fn new(cfg: AdmissionConfig) -> Result<Self, AdmissionError> {
+        if cfg.guest_ports == 0 {
+            return Err(AdmissionError::BadConfig("guest_ports must be at least 1"));
+        }
+        if cfg.guest_group_width == 0 || cfg.guest_group_width > cfg.guest_ports {
+            return Err(AdmissionError::BadConfig(
+                "guest_group_width must be in 1..=guest_ports",
+            ));
+        }
+        let ports = cfg.vip_capacity + cfg.guest_ports;
+        if ports > 64 {
+            return Err(AdmissionError::BadConfig("vip_capacity + guest_ports must be ≤ 64"));
+        }
+        let spec = Liveness::new(ProcessSet::first_n(ports), ProcessSet::first_n(cfg.vip_capacity))
+            .map_err(|_| AdmissionError::BadConfig("liveness spec rejected the port sets"))?;
+        let layout = GroupLayout::new(cfg.guest_ports, cfg.guest_group_width)
+            .map_err(|_| AdmissionError::BadConfig("guest group layout rejected"))?;
+        Ok(Admission {
+            cfg,
+            spec,
+            layout,
+            next_id: AtomicU64::new(0),
+            vips_issued: AtomicUsize::new(0),
+            guests_issued: AtomicU64::new(0),
+        })
+    }
+
+    /// The sizing this layer was built with.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// The per-shard liveness specification
+    /// (`(vip_capacity + guest_ports, vip_capacity)`-live).
+    pub fn spec(&self) -> Liveness {
+        self.spec
+    }
+
+    /// Total port count per shard (`y` of the spec).
+    pub fn ports(&self) -> usize {
+        self.spec.y()
+    }
+
+    /// The guest arbiter-cascade layout (over guest ports, 0-based within
+    /// the guest range).
+    pub fn guest_layout(&self) -> GroupLayout {
+        self.layout
+    }
+
+    /// Admits a client into `class`.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::VipCapacityExhausted`] when a VIP is requested and
+    /// all wait-free ports are taken. Guest admission never fails.
+    pub fn admit(&self, class: ProgressClass) -> Result<ClientTicket, AdmissionError> {
+        match class {
+            ProgressClass::Vip => {
+                let capacity = self.cfg.vip_capacity;
+                let slot = self
+                    .vips_issued
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                        (v < capacity).then_some(v + 1)
+                    })
+                    .map_err(|_| AdmissionError::VipCapacityExhausted { capacity })?;
+                Ok(ClientTicket {
+                    id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                    class: ProgressClass::Vip,
+                    port: slot,
+                    group: None,
+                })
+            }
+            ProgressClass::Guest => {
+                let k = self.guests_issued.fetch_add(1, Ordering::Relaxed);
+                let guest_slot = (k % self.cfg.guest_ports as u64) as usize;
+                Ok(ClientTicket {
+                    id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                    class: ProgressClass::Guest,
+                    port: self.cfg.vip_capacity + guest_slot,
+                    group: Some(self.layout.group_of(guest_slot)),
+                })
+            }
+        }
+    }
+
+    /// How many clients of each class have been admitted so far
+    /// (`(vips, guests)`).
+    pub fn issued(&self) -> (usize, u64) {
+        (self.vips_issued.load(Ordering::Acquire), self.guests_issued.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(v: usize, g: usize, w: usize) -> AdmissionConfig {
+        AdmissionConfig { vip_capacity: v, guest_ports: g, guest_group_width: w }
+    }
+
+    #[test]
+    fn spec_matches_config() {
+        let a = Admission::new(cfg(2, 6, 2)).unwrap();
+        assert_eq!(a.spec().y(), 8);
+        assert_eq!(a.spec().x(), 2);
+        assert_eq!(a.ports(), 8);
+        assert_eq!(a.guest_layout().m(), 3, "6 guest ports in groups of 2");
+    }
+
+    #[test]
+    fn vip_tier_is_bounded() {
+        let a = Admission::new(cfg(2, 2, 1)).unwrap();
+        let t0 = a.admit(ProgressClass::Vip).unwrap();
+        let t1 = a.admit(ProgressClass::Vip).unwrap();
+        assert_eq!((t0.port(), t1.port()), (0, 1), "VIPs own distinct wait-free ports");
+        assert_eq!(
+            a.admit(ProgressClass::Vip),
+            Err(AdmissionError::VipCapacityExhausted { capacity: 2 })
+        );
+        assert!(a.spec().is_wait_free_for(t0.port()));
+    }
+
+    #[test]
+    fn guest_tier_is_unbounded_and_round_robins() {
+        let a = Admission::new(cfg(1, 3, 1)).unwrap();
+        let ports: Vec<usize> =
+            (0..7).map(|_| a.admit(ProgressClass::Guest).unwrap().port()).collect();
+        assert_eq!(ports, vec![1, 2, 3, 1, 2, 3, 1], "round-robin over guest ports");
+        for port in ports {
+            assert!(!a.spec().is_wait_free_for(port));
+            assert!(a.spec().is_port(port));
+        }
+        assert_eq!(a.issued(), (0, 7));
+    }
+
+    #[test]
+    fn guests_are_placed_into_cascade_groups() {
+        let a = Admission::new(cfg(0, 6, 2)).unwrap();
+        let groups: Vec<usize> = (0..6)
+            .map(|_| a.admit(ProgressClass::Guest).unwrap().cascade_group().unwrap())
+            .collect();
+        assert_eq!(groups, vec![1, 1, 2, 2, 3, 3]);
+        let vip_less = a.admit(ProgressClass::Vip);
+        assert_eq!(vip_less, Err(AdmissionError::VipCapacityExhausted { capacity: 0 }));
+    }
+
+    #[test]
+    fn tickets_have_unique_ids() {
+        let a = Admission::new(cfg(1, 2, 2)).unwrap();
+        let ids: Vec<u64> = [
+            a.admit(ProgressClass::Vip).unwrap().id(),
+            a.admit(ProgressClass::Guest).unwrap().id(),
+            a.admit(ProgressClass::Guest).unwrap().id(),
+        ]
+        .into();
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(Admission::new(cfg(1, 0, 1)).is_err());
+        assert!(Admission::new(cfg(1, 2, 0)).is_err());
+        assert!(Admission::new(cfg(1, 2, 3)).is_err());
+        assert!(Admission::new(cfg(60, 8, 2)).is_err());
+    }
+}

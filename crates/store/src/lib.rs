@@ -1,0 +1,77 @@
+//! # `apc-store` — a sharded, progress-class-aware object service
+//!
+//! The service layer that puts the paper's machinery to work for many
+//! concurrent clients: an in-memory, sharded key→value store whose clients
+//! are admitted into **asymmetric progress classes** — a bounded wait-free
+//! VIP tier and an unbounded obstruction-free guest tier — over
+//! `apc-universal`'s `(y,x)`-live universal construction.
+//!
+//! Three layers:
+//!
+//! * [`admission`] — registers clients into the per-shard
+//!   [`Liveness`](apc_core::liveness::Liveness) spec: VIPs own wait-free
+//!   ports exclusively (capacity `x`, admission fails beyond it — hard
+//!   guarantees are bounded, per Theorem 3), guests are unbounded and
+//!   multiplex onto guest ports placed into
+//!   [`GroupLayout`](apc_core::group::GroupLayout)-computed arbiter-cascade
+//!   groups (§6.2);
+//! * [`router`] — hashes keys across `S` independent shards and plans
+//!   client batches into at most one log append per shard, merging
+//!   broadcast scans;
+//! * [`ops`] + [`store`] — read/write/CAS/scan operations, same-shard
+//!   batching into single universal-construction appends, and wait-free
+//!   snapshot statistics through
+//!   [`SwmrSnapshot`](apc_registers::snapshot::SwmrSnapshot) for the VIP
+//!   dashboard path.
+//!
+//! The [`model`] module re-expresses the shard commit path as an
+//! `apc-model` program so small instances can be *exhaustively* checked:
+//! commit safety on every schedule, termination of every fair VIP schedule,
+//! and a positive livelock witness for guest-only schedules — the
+//! asymmetric liveness claim, machine-checked.
+//!
+//! ## Example
+//!
+//! ```
+//! use apc_store::{StoreBuilder, StoreOp, StoreResp};
+//!
+//! let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
+//!
+//! // The wait-free tier is bounded…
+//! let vip = store.admit_vip().unwrap();
+//! assert!(store.admit_vip().is_err());
+//! // …the obstruction-free tier is not.
+//! let guest = store.admit_guest();
+//!
+//! let mut v = store.client(vip);
+//! let mut g = store.client(guest);
+//! v.put("user/1", 10);
+//! g.put("user/2", 20);
+//!
+//! // Same-shard ops batch into one consensus-backed append per shard.
+//! let resps = v.execute(vec![
+//!     StoreOp::Get("user/1".into()),
+//!     StoreOp::Cas { key: "user/2".into(), expect: Some(20), new: 21 },
+//! ]);
+//! assert_eq!(resps[0], StoreResp::Value(Some(10)));
+//! assert_eq!(resps[1], StoreResp::Cas { ok: true, actual: Some(20) });
+//!
+//! // Wait-free store-wide stats (never touches the consensus log).
+//! let digests = store.snapshot_stats();
+//! assert_eq!(digests.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod model;
+pub mod ops;
+pub mod router;
+pub mod store;
+pub mod workload;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
+pub use ops::{apply_op, Batch, Key, ShardSpec, ShardState, StoreOp, StoreResp};
+pub use router::{BatchPlan, BatchReassembly, ShardRouter};
+pub use store::{Client, ShardDigest, ShardLog, Store, StoreBuilder};
+pub use workload::Scenario;

@@ -1,0 +1,220 @@
+//! The shard commit path as an `apc-model` program, exhaustively checkable.
+//!
+//! The real commit path (see [`crate::store`]) is: a port proposes its batch
+//! into the next free log cell's `(y,x)`-live consensus, applies the decided
+//! batch, and publishes its commit digest. This module models exactly that
+//! kernel with one atomic event per shared-memory access:
+//!
+//! * the **log cell** is a `(y,x)`-live consensus base object (the
+//!   simulated object with *exactly* the paper's liveness: one-event
+//!   completion for the wait-free set, isolation-window completion for
+//!   guests);
+//! * the **digest publication** is a register write;
+//! * a committer *decides* the value its cell agreed on.
+//!
+//! Small instances verify the two claims the service layer makes
+//! (Theorem 3 flavor):
+//!
+//! 1. **safety** — every schedule agrees on one committed batch per cell,
+//!    and the committed batch was proposed (linearizability of the commit
+//!    point);
+//! 2. **asymmetric liveness** — every fair schedule in which a VIP
+//!    participates terminates, while guest-only schedules admit a fair
+//!    livelock (lockstep guests starve each other forever), which the model
+//!    checker exhibits as a positive witness.
+
+use apc_model::{
+    MaybeParticipant, ObjectId, Op, ProcessSet, Program, ProgramAction, System, SystemBuilder,
+    Value,
+};
+
+/// Object ids of one modeled shard commit instance.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CommitObjects {
+    /// The next free log cell: a `(y,x)`-live consensus base object.
+    pub cell: ObjectId,
+    /// The digest register the winning committer publishes into.
+    pub committed: ObjectId,
+}
+
+impl CommitObjects {
+    /// Adds the shard-commit objects for `ports` ports with wait-free set
+    /// `vips` and the given guest isolation window.
+    pub fn add_to(
+        builder: &mut SystemBuilder,
+        ports: ProcessSet,
+        vips: ProcessSet,
+        isolation_window: u8,
+    ) -> Self {
+        let cell = builder.add_live_consensus(ports, vips, isolation_window);
+        let committed = builder.add_register(Value::Bot);
+        CommitObjects { cell, committed }
+    }
+}
+
+/// One port committing one batch: propose to the cell, publish the decided
+/// batch id, decide it.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ShardCommitProgram {
+    objs: CommitObjects,
+    batch_id: u32,
+    decided: Value,
+    state: CommitState,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+enum CommitState {
+    /// Next: propose my batch to the cell (retries while the cell keeps the
+    /// guest pending — each retry is one atomic event).
+    Start,
+    /// Awaiting the cell's decision; next: publish it.
+    GotDecision,
+    /// Awaiting the publish acknowledgement; next: decide.
+    Published,
+}
+
+impl ShardCommitProgram {
+    /// A committer proposing batch `batch_id`.
+    pub fn new(objs: CommitObjects, batch_id: u32) -> Self {
+        ShardCommitProgram { objs, batch_id, decided: Value::Bot, state: CommitState::Start }
+    }
+}
+
+impl Program for ShardCommitProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        match self.state {
+            CommitState::Start => {
+                self.state = CommitState::GotDecision;
+                ProgramAction::Invoke(Op::Propose(self.objs.cell, Value::Num(self.batch_id)))
+            }
+            CommitState::GotDecision => {
+                self.decided = last.expect("propose completes with the decided batch");
+                self.state = CommitState::Published;
+                ProgramAction::Invoke(Op::Write(self.objs.committed, self.decided))
+            }
+            CommitState::Published => ProgramAction::Decide(self.decided),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "shard-commit"
+    }
+}
+
+/// Builds the modeled commit path for `ports` total ports of which the
+/// first `vips` are wait-free, with participation restricted to
+/// `participants` (absent ports never take a step).
+///
+/// Each participant `i` proposes batch id `100 + i`.
+///
+/// # Panics
+///
+/// Panics if `ports == 0` or `vips > ports`.
+pub fn shard_commit_system(
+    ports: usize,
+    vips: usize,
+    isolation_window: u8,
+    participants: ProcessSet,
+) -> (System<MaybeParticipant<ShardCommitProgram>>, CommitObjects) {
+    assert!(ports > 0 && vips <= ports, "need 0 < ports and vips ≤ ports");
+    let mut builder = SystemBuilder::new(ports);
+    let objs = CommitObjects::add_to(
+        &mut builder,
+        ProcessSet::first_n(ports),
+        ProcessSet::first_n(vips),
+        isolation_window,
+    );
+    let system = builder.build(|pid| {
+        if participants.contains(pid) {
+            MaybeParticipant::Present(ShardCommitProgram::new(objs, 100 + pid.index() as u32))
+        } else {
+            MaybeParticipant::Absent
+        }
+    });
+    (system, objs)
+}
+
+/// The proposal values of `participants` (for validity invariants).
+pub fn proposed_batches(participants: ProcessSet) -> Vec<Value> {
+    participants.iter().map(|p| Value::Num(100 + p.index() as u32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_model::explore::{Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn};
+    use apc_model::fairness::{fair_livelocks, fair_termination, StateGraph};
+    use apc_model::{ProcessId, Runner, Schedule};
+
+    #[test]
+    fn solo_vip_commits_immediately() {
+        let (sys, objs) = shard_commit_system(3, 1, 1, ProcessSet::from_indices([0]));
+        let mut runner = Runner::new(sys);
+        runner.run_until_terminated(&Schedule::solo(ProcessId::new(0), 1), 100);
+        assert_eq!(runner.system().decision(ProcessId::new(0)), Some(Value::Num(100)));
+        assert_eq!(
+            runner.system().object(objs.cell).consensus_decision(),
+            Some(Value::Num(100))
+        );
+    }
+
+    #[test]
+    fn solo_guest_commits_given_isolation() {
+        // Obstruction-freedom: a guest running alone terminates.
+        let (sys, _) = shard_commit_system(3, 1, 2, ProcessSet::from_indices([2]));
+        let mut runner = Runner::new(sys);
+        // Absent processes are never scheduled; only the guest's own
+        // termination matters.
+        runner.run_until_terminated(&Schedule::solo(ProcessId::new(2), 1), 100);
+        assert_eq!(
+            runner.system().decision(ProcessId::new(2)),
+            Some(Value::Num(102)),
+            "a solo guest must commit"
+        );
+    }
+
+    #[test]
+    fn exhaustive_safety_small_shard() {
+        let participants = ProcessSet::first_n(3);
+        let (sys, _) = shard_commit_system(3, 1, 1, participants);
+        let explorer = Explorer::new(ExploreConfig::default().with_max_states(200_000));
+        let result = explorer.explore(
+            &sys,
+            &[&Agreement, &ValidityIn::new(proposed_batches(participants)), &NoFaults],
+        );
+        assert!(result.ok(), "violations: {:?}", result.violations.first());
+        assert!(!result.truncated);
+    }
+
+    #[test]
+    fn vip_participation_guarantees_termination() {
+        // Any participation pattern containing the VIP (port 0) terminates
+        // under every fair schedule.
+        for mask in [0b001u8, 0b011, 0b101, 0b111] {
+            let participants: ProcessSet = (0..3)
+                .filter(|i| mask & (1 << i) != 0)
+                .collect::<Vec<usize>>()
+                .into_iter()
+                .collect();
+            let (sys, _) = shard_commit_system(3, 1, 1, participants);
+            let graph = StateGraph::build(&sys, 200_000);
+            assert!(!graph.truncated());
+            let verdict = fair_termination(&graph, |pid| participants.contains(pid));
+            assert!(verdict.holds(), "mask {mask:03b}: {verdict:?}");
+        }
+    }
+
+    #[test]
+    fn guest_only_schedules_can_livelock() {
+        // The asymmetric caveat: without the VIP, lockstep guests starve
+        // each other forever — a fair livelock the checker exhibits.
+        let participants = ProcessSet::from_indices([1, 2]);
+        let (sys, _) = shard_commit_system(3, 1, 1, participants);
+        let graph = StateGraph::build(&sys, 200_000);
+        assert!(!graph.truncated());
+        let witnesses = fair_livelocks(&graph);
+        assert!(!witnesses.is_empty(), "lockstep guests must admit a livelock witness");
+        let verdict = fair_termination(&graph, |pid| participants.contains(pid));
+        assert!(!verdict.holds(), "guest-only termination must NOT be guaranteed");
+    }
+}

@@ -1,0 +1,207 @@
+//! The operation layer: store operations, responses, and same-shard
+//! batching into a single universal-construction append.
+//!
+//! A [`Batch`] is the unit the per-shard log agrees on: one log cell commits
+//! an entire batch of same-shard operations atomically, so a client issuing
+//! `k` operations against one shard pays for **one** consensus-backed append
+//! instead of `k`.
+
+use std::collections::BTreeMap;
+
+use apc_universal::seq::SequentialSpec;
+
+/// A store key. Keys are routed to shards by [`crate::router::ShardRouter`].
+pub type Key = String;
+
+/// One client-visible store operation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StoreOp {
+    /// Read a key.
+    Get(Key),
+    /// Insert or replace a key; responds with the previous value.
+    Put(Key, u64),
+    /// Remove a key; responds with the removed value.
+    Remove(Key),
+    /// Compare-and-set: install `new` iff the current value equals `expect`
+    /// (`None` = absent). Responds [`StoreResp::Cas`] with the outcome and
+    /// the value actually observed.
+    Cas {
+        /// The key to update.
+        key: Key,
+        /// The expected current value (`None` for "absent").
+        expect: Option<u64>,
+        /// The value to install on a match.
+        new: u64,
+    },
+    /// Range scan over `[from, to)`, merged across shards by the router.
+    Scan {
+        /// Inclusive lower bound.
+        from: Key,
+        /// Exclusive upper bound.
+        to: Key,
+    },
+}
+
+impl StoreOp {
+    /// The key this operation routes by, or `None` for multi-shard ops
+    /// (scans are broadcast to every shard).
+    pub fn routing_key(&self) -> Option<&str> {
+        match self {
+            StoreOp::Get(k) | StoreOp::Put(k, _) | StoreOp::Remove(k) => Some(k),
+            StoreOp::Cas { key, .. } => Some(key),
+            StoreOp::Scan { .. } => None,
+        }
+    }
+}
+
+/// The response to one [`StoreOp`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StoreResp {
+    /// Response of `Get` / `Put` / `Remove`: the (previous) value.
+    Value(Option<u64>),
+    /// Response of `Cas`.
+    Cas {
+        /// Whether the CAS installed its new value.
+        ok: bool,
+        /// The value observed at the linearization point.
+        actual: Option<u64>,
+    },
+    /// Response of `Scan`: the matching entries in key order.
+    Entries(Vec<(Key, u64)>),
+}
+
+impl StoreResp {
+    /// Convenience accessor for `Value` responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a [`StoreResp::Value`].
+    pub fn expect_value(&self) -> Option<u64> {
+        match self {
+            StoreResp::Value(v) => *v,
+            other => panic!("expected a value response, got {other:?}"),
+        }
+    }
+}
+
+/// The per-shard state: an ordered map, scannable by range.
+pub type ShardState = BTreeMap<Key, u64>;
+
+/// Applies one operation to a shard state — the single place the
+/// operational semantics live, shared by the real store, the sequential
+/// oracle in tests, and the model commit path.
+pub fn apply_op(state: &mut ShardState, op: &StoreOp) -> StoreResp {
+    match op {
+        StoreOp::Get(k) => StoreResp::Value(state.get(k).copied()),
+        StoreOp::Put(k, v) => StoreResp::Value(state.insert(k.clone(), *v)),
+        StoreOp::Remove(k) => StoreResp::Value(state.remove(k)),
+        StoreOp::Cas { key, expect, new } => {
+            let actual = state.get(key).copied();
+            let ok = actual == *expect;
+            if ok {
+                state.insert(key.clone(), *new);
+            }
+            StoreResp::Cas { ok, actual }
+        }
+        StoreOp::Scan { from, to } => {
+            if from >= to {
+                return StoreResp::Entries(Vec::new());
+            }
+            StoreResp::Entries(
+                state
+                    .range(from.clone()..to.clone())
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// A batch of same-shard operations committed by **one** log append.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Batch(pub Vec<StoreOp>);
+
+/// The sequential specification of one shard: an ordered map whose log
+/// entries are whole [`Batch`]es.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ShardSpec;
+
+impl SequentialSpec for ShardSpec {
+    type State = ShardState;
+    type Op = Batch;
+    type Resp = Vec<StoreResp>;
+
+    fn init(&self) -> ShardState {
+        BTreeMap::new()
+    }
+
+    fn apply(&self, state: &mut ShardState, batch: &Batch) -> Vec<StoreResp> {
+        batch.0.iter().map(|op| apply_op(state, op)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let mut s = ShardState::new();
+        assert_eq!(apply_op(&mut s, &StoreOp::Put("a".into(), 1)), StoreResp::Value(None));
+        assert_eq!(apply_op(&mut s, &StoreOp::Get("a".into())), StoreResp::Value(Some(1)));
+        assert_eq!(apply_op(&mut s, &StoreOp::Remove("a".into())), StoreResp::Value(Some(1)));
+        assert_eq!(apply_op(&mut s, &StoreOp::Get("a".into())), StoreResp::Value(None));
+    }
+
+    #[test]
+    fn cas_matches_and_mismatches() {
+        let mut s = ShardState::new();
+        let op = StoreOp::Cas { key: "k".into(), expect: None, new: 5 };
+        assert_eq!(apply_op(&mut s, &op), StoreResp::Cas { ok: true, actual: None });
+        let op = StoreOp::Cas { key: "k".into(), expect: Some(4), new: 6 };
+        assert_eq!(apply_op(&mut s, &op), StoreResp::Cas { ok: false, actual: Some(5) });
+        assert_eq!(s["k"], 5, "failed CAS must not write");
+        let op = StoreOp::Cas { key: "k".into(), expect: Some(5), new: 6 };
+        assert_eq!(apply_op(&mut s, &op), StoreResp::Cas { ok: true, actual: Some(5) });
+        assert_eq!(s["k"], 6);
+    }
+
+    #[test]
+    fn scan_is_half_open_and_ordered() {
+        let mut s = ShardState::new();
+        for (k, v) in [("a", 1u64), ("b", 2), ("c", 3), ("d", 4)] {
+            s.insert(k.into(), v);
+        }
+        let resp = apply_op(&mut s, &StoreOp::Scan { from: "b".into(), to: "d".into() });
+        assert_eq!(resp, StoreResp::Entries(vec![("b".into(), 2), ("c".into(), 3)]));
+        // Empty and inverted ranges yield nothing (no panic).
+        let resp = apply_op(&mut s, &StoreOp::Scan { from: "d".into(), to: "b".into() });
+        assert_eq!(resp, StoreResp::Entries(vec![]));
+    }
+
+    #[test]
+    fn batch_applies_in_order() {
+        let spec = ShardSpec;
+        let mut s = spec.init();
+        let batch = Batch(vec![
+            StoreOp::Put("x".into(), 1),
+            StoreOp::Cas { key: "x".into(), expect: Some(1), new: 2 },
+            StoreOp::Get("x".into()),
+        ]);
+        let resps = spec.apply(&mut s, &batch);
+        assert_eq!(
+            resps,
+            vec![
+                StoreResp::Value(None),
+                StoreResp::Cas { ok: true, actual: Some(1) },
+                StoreResp::Value(Some(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn routing_keys() {
+        assert_eq!(StoreOp::Get("k".into()).routing_key(), Some("k"));
+        assert_eq!(StoreOp::Scan { from: "a".into(), to: "b".into() }.routing_key(), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! The shard router: key placement and batch planning.
+//!
+//! Keys hash across `S` independent shards (FNV-1a over the key bytes), so
+//! each shard is its own universal object and shards make progress — and
+//! scale — independently. [`BatchPlan`] turns one client batch into at most
+//! one sub-batch per shard (the batching contract of the operation layer)
+//! and remembers how to reassemble responses in invocation order, merging
+//! broadcast scans across shards.
+
+use crate::ops::{Key, StoreOp, StoreResp};
+
+/// Routes keys to shards by hashing.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a store needs at least one shard");
+        ShardRouter { shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key` (FNV-1a of the key bytes, mod `S`).
+    pub fn shard_of(&self, key: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % self.shards as u64) as usize
+    }
+
+    /// Plans a batch: splits the ops into per-shard sub-batches, broadcast
+    /// ops (scans) going to every shard.
+    pub fn plan(&self, ops: Vec<StoreOp>) -> BatchPlan {
+        let mut per_shard: Vec<Vec<StoreOp>> = vec![Vec::new(); self.shards];
+        let mut slots = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op.routing_key() {
+                Some(key) => {
+                    let shard = self.shard_of(key);
+                    slots.push(RespSlot::Single { shard, index: per_shard[shard].len() });
+                    per_shard[shard].push(op);
+                }
+                None => {
+                    let indices: Vec<usize> =
+                        per_shard.iter().map(Vec::len).collect();
+                    for sub in per_shard.iter_mut() {
+                        sub.push(op.clone());
+                    }
+                    slots.push(RespSlot::Broadcast { indices });
+                }
+            }
+        }
+        BatchPlan { per_shard, slots }
+    }
+}
+
+/// Where one op's response comes from after the per-shard commits.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum RespSlot {
+    /// The op went to a single shard, at `index` within its sub-batch.
+    Single {
+        /// The owning shard.
+        shard: usize,
+        /// Index within that shard's sub-batch.
+        index: usize,
+    },
+    /// The op was broadcast; `indices[s]` is its index in shard `s`'s
+    /// sub-batch.
+    Broadcast {
+        /// Per-shard sub-batch indices.
+        indices: Vec<usize>,
+    },
+}
+
+/// The result of [`ShardRouter::plan`]: per-shard sub-batches plus the
+/// recipe for reassembling responses in the original invocation order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchPlan {
+    per_shard: Vec<Vec<StoreOp>>,
+    slots: Vec<RespSlot>,
+}
+
+impl BatchPlan {
+    /// The sub-batch destined for shard `s` (empty if the shard is idle).
+    pub fn sub_batch(&self, s: usize) -> &[StoreOp] {
+        &self.per_shard[s]
+    }
+
+    /// Shards with at least one op, in index order.
+    pub fn active_shards(&self) -> impl Iterator<Item = usize> + '_ {
+        self.per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, sub)| !sub.is_empty())
+            .map(|(s, _)| s)
+    }
+
+    /// Takes ownership of the per-shard sub-batches (index = shard).
+    pub fn into_sub_batches(self) -> (Vec<Vec<StoreOp>>, BatchReassembly) {
+        (self.per_shard, BatchReassembly { slots: self.slots })
+    }
+}
+
+/// Reassembles per-shard responses into invocation order; the second half
+/// of a [`BatchPlan`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchReassembly {
+    slots: Vec<RespSlot>,
+}
+
+impl BatchReassembly {
+    /// Merges `per_shard[s]` (responses of shard `s`'s sub-batch, in
+    /// sub-batch order) back into one response vector in invocation order.
+    /// Broadcast scans are merged across shards into key order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response shapes do not match the plan (a store bug).
+    pub fn reassemble(&self, per_shard: Vec<Vec<StoreResp>>) -> Vec<StoreResp> {
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                RespSlot::Single { shard, index } => per_shard[*shard][*index].clone(),
+                RespSlot::Broadcast { indices } => {
+                    let mut merged: Vec<(Key, u64)> = Vec::new();
+                    for (s, &i) in indices.iter().enumerate() {
+                        match &per_shard[s][i] {
+                            StoreResp::Entries(entries) => merged.extend(entries.iter().cloned()),
+                            other => panic!("broadcast slot returned {other:?}"),
+                        }
+                    }
+                    merged.sort_by(|a, b| a.0.cmp(&b.0));
+                    StoreResp::Entries(merged)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_stable_and_in_range() {
+        let r = ShardRouter::new(4);
+        for key in ["", "a", "alpha", "zebra", "key/with/path"] {
+            let s = r.shard_of(key);
+            assert!(s < 4);
+            assert_eq!(s, r.shard_of(key), "stable placement for {key:?}");
+        }
+        // One shard routes everything to 0.
+        let r1 = ShardRouter::new(1);
+        assert_eq!(r1.shard_of("anything"), 0);
+    }
+
+    #[test]
+    fn hashing_spreads_keys() {
+        let r = ShardRouter::new(8);
+        let mut seen = [false; 8];
+        for i in 0..256 {
+            seen[r.shard_of(&format!("key-{i}"))] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "256 keys must touch all 8 shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardRouter::new(0);
+    }
+
+    #[test]
+    fn plan_routes_and_reassembles_in_order() {
+        let r = ShardRouter::new(3);
+        let ops = vec![
+            StoreOp::Put("a".into(), 1),
+            StoreOp::Put("b".into(), 2),
+            StoreOp::Get("a".into()),
+        ];
+        let plan = r.plan(ops.clone());
+        let (subs, reassembly) = plan.into_sub_batches();
+        // Apply each sub-batch against a scratch state to fake shard commits.
+        let mut per_shard = Vec::new();
+        for sub in &subs {
+            let mut state = crate::ops::ShardState::new();
+            per_shard
+                .push(sub.iter().map(|op| crate::ops::apply_op(&mut state, op)).collect());
+        }
+        let resps = reassembly.reassemble(per_shard);
+        assert_eq!(resps.len(), 3);
+        assert_eq!(resps[0], StoreResp::Value(None));
+        assert_eq!(resps[1], StoreResp::Value(None));
+        assert_eq!(resps[2], StoreResp::Value(Some(1)), "get sees the same-shard put");
+    }
+
+    #[test]
+    fn scans_broadcast_to_every_shard_and_merge_sorted() {
+        let r = ShardRouter::new(4);
+        let mut ops: Vec<StoreOp> =
+            (0..16).map(|i| StoreOp::Put(format!("k{i:02}"), i)).collect();
+        ops.push(StoreOp::Scan { from: "k00".into(), to: "k99".into() });
+        let plan = r.plan(ops);
+        for s in 0..4 {
+            assert!(
+                matches!(plan.sub_batch(s).last(), Some(StoreOp::Scan { .. })),
+                "scan must reach shard {s}"
+            );
+        }
+        let (subs, reassembly) = plan.into_sub_batches();
+        let mut per_shard = Vec::new();
+        for sub in &subs {
+            let mut state = crate::ops::ShardState::new();
+            per_shard
+                .push(sub.iter().map(|op| crate::ops::apply_op(&mut state, op)).collect());
+        }
+        let resps = reassembly.reassemble(per_shard);
+        match resps.last().unwrap() {
+            StoreResp::Entries(entries) => {
+                assert_eq!(entries.len(), 16, "scan sees every key across shards");
+                let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                assert_eq!(keys, sorted, "merged scan is in key order");
+            }
+            other => panic!("scan returned {other:?}"),
+        }
+    }
+
+    #[test]
+    fn active_shards_skips_idle_ones() {
+        let r = ShardRouter::new(4);
+        let plan = r.plan(vec![StoreOp::Put("only".into(), 1)]);
+        let active: Vec<usize> = plan.active_shards().collect();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0], r.shard_of("only"));
+    }
+}

@@ -1,0 +1,493 @@
+//! The store itself: builder, shards, and client sessions.
+//!
+//! A [`Store`] is `S` independent shards, each a
+//! [`Universal`]`<`[`ShardSpec`](crate::ops::ShardSpec)`>` driven by `(y,x)`-live
+//! [`AsymmetricFactory`] consensus cells, fronted by the admission layer's
+//! port discipline:
+//!
+//! * every shard exposes the same ports `0..y`; VIP clients own a wait-free
+//!   port exclusively, guest clients multiplex onto shared guest ports
+//!   (serialized per port by a mutex — the obstruction-free tier is also the
+//!   queued tier);
+//! * a client batch is split by the [`ShardRouter`] into at most one
+//!   log append per shard, so same-shard operations amortize consensus;
+//! * each shard additionally maintains a wait-free
+//!   [`SwmrSnapshot`] of per-port commit digests — the VIP dashboard path:
+//!   reading store-wide statistics never touches the consensus log, so it
+//!   completes even while guests hammer every shard.
+//!
+//! **Consistency:** operations within one shard are linearizable (they go
+//! through that shard's universal log). A multi-shard batch commits
+//! per-shard atomically but is not a single cross-shard atomic action;
+//! broadcast scans are per-shard-consistent merges.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use apc_core::liveness::Liveness;
+use apc_registers::snapshot::SwmrSnapshot;
+use apc_universal::{AsymmetricFactory, OwnedHandle, Universal};
+
+use crate::admission::{
+    Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass,
+};
+use crate::ops::{Batch, StoreOp, StoreResp};
+use crate::router::ShardRouter;
+
+/// The universal-object type backing one shard.
+pub type ShardLog = Universal<crate::ops::ShardSpec, AsymmetricFactory>;
+
+/// A monotone per-port commit digest published into the shard's wait-free
+/// snapshot after every commit.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct ShardDigest {
+    /// Log cells replayed by the publishing port (monotone version).
+    pub commits: u64,
+    /// Number of live keys in the shard at publication time.
+    pub entries: u64,
+}
+
+struct Shard {
+    /// One slot per port; guests multiplex, VIPs own theirs exclusively.
+    /// Each handle co-owns the shard's universal log.
+    ports: Vec<Mutex<OwnedHandle<crate::ops::ShardSpec, AsymmetricFactory>>>,
+    /// Per-port digests; single-writer per component (the port's mutex
+    /// serializes writers sharing a port).
+    stats: SwmrSnapshot<ShardDigest>,
+}
+
+/// Configures and builds a [`Store`].
+///
+/// # Examples
+///
+/// ```
+/// use apc_store::StoreBuilder;
+///
+/// let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
+/// let vip = store.admit_vip().unwrap();
+/// let mut client = store.client(vip);
+/// assert_eq!(client.put("k", 7), None);
+/// assert_eq!(client.get("k"), Some(7));
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct StoreBuilder {
+    shards: usize,
+    admission: AdmissionConfig,
+}
+
+impl Default for StoreBuilder {
+    fn default() -> Self {
+        StoreBuilder { shards: 4, admission: AdmissionConfig::default() }
+    }
+}
+
+impl StoreBuilder {
+    /// A builder with the default sizing (4 shards, 2 VIP ports, 6 guest
+    /// ports in cascade groups of 2).
+    pub fn new() -> Self {
+        StoreBuilder::default()
+    }
+
+    /// Sets the shard count `S`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the bounded wait-free VIP port count `x` (per shard).
+    pub fn vip_capacity(mut self, x: usize) -> Self {
+        self.admission.vip_capacity = x;
+        self
+    }
+
+    /// Sets the guest port count (per shard).
+    pub fn guest_ports(mut self, g: usize) -> Self {
+        self.admission.guest_ports = g;
+        self
+    }
+
+    /// Sets the guest arbiter-cascade group width.
+    pub fn guest_group_width(mut self, w: usize) -> Self {
+        self.admission.guest_group_width = w;
+        self
+    }
+
+    /// Builds the store: admission layer, router, and `S` shard logs with
+    /// their port pools and stats snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AdmissionError::BadConfig`] for unrealizable sizings
+    /// (including `shards == 0`).
+    pub fn build(self) -> Result<Store, AdmissionError> {
+        if self.shards == 0 {
+            return Err(AdmissionError::BadConfig("a store needs at least one shard"));
+        }
+        let admission = Admission::new(self.admission)?;
+        let spec = admission.spec();
+        let ports = admission.ports();
+        let shards = (0..self.shards)
+            .map(|_| {
+                let log = Arc::new(Universal::new(
+                    crate::ops::ShardSpec,
+                    AsymmetricFactory::new(spec),
+                    ports,
+                ));
+                let port_slots = (0..ports)
+                    .map(|p| {
+                        Mutex::new(
+                            log.owned_handle(p).expect("fresh log, every port available"),
+                        )
+                    })
+                    .collect();
+                Shard { ports: port_slots, stats: SwmrSnapshot::new(ports, ShardDigest::default()) }
+            })
+            .collect();
+        Ok(Store { admission, router: ShardRouter::new(self.shards), shards })
+    }
+}
+
+/// An in-memory, sharded, progress-class-aware object service.
+///
+/// See the [module docs](self) for the architecture and consistency model.
+pub struct Store {
+    admission: Admission,
+    router: ShardRouter,
+    shards: Vec<Shard>,
+}
+
+impl Store {
+    /// Starts configuring a store.
+    pub fn builder() -> StoreBuilder {
+        StoreBuilder::new()
+    }
+
+    /// Admits a wait-free VIP client (bounded by the configured capacity).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::VipCapacityExhausted`] once all `x` ports are owned.
+    pub fn admit_vip(&self) -> Result<ClientTicket, AdmissionError> {
+        self.admission.admit(ProgressClass::Vip)
+    }
+
+    /// Admits an obstruction-free guest client (never fails).
+    pub fn admit_guest(&self) -> ClientTicket {
+        self.admission.admit(ProgressClass::Guest).expect("guest admission is unbounded")
+    }
+
+    /// Opens a client session for `ticket`.
+    pub fn client(&self, ticket: ClientTicket) -> Client<'_> {
+        Client { store: self, ticket }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// The per-shard liveness specification.
+    pub fn spec(&self) -> Liveness {
+        self.admission.spec()
+    }
+
+    /// The admission layer (capacity inspection, guest layout).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &str) -> usize {
+        self.router.shard_of(key)
+    }
+
+    /// Wait-free store-wide statistics: for each shard, the freshest
+    /// per-port commit digest.
+    ///
+    /// This is the VIP dashboard path — it reads each shard's register-based
+    /// [`SwmrSnapshot`] and never touches the consensus log, so it completes
+    /// in a bounded number of steps regardless of guest contention.
+    pub fn snapshot_stats(&self) -> Vec<ShardDigest> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .stats
+                    .scan()
+                    .into_iter()
+                    .max_by_key(|d| d.commits)
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+
+    /// Commits `batch` on `shard` through `port`: one universal-log append.
+    fn commit(&self, shard: usize, port: usize, batch: Batch) -> Vec<StoreResp> {
+        let s = &self.shards[shard];
+        let mut handle = s.ports[port].lock().expect("port slot poisoned");
+        let resps = handle.apply(batch);
+        s.stats.update(
+            port,
+            ShardDigest {
+                commits: handle.replayed_cells(),
+                entries: handle.local_state().len() as u64,
+            },
+        );
+        resps
+    }
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("shards", &self.shards.len())
+            .field("spec", &self.admission.spec())
+            .finish()
+    }
+}
+
+/// A client session: the operation surface of the store.
+///
+/// Sessions are cheap (`ticket` + store reference) and a single ticket may
+/// open many sequential sessions; operations from sessions sharing a guest
+/// port serialize on that port's slot.
+#[derive(Copy, Clone)]
+pub struct Client<'a> {
+    store: &'a Store,
+    ticket: ClientTicket,
+}
+
+impl Client<'_> {
+    /// This session's admission ticket.
+    pub fn ticket(&self) -> ClientTicket {
+        self.ticket
+    }
+
+    /// The session's progress class.
+    pub fn class(&self) -> ProgressClass {
+        self.ticket.class()
+    }
+
+    /// Executes a batch of operations, one log append per touched shard,
+    /// returning responses in invocation order.
+    pub fn execute(&mut self, ops: Vec<StoreOp>) -> Vec<StoreResp> {
+        let plan = self.store.router.plan(ops);
+        let (subs, reassembly) = plan.into_sub_batches();
+        let per_shard: Vec<Vec<StoreResp>> = subs
+            .into_iter()
+            .enumerate()
+            .map(|(s, sub)| {
+                if sub.is_empty() {
+                    Vec::new()
+                } else {
+                    self.store.commit(s, self.ticket.port(), Batch(sub))
+                }
+            })
+            .collect();
+        reassembly.reassemble(per_shard)
+    }
+
+    fn execute_one(&mut self, op: StoreOp) -> StoreResp {
+        self.execute(vec![op]).pop().expect("one op, one response")
+    }
+
+    /// Reads `key`.
+    pub fn get(&mut self, key: &str) -> Option<u64> {
+        self.execute_one(StoreOp::Get(key.into())).expect_value()
+    }
+
+    /// Writes `key`, returning the previous value.
+    pub fn put(&mut self, key: &str, value: u64) -> Option<u64> {
+        self.execute_one(StoreOp::Put(key.into(), value)).expect_value()
+    }
+
+    /// Removes `key`, returning the removed value.
+    pub fn remove(&mut self, key: &str) -> Option<u64> {
+        self.execute_one(StoreOp::Remove(key.into())).expect_value()
+    }
+
+    /// Compare-and-set on `key`; returns `(ok, actual)`.
+    pub fn cas(&mut self, key: &str, expect: Option<u64>, new: u64) -> (bool, Option<u64>) {
+        match self.execute_one(StoreOp::Cas { key: key.into(), expect, new }) {
+            StoreResp::Cas { ok, actual } => (ok, actual),
+            other => panic!("cas returned {other:?}"),
+        }
+    }
+
+    /// Range scan over `[from, to)` merged across all shards, in key order.
+    pub fn scan(&mut self, from: &str, to: &str) -> Vec<(String, u64)> {
+        match self.execute_one(StoreOp::Scan { from: from.into(), to: to.into() }) {
+            StoreResp::Entries(entries) => entries,
+            other => panic!("scan returned {other:?}"),
+        }
+    }
+}
+
+impl fmt::Debug for Client<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("id", &self.ticket.id())
+            .field("class", &self.ticket.class())
+            .field("port", &self.ticket.port())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store(shards: usize) -> Store {
+        StoreBuilder::new()
+            .shards(shards)
+            .vip_capacity(2)
+            .guest_ports(4)
+            .guest_group_width(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_build() {
+        let store = StoreBuilder::new().build().unwrap();
+        assert_eq!(store.shards(), 4);
+        assert_eq!(store.spec().x(), 2);
+        assert_eq!(store.spec().y(), 8);
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(StoreBuilder::new().shards(0).build().is_err());
+    }
+
+    #[test]
+    fn vip_and_guest_sessions_see_each_other() {
+        let store = small_store(2);
+        let vip = store.admit_vip().unwrap();
+        let guest = store.admit_guest();
+        let mut v = store.client(vip);
+        let mut g = store.client(guest);
+        assert_eq!(v.put("alpha", 1), None);
+        assert_eq!(g.get("alpha"), Some(1));
+        assert_eq!(g.put("alpha", 2), Some(1));
+        assert_eq!(v.get("alpha"), Some(2));
+    }
+
+    #[test]
+    fn batches_span_shards_and_keep_invocation_order() {
+        let store = small_store(3);
+        let mut c = store.client(store.admit_guest());
+        let ops: Vec<StoreOp> = (0..12).map(|i| StoreOp::Put(format!("k{i}"), i)).collect();
+        let resps = c.execute(ops);
+        assert_eq!(resps.len(), 12);
+        assert!(resps.iter().all(|r| *r == StoreResp::Value(None)));
+        let mut check = store.client(store.admit_guest());
+        let all = check.scan("", "z");
+        assert_eq!(all.len(), 12);
+    }
+
+    #[test]
+    fn cas_is_atomic_per_key() {
+        let store = small_store(2);
+        let mut c = store.client(store.admit_vip().unwrap());
+        assert_eq!(c.cas("n", None, 1), (true, None));
+        assert_eq!(c.cas("n", None, 2), (false, Some(1)));
+        assert_eq!(c.cas("n", Some(1), 2), (true, Some(1)));
+        assert_eq!(c.get("n"), Some(2));
+    }
+
+    #[test]
+    fn guests_sharing_a_port_serialize_but_succeed() {
+        // 1 guest port, many guest clients: all multiplex onto the same
+        // port and every operation still commits.
+        let store = StoreBuilder::new()
+            .shards(1)
+            .vip_capacity(1)
+            .guest_ports(1)
+            .guest_group_width(1)
+            .build()
+            .unwrap();
+        let tickets: Vec<_> = (0..4).map(|_| store.admit_guest()).collect();
+        assert!(tickets.windows(2).all(|w| w[0].port() == w[1].port()));
+        std::thread::scope(|s| {
+            for (i, t) in tickets.iter().enumerate() {
+                let store = &store;
+                s.spawn(move || {
+                    let mut c = store.client(*t);
+                    for j in 0..10 {
+                        c.put(&format!("g{i}/{j}"), j);
+                    }
+                });
+            }
+        });
+        let mut check = store.client(store.admit_vip().unwrap());
+        assert_eq!(check.scan("", "z").len(), 40);
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact_via_cas() {
+        // Contended CAS increments across classes: the final value equals
+        // the number of successful CASes (no lost updates).
+        let store = small_store(2);
+        let vip = store.admit_vip().unwrap();
+        let guests: Vec<_> = (0..3).map(|_| store.admit_guest()).collect();
+        let success = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in guests.iter().copied().chain([vip]) {
+                let store = &store;
+                let success = &success;
+                s.spawn(move || {
+                    let mut c = store.client(t);
+                    for _ in 0..25 {
+                        loop {
+                            let cur = c.get("ctr");
+                            let next = cur.unwrap_or(0) + 1;
+                            if c.cas("ctr", cur, next).0 {
+                                success.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut check = store.client(store.admit_guest());
+        assert_eq!(check.get("ctr"), Some(100));
+        assert_eq!(success.load(std::sync::atomic::Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn snapshot_stats_track_commits_wait_free() {
+        let store = small_store(2);
+        let before = store.snapshot_stats();
+        assert_eq!(before.len(), 2);
+        assert!(before.iter().all(|d| d.commits == 0 && d.entries == 0));
+        let mut c = store.client(store.admit_vip().unwrap());
+        for i in 0..8 {
+            c.put(&format!("k{i}"), i);
+        }
+        let after = store.snapshot_stats();
+        let total_entries: u64 = after.iter().map(|d| d.entries).sum();
+        assert_eq!(total_entries, 8, "digests cover every committed key");
+        assert!(after.iter().any(|d| d.commits > 0));
+    }
+
+    #[test]
+    fn removed_keys_disappear_from_scans() {
+        let store = small_store(2);
+        let mut c = store.client(store.admit_vip().unwrap());
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.remove("a"), Some(1));
+        assert_eq!(c.scan("", "z"), vec![("b".to_string(), 2)]);
+        assert_eq!(c.remove("a"), None);
+    }
+
+    #[test]
+    fn debug_renders() {
+        let store = small_store(1);
+        let c = store.client(store.admit_guest());
+        assert!(format!("{store:?}").contains("Store"));
+        assert!(format!("{c:?}").contains("Guest"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Named stress scenarios shared by the benches, the stress example, and
+//! tests: who the clients are (the VIP/guest mix) and which keys they hit.
+//!
+//! Everything is deterministic (SplitMix64 over `(client, step)`), so two
+//! drivers replaying the same scenario issue the same operation stream.
+
+use crate::admission::ProgressClass;
+use crate::ops::StoreOp;
+
+/// A named workload shape.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Scenario {
+    /// Every client spreads uniform random keys: the scaling baseline.
+    Uniform,
+    /// Half of all traffic hits one hot key (a zipf-ish skew): router and
+    /// per-shard contention stress.
+    HotKey,
+    /// As many clients as possible are VIPs: the wait-free tier under
+    /// self-contention.
+    VipHeavy,
+    /// Guests only, all CAS-hammering one key: the obstruction-free tier's
+    /// worst case (and the VIP dashboard's chance to shine).
+    GuestContention,
+}
+
+impl Scenario {
+    /// All scenarios, in presentation order.
+    pub const ALL: [Scenario; 4] =
+        [Scenario::Uniform, Scenario::HotKey, Scenario::VipHeavy, Scenario::GuestContention];
+
+    /// The scenario's stable name (bench ids, report keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Uniform => "uniform",
+            Scenario::HotKey => "hot-key",
+            Scenario::VipHeavy => "vip-heavy",
+            Scenario::GuestContention => "guest-contention",
+        }
+    }
+
+    /// How many of `total` clients are VIPs vs guests, given the store's
+    /// VIP capacity: `(vips, guests)`.
+    pub fn client_mix(self, total: usize, vip_capacity: usize) -> (usize, usize) {
+        let vips = match self {
+            Scenario::Uniform | Scenario::HotKey => vip_capacity.min(total / 4).max(1).min(total),
+            Scenario::VipHeavy => vip_capacity.min(total),
+            Scenario::GuestContention => 0,
+        }
+        .min(vip_capacity);
+        (vips, total - vips)
+    }
+
+    /// The progress class of client `i` under this scenario's mix.
+    pub fn class_of(self, i: usize, total: usize, vip_capacity: usize) -> ProgressClass {
+        let (vips, _) = self.client_mix(total, vip_capacity);
+        if i < vips {
+            ProgressClass::Vip
+        } else {
+            ProgressClass::Guest
+        }
+    }
+
+    /// The `step`-th operation of client `client`, over a key space of
+    /// `keys` keys. Deterministic.
+    pub fn op(self, client: usize, step: usize, keys: usize) -> StoreOp {
+        let h = splitmix64(((client as u64) << 32) ^ step as u64);
+        let keys = keys.max(1) as u64;
+        match self {
+            Scenario::Uniform | Scenario::VipHeavy => {
+                let key = key_name(h % keys);
+                match h >> 60 {
+                    0..=5 => StoreOp::Put(key, h & 0xffff),
+                    6..=13 => StoreOp::Get(key),
+                    _ => StoreOp::Remove(key),
+                }
+            }
+            Scenario::HotKey => {
+                // Half of all traffic lands on key 0.
+                let key = if h & 1 == 0 { key_name(0) } else { key_name(h % keys) };
+                match h >> 61 {
+                    0..=2 => StoreOp::Put(key, h & 0xffff),
+                    3..=6 => StoreOp::Get(key),
+                    _ => StoreOp::Cas { key, expect: None, new: h & 0xffff },
+                }
+            }
+            Scenario::GuestContention => {
+                let key = key_name(0);
+                if h & 1 == 0 {
+                    StoreOp::Cas { key, expect: None, new: h & 0xffff }
+                } else {
+                    StoreOp::Get(key)
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn key_name(i: u64) -> String {
+    format!("key/{i:04}")
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_are_deterministic() {
+        for s in Scenario::ALL {
+            assert_eq!(s.op(3, 17, 64), s.op(3, 17, 64), "{s}");
+        }
+    }
+
+    #[test]
+    fn mixes_respect_capacity_and_total() {
+        for s in Scenario::ALL {
+            for total in [1usize, 4, 8] {
+                for cap in [0usize, 1, 2, 8] {
+                    let (v, g) = s.client_mix(total, cap);
+                    assert!(v <= cap, "{s}: {v} VIPs > capacity {cap}");
+                    assert_eq!(v + g, total, "{s}: mix must cover all clients");
+                }
+            }
+        }
+        assert_eq!(Scenario::GuestContention.client_mix(6, 2), (0, 6));
+        assert_eq!(Scenario::VipHeavy.client_mix(6, 2), (2, 4));
+    }
+
+    #[test]
+    fn class_of_is_consistent_with_mix() {
+        let (v, _) = Scenario::Uniform.client_mix(8, 2);
+        for i in 0..8 {
+            let expected =
+                if i < v { ProgressClass::Vip } else { ProgressClass::Guest };
+            assert_eq!(Scenario::Uniform.class_of(i, 8, 2), expected);
+        }
+    }
+
+    #[test]
+    fn hot_key_skews_to_key_zero() {
+        let hot = key_name(0);
+        let hits = (0..400)
+            .filter(|&i| match Scenario::HotKey.op(0, i, 64) {
+                StoreOp::Put(k, _) | StoreOp::Get(k) | StoreOp::Remove(k) => k == hot,
+                StoreOp::Cas { key, .. } => key == hot,
+                StoreOp::Scan { .. } => false,
+            })
+            .count();
+        assert!(hits > 150, "hot key must draw ~half the traffic, got {hits}/400");
+    }
+
+    #[test]
+    fn guest_contention_only_touches_the_hot_key() {
+        for step in 0..50 {
+            match Scenario::GuestContention.op(1, step, 64) {
+                StoreOp::Cas { key, .. } | StoreOp::Get(key) => assert_eq!(key, key_name(0)),
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+    }
+}

@@ -124,6 +124,25 @@ where
         self.n
     }
 
+    /// Claims the port bit for `pid` and builds its initial replay state.
+    fn take_port(&self, pid: usize) -> Result<Replay<S, F::Object>, UniversalError> {
+        if pid >= self.n || !self.factory.spec().is_port(pid) {
+            return Err(UniversalError::NotAPort { pid });
+        }
+        let bit = 1u64 << pid;
+        if self.handles.fetch_or(bit, Ordering::AcqRel) & bit != 0 {
+            return Err(UniversalError::HandleTaken { pid });
+        }
+        Ok(Replay {
+            pid,
+            seq: 0,
+            cursor: Arc::clone(&self.head),
+            cell_index: 0,
+            state: self.spec.init(),
+            applied: vec![0; self.n],
+        })
+    }
+
     /// Takes the (unique) operation handle for process `pid`.
     ///
     /// # Errors
@@ -132,22 +151,21 @@ where
     ///   factory's liveness spec;
     /// * [`UniversalError::HandleTaken`] if the handle was already taken.
     pub fn handle(&self, pid: usize) -> Result<Handle<'_, S, F>, UniversalError> {
-        if pid >= self.n || !self.factory.spec().is_port(pid) {
-            return Err(UniversalError::NotAPort { pid });
-        }
-        let bit = 1u64 << pid;
-        if self.handles.fetch_or(bit, Ordering::AcqRel) & bit != 0 {
-            return Err(UniversalError::HandleTaken { pid });
-        }
-        Ok(Handle {
-            obj: self,
-            pid,
-            seq: 0,
-            cursor: Arc::clone(&self.head),
-            cell_index: 0,
-            state: self.spec.init(),
-            applied: vec![0; self.n],
-        })
+        Ok(Handle { obj: self, replay: self.take_port(pid)? })
+    }
+
+    /// Takes the (unique) handle for process `pid` as an owned value keeping
+    /// the object alive through an [`Arc`].
+    ///
+    /// This is the form service layers want: the handle can be stored next
+    /// to (or instead of) the object without borrowing it, e.g. in a pool of
+    /// per-port slots.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Universal::handle`].
+    pub fn owned_handle(self: &Arc<Self>, pid: usize) -> Result<OwnedHandle<S, F>, UniversalError> {
+        Ok(OwnedHandle { obj: Arc::clone(self), replay: self.take_port(pid)? })
     }
 }
 
@@ -158,6 +176,93 @@ where
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Universal").field("n", &self.n).finish()
+    }
+}
+
+/// The per-port replay state shared by [`Handle`] and [`OwnedHandle`]: the
+/// cursor into the operation log and the local state replica.
+struct Replay<S, C>
+where
+    S: SequentialSpec,
+{
+    pid: usize,
+    /// Sequence number of my most recent operation.
+    seq: u64,
+    /// The next undecided-or-unapplied cell.
+    cursor: Arc<CellNode<S::Op, C>>,
+    cell_index: u64,
+    /// Local replayed state.
+    state: S::State,
+    /// `applied[p]` = highest sequence number of `p` applied so far.
+    applied: Vec<u64>,
+}
+
+impl<S, F> Universal<S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    /// Applies `op` through the given replay state (the shared body of
+    /// [`Handle::apply`] and [`OwnedHandle::apply`]).
+    fn apply_through(&self, replay: &mut Replay<S, F::Object>, op: S::Op) -> S::Resp {
+        replay.seq += 1;
+        let my_seq = replay.seq;
+        self.announce[replay.pid].store(Announce { seq: my_seq, op: op.clone() });
+        loop {
+            let decided = self.decide_current_cell(replay, &op, my_seq);
+            // Apply the decided operation to the local replica.
+            let resp = self.spec.apply(&mut replay.state, &decided.op);
+            replay.applied[decided.pid as usize] = decided.seq;
+            self.advance(replay);
+            if decided.pid as usize == replay.pid && decided.seq == my_seq {
+                return resp;
+            }
+        }
+    }
+
+    /// Produces (or learns) the decision of the cursor cell.
+    fn decide_current_cell(
+        &self,
+        replay: &Replay<S, F::Object>,
+        my_op: &S::Op,
+        my_seq: u64,
+    ) -> OpRecord<S::Op> {
+        if let Some(d) = replay.cursor.cons.peek() {
+            return d;
+        }
+        // Helping rule: cell k prefers the announcement of process k mod n,
+        // if it is pending (announced and not yet applied in my replay —
+        // which is exact for all cells before this one).
+        let slot = (replay.cell_index as usize) % self.n;
+        let candidate = self.announce[slot]
+            .load()
+            .filter(|a| a.seq > replay.applied[slot])
+            .map(|a| OpRecord { pid: slot as u8, seq: a.seq, op: a.op });
+        let proposal = match candidate {
+            Some(rec) => rec,
+            None => OpRecord { pid: replay.pid as u8, seq: my_seq, op: my_op.clone() },
+        };
+        match replay.cursor.cons.propose(replay.pid, proposal) {
+            Ok(decided) => decided,
+            Err(ConsensusError::AlreadyProposed { .. }) => replay
+                .cursor
+                .cons
+                .peek()
+                .expect("a proposed-to cell that rejects re-proposals has decided"),
+            Err(ConsensusError::NotAPort { pid }) => {
+                unreachable!("handle creation verified port membership for {pid}")
+            }
+        }
+    }
+
+    /// Moves the cursor to the next cell, creating it if necessary.
+    fn advance(&self, replay: &mut Replay<S, F::Object>) {
+        let next = replay
+            .cursor
+            .next
+            .load_or_init(|| Arc::new(CellNode::new(self.factory.create())));
+        replay.cursor = next;
+        replay.cell_index += 1;
     }
 }
 
@@ -173,16 +278,7 @@ where
     F: ConsensusFactory<OpRecordOf<S>>,
 {
     obj: &'a Universal<S, F>,
-    pid: usize,
-    /// Sequence number of my most recent operation.
-    seq: u64,
-    /// The next undecided-or-unapplied cell.
-    cursor: Arc<CellNode<S::Op, F::Object>>,
-    cell_index: u64,
-    /// Local replayed state.
-    state: S::State,
-    /// `applied[p]` = highest sequence number of `p` applied so far.
-    applied: Vec<u64>,
+    replay: Replay<S, F::Object>,
 }
 
 impl<S, F> Handle<'_, S, F>
@@ -192,7 +288,7 @@ where
 {
     /// The process this handle belongs to.
     pub fn pid(&self) -> usize {
-        self.pid
+        self.replay.pid
     }
 
     /// Applies `op` to the shared object, returning its response at its
@@ -202,69 +298,17 @@ where
     /// (placement within ~2·n cells by the helping rule); otherwise
     /// obstruction-free.
     pub fn apply(&mut self, op: S::Op) -> S::Resp {
-        self.seq += 1;
-        let my_seq = self.seq;
-        self.obj.announce[self.pid].store(Announce { seq: my_seq, op: op.clone() });
-        loop {
-            let decided = self.decide_current_cell(&op, my_seq);
-            // Apply the decided operation to the local replica.
-            let resp = self.obj.spec.apply(&mut self.state, &decided.op);
-            self.applied[decided.pid as usize] = decided.seq;
-            self.advance();
-            if decided.pid as usize == self.pid && decided.seq == my_seq {
-                return resp;
-            }
-        }
-    }
-
-    /// Produces (or learns) the decision of the cursor cell.
-    fn decide_current_cell(&self, my_op: &S::Op, my_seq: u64) -> OpRecord<S::Op> {
-        if let Some(d) = self.cursor.cons.peek() {
-            return d;
-        }
-        // Helping rule: cell k prefers the announcement of process k mod n,
-        // if it is pending (announced and not yet applied in my replay —
-        // which is exact for all cells before this one).
-        let slot = (self.cell_index as usize) % self.obj.n;
-        let candidate = self.obj.announce[slot]
-            .load()
-            .filter(|a| a.seq > self.applied[slot])
-            .map(|a| OpRecord { pid: slot as u8, seq: a.seq, op: a.op });
-        let proposal = match candidate {
-            Some(rec) => rec,
-            None => OpRecord { pid: self.pid as u8, seq: my_seq, op: my_op.clone() },
-        };
-        match self.cursor.cons.propose(self.pid, proposal) {
-            Ok(decided) => decided,
-            Err(ConsensusError::AlreadyProposed { .. }) => self
-                .cursor
-                .cons
-                .peek()
-                .expect("a proposed-to cell that rejects re-proposals has decided"),
-            Err(ConsensusError::NotAPort { pid }) => {
-                unreachable!("handle creation verified port membership for {pid}")
-            }
-        }
-    }
-
-    /// Moves the cursor to the next cell, creating it if necessary.
-    fn advance(&mut self) {
-        let next = self
-            .cursor
-            .next
-            .load_or_init(|| Arc::new(CellNode::new(self.obj.factory.create())));
-        self.cursor = next;
-        self.cell_index += 1;
+        self.obj.apply_through(&mut self.replay, op)
     }
 
     /// The number of log cells this handle has replayed.
     pub fn replayed_cells(&self) -> u64 {
-        self.cell_index
+        self.replay.cell_index
     }
 
     /// Read-only access to the local replica (exact as of the last `apply`).
     pub fn local_state(&self) -> &S::State {
-        &self.state
+        &self.replay.state
     }
 }
 
@@ -275,8 +319,67 @@ where
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Handle")
-            .field("pid", &self.pid)
-            .field("replayed_cells", &self.cell_index)
+            .field("pid", &self.replay.pid)
+            .field("replayed_cells", &self.replay.cell_index)
+            .finish()
+    }
+}
+
+/// An owned per-process handle keeping its [`Universal`] object alive.
+///
+/// Identical to [`Handle`] except that it co-owns the object through an
+/// [`Arc`], so it can be stored in long-lived structures (port pools,
+/// per-client sessions) without a borrow. Created by
+/// [`Universal::owned_handle`].
+pub struct OwnedHandle<S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    obj: Arc<Universal<S, F>>,
+    replay: Replay<S, F::Object>,
+}
+
+impl<S, F> OwnedHandle<S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    /// The process this handle belongs to.
+    pub fn pid(&self) -> usize {
+        self.replay.pid
+    }
+
+    /// Applies `op` to the shared object; see [`Handle::apply`].
+    pub fn apply(&mut self, op: S::Op) -> S::Resp {
+        self.obj.apply_through(&mut self.replay, op)
+    }
+
+    /// The number of log cells this handle has replayed.
+    pub fn replayed_cells(&self) -> u64 {
+        self.replay.cell_index
+    }
+
+    /// Read-only access to the local replica (exact as of the last `apply`).
+    pub fn local_state(&self) -> &S::State {
+        &self.replay.state
+    }
+
+    /// The shared object this handle operates on.
+    pub fn object(&self) -> &Arc<Universal<S, F>> {
+        &self.obj
+    }
+}
+
+impl<S, F> fmt::Debug for OwnedHandle<S, F>
+where
+    S: SequentialSpec,
+    F: ConsensusFactory<OpRecordOf<S>>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OwnedHandle")
+            .field("pid", &self.replay.pid)
+            .field("replayed_cells", &self.replay.cell_index)
             .finish()
     }
 }
@@ -433,6 +536,25 @@ mod tests {
         for w in done.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn owned_handles_interoperate_with_borrowed_ones() {
+        let obj = Arc::new(wait_free_counter(3));
+        let mut owned = obj.owned_handle(0).unwrap();
+        let mut borrowed = obj.handle(1).unwrap();
+        assert_eq!(obj.owned_handle(0).unwrap_err(), UniversalError::HandleTaken { pid: 0 });
+        owned.apply(CounterOp::Add(4));
+        borrowed.apply(CounterOp::Add(5));
+        assert_eq!(owned.apply(CounterOp::Get), 9);
+        assert_eq!(owned.pid(), 0);
+        assert!(owned.replayed_cells() >= 2);
+        assert_eq!(owned.object().n(), 3);
+        // The owned handle keeps the object alive on its own.
+        let mut survivor = obj.owned_handle(2).unwrap();
+        drop(borrowed);
+        drop(obj);
+        assert_eq!(survivor.apply(CounterOp::Get), 9);
     }
 
     #[test]

@@ -42,4 +42,4 @@ mod factory;
 mod herlihy;
 
 pub use factory::{AsymmetricFactory, CasFactory, ConsensusFactory};
-pub use herlihy::{Handle, Universal, UniversalError};
+pub use herlihy::{Handle, OwnedHandle, Universal, UniversalError};

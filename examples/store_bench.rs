@@ -1,0 +1,138 @@
+//! Stress driver for the `apc-store` service layer.
+//!
+//! Run with: `cargo run --release --example store_bench`
+//!
+//! Sweeps every named workload [`Scenario`] (uniform, hot-key skew,
+//! vip-heavy, guest-contention) at two shard counts, driving the store from
+//! real client threads in both progress classes, and reports per-scenario
+//! throughput plus the per-class mean latency — the service-level face of
+//! the paper's asymmetric progress conditions: the VIP numbers stay flat
+//! while the guest tier absorbs the contention.
+//!
+//! Every cell of the sweep also audits the store afterwards: the wait-free
+//! stats snapshot must agree with a full scan about how many keys survived.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use asymmetric_progress::store::workload::Scenario;
+use asymmetric_progress::store::{ProgressClass, Store, StoreBuilder};
+
+const CLIENTS: usize = 8;
+const OPS_PER_CLIENT: usize = 300;
+const KEY_SPACE: usize = 128;
+const VIP_CAPACITY: usize = 2;
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+struct Cell {
+    scenario: Scenario,
+    shards: usize,
+    ops_per_sec: f64,
+    vip_ns: Option<u64>,
+    guest_ns: Option<u64>,
+}
+
+fn run_cell(scenario: Scenario, shards: usize) -> Cell {
+    let store: Store = StoreBuilder::new()
+        .shards(shards)
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .build()
+        .expect("sweep sizing is valid");
+
+    let (vips, guests) = scenario.client_mix(CLIENTS, VIP_CAPACITY);
+    let tickets: Vec<_> = (0..vips)
+        .map(|_| store.admit_vip().expect("mix respects capacity"))
+        .chain((0..guests).map(|_| store.admit_guest()))
+        .collect();
+
+    let vip_nanos = AtomicU64::new(0);
+    let guest_nanos = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for (i, ticket) in tickets.iter().enumerate() {
+            let store = &store;
+            let vip_nanos = &vip_nanos;
+            let guest_nanos = &guest_nanos;
+            s.spawn(move || {
+                let mut client = store.client(*ticket);
+                let start = Instant::now();
+                for step in 0..OPS_PER_CLIENT {
+                    let _ = client.execute(vec![scenario.op(i, step, KEY_SPACE)]);
+                }
+                let ns = start.elapsed().as_nanos() as u64;
+                match ticket.class() {
+                    ProgressClass::Vip => vip_nanos.fetch_add(ns, Ordering::Relaxed),
+                    ProgressClass::Guest => guest_nanos.fetch_add(ns, Ordering::Relaxed),
+                };
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let total_ops = (CLIENTS * OPS_PER_CLIENT) as f64;
+
+    // Audit: the wait-free dashboard and a consensus-log scan must agree on
+    // the surviving key count.
+    let digests = store.snapshot_stats();
+    let snapshot_entries: u64 = digests.iter().map(|d| d.entries).sum();
+    let mut auditor = store.client(store.admit_guest());
+    let scanned = auditor.scan("", "\u{10ffff}").len() as u64;
+    assert_eq!(
+        snapshot_entries, scanned,
+        "{scenario}/{shards}: stats snapshot ({snapshot_entries}) disagrees with scan ({scanned})"
+    );
+
+    let mean = |nanos: &AtomicU64, n: usize| {
+        (n > 0).then(|| nanos.load(Ordering::Relaxed) / (n * OPS_PER_CLIENT) as u64)
+    };
+    Cell {
+        scenario,
+        shards,
+        ops_per_sec: total_ops / wall,
+        vip_ns: mean(&vip_nanos, vips),
+        guest_ns: mean(&guest_nanos, guests),
+    }
+}
+
+fn main() {
+    println!(
+        "store stress sweep: {CLIENTS} clients × {OPS_PER_CLIENT} ops, \
+         key space {KEY_SPACE}, VIP capacity {VIP_CAPACITY}\n"
+    );
+    println!(
+        "{:<18} {:>7} {:>12} {:>14} {:>14}",
+        "scenario", "shards", "ops/s", "vip ns/op", "guest ns/op"
+    );
+    let mut cells = Vec::new();
+    for scenario in Scenario::ALL {
+        for shards in SHARD_COUNTS {
+            let cell = run_cell(scenario, shards);
+            let fmt_ns =
+                |ns: Option<u64>| ns.map_or("-".to_string(), |v| v.to_string());
+            println!(
+                "{:<18} {:>7} {:>12.0} {:>14} {:>14}",
+                cell.scenario.name(),
+                cell.shards,
+                cell.ops_per_sec,
+                fmt_ns(cell.vip_ns),
+                fmt_ns(cell.guest_ns),
+            );
+            cells.push(cell);
+        }
+    }
+
+    println!("\nall {} sweep cells audited (snapshot == scan)", cells.len());
+    // The headline asymmetry: in the mixed scenarios, report how the VIP
+    // tier fared against the guest tier.
+    for cell in &cells {
+        if let (Some(v), Some(g)) = (cell.vip_ns, cell.guest_ns) {
+            println!(
+                "  {}/{} shards: vip/guest latency ratio {:.2}",
+                cell.scenario.name(),
+                cell.shards,
+                v as f64 / g as f64
+            );
+        }
+    }
+}

@@ -9,9 +9,94 @@
 //! prints the mean time per iteration. Good enough to track relative
 //! movement between PRs without a registry; swap in the real crate for
 //! publication-grade statistics.
+//!
+//! ## Machine-readable output
+//!
+//! When the `BENCH_JSON` environment variable names a file, the
+//! [`criterion_main!`]-generated `main` writes every measurement there as
+//! JSON — one record per benchmark with `ns_per_iter`, and (scaled by the
+//! group's [`Throughput`], default 1 element/iter) `ns_per_op` and
+//! `ops_per_sec`. This is how the repository records its perf trajectory
+//! (`BENCH_*.json` artifacts in CI).
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished measurement, captured for the JSON report.
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    name: String,
+    ns_per_iter: u128,
+    elements_per_iter: u64,
+}
+
+/// All measurements of this process, in completion order.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn minimal_json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes the JSON report to the path named by `BENCH_JSON`, if set.
+///
+/// Called automatically by the `main` that [`criterion_main!`] generates;
+/// harmless to call when the variable is absent. Returns the path written.
+pub fn write_json_report() -> Option<String> {
+    let path = std::env::var("BENCH_JSON").ok()?;
+    let records = RESULTS.lock().expect("bench results poisoned");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let ns_per_op = r.ns_per_iter as f64 / r.elements_per_iter.max(1) as f64;
+        let ops_per_sec = if ns_per_op > 0.0 { 1e9 / ns_per_op } else { 0.0 };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"elements_per_iter\": {}, \
+             \"ns_per_op\": {:.1}, \"ops_per_sec\": {:.1}}}{}\n",
+            minimal_json_escape(&r.name),
+            r.ns_per_iter,
+            r.elements_per_iter,
+            ns_per_op,
+            ops_per_sec,
+            if i + 1 == records.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => {
+            println!("bench json report written to {path}");
+            Some(path)
+        }
+        Err(err) => {
+            eprintln!("bench json report failed for {path}: {err}");
+            None
+        }
+    }
+}
+
+/// Per-iteration work declared by a benchmark group, used to scale
+/// per-iteration times into per-operation rates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements/operations.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn per_iter(self) -> u64 {
+        match self {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        }
+    }
+}
 
 /// Re-export of the standard optimizer barrier under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -81,11 +166,13 @@ pub struct Bencher {
     iters: u64,
     /// Wall-clock budget for the measurement loop.
     budget: Duration,
+    /// Logical operations per iteration (the group's [`Throughput`]).
+    elements: u64,
 }
 
 impl Bencher {
-    fn new(budget: Duration) -> Self {
-        Bencher { elapsed: Duration::ZERO, iters: 0, budget }
+    fn new(budget: Duration, elements: u64) -> Self {
+        Bencher { elapsed: Duration::ZERO, iters: 0, budget, elements }
     }
 
     /// Times `routine` repeatedly.
@@ -132,6 +219,11 @@ impl Bencher {
         }
         let per_iter = self.elapsed.as_nanos() / u128::from(self.iters);
         println!("bench {name:<50} {per_iter:>12} ns/iter ({} iters)", self.iters);
+        RESULTS.lock().expect("bench results poisoned").push(BenchRecord {
+            name: name.to_owned(),
+            ns_per_iter: per_iter,
+            elements_per_iter: self.elements,
+        });
     }
 }
 
@@ -139,6 +231,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'c> {
     name: String,
     budget: Duration,
+    elements: u64,
     _criterion: &'c mut Criterion,
 }
 
@@ -151,12 +244,19 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration workload, so reports can speak in
+    /// per-operation terms.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.elements = t.per_iter().max(1);
+        self
+    }
+
     /// Runs one benchmark in this group.
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher::new(self.budget);
+        let mut bencher = Bencher::new(self.budget, self.elements);
         f(&mut bencher);
         bencher.report(&format!("{}/{}", self.name, id.into_id()));
         self
@@ -172,7 +272,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut bencher = Bencher::new(self.budget);
+        let mut bencher = Bencher::new(self.budget, self.elements);
         f(&mut bencher, input);
         bencher.report(&format!("{}/{}", self.name, id.into_id()));
         self
@@ -189,7 +289,12 @@ pub struct Criterion {}
 impl Criterion {
     /// Opens a named group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), budget: Duration::from_millis(50), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            budget: Duration::from_millis(50),
+            elements: 1,
+            _criterion: self,
+        }
     }
 
     /// Runs a standalone benchmark.
@@ -197,7 +302,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher::new(Duration::from_millis(50));
+        let mut bencher = Bencher::new(Duration::from_millis(50), 1);
         f(&mut bencher);
         bencher.report(&id.into_id());
         self
@@ -215,12 +320,44 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the given groups.
+/// Emits `main` running the given groups, then writing the JSON report if
+/// `BENCH_JSON` names a file.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            let _ = $crate::write_json_report();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_reports() {
+        assert_eq!(Throughput::Elements(40).per_iter(), 40);
+        assert_eq!(Throughput::Bytes(8).per_iter(), 8);
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(minimal_json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(minimal_json_escape("x\ny"), "x y");
+    }
+
+    #[test]
+    fn report_registers_records() {
+        let mut b = Bencher::new(Duration::from_millis(1), 10);
+        b.iter(|| std::hint::black_box(1 + 1));
+        b.report("shim-test/report-registers");
+        let results = RESULTS.lock().unwrap();
+        let rec = results
+            .iter()
+            .find(|r| r.name == "shim-test/report-registers")
+            .expect("record registered");
+        assert_eq!(rec.elements_per_iter, 10);
+    }
 }

@@ -22,6 +22,10 @@
 //!   asymmetric consensus.
 //! * [`hierarchy`] — executable theorem machinery for Theorems 1–4 and the
 //!   `(n,x)`-liveness hierarchy (Corollary 1).
+//! * [`store`] — the service layer: a sharded, linearizable-per-shard
+//!   key→value store whose clients are admitted into asymmetric progress
+//!   classes (bounded wait-free VIP tier, unbounded obstruction-free guest
+//!   tier), built on the universal construction.
 //!
 //! ## Quickstart
 //!
@@ -50,4 +54,5 @@ pub use apc_core as core;
 pub use apc_hierarchy as hierarchy;
 pub use apc_model as model;
 pub use apc_registers as registers;
+pub use apc_store as store;
 pub use apc_universal as universal;

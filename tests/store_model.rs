@@ -1,0 +1,109 @@
+//! Exhaustive model checks of the store's shard commit path: commit safety
+//! on every schedule, and the asymmetric liveness guarantee (Theorem 3
+//! flavor) — every fair schedule with a VIP participant terminates, while
+//! guest-only schedules admit a fair livelock.
+
+use asymmetric_progress::model::explore::{
+    Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn,
+};
+use asymmetric_progress::model::fairness::{fair_livelocks, fair_termination, StateGraph};
+use asymmetric_progress::model::{ProcessSet, Value};
+use asymmetric_progress::store::model::{proposed_batches, shard_commit_system};
+
+fn mask_participants(mask: u8, n: usize) -> ProcessSet {
+    (0..n).filter(|i| mask & (1 << i) != 0).collect::<Vec<usize>>().into_iter().collect()
+}
+
+/// Safety matrix: for every participation pattern of a (3,1) shard cell,
+/// every schedule agrees on one committed batch and the committed batch was
+/// proposed.
+#[test]
+fn commit_safety_matrix_3_1_exhaustive() {
+    for mask in 1u8..8 {
+        let participants = mask_participants(mask, 3);
+        let (sys, _) = shard_commit_system(3, 1, 1, participants);
+        let explorer = Explorer::new(ExploreConfig::default().with_max_states(300_000));
+        let result = explorer.explore(
+            &sys,
+            &[&Agreement, &ValidityIn::new(proposed_batches(participants)), &NoFaults],
+        );
+        assert!(result.ok(), "mask {mask:03b}: {:?}", result.violations.first());
+        assert!(!result.truncated, "mask {mask:03b} must be exhaustive");
+    }
+}
+
+/// Safety at (4,2): two VIP ports, two guest ports, all participating.
+#[test]
+fn commit_safety_4_2_exhaustive() {
+    let participants = ProcessSet::first_n(4);
+    let (sys, _) = shard_commit_system(4, 2, 1, participants);
+    let explorer = Explorer::new(ExploreConfig::default().with_max_states(500_000));
+    let result = explorer.explore(
+        &sys,
+        &[&Agreement, &ValidityIn::new(proposed_batches(participants)), &NoFaults],
+    );
+    assert!(result.ok(), "{:?}", result.violations.first());
+    assert!(!result.truncated);
+}
+
+/// The asymmetric guarantee, positive half: **any** participation pattern
+/// containing a VIP port terminates under every fair schedule.
+#[test]
+fn vip_schedules_always_terminate() {
+    for (ports, vips) in [(3usize, 1usize), (4, 2)] {
+        for mask in 1u8..(1 << ports) {
+            let participants = mask_participants(mask, ports);
+            let has_vip = participants.iter().any(|p| p.index() < vips);
+            if !has_vip {
+                continue;
+            }
+            let (sys, _) = shard_commit_system(ports, vips, 1, participants);
+            let graph = StateGraph::build(&sys, 500_000);
+            assert!(!graph.truncated(), "({ports},{vips}) mask {mask:04b} truncated");
+            let verdict = fair_termination(&graph, |pid| participants.contains(pid));
+            assert!(verdict.holds(), "({ports},{vips}) mask {mask:04b}: {verdict:?}");
+        }
+    }
+}
+
+/// The asymmetric guarantee, negative half: guest-only schedules can
+/// livelock — the checker exhibits the lockstep starvation as a positive
+/// witness in which every guest keeps stepping yet none ever commits.
+#[test]
+fn guest_only_schedules_admit_livelock() {
+    for (ports, vips, guest_mask) in [(3usize, 1usize, 0b110u8), (4, 2, 0b1100)] {
+        let participants = mask_participants(guest_mask, ports);
+        let (sys, _) = shard_commit_system(ports, vips, 1, participants);
+        let graph = StateGraph::build(&sys, 500_000);
+        assert!(!graph.truncated());
+        let witnesses = fair_livelocks(&graph);
+        assert!(
+            !witnesses.is_empty(),
+            "({ports},{vips}) guests {guest_mask:04b}: lockstep livelock witness expected"
+        );
+        // The witness starves exactly the participating guests.
+        assert!(witnesses
+            .iter()
+            .any(|w| w.live.iter().all(|p| participants.contains(p))));
+        let verdict = fair_termination(&graph, |pid| participants.contains(pid));
+        assert!(!verdict.holds(), "guest-only termination must not be guaranteed");
+    }
+}
+
+/// Obstruction-freedom still holds: each guest, running solo from the
+/// initial state, commits — the livelock needs *contention*, not merely
+/// the absence of a VIP.
+#[test]
+fn every_solo_guest_commits() {
+    use asymmetric_progress::model::{ProcessId, Runner, Schedule};
+    for guest in [1usize, 2] {
+        let (sys, _) = shard_commit_system(3, 1, 2, ProcessSet::from_indices([guest]));
+        let mut runner = Runner::new(sys);
+        runner.run_until_terminated(&Schedule::solo(ProcessId::new(guest), 1), 200);
+        assert_eq!(
+            runner.system().decision(ProcessId::new(guest)),
+            Some(Value::Num(100 + guest as u32)),
+            "solo guest {guest} must commit its own batch"
+        );
+    }
+}

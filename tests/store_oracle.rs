@@ -1,0 +1,207 @@
+//! Property tests: the sharded store against a single-threaded `BTreeMap`
+//! oracle.
+//!
+//! The oracle reimplements the operational semantics independently (it does
+//! not call into `apc-store`), so these properties check the whole
+//! distributed pipeline — router planning, per-shard batching, the
+//! universal-log commit path, response reassembly — against the obvious
+//! sequential meaning of the operations.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use asymmetric_progress::store::{StoreBuilder, StoreOp, StoreResp};
+
+/// The independent oracle: the sequential meaning of one operation.
+fn oracle_apply(state: &mut BTreeMap<String, u64>, op: &StoreOp) -> StoreResp {
+    match op {
+        StoreOp::Get(k) => StoreResp::Value(state.get(k).copied()),
+        StoreOp::Put(k, v) => StoreResp::Value(state.insert(k.clone(), *v)),
+        StoreOp::Remove(k) => StoreResp::Value(state.remove(k)),
+        StoreOp::Cas { key, expect, new } => {
+            let actual = state.get(key).copied();
+            if actual == *expect {
+                state.insert(key.clone(), *new);
+                StoreResp::Cas { ok: true, actual }
+            } else {
+                StoreResp::Cas { ok: false, actual }
+            }
+        }
+        StoreOp::Scan { from, to } => {
+            let mut entries: Vec<(String, u64)> = state
+                .iter()
+                .filter(|(k, _)| *from <= **k && **k < *to)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            entries.sort();
+            StoreResp::Entries(entries)
+        }
+    }
+}
+
+/// Decodes a generated `(kind, key, val)` triple into an operation over a
+/// small key space (collisions across clients are the point).
+fn decode_op(kind: u8, key: u8, val: u64) -> StoreOp {
+    let k = format!("key/{:02}", key % 12);
+    match kind % 6 {
+        0 | 1 => StoreOp::Put(k, val),
+        2 => StoreOp::Get(k),
+        3 => StoreOp::Remove(k),
+        4 => StoreOp::Cas { key: k, expect: (!val.is_multiple_of(3)).then_some(val / 2), new: val },
+        _ => {
+            let hi = format!("key/{:02}", (key % 12).saturating_add(val as u8 % 5));
+            StoreOp::Scan { from: k, to: hi }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random op sequences through a single client match the oracle
+    /// response-for-response, at several shard counts.
+    #[test]
+    fn sequential_ops_match_oracle(
+        shards in 1usize..4,
+        encoded in proptest::collection::vec((0u8..6, 0u8..12, 0u64..16), 1..60),
+    ) {
+        let store = StoreBuilder::new()
+            .shards(shards)
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .build()
+            .expect("valid sizing");
+        let mut client = store.client(store.admit_vip().expect("first vip"));
+        let mut oracle = BTreeMap::new();
+        for (i, (kind, key, val)) in encoded.iter().enumerate() {
+            let op = decode_op(*kind, *key, *val);
+            let got = client.execute(vec![op.clone()]).pop().expect("one response");
+            let want = oracle_apply(&mut oracle, &op);
+            prop_assert_eq!(
+                &got, &want,
+                "op {} ({:?}) diverged at {} shards", i, op, shards
+            );
+        }
+        // Terminal full-state check: a store-wide scan equals the oracle.
+        let all = client.execute(vec![StoreOp::Scan { from: String::new(), to: "z".into() }]);
+        let want: Vec<(String, u64)> =
+            oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(&all[0], &StoreResp::Entries(want));
+    }
+
+    /// Batching transparency: splitting the same op stream into arbitrary
+    /// batch boundaries yields exactly the responses of one-op-at-a-time
+    /// execution.
+    #[test]
+    fn batching_is_response_transparent(
+        encoded in proptest::collection::vec((0u8..6, 0u8..12, 0u64..16), 1..40),
+        batch_seed in 0u64..1000,
+    ) {
+        let ops: Vec<StoreOp> =
+            encoded.iter().map(|(k, key, v)| decode_op(*k, *key, *v)).collect();
+
+        let run = |batches: Vec<Vec<StoreOp>>| -> Vec<StoreResp> {
+            let store = StoreBuilder::new()
+                .shards(2)
+                .vip_capacity(1)
+                .guest_ports(2)
+                .guest_group_width(1)
+                .build()
+                .expect("valid sizing");
+            let mut client = store.client(store.admit_vip().expect("first vip"));
+            batches.into_iter().flat_map(|b| client.execute(b)).collect()
+        };
+
+        let singles = run(ops.iter().cloned().map(|op| vec![op]).collect());
+        // Deterministic pseudo-random batch boundaries from the seed.
+        let mut batches: Vec<Vec<StoreOp>> = Vec::new();
+        let mut s = batch_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut it = ops.iter().cloned().peekable();
+        while it.peek().is_some() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let take = 1 + (s % 5) as usize;
+            batches.push(it.by_ref().take(take).collect());
+        }
+        let batched = run(batches);
+        prop_assert_eq!(singles, batched);
+    }
+
+    /// Concurrent clients on disjoint key spaces: the final store equals
+    /// the union of the per-client oracles (no lost or phantom writes
+    /// across ports, shards, or progress classes).
+    #[test]
+    fn concurrent_disjoint_clients_match_union_oracle(
+        encoded in proptest::collection::vec((0u8..5, 0u8..12, 0u64..16), 4..40),
+        clients in 2usize..5,
+    ) {
+        let store = StoreBuilder::new()
+            .shards(2)
+            .vip_capacity(1)
+            .guest_ports(3)
+            .guest_group_width(1)
+            .build()
+            .expect("valid sizing");
+        let tickets: Vec<_> = (0..clients)
+            .map(|i| {
+                if i == 0 {
+                    store.admit_vip().expect("first vip")
+                } else {
+                    store.admit_guest()
+                }
+            })
+            .collect();
+
+        // Client c gets every c-th op, prefixed into its own key space.
+        let streams: Vec<Vec<StoreOp>> = (0..clients)
+            .map(|c| {
+                encoded
+                    .iter()
+                    .skip(c)
+                    .step_by(clients)
+                    .map(|(kind, key, val)| {
+                        // Only key-addressed ops (kinds 0..5 exclude scans).
+                        match decode_op(*kind, *key, *val) {
+                            StoreOp::Put(k, v) => StoreOp::Put(format!("c{c}/{k}"), v),
+                            StoreOp::Get(k) => StoreOp::Get(format!("c{c}/{k}")),
+                            StoreOp::Remove(k) => StoreOp::Remove(format!("c{c}/{k}")),
+                            StoreOp::Cas { key, expect, new } => {
+                                StoreOp::Cas { key: format!("c{c}/{key}"), expect, new }
+                            }
+                            scan => scan,
+                        }
+                    })
+                    .filter(|op| !matches!(op, StoreOp::Scan { .. }))
+                    .collect()
+            })
+            .collect();
+
+        std::thread::scope(|s| {
+            for (c, stream) in streams.iter().enumerate() {
+                let store = &store;
+                let ticket = tickets[c];
+                s.spawn(move || {
+                    let mut client = store.client(ticket);
+                    for op in stream {
+                        let _ = client.execute(vec![op.clone()]);
+                    }
+                });
+            }
+        });
+
+        // Union oracle over the same disjoint streams.
+        let mut oracle = BTreeMap::new();
+        for stream in &streams {
+            for op in stream {
+                let _ = oracle_apply(&mut oracle, op);
+            }
+        }
+        let mut auditor = store.client(store.admit_guest());
+        let scanned = auditor.scan("", "z");
+        let want: Vec<(String, u64)> = oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(scanned, want);
+    }
+}

@@ -12,6 +12,7 @@ use asymmetric_progress::model::explore::{Agreement, ExploreConfig, Explorer, Va
 use asymmetric_progress::model::programs::ProposeProgram;
 use asymmetric_progress::model::{ProcessSet, SystemBuilder, Value};
 use asymmetric_progress::registers::AtomicCell;
+use asymmetric_progress::store::{ProgressClass, StoreBuilder, StoreOp, StoreResp};
 use asymmetric_progress::universal::seq::{Counter, CounterOp};
 use asymmetric_progress::universal::{CasFactory, Universal};
 
@@ -74,4 +75,42 @@ fn facade_crates_all_wired() {
     // hierarchy
     let report = theorem3::theorem3_constructive(1, 1, 1);
     assert!(report.verified(), "Theorem 3 constructive direction at x=1: {report}");
+}
+
+/// The store crate: admission classes, sharded batched ops, wait-free
+/// statistics — the full service surface through the facade.
+#[test]
+fn store_service_layer_wired() {
+    let store = StoreBuilder::new()
+        .shards(2)
+        .vip_capacity(1)
+        .guest_ports(2)
+        .guest_group_width(1)
+        .build()
+        .expect("valid sizing");
+
+    // Admission: bounded VIP tier, unbounded guest tier.
+    let vip = store.admit_vip().expect("first VIP fits");
+    assert!(store.admit_vip().is_err(), "the wait-free tier is bounded");
+    let guest = store.admit_guest();
+    assert_eq!(vip.class(), ProgressClass::Vip);
+    assert_eq!(guest.class(), ProgressClass::Guest);
+    assert!(guest.cascade_group().is_some(), "guests land in a cascade group");
+
+    // Batched cross-shard operations through both classes.
+    let mut v = store.client(vip);
+    let mut g = store.client(guest);
+    let resps = v.execute(vec![
+        StoreOp::Put("a".into(), 1),
+        StoreOp::Put("b".into(), 2),
+        StoreOp::Cas { key: "a".into(), expect: Some(1), new: 3 },
+    ]);
+    assert_eq!(resps[2], StoreResp::Cas { ok: true, actual: Some(1) });
+    assert_eq!(g.get("a"), Some(3), "guest reads the VIP's committed state");
+    assert_eq!(g.scan("", "z").len(), 2);
+
+    // Wait-free stats cover both shards.
+    let digests = store.snapshot_stats();
+    assert_eq!(digests.len(), 2);
+    assert_eq!(digests.iter().map(|d| d.entries).sum::<u64>(), 2);
 }
