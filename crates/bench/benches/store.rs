@@ -7,15 +7,18 @@
 //! * same-shard batching vs one-append-per-op — what the operation layer's
 //!   batching buys;
 //! * the wait-free stats snapshot under guest load — the VIP dashboard
-//!   path.
+//!   path;
+//! * the compaction/recovery scenario — fresh-handle replay with and
+//!   without a checkpoint (the O(delta) vs O(history) win), snapshot
+//!   save (seal + write) and crash recovery from disk.
 //!
 //! Run with `BENCH_JSON=BENCH_store.json cargo bench -p apc-bench --bench
 //! store` to record the machine-readable series.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use apc_store::workload::Scenario;
-use apc_store::{StoreBuilder, StoreOp};
+use apc_store::workload::{preloaded_shard_log, Scenario};
+use apc_store::{Batch, StoreBuilder, StoreOp};
 
 const CLIENTS: usize = 6;
 const OPS_PER_CLIENT: usize = 40;
@@ -129,5 +132,69 @@ fn stats_snapshot_under_load(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, scenarios, batching, stats_snapshot_under_load);
+/// The compaction/recovery scenario: what a checkpoint buys a late-joining
+/// replica, and what durability costs end to end.
+fn recovery(c: &mut Criterion) {
+    const PRELOAD: usize = 256;
+    let mut g = c.benchmark_group("store/recovery");
+    g.sample_size(10);
+
+    // The replay-cost win, isolated on one shard log: a fresh handle on a
+    // PRELOAD-cell log replays O(history) without a checkpoint and
+    // O(delta)=O(1) with one.
+    for (name, checkpointed) in
+        [("fresh-handle-no-checkpoint", false), ("fresh-handle-post-checkpoint", true)]
+    {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || preloaded_shard_log(PRELOAD, checkpointed),
+                |log| {
+                    let mut fresh = log.owned_handle(1).expect("port 1 free");
+                    let resp = fresh.apply(Batch(vec![StoreOp::Get("key/0000".into())]));
+                    criterion::black_box((resp, fresh.replay_steps()));
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Durable save (seal every shard + write + fsync) and crash recovery
+    // (decode + boot at the checkpointed index).
+    let scratch_dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/tmp-bench");
+    std::fs::create_dir_all(&scratch_dir).expect("bench scratch dir");
+    let path = scratch_dir.join("bench.snapshot");
+    let preload_store = || {
+        let store = build_store(2);
+        let mut loader = store.client(store.admit_guest());
+        for i in 0..PRELOAD {
+            loader.put(&format!("key/{i:04}"), i as u64);
+        }
+        store
+    };
+    g.bench_function("snapshot-save", |b| {
+        b.iter_batched(
+            preload_store,
+            |store| store.checkpoint().write_to(&path).expect("flush"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    preload_store().checkpoint().write_to(&path).expect("seed snapshot");
+    g.bench_function("snapshot-recover", |b| {
+        b.iter(|| {
+            let recovered = StoreBuilder::new()
+                .shards(2)
+                .vip_capacity(VIP_CAPACITY)
+                .guest_ports(6)
+                .guest_group_width(2)
+                .recover(&path)
+                .expect("recover");
+            assert_eq!(recovered.replay_steps(), 0, "boot must not replay history");
+            criterion::black_box(recovered.shards());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, scenarios, batching, stats_snapshot_under_load, recovery);
 criterion_main!(benches);

@@ -24,9 +24,19 @@
 //!   [`SwmrSnapshot`](apc_registers::snapshot::SwmrSnapshot) for the VIP
 //!   dashboard path.
 //!
+//! The [`persist`] layer makes the store crash-recoverable: a flush seals a
+//! **checkpoint cell** on every shard log (agreed through the same
+//! consensus path as client batches), writes the sealed states as a
+//! versioned, checksummed snapshot file with group-commit coalescing of
+//! concurrent flush requests, and
+//! [`StoreBuilder::recover`] rebuilds the store with every shard log resuming
+//! at its checkpointed index — boot-time replay is O(delta), never
+//! O(history).
+//!
 //! The [`model`] module re-expresses the shard commit path as an
 //! `apc-model` program so small instances can be *exhaustively* checked:
-//! commit safety on every schedule, termination of every fair VIP schedule,
+//! commit safety on every schedule (including a checkpoint install racing
+//! concurrent VIP/guest commits), termination of every fair VIP schedule,
 //! and a positive livelock witness for guest-only schedules — the
 //! asymmetric liveness claim, machine-checked.
 //!
@@ -66,12 +76,14 @@
 pub mod admission;
 pub mod model;
 pub mod ops;
+pub mod persist;
 pub mod router;
 pub mod store;
 pub mod workload;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
 pub use ops::{apply_op, Batch, Key, ShardSpec, ShardState, StoreOp, StoreResp};
+pub use persist::{PersistError, Persister, RecoverError, ShardSnapshot, StoreSnapshot};
 pub use router::{BatchPlan, BatchReassembly, ShardRouter};
 pub use store::{Client, ShardDigest, ShardLog, Store, StoreBuilder};
 pub use workload::Scenario;

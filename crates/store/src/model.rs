@@ -139,6 +139,176 @@ pub fn proposed_batches(participants: ProcessSet) -> Vec<Value> {
     participants.iter().map(|p| Value::Num(100 + p.index() as u32)).collect()
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint install racing concurrent commits: the multi-cell log model.
+// ---------------------------------------------------------------------------
+
+/// Batch ids are `100 + pid`; checkpoint markers are `CHECKPOINT_BASE + pid`.
+pub const CHECKPOINT_BASE: u32 = 900;
+
+/// One port placing one value (a batch or a checkpoint) into a multi-cell
+/// log, exactly like the real universal construction walks its cells:
+/// propose to the next free cell; if the cell agreed on someone else's
+/// value, move on and re-propose; stop at the cell that agreed on mine.
+///
+/// With as many cells as participants, every participant places within the
+/// window (each process wins at most one cell, so a process can lose at
+/// most `participants − 1` times) — the model-checkable core of the claim
+/// that a checkpoint install never drops or duplicates a committed op.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LogPlaceProgram {
+    cells: Vec<ObjectId>,
+    value: Value,
+    next_cell: usize,
+    started: bool,
+}
+
+impl LogPlaceProgram {
+    /// A port trying to place `value` into the log `cells`, in order.
+    pub fn new(cells: Vec<ObjectId>, value: Value) -> Self {
+        LogPlaceProgram { cells, value, next_cell: 0, started: false }
+    }
+}
+
+impl Program for LogPlaceProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        if self.started {
+            let decided = last.expect("propose completes with the decided value");
+            if decided == self.value {
+                return ProgramAction::Decide(self.value);
+            }
+            self.next_cell += 1;
+        }
+        self.started = true;
+        match self.cells.get(self.next_cell) {
+            Some(cell) => ProgramAction::Invoke(Op::Propose(*cell, self.value)),
+            // Unreachable when cells ≥ participants (pigeonhole); reported
+            // as a dropped placement by [`PlacementSafety`] if it happens.
+            None => ProgramAction::Halt,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "log-place"
+    }
+}
+
+/// The safety invariant of the checkpointed commit path, checked at every
+/// reachable state:
+///
+/// 1. **no duplicate placement** — no value is agreed by two different log
+///    cells (a committed batch or checkpoint is never replayed twice);
+/// 2. **cell validity** — every cell decision is some participant's
+///    proposal;
+/// 3. **placement before decision** — a port only decides a value some
+///    cell actually agreed on;
+/// 4. **no dropped commit** — in a terminal state, every participant has
+///    decided (its value was placed inside the log window).
+#[derive(Clone, Debug)]
+pub struct PlacementSafety {
+    /// The log cells, in order.
+    pub cells: Vec<ObjectId>,
+    /// The participating ports.
+    pub participants: ProcessSet,
+    /// Every participant's proposal value.
+    pub proposals: Vec<Value>,
+}
+
+impl<P: apc_model::Program> apc_model::explore::Invariant<P> for PlacementSafety {
+    fn check(&self, sys: &System<P>) -> Result<(), String> {
+        let placed: Vec<Value> = self
+            .cells
+            .iter()
+            .filter_map(|c| sys.object(*c).consensus_decision())
+            .collect();
+        for (i, v) in placed.iter().enumerate() {
+            if placed[..i].contains(v) {
+                return Err(format!("value {v} was agreed by two log cells"));
+            }
+            if !self.proposals.contains(v) {
+                return Err(format!("cell agreed on unproposed value {v}"));
+            }
+        }
+        for (pid, v) in sys.decisions() {
+            if !placed.contains(&v) {
+                return Err(format!("{pid} decided {v} but no cell agreed on it"));
+            }
+        }
+        if sys.all_terminated() {
+            for pid in self.participants.iter() {
+                if sys.decision(pid).is_none() {
+                    return Err(format!("terminal state dropped {pid}'s placement"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "placement-safety"
+    }
+}
+
+/// Builds the checkpointed commit path: `committers` race their batches
+/// (`100 + pid`) against `checkpointer`'s checkpoint install
+/// (`CHECKPOINT_BASE + pid`) over a log window of one `(ports,vips)`-live
+/// cell per participant.
+///
+/// Returns the system, the log cells, and the participants' proposal set.
+///
+/// # Panics
+///
+/// Panics if `ports == 0`, `vips > ports`, or the checkpointer is also a
+/// committer.
+pub fn checkpointed_commit_system(
+    ports: usize,
+    vips: usize,
+    isolation_window: u8,
+    committers: ProcessSet,
+    checkpointer: Option<usize>,
+) -> (System<MaybeParticipant<LogPlaceProgram>>, Vec<ObjectId>, Vec<Value>) {
+    assert!(ports > 0 && vips <= ports, "need 0 < ports and vips ≤ ports");
+    if let Some(ck) = checkpointer {
+        assert!(
+            !committers.iter().any(|p| p.index() == ck),
+            "the checkpointer must not also commit a batch"
+        );
+    }
+    let participants: ProcessSet = committers
+        .iter()
+        .map(|p| p.index())
+        .chain(checkpointer)
+        .collect::<Vec<usize>>()
+        .into_iter()
+        .collect();
+    let mut builder = SystemBuilder::new(ports);
+    let cells: Vec<ObjectId> = (0..participants.iter().count())
+        .map(|_| {
+            builder.add_live_consensus(
+                ProcessSet::first_n(ports),
+                ProcessSet::first_n(vips),
+                isolation_window,
+            )
+        })
+        .collect();
+    let value_of = |pid: usize| {
+        if checkpointer == Some(pid) {
+            Value::Num(CHECKPOINT_BASE + pid as u32)
+        } else {
+            Value::Num(100 + pid as u32)
+        }
+    };
+    let proposals: Vec<Value> = participants.iter().map(|p| value_of(p.index())).collect();
+    let system = builder.build(|pid| {
+        if participants.contains(pid) {
+            MaybeParticipant::Present(LogPlaceProgram::new(cells.clone(), value_of(pid.index())))
+        } else {
+            MaybeParticipant::Absent
+        }
+    });
+    (system, cells, proposals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +372,45 @@ mod tests {
             let verdict = fair_termination(&graph, |pid| participants.contains(pid));
             assert!(verdict.holds(), "mask {mask:03b}: {verdict:?}");
         }
+    }
+
+    #[test]
+    fn solo_checkpointer_installs_its_checkpoint() {
+        let (sys, cells, _) = checkpointed_commit_system(
+            3,
+            1,
+            1,
+            ProcessSet::EMPTY,
+            Some(0),
+        );
+        let mut runner = Runner::new(sys);
+        runner.run_until_terminated(&Schedule::solo(ProcessId::new(0), 1), 100);
+        assert_eq!(
+            runner.system().decision(ProcessId::new(0)),
+            Some(Value::Num(CHECKPOINT_BASE)),
+        );
+        assert_eq!(
+            runner.system().object(cells[0]).consensus_decision(),
+            Some(Value::Num(CHECKPOINT_BASE)),
+            "the checkpoint occupies the first free cell"
+        );
+    }
+
+    #[test]
+    fn checkpoint_race_small_exhaustive() {
+        // VIP commit + guest commit + guest checkpoint, every schedule.
+        let committers = ProcessSet::from_indices([0, 1]);
+        let (sys, cells, proposals) =
+            checkpointed_commit_system(3, 1, 1, committers, Some(2));
+        let explorer = Explorer::new(ExploreConfig::default().with_max_states(400_000));
+        let safety = PlacementSafety {
+            cells,
+            participants: ProcessSet::from_indices([0, 1, 2]),
+            proposals,
+        };
+        let result = explorer.explore(&sys, &[&safety, &NoFaults]);
+        assert!(result.ok(), "violations: {:?}", result.violations.first());
+        assert!(!result.truncated);
     }
 
     #[test]

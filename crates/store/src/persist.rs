@@ -1,0 +1,612 @@
+//! Durable snapshot persistence: sealed shard states on disk, group-commit
+//! flushes, crash recovery.
+//!
+//! The persistence model is **checkpoint = durability point**: a flush
+//! seals a checkpoint cell on every shard log (through the same consensus
+//! path as client operations, see [`Store::checkpoint`]) and writes the
+//! sealed states to disk as one atomically-renamed, versioned, checksummed
+//! snapshot file. Recovery ([`StoreBuilder::recover`](crate::StoreBuilder::recover))
+//! decodes the file and rebuilds each shard log at its checkpointed index
+//! via `Universal::recovered`, so boot costs O(delta), never O(history).
+//! Operations committed after the last flush are not durable — the
+//! recovery guarantee is *prefix consistency*: the recovered store is
+//! exactly the store as of the last successful flush.
+//!
+//! [`Persister`] adds **group commit**: concurrent `persist` calls coalesce
+//! into a single seal-and-fsync cycle, the same way the ops layer batches
+//! same-shard operations into one log append — one durability round
+//! absorbs every request that arrived while the previous round was in
+//! flight.
+//!
+//! # File format (version 1, little-endian)
+//!
+//! ```text
+//! header:  "APCS" | version u32 | shard_count u32
+//! frame ×shard_count:
+//!          log_index u64 | entry_count u64 | payload_len u64
+//!          payload (entry ×entry_count: key_len u32 | key bytes | value u64)
+//!          frame_checksum u64          (FNV-1a of the frame before it)
+//! footer:  file_checksum u64           (FNV-1a of everything before it)
+//! ```
+//!
+//! Every decode failure is a typed [`PersistError`] — corruption and
+//! truncation are detected by checksums and bounds checks, never by a
+//! panic or silent partial state.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
+
+use crate::admission::AdmissionError;
+use crate::ops::ShardState;
+use crate::router::fnv1a64;
+use crate::store::Store;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 4] = *b"APCS";
+
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// Errors of the persistence layer. Every failure mode is typed; decoding
+/// never panics on corrupt input.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PersistError {
+    /// An I/O operation failed (kind + rendered message; cloneable so a
+    /// group-commit outcome can be shared among coalesced waiters).
+    Io {
+        /// The failed operation's [`io::ErrorKind`].
+        kind: io::ErrorKind,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The file ends before a complete record could be read.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A checksum did not match its bytes.
+    ChecksumMismatch {
+        /// The shard frame that failed, or `None` for the whole-file
+        /// envelope checksum.
+        shard: Option<u32>,
+    },
+    /// Structurally invalid content (e.g. trailing bytes after the footer).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { kind, msg } => write!(f, "snapshot I/O failed ({kind:?}): {msg}"),
+            PersistError::BadMagic => f.write_str("not a snapshot file (bad magic)"),
+            PersistError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found} (this build reads ≤ {VERSION})")
+            }
+            PersistError::Truncated { needed, available } => {
+                write!(f, "snapshot truncated: needed {needed} bytes, {available} available")
+            }
+            PersistError::ChecksumMismatch { shard: Some(s) } => {
+                write!(f, "checksum mismatch in shard frame {s}")
+            }
+            PersistError::ChecksumMismatch { shard: None } => {
+                f.write_str("file checksum mismatch")
+            }
+            PersistError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io { kind: e.kind(), msg: e.to_string() }
+    }
+}
+
+/// Errors of [`StoreBuilder::recover`](crate::StoreBuilder::recover):
+/// decoding the snapshot or realizing the admission sizing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RecoverError {
+    /// The snapshot file could not be read or decoded.
+    Persist(PersistError),
+    /// The builder's admission sizing is unrealizable.
+    Admission(AdmissionError),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Persist(e) => write!(f, "recovery failed: {e}"),
+            RecoverError::Admission(e) => write!(f, "recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<PersistError> for RecoverError {
+    fn from(e: PersistError) -> Self {
+        RecoverError::Persist(e)
+    }
+}
+
+impl From<AdmissionError> for RecoverError {
+    fn from(e: AdmissionError) -> Self {
+        RecoverError::Admission(e)
+    }
+}
+
+/// One shard's sealed state: the result of replaying its log prefix
+/// `[0, log_index)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardSnapshot {
+    /// The checkpointed log index (number of sealed prefix cells).
+    pub log_index: u64,
+    /// The sealed key→value state.
+    pub state: ShardState,
+}
+
+/// A whole-store snapshot: one sealed [`ShardSnapshot`] per shard, in
+/// router order. Produced by [`Store::checkpoint`], serialized by
+/// [`StoreSnapshot::write_to`], decoded by [`StoreSnapshot::read_from`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoreSnapshot {
+    /// Per-shard sealed states, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl StoreSnapshot {
+    /// Total live keys across all shards.
+    pub fn entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.state.len() as u64).sum()
+    }
+
+    /// Serializes the snapshot into the version-1 frame format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.shards.len() * 64);
+        buf.extend_from_slice(&MAGIC);
+        put_u32(&mut buf, VERSION);
+        put_u32(&mut buf, self.shards.len() as u32);
+        for shard in &self.shards {
+            let frame_start = buf.len();
+            put_u64(&mut buf, shard.log_index);
+            put_u64(&mut buf, shard.state.len() as u64);
+            let payload_len_at = buf.len();
+            put_u64(&mut buf, 0); // payload_len, patched below
+            let payload_start = buf.len();
+            for (key, value) in &shard.state {
+                put_u32(&mut buf, key.len() as u32);
+                buf.extend_from_slice(key.as_bytes());
+                put_u64(&mut buf, *value);
+            }
+            let payload_len = (buf.len() - payload_start) as u64;
+            buf[payload_len_at..payload_len_at + 8].copy_from_slice(&payload_len.to_le_bytes());
+            let frame_checksum = fnv1a64(&buf[frame_start..]);
+            put_u64(&mut buf, frame_checksum);
+        }
+        let file_checksum = fnv1a64(&buf);
+        put_u64(&mut buf, file_checksum);
+        buf
+    }
+
+    /// Decodes a snapshot from its serialized bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] decode variant; never panics on corrupt input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        // Envelope first: the trailing file checksum covers everything, so
+        // arbitrary corruption is caught before structural parsing.
+        let body_len = bytes
+            .len()
+            .checked_sub(8)
+            .ok_or(PersistError::Truncated { needed: 8, available: bytes.len() })?;
+        let (body, footer) = bytes.split_at(body_len);
+        let stored = u64::from_le_bytes(footer.try_into().expect("footer is 8 bytes"));
+        if fnv1a64(body) != stored {
+            return Err(PersistError::ChecksumMismatch { shard: None });
+        }
+        let mut r = Reader { buf: body, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion { found: version });
+        }
+        let shard_count = r.u32()? as usize;
+        let mut shards = Vec::with_capacity(shard_count.min(1024));
+        for shard_id in 0..shard_count {
+            let frame_start = r.pos;
+            let log_index = r.u64()?;
+            let entry_count = r.u64()?;
+            let payload_len = r.u64()? as usize;
+            let payload_end = r
+                .pos
+                .checked_add(payload_len)
+                .ok_or(PersistError::Corrupt("payload length overflows"))?;
+            let mut state = ShardState::new();
+            for _ in 0..entry_count {
+                let key_len = r.u32()? as usize;
+                let key = std::str::from_utf8(r.take(key_len)?)
+                    .map_err(|_| PersistError::Corrupt("key is not valid UTF-8"))?
+                    .to_owned();
+                let value = r.u64()?;
+                state.insert(key, value);
+            }
+            if r.pos != payload_end {
+                return Err(PersistError::Corrupt("payload length disagrees with entries"));
+            }
+            let expected = fnv1a64(&body[frame_start..r.pos]);
+            if r.u64()? != expected {
+                return Err(PersistError::ChecksumMismatch { shard: Some(shard_id as u32) });
+            }
+            shards.push(ShardSnapshot { log_index, state });
+        }
+        if r.pos != body.len() {
+            return Err(PersistError::Corrupt("trailing bytes after the last frame"));
+        }
+        Ok(StoreSnapshot { shards })
+    }
+
+    /// Writes the snapshot durably to `path`: encode, write to a sibling
+    /// temp file, fsync, atomically rename over `path`, fsync the parent
+    /// directory (best-effort). A crash at any point leaves either the old
+    /// snapshot or the new one — never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on any filesystem failure.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        // Unique per writer: concurrent flushes to one path must never share
+        // a temp file, or one writer's truncate would tear the other's bytes
+        // before its rename.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = path.as_ref();
+        let mut tmp_name = path.file_name().unwrap_or_default().to_owned();
+        tmp_name.push(format!(
+            ".{}-{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let tmp = path.with_file_name(tmp_name);
+        let publish = || -> Result<(), PersistError> {
+            {
+                let mut file = fs::File::create(&tmp)?;
+                file.write_all(&self.encode())?;
+                file.sync_all()?;
+            }
+            fs::rename(&tmp, path)?;
+            Ok(())
+        };
+        let result = publish();
+        if result.is_err() {
+            // Don't leak the uniquely-named temp file (retry loops would
+            // otherwise accumulate one orphan per failed flush).
+            let _ = fs::remove_file(&tmp);
+            return result;
+        }
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Durability of the rename itself; non-fatal where unsupported.
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and decodes a snapshot from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] if the file cannot be read, otherwise any
+    /// decode variant.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Self::decode(&fs::read(path)?)
+    }
+}
+
+/// Group-commit snapshot flusher: many concurrent durability requests, one
+/// seal-and-fsync cycle.
+///
+/// [`Persister::persist`] seals a checkpoint on every shard and writes the
+/// snapshot file — but concurrent callers coalesce: while one flush is in
+/// flight, arriving requests park; the next flush covers all of them at
+/// once (their checkpoints are sealed by that single cycle). This is the
+/// durability-layer twin of the ops layer's same-shard batching.
+///
+/// # Examples
+///
+/// ```no_run
+/// use apc_store::{StoreBuilder, persist::Persister};
+///
+/// let store = StoreBuilder::new().build().unwrap();
+/// let persister = Persister::new("store.snapshot");
+/// store.client(store.admit_guest()).put("k", 1);
+/// persister.persist(&store).unwrap();
+/// let recovered = StoreBuilder::new().recover("store.snapshot").unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Persister {
+    path: PathBuf,
+    state: Mutex<FlushState>,
+    arrived: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct FlushState {
+    /// Generation of the newest durability request.
+    requested: u64,
+    /// Generation through which flushes have completed.
+    completed: u64,
+    /// Generation through which a *successful* flush has completed: every
+    /// request at or below this line is durably on disk (later failures
+    /// cannot un-write an atomically renamed snapshot).
+    completed_ok: u64,
+    /// Whether a leader is currently flushing.
+    flushing: bool,
+    /// The most recent flush failure (returned to waiters whose requests no
+    /// successful flush has covered).
+    last_error: Option<PersistError>,
+    /// Number of physical seal-and-write cycles performed.
+    flushes: u64,
+}
+
+/// Unwind protection for the flush leader: if sealing or writing panics
+/// (e.g. a poisoned port mutex), hand leadership back and wake the parked
+/// waiters so they fail loudly in their own threads instead of hanging on
+/// the condvar forever.
+struct LeaderGuard<'a>(&'a Persister);
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Ok(mut st) = self.0.state.lock() {
+                st.flushing = false;
+            }
+            self.0.arrived.notify_all();
+        }
+    }
+}
+
+impl Persister {
+    /// A persister flushing snapshots to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Persister { path: path.into(), state: Mutex::new(FlushState::default()), arrived: Condvar::new() }
+    }
+
+    /// The snapshot path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of physical flush cycles performed so far. With `k`
+    /// concurrent [`Persister::persist`] calls this is between 1 and `k` —
+    /// the group-commit win is `k − flushes()`.
+    pub fn flushes(&self) -> u64 {
+        self.state.lock().expect("persister state poisoned").flushes
+    }
+
+    /// Makes the store's current state durable: seals a checkpoint on every
+    /// shard and writes the snapshot file, coalescing with concurrent
+    /// callers (group commit). On return, every operation that committed
+    /// before this call is on disk.
+    ///
+    /// Returns the number of flush cycles completed when this request was
+    /// covered.
+    ///
+    /// # Errors
+    ///
+    /// `Ok` iff a successful flush covered this request — then its data is
+    /// durably on disk regardless of what later cycles did (snapshots are
+    /// whole-store and atomically renamed, so neither a later failure nor
+    /// a later success can un-write it). `Err` with the latest flush error
+    /// otherwise.
+    pub fn persist(&self, store: &Store) -> Result<u64, PersistError> {
+        let mut st = self.state.lock().expect("persister state poisoned");
+        st.requested += 1;
+        let my_gen = st.requested;
+        loop {
+            if st.completed >= my_gen {
+                return if st.completed_ok >= my_gen {
+                    Ok(st.flushes)
+                } else {
+                    Err(st
+                        .last_error
+                        .clone()
+                        .expect("a failed covering flush recorded its error"))
+                };
+            }
+            if !st.flushing {
+                // Become the leader: this flush covers every request made
+                // before the target is captured here; requests arriving
+                // while the flush is in flight wait for the next cycle
+                // (their operations may postdate this cycle's seal).
+                st.flushing = true;
+                let target = st.requested;
+                drop(st);
+                let guard = LeaderGuard(self);
+                let outcome = store.checkpoint().write_to(&self.path);
+                std::mem::forget(guard); // normal path: finalize below
+                st = self.state.lock().expect("persister state poisoned");
+                st.flushing = false;
+                st.completed = target;
+                st.flushes += 1;
+                match outcome {
+                    Ok(()) => st.completed_ok = target,
+                    Err(e) => st.last_error = Some(e),
+                }
+                self.arrived.notify_all();
+            } else {
+                st = self
+                    .arrived
+                    .wait(st)
+                    .expect("persister state poisoned");
+            }
+        }
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian reader over the snapshot body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(PersistError::Corrupt("length overflows"))?;
+        if end > self.buf.len() {
+            return Err(PersistError::Truncated { needed: n, available: self.buf.len() - self.pos });
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StoreSnapshot {
+        let mut a = ShardState::new();
+        a.insert("alpha".into(), 1);
+        a.insert("beta".into(), 2);
+        let mut b = ShardState::new();
+        b.insert("γλώσσα".into(), 3); // multi-byte UTF-8 keys round-trip
+        StoreSnapshot {
+            shards: vec![
+                ShardSnapshot { log_index: 7, state: a },
+                ShardSnapshot { log_index: 11, state: b },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        let decoded = StoreSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.entries(), 3);
+    }
+
+    #[test]
+    fn empty_store_roundtrip() {
+        let snap = StoreSnapshot {
+            shards: vec![ShardSnapshot { log_index: 0, state: ShardState::new() }],
+        };
+        assert_eq!(StoreSnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let snap = sample();
+        let good = snap.encode();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            let err = StoreSnapshot::decode(&bad)
+                .expect_err(&format!("flip at byte {i} must not decode"));
+            // The envelope checksum catches every single-byte flip.
+            assert_eq!(err, PersistError::ChecksumMismatch { shard: None });
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let good = sample().encode();
+        for len in 0..good.len() {
+            let err = StoreSnapshot::decode(&good[..len])
+                .expect_err(&format!("truncation to {len} bytes must not decode"));
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. } | PersistError::ChecksumMismatch { .. }
+                ),
+                "truncation to {len} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        // Re-seal the envelope so the header checks themselves are hit.
+        let reseal = |mut body: Vec<u8>| {
+            let cut = body.len() - 8;
+            body.truncate(cut);
+            let sum = fnv1a64(&body);
+            body.extend_from_slice(&sum.to_le_bytes());
+            body
+        };
+        let mut bad_magic = sample().encode();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            StoreSnapshot::decode(&reseal(bad_magic)).unwrap_err(),
+            PersistError::BadMagic
+        );
+        let mut bad_version = sample().encode();
+        bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            StoreSnapshot::decode(&reseal(bad_version)).unwrap_err(),
+            PersistError::UnsupportedVersion { found: 99 }
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().encode();
+        // Insert junk between the last frame and the footer, resealing.
+        let cut = bytes.len() - 8;
+        bytes.truncate(cut);
+        bytes.extend_from_slice(b"junk");
+        let sum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            StoreSnapshot::decode(&bytes).unwrap_err(),
+            PersistError::Corrupt("trailing bytes after the last frame")
+        );
+    }
+
+    #[test]
+    fn errors_render() {
+        let io: PersistError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::ChecksumMismatch { shard: Some(3) }.to_string().contains('3'));
+        assert!(RecoverError::from(PersistError::BadMagic).to_string().contains("recovery"));
+        assert!(RecoverError::from(AdmissionError::BadConfig("x")).to_string().contains("x"));
+    }
+}

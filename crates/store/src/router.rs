@@ -9,6 +9,17 @@
 
 use crate::ops::{Key, StoreOp, StoreResp};
 
+/// FNV-1a 64-bit: key placement here, frame checksums in
+/// [`persist`](crate::persist) — one implementation for both.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Routes keys to shards by hashing.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct ShardRouter {
@@ -33,12 +44,7 @@ impl ShardRouter {
 
     /// The shard owning `key` (FNV-1a of the key bytes, mod `S`).
     pub fn shard_of(&self, key: &str) -> usize {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in key.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        (h % self.shards as u64) as usize
+        (fnv1a64(key.as_bytes()) % self.shards as u64) as usize
     }
 
     /// Plans a batch: splits the ops into per-shard sub-batches, broadcast

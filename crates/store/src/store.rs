@@ -48,6 +48,8 @@ pub struct ShardDigest {
 }
 
 struct Shard {
+    /// The shard's universal log (also co-owned by every port handle).
+    log: Arc<ShardLog>,
     /// One slot per port; guests multiplex, VIPs own theirs exclusively.
     /// Each handle co-owns the shard's universal log.
     ports: Vec<Mutex<OwnedHandle<crate::ops::ShardSpec, AsymmetricFactory>>>,
@@ -120,6 +122,44 @@ impl StoreBuilder {
     /// Propagates [`AdmissionError::BadConfig`] for unrealizable sizings
     /// (including `shards == 0`).
     pub fn build(self) -> Result<Store, AdmissionError> {
+        self.build_from(None)
+    }
+
+    /// Rebuilds a store from a durable snapshot previously written by the
+    /// [`persist`](crate::persist) layer (see
+    /// [`Persister`](crate::persist::Persister) /
+    /// [`StoreSnapshot::write_to`](crate::persist::StoreSnapshot::write_to)).
+    ///
+    /// The shard count is taken from the snapshot (it must match the router
+    /// hashing used when the snapshot was written, so the builder's own
+    /// `shards` setting is ignored); the admission sizing (VIP capacity,
+    /// guest ports) is taken from the builder — progress classes are a
+    /// runtime serving choice, not persistent state. Each shard's universal
+    /// log resumes at its checkpointed log index via
+    /// [`Universal::recovered`], so boot-time replay work is O(delta), not
+    /// O(history).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Persist`](crate::persist::RecoverError::Persist) for
+    /// any snapshot decode failure (missing file, bad magic/version,
+    /// checksum mismatch, truncation),
+    /// [`RecoverError::Admission`](crate::persist::RecoverError::Admission)
+    /// for unrealizable admission sizings.
+    pub fn recover(
+        self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Store, crate::persist::RecoverError> {
+        let snapshot = crate::persist::StoreSnapshot::read_from(path)?;
+        let mut builder = self;
+        builder.shards = snapshot.shards.len();
+        Ok(builder.build_from(Some(snapshot))?)
+    }
+
+    fn build_from(
+        self,
+        snapshot: Option<crate::persist::StoreSnapshot>,
+    ) -> Result<Store, AdmissionError> {
         if self.shards == 0 {
             return Err(AdmissionError::BadConfig("a store needs at least one shard"));
         }
@@ -127,12 +167,21 @@ impl StoreBuilder {
         let spec = admission.spec();
         let ports = admission.ports();
         let shards = (0..self.shards)
-            .map(|_| {
-                let log = Arc::new(Universal::new(
-                    crate::ops::ShardSpec,
-                    AsymmetricFactory::new(spec),
-                    ports,
-                ));
+            .map(|s| {
+                let log = match &snapshot {
+                    Some(snap) => Arc::new(Universal::recovered(
+                        crate::ops::ShardSpec,
+                        AsymmetricFactory::new(spec),
+                        ports,
+                        snap.shards[s].state.clone(),
+                        snap.shards[s].log_index,
+                    )),
+                    None => Arc::new(Universal::new(
+                        crate::ops::ShardSpec,
+                        AsymmetricFactory::new(spec),
+                        ports,
+                    )),
+                };
                 let port_slots = (0..ports)
                     .map(|p| {
                         Mutex::new(
@@ -140,7 +189,11 @@ impl StoreBuilder {
                         )
                     })
                     .collect();
-                Shard { ports: port_slots, stats: SwmrSnapshot::new(ports, ShardDigest::default()) }
+                Shard {
+                    log,
+                    ports: port_slots,
+                    stats: SwmrSnapshot::new(ports, ShardDigest::default()),
+                }
             })
             .collect();
         Ok(Store { admission, router: ShardRouter::new(self.shards), shards })
@@ -219,6 +272,52 @@ impl Store {
                     .unwrap_or_default()
             })
             .collect()
+    }
+
+    /// Seals a checkpoint cell on every shard log and returns the sealed
+    /// per-shard states — the capture half of the
+    /// [`persist`](crate::persist) layer.
+    ///
+    /// Checkpoints ride the guest tier (the last port of each shard), so
+    /// sealing never contends with a VIP's exclusive port; placement is
+    /// lock-free — each failed attempt means a client batch committed
+    /// instead. The sealed prefix caps the shard log's memory: fresh port
+    /// handles bootstrap from it and the retired cells become reclaimable.
+    pub fn checkpoint(&self) -> crate::persist::StoreSnapshot {
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| {
+                // Ride the guest tier: guest_ports ≥ 1, so the last port is
+                // always a guest port.
+                let slot = shard.ports.len() - 1;
+                let mut handle = shard.ports[slot].lock().expect("port slot poisoned");
+                let log_index = handle.checkpoint();
+                crate::persist::ShardSnapshot {
+                    log_index,
+                    state: handle.local_state().clone(),
+                }
+            })
+            .collect();
+        crate::persist::StoreSnapshot { shards }
+    }
+
+    /// Per-shard latest-checkpoint log indices (0 where no checkpoint was
+    /// ever sealed): where a fresh handle on each shard starts replaying.
+    pub fn anchor_indices(&self) -> Vec<u64> {
+        self.shards.iter().map(|shard| shard.log.anchor_index()).collect()
+    }
+
+    /// Total log cells replayed by this store's port handles since build —
+    /// the replay-work meter summed across all shards and ports. A store
+    /// recovered from a checkpoint at index `k` starts near zero here even
+    /// though its logs resume at `k`.
+    pub fn replay_steps(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|shard| &shard.ports)
+            .map(|slot| slot.lock().expect("port slot poisoned").replay_steps())
+            .sum()
     }
 
     /// Commits `batch` on `shard` through `port`: one universal-log append.
@@ -489,5 +588,151 @@ mod tests {
         let c = store.client(store.admit_guest());
         assert!(format!("{store:?}").contains("Store"));
         assert!(format!("{c:?}").contains("Guest"));
+    }
+
+    /// A scratch file under the workspace target dir, unique per test.
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp-unit-tests");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn checkpoint_seals_every_shard_and_publishes_anchors() {
+        let store = small_store(3);
+        let mut c = store.client(store.admit_vip().unwrap());
+        for i in 0..24 {
+            c.put(&format!("k{i}"), i);
+        }
+        assert_eq!(store.anchor_indices(), vec![0, 0, 0]);
+        let snapshot = store.checkpoint();
+        assert_eq!(snapshot.shards.len(), 3);
+        assert_eq!(snapshot.entries(), 24, "sealed states cover every committed key");
+        let anchors = store.anchor_indices();
+        for (s, anchor) in anchors.iter().enumerate() {
+            assert_eq!(
+                *anchor,
+                snapshot.shards[s].log_index + 1,
+                "anchor points past shard {s}'s checkpoint cell"
+            );
+        }
+        // The store keeps serving after a checkpoint.
+        assert_eq!(c.get("k3"), Some(3));
+        c.put("post", 99);
+        assert_eq!(c.get("post"), Some(99));
+    }
+
+    #[test]
+    fn persist_and_recover_roundtrip() {
+        let path = scratch("roundtrip.snapshot");
+        let expected: Vec<(String, u64)> = {
+            let store = small_store(2);
+            let mut c = store.client(store.admit_vip().unwrap());
+            for i in 0..16 {
+                c.put(&format!("key/{i:02}"), i * 10);
+            }
+            c.remove("key/03");
+            store.checkpoint().write_to(&path).unwrap();
+            // Committed after the flush: must NOT survive the crash.
+            c.put("late", 1);
+            c.scan("", "z").into_iter().filter(|(k, _)| k != "late").collect()
+        }; // store dropped = crash
+        let recovered = StoreBuilder::new()
+            .vip_capacity(2)
+            .guest_ports(4)
+            .guest_group_width(2)
+            .recover(&path)
+            .unwrap();
+        assert_eq!(recovered.shards(), 2, "shard count restored from the snapshot");
+        let mut c = recovered.client(recovered.admit_vip().unwrap());
+        assert_eq!(c.scan("", "z"), expected);
+        assert_eq!(c.get("late"), None, "post-flush ops are not durable");
+        // The recovered store serves new commits.
+        assert_eq!(c.put("fresh", 5), None);
+        assert_eq!(c.get("fresh"), Some(5));
+    }
+
+    #[test]
+    fn recovered_logs_resume_at_the_checkpointed_index() {
+        let path = scratch("resume-index.snapshot");
+        let snapshot = {
+            let store = small_store(2);
+            let mut c = store.client(store.admit_guest());
+            for i in 0..12 {
+                c.put(&format!("k{i}"), i);
+            }
+            let snapshot = store.checkpoint();
+            snapshot.write_to(&path).unwrap();
+            snapshot
+        };
+        let recovered = StoreBuilder::new()
+            .vip_capacity(2)
+            .guest_ports(4)
+            .guest_group_width(2)
+            .recover(&path)
+            .unwrap();
+        assert_eq!(
+            recovered.anchor_indices(),
+            snapshot.shards.iter().map(|s| s.log_index).collect::<Vec<_>>(),
+            "each shard log resumes where its checkpoint sealed it"
+        );
+        assert_eq!(recovered.replay_steps(), 0, "recovery replays nothing at boot");
+        let mut c = recovered.client(recovered.admit_guest());
+        let _ = c.get("k0");
+        assert!(
+            recovered.replay_steps() <= 2,
+            "first op after recovery costs O(1) replay, got {}",
+            recovered.replay_steps()
+        );
+    }
+
+    #[test]
+    fn recover_missing_file_is_a_typed_error() {
+        let err = StoreBuilder::new().recover(scratch("does-not-exist.snapshot")).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::persist::RecoverError::Persist(crate::persist::PersistError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn group_commit_coalesces_concurrent_flushes() {
+        use crate::persist::Persister;
+        let path = scratch("group-commit.snapshot");
+        let store = small_store(2);
+        let mut c = store.client(store.admit_vip().unwrap());
+        for i in 0..8 {
+            c.put(&format!("k{i}"), i);
+        }
+        let persister = Persister::new(&path);
+        let callers = 8;
+        std::thread::scope(|s| {
+            for _ in 0..callers {
+                let persister = &persister;
+                let store = &store;
+                s.spawn(move || {
+                    persister.persist(store).unwrap();
+                });
+            }
+        });
+        let flushes = persister.flushes();
+        assert!(
+            (1..=callers).contains(&flushes),
+            "flush cycles must cover all callers without exceeding them: {flushes}"
+        );
+        // Sequential calls each get their own cycle (nothing to coalesce
+        // with), so the counter is exact here.
+        persister.persist(&store).unwrap();
+        assert_eq!(persister.flushes(), flushes + 1);
+        // Whatever the interleaving, the final file is complete and valid.
+        let recovered = StoreBuilder::new()
+            .vip_capacity(2)
+            .guest_ports(4)
+            .guest_group_width(2)
+            .recover(&path)
+            .unwrap();
+        let mut check = recovered.client(recovered.admit_guest());
+        assert_eq!(check.scan("", "z").len(), 8);
     }
 }

@@ -101,6 +101,37 @@ impl std::fmt::Display for Scenario {
     }
 }
 
+/// Builds a standalone two-port shard log preloaded with `cells`
+/// single-`Put` batches and, optionally, a trailing checkpoint — the
+/// fresh-replica replay-cost harness shared by the criterion bench
+/// (`store/recovery` series) and the stress example, so the measured
+/// shard-log setup cannot drift between the two.
+///
+/// Port 0 is consumed by the loader; port 1 is left free for the fresh
+/// replica under measurement (take it with `owned_handle(1)` and read its
+/// `replay_steps()` after one operation).
+pub fn preloaded_shard_log(
+    cells: usize,
+    checkpointed: bool,
+) -> std::sync::Arc<crate::store::ShardLog> {
+    use apc_core::liveness::Liveness;
+    use apc_universal::{AsymmetricFactory, Universal};
+
+    let log = std::sync::Arc::new(Universal::new(
+        crate::ops::ShardSpec,
+        AsymmetricFactory::new(Liveness::new_first_n(2, 2)),
+        2,
+    ));
+    let mut loader = log.owned_handle(0).expect("fresh log, port 0 free");
+    for i in 0..cells {
+        loader.apply(crate::ops::Batch(vec![StoreOp::Put(key_name(i as u64), i as u64)]));
+    }
+    if checkpointed {
+        loader.checkpoint();
+    }
+    log
+}
+
 fn key_name(i: u64) -> String {
     format!("key/{i:04}")
 }
@@ -159,6 +190,25 @@ mod tests {
             })
             .count();
         assert!(hits > 150, "hot key must draw ~half the traffic, got {hits}/400");
+    }
+
+    #[test]
+    fn preloaded_shard_log_exposes_the_replay_cost_difference() {
+        let cells = 32u64;
+        let without = super::preloaded_shard_log(cells as usize, false);
+        let with = super::preloaded_shard_log(cells as usize, true);
+        let mut fresh_without = without.owned_handle(1).unwrap();
+        let mut fresh_with = with.owned_handle(1).unwrap();
+        let probe = crate::ops::Batch(vec![StoreOp::Get("key/0000".into())]);
+        fresh_without.apply(probe.clone());
+        fresh_with.apply(probe);
+        assert!(fresh_without.replay_steps() > cells, "no checkpoint = O(history)");
+        assert!(fresh_with.replay_steps() <= 2, "checkpoint = O(delta)");
+        assert_eq!(
+            fresh_without.local_state(),
+            fresh_with.local_state(),
+            "both replicas converge on the same state"
+        );
     }
 
     #[test]

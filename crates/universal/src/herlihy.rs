@@ -1,11 +1,31 @@
-//! The announce-and-help universal construction (Herlihy [7]).
+//! The announce-and-help universal construction (Herlihy [7]), extended
+//! with **checkpoint cells**.
+//!
+//! Checkpoints ride the same consensus path as operations: any port may
+//! propose a [`CheckpointRecord`] — its fully-replayed state sealed at a log
+//! index — into the next free cell. Once a checkpoint is agreed, it is a
+//! no-op for replicas that are already past it (by determinism its sealed
+//! state equals their replayed prefix), but it becomes the **anchor** for
+//! everyone arriving later: fresh handles bootstrap from the latest agreed
+//! checkpoint and replay only the post-checkpoint suffix, so handle
+//! creation costs O(delta) instead of O(history), and the pre-checkpoint
+//! prefix of the log becomes reclaimable (memory is capped by checkpoint
+//! cadence, not by lifetime).
+//!
+//! Progress: operation placement keeps its original guarantee (wait-free
+//! for the factory's wait-free set via the helping rule, obstruction-free
+//! otherwise). Checkpoint placement is **lock-free** for every port —
+//! checkpoints are not announced, so nobody helps them, but each failed
+//! placement attempt means some *operation* committed instead (system-wide
+//! progress). Checkpoint proposers still obey the helping rule, so they
+//! never undermine the wait-free bound of the privileged set.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use apc_core::error::ConsensusError;
 use apc_core::consensus::Consensus;
+use apc_core::error::ConsensusError;
 use apc_registers::AtomicCell;
 
 use crate::factory::ConsensusFactory;
@@ -41,17 +61,62 @@ impl fmt::Display for UniversalError {
 
 impl std::error::Error for UniversalError {}
 
-/// An operation stamped with its invoker and per-invoker sequence number —
-/// the value the per-cell consensus objects agree on.
+/// An operation stamped with its invoker and per-invoker sequence number.
 ///
-/// Appears in the [`ConsensusFactory`] bound of [`Universal`]; its fields
-/// are an implementation detail.
+/// Appears inside [`LogRecord`]; its fields are an implementation detail.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct OpRecord<O> {
     pid: u8,
     seq: u64,
     op: O,
 }
+
+/// An agreed checkpoint: the object state sealed at a log index.
+///
+/// The sealed `state` is exactly the result of replaying log cells
+/// `[0, index)`; the cell at `index` is the checkpoint cell itself and
+/// contributes no operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckpointRecord<T> {
+    pid: u8,
+    /// Log index of the checkpoint cell (= number of sealed prefix cells).
+    index: u64,
+    /// The state after replaying the sealed prefix. `Arc`-shared: the seal
+    /// is immutable once proposed, and consensus cells clone records on
+    /// every propose/peek — sharing keeps those clones O(1) instead of
+    /// O(state size).
+    state: Arc<T>,
+    /// Per-process highest applied sequence numbers in the sealed prefix.
+    applied: Vec<u64>,
+}
+
+impl<T> CheckpointRecord<T> {
+    /// The log index this checkpoint seals (number of prefix cells).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The sealed state.
+    pub fn state(&self) -> &T {
+        &self.state
+    }
+}
+
+/// The value one log cell agrees on: an operation or a checkpoint.
+///
+/// This is the value type of the [`ConsensusFactory`] bound of
+/// [`Universal`] (see [`LogRecordOf`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogRecord<O, T> {
+    /// A client operation (the common case).
+    Op(OpRecord<O>),
+    /// A checkpoint sealing the log prefix before its cell.
+    Checkpoint(CheckpointRecord<T>),
+}
+
+/// The record type agreed on by each log cell for spec `S`.
+pub type LogRecordOf<S> =
+    LogRecord<<S as SequentialSpec>::Op, <S as SequentialSpec>::State>;
 
 /// A per-process announcement: "my operation `seq` is `op`, please help".
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -61,16 +126,44 @@ struct Announce<O> {
 }
 
 /// One cell of the operation log.
-struct CellNode<O, C> {
+struct CellNode<C> {
     cons: C,
-    next: AtomicCell<Arc<CellNode<O, C>>>,
-    _marker: std::marker::PhantomData<O>,
+    next: AtomicCell<Arc<CellNode<C>>>,
 }
 
-impl<O, C> CellNode<O, C> {
+impl<C> CellNode<C> {
     fn new(cons: C) -> Self {
-        CellNode { cons, next: AtomicCell::new(), _marker: std::marker::PhantomData }
+        CellNode { cons, next: AtomicCell::new() }
     }
+}
+
+impl<C> Drop for CellNode<C> {
+    fn drop(&mut self) {
+        // Unlink the tail iteratively: once a checkpoint retires a long
+        // prefix, the naive recursive drop (cell 0 drops cell 1 drops …)
+        // would overflow the stack. Each hop either takes sole ownership of
+        // the next cell (and keeps walking) or stops at a cell someone else
+        // still references.
+        let mut cur = self.next.take_mut();
+        while let Some(node) = cur {
+            cur = match Arc::try_unwrap(node) {
+                Ok(mut inner) => inner.next.take_mut(),
+                Err(_) => None,
+            };
+        }
+    }
+}
+
+/// The latest known agreed checkpoint: where fresh handles bootstrap.
+struct Anchor<S, C>
+where
+    S: SequentialSpec,
+{
+    /// Log index of `cell` (the first cell a bootstrapping replay consumes).
+    index: u64,
+    state: Arc<S::State>,
+    applied: Vec<u64>,
+    cell: Arc<CellNode<C>>,
 }
 
 /// A linearizable shared object built from a sequential specification and a
@@ -81,25 +174,22 @@ impl<O, C> CellNode<O, C> {
 pub struct Universal<S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     spec: S,
     factory: F,
     n: usize,
     announce: Vec<AtomicCell<Announce<S::Op>>>,
-    head: Arc<CellNode<S::Op, F::Object>>,
+    /// Latest agreed checkpoint (initially the empty prefix at the head).
+    /// Monotone in `index`; never `⊥`.
+    anchor: AtomicCell<Arc<Anchor<S, F::Object>>>,
     handles: AtomicU64,
 }
-
-/// The record type agreed on by each log cell for spec `S`.
-///
-/// (Public in the factory bound, opaque otherwise.)
-pub type OpRecordOf<S> = OpRecord<<S as SequentialSpec>::Op>;
 
 impl<S, F> Universal<S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     /// Creates a universal object for `n` processes.
     ///
@@ -107,14 +197,35 @@ where
     ///
     /// Panics if `n == 0` or `n > 64`.
     pub fn new(spec: S, factory: F, n: usize) -> Self {
+        let init = spec.init();
+        Self::with_anchor(spec, factory, n, init, 0)
+    }
+
+    /// Creates a universal object whose log *starts* at `index` with the
+    /// given `state` — the recovery constructor.
+    ///
+    /// The cells `[0, index)` are not materialized: the object behaves as if
+    /// a checkpoint sealing `state` had been agreed at `index`, so fresh
+    /// handles begin replay there. This is how a persistence layer rebuilds
+    /// an object from a durable snapshot taken at log index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 64`.
+    pub fn recovered(spec: S, factory: F, n: usize, state: S::State, index: u64) -> Self {
+        Self::with_anchor(spec, factory, n, state, index)
+    }
+
+    fn with_anchor(spec: S, factory: F, n: usize, state: S::State, index: u64) -> Self {
         assert!((1..=64).contains(&n), "n must be in 1..=64");
         let head = Arc::new(CellNode::new(factory.create()));
+        let anchor = Anchor { index, state: Arc::new(state), applied: vec![0; n], cell: head };
         Universal {
             spec,
             factory,
             n,
             announce: (0..n).map(|_| AtomicCell::new()).collect(),
-            head,
+            anchor: AtomicCell::with_value(Arc::new(anchor)),
             handles: AtomicU64::new(0),
         }
     }
@@ -124,7 +235,18 @@ where
         self.n
     }
 
-    /// Claims the port bit for `pid` and builds its initial replay state.
+    /// Log index of the latest agreed checkpoint this object knows about
+    /// (0 if none was ever taken): where a fresh handle starts replaying.
+    pub fn anchor_index(&self) -> u64 {
+        self.latest_anchor().index
+    }
+
+    fn latest_anchor(&self) -> Arc<Anchor<S, F::Object>> {
+        self.anchor.load().expect("the anchor is initialized and never cleared")
+    }
+
+    /// Claims the port bit for `pid` and builds its initial replay state
+    /// from the latest checkpoint anchor.
     fn take_port(&self, pid: usize) -> Result<Replay<S, F::Object>, UniversalError> {
         if pid >= self.n || !self.factory.spec().is_port(pid) {
             return Err(UniversalError::NotAPort { pid });
@@ -133,13 +255,15 @@ where
         if self.handles.fetch_or(bit, Ordering::AcqRel) & bit != 0 {
             return Err(UniversalError::HandleTaken { pid });
         }
+        let anchor = self.latest_anchor();
         Ok(Replay {
             pid,
             seq: 0,
-            cursor: Arc::clone(&self.head),
-            cell_index: 0,
-            state: self.spec.init(),
-            applied: vec![0; self.n],
+            cursor: Arc::clone(&anchor.cell),
+            cell_index: anchor.index,
+            state: S::State::clone(&anchor.state),
+            applied: anchor.applied.clone(),
+            steps: 0,
         })
     }
 
@@ -172,10 +296,13 @@ where
 impl<S, F> fmt::Debug for Universal<S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Universal").field("n", &self.n).finish()
+        f.debug_struct("Universal")
+            .field("n", &self.n)
+            .field("anchor_index", &self.anchor_index())
+            .finish()
     }
 }
 
@@ -189,18 +316,22 @@ where
     /// Sequence number of my most recent operation.
     seq: u64,
     /// The next undecided-or-unapplied cell.
-    cursor: Arc<CellNode<S::Op, C>>,
+    cursor: Arc<CellNode<C>>,
+    /// Absolute log index of `cursor`.
     cell_index: u64,
     /// Local replayed state.
     state: S::State,
     /// `applied[p]` = highest sequence number of `p` applied so far.
     applied: Vec<u64>,
+    /// Log cells this handle consumed itself (excludes the checkpointed
+    /// prefix it bootstrapped from) — the replay-work meter.
+    steps: u64,
 }
 
 impl<S, F> Universal<S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     /// Applies `op` through the given replay state (the shared body of
     /// [`Handle::apply`] and [`OwnedHandle::apply`]).
@@ -209,24 +340,60 @@ where
         let my_seq = replay.seq;
         self.announce[replay.pid].store(Announce { seq: my_seq, op: op.clone() });
         loop {
-            let decided = self.decide_current_cell(replay, &op, my_seq);
-            // Apply the decided operation to the local replica.
-            let resp = self.spec.apply(&mut replay.state, &decided.op);
-            replay.applied[decided.pid as usize] = decided.seq;
-            self.advance(replay);
-            if decided.pid as usize == replay.pid && decided.seq == my_seq {
-                return resp;
+            let decided = self.decide_current_cell(replay, || {
+                LogRecord::Op(OpRecord { pid: replay.pid as u8, seq: my_seq, op: op.clone() })
+            });
+            match decided {
+                LogRecord::Op(rec) => {
+                    let mine = rec.pid as usize == replay.pid && rec.seq == my_seq;
+                    let resp = self.absorb_op(replay, &rec);
+                    if mine {
+                        return resp;
+                    }
+                }
+                LogRecord::Checkpoint(ck) => self.absorb_checkpoint(replay, &ck),
             }
         }
     }
 
-    /// Produces (or learns) the decision of the cursor cell.
+    /// Proposes a checkpoint through the replay state (the shared body of
+    /// [`Handle::checkpoint`] and [`OwnedHandle::checkpoint`]); returns the
+    /// log index of the agreed checkpoint cell.
+    fn checkpoint_through(&self, replay: &mut Replay<S, F::Object>) -> u64 {
+        loop {
+            let decided = self.decide_current_cell(replay, || {
+                LogRecord::Checkpoint(CheckpointRecord {
+                    pid: replay.pid as u8,
+                    index: replay.cell_index,
+                    state: Arc::new(replay.state.clone()),
+                    applied: replay.applied.clone(),
+                })
+            });
+            match decided {
+                LogRecord::Op(rec) => {
+                    // Another operation claimed the cell; absorb it and
+                    // re-seal at the next index (lock-free: their progress).
+                    let _ = self.absorb_op(replay, &rec);
+                }
+                LogRecord::Checkpoint(ck) => {
+                    // Any checkpoint agreed at my cursor cell seals exactly
+                    // my replayed prefix (determinism), so it serves whether
+                    // or not I proposed it.
+                    let index = ck.index;
+                    self.absorb_checkpoint(replay, &ck);
+                    return index;
+                }
+            }
+        }
+    }
+
+    /// Produces (or learns) the decision of the cursor cell. `fallback` is
+    /// the record to propose when the helping rule yields no candidate.
     fn decide_current_cell(
         &self,
         replay: &Replay<S, F::Object>,
-        my_op: &S::Op,
-        my_seq: u64,
-    ) -> OpRecord<S::Op> {
+        fallback: impl FnOnce() -> LogRecordOf<S>,
+    ) -> LogRecordOf<S> {
         if let Some(d) = replay.cursor.cons.peek() {
             return d;
         }
@@ -237,11 +404,8 @@ where
         let candidate = self.announce[slot]
             .load()
             .filter(|a| a.seq > replay.applied[slot])
-            .map(|a| OpRecord { pid: slot as u8, seq: a.seq, op: a.op });
-        let proposal = match candidate {
-            Some(rec) => rec,
-            None => OpRecord { pid: replay.pid as u8, seq: my_seq, op: my_op.clone() },
-        };
+            .map(|a| LogRecord::Op(OpRecord { pid: slot as u8, seq: a.seq, op: a.op }));
+        let proposal = candidate.unwrap_or_else(fallback);
         match replay.cursor.cons.propose(replay.pid, proposal) {
             Ok(decided) => decided,
             Err(ConsensusError::AlreadyProposed { .. }) => replay
@@ -255,6 +419,37 @@ where
         }
     }
 
+    /// Applies a decided operation record to the local replica and moves on.
+    fn absorb_op(&self, replay: &mut Replay<S, F::Object>, rec: &OpRecord<S::Op>) -> S::Resp {
+        let resp = self.spec.apply(&mut replay.state, &rec.op);
+        replay.applied[rec.pid as usize] = rec.seq;
+        self.advance(replay);
+        resp
+    }
+
+    /// Passes a decided checkpoint cell: the sealed state equals the local
+    /// replica already (determinism), so the cell contributes no operation;
+    /// publish it as the bootstrap anchor for future handles.
+    fn absorb_checkpoint(&self, replay: &mut Replay<S, F::Object>, ck: &CheckpointRecord<S::State>) {
+        debug_assert_eq!(ck.index, replay.cell_index, "checkpoint index matches its cell");
+        self.advance(replay);
+        let anchor_index = replay.cell_index;
+        if self.latest_anchor().index >= anchor_index {
+            return; // someone already published this checkpoint (or a later one)
+        }
+        let anchor = Arc::new(Anchor {
+            index: anchor_index,
+            // Share the sealed state straight out of the record: the seal
+            // equals the local replica here (determinism), no clone needed.
+            state: Arc::clone(&ck.state),
+            applied: replay.applied.clone(),
+            cell: Arc::clone(&replay.cursor),
+        });
+        // Monotone publish: racing replicas can only move the anchor forward.
+        self.anchor
+            .update_if(anchor, |cur| cur.is_none_or(|a| a.index < anchor_index));
+    }
+
     /// Moves the cursor to the next cell, creating it if necessary.
     fn advance(&self, replay: &mut Replay<S, F::Object>) {
         let next = replay
@@ -263,6 +458,7 @@ where
             .load_or_init(|| Arc::new(CellNode::new(self.factory.create())));
         replay.cursor = next;
         replay.cell_index += 1;
+        replay.steps += 1;
     }
 }
 
@@ -275,7 +471,7 @@ where
 pub struct Handle<'a, S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     obj: &'a Universal<S, F>,
     replay: Replay<S, F::Object>,
@@ -284,7 +480,7 @@ where
 impl<S, F> Handle<'_, S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     /// The process this handle belongs to.
     pub fn pid(&self) -> usize {
@@ -301,9 +497,32 @@ where
         self.obj.apply_through(&mut self.replay, op)
     }
 
-    /// The number of log cells this handle has replayed.
+    /// Seals this handle's fully-replayed state into a checkpoint cell
+    /// agreed through the same consensus path as operations; returns the
+    /// log index of the checkpoint cell.
+    ///
+    /// After agreement, fresh handles bootstrap from the sealed state and
+    /// replay only the post-checkpoint suffix (O(delta) instead of
+    /// O(history)), and the pre-checkpoint cells become reclaimable.
+    ///
+    /// Progress: lock-free — each failed placement attempt is another
+    /// port's operation committing.
+    pub fn checkpoint(&mut self) -> u64 {
+        self.obj.checkpoint_through(&mut self.replay)
+    }
+
+    /// The absolute log index of this handle's replay cursor (all cells
+    /// before it are reflected in [`Self::local_state`]).
     pub fn replayed_cells(&self) -> u64 {
         self.replay.cell_index
+    }
+
+    /// Log cells this handle has consumed itself — the replay-work meter.
+    ///
+    /// A handle bootstrapped from a checkpoint does **not** count the sealed
+    /// prefix: this is the regression guard for the O(delta) replay claim.
+    pub fn replay_steps(&self) -> u64 {
+        self.replay.steps
     }
 
     /// Read-only access to the local replica (exact as of the last `apply`).
@@ -315,7 +534,7 @@ where
 impl<S, F> fmt::Debug for Handle<'_, S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Handle")
@@ -334,7 +553,7 @@ where
 pub struct OwnedHandle<S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     obj: Arc<Universal<S, F>>,
     replay: Replay<S, F::Object>,
@@ -343,7 +562,7 @@ where
 impl<S, F> OwnedHandle<S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     /// The process this handle belongs to.
     pub fn pid(&self) -> usize {
@@ -355,9 +574,22 @@ where
         self.obj.apply_through(&mut self.replay, op)
     }
 
-    /// The number of log cells this handle has replayed.
+    /// Seals a checkpoint; see [`Handle::checkpoint`].
+    pub fn checkpoint(&mut self) -> u64 {
+        // Split the borrow: `obj` and `replay` are disjoint fields.
+        let OwnedHandle { obj, replay } = self;
+        obj.checkpoint_through(replay)
+    }
+
+    /// The absolute log index of this handle's replay cursor.
     pub fn replayed_cells(&self) -> u64 {
         self.replay.cell_index
+    }
+
+    /// Log cells this handle has consumed itself; see
+    /// [`Handle::replay_steps`].
+    pub fn replay_steps(&self) -> u64 {
+        self.replay.steps
     }
 
     /// Read-only access to the local replica (exact as of the last `apply`).
@@ -374,7 +606,7 @@ where
 impl<S, F> fmt::Debug for OwnedHandle<S, F>
 where
     S: SequentialSpec,
-    F: ConsensusFactory<OpRecordOf<S>>,
+    F: ConsensusFactory<LogRecordOf<S>>,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("OwnedHandle")
@@ -563,5 +795,168 @@ mod tests {
         let mut h = obj.handle(0).unwrap();
         h.apply(CounterOp::Add(7));
         assert_eq!(*h.local_state(), 7);
+    }
+
+    #[test]
+    fn checkpoint_seals_state_and_ops_continue() {
+        let obj = wait_free_counter(2);
+        let mut h = obj.handle(0).unwrap();
+        h.apply(CounterOp::Add(3));
+        h.apply(CounterOp::Add(4));
+        let index = h.checkpoint();
+        assert_eq!(index, 2, "two op cells precede the checkpoint cell");
+        assert_eq!(obj.anchor_index(), 3, "anchor points past the checkpoint cell");
+        // Operations after the checkpoint see the sealed state.
+        assert_eq!(h.apply(CounterOp::Add(1)), 8);
+        let mut h1 = obj.handle(1).unwrap();
+        assert_eq!(h1.apply(CounterOp::Get), 8);
+    }
+
+    #[test]
+    fn fresh_handle_after_checkpoint_replays_o_delta() {
+        let n = 3;
+        let history = 200u64;
+        let obj = wait_free_counter(n);
+        let mut h0 = obj.handle(0).unwrap();
+        for _ in 0..history {
+            h0.apply(CounterOp::Add(1));
+        }
+        h0.checkpoint();
+        // A few post-checkpoint ops: the delta.
+        let delta = 5u64;
+        for _ in 0..delta {
+            h0.apply(CounterOp::Add(1));
+        }
+        // The fresh handle must bootstrap from the checkpoint, not replay
+        // the whole history.
+        let mut h1 = obj.handle(1).unwrap();
+        assert_eq!(h1.apply(CounterOp::Get), history + delta);
+        assert!(
+            h1.replay_steps() <= delta + 2,
+            "fresh handle replayed {} cells for a delta of {}",
+            h1.replay_steps(),
+            delta
+        );
+        // But its absolute position covers the whole log.
+        assert_eq!(h1.replayed_cells(), history + delta + 2);
+    }
+
+    #[test]
+    fn replay_steps_meter_counts_own_work() {
+        let obj = wait_free_counter(2);
+        let mut h = obj.handle(0).unwrap();
+        assert_eq!(h.replay_steps(), 0);
+        h.apply(CounterOp::Add(1));
+        h.apply(CounterOp::Add(1));
+        assert_eq!(h.replay_steps(), 2);
+    }
+
+    #[test]
+    fn checkpoint_races_with_concurrent_ops_keep_totals_exact() {
+        // Workers hammer the counter while one port checkpoints repeatedly:
+        // no committed Add may be dropped or double-applied, and a late
+        // reader (which bootstraps from whatever anchor the race produced)
+        // must observe the exact total.
+        let n = 5;
+        let workers = 3u64;
+        let per_thread = 60u64;
+        let obj = wait_free_counter(n);
+        std::thread::scope(|s| {
+            for pid in 0..workers as usize {
+                let obj = &obj;
+                s.spawn(move || {
+                    let mut h = obj.handle(pid).unwrap();
+                    for _ in 0..per_thread {
+                        h.apply(CounterOp::Add(1));
+                    }
+                });
+            }
+            let obj = &obj;
+            s.spawn(move || {
+                let mut h = obj.handle(3).unwrap();
+                for _ in 0..10 {
+                    h.checkpoint();
+                }
+            });
+        });
+        assert!(obj.anchor_index() > 0, "at least one checkpoint installed");
+        let mut reader = obj.handle(4).unwrap();
+        assert_eq!(reader.apply(CounterOp::Get), workers * per_thread);
+    }
+
+    #[test]
+    fn checkpoints_may_be_taken_by_any_port_and_stack() {
+        let obj = wait_free_counter(3);
+        let mut h0 = obj.handle(0).unwrap();
+        let mut h1 = obj.handle(1).unwrap();
+        h0.apply(CounterOp::Add(2));
+        let first = h0.checkpoint();
+        h1.apply(CounterOp::Add(5));
+        let second = h1.checkpoint();
+        assert!(second > first, "later checkpoint seals a longer prefix");
+        assert_eq!(obj.anchor_index(), second + 1);
+        let mut h2 = obj.handle(2).unwrap();
+        assert_eq!(h2.apply(CounterOp::Get), 7);
+        assert!(h2.replay_steps() <= 2, "bootstrapped from the latest anchor");
+    }
+
+    #[test]
+    fn recovered_object_starts_at_the_given_index_and_state() {
+        let obj: Universal<Counter, CasFactory> = Universal::recovered(
+            Counter,
+            CasFactory::new(Liveness::new_first_n(2, 2)),
+            2,
+            41,
+            100,
+        );
+        assert_eq!(obj.anchor_index(), 100);
+        let mut h = obj.handle(0).unwrap();
+        assert_eq!(h.replayed_cells(), 100, "cursor starts at the recovery index");
+        assert_eq!(h.apply(CounterOp::Add(1)), 42, "recovered state is live");
+        assert_eq!(h.replay_steps(), 1, "no pre-recovery replay work");
+    }
+
+    #[test]
+    fn long_compacted_log_drops_without_stack_overflow() {
+        // Build a long log, checkpoint it, drop every strong reference to
+        // the prefix: the iterative CellNode drop must unwind it safely.
+        let n = 2;
+        let obj = wait_free_counter(n);
+        let mut h = obj.handle(0).unwrap();
+        for _ in 0..50_000 {
+            h.apply(CounterOp::Add(1));
+        }
+        h.checkpoint();
+        drop(h);
+        drop(obj);
+    }
+
+    #[test]
+    fn asymmetric_checkpoint_respects_helping() {
+        // A guest checkpoints while the VIP operates: the VIP's operations
+        // all complete (the checkpointer helps pending announcements).
+        let n = 3;
+        let obj = Universal::new(
+            Counter,
+            AsymmetricFactory::new(Liveness::new_first_n(n, 1)),
+            n,
+        );
+        std::thread::scope(|s| {
+            let obj = &obj;
+            s.spawn(move || {
+                let mut vip = obj.handle(0).unwrap();
+                for _ in 0..30 {
+                    vip.apply(CounterOp::Add(1));
+                }
+            });
+            s.spawn(move || {
+                let mut g = obj.handle(1).unwrap();
+                for _ in 0..5 {
+                    g.checkpoint();
+                }
+            });
+        });
+        let mut reader = obj.handle(2).unwrap();
+        assert_eq!(reader.apply(CounterOp::Get), 30);
     }
 }

@@ -20,6 +20,14 @@
 //! process `k mod n`) makes placement wait-free whenever the cell consensus
 //! is.
 //!
+//! The log additionally supports **checkpoint cells**
+//! ([`Handle::checkpoint`]): any port can seal its fully-replayed state
+//! through the same consensus path, after which fresh handles bootstrap
+//! from the sealed state and replay only the post-checkpoint suffix
+//! (O(delta) instead of O(history)), the retired prefix becomes
+//! reclaimable, and a persistence layer can rebuild the object from a
+//! durable snapshot via [`Universal::recovered`].
+//!
 //! ## Example
 //!
 //! ```
@@ -42,4 +50,7 @@ mod factory;
 mod herlihy;
 
 pub use factory::{AsymmetricFactory, CasFactory, ConsensusFactory};
-pub use herlihy::{Handle, OwnedHandle, Universal, UniversalError};
+pub use herlihy::{
+    CheckpointRecord, Handle, LogRecord, LogRecordOf, OpRecord, OwnedHandle, Universal,
+    UniversalError,
+};

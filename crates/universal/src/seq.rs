@@ -10,7 +10,11 @@ use std::collections::VecDeque;
 /// A deterministic sequential object: state, operations, responses.
 pub trait SequentialSpec: Send + Sync {
     /// The object's state.
-    type State: Clone + Send;
+    ///
+    /// `Eq + Send + Sync` because sealed state travels through checkpoint
+    /// cells: a [`CheckpointRecord`](crate::CheckpointRecord) is a consensus
+    /// value, and consensus values are compared and shared across threads.
+    type State: Clone + Eq + Send + Sync;
     /// Operation descriptors (the *invocation*, not the effect).
     type Op: Clone + Eq + Send + Sync;
     /// Operation responses.

@@ -11,12 +11,18 @@
 //!
 //! Every cell of the sweep also audits the store afterwards: the wait-free
 //! stats snapshot must agree with a full scan about how many keys survived.
+//!
+//! After the sweep, the **compaction/recovery scenario** runs: the store is
+//! checkpointed and flushed to disk, crashed, and recovered; the driver
+//! reports the seal+fsync and recover timings, audits the recovered state
+//! against the pre-crash scan, and quantifies the replay-cost win (a fresh
+//! replica's replay steps with vs without a checkpoint).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use asymmetric_progress::store::workload::Scenario;
-use asymmetric_progress::store::{ProgressClass, Store, StoreBuilder};
+use asymmetric_progress::store::workload::{preloaded_shard_log, Scenario};
+use asymmetric_progress::store::{Batch, ProgressClass, Store, StoreBuilder, StoreOp};
 
 const CLIENTS: usize = 8;
 const OPS_PER_CLIENT: usize = 300;
@@ -135,4 +141,73 @@ fn main() {
             );
         }
     }
+
+    recovery_scenario();
+}
+
+/// The compaction/recovery scenario: checkpoint, flush, crash, recover,
+/// audit — and the replay-cost win a checkpoint buys a fresh replica.
+fn recovery_scenario() {
+    const KEYS: u64 = 4096;
+    const SHARDS: usize = 4;
+    println!("\ncompaction/recovery scenario: {KEYS} keys, {SHARDS} shards");
+
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/tmp-example");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("store_bench.snapshot");
+
+    let pre_crash_scan;
+    {
+        let store: Store = StoreBuilder::new()
+            .shards(SHARDS)
+            .vip_capacity(VIP_CAPACITY)
+            .guest_ports(6)
+            .guest_group_width(2)
+            .build()
+            .expect("sizing is valid");
+        let mut loader = store.client(store.admit_guest());
+        for i in 0..KEYS {
+            loader.put(&format!("key/{i:05}"), i);
+        }
+        pre_crash_scan = store.client(store.admit_guest()).scan("", "\u{10ffff}");
+
+        let t0 = Instant::now();
+        store.checkpoint().write_to(&path).expect("flush");
+        let save = t0.elapsed();
+        let bytes = std::fs::metadata(&path).expect("snapshot metadata").len();
+        println!("  persist (seal every shard + fsync): {save:>10.2?} ({bytes} bytes)");
+    } // crash: the in-memory store is gone
+
+    let t0 = Instant::now();
+    let recovered = StoreBuilder::new()
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .recover(&path)
+        .expect("recover");
+    let boot = t0.elapsed();
+    println!(
+        "  recover (decode + boot at checkpoint): {boot:>7.2?}, boot replay steps = {}",
+        recovered.replay_steps()
+    );
+    let recovered_scan = recovered.client(recovered.admit_guest()).scan("", "\u{10ffff}");
+    assert_eq!(recovered_scan, pre_crash_scan, "recovered store must equal the flushed state");
+    println!("  audit: recovered scan == pre-crash scan ({} keys)", recovered_scan.len());
+
+    // The replay-cost win, isolated on one shard log: a fresh replica's
+    // replay work with vs without a checkpoint (the same harness the
+    // `store/recovery` bench series records into BENCH_store.json).
+    let fresh_steps = |checkpointed: bool| {
+        let log = preloaded_shard_log(KEYS as usize, checkpointed);
+        let mut fresh = log.owned_handle(1).expect("port 1 free");
+        fresh.apply(Batch(vec![StoreOp::Get("key/0000".into())]));
+        fresh.replay_steps()
+    };
+    let without = fresh_steps(false);
+    let with = fresh_steps(true);
+    assert!(with < without / 100, "the checkpoint must collapse replay cost");
+    println!(
+        "  replay-cost win: fresh replica replays {with} cells post-checkpoint \
+         vs {without} without (O(delta) vs O(history))"
+    );
 }

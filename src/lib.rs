@@ -25,7 +25,8 @@
 //! * [`store`] — the service layer: a sharded, linearizable-per-shard
 //!   key→value store whose clients are admitted into asymmetric progress
 //!   classes (bounded wait-free VIP tier, unbounded obstruction-free guest
-//!   tier), built on the universal construction.
+//!   tier), built on the universal construction, with checkpoint-sealed
+//!   crash-recoverable persistence (`store::persist`).
 //!
 //! ## Quickstart
 //!

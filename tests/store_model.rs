@@ -1,14 +1,20 @@
 //! Exhaustive model checks of the store's shard commit path: commit safety
-//! on every schedule, and the asymmetric liveness guarantee (Theorem 3
+//! on every schedule, the asymmetric liveness guarantee (Theorem 3
 //! flavor) — every fair schedule with a VIP participant terminates, while
-//! guest-only schedules admit a fair livelock.
+//! guest-only schedules admit a fair livelock — and the checkpoint-install
+//! race: a checkpoint proposed through the same consensus path as client
+//! batches is safe on every schedule (no committed op dropped or replayed
+//! twice).
 
 use asymmetric_progress::model::explore::{
     Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn,
 };
 use asymmetric_progress::model::fairness::{fair_livelocks, fair_termination, StateGraph};
 use asymmetric_progress::model::{ProcessSet, Value};
-use asymmetric_progress::store::model::{proposed_batches, shard_commit_system};
+use asymmetric_progress::store::model::{
+    checkpointed_commit_system, proposed_batches, shard_commit_system, PlacementSafety,
+    CHECKPOINT_BASE,
+};
 
 fn mask_participants(mask: u8, n: usize) -> ProcessSet {
     (0..n).filter(|i| mask & (1 << i) != 0).collect::<Vec<usize>>().into_iter().collect()
@@ -87,6 +93,95 @@ fn guest_only_schedules_admit_livelock() {
             .any(|w| w.live.iter().all(|p| participants.contains(p))));
         let verdict = fair_termination(&graph, |pid| participants.contains(pid));
         assert!(!verdict.holds(), "guest-only termination must not be guaranteed");
+    }
+}
+
+/// The checkpoint race matrix, exhaustively: for a (3,1) shard, every
+/// committer participation pattern racing a checkpoint install from every
+/// non-committing port satisfies [`PlacementSafety`] on **every** schedule
+/// — no committed batch is dropped, nothing (batch or checkpoint) is
+/// agreed by two log cells, and terminal states place every participant.
+#[test]
+fn checkpoint_install_race_safety_matrix_exhaustive() {
+    for committer_mask in 0u8..8 {
+        for ck in 0usize..3 {
+            if committer_mask & (1 << ck) != 0 {
+                continue; // the checkpointer does not also commit a batch
+            }
+            let committers = mask_participants(committer_mask, 3);
+            let participants = mask_participants(committer_mask | (1 << ck), 3);
+            let (sys, cells, proposals) =
+                checkpointed_commit_system(3, 1, 1, committers, Some(ck));
+            let safety = PlacementSafety { cells, participants, proposals };
+            let explorer = Explorer::new(ExploreConfig::default().with_max_states(400_000));
+            let result = explorer.explore(&sys, &[&safety, &NoFaults]);
+            assert!(
+                result.ok(),
+                "committers {committer_mask:03b} + ckpt {ck}: {:?}",
+                result.violations.first()
+            );
+            assert!(
+                !result.truncated,
+                "committers {committer_mask:03b} + ckpt {ck} must be exhaustive"
+            );
+        }
+    }
+}
+
+/// At (4,2): both VIPs and a guest commit while the other guest installs a
+/// checkpoint — still safe on every schedule.
+#[test]
+fn checkpoint_race_4_2_exhaustive() {
+    let committers = ProcessSet::from_indices([0, 1, 2]);
+    let (sys, cells, proposals) = checkpointed_commit_system(4, 2, 1, committers, Some(3));
+    let safety = PlacementSafety {
+        cells,
+        participants: ProcessSet::first_n(4),
+        proposals,
+    };
+    let explorer = Explorer::new(ExploreConfig::default().with_max_states(2_000_000));
+    let result = explorer.explore(&sys, &[&safety, &NoFaults]);
+    assert!(result.ok(), "{:?}", result.violations.first());
+    assert!(!result.truncated);
+}
+
+/// Liveness, positive half: a VIP committing while a guest checkpoints
+/// terminates on every fair schedule — the checkpointer cannot block the
+/// wait-free tier, and once the VIP is done the checkpointer installs in
+/// isolation.
+#[test]
+fn vip_commit_racing_checkpoint_terminates_fairly() {
+    let committers = ProcessSet::from_indices([0]);
+    let (sys, _, _) = checkpointed_commit_system(3, 1, 1, committers, Some(2));
+    let graph = StateGraph::build(&sys, 500_000);
+    assert!(!graph.truncated());
+    let participants = ProcessSet::from_indices([0, 2]);
+    let verdict = fair_termination(&graph, |pid| participants.contains(pid));
+    assert!(verdict.holds(), "{verdict:?}");
+}
+
+/// Liveness, negative half: checkpoint installation is lock-free but not
+/// wait-free — a guest checkpointer and a guest committer can starve each
+/// other in lockstep, which the checker exhibits as a fair-livelock
+/// witness. (This is why the store rides checkpoints on the guest tier and
+/// documents them as lock-free.)
+#[test]
+fn guest_checkpointer_racing_guest_committer_admits_livelock() {
+    let committers = ProcessSet::from_indices([1]);
+    let (sys, _, _) = checkpointed_commit_system(3, 1, 1, committers, Some(2));
+    let graph = StateGraph::build(&sys, 500_000);
+    assert!(!graph.truncated());
+    let witnesses = fair_livelocks(&graph);
+    assert!(!witnesses.is_empty(), "lockstep guests must admit a livelock witness");
+}
+
+/// The checkpoint marker value is namespaced away from batch ids, so the
+/// two can never be confused in a cell decision.
+#[test]
+fn checkpoint_values_are_disjoint_from_batches() {
+    let batches = proposed_batches(ProcessSet::first_n(64));
+    for pid in 0..64u32 {
+        assert!(!batches.contains(&Value::Num(CHECKPOINT_BASE + pid)));
     }
 }
 

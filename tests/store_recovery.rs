@@ -1,0 +1,393 @@
+//! The crash-recovery battery: random workloads snapshotted at random
+//! points, crashed at arbitrary log indices, recovered from disk, and
+//! compared against an independent `BTreeMap` oracle; plus the O(delta)
+//! replay regression guard and the corrupted/truncated-snapshot error
+//! paths.
+//!
+//! The durability contract under test is **prefix consistency**: a
+//! recovered store is exactly the store as of the last successful flush
+//! (per shard, a prefix of that shard's commit order); operations
+//! committed after the flush are lost, never half-applied.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use asymmetric_progress::store::persist::{PersistError, RecoverError, StoreSnapshot};
+use asymmetric_progress::store::{Store, StoreBuilder, StoreOp, StoreResp};
+use asymmetric_progress::universal::{CasFactory, Universal};
+use asymmetric_progress::universal::seq::{Counter, CounterOp};
+use asymmetric_progress::core::liveness::Liveness;
+
+/// A scratch path under cargo's per-target tmp dir, unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("store-recovery");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+/// The independent oracle (duplicated from `store_oracle.rs` on purpose:
+/// the oracle must not share code with the system under test).
+fn oracle_apply(state: &mut BTreeMap<String, u64>, op: &StoreOp) -> StoreResp {
+    match op {
+        StoreOp::Get(k) => StoreResp::Value(state.get(k).copied()),
+        StoreOp::Put(k, v) => StoreResp::Value(state.insert(k.clone(), *v)),
+        StoreOp::Remove(k) => StoreResp::Value(state.remove(k)),
+        StoreOp::Cas { key, expect, new } => {
+            let actual = state.get(key).copied();
+            if actual == *expect {
+                state.insert(key.clone(), *new);
+                StoreResp::Cas { ok: true, actual }
+            } else {
+                StoreResp::Cas { ok: false, actual }
+            }
+        }
+        StoreOp::Scan { from, to } => StoreResp::Entries(
+            state
+                .iter()
+                .filter(|(k, _)| *from <= **k && **k < *to)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        ),
+    }
+}
+
+fn decode_op(kind: u8, key: u8, val: u64) -> StoreOp {
+    let k = format!("key/{:02}", key % 12);
+    match kind % 6 {
+        0 | 1 => StoreOp::Put(k, val),
+        2 => StoreOp::Get(k),
+        3 => StoreOp::Remove(k),
+        4 => StoreOp::Cas { key: k, expect: (!val.is_multiple_of(3)).then_some(val / 2), new: val },
+        _ => {
+            let hi = format!("key/{:02}", (key % 12).saturating_add(val as u8 % 5));
+            StoreOp::Scan { from: k, to: hi }
+        }
+    }
+}
+
+fn full_scan(store: &Store) -> Vec<(String, u64)> {
+    let mut auditor = store.client(store.admit_guest());
+    auditor.scan("", "\u{10ffff}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random workload, snapshots at random cadence, crash at an arbitrary
+    /// log index (= wherever the op stream happens to end), recovery from
+    /// disk: the recovered state must equal the oracle as of the last
+    /// snapshot, and subsequent operations on the recovered store must
+    /// match the oracle response-for-response.
+    #[test]
+    fn crash_recovery_matches_oracle(
+        shards in 1usize..4,
+        encoded in proptest::collection::vec((0u8..6, 0u8..12, 0u64..16), 1..60),
+        snap_every in 1usize..8,
+        case in 0u64..1_000_000,
+    ) {
+        let path = scratch(&format!("proptest-{case}-{shards}-{snap_every}.snapshot"));
+        let mut oracle = BTreeMap::new();
+        let mut oracle_at_snapshot = BTreeMap::new();
+        {
+            let store = StoreBuilder::new()
+                .shards(shards)
+                .vip_capacity(1)
+                .guest_ports(2)
+                .guest_group_width(1)
+                .build()
+                .expect("valid sizing");
+            let mut client = store.client(store.admit_vip().expect("first vip"));
+            // Baseline snapshot: the crash may land before the cadence hits.
+            store.checkpoint().write_to(&path).expect("initial flush");
+            for (i, (kind, key, val)) in encoded.iter().enumerate() {
+                let op = decode_op(*kind, *key, *val);
+                let got = client.execute(vec![op.clone()]).pop().expect("one response");
+                let want = oracle_apply(&mut oracle, &op);
+                prop_assert_eq!(&got, &want, "pre-crash op {} diverged", i);
+                if (i + 1) % snap_every == 0 {
+                    store.checkpoint().write_to(&path).expect("cadence flush");
+                    oracle_at_snapshot = oracle.clone();
+                }
+            }
+        } // store dropped here: the crash, at whatever log index the stream reached
+        let recovered = StoreBuilder::new()
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .recover(&path)
+            .expect("snapshot must recover");
+        prop_assert_eq!(recovered.shards(), shards, "shard count survives recovery");
+        let want: Vec<(String, u64)> =
+            oracle_at_snapshot.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(full_scan(&recovered), want, "recovered state == oracle at last snapshot");
+
+        // Life after recovery: replay the same op stream against the
+        // recovered store and the snapshot-time oracle, response for
+        // response.
+        let mut client = recovered.client(recovered.admit_vip().expect("first vip"));
+        for (i, (kind, key, val)) in encoded.iter().enumerate() {
+            let op = decode_op(*kind, *key, *val);
+            let got = client.execute(vec![op.clone()]).pop().expect("one response");
+            let want = oracle_apply(&mut oracle_at_snapshot, &op);
+            prop_assert_eq!(&got, &want, "post-recovery op {} diverged", i);
+        }
+    }
+
+    /// Byte-level fault injection: flipping any byte or cutting the file at
+    /// any point must yield a typed [`PersistError`] from recovery — no
+    /// panic, no silently recovered partial state.
+    #[test]
+    fn corrupted_or_truncated_snapshots_fail_closed(
+        flip_seed in 0usize..10_000,
+        cut_seed in 0usize..10_000,
+    ) {
+        let path = scratch(&format!("fault-{flip_seed}-{cut_seed}.snapshot"));
+        let store = StoreBuilder::new()
+            .shards(2)
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .build()
+            .expect("valid sizing");
+        let mut client = store.client(store.admit_vip().expect("first vip"));
+        for i in 0..20 {
+            client.put(&format!("key/{i:02}"), i);
+        }
+        store.checkpoint().write_to(&path).expect("flush");
+        let good = std::fs::read(&path).expect("snapshot bytes");
+
+        // Flip one byte.
+        let mut flipped = good.clone();
+        let at = flip_seed % flipped.len();
+        flipped[at] ^= 0x20;
+        std::fs::write(&path, &flipped).expect("write corrupted");
+        let err = StoreBuilder::new()
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .recover(&path)
+            .expect_err("flipped byte must not recover");
+        prop_assert!(
+            matches!(err, RecoverError::Persist(_)),
+            "flip at {} gave {:?}", at, err
+        );
+
+        // Truncate to a strict prefix.
+        let cut = cut_seed % good.len();
+        std::fs::write(&path, &good[..cut]).expect("write truncated");
+        let err = StoreBuilder::new()
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .recover(&path)
+            .expect_err("truncated file must not recover");
+        prop_assert!(
+            matches!(
+                err,
+                RecoverError::Persist(
+                    PersistError::Truncated { .. } | PersistError::ChecksumMismatch { .. }
+                )
+            ),
+            "cut to {} gave {:?}", cut, err
+        );
+
+        // The pristine bytes still recover (the store itself was fine).
+        std::fs::write(&path, &good).expect("restore snapshot");
+        let recovered = StoreBuilder::new()
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .recover(&path)
+            .expect("pristine snapshot recovers");
+        prop_assert_eq!(full_scan(&recovered).len(), 20);
+    }
+}
+
+/// The O(delta) replay regression guard (universal level): after a
+/// checkpoint at log index k, a fresh handle's replay-step counter must be
+/// proportional to (len − k), not to len. If checkpoint bootstrapping ever
+/// silently regresses to O(history) replay, this counter catches it.
+#[test]
+fn fresh_handle_replay_is_o_delta_not_o_history() {
+    let n = 3;
+    let history = 500u64; // sealed prefix
+    let delta = 7u64; // post-checkpoint suffix
+    let obj = Universal::new(Counter, CasFactory::new(Liveness::new_first_n(n, n)), n);
+    let mut writer = obj.handle(0).unwrap();
+    for _ in 0..history {
+        writer.apply(CounterOp::Add(1));
+    }
+    let sealed_at = writer.checkpoint();
+    assert_eq!(sealed_at, history, "checkpoint seals the whole history");
+    for _ in 0..delta {
+        writer.apply(CounterOp::Add(1));
+    }
+    let mut fresh = obj.handle(1).unwrap();
+    assert_eq!(fresh.apply(CounterOp::Get), history + delta, "replay is still exact");
+    let steps = fresh.replay_steps();
+    assert!(
+        steps <= delta + 2,
+        "fresh handle replayed {steps} cells; O(delta) demands ≤ {} (delta {delta} + \
+         checkpoint cell + own op)",
+        delta + 2
+    );
+    assert_eq!(
+        fresh.replayed_cells(),
+        history + delta + 2,
+        "absolute position still spans the whole log"
+    );
+}
+
+/// The same guard at the store level, end to end through disk: a store
+/// checkpointed at index k recovers with zero boot replay and O(1) work
+/// for its first operation.
+#[test]
+fn recovered_store_does_not_replay_history() {
+    let path = scratch("o-delta-store.snapshot");
+    let history = 300u64;
+    {
+        let store = StoreBuilder::new()
+            .shards(2)
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .build()
+            .unwrap();
+        let mut client = store.client(store.admit_vip().unwrap());
+        for i in 0..history {
+            client.put(&format!("key/{i:03}"), i);
+        }
+        store.checkpoint().write_to(&path).unwrap();
+        let indices = store.anchor_indices();
+        assert_eq!(
+            indices.iter().map(|i| i - 1).sum::<u64>(),
+            history,
+            "the shards' checkpoints jointly seal every commit"
+        );
+    }
+    let recovered = StoreBuilder::new()
+        .vip_capacity(1)
+        .guest_ports(2)
+        .guest_group_width(1)
+        .recover(&path)
+        .unwrap();
+    assert_eq!(recovered.replay_steps(), 0, "boot replays nothing");
+    let mut client = recovered.client(recovered.admit_vip().unwrap());
+    assert_eq!(client.get("key/000"), Some(0));
+    assert!(
+        recovered.replay_steps() <= 2,
+        "first post-recovery op replayed {} cells, expected O(1)",
+        recovered.replay_steps()
+    );
+    assert_eq!(full_scan(&recovered).len(), history as usize);
+}
+
+/// Per-shard prefix consistency under concurrency: clients write ordered
+/// streams to disjoint key spaces while a persister group-commits in the
+/// background; whatever cut the crash lands on, each shard's recovered
+/// content is a *prefix* of every client's per-shard write order — no
+/// gaps, no phantom writes.
+#[test]
+fn concurrent_flushes_recover_to_a_per_shard_prefix() {
+    use asymmetric_progress::store::persist::Persister;
+    let path = scratch("prefix-cut.snapshot");
+    let clients = 3usize;
+    let per_client = 40u64;
+    let shards;
+    {
+        let store = StoreBuilder::new()
+            .shards(3)
+            .vip_capacity(1)
+            .guest_ports(4)
+            .guest_group_width(2)
+            .build()
+            .unwrap();
+        shards = store.shards();
+        let persister = Persister::new(&path);
+        persister.persist(&store).unwrap();
+        let tickets: Vec<_> = (0..clients)
+            .map(|c| if c == 0 { store.admit_vip().unwrap() } else { store.admit_guest() })
+            .collect();
+        std::thread::scope(|s| {
+            for (c, ticket) in tickets.iter().enumerate() {
+                let store = &store;
+                s.spawn(move || {
+                    let mut client = store.client(*ticket);
+                    for i in 0..per_client {
+                        client.put(&format!("c{c}/{i:03}"), i);
+                    }
+                });
+            }
+            // Flush concurrently with the writers: the cut lands wherever
+            // the group commits happen to seal each shard.
+            let store = &store;
+            let persister = &persister;
+            s.spawn(move || {
+                for _ in 0..5 {
+                    persister.persist(store).unwrap();
+                }
+            });
+        });
+    } // crash
+    let recovered = StoreBuilder::new()
+        .vip_capacity(1)
+        .guest_ports(4)
+        .guest_group_width(2)
+        .recover(&path)
+        .unwrap();
+    let entries = full_scan(&recovered);
+    for (k, v) in &entries {
+        let (c, i) = k.split_once('/').expect("key shape");
+        let i: u64 = i.parse().unwrap();
+        assert_eq!(*v, i, "phantom or torn write: {k}={v}");
+        assert!(c.starts_with('c') && i < per_client);
+    }
+    // Per shard and per client, presence must be prefix-closed in write
+    // order: if c's i-th key on shard s survived, every earlier key of c
+    // on shard s survived too.
+    let present: std::collections::BTreeSet<&str> =
+        entries.iter().map(|(k, _)| k.as_str()).collect();
+    for c in 0..clients {
+        for s in 0..shards {
+            let mut seen_missing = false;
+            for i in 0..per_client {
+                let key = format!("c{c}/{i:03}");
+                if recovered.shard_of(&key) != s {
+                    continue;
+                }
+                if present.contains(key.as_str()) {
+                    assert!(
+                        !seen_missing,
+                        "shard {s}: client {c}'s key {key} survived after an earlier gap — \
+                         not a prefix of the commit order"
+                    );
+                } else {
+                    seen_missing = true;
+                }
+            }
+        }
+    }
+}
+
+/// Snapshot files round-trip through the public `StoreSnapshot` API too
+/// (capture → encode → decode → recover), so external tooling can inspect
+/// snapshots without a store.
+#[test]
+fn snapshot_api_roundtrip() {
+    let store = StoreBuilder::new()
+        .shards(2)
+        .vip_capacity(1)
+        .guest_ports(2)
+        .guest_group_width(1)
+        .build()
+        .unwrap();
+    let mut client = store.client(store.admit_guest());
+    client.put("a", 1);
+    client.put("b", 2);
+    let snap = store.checkpoint();
+    let decoded = StoreSnapshot::decode(&snap.encode()).unwrap();
+    assert_eq!(decoded, snap);
+    assert_eq!(decoded.entries(), 2);
+}
