@@ -91,26 +91,22 @@ fn contended_propose(c: &mut Criterion) {
             },
         );
         // All-guest contention on a pure OF object.
-        g.bench_with_input(
-            BenchmarkId::new("all-guests-of", threads),
-            &threads,
-            |b, &threads| {
-                b.iter_batched(
-                    || {
-                        ObstructionFreeConsensus::new(
-                            Liveness::obstruction_free(ProcessSet::first_n(threads)).unwrap(),
-                        )
-                    },
-                    |cons| {
-                        let times = apc_bench::timed_threads(threads, |pid| {
-                            let _ = cons.propose(pid, pid as u64).unwrap();
-                        });
-                        black_box(times)
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("all-guests-of", threads), &threads, |b, &threads| {
+            b.iter_batched(
+                || {
+                    ObstructionFreeConsensus::new(
+                        Liveness::obstruction_free(ProcessSet::first_n(threads)).unwrap(),
+                    )
+                },
+                |cons| {
+                    let times = apc_bench::timed_threads(threads, |pid| {
+                        let _ = cons.propose(pid, pid as u64).unwrap();
+                    });
+                    black_box(times)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     g.finish();
 }

@@ -17,22 +17,18 @@ fn all_participate(c: &mut Criterion) {
     let mut g = c.benchmark_group("E2/all-participate");
     g.sample_size(10);
     for (n, x) in [(4usize, 2usize), (6, 2), (6, 3), (8, 2), (8, 4)] {
-        g.bench_with_input(
-            BenchmarkId::new("n-x", format!("{n}x{x}")),
-            &(n, x),
-            |b, &(n, x)| {
-                b.iter_batched(
-                    || GroupConsensus::<u64>::new(n, x).unwrap(),
-                    |cons| {
-                        let times = apc_bench::timed_threads(n, |pid| {
-                            let _ = cons.propose(pid, pid as u64).unwrap();
-                        });
-                        black_box(times)
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("n-x", format!("{n}x{x}")), &(n, x), |b, &(n, x)| {
+            b.iter_batched(
+                || GroupConsensus::<u64>::new(n, x).unwrap(),
+                |cons| {
+                    let times = apc_bench::timed_threads(n, |pid| {
+                        let _ = cons.propose(pid, pid as u64).unwrap();
+                    });
+                    black_box(times)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     g.finish();
 }

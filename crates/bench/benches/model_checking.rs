@@ -39,13 +39,17 @@ fn valence_oracle(c: &mut Criterion) {
     let mut g = c.benchmark_group("E5/valence-oracle");
     g.sample_size(10);
     for rounds in [1usize, 2] {
-        g.bench_with_input(BenchmarkId::new("register-consensus", rounds), &rounds, |b, &rounds| {
-            let (sys, _) = binary_register_consensus(2, rounds);
-            let explorer = Explorer::new(
-                ExploreConfig::default().with_max_states(500_000).with_max_depth(90),
-            );
-            b.iter(|| black_box(explorer.valence(&sys)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("register-consensus", rounds),
+            &rounds,
+            |b, &rounds| {
+                let (sys, _) = binary_register_consensus(2, rounds);
+                let explorer = Explorer::new(
+                    ExploreConfig::default().with_max_states(500_000).with_max_depth(90),
+                );
+                b.iter(|| black_box(explorer.valence(&sys)))
+            },
+        );
     }
     g.finish();
 }
@@ -55,14 +59,10 @@ fn exhaustive_exploration(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("arbiter-1v2-crash1", |b| {
         b.iter(|| {
-            let (sys, _) = arbiter_system(
-                3,
-                ProcessSet::from_indices([0]),
-                ProcessSet::from_indices([1, 2]),
-            );
-            let explorer = Explorer::new(
-                ExploreConfig::default().with_crashes(1, ProcessSet::first_n(3)),
-            );
+            let (sys, _) =
+                arbiter_system(3, ProcessSet::from_indices([0]), ProcessSet::from_indices([1, 2]));
+            let explorer =
+                Explorer::new(ExploreConfig::default().with_crashes(1, ProcessSet::first_n(3)));
             black_box(explorer.explore(&sys, &[&Agreement, &NoFaults]))
         })
     });

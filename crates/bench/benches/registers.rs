@@ -67,26 +67,30 @@ fn snapshot_under_contention(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrate/snapshot-contended");
     g.sample_size(10);
     for writers in [2usize, 4] {
-        g.bench_with_input(BenchmarkId::new("scan-vs-writers", writers), &writers, |b, &writers| {
-            b.iter_batched(
-                || SwmrSnapshot::new(writers + 1, 0u64),
-                |snap| {
-                    let times = apc_bench::timed_threads(writers + 1, |pid| {
-                        if pid < writers {
-                            for v in 0..50 {
-                                snap.update(pid, v);
+        g.bench_with_input(
+            BenchmarkId::new("scan-vs-writers", writers),
+            &writers,
+            |b, &writers| {
+                b.iter_batched(
+                    || SwmrSnapshot::new(writers + 1, 0u64),
+                    |snap| {
+                        let times = apc_bench::timed_threads(writers + 1, |pid| {
+                            if pid < writers {
+                                for v in 0..50 {
+                                    snap.update(pid, v);
+                                }
+                            } else {
+                                for _ in 0..50 {
+                                    let _ = black_box(snap.scan());
+                                }
                             }
-                        } else {
-                            for _ in 0..50 {
-                                let _ = black_box(snap.scan());
-                            }
-                        }
-                    });
-                    black_box(times)
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+                        });
+                        black_box(times)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     g.finish();
 }

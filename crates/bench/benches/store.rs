@@ -4,6 +4,13 @@
 //! * every [`Scenario`] (uniform, hot-key, vip-heavy, guest-contention) at
 //!   1 and 4 shards — the scaling and contention picture of the sharded
 //!   commit path;
+//! * the **hot-key-split scenario** — every client hammering its own hot
+//!   key, all on one shard, measured before (`pre-split`, the plateau: one
+//!   log serializes everything) and after (`post-split`) a live
+//!   [`Store::split_shard`] of the hot shard — the payoff series of the
+//!   topology machinery (see `hot_key_split` for where the win shows per
+//!   host shape; `examples/store_bench.rs` drives the in-place mid-run
+//!   split with an asserted recovery);
 //! * same-shard batching vs one-append-per-op — what the operation layer's
 //!   batching buys;
 //! * the wait-free stats snapshot under guest load — the VIP dashboard
@@ -13,12 +20,15 @@
 //!   save (seal + write) and crash recovery from disk.
 //!
 //! Run with `BENCH_JSON=BENCH_store.json cargo bench -p apc-bench --bench
-//! store` to record the machine-readable series.
+//! store` to record the machine-readable series; CI diffs them against the
+//! committed baseline with `bench_trend` and fails on a >30% regression.
+//!
+//! [`Store::split_shard`]: apc_store::Store::split_shard
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use apc_store::workload::{preloaded_shard_log, Scenario};
-use apc_store::{Batch, StoreBuilder, StoreOp};
+use apc_store::workload::{keys_on_shard, preloaded_shard_log, Scenario};
+use apc_store::{Batch, ShardCmd, Store, StoreBuilder, StoreOp};
 
 const CLIENTS: usize = 6;
 const OPS_PER_CLIENT: usize = 40;
@@ -63,22 +73,102 @@ fn run_scenario(scenario: Scenario, store: &apc_store::Store, tickets: &[apc_sto
 
 fn scenarios(c: &mut Criterion) {
     let mut g = c.benchmark_group("store/scenarios");
-    g.sample_size(10);
+    // A generous budget: these series are gated by bench_trend in CI, so
+    // averaging down run-to-run scheduler noise matters more than speed.
+    g.sample_size(50);
     g.throughput(Throughput::Elements((CLIENTS * OPS_PER_CLIENT) as u64));
     for scenario in Scenario::ALL {
         for shards in [1usize, 4] {
-            g.bench_with_input(
-                BenchmarkId::new(scenario.name(), shards),
-                &shards,
-                |b, &shards| {
-                    b.iter_batched(
-                        || setup_scenario(scenario, shards),
-                        |(store, tickets)| run_scenario(scenario, &store, &tickets),
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(scenario.name(), shards), &shards, |b, &shards| {
+                b.iter_batched(
+                    || setup_scenario(scenario, shards),
+                    |(store, tickets)| run_scenario(scenario, &store, &tickets),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
         }
+    }
+    g.finish();
+}
+
+/// Sizing of the hot-key-split phases: one hot key per client, with every
+/// port of the hot shard active (that maximizes the replay amplification
+/// the split relieves), and phases deep enough for the one-shard plateau to
+/// actually form (shallow phases are dominated by thread spawn, and the
+/// melt never shows).
+const HOT_CLIENTS: usize = 8;
+const HOT_OPS_PER_CLIENT: usize = 300;
+
+/// One hot-shard phase: every client hammers its own hot key (get/put mix);
+/// the keys all route to shard 0 under the initial topology, so pre-split
+/// the whole store is bounded by one shard log.
+fn run_hot_phase(store: &Store, tickets: &[apc_store::ClientTicket], keys: &[String]) {
+    apc_bench::timed_threads(tickets.len(), |i| {
+        let mut client = store.client(tickets[i]);
+        let key = &keys[i];
+        for step in 0..HOT_OPS_PER_CLIENT {
+            if step % 3 == 0 {
+                let _ = client.get(key);
+            } else {
+                let _ = client.put(key, step as u64);
+            }
+        }
+    });
+}
+
+/// Builds the hot-shard stress cell — a 4-shard store with one hot key per
+/// client, all on shard 0 — and **melts it** (two untimed warm rounds form
+/// the plateau the measured phase starts from); optionally performs the
+/// live split before the measured phase.
+fn setup_hot_split(split: bool) -> (Store, Vec<apc_store::ClientTicket>, Vec<String>) {
+    let store = StoreBuilder::new()
+        .shards(4)
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .checkpoint_every(64)
+        .build()
+        .expect("bench sizing is valid");
+    let keys = keys_on_shard(&store.topology(), 0, HOT_CLIENTS);
+    let mut loader = store.client(store.admit_guest());
+    for key in &keys {
+        loader.put(key, 0);
+    }
+    let tickets: Vec<_> = (0..VIP_CAPACITY)
+        .map(|_| store.admit_vip().expect("mix respects capacity"))
+        .chain((0..HOT_CLIENTS - VIP_CAPACITY).map(|_| store.admit_guest()))
+        .collect();
+    for _ in 0..3 {
+        run_hot_phase(&store, &tickets, &keys); // melt (untimed)
+    }
+    if split {
+        store.split_shard(0).expect("shard 0 exists");
+    }
+    (store, tickets, keys)
+}
+
+/// The headline series of this experiment: `pre-split` is the melted
+/// plateau (one log serializes every client), `post-split` is the same
+/// workload right after a live [`Store::split_shard`] of the hot shard.
+/// On multi-core hosts the split unlocks shard-level parallelism and the
+/// post-split series runs above the plateau; on a single core the two sit
+/// at parity here, and the split's win shows in the long-lived in-place
+/// scenario of `examples/store_bench.rs` instead (compaction of the melted
+/// log + fewer active handles replaying each commit).
+fn hot_key_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/scenarios/hot-key-split");
+    // These two series are gated; buy the largest averaging window the
+    // shim offers (the melt in the setup dominates wall-clock anyway).
+    g.sample_size(400);
+    g.throughput(Throughput::Elements((HOT_CLIENTS * HOT_OPS_PER_CLIENT) as u64));
+    for (name, split) in [("pre-split", false), ("post-split", true)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || setup_hot_split(split),
+                |(store, tickets, keys)| run_hot_phase(&store, &tickets, &keys),
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     g.finish();
 }
@@ -150,7 +240,10 @@ fn recovery(c: &mut Criterion) {
                 || preloaded_shard_log(PRELOAD, checkpointed),
                 |log| {
                     let mut fresh = log.owned_handle(1).expect("port 1 free");
-                    let resp = fresh.apply(Batch(vec![StoreOp::Get("key/0000".into())]));
+                    let resp = fresh.apply(ShardCmd::Batch(Batch::new(
+                        0,
+                        vec![StoreOp::Get("key/0000".into())],
+                    )));
                     criterion::black_box((resp, fresh.replay_steps()));
                 },
                 criterion::BatchSize::SmallInput,
@@ -160,8 +253,8 @@ fn recovery(c: &mut Criterion) {
 
     // Durable save (seal every shard + write + fsync) and crash recovery
     // (decode + boot at the checkpointed index).
-    let scratch_dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/tmp-bench");
+    let scratch_dir =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp-bench");
     std::fs::create_dir_all(&scratch_dir).expect("bench scratch dir");
     let path = scratch_dir.join("bench.snapshot");
     let preload_store = || {
@@ -196,5 +289,5 @@ fn recovery(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, scenarios, batching, stats_snapshot_under_load, recovery);
+criterion_group!(benches, scenarios, hot_key_split, batching, stats_snapshot_under_load, recovery);
 criterion_main!(benches);

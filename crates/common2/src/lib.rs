@@ -30,6 +30,8 @@ mod tas;
 pub mod two_consensus;
 
 pub use faa::FetchAndAdd;
-pub use more_consensus::{swap_consensus_system, FaaConsensus, SwapConsensus, SwapConsensusProgram};
+pub use more_consensus::{
+    swap_consensus_system, FaaConsensus, SwapConsensus, SwapConsensusProgram,
+};
 pub use swap::SwapCell;
 pub use tas::TestAndSet;

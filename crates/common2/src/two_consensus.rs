@@ -195,9 +195,7 @@ impl Program for TasConsensusProgram {
 
 /// Builds the `n`-process naive TAS-consensus model system
 /// (process `i` proposes `10 + i`).
-pub fn tas_consensus_system(
-    n: usize,
-) -> System<MaybeParticipant<TasConsensusProgram>> {
+pub fn tas_consensus_system(n: usize) -> System<MaybeParticipant<TasConsensusProgram>> {
     let mut builder = SystemBuilder::new(n);
     let regs: Vec<ObjectId> = (0..n).map(|_| builder.add_register(Value::Bot)).collect();
     let tas = builder.add_test_and_set();
@@ -282,10 +280,7 @@ mod tests {
         let sys = naive_three_process_system();
         let explorer = Explorer::new(ExploreConfig::default());
         let result = explorer.explore(&sys, &[&Agreement]);
-        assert!(
-            !result.ok(),
-            "the naive 3-process extension must violate agreement somewhere"
-        );
+        assert!(!result.ok(), "the naive 3-process extension must violate agreement somewhere");
         let violation = &result.violations[0];
         assert!(!violation.path.is_empty(), "violation comes with a reproducing schedule");
     }

@@ -14,7 +14,7 @@
 //! schedules, all crash patterns within budget) in the crate's test-suite,
 //! mechanically re-checking Lemmas 12–16.
 
-use apc_model::{Op, ObjectId, ProcessSet, Program, ProgramAction, SystemBuilder, Value};
+use apc_model::{ObjectId, Op, ProcessSet, Program, ProgramAction, SystemBuilder, Value};
 
 use crate::arbiter::Role;
 
@@ -129,17 +129,13 @@ impl Program for ArbiterProgram {
             }
             OwnerGotGuestFlag => {
                 // (02) … and propose it to XCONS.
-                let guests_present = last
-                    .expect("read returns a value")
-                    .expect_bit("PART[guest]");
+                let guests_present = last.expect("read returns a value").expect_bit("PART[guest]");
                 self.state = OwnerGotDecision;
                 ProgramAction::Invoke(Op::Propose(self.objs.xcons, Value::Bit(guests_present)))
             }
             OwnerGotDecision => {
                 // (03) WINNER ← guest / owner.
-                let guest_win = last
-                    .expect("propose returns a value")
-                    .expect_bit("XCONS decision");
+                let guest_win = last.expect("propose returns a value").expect_bit("XCONS decision");
                 let winner = if guest_win { Role::Guest } else { Role::Owner };
                 self.state = OwnerWroteWinner;
                 ProgramAction::Invoke(Op::Write(self.objs.winner, role_value(winner)))
@@ -156,9 +152,7 @@ impl Program for ArbiterProgram {
             }
             GuestGotOwnerFlag => {
                 // (04) if PART[owner] then wait(WINNER ≠ ⊥) else WINNER ← guest.
-                let owners_present = last
-                    .expect("read returns a value")
-                    .expect_bit("PART[owner]");
+                let owners_present = last.expect("read returns a value").expect_bit("PART[owner]");
                 if owners_present {
                     self.state = GuestAwaitWinner;
                     ProgramAction::Invoke(Op::Read(self.objs.winner))
@@ -208,10 +202,7 @@ pub fn arbiter_system(
     n: usize,
     owners: ProcessSet,
     guests: ProcessSet,
-) -> (
-    apc_model::System<apc_model::MaybeParticipant<ArbiterProgram>>,
-    ArbiterObjects,
-) {
+) -> (apc_model::System<apc_model::MaybeParticipant<ArbiterProgram>>, ArbiterObjects) {
     arbiter_system_with(n, owners, owners, guests)
 }
 
@@ -224,10 +215,7 @@ pub fn arbiter_system_with(
     declared_owners: ProcessSet,
     owner_participants: ProcessSet,
     guest_participants: ProcessSet,
-) -> (
-    apc_model::System<apc_model::MaybeParticipant<ArbiterProgram>>,
-    ArbiterObjects,
-) {
+) -> (apc_model::System<apc_model::MaybeParticipant<ArbiterProgram>>, ArbiterObjects) {
     assert!(
         owner_participants.is_subset(declared_owners),
         "participating owners must be declared owners"
@@ -275,7 +263,8 @@ mod tests {
 
     #[test]
     fn solo_guest_decides_guest() {
-        let (sys, _) = arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
+        let (sys, _) =
+            arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
         let mut runner = Runner::new(sys);
         runner.run(&Schedule::solo(ProcessId::new(1), 20));
         assert_eq!(runner.system().decision(ProcessId::new(1)), Some(guest_value()));
@@ -285,10 +274,10 @@ mod tests {
     /// owner and one guest, with a crash budget of 1.
     #[test]
     fn exhaustive_agreement_owner_guest() {
-        let (sys, _) = arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
-        let explorer = Explorer::new(
-            ExploreConfig::default().with_crashes(1, ProcessSet::first_n(2)),
-        );
+        let (sys, _) =
+            arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
+        let explorer =
+            Explorer::new(ExploreConfig::default().with_crashes(1, ProcessSet::first_n(2)));
         let result = explorer.explore(
             &sys,
             &[&Agreement, &ValidityIn::new([owner_value(), guest_value()]), &NoFaults],
@@ -311,10 +300,10 @@ mod tests {
             ProcessSet::EMPTY,
             ProcessSet::from_indices([1, 2]),
         );
-        let explorer = Explorer::new(
-            ExploreConfig::default().with_crashes(1, ProcessSet::first_n(3)),
-        );
-        let result = explorer.explore(&sys, &[&Agreement, &ValidityIn::new([guest_value()]), &NoFaults]);
+        let explorer =
+            Explorer::new(ExploreConfig::default().with_crashes(1, ProcessSet::first_n(3)));
+        let result =
+            explorer.explore(&sys, &[&Agreement, &ValidityIn::new([guest_value()]), &NoFaults]);
         assert!(result.ok(), "violations: {:?}", result.violations);
         assert_eq!(result.decisions.len(), 1, "only guest can be decided");
     }
@@ -323,7 +312,8 @@ mod tests {
     /// terminates, under every fair schedule (no fair livelock).
     #[test]
     fn fair_termination_with_owner() {
-        let (sys, _) = arbiter_system(3, ProcessSet::from_indices([0]), ProcessSet::from_indices([1, 2]));
+        let (sys, _) =
+            arbiter_system(3, ProcessSet::from_indices([0]), ProcessSet::from_indices([1, 2]));
         let graph = StateGraph::build(&sys, 1_000_000);
         let verdict = fair_termination(&graph, |_| true);
         assert!(verdict.holds(), "{verdict:?}");
@@ -367,7 +357,8 @@ mod tests {
     /// already decided.
     #[test]
     fn decided_process_implies_no_stuck_peers() {
-        let (sys, _) = arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
+        let (sys, _) =
+            arbiter_system(2, ProcessSet::from_indices([0]), ProcessSet::from_indices([1]));
         let graph = StateGraph::build(&sys, 1_000_000);
         for witness in apc_model::fairness::fair_livelocks(&graph) {
             let state = &graph.states()[witness.sample_state];

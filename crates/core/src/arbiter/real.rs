@@ -222,10 +222,7 @@ mod tests {
     #[test]
     fn non_owner_cannot_claim_ownership() {
         let arb = Arbiter::new(owners(&[0, 1]));
-        assert!(matches!(
-            arb.arbitrate(5, Role::Owner),
-            Err(ArbiterError::NotAnOwner { pid: 5 })
-        ));
+        assert!(matches!(arb.arbitrate(5, Role::Owner), Err(ArbiterError::NotAnOwner { pid: 5 })));
     }
 
     #[test]
@@ -281,10 +278,7 @@ mod tests {
             });
             let results = results.into_inner().unwrap();
             assert_eq!(results.len(), 5);
-            assert!(
-                results.windows(2).all(|w| w[0] == w[1]),
-                "agreement violated: {results:?}"
-            );
+            assert!(results.windows(2).all(|w| w[0] == w[1]), "agreement violated: {results:?}");
         }
     }
 

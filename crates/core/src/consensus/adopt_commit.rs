@@ -212,11 +212,8 @@ mod tests {
                 }
             });
             let results = results.into_inner().unwrap();
-            let committed: Vec<u64> = results
-                .iter()
-                .filter(|(f, _)| f.is_commit())
-                .map(|(_, v)| *v)
-                .collect();
+            let committed: Vec<u64> =
+                results.iter().filter(|(f, _)| f.is_commit()).map(|(_, v)| *v).collect();
             if let Some(&u) = committed.first() {
                 for (_, w) in &results {
                     assert_eq!(*w, u, "coherence violated in round {round}: {results:?}");

@@ -193,9 +193,8 @@ impl<T: Clone + Eq + Send + Sync> ObstructionFreeConsensus<T> {
             }
             self.rounds_executed.fetch_add(1, Ordering::Relaxed);
             let ac = self.round_object(r);
-            let (flag, w) = ac
-                .adopt_commit(pid, estimate)
-                .expect("each pid visits each round at most once");
+            let (flag, w) =
+                ac.adopt_commit(pid, estimate).expect("each pid visits each round at most once");
             if flag.is_commit() {
                 let _ = self.decision.set_if_bot(w);
                 return Some(self.decision.load().expect("decision just set"));

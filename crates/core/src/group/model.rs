@@ -36,14 +36,10 @@ impl GroupObjects {
     /// Adds all shared objects of Figure 5 for the given layout.
     pub fn add_to(builder: &mut SystemBuilder, layout: GroupLayout) -> Self {
         let m = layout.m();
-        let gxcons = (1..=m)
-            .map(|g| builder.add_wait_free_consensus(layout.members(g)))
-            .collect();
+        let gxcons = (1..=m).map(|g| builder.add_wait_free_consensus(layout.members(g))).collect();
         let val = (0..m).map(|_| builder.add_register(Value::Bot)).collect();
         let arb_val = (0..m).map(|_| builder.add_register(Value::Bot)).collect();
-        let arbiters = (1..m)
-            .map(|g| ArbiterObjects::add_to(builder, layout.members(g)))
-            .collect();
+        let arbiters = (1..m).map(|g| ArbiterObjects::add_to(builder, layout.members(g))).collect();
         GroupObjects { gxcons, val, arb_val, arbiters }
     }
 }
@@ -391,10 +387,8 @@ mod tests {
         let layout = GroupLayout::new(3, 1).unwrap();
         let (sys, _) = group_system(layout, ProcessSet::first_n(3));
         let explorer = Explorer::new(ExploreConfig::default().with_max_states(3_000_000));
-        let result = explorer.explore(
-            &sys,
-            &[&Agreement, &ValidityIn::new(proposals(&[0, 1, 2])), &NoFaults],
-        );
+        let result = explorer
+            .explore(&sys, &[&Agreement, &ValidityIn::new(proposals(&[0, 1, 2])), &NoFaults]);
         assert!(result.ok(), "violations: {:?}", result.violations.first());
         assert!(!result.truncated, "state space must be explored fully");
     }
@@ -407,10 +401,8 @@ mod tests {
         let layout = GroupLayout::new(4, 2).unwrap();
         let (sys, _) = group_system(layout, ProcessSet::first_n(4));
         let explorer = Explorer::new(ExploreConfig::default().with_max_states(1_200_000));
-        let result = explorer.explore(
-            &sys,
-            &[&Agreement, &ValidityIn::new(proposals(&[0, 1, 2, 3])), &NoFaults],
-        );
+        let result = explorer
+            .explore(&sys, &[&Agreement, &ValidityIn::new(proposals(&[0, 1, 2, 3])), &NoFaults]);
         assert!(result.ok(), "violations: {:?}", result.violations.first());
     }
 

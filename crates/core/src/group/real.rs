@@ -170,8 +170,7 @@ impl<T: Clone + Eq + Send + Sync> GroupConsensus<T> {
             self.arb_val[m - 1].store(val_y);
         } else {
             // (04) winner ← ARBITER[y].arbitrate(owner).
-            let winner = self
-                .arbiters[y - 1]
+            let winner = self.arbiters[y - 1]
                 .arbitrate_cancelable(pid, Role::Owner, || self.peek().is_some())?;
             let Some(winner) = winner else {
                 return Ok(self.peek().expect("cancel fires only on a final decision"));
@@ -191,8 +190,7 @@ impl<T: Clone + Eq + Send + Sync> GroupConsensus<T> {
         // Competition #2 (lines 10–18): cascade down to ARB_VAL[1].
         for level in (1..y).rev() {
             // (12) winner ← ARBITER[ℓ].arbitrate(guest).
-            let winner = self
-                .arbiters[level - 1]
+            let winner = self.arbiters[level - 1]
                 .arbitrate_cancelable(pid, Role::Guest, || self.peek().is_some())?;
             let Some(winner) = winner else {
                 return Ok(self.peek().expect("cancel fires only on a final decision"));

@@ -157,11 +157,7 @@ impl Liveness {
     /// Panics if the port counts differ (the corollary compares `(n,·)`
     /// objects only).
     pub fn hierarchy_cmp(&self, other: &Liveness) -> std::cmp::Ordering {
-        assert_eq!(
-            self.y(),
-            other.y(),
-            "Corollary 1 compares (n,x)-live objects over the same n"
-        );
+        assert_eq!(self.y(), other.y(), "Corollary 1 compares (n,x)-live objects over the same n");
         self.consensus_number().cmp(&other.consensus_number())
     }
 
@@ -216,10 +212,7 @@ mod tests {
         let ports = ProcessSet::from_indices([0, 1]);
         let wf = ProcessSet::from_indices([2]);
         assert_eq!(Liveness::new(ports, wf), Err(SpecError::WaitFreeNotInPorts));
-        assert_eq!(
-            Liveness::new(ProcessSet::EMPTY, ProcessSet::EMPTY),
-            Err(SpecError::EmptyPorts)
-        );
+        assert_eq!(Liveness::new(ProcessSet::EMPTY, ProcessSet::EMPTY), Err(SpecError::EmptyPorts));
     }
 
     #[test]

@@ -34,12 +34,10 @@ pub fn n_minus_one_wait_free_solves_n(n: usize, window: u8) -> (usize, bool) {
     let wait_free = ProcessSet::first_n(n - 1);
     let mut builder = SystemBuilder::new(n);
     let object = builder.add_live_consensus(ports, wait_free, window);
-    let system =
-        builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+    let system = builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
 
-    let explorer = Explorer::new(
-        ExploreConfig::default().with_max_states(2_000_000).with_crashes(1, ports),
-    );
+    let explorer =
+        Explorer::new(ExploreConfig::default().with_max_states(2_000_000).with_crashes(1, ports));
     let proposals: Vec<Value> = (0..n).map(|i| Value::Num(i as u32)).collect();
     let exploration =
         explorer.explore(&system, &[&Agreement, &ValidityIn::new(proposals), &NoFaults]);
@@ -60,14 +58,10 @@ pub fn port_limited_object_excludes_a_process(n: usize) -> bool {
     let ports = ProcessSet::first_n(n - 1); // (n−1, n−1)-live: process n−1 excluded
     let mut builder = SystemBuilder::new(n);
     let object = builder.add_live_consensus(ports, ports, 1);
-    let system =
-        builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+    let system = builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
     let mut runner = Runner::new(system);
     runner.run(&Schedule::round_robin(n, 2));
-    matches!(
-        runner.system().first_fault().map(|e| e.fault),
-        Some(Fault::NotAPort)
-    )
+    matches!(runner.system().first_fault().map(|e| e.fault), Some(Fault::NotAPort))
 }
 
 #[cfg(test)]

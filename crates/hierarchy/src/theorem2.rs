@@ -101,8 +101,7 @@ pub fn theorem2_complement(n: usize, x: usize, window: u8) -> bool {
     let wait_free = ProcessSet::first_n(x);
     let mut builder = SystemBuilder::new(n);
     let object = builder.add_live_consensus(ports, wait_free, window);
-    let system =
-        builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+    let system = builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
     let period = Schedule::lockstep(ports.iter(), 1);
     detect_cycle(system, &period, 10_000).terminated()
 }

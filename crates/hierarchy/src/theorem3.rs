@@ -72,14 +72,11 @@ pub fn theorem3_constructive(x: usize, window: u8, crash_budget: usize) -> Const
     let wait_free = ProcessSet::first_n(x);
     let mut builder = SystemBuilder::new(n);
     let object = builder.add_live_consensus(ports, wait_free, window);
-    let system =
-        builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
+    let system = builder.build(|pid| ProposeProgram::new(object, Value::Num(pid.index() as u32)));
 
     // Safety: every schedule, with the crash adversary.
     let explorer = Explorer::new(
-        ExploreConfig::default()
-            .with_max_states(2_000_000)
-            .with_crashes(crash_budget, ports),
+        ExploreConfig::default().with_max_states(2_000_000).with_crashes(crash_budget, ports),
     );
     let proposals: Vec<Value> = (0..n).map(|i| Value::Num(i as u32)).collect();
     let exploration =

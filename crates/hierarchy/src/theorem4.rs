@@ -67,9 +67,8 @@ impl fmt::Display for FaultFreedomReport {
 /// `x ← y p_i` of Lemma 7's proof.
 pub fn fault_freedom_adversary(n: usize, rounds: usize, target: usize) -> FaultFreedomReport {
     let (sys, _) = binary_register_consensus(n, rounds);
-    let explorer = Explorer::new(
-        ExploreConfig::default().with_max_states(400_000).with_max_depth(90),
-    );
+    let explorer =
+        Explorer::new(ExploreConfig::default().with_max_states(400_000).with_max_depth(90));
     let mut state = sys;
     let mut schedule = Schedule::new();
     let mut steps_per_process = vec![0usize; n];
@@ -149,7 +148,11 @@ pub fn fault_free_round_robin_decides(n: usize, rounds: usize, max_events: usize
 }
 
 /// Helper used by examples: the final undecided system of an adversary run.
-pub fn starved_system(n: usize, rounds: usize, target: usize) -> Option<System<impl apc_model::Program>> {
+pub fn starved_system(
+    n: usize,
+    rounds: usize,
+    target: usize,
+) -> Option<System<impl apc_model::Program>> {
     let report = fault_freedom_adversary(n, rounds, target);
     if !report.starved_fault_free() {
         return None;

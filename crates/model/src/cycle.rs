@@ -118,7 +118,10 @@ pub fn detect_cycle<P: Program>(
         }
         let live = runner.system().live_set();
         if live.intersection(scheduled).is_empty() {
-            return CycleOutcome::Terminated { system: runner.system().clone(), periods: completed };
+            return CycleOutcome::Terminated {
+                system: runner.system().clone(),
+                periods: completed,
+            };
         }
         if let Some(&earlier) = seen.get(runner.system()) {
             return CycleOutcome::Cycle(NonTerminationCertificate {

@@ -29,7 +29,9 @@ impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Fault::NotAPort => write!(f, "process is not a port of the object"),
-            Fault::AlreadyProposed => write!(f, "process already proposed to this consensus object"),
+            Fault::AlreadyProposed => {
+                write!(f, "process already proposed to this consensus object")
+            }
             Fault::WrongObjectKind => write!(f, "operation does not match the object kind"),
             Fault::NoSuchObject => write!(f, "no such object"),
         }
@@ -89,7 +91,8 @@ mod tests {
 
     #[test]
     fn error_source_is_fault() {
-        let err = ModelError { pid: ProcessId::new(0), object: None, fault: Fault::AlreadyProposed };
+        let err =
+            ModelError { pid: ProcessId::new(0), object: None, fault: Fault::AlreadyProposed };
         assert!(std::error::Error::source(&err).is_some());
     }
 }

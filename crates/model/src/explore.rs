@@ -33,10 +33,8 @@ pub struct Agreement;
 impl<P: Program> Invariant<P> for Agreement {
     fn check(&self, sys: &System<P>) -> Result<(), String> {
         let decisions = sys.decisions();
-        if let Some(((p1, v1), (p2, v2))) = decisions
-            .iter()
-            .zip(decisions.iter().skip(1))
-            .find(|((_, a), (_, b))| a != b)
+        if let Some(((p1, v1), (p2, v2))) =
+            decisions.iter().zip(decisions.iter().skip(1)).find(|((_, a), (_, b))| a != b)
         {
             Err(format!("{p1} decided {v1} but {p2} decided {v2}"))
         } else {
@@ -421,10 +419,7 @@ mod tests {
     use crate::programs::{ProposeProgram, TasRaceProgram};
     use crate::system::SystemBuilder;
 
-    fn binary_consensus_system(
-        wait_free: ProcessSet,
-        window: u8,
-    ) -> System<ProposeProgram> {
+    fn binary_consensus_system(wait_free: ProcessSet, window: u8) -> System<ProposeProgram> {
         let mut b = SystemBuilder::new(2);
         let cons = b.add_live_consensus(ProcessSet::first_n(2), wait_free, window);
         b.build(|pid| ProposeProgram::new(cons, Value::Num(pid.index() as u32)))
@@ -482,10 +477,9 @@ mod tests {
     fn crash_budget_explores_crashes() {
         let sys = binary_consensus_system(ProcessSet::first_n(2), 1);
         let no_crash = Explorer::new(ExploreConfig::default()).explore(&sys, &[]);
-        let with_crash = Explorer::new(
-            ExploreConfig::default().with_crashes(1, ProcessSet::first_n(2)),
-        )
-        .explore(&sys, &[]);
+        let with_crash =
+            Explorer::new(ExploreConfig::default().with_crashes(1, ProcessSet::first_n(2)))
+                .explore(&sys, &[]);
         assert!(with_crash.states > no_crash.states, "crash branches add states");
     }
 
@@ -503,9 +497,8 @@ mod tests {
         // some bivalent run (Lemma 4).
         let sys = binary_consensus_system(ProcessSet::from_indices([0]), 1);
         let explorer = Explorer::new(ExploreConfig::default().with_max_depth(40));
-        let (state, _path) = explorer
-            .decider_point(&sys, ProcessId::new(0))
-            .expect("a decider point exists");
+        let (state, _path) =
+            explorer.decider_point(&sys, ProcessId::new(0)).expect("a decider point exists");
         assert!(explorer.valence(&state).is_bivalent());
         // Stepping the decider makes the run univalent.
         let mut next = state.clone();

@@ -142,18 +142,14 @@ mod tests {
             ProposeRecord { pid: 1, proposed: 2, returned: 2 },
         ];
         let violations = check_consensus(&records);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, ConsensusViolation::Disagreement { .. })));
+        assert!(violations.iter().any(|v| matches!(v, ConsensusViolation::Disagreement { .. })));
     }
 
     #[test]
     fn invalid_value_detected() {
         let records = vec![ProposeRecord { pid: 0, proposed: 1, returned: 9 }];
         let violations = check_consensus(&records);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, ConsensusViolation::InvalidValue { .. })));
+        assert!(violations.iter().any(|v| matches!(v, ConsensusViolation::InvalidValue { .. })));
     }
 
     #[test]

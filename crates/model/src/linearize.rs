@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn sequential_register_history() {
-        let h = vec![
-            op(RegOp::Write(5), None, 0, 1),
-            op(RegOp::Read, Some(5), 2, 3),
-        ];
+        let h = vec![op(RegOp::Write(5), None, 0, 1), op(RegOp::Read, Some(5), 2, 3)];
         assert!(is_linearizable(&RegisterSpec, &h));
     }
 
@@ -195,20 +192,14 @@ mod tests {
     fn concurrent_read_may_see_either() {
         // Write overlaps the read: both old and new values are legal.
         for seen in [Some(0), Some(5)] {
-            let h = vec![
-                op(RegOp::Write(5), None, 0, 3),
-                op(RegOp::Read, seen, 1, 2),
-            ];
+            let h = vec![op(RegOp::Write(5), None, 0, 3), op(RegOp::Read, seen, 1, 2)];
             assert!(is_linearizable(&RegisterSpec, &h), "read of {seen:?} must linearize");
         }
     }
 
     #[test]
     fn consensus_history_agreeing_on_first() {
-        let h = vec![
-            op(10, 10, 0, 1),
-            op(20, 10, 2, 3),
-        ];
+        let h = vec![op(10, 10, 0, 1), op(20, 10, 2, 3)];
         assert!(is_linearizable(&ConsensusSpec, &h));
     }
 
@@ -216,30 +207,21 @@ mod tests {
     fn consensus_history_wrong_winner_rejected() {
         // Second proposal returned its own value even though the first had
         // already completed: not linearizable.
-        let h = vec![
-            op(10, 10, 0, 1),
-            op(20, 20, 2, 3),
-        ];
+        let h = vec![op(10, 10, 0, 1), op(20, 20, 2, 3)];
         assert!(!is_linearizable(&ConsensusSpec, &h));
     }
 
     #[test]
     fn concurrent_consensus_either_winner() {
         for winner in [10, 20] {
-            let h = vec![
-                op(10, winner, 0, 3),
-                op(20, winner, 1, 2),
-            ];
+            let h = vec![op(10, winner, 0, 3), op(20, winner, 1, 2)];
             assert!(is_linearizable(&ConsensusSpec, &h), "winner {winner}");
         }
     }
 
     #[test]
     fn disagreeing_consensus_rejected() {
-        let h = vec![
-            op(10, 10, 0, 3),
-            op(20, 20, 1, 2),
-        ];
+        let h = vec![op(10, 10, 0, 3), op(20, 20, 1, 2)];
         assert!(!is_linearizable(&ConsensusSpec, &h));
     }
 

@@ -95,8 +95,7 @@ impl LiveConsensusState {
     /// Whether the guest `pid` currently satisfies the isolation criterion:
     /// the last `isolation_window` events on this object were all its own.
     fn isolated(&self, pid: ProcessId) -> bool {
-        self.recent.len() >= self.isolation_window as usize
-            && self.recent.iter().all(|p| *p == pid)
+        self.recent.len() >= self.isolation_window as usize && self.recent.iter().all(|p| *p == pid)
     }
 
     /// Records an event by `pid` on this object (for the isolation window).
@@ -275,8 +274,14 @@ mod tests {
     fn tas_returns_old_bit_once() {
         let mut obj = ObjectState::TestAndSet { set: false };
         let o = ObjectId::new(0);
-        assert_eq!(obj.apply(pid(0), Op::TestAndSet(o)).unwrap(), OpOutcome::Done(Value::Bit(false)));
-        assert_eq!(obj.apply(pid(1), Op::TestAndSet(o)).unwrap(), OpOutcome::Done(Value::Bit(true)));
+        assert_eq!(
+            obj.apply(pid(0), Op::TestAndSet(o)).unwrap(),
+            OpOutcome::Done(Value::Bit(false))
+        );
+        assert_eq!(
+            obj.apply(pid(1), Op::TestAndSet(o)).unwrap(),
+            OpOutcome::Done(Value::Bit(true))
+        );
         assert_eq!(obj.apply(pid(2), Op::Read(o)).unwrap(), OpOutcome::Done(Value::Bit(true)));
     }
 
@@ -284,8 +289,14 @@ mod tests {
     fn faa_accumulates() {
         let mut obj = ObjectState::FetchAndAdd { count: 0 };
         let o = ObjectId::new(0);
-        assert_eq!(obj.apply(pid(0), Op::FetchAndAdd(o, 2)).unwrap(), OpOutcome::Done(Value::Num(0)));
-        assert_eq!(obj.apply(pid(1), Op::FetchAndAdd(o, 3)).unwrap(), OpOutcome::Done(Value::Num(2)));
+        assert_eq!(
+            obj.apply(pid(0), Op::FetchAndAdd(o, 2)).unwrap(),
+            OpOutcome::Done(Value::Num(0))
+        );
+        assert_eq!(
+            obj.apply(pid(1), Op::FetchAndAdd(o, 3)).unwrap(),
+            OpOutcome::Done(Value::Num(2))
+        );
         assert_eq!(obj.apply(pid(0), Op::Read(o)).unwrap(), OpOutcome::Done(Value::Num(5)));
     }
 
@@ -293,8 +304,14 @@ mod tests {
     fn swap_exchanges() {
         let mut obj = ObjectState::Swap { value: Value::Bot };
         let o = ObjectId::new(0);
-        assert_eq!(obj.apply(pid(0), Op::Swap(o, Value::Num(1))).unwrap(), OpOutcome::Done(Value::Bot));
-        assert_eq!(obj.apply(pid(1), Op::Swap(o, Value::Num(2))).unwrap(), OpOutcome::Done(Value::Num(1)));
+        assert_eq!(
+            obj.apply(pid(0), Op::Swap(o, Value::Num(1))).unwrap(),
+            OpOutcome::Done(Value::Bot)
+        );
+        assert_eq!(
+            obj.apply(pid(1), Op::Swap(o, Value::Num(2))).unwrap(),
+            OpOutcome::Done(Value::Num(1))
+        );
     }
 
     fn live(ports: &[usize], wf: &[usize], window: u8) -> ObjectState {
@@ -342,8 +359,14 @@ mod tests {
         assert_eq!(obj.apply(pid(0), Op::Propose(o, Value::Num(1))).unwrap(), OpOutcome::Pending);
         assert_eq!(obj.apply(pid(1), Op::Propose(o, Value::Num(2))).unwrap(), OpOutcome::Pending);
         for _ in 0..100 {
-            assert_eq!(obj.apply(pid(0), Op::Propose(o, Value::Num(1))).unwrap(), OpOutcome::Pending);
-            assert_eq!(obj.apply(pid(1), Op::Propose(o, Value::Num(2))).unwrap(), OpOutcome::Pending);
+            assert_eq!(
+                obj.apply(pid(0), Op::Propose(o, Value::Num(1))).unwrap(),
+                OpOutcome::Pending
+            );
+            assert_eq!(
+                obj.apply(pid(1), Op::Propose(o, Value::Num(2))).unwrap(),
+                OpOutcome::Pending
+            );
         }
     }
 

@@ -190,10 +190,7 @@ mod tests {
     #[test]
     fn actions_are_comparable() {
         let o = ObjectId::new(0);
-        assert_eq!(
-            ProgramAction::Invoke(Op::Read(o)),
-            ProgramAction::Invoke(Op::Read(o))
-        );
+        assert_eq!(ProgramAction::Invoke(Op::Read(o)), ProgramAction::Invoke(Op::Read(o)));
         assert_ne!(ProgramAction::Halt, ProgramAction::Decide(Value::Bot));
     }
 }

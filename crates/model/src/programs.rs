@@ -207,18 +207,16 @@ mod tests {
 
     #[test]
     fn tas_race_has_exactly_one_winner() {
-        for schedule in [Schedule::round_robin(3, 3), Schedule::random(ProcessSet::first_n(3), 30, 9)] {
+        for schedule in
+            [Schedule::round_robin(3, 3), Schedule::random(ProcessSet::first_n(3), 30, 9)]
+        {
             let mut b = SystemBuilder::new(3);
             let tas = b.add_test_and_set();
             let sys = b.build(|_| TasRaceProgram::new(tas));
             let mut runner = Runner::new(sys);
             runner.run(&schedule);
-            let winners = runner
-                .system()
-                .decisions()
-                .iter()
-                .filter(|(_, v)| *v == Value::Num(0))
-                .count();
+            let winners =
+                runner.system().decisions().iter().filter(|(_, v)| *v == Value::Num(0)).count();
             if runner.system().all_terminated() {
                 assert_eq!(winners, 1, "exactly one TAS winner");
             } else {

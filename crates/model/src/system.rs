@@ -291,9 +291,10 @@ impl<P: Program> System<P> {
     pub fn step(&mut self, pid: ProcessId) -> StepKind {
         let idx = pid.index();
         match self.procs[idx].status.clone() {
-            ProcStatus::Decided(_) | ProcStatus::Halted | ProcStatus::Crashed | ProcStatus::Faulted(_) => {
-                StepKind::NoOp
-            }
+            ProcStatus::Decided(_)
+            | ProcStatus::Halted
+            | ProcStatus::Crashed
+            | ProcStatus::Faulted(_) => StepKind::NoOp,
             ProcStatus::PendingOp(op) => self.attempt(pid, op),
             ProcStatus::Ready => {
                 let last = self.procs[idx].last.take();

@@ -82,7 +82,8 @@ impl<T> AtomicCell<T> {
         // SAFETY: `&mut self` excludes all concurrent access; an unprotected
         // guard is sound because nothing can race the swap or still read the
         // displaced value.
-        let old = unsafe { self.inner.swap(Shared::null(), Ordering::Relaxed, epoch::unprotected()) };
+        let old =
+            unsafe { self.inner.swap(Shared::null(), Ordering::Relaxed, epoch::unprotected()) };
         if old.is_null() {
             None
         } else {

@@ -76,11 +76,7 @@ impl<T: Clone> StoreCollect<T> {
 
     /// Collects and returns only the set values (with their slot indices).
     pub fn collect_set(&self) -> Vec<(usize, T)> {
-        self.collect()
-            .into_iter()
-            .enumerate()
-            .filter_map(|(i, v)| v.map(|v| (i, v)))
-            .collect()
+        self.collect().into_iter().enumerate().filter_map(|(i, v)| v.map(|v| (i, v))).collect()
     }
 }
 

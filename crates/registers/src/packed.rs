@@ -69,9 +69,7 @@ impl PackedRegister {
     /// Panics if `value == u64::MAX` (reserved for `⊥`).
     pub fn set_if_bot(&self, value: u64) -> bool {
         assert_ne!(value, BOT, "u64::MAX is reserved for ⊥");
-        self.word
-            .compare_exchange(BOT, value, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+        self.word.compare_exchange(BOT, value, Ordering::AcqRel, Ordering::Acquire).is_ok()
     }
 
     /// Busy-waits until the register is non-`⊥` and returns its value,

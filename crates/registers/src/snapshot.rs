@@ -109,10 +109,8 @@ impl<T: Clone> SwmrSnapshot<T> {
         let mut previous = self.collect_seqs();
         loop {
             let current = self.collect_seqs();
-            let clean = previous
-                .iter()
-                .zip(current.iter())
-                .all(|((seq_a, _), (seq_b, _))| seq_a == seq_b);
+            let clean =
+                previous.iter().zip(current.iter()).all(|((seq_a, _), (seq_b, _))| seq_a == seq_b);
             if clean {
                 // Successful double collect: the values coexisted.
                 return current.into_iter().map(|(_, v)| v).collect();

@@ -149,9 +149,7 @@ impl Admission {
             return Err(AdmissionError::BadConfig("guest_ports must be at least 1"));
         }
         if cfg.guest_group_width == 0 || cfg.guest_group_width > cfg.guest_ports {
-            return Err(AdmissionError::BadConfig(
-                "guest_group_width must be in 1..=guest_ports",
-            ));
+            return Err(AdmissionError::BadConfig("guest_group_width must be in 1..=guest_ports"));
         }
         let ports = cfg.vip_capacity + cfg.guest_ports;
         if ports > 64 {

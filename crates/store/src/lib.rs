@@ -15,9 +15,12 @@
 //!   multiplex onto guest ports placed into
 //!   [`GroupLayout`](apc_core::group::GroupLayout)-computed arbiter-cascade
 //!   groups (§6.2);
-//! * [`router`] — hashes keys across `S` independent shards and plans
-//!   client batches into at most one log append per shard, merging
-//!   broadcast scans;
+//! * [`router`] — rendezvous-hashes keys over a **versioned shard
+//!   topology** (HRW at the roots, pairwise HRW down the split tree) and
+//!   plans client batches into at most one log append per shard, merging
+//!   broadcast scans; [`Store::split_shard`](store::Store::split_shard)
+//!   grows the topology **live**, linearizing the bump through the hot
+//!   shard's own consensus log;
 //! * [`ops`] + [`store`] — read/write/CAS/scan operations, same-shard
 //!   batching into single universal-construction appends, and wait-free
 //!   snapshot statistics through
@@ -82,8 +85,10 @@ pub mod store;
 pub mod workload;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
-pub use ops::{apply_op, Batch, Key, ShardSpec, ShardState, StoreOp, StoreResp};
+pub use ops::{
+    apply_op, Batch, Key, ShardCmd, ShardSpec, ShardState, SplitSpec, StoreOp, StoreResp,
+};
 pub use persist::{PersistError, Persister, RecoverError, ShardSnapshot, StoreSnapshot};
-pub use router::{BatchPlan, BatchReassembly, ShardRouter};
-pub use store::{Client, ShardDigest, ShardLog, Store, StoreBuilder};
+pub use router::{BatchPlan, BatchReassembly, ShardTopology, TopoNode};
+pub use store::{Client, ShardDigest, ShardLog, SplitError, Store, StoreBuilder};
 pub use workload::Scenario;

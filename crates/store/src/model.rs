@@ -146,6 +146,12 @@ pub fn proposed_batches(participants: ProcessSet) -> Vec<Value> {
 /// Batch ids are `100 + pid`; checkpoint markers are `CHECKPOINT_BASE + pid`.
 pub const CHECKPOINT_BASE: u32 = 900;
 
+/// Topology-bump (split) markers are `SPLIT_BASE + pid` — namespaced away
+/// from both batch ids and checkpoint markers, like the real
+/// [`ShardCmd::Split`](crate::ops::ShardCmd) is a distinct log-record
+/// payload.
+pub const SPLIT_BASE: u32 = 800;
+
 /// One port placing one value (a batch or a checkpoint) into a multi-cell
 /// log, exactly like the real universal construction walks its cells:
 /// propose to the next free cell; if the cell agreed on someone else's
@@ -216,11 +222,8 @@ pub struct PlacementSafety {
 
 impl<P: apc_model::Program> apc_model::explore::Invariant<P> for PlacementSafety {
     fn check(&self, sys: &System<P>) -> Result<(), String> {
-        let placed: Vec<Value> = self
-            .cells
-            .iter()
-            .filter_map(|c| sys.object(*c).consensus_decision())
-            .collect();
+        let placed: Vec<Value> =
+            self.cells.iter().filter_map(|c| sys.object(*c).consensus_decision()).collect();
         for (i, v) in placed.iter().enumerate() {
             if placed[..i].contains(v) {
                 return Err(format!("value {v} was agreed by two log cells"));
@@ -267,13 +270,57 @@ pub fn checkpointed_commit_system(
     committers: ProcessSet,
     checkpointer: Option<usize>,
 ) -> (System<MaybeParticipant<LogPlaceProgram>>, Vec<ObjectId>, Vec<Value>) {
+    special_commit_system(ports, vips, isolation_window, committers, checkpointer, CHECKPOINT_BASE)
+}
+
+/// Builds the **split-vs-commit race**: `committers` race their batches
+/// (`100 + pid`) against `splitter`'s topology-bump install
+/// (`SPLIT_BASE + pid`) over a log window of one `(ports,vips)`-live cell
+/// per participant — the model of [`Store::split_shard`]'s reconfig record
+/// racing concurrent VIP/guest batches through the shard's own log.
+///
+/// [`PlacementSafety`] over the result is exactly the split-safety claim:
+/// the bump and every batch place **exactly once** (no committed op is
+/// dropped by the migration or replayed into both sides of the split), and
+/// terminal states place every participant.
+///
+/// Returns the system, the log cells, and the participants' proposal set.
+///
+/// # Panics
+///
+/// Panics if `ports == 0`, `vips > ports`, or the splitter is also a
+/// committer.
+///
+/// [`Store::split_shard`]: crate::store::Store::split_shard
+pub fn split_commit_system(
+    ports: usize,
+    vips: usize,
+    isolation_window: u8,
+    committers: ProcessSet,
+    splitter: Option<usize>,
+) -> (System<MaybeParticipant<LogPlaceProgram>>, Vec<ObjectId>, Vec<Value>) {
+    special_commit_system(ports, vips, isolation_window, committers, splitter, SPLIT_BASE)
+}
+
+/// Shared body of [`checkpointed_commit_system`] and
+/// [`split_commit_system`]: one distinguished port placing a marker value
+/// (`marker_base + pid`) against the committers' batches.
+fn special_commit_system(
+    ports: usize,
+    vips: usize,
+    isolation_window: u8,
+    committers: ProcessSet,
+    special: Option<usize>,
+    marker_base: u32,
+) -> (System<MaybeParticipant<LogPlaceProgram>>, Vec<ObjectId>, Vec<Value>) {
     assert!(ports > 0 && vips <= ports, "need 0 < ports and vips ≤ ports");
-    if let Some(ck) = checkpointer {
+    if let Some(sp) = special {
         assert!(
-            !committers.iter().any(|p| p.index() == ck),
-            "the checkpointer must not also commit a batch"
+            !committers.iter().any(|p| p.index() == sp),
+            "the marker port must not also commit a batch"
         );
     }
+    let checkpointer = special;
     let participants: ProcessSet = committers
         .iter()
         .map(|p| p.index())
@@ -293,7 +340,7 @@ pub fn checkpointed_commit_system(
         .collect();
     let value_of = |pid: usize| {
         if checkpointer == Some(pid) {
-            Value::Num(CHECKPOINT_BASE + pid as u32)
+            Value::Num(marker_base + pid as u32)
         } else {
             Value::Num(100 + pid as u32)
         }
@@ -322,10 +369,7 @@ mod tests {
         let mut runner = Runner::new(sys);
         runner.run_until_terminated(&Schedule::solo(ProcessId::new(0), 1), 100);
         assert_eq!(runner.system().decision(ProcessId::new(0)), Some(Value::Num(100)));
-        assert_eq!(
-            runner.system().object(objs.cell).consensus_decision(),
-            Some(Value::Num(100))
-        );
+        assert_eq!(runner.system().object(objs.cell).consensus_decision(), Some(Value::Num(100)));
     }
 
     #[test]
@@ -376,19 +420,10 @@ mod tests {
 
     #[test]
     fn solo_checkpointer_installs_its_checkpoint() {
-        let (sys, cells, _) = checkpointed_commit_system(
-            3,
-            1,
-            1,
-            ProcessSet::EMPTY,
-            Some(0),
-        );
+        let (sys, cells, _) = checkpointed_commit_system(3, 1, 1, ProcessSet::EMPTY, Some(0));
         let mut runner = Runner::new(sys);
         runner.run_until_terminated(&Schedule::solo(ProcessId::new(0), 1), 100);
-        assert_eq!(
-            runner.system().decision(ProcessId::new(0)),
-            Some(Value::Num(CHECKPOINT_BASE)),
-        );
+        assert_eq!(runner.system().decision(ProcessId::new(0)), Some(Value::Num(CHECKPOINT_BASE)),);
         assert_eq!(
             runner.system().object(cells[0]).consensus_decision(),
             Some(Value::Num(CHECKPOINT_BASE)),
@@ -397,17 +432,26 @@ mod tests {
     }
 
     #[test]
+    fn solo_splitter_installs_its_bump() {
+        let (sys, cells, _) = split_commit_system(3, 1, 1, ProcessSet::EMPTY, Some(2));
+        let mut runner = Runner::new(sys);
+        runner.run_until_terminated(&Schedule::solo(ProcessId::new(2), 1), 100);
+        assert_eq!(runner.system().decision(ProcessId::new(2)), Some(Value::Num(SPLIT_BASE + 2)),);
+        assert_eq!(
+            runner.system().object(cells[0]).consensus_decision(),
+            Some(Value::Num(SPLIT_BASE + 2)),
+            "the bump occupies the first free cell"
+        );
+    }
+
+    #[test]
     fn checkpoint_race_small_exhaustive() {
         // VIP commit + guest commit + guest checkpoint, every schedule.
         let committers = ProcessSet::from_indices([0, 1]);
-        let (sys, cells, proposals) =
-            checkpointed_commit_system(3, 1, 1, committers, Some(2));
+        let (sys, cells, proposals) = checkpointed_commit_system(3, 1, 1, committers, Some(2));
         let explorer = Explorer::new(ExploreConfig::default().with_max_states(400_000));
-        let safety = PlacementSafety {
-            cells,
-            participants: ProcessSet::from_indices([0, 1, 2]),
-            proposals,
-        };
+        let safety =
+            PlacementSafety { cells, participants: ProcessSet::from_indices([0, 1, 2]), proposals };
         let result = explorer.explore(&sys, &[&safety, &NoFaults]);
         assert!(result.ok(), "violations: {:?}", result.violations.first());
         assert!(!result.truncated);

@@ -1,16 +1,33 @@
 //! The operation layer: store operations, responses, and same-shard
 //! batching into a single universal-construction append.
 //!
-//! A [`Batch`] is the unit the per-shard log agrees on: one log cell commits
-//! an entire batch of same-shard operations atomically, so a client issuing
-//! `k` operations against one shard pays for **one** consensus-backed append
-//! instead of `k`.
+//! The unit the per-shard log agrees on is a [`ShardCmd`]: either a client
+//! [`Batch`] (one log cell commits an entire batch of same-shard operations
+//! atomically, so a client issuing `k` operations against one shard pays
+//! for **one** consensus-backed append instead of `k`) or a [`SplitSpec`]
+//! — the topology-bump half of a live shard split, installed through the
+//! same consensus path so it linearizes against concurrent batches.
+//!
+//! Every batch is stamped with the topology version it was planned under
+//! ([`Batch::planned_at`]). A shard state remembers the version of its own
+//! last split ([`ShardState::epoch`]); a batch planned before that split
+//! may route keys that have since moved away, so it is rejected whole with
+//! [`StoreResp::Moved`] **at the linearization point** — deterministically,
+//! by every replica — and the client re-plans it against the published
+//! topology. This is what makes a split safe: an operation either commits
+//! before the bump (and its keys migrate with the sealed state) or lands
+//! after it (and is bounced to the shard that now owns its keys); it is
+//! never applied twice and never dropped.
 
 use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
 
 use apc_universal::seq::SequentialSpec;
 
-/// A store key. Keys are routed to shards by [`crate::router::ShardRouter`].
+use crate::router::rendezvous_score;
+
+/// A store key. Keys are routed to shards by
+/// [`ShardTopology`](crate::router::ShardTopology).
 pub type Key = String;
 
 /// One client-visible store operation.
@@ -68,6 +85,16 @@ pub enum StoreResp {
     },
     /// Response of `Scan`: the matching entries in key order.
     Entries(Vec<(Key, u64)>),
+    /// The shard split after this op's batch was planned: nothing was
+    /// applied; re-plan against a topology of at least `epoch` and retry.
+    /// Client sessions resolve this internally
+    /// ([`Client::execute`](crate::store::Client::execute)); callers only
+    /// see it when driving sub-batches by hand.
+    Moved {
+        /// The rejecting shard's split epoch (the minimum topology version
+        /// that routes correctly for it).
+        epoch: u64,
+    },
 }
 
 impl StoreResp {
@@ -84,8 +111,51 @@ impl StoreResp {
     }
 }
 
-/// The per-shard state: an ordered map, scannable by range.
-pub type ShardState = BTreeMap<Key, u64>;
+/// The per-shard state: an ordered map, scannable by range, plus the
+/// topology **epoch** of the shard's last split.
+///
+/// Dereferences to the underlying `BTreeMap<Key, u64>` — the epoch is
+/// metadata the operational semantics never read, so map-level access stays
+/// as direct as it was when this type *was* the map.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ShardState {
+    entries: BTreeMap<Key, u64>,
+    /// The topology version of this shard's most recent split (or the
+    /// version whose split created it). Batches planned earlier are stale.
+    epoch: u64,
+}
+
+impl ShardState {
+    /// An empty state at epoch 0.
+    pub fn new() -> Self {
+        ShardState::default()
+    }
+
+    /// A state preloaded with `entries` at the given split `epoch` — how a
+    /// freshly split-off shard is born, and how recovery rebuilds one.
+    pub fn with_entries(entries: BTreeMap<Key, u64>, epoch: u64) -> Self {
+        ShardState { entries, epoch }
+    }
+
+    /// The topology version of this shard's most recent split.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Deref for ShardState {
+    type Target = BTreeMap<Key, u64>;
+
+    fn deref(&self) -> &BTreeMap<Key, u64> {
+        &self.entries
+    }
+}
+
+impl DerefMut for ShardState {
+    fn deref_mut(&mut self) -> &mut BTreeMap<Key, u64> {
+        &mut self.entries
+    }
+}
 
 /// Applies one operation to a shard state — the single place the
 /// operational semantics live, shared by the real store, the sequential
@@ -108,35 +178,113 @@ pub fn apply_op(state: &mut ShardState, op: &StoreOp) -> StoreResp {
                 return StoreResp::Entries(Vec::new());
             }
             StoreResp::Entries(
-                state
-                    .range(from.clone()..to.clone())
-                    .map(|(k, v)| (k.clone(), *v))
-                    .collect(),
+                state.range(from.clone()..to.clone()).map(|(k, v)| (k.clone(), *v)).collect(),
             )
         }
     }
 }
 
-/// A batch of same-shard operations committed by **one** log append.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
-pub struct Batch(pub Vec<StoreOp>);
+/// A batch of same-shard operations committed by **one** log append,
+/// stamped with the topology version it was planned under.
+///
+/// The ops are `Arc`-shared: a batch is cloned many times on its way
+/// through the log (the announce slot, every consensus proposal, the
+/// agreed cell), and sharing makes each of those clones O(1) instead of a
+/// deep copy of every key string.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Batch {
+    /// The topology version the router used to place this batch's keys.
+    pub planned_at: u64,
+    /// The operations, in invocation order.
+    pub ops: std::sync::Arc<Vec<StoreOp>>,
+}
+
+impl Batch {
+    /// A batch of `ops` planned under topology version `planned_at`.
+    pub fn new(planned_at: u64, ops: Vec<StoreOp>) -> Self {
+        Batch { planned_at, ops: std::sync::Arc::new(ops) }
+    }
+}
+
+/// The topology-bump half of a live shard split, installed through the
+/// shard's own consensus log (inside a sealed
+/// [`ReconfigRecord`](apc_universal::ReconfigRecord) cell, see
+/// [`Store::split_shard`](crate::store::Store::split_shard)).
+///
+/// Applying it partitions the shard's entries by pairwise rendezvous
+/// between the shard's own seed and `child_seed`: the keys the child wins
+/// are drained out of this shard and returned
+/// ([`StoreResp::Entries`]) so the split driver can install them into the
+/// new shard before publishing the bumped topology. It also advances the
+/// shard's [`ShardState::epoch`] to `version`, after which older batches
+/// bounce with [`StoreResp::Moved`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SplitSpec {
+    /// The rendezvous seed of the new child shard.
+    pub child_seed: u64,
+    /// The bumped topology version.
+    pub version: u64,
+}
+
+/// One agreed log cell's command: a client batch or a split bump.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ShardCmd {
+    /// A client batch (the common case).
+    Batch(Batch),
+    /// A live-split topology bump (admin path only).
+    Split(SplitSpec),
+}
 
 /// The sequential specification of one shard: an ordered map whose log
-/// entries are whole [`Batch`]es.
+/// entries are whole [`ShardCmd`]s. Each shard's spec carries its own
+/// rendezvous `seed` (the split partition rule needs it) and the topology
+/// version the shard was created at (its initial epoch).
 #[derive(Copy, Clone, Debug, Default)]
-pub struct ShardSpec;
+pub struct ShardSpec {
+    /// This shard's rendezvous seed.
+    pub seed: u64,
+    /// The topology version whose split created this shard (0 for roots).
+    pub created_at: u64,
+}
 
 impl SequentialSpec for ShardSpec {
     type State = ShardState;
-    type Op = Batch;
+    type Op = ShardCmd;
     type Resp = Vec<StoreResp>;
 
     fn init(&self) -> ShardState {
-        BTreeMap::new()
+        ShardState { entries: BTreeMap::new(), epoch: self.created_at }
     }
 
-    fn apply(&self, state: &mut ShardState, batch: &Batch) -> Vec<StoreResp> {
-        batch.0.iter().map(|op| apply_op(state, op)).collect()
+    fn apply(&self, state: &mut ShardState, cmd: &ShardCmd) -> Vec<StoreResp> {
+        match cmd {
+            ShardCmd::Batch(batch) => {
+                if batch.planned_at < state.epoch {
+                    // Planned before this shard's latest split: some of its
+                    // keys may have moved. Reject deterministically; the
+                    // client re-plans under the published topology.
+                    let epoch = state.epoch;
+                    return batch.ops.iter().map(|_| StoreResp::Moved { epoch }).collect();
+                }
+                batch.ops.iter().map(|op| apply_op(state, op)).collect()
+            }
+            ShardCmd::Split(split) => {
+                let own = self.seed;
+                let outgoing: Vec<(Key, u64)> = state
+                    .entries
+                    .iter()
+                    .filter(|(k, _)| {
+                        rendezvous_score(split.child_seed, k) > rendezvous_score(own, k)
+                    })
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect();
+                for (k, _) in &outgoing {
+                    state.entries.remove(k);
+                }
+                state.epoch = split.version;
+                vec![StoreResp::Entries(outgoing)]
+            }
+        }
     }
 }
 
@@ -181,13 +329,16 @@ mod tests {
 
     #[test]
     fn batch_applies_in_order() {
-        let spec = ShardSpec;
+        let spec = ShardSpec::default();
         let mut s = spec.init();
-        let batch = Batch(vec![
-            StoreOp::Put("x".into(), 1),
-            StoreOp::Cas { key: "x".into(), expect: Some(1), new: 2 },
-            StoreOp::Get("x".into()),
-        ]);
+        let batch = ShardCmd::Batch(Batch::new(
+            0,
+            vec![
+                StoreOp::Put("x".into(), 1),
+                StoreOp::Cas { key: "x".into(), expect: Some(1), new: 2 },
+                StoreOp::Get("x".into()),
+            ],
+        ));
         let resps = spec.apply(&mut s, &batch);
         assert_eq!(
             resps,
@@ -197,6 +348,55 @@ mod tests {
                 StoreResp::Value(Some(2)),
             ]
         );
+    }
+
+    #[test]
+    fn stale_batches_bounce_whole() {
+        let spec = ShardSpec { seed: 7, created_at: 0 };
+        let mut s = spec.init();
+        spec.apply(&mut s, &ShardCmd::Batch(Batch::new(0, vec![StoreOp::Put("a".into(), 1)])));
+        spec.apply(&mut s, &ShardCmd::Split(SplitSpec { child_seed: 99, version: 3 }));
+        assert_eq!(s.epoch(), 3);
+        // A batch planned under the old topology bounces without applying.
+        let resps = spec.apply(
+            &mut s,
+            &ShardCmd::Batch(Batch::new(
+                2,
+                vec![StoreOp::Put("b".into(), 2), StoreOp::Get("a".into())],
+            )),
+        );
+        assert_eq!(resps, vec![StoreResp::Moved { epoch: 3 }, StoreResp::Moved { epoch: 3 }]);
+        assert!(!s.contains_key("b"), "a bounced batch must not write");
+        // A re-planned batch at the new version applies.
+        let resps =
+            spec.apply(&mut s, &ShardCmd::Batch(Batch::new(3, vec![StoreOp::Get("b".into())])));
+        assert_eq!(resps, vec![StoreResp::Value(None)]);
+    }
+
+    #[test]
+    fn split_partitions_exactly_the_child_winners() {
+        let spec = ShardSpec { seed: 42, created_at: 0 };
+        let mut s = spec.init();
+        for i in 0..64 {
+            s.insert(format!("key/{i:02}"), i);
+        }
+        let child_seed = 0xfeed;
+        let expect_out: Vec<Key> = s
+            .keys()
+            .filter(|k| rendezvous_score(child_seed, k) > rendezvous_score(42, k))
+            .cloned()
+            .collect();
+        let resps = spec.apply(&mut s, &ShardCmd::Split(SplitSpec { child_seed, version: 1 }));
+        let outgoing = match &resps[0] {
+            StoreResp::Entries(entries) => entries.clone(),
+            other => panic!("split returned {other:?}"),
+        };
+        assert_eq!(outgoing.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), expect_out);
+        assert!(!outgoing.is_empty(), "64 keys must yield some child winners");
+        assert_eq!(outgoing.len() + s.len(), 64, "partition, not loss");
+        for (k, _) in &outgoing {
+            assert!(!s.contains_key(k), "moved keys leave the parent");
+        }
     }
 
     #[test]

@@ -18,16 +18,30 @@
 //! absorbs every request that arrived while the previous round was in
 //! flight.
 //!
-//! # File format (version 1, little-endian)
+//! # File format (version 2, little-endian)
 //!
 //! ```text
 //! header:  "APCS" | version u32 | shard_count u32
+//! topology:
+//!          topo_version u64
+//!          node ×shard_count: seed u64 | parent u32 (u32::MAX = root) |
+//!                             created_at u64
+//!          topo_checksum u64           (FNV-1a of the section before it)
 //! frame ×shard_count:
-//!          log_index u64 | entry_count u64 | payload_len u64
+//!          log_index u64 | epoch u64 | entry_count u64 | payload_len u64
 //!          payload (entry ×entry_count: key_len u32 | key bytes | value u64)
 //!          frame_checksum u64          (FNV-1a of the frame before it)
 //! footer:  file_checksum u64           (FNV-1a of everything before it)
 //! ```
+//!
+//! Version 2 added the topology section and the per-frame `epoch`: a
+//! snapshot taken after live shard splits must restore the **split tree**
+//! (rendezvous seeds, parents, creation versions) or recovered routing
+//! would disagree with the recovered data placement. Version-1 files (no
+//! topology section, no epochs, keys placed by the old `FNV % S` map) are
+//! still readable: decode upgrades them to a fresh root topology and
+//! re-partitions their entries under rendezvous placement, so pre-split
+//! snapshots survive the router change.
 //!
 //! Every decode failure is a typed [`PersistError`] — corruption and
 //! truncation are detected by checksums and bounds checks, never by a
@@ -41,14 +55,14 @@ use std::sync::{Condvar, Mutex};
 
 use crate::admission::AdmissionError;
 use crate::ops::ShardState;
-use crate::router::fnv1a64;
+use crate::router::{fnv1a64, ShardTopology};
 use crate::store::Store;
 
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 4] = *b"APCS";
 
 /// Current snapshot format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
 /// Errors of the persistence layer. Every failure mode is typed; decoding
 /// never panics on corrupt input.
@@ -100,9 +114,7 @@ impl fmt::Display for PersistError {
             PersistError::ChecksumMismatch { shard: Some(s) } => {
                 write!(f, "checksum mismatch in shard frame {s}")
             }
-            PersistError::ChecksumMismatch { shard: None } => {
-                f.write_str("file checksum mismatch")
-            }
+            PersistError::ChecksumMismatch { shard: None } => f.write_str("file checksum mismatch"),
             PersistError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
         }
     }
@@ -159,11 +171,15 @@ pub struct ShardSnapshot {
     pub state: ShardState,
 }
 
-/// A whole-store snapshot: one sealed [`ShardSnapshot`] per shard, in
-/// router order. Produced by [`Store::checkpoint`], serialized by
-/// [`StoreSnapshot::write_to`], decoded by [`StoreSnapshot::read_from`].
+/// A whole-store snapshot: the shard topology plus one sealed
+/// [`ShardSnapshot`] per shard, in shard-id order. Produced by
+/// [`Store::checkpoint`], serialized by [`StoreSnapshot::write_to`],
+/// decoded by [`StoreSnapshot::read_from`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StoreSnapshot {
+    /// The shard topology (split tree, rendezvous seeds, version) the
+    /// states were sealed under.
+    pub topology: ShardTopology,
     /// Per-shard sealed states, indexed by shard id.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -174,20 +190,31 @@ impl StoreSnapshot {
         self.shards.iter().map(|s| s.state.len() as u64).sum()
     }
 
-    /// Serializes the snapshot into the version-1 frame format.
+    /// Serializes the snapshot into the version-2 frame format.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64 + self.shards.len() * 64);
         buf.extend_from_slice(&MAGIC);
         put_u32(&mut buf, VERSION);
         put_u32(&mut buf, self.shards.len() as u32);
+        let topo_start = buf.len();
+        put_u64(&mut buf, self.topology.version());
+        for s in 0..self.topology.shards() {
+            let node = self.topology.node(s);
+            put_u64(&mut buf, node.seed);
+            put_u32(&mut buf, node.parent.unwrap_or(u32::MAX));
+            put_u64(&mut buf, node.created_at);
+        }
+        let topo_checksum = fnv1a64(&buf[topo_start..]);
+        put_u64(&mut buf, topo_checksum);
         for shard in &self.shards {
             let frame_start = buf.len();
             put_u64(&mut buf, shard.log_index);
+            put_u64(&mut buf, shard.state.epoch());
             put_u64(&mut buf, shard.state.len() as u64);
             let payload_len_at = buf.len();
             put_u64(&mut buf, 0); // payload_len, patched below
             let payload_start = buf.len();
-            for (key, value) in &shard.state {
+            for (key, value) in shard.state.iter() {
                 put_u32(&mut buf, key.len() as u32);
                 buf.extend_from_slice(key.as_bytes());
                 put_u64(&mut buf, *value);
@@ -224,28 +251,55 @@ impl StoreSnapshot {
             return Err(PersistError::BadMagic);
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(PersistError::UnsupportedVersion { found: version });
         }
         let shard_count = r.u32()? as usize;
+        let (topology, topo_version) = if version >= 2 {
+            let topo_start = r.pos;
+            let topo_version = r.u64()?;
+            let mut records = Vec::with_capacity(shard_count.min(1024));
+            for _ in 0..shard_count {
+                let seed = r.u64()?;
+                let parent = r.u32()?;
+                let created_at = r.u64()?;
+                records.push((seed, (parent != u32::MAX).then_some(parent), created_at));
+            }
+            let topo_expected = fnv1a64(&body[topo_start..r.pos]);
+            if r.u64()? != topo_expected {
+                return Err(PersistError::Corrupt("topology section checksum mismatch"));
+            }
+            let topology = ShardTopology::from_nodes(topo_version, &records)
+                .ok_or(PersistError::Corrupt("topology nodes do not form a split forest"))?;
+            (topology, topo_version)
+        } else {
+            // Version 1 predates live splits: no topology section, no
+            // per-frame epoch. The writer's placement was `fresh(S)` root
+            // rendezvous by construction, so upgrading on read is lossless.
+            if shard_count == 0 {
+                return Err(PersistError::Corrupt("a snapshot needs at least one shard"));
+            }
+            (ShardTopology::fresh(shard_count), 0)
+        };
         let mut shards = Vec::with_capacity(shard_count.min(1024));
         for shard_id in 0..shard_count {
             let frame_start = r.pos;
             let log_index = r.u64()?;
+            let epoch = if version >= 2 { r.u64()? } else { 0 };
             let entry_count = r.u64()?;
             let payload_len = r.u64()? as usize;
             let payload_end = r
                 .pos
                 .checked_add(payload_len)
                 .ok_or(PersistError::Corrupt("payload length overflows"))?;
-            let mut state = ShardState::new();
+            let mut entries = std::collections::BTreeMap::new();
             for _ in 0..entry_count {
                 let key_len = r.u32()? as usize;
                 let key = std::str::from_utf8(r.take(key_len)?)
                     .map_err(|_| PersistError::Corrupt("key is not valid UTF-8"))?
                     .to_owned();
                 let value = r.u64()?;
-                state.insert(key, value);
+                entries.insert(key, value);
             }
             if r.pos != payload_end {
                 return Err(PersistError::Corrupt("payload length disagrees with entries"));
@@ -254,12 +308,33 @@ impl StoreSnapshot {
             if r.u64()? != expected {
                 return Err(PersistError::ChecksumMismatch { shard: Some(shard_id as u32) });
             }
-            shards.push(ShardSnapshot { log_index, state });
+            if epoch > topo_version {
+                return Err(PersistError::Corrupt("shard epoch exceeds the topology version"));
+            }
+            shards
+                .push(ShardSnapshot { log_index, state: ShardState::with_entries(entries, epoch) });
         }
         if r.pos != body.len() {
             return Err(PersistError::Corrupt("trailing bytes after the last frame"));
         }
-        Ok(StoreSnapshot { shards })
+        if version < 2 {
+            // The v1 writer placed keys by `FNV % S`, not rendezvous, so the
+            // old frames do not match the upgraded topology's placement.
+            // Re-partition the union of all entries under the new topology
+            // (each frame keeps its own log-index watermark — the old logs
+            // are gone, the index only positions the recovered cursor).
+            let mut redistributed: Vec<std::collections::BTreeMap<String, u64>> =
+                vec![Default::default(); shard_count];
+            for shard in &shards {
+                for (key, value) in shard.state.iter() {
+                    redistributed[topology.shard_of(key)].insert(key.clone(), *value);
+                }
+            }
+            for (shard, entries) in shards.iter_mut().zip(redistributed) {
+                shard.state = ShardState::with_entries(entries, 0);
+            }
+        }
+        Ok(StoreSnapshot { topology, shards })
     }
 
     /// Writes the snapshot durably to `path`: encode, write to a sibling
@@ -385,7 +460,11 @@ impl Drop for LeaderGuard<'_> {
 impl Persister {
     /// A persister flushing snapshots to `path`.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Persister { path: path.into(), state: Mutex::new(FlushState::default()), arrived: Condvar::new() }
+        Persister {
+            path: path.into(),
+            state: Mutex::new(FlushState::default()),
+            arrived: Condvar::new(),
+        }
     }
 
     /// The snapshot path.
@@ -424,10 +503,7 @@ impl Persister {
                 return if st.completed_ok >= my_gen {
                     Ok(st.flushes)
                 } else {
-                    Err(st
-                        .last_error
-                        .clone()
-                        .expect("a failed covering flush recorded its error"))
+                    Err(st.last_error.clone().expect("a failed covering flush recorded its error"))
                 };
             }
             if !st.flushing {
@@ -451,10 +527,7 @@ impl Persister {
                 }
                 self.arrived.notify_all();
             } else {
-                st = self
-                    .arrived
-                    .wait(st)
-                    .expect("persister state poisoned");
+                st = self.arrived.wait(st).expect("persister state poisoned");
             }
         }
     }
@@ -476,12 +549,12 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .ok_or(PersistError::Corrupt("length overflows"))?;
+        let end = self.pos.checked_add(n).ok_or(PersistError::Corrupt("length overflows"))?;
         if end > self.buf.len() {
-            return Err(PersistError::Truncated { needed: n, available: self.buf.len() - self.pos });
+            return Err(PersistError::Truncated {
+                needed: n,
+                available: self.buf.len() - self.pos,
+            });
         }
         let slice = &self.buf[self.pos..end];
         self.pos = end;
@@ -508,6 +581,7 @@ mod tests {
         let mut b = ShardState::new();
         b.insert("γλώσσα".into(), 3); // multi-byte UTF-8 keys round-trip
         StoreSnapshot {
+            topology: ShardTopology::fresh(2),
             shards: vec![
                 ShardSnapshot { log_index: 7, state: a },
                 ShardSnapshot { log_index: 11, state: b },
@@ -526,9 +600,115 @@ mod tests {
     #[test]
     fn empty_store_roundtrip() {
         let snap = StoreSnapshot {
+            topology: ShardTopology::fresh(1),
             shards: vec![ShardSnapshot { log_index: 0, state: ShardState::new() }],
         };
         assert_eq!(StoreSnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn split_topology_and_epochs_roundtrip() {
+        // A post-split snapshot: 3 shards, shard 0 split once (child = 2),
+        // parent and child carrying the split epoch.
+        let (topology, child) = ShardTopology::fresh(2).split(0);
+        let mut parent_state = std::collections::BTreeMap::new();
+        parent_state.insert("kept".to_string(), 1u64);
+        let mut child_state = std::collections::BTreeMap::new();
+        child_state.insert("moved".to_string(), 2u64);
+        let snap = StoreSnapshot {
+            topology: topology.clone(),
+            shards: vec![
+                ShardSnapshot { log_index: 9, state: ShardState::with_entries(parent_state, 1) },
+                ShardSnapshot { log_index: 4, state: ShardState::new() },
+                ShardSnapshot { log_index: 0, state: ShardState::with_entries(child_state, 1) },
+            ],
+        };
+        let decoded = StoreSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.topology.version(), 1);
+        assert_eq!(decoded.topology.node(child).parent, Some(0));
+        assert_eq!(decoded.shards[0].state.epoch(), 1);
+        assert_eq!(decoded.shards[2].state.epoch(), 1);
+        // Routing through the decoded topology matches the original.
+        for key in ["kept", "moved", "other/17"] {
+            assert_eq!(decoded.topology.shard_of(key), topology.shard_of(key));
+        }
+    }
+
+    /// Hand-encodes a version-1 snapshot (pre-topology format): header,
+    /// epoch-less frames, envelope.
+    fn encode_v1(shards: &[(u64, Vec<(&str, u64)>)]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        put_u32(&mut buf, 1);
+        put_u32(&mut buf, shards.len() as u32);
+        for (log_index, entries) in shards {
+            let frame_start = buf.len();
+            put_u64(&mut buf, *log_index);
+            put_u64(&mut buf, entries.len() as u64);
+            let payload_len_at = buf.len();
+            put_u64(&mut buf, 0);
+            let payload_start = buf.len();
+            for (key, value) in entries {
+                put_u32(&mut buf, key.len() as u32);
+                buf.extend_from_slice(key.as_bytes());
+                put_u64(&mut buf, *value);
+            }
+            let payload_len = (buf.len() - payload_start) as u64;
+            buf[payload_len_at..payload_len_at + 8].copy_from_slice(&payload_len.to_le_bytes());
+            let sum = fnv1a64(&buf[frame_start..]);
+            put_u64(&mut buf, sum);
+        }
+        let sum = fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn version1_snapshots_upgrade_on_read() {
+        // A PR-3-era file: 2 shards, keys placed by the old `FNV % S` map.
+        let bytes = encode_v1(&[(7, vec![("alpha", 1), ("beta", 2)]), (11, vec![("gamma", 3)])]);
+        let decoded = StoreSnapshot::decode(&bytes).expect("v1 files stay readable");
+        assert_eq!(decoded.topology, ShardTopology::fresh(2));
+        assert_eq!(decoded.entries(), 3, "every v1 entry survives the upgrade");
+        // The upgrade re-partitions under rendezvous placement: every key
+        // now lives on exactly the shard the new router sends it to.
+        for (key, value) in [("alpha", 1u64), ("beta", 2), ("gamma", 3)] {
+            let owner = decoded.topology.shard_of(key);
+            assert_eq!(decoded.shards[owner].state.get(key), Some(&value));
+        }
+        assert_eq!(decoded.shards[0].state.epoch(), 0);
+        // Watermarks are preserved per shard id.
+        assert_eq!(decoded.shards[0].log_index, 7);
+        assert_eq!(decoded.shards[1].log_index, 11);
+    }
+
+    #[test]
+    fn corrupt_topology_section_is_distinguishable() {
+        // Flip a byte inside the topology node records and reseal the
+        // envelope: the error must point at the topology section, not the
+        // whole-file checksum.
+        let mut bytes = sample().encode();
+        bytes[20] ^= 0x10; // inside the topology section (after the 12-byte header)
+        let cut = bytes.len() - 8;
+        bytes.truncate(cut);
+        let sum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            StoreSnapshot::decode(&bytes).unwrap_err(),
+            PersistError::Corrupt("topology section checksum mismatch")
+        );
+    }
+
+    #[test]
+    fn epoch_beyond_topology_version_is_corrupt() {
+        let mut snap = sample();
+        snap.shards[0] =
+            ShardSnapshot { log_index: 7, state: ShardState::with_entries(Default::default(), 5) };
+        assert_eq!(
+            StoreSnapshot::decode(&snap.encode()).unwrap_err(),
+            PersistError::Corrupt("shard epoch exceeds the topology version")
+        );
     }
 
     #[test]
@@ -573,10 +753,7 @@ mod tests {
         };
         let mut bad_magic = sample().encode();
         bad_magic[0] = b'X';
-        assert_eq!(
-            StoreSnapshot::decode(&reseal(bad_magic)).unwrap_err(),
-            PersistError::BadMagic
-        );
+        assert_eq!(StoreSnapshot::decode(&reseal(bad_magic)).unwrap_err(), PersistError::BadMagic);
         let mut bad_version = sample().encode();
         bad_version[4..8].copy_from_slice(&99u32.to_le_bytes());
         assert_eq!(

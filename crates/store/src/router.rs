@@ -1,15 +1,41 @@
-//! The shard router: key placement and batch planning.
+//! The shard router: rendezvous-hashed key placement over a **versioned
+//! shard topology**, and batch planning.
 //!
-//! Keys hash across `S` independent shards (FNV-1a over the key bytes), so
-//! each shard is its own universal object and shards make progress — and
-//! scale — independently. [`BatchPlan`] turns one client batch into at most
-//! one sub-batch per shard (the batching contract of the operation layer)
-//! and remembers how to reassemble responses in invocation order, merging
-//! broadcast scans across shards.
+//! Placement is hierarchical rendezvous (HRW) hashing. The initial `S`
+//! shards are the *roots*: a key belongs to the root whose seeded hash of
+//! the key is highest (the classic highest-random-weight rule, replacing
+//! the old static `FNV % S` map). A **live split** of shard `p` attaches a
+//! fresh child shard `c` under `p`: keys currently owned by `p` re-rendezvous
+//! pairwise between `p` and `c` — `c` takes exactly the keys whose
+//! `c`-seeded hash beats their `p`-seeded hash (≈ half). Children are
+//! consulted in split order, so a key's owner is a deterministic walk down
+//! the split tree.
+//!
+//! Two properties fall out of this structure:
+//!
+//! * **minimal disruption** — a split moves keys *only* from the split
+//!   shard *only* to the new shard; every other placement in the store is
+//!   untouched (property-tested in `tests/store_oracle.rs`);
+//! * **local migration** — the split shard's sealed state alone contains
+//!   every key that moves, so a live split migrates from one shard's
+//!   checkpoint without touching the others.
+//!
+//! Each topology carries a **version**, bumped by every split. Batches are
+//! stamped with the version they were planned under
+//! ([`Batch::planned_at`](crate::ops::Batch)); a shard whose state has seen
+//! a later split rejects stale sub-batches with
+//! [`StoreResp::Moved`](crate::ops::StoreResp) at the linearization point,
+//! and the client re-plans them against the published topology (see
+//! [`Client::execute`](crate::store::Client::execute)).
+//!
+//! [`BatchPlan`] turns one client batch into at most one sub-batch per
+//! shard (the batching contract of the operation layer) and remembers how
+//! to reassemble responses in invocation order, merging broadcast scans
+//! across shards.
 
 use crate::ops::{Key, StoreOp, StoreResp};
 
-/// FNV-1a 64-bit: key placement here, frame checksums in
+/// FNV-1a 64-bit: key digests here, frame checksums in
 /// [`persist`](crate::persist) — one implementation for both.
 pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -20,37 +46,167 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Routes keys to shards by hashing.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub struct ShardRouter {
-    shards: usize,
+/// The rendezvous score of `key` for a shard with the given `seed`: the
+/// highest score in a candidate set owns the key.
+///
+/// The key digest is mixed with the seed through a SplitMix64 finalizer —
+/// FNV alone has too little avalanche for *cross-seed ordering* to decorrelate
+/// (a raw seeded FNV makes one seed win almost every key).
+pub(crate) fn rendezvous_score(seed: u64, key: &str) -> u64 {
+    splitmix64(seed ^ fnv1a64(key.as_bytes()))
 }
 
-impl ShardRouter {
-    /// A router over `shards` shards.
+/// One shard's entry in the topology tree.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TopoNode {
+    /// The rendezvous seed identifying this shard.
+    pub seed: u64,
+    /// The shard this one was split off from (`None` for the initial
+    /// roots).
+    pub parent: Option<u32>,
+    /// The topology version whose split created this shard (0 for roots).
+    pub created_at: u64,
+    /// Shards split off this one, in split order.
+    children: Vec<u32>,
+}
+
+/// A versioned shard topology: the rendezvous tree keys route through.
+///
+/// Topologies are immutable values; a split produces a *new* topology with
+/// the version bumped (the store publishes it atomically next to the shard
+/// handles, see [`Store`](crate::store::Store)). Shard ids are dense
+/// (`0..shards()`) and stable across splits: a split only appends.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardTopology {
+    version: u64,
+    nodes: Vec<TopoNode>,
+}
+
+impl ShardTopology {
+    /// A fresh topology of `shards` root shards at version 0.
     ///
     /// # Panics
     ///
     /// Panics if `shards == 0`.
-    pub fn new(shards: usize) -> Self {
+    pub fn fresh(shards: usize) -> Self {
         assert!(shards > 0, "a store needs at least one shard");
-        ShardRouter { shards }
+        ShardTopology {
+            version: 0,
+            nodes: (0..shards as u64)
+                .map(|i| TopoNode {
+                    seed: root_seed(i),
+                    parent: None,
+                    created_at: 0,
+                    children: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a topology from persisted node records (`seed`, `parent`,
+    /// `created_at` per shard, in shard-id order); the inverse of iterating
+    /// [`ShardTopology::node`].
+    ///
+    /// Returns `None` if the records do not form a forest (a parent id at
+    /// or above its child's, which also rules out cycles).
+    pub fn from_nodes(version: u64, records: &[(u64, Option<u32>, u64)]) -> Option<Self> {
+        if records.is_empty() {
+            return None;
+        }
+        let mut nodes: Vec<TopoNode> = records
+            .iter()
+            .map(|&(seed, parent, created_at)| TopoNode {
+                seed,
+                parent,
+                created_at,
+                children: Vec::new(),
+            })
+            .collect();
+        for (id, &(_, parent, created_at)) in records.iter().enumerate() {
+            if created_at > version {
+                return None;
+            }
+            if let Some(p) = parent {
+                // Children are always created after their parent, so a
+                // well-formed forest has strictly increasing ids down every
+                // path.
+                if p as usize >= id {
+                    return None;
+                }
+                nodes[p as usize].children.push(id as u32);
+            }
+        }
+        Some(ShardTopology { version, nodes })
+    }
+
+    /// The topology version (bumped by every split).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards
+        self.nodes.len()
     }
 
-    /// The shard owning `key` (FNV-1a of the key bytes, mod `S`).
+    /// The topology entry of shard `id`.
+    pub fn node(&self, id: usize) -> &TopoNode {
+        &self.nodes[id]
+    }
+
+    /// The shard owning `key`: rendezvous among the roots, then down the
+    /// split tree (each child claims the keys whose child-seeded score
+    /// beats the parent-seeded score, in split order).
     pub fn shard_of(&self, key: &str) -> usize {
-        (fnv1a64(key.as_bytes()) % self.shards as u64) as usize
+        let mut owner = self
+            .roots()
+            .max_by_key(|&r| (rendezvous_score(self.nodes[r].seed, key), r))
+            .expect("a topology has at least one root");
+        'descend: loop {
+            let here = rendezvous_score(self.nodes[owner].seed, key);
+            for &child in &self.nodes[owner].children {
+                if rendezvous_score(self.nodes[child as usize].seed, key) > here {
+                    owner = child as usize;
+                    continue 'descend;
+                }
+            }
+            return owner;
+        }
+    }
+
+    /// Splits shard `parent`: returns the bumped topology and the new
+    /// shard's id (always `self.shards()` — splits append).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a shard id.
+    pub fn split(&self, parent: usize) -> (ShardTopology, usize) {
+        assert!(parent < self.nodes.len(), "no shard {parent} to split");
+        let child = self.nodes.len();
+        let version = self.version + 1;
+        let mut nodes = self.nodes.clone();
+        nodes[parent].children.push(child as u32);
+        nodes.push(TopoNode {
+            // Unique and deterministic: derived from the parent's seed and
+            // the bump version, so a replayed split history yields the same
+            // tree.
+            seed: child_seed(self.nodes[parent].seed, version),
+            parent: Some(parent as u32),
+            created_at: version,
+            children: Vec::new(),
+        });
+        (ShardTopology { version, nodes }, child)
+    }
+
+    /// The initial (root) shard ids.
+    fn roots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes.iter().enumerate().filter(|(_, n)| n.parent.is_none()).map(|(i, _)| i)
     }
 
     /// Plans a batch: splits the ops into per-shard sub-batches, broadcast
     /// ops (scans) going to every shard.
     pub fn plan(&self, ops: Vec<StoreOp>) -> BatchPlan {
-        let mut per_shard: Vec<Vec<StoreOp>> = vec![Vec::new(); self.shards];
+        let mut per_shard: Vec<Vec<StoreOp>> = vec![Vec::new(); self.shards()];
         let mut slots = Vec::with_capacity(ops.len());
         for op in ops {
             match op.routing_key() {
@@ -60,8 +216,7 @@ impl ShardRouter {
                     per_shard[shard].push(op);
                 }
                 None => {
-                    let indices: Vec<usize> =
-                        per_shard.iter().map(Vec::len).collect();
+                    let indices: Vec<usize> = per_shard.iter().map(Vec::len).collect();
                     for sub in per_shard.iter_mut() {
                         sub.push(op.clone());
                     }
@@ -71,6 +226,23 @@ impl ShardRouter {
         }
         BatchPlan { per_shard, slots }
     }
+}
+
+fn root_seed(i: u64) -> u64 {
+    splitmix64(0x5eed_0000_0000_0000 ^ i)
+}
+
+fn child_seed(parent_seed: u64, version: u64) -> u64 {
+    splitmix64(parent_seed ^ version.rotate_left(32))
+}
+
+/// SplitMix64 (reference constants): seed whitening for the rendezvous
+/// identities here, op-stream derivation in [`workload`](crate::workload).
+pub(crate) fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Where one op's response comes from after the per-shard commits.
@@ -91,7 +263,7 @@ enum RespSlot {
     },
 }
 
-/// The result of [`ShardRouter::plan`]: per-shard sub-batches plus the
+/// The result of [`ShardTopology::plan`]: per-shard sub-batches plus the
 /// recipe for reassembling responses in the original invocation order.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BatchPlan {
@@ -107,11 +279,7 @@ impl BatchPlan {
 
     /// Shards with at least one op, in index order.
     pub fn active_shards(&self) -> impl Iterator<Item = usize> + '_ {
-        self.per_shard
-            .iter()
-            .enumerate()
-            .filter(|(_, sub)| !sub.is_empty())
-            .map(|(s, _)| s)
+        self.per_shard.iter().enumerate().filter(|(_, sub)| !sub.is_empty()).map(|(s, _)| s)
     }
 
     /// Takes ownership of the per-shard sub-batches (index = shard).
@@ -130,7 +298,10 @@ pub struct BatchReassembly {
 impl BatchReassembly {
     /// Merges `per_shard[s]` (responses of shard `s`'s sub-batch, in
     /// sub-batch order) back into one response vector in invocation order.
-    /// Broadcast scans are merged across shards into key order.
+    /// Broadcast scans are merged across shards into key order; if any
+    /// shard rejected its copy of a broadcast op as stale
+    /// ([`StoreResp::Moved`]), the merged response is `Moved` so the client
+    /// retries the whole (read-only) op against the fresh topology.
     ///
     /// # Panics
     ///
@@ -142,11 +313,19 @@ impl BatchReassembly {
                 RespSlot::Single { shard, index } => per_shard[*shard][*index].clone(),
                 RespSlot::Broadcast { indices } => {
                     let mut merged: Vec<(Key, u64)> = Vec::new();
+                    let mut moved_epoch = None;
                     for (s, &i) in indices.iter().enumerate() {
                         match &per_shard[s][i] {
                             StoreResp::Entries(entries) => merged.extend(entries.iter().cloned()),
+                            StoreResp::Moved { epoch } => {
+                                moved_epoch =
+                                    Some(moved_epoch.map_or(*epoch, |e: u64| e.max(*epoch)));
+                            }
                             other => panic!("broadcast slot returned {other:?}"),
                         }
+                    }
+                    if let Some(epoch) = moved_epoch {
+                        return StoreResp::Moved { epoch };
                     }
                     merged.sort_by(|a, b| a.0.cmp(&b.0));
                     StoreResp::Entries(merged)
@@ -162,23 +341,23 @@ mod tests {
 
     #[test]
     fn hashing_is_stable_and_in_range() {
-        let r = ShardRouter::new(4);
+        let t = ShardTopology::fresh(4);
         for key in ["", "a", "alpha", "zebra", "key/with/path"] {
-            let s = r.shard_of(key);
+            let s = t.shard_of(key);
             assert!(s < 4);
-            assert_eq!(s, r.shard_of(key), "stable placement for {key:?}");
+            assert_eq!(s, t.shard_of(key), "stable placement for {key:?}");
         }
         // One shard routes everything to 0.
-        let r1 = ShardRouter::new(1);
-        assert_eq!(r1.shard_of("anything"), 0);
+        let t1 = ShardTopology::fresh(1);
+        assert_eq!(t1.shard_of("anything"), 0);
     }
 
     #[test]
     fn hashing_spreads_keys() {
-        let r = ShardRouter::new(8);
+        let t = ShardTopology::fresh(8);
         let mut seen = [false; 8];
         for i in 0..256 {
-            seen[r.shard_of(&format!("key-{i}"))] = true;
+            seen[t.shard_of(&format!("key-{i}"))] = true;
         }
         assert!(seen.iter().all(|&b| b), "256 keys must touch all 8 shards");
     }
@@ -186,25 +365,103 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
-        let _ = ShardRouter::new(0);
+        let _ = ShardTopology::fresh(0);
+    }
+
+    #[test]
+    fn split_moves_keys_only_to_the_new_shard() {
+        let t = ShardTopology::fresh(4);
+        let hot = 2;
+        let (t2, fresh) = t.split(hot);
+        assert_eq!(fresh, 4);
+        assert_eq!(t2.version(), 1);
+        assert_eq!(t2.shards(), 5);
+        let mut moved = 0;
+        for i in 0..2048 {
+            let key = format!("key/{i}");
+            let before = t.shard_of(&key);
+            let after = t2.shard_of(&key);
+            if before != after {
+                assert_eq!(after, fresh, "{key} may only move to the new shard");
+                assert_eq!(before, hot, "{key} may only move away from the split shard");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "a split must actually relieve the split shard");
+    }
+
+    #[test]
+    fn repeated_splits_keep_balancing_the_same_shard() {
+        // Splitting shard 0 twice: the second split moves keys only from
+        // what shard 0 retained, never from the first child.
+        let t0 = ShardTopology::fresh(2);
+        let (t1, c1) = t0.split(0);
+        let (t2, c2) = t1.split(0);
+        assert_eq!((c1, c2), (2, 3));
+        assert_eq!(t2.version(), 2);
+        for i in 0..1024 {
+            let key = format!("k{i}");
+            let (a, b) = (t1.shard_of(&key), t2.shard_of(&key));
+            if a != b {
+                assert_eq!(b, c2);
+                assert_eq!(a, 0, "the second split must not disturb the first child");
+            }
+        }
+    }
+
+    #[test]
+    fn split_children_can_split_again() {
+        let t0 = ShardTopology::fresh(1);
+        let (t1, c1) = t0.split(0);
+        let (t2, c2) = t1.split(c1);
+        assert_eq!(t2.node(c2).parent, Some(c1 as u32));
+        for i in 0..1024 {
+            let key = format!("deep/{i}");
+            let (a, b) = (t1.shard_of(&key), t2.shard_of(&key));
+            if a != b {
+                assert_eq!(b, c2);
+                assert_eq!(a, c1, "a child split moves only the child's keys");
+            }
+        }
+    }
+
+    #[test]
+    fn from_nodes_roundtrips_and_validates() {
+        let (t, _) = ShardTopology::fresh(3).split(1);
+        let records: Vec<(u64, Option<u32>, u64)> = (0..t.shards())
+            .map(|s| {
+                let n = t.node(s);
+                (n.seed, n.parent, n.created_at)
+            })
+            .collect();
+        let rebuilt = ShardTopology::from_nodes(t.version(), &records).expect("valid records");
+        assert_eq!(rebuilt, t);
+        for key in ["a", "b", "c", "key/17"] {
+            assert_eq!(rebuilt.shard_of(key), t.shard_of(key));
+        }
+        // A child pointing at itself or a later id is rejected.
+        assert!(ShardTopology::from_nodes(1, &[(1, Some(0), 1), (2, Some(1), 1)]).is_none());
+        assert!(ShardTopology::from_nodes(0, &[(1, Some(1), 0)]).is_none());
+        assert!(ShardTopology::from_nodes(0, &[]).is_none());
+        // created_at beyond the topology version is rejected.
+        assert!(ShardTopology::from_nodes(0, &[(1, None, 0), (2, Some(0), 1)]).is_none());
     }
 
     #[test]
     fn plan_routes_and_reassembles_in_order() {
-        let r = ShardRouter::new(3);
+        let t = ShardTopology::fresh(3);
         let ops = vec![
             StoreOp::Put("a".into(), 1),
             StoreOp::Put("b".into(), 2),
             StoreOp::Get("a".into()),
         ];
-        let plan = r.plan(ops.clone());
+        let plan = t.plan(ops.clone());
         let (subs, reassembly) = plan.into_sub_batches();
         // Apply each sub-batch against a scratch state to fake shard commits.
         let mut per_shard = Vec::new();
         for sub in &subs {
             let mut state = crate::ops::ShardState::new();
-            per_shard
-                .push(sub.iter().map(|op| crate::ops::apply_op(&mut state, op)).collect());
+            per_shard.push(sub.iter().map(|op| crate::ops::apply_op(&mut state, op)).collect());
         }
         let resps = reassembly.reassemble(per_shard);
         assert_eq!(resps.len(), 3);
@@ -215,11 +472,10 @@ mod tests {
 
     #[test]
     fn scans_broadcast_to_every_shard_and_merge_sorted() {
-        let r = ShardRouter::new(4);
-        let mut ops: Vec<StoreOp> =
-            (0..16).map(|i| StoreOp::Put(format!("k{i:02}"), i)).collect();
+        let t = ShardTopology::fresh(4);
+        let mut ops: Vec<StoreOp> = (0..16).map(|i| StoreOp::Put(format!("k{i:02}"), i)).collect();
         ops.push(StoreOp::Scan { from: "k00".into(), to: "k99".into() });
-        let plan = r.plan(ops);
+        let plan = t.plan(ops);
         for s in 0..4 {
             assert!(
                 matches!(plan.sub_batch(s).last(), Some(StoreOp::Scan { .. })),
@@ -230,8 +486,7 @@ mod tests {
         let mut per_shard = Vec::new();
         for sub in &subs {
             let mut state = crate::ops::ShardState::new();
-            per_shard
-                .push(sub.iter().map(|op| crate::ops::apply_op(&mut state, op)).collect());
+            per_shard.push(sub.iter().map(|op| crate::ops::apply_op(&mut state, op)).collect());
         }
         let resps = reassembly.reassemble(per_shard);
         match resps.last().unwrap() {
@@ -247,11 +502,26 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_reassembly_surfaces_staleness() {
+        // If any shard rejected its copy of a scan as stale, the merged
+        // response must be Moved (with the highest epoch seen), never a
+        // silent partial merge.
+        let t = ShardTopology::fresh(2);
+        let plan = t.plan(vec![StoreOp::Scan { from: "".into(), to: "z".into() }]);
+        let (_, reassembly) = plan.into_sub_batches();
+        let resps = reassembly.reassemble(vec![
+            vec![StoreResp::Entries(vec![("a".into(), 1)])],
+            vec![StoreResp::Moved { epoch: 3 }],
+        ]);
+        assert_eq!(resps, vec![StoreResp::Moved { epoch: 3 }]);
+    }
+
+    #[test]
     fn active_shards_skips_idle_ones() {
-        let r = ShardRouter::new(4);
-        let plan = r.plan(vec![StoreOp::Put("only".into(), 1)]);
+        let t = ShardTopology::fresh(4);
+        let plan = t.plan(vec![StoreOp::Put("only".into(), 1)]);
         let active: Vec<usize> = plan.active_shards().collect();
         assert_eq!(active.len(), 1);
-        assert_eq!(active[0], r.shard_of("only"));
+        assert_eq!(active[0], t.shard_of("only"));
     }
 }

@@ -1,6 +1,6 @@
-//! The store itself: builder, shards, and client sessions.
+//! The store itself: builder, shards, live splits, and client sessions.
 //!
-//! A [`Store`] is `S` independent shards, each a
+//! A [`Store`] is a set of independent shards, each a
 //! [`Universal`]`<`[`ShardSpec`](crate::ops::ShardSpec)`>` driven by `(y,x)`-live
 //! [`AsymmetricFactory`] consensus cells, fronted by the admission layer's
 //! port discipline:
@@ -9,30 +9,46 @@
 //!   port exclusively, guest clients multiplex onto shared guest ports
 //!   (serialized per port by a mutex — the obstruction-free tier is also the
 //!   queued tier);
-//! * a client batch is split by the [`ShardRouter`] into at most one
-//!   log append per shard, so same-shard operations amortize consensus;
+//! * a client batch is split by the versioned
+//!   [`ShardTopology`] into at most one log append per shard, so same-shard
+//!   operations amortize consensus;
 //! * each shard additionally maintains a wait-free
 //!   [`SwmrSnapshot`] of per-port commit digests — the VIP dashboard path:
 //!   reading store-wide statistics never touches the consensus log, so it
 //!   completes even while guests hammer every shard.
 //!
+//! ## Live shard splits
+//!
+//! The shard set is **not static**: [`Store::split_shard`] carves a hot
+//! shard in two without stopping commits. The split installs a
+//! [`SplitSpec`] record through the shard's own
+//! consensus log inside a sealed
+//! [`ReconfigRecord`](apc_universal::ReconfigRecord) cell, so it
+//! linearizes against every concurrent VIP/guest batch: commits before the
+//! bump migrate with the sealed state, commits after it bounce with
+//! [`StoreResp::Moved`] and are re-planned by the client against the newly
+//! published topology. The store's current `(topology, shards)` pair is one
+//! atomically-published view; readers never lock to route.
+//!
 //! **Consistency:** operations within one shard are linearizable (they go
 //! through that shard's universal log). A multi-shard batch commits
 //! per-shard atomically but is not a single cross-shard atomic action;
-//! broadcast scans are per-shard-consistent merges.
+//! broadcast scans are per-shard-consistent merges. Splits preserve all of
+//! this: an operation is applied exactly once — on the shard that owns its
+//! key at its linearization point — or bounced and retried, never both.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use apc_core::liveness::Liveness;
 use apc_registers::snapshot::SwmrSnapshot;
+use apc_registers::AtomicCell;
 use apc_universal::{AsymmetricFactory, OwnedHandle, Universal};
 
-use crate::admission::{
-    Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass,
-};
-use crate::ops::{Batch, StoreOp, StoreResp};
-use crate::router::ShardRouter;
+use crate::admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
+use crate::ops::{Batch, ShardCmd, ShardState, SplitSpec, StoreOp, StoreResp};
+use crate::router::ShardTopology;
 
 /// The universal-object type backing one shard.
 pub type ShardLog = Universal<crate::ops::ShardSpec, AsymmetricFactory>;
@@ -56,6 +72,47 @@ struct Shard {
     /// Per-port digests; single-writer per component (the port's mutex
     /// serializes writers sharing a port).
     stats: SwmrSnapshot<ShardDigest>,
+    /// Commits since build, for the auto-checkpoint cadence.
+    auto_commits: AtomicU64,
+}
+
+impl Shard {
+    /// Builds one shard over `ports` port slots, optionally resuming from a
+    /// recovered `(state, log_index)` pair.
+    fn build(
+        spec: crate::ops::ShardSpec,
+        liveness: Liveness,
+        ports: usize,
+        resume: Option<(ShardState, u64)>,
+    ) -> Self {
+        let log = match resume {
+            Some((state, log_index)) => Arc::new(Universal::recovered(
+                spec,
+                AsymmetricFactory::new(liveness),
+                ports,
+                state,
+                log_index,
+            )),
+            None => Arc::new(Universal::new(spec, AsymmetricFactory::new(liveness), ports)),
+        };
+        let port_slots = (0..ports)
+            .map(|p| Mutex::new(log.owned_handle(p).expect("fresh log, every port available")))
+            .collect();
+        Shard {
+            log,
+            ports: port_slots,
+            stats: SwmrSnapshot::new(ports, ShardDigest::default()),
+            auto_commits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One atomically-published routing generation: the topology and the shard
+/// handles it routes to. Everything a client needs to place and commit a
+/// batch is reachable from one wait-free load of the current view.
+struct StoreView {
+    topology: ShardTopology,
+    shards: Vec<Arc<Shard>>,
 }
 
 /// Configures and builds a [`Store`].
@@ -75,11 +132,12 @@ struct Shard {
 pub struct StoreBuilder {
     shards: usize,
     admission: AdmissionConfig,
+    checkpoint_every: Option<u64>,
 }
 
 impl Default for StoreBuilder {
     fn default() -> Self {
-        StoreBuilder { shards: 4, admission: AdmissionConfig::default() }
+        StoreBuilder { shards: 4, admission: AdmissionConfig::default(), checkpoint_every: None }
     }
 }
 
@@ -90,7 +148,8 @@ impl StoreBuilder {
         StoreBuilder::default()
     }
 
-    /// Sets the shard count `S`.
+    /// Sets the initial shard count `S` (shards may be added later by
+    /// [`Store::split_shard`]).
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = shards;
         self
@@ -114,7 +173,20 @@ impl StoreBuilder {
         self
     }
 
-    /// Builds the store: admission layer, router, and `S` shard logs with
+    /// Seals a checkpoint on a shard automatically every `k` commits to it
+    /// (`0` disables the cadence, the default).
+    ///
+    /// The seal rides the shard's guest tier (and is skipped — not queued —
+    /// when that port is busy, so the cadence is amortized, never
+    /// blocking); each seal caps the shard log's memory and keeps
+    /// fresh-handle replay O(delta) without any explicit
+    /// [`Store::checkpoint`] call.
+    pub fn checkpoint_every(mut self, k: u64) -> Self {
+        self.checkpoint_every = (k > 0).then_some(k);
+        self
+    }
+
+    /// Builds the store: admission layer, topology, and `S` shard logs with
     /// their port pools and stats snapshots.
     ///
     /// # Errors
@@ -130,14 +202,14 @@ impl StoreBuilder {
     /// [`Persister`](crate::persist::Persister) /
     /// [`StoreSnapshot::write_to`](crate::persist::StoreSnapshot::write_to)).
     ///
-    /// The shard count is taken from the snapshot (it must match the router
-    /// hashing used when the snapshot was written, so the builder's own
-    /// `shards` setting is ignored); the admission sizing (VIP capacity,
-    /// guest ports) is taken from the builder — progress classes are a
-    /// runtime serving choice, not persistent state. Each shard's universal
-    /// log resumes at its checkpointed log index via
-    /// [`Universal::recovered`], so boot-time replay work is O(delta), not
-    /// O(history).
+    /// The shard **topology** is taken from the snapshot — including every
+    /// split installed before the flush, so post-split placement survives a
+    /// crash — and the builder's own `shards` setting is ignored. The
+    /// admission sizing (VIP capacity, guest ports) is taken from the
+    /// builder: progress classes are a runtime serving choice, not
+    /// persistent state. Each shard's universal log resumes at its
+    /// checkpointed log index via [`Universal::recovered`], so boot-time
+    /// replay work is O(delta), not O(history).
     ///
     /// # Errors
     ///
@@ -151,62 +223,82 @@ impl StoreBuilder {
         path: impl AsRef<std::path::Path>,
     ) -> Result<Store, crate::persist::RecoverError> {
         let snapshot = crate::persist::StoreSnapshot::read_from(path)?;
-        let mut builder = self;
-        builder.shards = snapshot.shards.len();
-        Ok(builder.build_from(Some(snapshot))?)
+        Ok(self.build_from(Some(snapshot))?)
     }
 
     fn build_from(
         self,
         snapshot: Option<crate::persist::StoreSnapshot>,
     ) -> Result<Store, AdmissionError> {
-        if self.shards == 0 {
-            return Err(AdmissionError::BadConfig("a store needs at least one shard"));
-        }
+        let topology = match &snapshot {
+            Some(snap) => snap.topology.clone(),
+            None => {
+                if self.shards == 0 {
+                    return Err(AdmissionError::BadConfig("a store needs at least one shard"));
+                }
+                ShardTopology::fresh(self.shards)
+            }
+        };
         let admission = Admission::new(self.admission)?;
         let spec = admission.spec();
         let ports = admission.ports();
-        let shards = (0..self.shards)
+        let shards = (0..topology.shards())
             .map(|s| {
-                let log = match &snapshot {
-                    Some(snap) => Arc::new(Universal::recovered(
-                        crate::ops::ShardSpec,
-                        AsymmetricFactory::new(spec),
-                        ports,
-                        snap.shards[s].state.clone(),
-                        snap.shards[s].log_index,
-                    )),
-                    None => Arc::new(Universal::new(
-                        crate::ops::ShardSpec,
-                        AsymmetricFactory::new(spec),
-                        ports,
-                    )),
-                };
-                let port_slots = (0..ports)
-                    .map(|p| {
-                        Mutex::new(
-                            log.owned_handle(p).expect("fresh log, every port available"),
-                        )
-                    })
-                    .collect();
-                Shard {
-                    log,
-                    ports: port_slots,
-                    stats: SwmrSnapshot::new(ports, ShardDigest::default()),
-                }
+                let node = topology.node(s);
+                let shard_spec =
+                    crate::ops::ShardSpec { seed: node.seed, created_at: node.created_at };
+                let resume = snapshot
+                    .as_ref()
+                    .map(|snap| (snap.shards[s].state.clone(), snap.shards[s].log_index));
+                Arc::new(Shard::build(shard_spec, spec, ports, resume))
             })
             .collect();
-        Ok(Store { admission, router: ShardRouter::new(self.shards), shards })
+        Ok(Store {
+            admission,
+            view: AtomicCell::with_value(Arc::new(StoreView { topology, shards })),
+            admin: Mutex::new(()),
+            checkpoint_every: self.checkpoint_every,
+        })
     }
 }
 
-/// An in-memory, sharded, progress-class-aware object service.
+/// Errors of [`Store::split_shard`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SplitError {
+    /// The shard id does not exist in the current topology.
+    NoSuchShard {
+        /// The offending shard id.
+        shard: usize,
+        /// The current shard count.
+        shards: usize,
+    },
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::NoSuchShard { shard, shards } => {
+                write!(f, "no shard {shard} to split (store has {shards})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+/// An in-memory, sharded, progress-class-aware object service with live
+/// hot-shard splitting.
 ///
 /// See the [module docs](self) for the architecture and consistency model.
 pub struct Store {
     admission: Admission,
-    router: ShardRouter,
-    shards: Vec<Shard>,
+    /// The current `(topology, shards)` generation; swapped atomically by
+    /// splits, loaded wait-free by every operation. Never `⊥`.
+    view: AtomicCell<Arc<StoreView>>,
+    /// Serializes admin operations (splits and store-wide checkpoints) so a
+    /// durable snapshot's topology always matches its sealed states.
+    admin: Mutex<()>,
+    checkpoint_every: Option<u64>,
 }
 
 impl Store {
@@ -234,9 +326,47 @@ impl Store {
         Client { store: self, ticket }
     }
 
-    /// Number of shards.
+    /// The current routing view (one wait-free load).
+    fn current_view(&self) -> Arc<StoreView> {
+        self.view.load().expect("the view is initialized and never cleared")
+    }
+
+    /// Waits for a view of at least `min_version`: the topology a `Moved`
+    /// rejection pointed at. The split driver publishes it right after
+    /// installing the bump, so the wait is bounded by the driver's
+    /// remaining migration work (microseconds in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics after a generous timeout if the view never arrives — that
+    /// means the split driver died between installing its bump and
+    /// publishing the topology (the store's one cross-thread obligation),
+    /// and a loud failure beats every client of the split shard hanging
+    /// silently forever.
+    fn view_at_least(&self, min_version: u64) -> Arc<StoreView> {
+        let start = std::time::Instant::now();
+        loop {
+            let view = self.current_view();
+            if view.topology.version() >= min_version {
+                return view;
+            }
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(60),
+                "topology v{min_version} was committed to a shard log but never published \
+                 (split driver died mid-split?)"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    /// Number of shards in the current topology.
     pub fn shards(&self) -> usize {
-        self.router.shards()
+        self.current_view().topology.shards()
+    }
+
+    /// A clone of the current shard topology (version, split tree, seeds).
+    pub fn topology(&self) -> ShardTopology {
+        self.current_view().topology.clone()
     }
 
     /// The per-shard liveness specification.
@@ -249,9 +379,9 @@ impl Store {
         &self.admission
     }
 
-    /// The shard owning `key`.
+    /// The shard owning `key` under the current topology.
     pub fn shard_of(&self, key: &str) -> usize {
-        self.router.shard_of(key)
+        self.current_view().topology.shard_of(key)
     }
 
     /// Wait-free store-wide statistics: for each shard, the freshest
@@ -259,32 +389,107 @@ impl Store {
     ///
     /// This is the VIP dashboard path — it reads each shard's register-based
     /// [`SwmrSnapshot`] and never touches the consensus log, so it completes
-    /// in a bounded number of steps regardless of guest contention.
+    /// in a bounded number of steps regardless of guest contention. It is
+    /// also the hot-shard detector: a shard whose `commits` digest runs away
+    /// from the others is the one to [`split`](Store::split_shard).
     pub fn snapshot_stats(&self) -> Vec<ShardDigest> {
-        self.shards
+        self.current_view()
+            .shards
             .iter()
             .map(|shard| {
-                shard
-                    .stats
-                    .scan()
-                    .into_iter()
-                    .max_by_key(|d| d.commits)
-                    .unwrap_or_default()
+                shard.stats.scan().into_iter().max_by_key(|d| d.commits).unwrap_or_default()
             })
             .collect()
     }
 
+    /// The shard with the most committed log cells — the hot shard under a
+    /// skewed workload, read wait-free from the stats snapshots.
+    pub fn hottest_shard(&self) -> usize {
+        self.snapshot_stats()
+            .into_iter()
+            .enumerate()
+            .max_by_key(|(_, d)| d.commits)
+            .map(|(s, _)| s)
+            .unwrap_or(0)
+    }
+
+    /// Splits shard `shard` **live**: commits keep flowing while the split
+    /// installs. Returns the new shard's id.
+    ///
+    /// The sequence is:
+    ///
+    /// 1. compute the bumped topology (the new shard's rendezvous seed and
+    ///    version);
+    /// 2. install a [`SplitSpec`] bump through the split shard's own
+    ///    consensus log inside a sealed reconfig cell
+    ///    ([`OwnedHandle::reconfigure`]) — the linearization point of the
+    ///    split. Everything committed before it is partitioned
+    ///    deterministically (pairwise rendezvous); the keys the child wins
+    ///    come back as the migration set, and the cell doubles as a
+    ///    checkpoint anchor for the parent's log. Batches landing after the
+    ///    bump under the old topology bounce with [`StoreResp::Moved`] and
+    ///    are re-planned by their clients;
+    /// 3. boot the child shard from the migrated entries (invisible to
+    ///    routing until published, so initialization is uncontended);
+    /// 4. atomically publish the new `(topology, shards)` view.
+    ///
+    /// The bump rides the guest tier of the split shard, so VIP ports never
+    /// contend with it; placement is lock-free (each failed attempt is a
+    /// client batch committing). Splits serialize with each other and with
+    /// [`Store::checkpoint`] on the admin lock.
+    ///
+    /// # Errors
+    ///
+    /// [`SplitError::NoSuchShard`] if `shard` is out of range.
+    pub fn split_shard(&self, shard: usize) -> Result<usize, SplitError> {
+        let _admin = self.admin.lock().expect("admin lock poisoned");
+        let view = self.current_view();
+        if shard >= view.topology.shards() {
+            return Err(SplitError::NoSuchShard { shard, shards: view.topology.shards() });
+        }
+        let (topology, child) = view.topology.split(shard);
+        let split =
+            SplitSpec { child_seed: topology.node(child).seed, version: topology.version() };
+        // The linearization point: the bump agreed through the parent's own
+        // log, returning exactly the pre-bump keys the child now owns.
+        let outgoing = {
+            let slot = view.shards[shard].ports.len() - 1; // guest tier
+            let mut handle = view.shards[shard].ports[slot].lock().expect("port slot poisoned");
+            let (_, mut resps) = handle.reconfigure(ShardCmd::Split(split));
+            match resps.pop() {
+                Some(StoreResp::Entries(entries)) => entries,
+                other => unreachable!("a split bump answers with its migration set, got {other:?}"),
+            }
+        };
+        let node = topology.node(child);
+        let child_shard = Arc::new(Shard::build(
+            crate::ops::ShardSpec { seed: node.seed, created_at: node.created_at },
+            self.admission.spec(),
+            self.admission.ports(),
+            Some((ShardState::with_entries(outgoing.into_iter().collect(), node.created_at), 0)),
+        ));
+        let mut shards = view.shards.clone();
+        shards.push(child_shard);
+        self.view.store(Arc::new(StoreView { topology, shards }));
+        Ok(child)
+    }
+
     /// Seals a checkpoint cell on every shard log and returns the sealed
     /// per-shard states — the capture half of the
-    /// [`persist`](crate::persist) layer.
+    /// [`persist`](crate::persist) layer — paired with the topology they
+    /// were sealed under.
     ///
     /// Checkpoints ride the guest tier (the last port of each shard), so
     /// sealing never contends with a VIP's exclusive port; placement is
     /// lock-free — each failed attempt means a client batch committed
     /// instead. The sealed prefix caps the shard log's memory: fresh port
     /// handles bootstrap from it and the retired cells become reclaimable.
+    /// Serializes with [`Store::split_shard`] so the snapshot's topology
+    /// always matches its sealed states.
     pub fn checkpoint(&self) -> crate::persist::StoreSnapshot {
-        let shards = self
+        let _admin = self.admin.lock().expect("admin lock poisoned");
+        let view = self.current_view();
+        let shards = view
             .shards
             .iter()
             .map(|shard| {
@@ -293,19 +498,16 @@ impl Store {
                 let slot = shard.ports.len() - 1;
                 let mut handle = shard.ports[slot].lock().expect("port slot poisoned");
                 let log_index = handle.checkpoint();
-                crate::persist::ShardSnapshot {
-                    log_index,
-                    state: handle.local_state().clone(),
-                }
+                crate::persist::ShardSnapshot { log_index, state: handle.local_state().clone() }
             })
             .collect();
-        crate::persist::StoreSnapshot { shards }
+        crate::persist::StoreSnapshot { topology: view.topology.clone(), shards }
     }
 
     /// Per-shard latest-checkpoint log indices (0 where no checkpoint was
     /// ever sealed): where a fresh handle on each shard starts replaying.
     pub fn anchor_indices(&self) -> Vec<u64> {
-        self.shards.iter().map(|shard| shard.log.anchor_index()).collect()
+        self.current_view().shards.iter().map(|shard| shard.log.anchor_index()).collect()
     }
 
     /// Total log cells replayed by this store's port handles since build —
@@ -313,33 +515,75 @@ impl Store {
     /// recovered from a checkpoint at index `k` starts near zero here even
     /// though its logs resume at `k`.
     pub fn replay_steps(&self) -> u64 {
-        self.shards
+        self.current_view()
+            .shards
             .iter()
             .flat_map(|shard| &shard.ports)
             .map(|slot| slot.lock().expect("port slot poisoned").replay_steps())
             .sum()
     }
 
-    /// Commits `batch` on `shard` through `port`: one universal-log append.
-    fn commit(&self, shard: usize, port: usize, batch: Batch) -> Vec<StoreResp> {
-        let s = &self.shards[shard];
-        let mut handle = s.ports[port].lock().expect("port slot poisoned");
-        let resps = handle.apply(batch);
-        s.stats.update(
+    /// Commits `batch` on `shard` through `port`: one universal-log append,
+    /// a digest publication, and (if configured) the auto-checkpoint
+    /// cadence.
+    fn commit(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+        let mut handle = shard.ports[port].lock().expect("port slot poisoned");
+        let resps = handle.apply(ShardCmd::Batch(batch));
+        shard.stats.update(
             port,
             ShardDigest {
                 commits: handle.replayed_cells(),
                 entries: handle.local_state().len() as u64,
             },
         );
+        if let Some(k) = self.checkpoint_every {
+            let commits = shard.auto_commits.fetch_add(1, Ordering::Relaxed) + 1;
+            if commits.is_multiple_of(k) {
+                let last = shard.ports.len() - 1;
+                if port == last {
+                    handle.checkpoint();
+                } else {
+                    // Ride the guest tier without ever holding two port
+                    // locks: if the seal port is busy, skip — a commit is
+                    // happening there and the next cadence window retries.
+                    drop(handle);
+                    if let Ok(mut sealer) = shard.ports[last].try_lock() {
+                        sealer.checkpoint();
+                    }
+                }
+            }
+        }
         resps
+    }
+
+    /// Plans and commits `ops` under `view`, one log append per touched
+    /// shard, returning responses in invocation order (stale sub-batches
+    /// come back as [`StoreResp::Moved`]).
+    fn execute_in(&self, view: &StoreView, port: usize, ops: Vec<StoreOp>) -> Vec<StoreResp> {
+        let plan = view.topology.plan(ops);
+        let (subs, reassembly) = plan.into_sub_batches();
+        let version = view.topology.version();
+        let per_shard: Vec<Vec<StoreResp>> = subs
+            .into_iter()
+            .enumerate()
+            .map(|(s, sub)| {
+                if sub.is_empty() {
+                    Vec::new()
+                } else {
+                    self.commit(&view.shards[s], port, Batch::new(version, sub))
+                }
+            })
+            .collect();
+        reassembly.reassemble(per_shard)
     }
 }
 
 impl fmt::Debug for Store {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let view = self.current_view();
         f.debug_struct("Store")
-            .field("shards", &self.shards.len())
+            .field("shards", &view.topology.shards())
+            .field("topology_version", &view.topology.version())
             .field("spec", &self.admission.spec())
             .finish()
     }
@@ -369,21 +613,36 @@ impl Client<'_> {
 
     /// Executes a batch of operations, one log append per touched shard,
     /// returning responses in invocation order.
+    ///
+    /// If a shard split between planning and commit, the affected
+    /// operations come back [`StoreResp::Moved`] from their old shard
+    /// (nothing applied); this loop transparently re-plans exactly those
+    /// operations against the newly published topology and patches their
+    /// responses in place — already-applied operations are never re-issued,
+    /// so nothing commits twice and nothing is dropped.
     pub fn execute(&mut self, ops: Vec<StoreOp>) -> Vec<StoreResp> {
-        let plan = self.store.router.plan(ops);
-        let (subs, reassembly) = plan.into_sub_batches();
-        let per_shard: Vec<Vec<StoreResp>> = subs
-            .into_iter()
-            .enumerate()
-            .map(|(s, sub)| {
-                if sub.is_empty() {
-                    Vec::new()
-                } else {
-                    self.store.commit(s, self.ticket.port(), Batch(sub))
-                }
-            })
-            .collect();
-        reassembly.reassemble(per_shard)
+        let view = self.store.current_view();
+        let mut resps = self.store.execute_in(&view, self.ticket.port(), ops.clone());
+        loop {
+            let moved: Vec<(usize, u64)> = resps
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| match r {
+                    StoreResp::Moved { epoch } => Some((i, *epoch)),
+                    _ => None,
+                })
+                .collect();
+            if moved.is_empty() {
+                return resps;
+            }
+            let need = moved.iter().map(|&(_, e)| e).max().expect("moved is non-empty");
+            let view = self.store.view_at_least(need);
+            let retry: Vec<StoreOp> = moved.iter().map(|&(i, _)| ops[i].clone()).collect();
+            let retried = self.store.execute_in(&view, self.ticket.port(), retry);
+            for (&(slot, _), resp) in moved.iter().zip(retried) {
+                resps[slot] = resp;
+            }
+        }
     }
 
     fn execute_one(&mut self, op: StoreOp) -> StoreResp {
@@ -452,6 +711,7 @@ mod tests {
         assert_eq!(store.shards(), 4);
         assert_eq!(store.spec().x(), 2);
         assert_eq!(store.spec().y(), 8);
+        assert_eq!(store.topology().version(), 0);
     }
 
     #[test]
@@ -588,6 +848,142 @@ mod tests {
         let c = store.client(store.admit_guest());
         assert!(format!("{store:?}").contains("Store"));
         assert!(format!("{c:?}").contains("Guest"));
+    }
+
+    #[test]
+    fn split_preserves_every_key_and_rebalances() {
+        let store = small_store(2);
+        let mut c = store.client(store.admit_vip().unwrap());
+        for i in 0..64 {
+            c.put(&format!("key/{i:02}"), i);
+        }
+        let before = store.client(store.admit_guest()).scan("", "z");
+        let hot = store.hottest_shard();
+        let child = store.split_shard(hot).unwrap();
+        assert_eq!(child, 2, "splits append");
+        assert_eq!(store.shards(), 3);
+        assert_eq!(store.topology().version(), 1);
+        // Nothing lost, nothing duplicated, order preserved.
+        assert_eq!(store.client(store.admit_guest()).scan("", "z"), before);
+        // The child actually owns keys now, and routing agrees with data.
+        let stats = store.snapshot_stats();
+        assert!(stats[child].entries > 0, "the split must migrate keys to the child");
+        for i in 0..64 {
+            let key = format!("key/{i:02}");
+            assert_eq!(c.get(&key), Some(i), "{key} survives the split");
+        }
+        // Point ops keep landing on the right shards post-split.
+        assert_eq!(c.put("post-split", 7), None);
+        assert_eq!(c.get("post-split"), Some(7));
+    }
+
+    #[test]
+    fn split_of_missing_shard_is_a_typed_error() {
+        let store = small_store(1);
+        assert_eq!(store.split_shard(5), Err(SplitError::NoSuchShard { shard: 5, shards: 1 }));
+        assert!(store.split_shard(5).unwrap_err().to_string().contains("no shard 5"));
+    }
+
+    #[test]
+    fn splits_stack_and_children_can_split() {
+        let store = small_store(1);
+        let mut c = store.client(store.admit_vip().unwrap());
+        for i in 0..96 {
+            c.put(&format!("k/{i:03}"), i);
+        }
+        let c1 = store.split_shard(0).unwrap();
+        let c2 = store.split_shard(0).unwrap();
+        let c3 = store.split_shard(c1).unwrap();
+        assert_eq!((c1, c2, c3), (1, 2, 3));
+        assert_eq!(store.topology().version(), 3);
+        let all = store.client(store.admit_guest()).scan("", "z");
+        assert_eq!(all.len(), 96, "three stacked splits lose nothing");
+        let entries: u64 = store.snapshot_stats().iter().map(|d| d.entries).sum();
+        assert_eq!(entries, 96);
+    }
+
+    #[test]
+    fn split_races_concurrent_commits_without_loss_or_duplication() {
+        // Writers hammer disjoint keys while the hot shard splits mid-run:
+        // every put must survive exactly once, every CAS total stays exact.
+        let store = small_store(2);
+        let vip = store.admit_vip().unwrap();
+        let guests: Vec<_> = (0..3).map(|_| store.admit_guest()).collect();
+        let success = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for (w, t) in guests.iter().copied().chain([vip]).enumerate() {
+                let store = &store;
+                let success = &success;
+                s.spawn(move || {
+                    let mut c = store.client(t);
+                    for i in 0..40 {
+                        c.put(&format!("w{w}/{i:02}"), i);
+                        loop {
+                            let cur = c.get("shared/ctr");
+                            if c.cas("shared/ctr", cur, cur.unwrap_or(0) + 1).0 {
+                                success.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            let store = &store;
+            s.spawn(move || {
+                // Split both original shards while the writers run.
+                store.split_shard(0).unwrap();
+                store.split_shard(1).unwrap();
+            });
+        });
+        assert_eq!(store.shards(), 4);
+        let mut check = store.client(store.admit_guest());
+        let puts = check.scan("w", "x");
+        assert_eq!(puts.len(), 4 * 40, "every put survives the splits exactly once");
+        assert_eq!(check.get("shared/ctr"), Some(160));
+        assert_eq!(success.load(std::sync::atomic::Ordering::Relaxed), 160);
+        // The audit dashboards agree with the data.
+        let entries: u64 = store.snapshot_stats().iter().map(|d| d.entries).sum();
+        assert_eq!(entries, check.scan("", "z").len() as u64);
+    }
+
+    #[test]
+    fn auto_checkpoint_cadence_seals_without_explicit_calls() {
+        let store = StoreBuilder::new()
+            .shards(1)
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .checkpoint_every(8)
+            .build()
+            .unwrap();
+        let mut c = store.client(store.admit_vip().unwrap());
+        assert_eq!(store.anchor_indices(), vec![0]);
+        for i in 0..24 {
+            c.put(&format!("k{i}"), i);
+        }
+        let anchor = store.anchor_indices()[0];
+        assert!(anchor >= 8, "at least two cadence windows must have sealed, got {anchor}");
+        // A fresh session replays O(delta) thanks to the cadence.
+        let mut fresh = store.client(store.admit_guest());
+        assert_eq!(fresh.get("k0"), Some(0));
+        assert_eq!(c.scan("", "z").len(), 24, "sealing never loses commits");
+    }
+
+    #[test]
+    fn checkpoint_every_zero_disables_the_cadence() {
+        let store = StoreBuilder::new()
+            .shards(1)
+            .vip_capacity(1)
+            .guest_ports(1)
+            .guest_group_width(1)
+            .checkpoint_every(0)
+            .build()
+            .unwrap();
+        let mut c = store.client(store.admit_vip().unwrap());
+        for i in 0..20 {
+            c.put(&format!("k{i}"), i);
+        }
+        assert_eq!(store.anchor_indices(), vec![0], "no automatic seal when disabled");
     }
 
     /// A scratch file under the workspace target dir, unique per test.

@@ -6,6 +6,7 @@
 
 use crate::admission::ProgressClass;
 use crate::ops::StoreOp;
+use crate::router::splitmix64;
 
 /// A named workload shape.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -118,13 +119,16 @@ pub fn preloaded_shard_log(
     use apc_universal::{AsymmetricFactory, Universal};
 
     let log = std::sync::Arc::new(Universal::new(
-        crate::ops::ShardSpec,
+        crate::ops::ShardSpec::default(),
         AsymmetricFactory::new(Liveness::new_first_n(2, 2)),
         2,
     ));
     let mut loader = log.owned_handle(0).expect("fresh log, port 0 free");
     for i in 0..cells {
-        loader.apply(crate::ops::Batch(vec![StoreOp::Put(key_name(i as u64), i as u64)]));
+        loader.apply(crate::ops::ShardCmd::Batch(crate::ops::Batch::new(
+            0,
+            vec![StoreOp::Put(key_name(i as u64), i as u64)],
+        )));
     }
     if checkpointed {
         loader.checkpoint();
@@ -132,15 +136,27 @@ pub fn preloaded_shard_log(
     log
 }
 
-fn key_name(i: u64) -> String {
-    format!("key/{i:04}")
+/// The first `count` keys of the `key/NNNN` namespace that the given
+/// topology routes to `shard` — how the hot-shard drivers (the
+/// `hot-key-split` bench scenario and the stress example) aim a workload at
+/// one shard to melt it.
+pub fn keys_on_shard(
+    topology: &crate::router::ShardTopology,
+    shard: usize,
+    count: usize,
+) -> Vec<String> {
+    // An out-of-range shard would make the unbounded scan below spin
+    // forever; fail loudly instead.
+    assert!(
+        shard < topology.shards(),
+        "no shard {shard} in a {}-shard topology",
+        topology.shards()
+    );
+    (0..).map(key_name).filter(|k| topology.shard_of(k) == shard).take(count).collect()
 }
 
-fn splitmix64(seed: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+fn key_name(i: u64) -> String {
+    format!("key/{i:04}")
 }
 
 #[cfg(test)]
@@ -173,8 +189,7 @@ mod tests {
     fn class_of_is_consistent_with_mix() {
         let (v, _) = Scenario::Uniform.client_mix(8, 2);
         for i in 0..8 {
-            let expected =
-                if i < v { ProgressClass::Vip } else { ProgressClass::Guest };
+            let expected = if i < v { ProgressClass::Vip } else { ProgressClass::Guest };
             assert_eq!(Scenario::Uniform.class_of(i, 8, 2), expected);
         }
     }
@@ -199,7 +214,10 @@ mod tests {
         let with = super::preloaded_shard_log(cells as usize, true);
         let mut fresh_without = without.owned_handle(1).unwrap();
         let mut fresh_with = with.owned_handle(1).unwrap();
-        let probe = crate::ops::Batch(vec![StoreOp::Get("key/0000".into())]);
+        let probe = crate::ops::ShardCmd::Batch(crate::ops::Batch::new(
+            0,
+            vec![StoreOp::Get("key/0000".into())],
+        ));
         fresh_without.apply(probe.clone());
         fresh_with.apply(probe);
         assert!(fresh_without.replay_steps() > cells, "no checkpoint = O(history)");

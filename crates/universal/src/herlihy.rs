@@ -102,7 +102,43 @@ impl<T> CheckpointRecord<T> {
     }
 }
 
-/// The value one log cell agrees on: an operation or a checkpoint.
+/// An agreed **reconfiguration**: an operation that also seals the post-op
+/// state — the topology-bump record of service layers.
+///
+/// A reconfig cell behaves like an ordinary operation cell (its `op` is
+/// applied through the sequential spec at the cell's position in the log)
+/// *and* like a checkpoint cell (the state after the op is sealed and
+/// published as the bootstrap anchor). The combination is what makes live
+/// reconfiguration linearizable in one step: the proposer learns exactly
+/// which operations committed before the bump — the sealed state — and
+/// every replica deterministically applies the bump at the same log index.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReconfigRecord<O, T> {
+    pid: u8,
+    seq: u64,
+    /// The reconfiguration operation, applied through the ordinary spec.
+    op: O,
+    /// The state *after* applying `op` to the agreed prefix. Proposed
+    /// speculatively from the proposer's replayed state; correct whenever
+    /// the record is the one agreed (the proposer's cursor state *is* the
+    /// agreed prefix state, and `apply` is deterministic).
+    state: Arc<T>,
+}
+
+impl<O, T> ReconfigRecord<O, T> {
+    /// The reconfiguration operation.
+    pub fn op(&self) -> &O {
+        &self.op
+    }
+
+    /// The sealed post-reconfiguration state.
+    pub fn state(&self) -> &T {
+        &self.state
+    }
+}
+
+/// The value one log cell agrees on: an operation, a checkpoint, or a
+/// reconfiguration.
 ///
 /// This is the value type of the [`ConsensusFactory`] bound of
 /// [`Universal`] (see [`LogRecordOf`]).
@@ -112,11 +148,13 @@ pub enum LogRecord<O, T> {
     Op(OpRecord<O>),
     /// A checkpoint sealing the log prefix before its cell.
     Checkpoint(CheckpointRecord<T>),
+    /// An operation that also seals the state after itself (see
+    /// [`ReconfigRecord`]).
+    Reconfig(ReconfigRecord<O, T>),
 }
 
 /// The record type agreed on by each log cell for spec `S`.
-pub type LogRecordOf<S> =
-    LogRecord<<S as SequentialSpec>::Op, <S as SequentialSpec>::State>;
+pub type LogRecordOf<S> = LogRecord<<S as SequentialSpec>::Op, <S as SequentialSpec>::State>;
 
 /// A per-process announcement: "my operation `seq` is `op`, please help".
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -352,6 +390,52 @@ where
                     }
                 }
                 LogRecord::Checkpoint(ck) => self.absorb_checkpoint(replay, &ck),
+                LogRecord::Reconfig(rec) => {
+                    let _ = self.absorb_reconfig(replay, &rec);
+                }
+            }
+        }
+    }
+
+    /// Places a reconfiguration through the replay state (the shared body of
+    /// [`Handle::reconfigure`] and [`OwnedHandle::reconfigure`]); returns
+    /// the log index of the agreed reconfig cell and the op's response at
+    /// that linearization point.
+    ///
+    /// Like checkpoints, reconfig proposals are not announced (nobody helps
+    /// them), so placement is lock-free: each failed attempt means some
+    /// other port's record committed instead. The proposer still obeys the
+    /// helping rule, so it never undermines the wait-free bound of the
+    /// privileged set.
+    fn reconfigure_through(&self, replay: &mut Replay<S, F::Object>, op: S::Op) -> (u64, S::Resp) {
+        replay.seq += 1;
+        let my_seq = replay.seq;
+        loop {
+            let decided = self.decide_current_cell(replay, || {
+                // Speculate the sealed post-state from the fully-replayed
+                // prefix; exact whenever this record is the one agreed.
+                let mut post = replay.state.clone();
+                let _ = self.spec.apply(&mut post, &op);
+                LogRecord::Reconfig(ReconfigRecord {
+                    pid: replay.pid as u8,
+                    seq: my_seq,
+                    op: op.clone(),
+                    state: Arc::new(post),
+                })
+            });
+            match decided {
+                LogRecord::Op(rec) => {
+                    let _ = self.absorb_op(replay, &rec);
+                }
+                LogRecord::Checkpoint(ck) => self.absorb_checkpoint(replay, &ck),
+                LogRecord::Reconfig(rec) => {
+                    let mine = rec.pid as usize == replay.pid && rec.seq == my_seq;
+                    let index = replay.cell_index;
+                    let resp = self.absorb_reconfig(replay, &rec);
+                    if mine {
+                        return (index, resp);
+                    }
+                }
             }
         }
     }
@@ -382,6 +466,13 @@ where
                     let index = ck.index;
                     self.absorb_checkpoint(replay, &ck);
                     return index;
+                }
+                LogRecord::Reconfig(rec) => {
+                    // A reconfiguration claimed the cell: absorb it (it
+                    // seals its own anchor) and re-seal at the next index so
+                    // the checkpoint contract — sealed state excludes the
+                    // checkpoint cell — stays exact.
+                    let _ = self.absorb_reconfig(replay, &rec);
                 }
             }
         }
@@ -430,7 +521,11 @@ where
     /// Passes a decided checkpoint cell: the sealed state equals the local
     /// replica already (determinism), so the cell contributes no operation;
     /// publish it as the bootstrap anchor for future handles.
-    fn absorb_checkpoint(&self, replay: &mut Replay<S, F::Object>, ck: &CheckpointRecord<S::State>) {
+    fn absorb_checkpoint(
+        &self,
+        replay: &mut Replay<S, F::Object>,
+        ck: &CheckpointRecord<S::State>,
+    ) {
         debug_assert_eq!(ck.index, replay.cell_index, "checkpoint index matches its cell");
         self.advance(replay);
         let anchor_index = replay.cell_index;
@@ -446,16 +541,39 @@ where
             cell: Arc::clone(&replay.cursor),
         });
         // Monotone publish: racing replicas can only move the anchor forward.
-        self.anchor
-            .update_if(anchor, |cur| cur.is_none_or(|a| a.index < anchor_index));
+        self.anchor.update_if(anchor, |cur| cur.is_none_or(|a| a.index < anchor_index));
+    }
+
+    /// Applies a decided reconfiguration to the local replica, publishes its
+    /// sealed post-state as the bootstrap anchor, and moves on.
+    fn absorb_reconfig(
+        &self,
+        replay: &mut Replay<S, F::Object>,
+        rec: &ReconfigRecord<S::Op, S::State>,
+    ) -> S::Resp {
+        let resp = self.spec.apply(&mut replay.state, &rec.op);
+        debug_assert!(*rec.state == replay.state, "sealed reconfig state matches the replica");
+        replay.applied[rec.pid as usize] = rec.seq;
+        self.advance(replay);
+        let anchor_index = replay.cell_index;
+        if self.latest_anchor().index < anchor_index {
+            let anchor = Arc::new(Anchor {
+                index: anchor_index,
+                // The seal equals the local replica here (determinism);
+                // share it straight out of the record.
+                state: Arc::clone(&rec.state),
+                applied: replay.applied.clone(),
+                cell: Arc::clone(&replay.cursor),
+            });
+            self.anchor.update_if(anchor, |cur| cur.is_none_or(|a| a.index < anchor_index));
+        }
+        resp
     }
 
     /// Moves the cursor to the next cell, creating it if necessary.
     fn advance(&self, replay: &mut Replay<S, F::Object>) {
-        let next = replay
-            .cursor
-            .next
-            .load_or_init(|| Arc::new(CellNode::new(self.factory.create())));
+        let next =
+            replay.cursor.next.load_or_init(|| Arc::new(CellNode::new(self.factory.create())));
         replay.cursor = next;
         replay.cell_index += 1;
         replay.steps += 1;
@@ -509,6 +627,21 @@ where
     /// port's operation committing.
     pub fn checkpoint(&mut self) -> u64 {
         self.obj.checkpoint_through(&mut self.replay)
+    }
+
+    /// Applies `op` **and** seals the post-op state in a single agreed
+    /// [`ReconfigRecord`] cell, returning the cell's log index and the op's
+    /// response at its linearization point.
+    ///
+    /// This is the live-reconfiguration primitive: the op observes exactly
+    /// the operations that committed before the bump, every replica applies
+    /// it at the same log index, and fresh handles bootstrap from the sealed
+    /// post-state (the cell doubles as a checkpoint anchor).
+    ///
+    /// Progress: lock-free, like [`Handle::checkpoint`] — each failed
+    /// placement attempt is another port's record committing.
+    pub fn reconfigure(&mut self, op: S::Op) -> (u64, S::Resp) {
+        self.obj.reconfigure_through(&mut self.replay, op)
     }
 
     /// The absolute log index of this handle's replay cursor (all cells
@@ -579,6 +712,13 @@ where
         // Split the borrow: `obj` and `replay` are disjoint fields.
         let OwnedHandle { obj, replay } = self;
         obj.checkpoint_through(replay)
+    }
+
+    /// Applies `op` and seals the post-op state in one agreed cell; see
+    /// [`Handle::reconfigure`].
+    pub fn reconfigure(&mut self, op: S::Op) -> (u64, S::Resp) {
+        let OwnedHandle { obj, replay } = self;
+        obj.reconfigure_through(replay, op)
     }
 
     /// The absolute log index of this handle's replay cursor.
@@ -736,11 +876,7 @@ mod tests {
         // (4,1)-live cells: pid 0 is wait-free. Guests hammer the object
         // while pid 0 performs operations; pid 0 must complete all of them.
         let n = 4;
-        let obj = Universal::new(
-            Counter,
-            AsymmetricFactory::new(Liveness::new_first_n(n, 1)),
-            n,
-        );
+        let obj = Universal::new(Counter, AsymmetricFactory::new(Liveness::new_first_n(n, 1)), n);
         let done = Mutex::new(Vec::new());
         std::thread::scope(|s| {
             for pid in 1..n {
@@ -901,14 +1037,74 @@ mod tests {
     }
 
     #[test]
+    fn reconfigure_applies_and_seals_in_one_cell() {
+        let obj = wait_free_counter(3);
+        let mut h = obj.handle(0).unwrap();
+        h.apply(CounterOp::Add(3));
+        h.apply(CounterOp::Add(4));
+        let (index, resp) = h.reconfigure(CounterOp::Add(10));
+        assert_eq!(index, 2, "two op cells precede the reconfig cell");
+        assert_eq!(resp, 17, "the op observed everything committed before the bump");
+        assert_eq!(obj.anchor_index(), 3, "anchor points past the reconfig cell");
+        // Fresh handles bootstrap from the sealed post-reconfig state.
+        let mut h1 = obj.handle(1).unwrap();
+        assert_eq!(h1.apply(CounterOp::Get), 17);
+        assert!(h1.replay_steps() <= 1, "the reconfig cell doubles as a checkpoint");
+    }
+
+    #[test]
+    fn reconfigure_races_with_concurrent_ops_keep_totals_exact() {
+        // Workers hammer the counter while one port installs reconfig bumps
+        // (each adding a marker amount): no committed Add may be dropped or
+        // double-applied, and the bump responses are exact prefix sums.
+        let n = 5;
+        let workers = 3u64;
+        let per_thread = 40u64;
+        let bumps = 4u64;
+        let obj = wait_free_counter(n);
+        std::thread::scope(|s| {
+            for pid in 0..workers as usize {
+                let obj = &obj;
+                s.spawn(move || {
+                    let mut h = obj.handle(pid).unwrap();
+                    for _ in 0..per_thread {
+                        h.apply(CounterOp::Add(1));
+                    }
+                });
+            }
+            let obj = &obj;
+            s.spawn(move || {
+                let mut h = obj.handle(3).unwrap();
+                let mut last = 0;
+                for _ in 0..bumps {
+                    let (_, total) = h.reconfigure(CounterOp::Add(1_000));
+                    assert!(total > last, "bump responses are strictly increasing");
+                    last = total;
+                }
+            });
+        });
+        assert!(obj.anchor_index() > 0, "at least one reconfig anchor installed");
+        let mut reader = obj.handle(4).unwrap();
+        assert_eq!(reader.apply(CounterOp::Get), workers * per_thread + bumps * 1_000);
+    }
+
+    #[test]
+    fn checkpoint_after_reconfig_reseals_cleanly() {
+        let obj = wait_free_counter(2);
+        let mut h = obj.handle(0).unwrap();
+        h.apply(CounterOp::Add(1));
+        let (bump_index, _) = h.reconfigure(CounterOp::Add(2));
+        let ck_index = h.checkpoint();
+        assert!(ck_index > bump_index);
+        assert_eq!(obj.anchor_index(), ck_index + 1);
+        let mut h1 = obj.handle(1).unwrap();
+        assert_eq!(h1.apply(CounterOp::Get), 3);
+    }
+
+    #[test]
     fn recovered_object_starts_at_the_given_index_and_state() {
-        let obj: Universal<Counter, CasFactory> = Universal::recovered(
-            Counter,
-            CasFactory::new(Liveness::new_first_n(2, 2)),
-            2,
-            41,
-            100,
-        );
+        let obj: Universal<Counter, CasFactory> =
+            Universal::recovered(Counter, CasFactory::new(Liveness::new_first_n(2, 2)), 2, 41, 100);
         assert_eq!(obj.anchor_index(), 100);
         let mut h = obj.handle(0).unwrap();
         assert_eq!(h.replayed_cells(), 100, "cursor starts at the recovery index");
@@ -936,11 +1132,7 @@ mod tests {
         // A guest checkpoints while the VIP operates: the VIP's operations
         // all complete (the checkpointer helps pending announcements).
         let n = 3;
-        let obj = Universal::new(
-            Counter,
-            AsymmetricFactory::new(Liveness::new_first_n(n, 1)),
-            n,
-        );
+        let obj = Universal::new(Counter, AsymmetricFactory::new(Liveness::new_first_n(n, 1)), n);
         std::thread::scope(|s| {
             let obj = &obj;
             s.spawn(move || {

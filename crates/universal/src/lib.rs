@@ -26,7 +26,10 @@
 //! from the sealed state and replay only the post-checkpoint suffix
 //! (O(delta) instead of O(history)), the retired prefix becomes
 //! reclaimable, and a persistence layer can rebuild the object from a
-//! durable snapshot via [`Universal::recovered`].
+//! durable snapshot via [`Universal::recovered`]; and **reconfig cells**
+//! ([`Handle::reconfigure`]): an operation that also seals the state after
+//! itself, so a service layer can linearize a live reconfiguration (e.g. a
+//! shard-topology bump) against concurrent operations in one agreed cell.
 //!
 //! ## Example
 //!
@@ -51,6 +54,6 @@ mod herlihy;
 
 pub use factory::{AsymmetricFactory, CasFactory, ConsensusFactory};
 pub use herlihy::{
-    CheckpointRecord, Handle, LogRecord, LogRecordOf, OpRecord, OwnedHandle, Universal,
-    UniversalError,
+    CheckpointRecord, Handle, LogRecord, LogRecordOf, OpRecord, OwnedHandle, ReconfigRecord,
+    Universal, UniversalError,
 };

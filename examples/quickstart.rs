@@ -62,10 +62,7 @@ fn main() {
             let group = &group;
             s.spawn(move || {
                 let decided = group.propose(pid, 100 + pid as u64).unwrap();
-                println!(
-                    "  p{pid} (group {}) decided {decided}",
-                    group.layout().group_of(pid)
-                );
+                println!("  p{pid} (group {}) decided {decided}", group.layout().group_of(pid));
             });
         }
     });

@@ -12,7 +12,10 @@
 //! Every cell of the sweep also audits the store afterwards: the wait-free
 //! stats snapshot must agree with a full scan about how many keys survived.
 //!
-//! After the sweep, the **compaction/recovery scenario** runs: the store is
+//! After the sweep, the **hot-key-split scenario** melts one shard (every
+//! client hammering its own hot key, all routed to the same shard), splits
+//! it live mid-run, and asserts the ops/s recover above the pre-split
+//! plateau; then the **compaction/recovery scenario** runs: the store is
 //! checkpointed and flushed to disk, crashed, and recovered; the driver
 //! reports the seal+fsync and recover timings, audits the recovered state
 //! against the pre-crash scan, and quantifies the replay-cost win (a fresh
@@ -21,8 +24,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use asymmetric_progress::store::workload::{preloaded_shard_log, Scenario};
-use asymmetric_progress::store::{Batch, ProgressClass, Store, StoreBuilder, StoreOp};
+use asymmetric_progress::store::workload::{keys_on_shard, preloaded_shard_log, Scenario};
+use asymmetric_progress::store::{Batch, ProgressClass, ShardCmd, Store, StoreBuilder, StoreOp};
 
 const CLIENTS: usize = 8;
 const OPS_PER_CLIENT: usize = 300;
@@ -114,8 +117,7 @@ fn main() {
     for scenario in Scenario::ALL {
         for shards in SHARD_COUNTS {
             let cell = run_cell(scenario, shards);
-            let fmt_ns =
-                |ns: Option<u64>| ns.map_or("-".to_string(), |v| v.to_string());
+            let fmt_ns = |ns: Option<u64>| ns.map_or("-".to_string(), |v| v.to_string());
             println!(
                 "{:<18} {:>7} {:>12.0} {:>14} {:>14}",
                 cell.scenario.name(),
@@ -142,7 +144,95 @@ fn main() {
         }
     }
 
+    hot_shard_split_scenario();
     recovery_scenario();
+}
+
+/// The hot-key-split scenario: every client hammers its own hot key, all of
+/// which the initial topology routes to **one shard** — the melt the paper's
+/// machinery cannot prevent with a static router. After the plateau forms,
+/// the shard is split live mid-run; ops/s must recover above the plateau.
+///
+/// Two real mechanisms drive the recovery: the split bump doubles as a
+/// checkpoint anchor (the melted log is compacted at the bump), and clients
+/// whose keys moved stop replaying the parent shard's commits (the
+/// universal construction replays every commit through every *active* port
+/// handle of its shard, so fewer clients per shard means less replay work
+/// per commit — a win even on one core, and a parallelism win on many).
+fn hot_shard_split_scenario() {
+    const ROUNDS: usize = 3;
+    println!("\nhot-key-split scenario: {CLIENTS} clients, one hot key each, one shard");
+
+    let store: Store = StoreBuilder::new()
+        .shards(4)
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .checkpoint_every(64)
+        .build()
+        .expect("sizing is valid");
+    // One hot key per client, all on shard 0 under the initial topology.
+    let keys = keys_on_shard(&store.topology(), 0, CLIENTS);
+    let mut loader = store.client(store.admit_guest());
+    for key in &keys {
+        loader.put(key, 0);
+    }
+    let tickets: Vec<_> = (0..VIP_CAPACITY)
+        .map(|_| store.admit_vip().expect("capacity fits"))
+        .chain((0..CLIENTS - VIP_CAPACITY).map(|_| store.admit_guest()))
+        .collect();
+
+    let phase = |label: &str| -> f64 {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for (i, ticket) in tickets.iter().enumerate() {
+                let store = &store;
+                let key = &keys[i];
+                s.spawn(move || {
+                    let mut client = store.client(*ticket);
+                    for step in 0..OPS_PER_CLIENT {
+                        if step % 3 == 0 {
+                            let _ = client.get(key);
+                        } else {
+                            let _ = client.put(key, step as u64);
+                        }
+                    }
+                });
+            }
+        });
+        let ops_per_sec = (CLIENTS * OPS_PER_CLIENT) as f64 / t0.elapsed().as_secs_f64();
+        println!("  {label:<26} {ops_per_sec:>12.0} ops/s");
+        ops_per_sec
+    };
+
+    let mut plateau = f64::MAX;
+    for round in 0..ROUNDS {
+        // The plateau is the melted steady state: the slowest warm round.
+        plateau = plateau.min(phase(&format!("pre-split round {round}")));
+    }
+    let hot = store.hottest_shard();
+    assert_eq!(hot, 0, "the aimed-at shard must be the hottest");
+    let t0 = Instant::now();
+    let child = store.split_shard(hot).expect("hot shard exists");
+    println!(
+        "  split shard {hot} -> child {child} in {:?} (topology v{})",
+        t0.elapsed(),
+        store.topology().version()
+    );
+    let recovery =
+        (0..ROUNDS).map(|round| phase(&format!("post-split round {round}"))).sum::<f64>()
+            / ROUNDS as f64;
+
+    // Audit: the split lost nothing, and routing agrees with the data.
+    let mut auditor = store.client(store.admit_guest());
+    assert_eq!(auditor.scan("", "\u{10ffff}").len(), keys.len(), "every hot key survives");
+    let entries: u64 = store.snapshot_stats().iter().map(|d| d.entries).sum();
+    assert_eq!(entries, keys.len() as u64, "stats snapshots agree with the scan");
+    assert!(
+        recovery > plateau,
+        "post-split ops/s ({recovery:.0}) must recover above the plateau ({plateau:.0})"
+    );
+    println!("  recovery vs plateau: {:.2}x", recovery / plateau);
 }
 
 /// The compaction/recovery scenario: checkpoint, flush, crash, recover,
@@ -200,7 +290,7 @@ fn recovery_scenario() {
     let fresh_steps = |checkpointed: bool| {
         let log = preloaded_shard_log(KEYS as usize, checkpointed);
         let mut fresh = log.owned_handle(1).expect("port 1 free");
-        fresh.apply(Batch(vec![StoreOp::Get("key/0000".into())]));
+        fresh.apply(ShardCmd::Batch(Batch::new(0, vec![StoreOp::Get("key/0000".into())])));
         fresh.replay_steps()
     };
     let without = fresh_steps(false);

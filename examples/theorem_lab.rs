@@ -61,8 +61,7 @@ fn main() {
     banner("Theorem 5 — the arbiter (Figure 4), exhaustively model-checked");
     let (sys, _) =
         arbiter_system(3, ProcessSet::from_indices([0]), ProcessSet::from_indices([1, 2]));
-    let explorer =
-        Explorer::new(ExploreConfig::default().with_crashes(1, ProcessSet::first_n(3)));
+    let explorer = Explorer::new(ExploreConfig::default().with_crashes(1, ProcessSet::first_n(3)));
     let result = explorer.explore(&sys, &[&Agreement, &NoFaults]);
     println!(
         "  1 owner vs 2 guests, crash budget 1: {} states, agreement {}",

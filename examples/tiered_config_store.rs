@@ -70,8 +70,7 @@ fn main() {
 
     let control_per_op =
         control_nanos.load(Ordering::Relaxed) / (CONTROL_THREADS * CONTROL_OPS) as u64;
-    let worker_per_op =
-        worker_nanos.load(Ordering::Relaxed) / (WORKER_THREADS * WORKER_OPS) as u64;
+    let worker_per_op = worker_nanos.load(Ordering::Relaxed) / (WORKER_THREADS * WORKER_OPS) as u64;
     println!("control-plane (wait-free) mean latency:   {control_per_op:>8} ns/op");
     println!("workers      (obstr.-free) mean latency:  {worker_per_op:>8} ns/op");
     println!(

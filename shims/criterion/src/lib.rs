@@ -239,8 +239,10 @@ impl BenchmarkGroup<'_> {
     /// Sets the nominal sample count (scales this shim's time budget).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         // Real criterion defaults to 100 samples; scale the budget so
-        // explicitly-small groups (expensive benches) stay fast.
-        self.budget = Duration::from_millis((n as u64).clamp(10, 100));
+        // explicitly-small groups (expensive benches) stay fast, while
+        // gated series (bench_trend in CI) can buy a bigger averaging
+        // window against scheduler noise.
+        self.budget = Duration::from_millis((n as u64).clamp(10, 400));
         self
     }
 

@@ -36,7 +36,9 @@ fn drain_garbage_if_quiescent() {
         return;
     }
     let drained: Vec<Garbage> = {
-        let Ok(mut garbage) = GARBAGE.lock() else { return };
+        let Ok(mut garbage) = GARBAGE.lock() else {
+            return;
+        };
         if LIVE_GUARDS.load(Ordering::Acquire) != 0 {
             return;
         }
@@ -246,7 +248,12 @@ impl<T> Atomic<T> {
     }
 
     /// Atomically swaps in `new`, returning the previous pointer.
-    pub fn swap<'g, P: Pointer<T>>(&self, new: P, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
         Shared { ptr: self.ptr.swap(new.into_ptr(), ord), _guard: PhantomData }
     }
 

@@ -2,9 +2,7 @@
 //! model-checked across configurations — the executable form of
 //! Lemmas 12–16.
 
-use asymmetric_progress::core::arbiter::model::{
-    arbiter_system, arbiter_system_with, role_value,
-};
+use asymmetric_progress::core::arbiter::model::{arbiter_system, arbiter_system_with, role_value};
 use asymmetric_progress::core::arbiter::Role;
 use asymmetric_progress::model::explore::{
     Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn,
@@ -24,22 +22,16 @@ fn guest() -> asymmetric_progress::model::Value {
 /// with a crash budget of 1 — every schedule, every crash position.
 #[test]
 fn agreement_validity_all_small_splits() {
-    let configs: &[(usize, &[usize], &[usize])] = &[
-        (2, &[0], &[1]),
-        (3, &[0], &[1, 2]),
-        (3, &[0, 1], &[2]),
-        (4, &[0, 1], &[2, 3]),
-    ];
+    let configs: &[(usize, &[usize], &[usize])] =
+        &[(2, &[0], &[1]), (3, &[0], &[1, 2]), (3, &[0, 1], &[2]), (4, &[0, 1], &[2, 3])];
     for &(n, owners, guests) in configs {
         let owners = ProcessSet::from_indices(owners.iter().copied());
         let guests = ProcessSet::from_indices(guests.iter().copied());
         let (sys, _) = arbiter_system(n, owners, guests);
         let explorer =
             Explorer::new(ExploreConfig::default().with_crashes(1, ProcessSet::first_n(n)));
-        let result = explorer.explore(
-            &sys,
-            &[&Agreement, &ValidityIn::new([owner(), guest()]), &NoFaults],
-        );
+        let result =
+            explorer.explore(&sys, &[&Agreement, &ValidityIn::new([owner(), guest()]), &NoFaults]);
         assert!(result.ok(), "({n}, {owners}, {guests}): {:?}", result.violations.first());
         assert!(!result.truncated, "({n}, {owners}, {guests}) truncated");
         // Both outcomes reachable when both camps participate.

@@ -79,10 +79,7 @@ fn consensus_history_is_linearizable() {
             }
         });
         let history = ops.into_inner().unwrap();
-        assert!(
-            is_linearizable(&ConsensusSpec, &history),
-            "history not linearizable: {history:?}"
-        );
+        assert!(is_linearizable(&ConsensusSpec, &history), "history not linearizable: {history:?}");
     }
 }
 
@@ -105,11 +102,7 @@ fn wait_free_member_unblocks_everyone() {
             s.spawn(move || {
                 barrier.wait();
                 let returned = cons.propose(pid, pid as u64).unwrap();
-                records.lock().unwrap().push(ProposeRecord {
-                    pid,
-                    proposed: pid as u64,
-                    returned,
-                });
+                records.lock().unwrap().push(ProposeRecord { pid, proposed: pid as u64, returned });
             });
         }
         let cons = &cons;

@@ -95,9 +95,7 @@ fn every_process_can_win() {
             1000,
         );
         assert_eq!(
-            runner
-                .system()
-                .decision(asymmetric_progress::model::ProcessId::new(pid)),
+            runner.system().decision(asymmetric_progress::model::ProcessId::new(pid)),
             Some(Value::Num(100 + pid as u32)),
             "p{pid}'s value must win when it runs alone"
         );

@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 
+use asymmetric_progress::core::arbiter::model::arbiter_system;
 use asymmetric_progress::core::consensus::model::register_consensus_system;
 use asymmetric_progress::core::group::model::group_system;
 use asymmetric_progress::core::group::GroupLayout;
-use asymmetric_progress::core::arbiter::model::arbiter_system;
 use asymmetric_progress::model::programs::ProposeProgram;
 use asymmetric_progress::model::{
     ProcessId, ProcessSet, Runner, Schedule, ScheduleEvent, SystemBuilder, Value,

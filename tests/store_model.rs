@@ -1,10 +1,12 @@
 //! Exhaustive model checks of the store's shard commit path: commit safety
 //! on every schedule, the asymmetric liveness guarantee (Theorem 3
 //! flavor) — every fair schedule with a VIP participant terminates, while
-//! guest-only schedules admit a fair livelock — and the checkpoint-install
+//! guest-only schedules admit a fair livelock — the checkpoint-install
 //! race: a checkpoint proposed through the same consensus path as client
 //! batches is safe on every schedule (no committed op dropped or replayed
-//! twice).
+//! twice) — and the **split-vs-commit race**: a live shard split's
+//! topology-bump record racing concurrent VIP/guest batches places exactly
+//! once on every schedule, and VIP fair-termination survives the split.
 
 use asymmetric_progress::model::explore::{
     Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn,
@@ -12,8 +14,8 @@ use asymmetric_progress::model::explore::{
 use asymmetric_progress::model::fairness::{fair_livelocks, fair_termination, StateGraph};
 use asymmetric_progress::model::{ProcessSet, Value};
 use asymmetric_progress::store::model::{
-    checkpointed_commit_system, proposed_batches, shard_commit_system, PlacementSafety,
-    CHECKPOINT_BASE,
+    checkpointed_commit_system, proposed_batches, shard_commit_system, split_commit_system,
+    PlacementSafety, CHECKPOINT_BASE, SPLIT_BASE,
 };
 
 fn mask_participants(mask: u8, n: usize) -> ProcessSet {
@@ -44,10 +46,8 @@ fn commit_safety_4_2_exhaustive() {
     let participants = ProcessSet::first_n(4);
     let (sys, _) = shard_commit_system(4, 2, 1, participants);
     let explorer = Explorer::new(ExploreConfig::default().with_max_states(500_000));
-    let result = explorer.explore(
-        &sys,
-        &[&Agreement, &ValidityIn::new(proposed_batches(participants)), &NoFaults],
-    );
+    let result = explorer
+        .explore(&sys, &[&Agreement, &ValidityIn::new(proposed_batches(participants)), &NoFaults]);
     assert!(result.ok(), "{:?}", result.violations.first());
     assert!(!result.truncated);
 }
@@ -88,9 +88,7 @@ fn guest_only_schedules_admit_livelock() {
             "({ports},{vips}) guests {guest_mask:04b}: lockstep livelock witness expected"
         );
         // The witness starves exactly the participating guests.
-        assert!(witnesses
-            .iter()
-            .any(|w| w.live.iter().all(|p| participants.contains(p))));
+        assert!(witnesses.iter().any(|w| w.live.iter().all(|p| participants.contains(p))));
         let verdict = fair_termination(&graph, |pid| participants.contains(pid));
         assert!(!verdict.holds(), "guest-only termination must not be guaranteed");
     }
@@ -110,8 +108,7 @@ fn checkpoint_install_race_safety_matrix_exhaustive() {
             }
             let committers = mask_participants(committer_mask, 3);
             let participants = mask_participants(committer_mask | (1 << ck), 3);
-            let (sys, cells, proposals) =
-                checkpointed_commit_system(3, 1, 1, committers, Some(ck));
+            let (sys, cells, proposals) = checkpointed_commit_system(3, 1, 1, committers, Some(ck));
             let safety = PlacementSafety { cells, participants, proposals };
             let explorer = Explorer::new(ExploreConfig::default().with_max_states(400_000));
             let result = explorer.explore(&sys, &[&safety, &NoFaults]);
@@ -134,11 +131,7 @@ fn checkpoint_install_race_safety_matrix_exhaustive() {
 fn checkpoint_race_4_2_exhaustive() {
     let committers = ProcessSet::from_indices([0, 1, 2]);
     let (sys, cells, proposals) = checkpointed_commit_system(4, 2, 1, committers, Some(3));
-    let safety = PlacementSafety {
-        cells,
-        participants: ProcessSet::first_n(4),
-        proposals,
-    };
+    let safety = PlacementSafety { cells, participants: ProcessSet::first_n(4), proposals };
     let explorer = Explorer::new(ExploreConfig::default().with_max_states(2_000_000));
     let result = explorer.explore(&sys, &[&safety, &NoFaults]);
     assert!(result.ok(), "{:?}", result.violations.first());
@@ -175,13 +168,103 @@ fn guest_checkpointer_racing_guest_committer_admits_livelock() {
     assert!(!witnesses.is_empty(), "lockstep guests must admit a livelock witness");
 }
 
-/// The checkpoint marker value is namespaced away from batch ids, so the
-/// two can never be confused in a cell decision.
+/// The split race matrix, exhaustively: for a (3,1) shard, every committer
+/// participation pattern racing a topology-bump install from every
+/// non-committing port satisfies [`PlacementSafety`] on **every** schedule
+/// — no committed batch is dropped by the migration, nothing (batch or
+/// bump) is agreed by two log cells (no op replays into both sides of the
+/// split), and terminal states place every participant. This is the
+/// model-checked core of [`Store::split_shard`]'s safety claim.
+#[test]
+fn split_install_race_safety_matrix_exhaustive() {
+    for committer_mask in 0u8..8 {
+        for splitter in 0usize..3 {
+            if committer_mask & (1 << splitter) != 0 {
+                continue; // the splitter does not also commit a batch
+            }
+            let committers = mask_participants(committer_mask, 3);
+            let participants = mask_participants(committer_mask | (1 << splitter), 3);
+            let (sys, cells, proposals) = split_commit_system(3, 1, 1, committers, Some(splitter));
+            let safety = PlacementSafety { cells, participants, proposals };
+            let explorer = Explorer::new(ExploreConfig::default().with_max_states(400_000));
+            let result = explorer.explore(&sys, &[&safety, &NoFaults]);
+            assert!(
+                result.ok(),
+                "committers {committer_mask:03b} + split {splitter}: {:?}",
+                result.violations.first()
+            );
+            assert!(
+                !result.truncated,
+                "committers {committer_mask:03b} + split {splitter} must be exhaustive"
+            );
+        }
+    }
+}
+
+/// At (4,2): both VIPs and a guest commit while the other guest installs a
+/// split bump — still safe on every schedule.
+#[test]
+fn split_race_4_2_exhaustive() {
+    let committers = ProcessSet::from_indices([0, 1, 2]);
+    let (sys, cells, proposals) = split_commit_system(4, 2, 1, committers, Some(3));
+    let safety = PlacementSafety { cells, participants: ProcessSet::first_n(4), proposals };
+    let explorer = Explorer::new(ExploreConfig::default().with_max_states(2_000_000));
+    let result = explorer.explore(&sys, &[&safety, &NoFaults]);
+    assert!(result.ok(), "{:?}", result.violations.first());
+    assert!(!result.truncated);
+}
+
+/// VIP wait-freedom survives a split: a VIP committing while a guest
+/// installs the topology bump terminates on every fair schedule — the
+/// split rides the guest tier and obeys the helping rule, so it cannot
+/// block the wait-free class.
+#[test]
+fn vip_commit_racing_split_terminates_fairly() {
+    let committers = ProcessSet::from_indices([0]);
+    let (sys, _, _) = split_commit_system(3, 1, 1, committers, Some(2));
+    let graph = StateGraph::build(&sys, 500_000);
+    assert!(!graph.truncated());
+    let participants = ProcessSet::from_indices([0, 2]);
+    let verdict = fair_termination(&graph, |pid| participants.contains(pid));
+    assert!(verdict.holds(), "{verdict:?}");
+}
+
+/// Both VIPs committing against a guest's split bump also terminate fairly
+/// at (4,2) — the wait-free tier's guarantee is per-class, not per-port.
+#[test]
+fn both_vips_racing_split_terminate_fairly_4_2() {
+    let committers = ProcessSet::from_indices([0, 1]);
+    let (sys, _, _) = split_commit_system(4, 2, 1, committers, Some(3));
+    let graph = StateGraph::build(&sys, 2_000_000);
+    assert!(!graph.truncated());
+    let participants = ProcessSet::from_indices([0, 1, 3]);
+    let verdict = fair_termination(&graph, |pid| participants.contains(pid));
+    assert!(verdict.holds(), "{verdict:?}");
+}
+
+/// The caveat carries over from checkpoints: split installation is
+/// lock-free but not wait-free — a guest splitter and a guest committer can
+/// starve each other in lockstep. This is why `Store::split_shard` rides
+/// the guest tier and documents the split as lock-free.
+#[test]
+fn guest_splitter_racing_guest_committer_admits_livelock() {
+    let committers = ProcessSet::from_indices([1]);
+    let (sys, _, _) = split_commit_system(3, 1, 1, committers, Some(2));
+    let graph = StateGraph::build(&sys, 500_000);
+    assert!(!graph.truncated());
+    let witnesses = fair_livelocks(&graph);
+    assert!(!witnesses.is_empty(), "lockstep guests must admit a livelock witness");
+}
+
+/// The checkpoint and split marker values are namespaced away from batch
+/// ids (and from each other), so none can be confused in a cell decision.
 #[test]
 fn checkpoint_values_are_disjoint_from_batches() {
     let batches = proposed_batches(ProcessSet::first_n(64));
     for pid in 0..64u32 {
         assert!(!batches.contains(&Value::Num(CHECKPOINT_BASE + pid)));
+        assert!(!batches.contains(&Value::Num(SPLIT_BASE + pid)));
+        assert_ne!(CHECKPOINT_BASE + pid, SPLIT_BASE + pid);
     }
 }
 

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use asymmetric_progress::store::{StoreBuilder, StoreOp, StoreResp};
+use asymmetric_progress::store::{ShardTopology, StoreBuilder, StoreOp, StoreResp};
 
 /// The independent oracle: the sequential meaning of one operation.
 fn oracle_apply(state: &mut BTreeMap<String, u64>, op: &StoreOp) -> StoreResp {
@@ -203,5 +203,131 @@ proptest! {
         let scanned = auditor.scan("", "z");
         let want: Vec<(String, u64)> = oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
         prop_assert_eq!(scanned, want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Live splits are semantically invisible: random op sequences with
+    /// random split points interleaved still match the oracle
+    /// response-for-response, and the terminal scan equals the oracle.
+    #[test]
+    fn sequential_ops_match_oracle_across_splits(
+        shards in 1usize..3,
+        encoded in proptest::collection::vec((0u8..6, 0u8..12, 0u64..16), 8..60),
+        split_points in proptest::collection::vec((0usize..60, 0usize..8), 1..4),
+    ) {
+        let store = StoreBuilder::new()
+            .shards(shards)
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .build()
+            .expect("valid sizing");
+        let mut client = store.client(store.admit_vip().expect("first vip"));
+        let mut oracle = BTreeMap::new();
+        for (i, (kind, key, val)) in encoded.iter().enumerate() {
+            for &(at, target) in &split_points {
+                if at == i {
+                    // Split an arbitrary existing shard mid-stream.
+                    let victim = target % store.shards();
+                    let child = store.split_shard(victim).expect("valid shard id");
+                    prop_assert_eq!(child, store.shards() - 1, "splits append");
+                }
+            }
+            let op = decode_op(*kind, *key, *val);
+            let got = client.execute(vec![op.clone()]).pop().expect("one response");
+            let want = oracle_apply(&mut oracle, &op);
+            prop_assert_eq!(&got, &want, "op {} ({:?}) diverged post-split", i, op);
+        }
+        let all = client.execute(vec![StoreOp::Scan { from: String::new(), to: "z".into() }]);
+        let want: Vec<(String, u64)> = oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(&all[0], &StoreResp::Entries(want));
+        // Audit: per-shard stats cover exactly the oracle's keys.
+        let entries: u64 = store.snapshot_stats().iter().map(|d| d.entries).sum();
+        prop_assert_eq!(entries, oracle.len() as u64);
+    }
+
+    /// The minimal-disruption property of rendezvous routing: across any
+    /// sequence of splits, a key's placement changes **only** at the split
+    /// of its current shard, and it moves **only** to the freshly created
+    /// shard. Every other placement is untouched.
+    #[test]
+    fn rendezvous_splits_are_minimally_disruptive(
+        roots in 1usize..6,
+        splits in proptest::collection::vec(0usize..16, 1..8),
+        raw_keys in proptest::collection::vec((0u8..26, 0u64..4096), 16..64),
+    ) {
+        let keys: Vec<String> = raw_keys
+            .iter()
+            .map(|(prefix, n)| format!("{}/{n:04}", (b'a' + prefix) as char))
+            .collect();
+        let mut topology = ShardTopology::fresh(roots);
+        for target in splits {
+            let victim = target % topology.shards();
+            let before: Vec<usize> = keys.iter().map(|k| topology.shard_of(k)).collect();
+            let (bumped, child) = topology.split(victim);
+            prop_assert_eq!(child, topology.shards(), "split ids are dense and appended");
+            prop_assert_eq!(bumped.version(), topology.version() + 1);
+            for (key, &was) in keys.iter().zip(&before) {
+                let now = bumped.shard_of(key);
+                if now != was {
+                    prop_assert_eq!(now, child, "{} may only move to the new shard", key);
+                    prop_assert_eq!(was, victim, "{} may only leave the split shard", key);
+                }
+            }
+            topology = bumped;
+        }
+    }
+}
+
+/// Router edge case: a 1-shard store serves point ops, batches, and scans
+/// (broadcast degenerates to a single sub-batch).
+#[test]
+fn one_shard_store_serves_batches_and_scans() {
+    let store = StoreBuilder::new()
+        .shards(1)
+        .vip_capacity(1)
+        .guest_ports(2)
+        .guest_group_width(1)
+        .build()
+        .expect("valid sizing");
+    let mut c = store.client(store.admit_vip().expect("vip"));
+    let resps = c.execute(vec![
+        StoreOp::Put("a".into(), 1),
+        StoreOp::Put("b".into(), 2),
+        StoreOp::Scan { from: "".into(), to: "z".into() },
+        StoreOp::Remove("a".into()),
+        StoreOp::Scan { from: "".into(), to: "z".into() },
+    ]);
+    assert_eq!(resps.len(), 5);
+    assert_eq!(
+        resps[2],
+        StoreResp::Entries(vec![("a".into(), 1), ("b".into(), 2)]),
+        "mid-batch scan sees the same-batch puts"
+    );
+    assert_eq!(resps[4], StoreResp::Entries(vec![("b".into(), 2)]));
+}
+
+/// Router edge case: scans against an empty store return empty (no panic,
+/// no phantom entries), on 1 shard and on many — and likewise after a
+/// split of an empty store.
+#[test]
+fn empty_store_scans_are_empty() {
+    for shards in [1usize, 4] {
+        let store = StoreBuilder::new()
+            .shards(shards)
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .build()
+            .expect("valid sizing");
+        let mut c = store.client(store.admit_guest());
+        assert_eq!(c.scan("", "\u{10ffff}"), vec![]);
+        assert_eq!(c.scan("z", "a"), vec![], "inverted range is empty, not an error");
+        store.split_shard(0).expect("splitting an empty shard is fine");
+        assert_eq!(c.scan("", "\u{10ffff}"), vec![]);
+        assert_eq!(store.shards(), shards + 1);
     }
 }

@@ -14,11 +14,11 @@ use std::path::PathBuf;
 
 use proptest::prelude::*;
 
+use asymmetric_progress::core::liveness::Liveness;
 use asymmetric_progress::store::persist::{PersistError, RecoverError, StoreSnapshot};
 use asymmetric_progress::store::{Store, StoreBuilder, StoreOp, StoreResp};
-use asymmetric_progress::universal::{CasFactory, Universal};
 use asymmetric_progress::universal::seq::{Counter, CounterOp};
-use asymmetric_progress::core::liveness::Liveness;
+use asymmetric_progress::universal::{CasFactory, Universal};
 
 /// A scratch path under cargo's per-target tmp dir, unique per test.
 fn scratch(name: &str) -> PathBuf {
@@ -390,4 +390,66 @@ fn snapshot_api_roundtrip() {
     let decoded = StoreSnapshot::decode(&snap.encode()).unwrap();
     assert_eq!(decoded, snap);
     assert_eq!(decoded.entries(), 2);
+}
+
+/// The acceptance-criteria roundtrip: a store that performed **live
+/// splits** flushes, crashes, and recovers with its post-split topology
+/// intact — same shard count, same split tree, same placement, same data.
+#[test]
+fn post_split_topology_survives_crash_recovery() {
+    let path = scratch("post-split.snapshot");
+    let (expected, topology_before) = {
+        let store = StoreBuilder::new()
+            .shards(2)
+            .vip_capacity(1)
+            .guest_ports(3)
+            .guest_group_width(1)
+            .build()
+            .unwrap();
+        let mut c = store.client(store.admit_vip().unwrap());
+        for i in 0..96u64 {
+            c.put(&format!("key/{i:03}"), i);
+        }
+        // Two live splits (one stacked on the first child's parent).
+        let c1 = store.split_shard(store.hottest_shard()).unwrap();
+        store.split_shard(c1 % store.shards()).unwrap();
+        assert_eq!(store.shards(), 4);
+        assert_eq!(store.topology().version(), 2);
+        c.put("post/split", 7);
+        store.checkpoint().write_to(&path).unwrap();
+        // Post-flush commits must not survive.
+        c.put("late", 1);
+        (full_scan(&store), store.topology())
+    }; // crash
+    let recovered = StoreBuilder::new()
+        .vip_capacity(1)
+        .guest_ports(3)
+        .guest_group_width(1)
+        .recover(&path)
+        .unwrap();
+    assert_eq!(recovered.shards(), 4, "post-split shard count restored");
+    let topology_after = recovered.topology();
+    assert_eq!(topology_after.version(), 2, "topology version restored");
+    assert_eq!(topology_after, topology_before, "the split tree survives verbatim");
+    // Placement agrees exactly with the pre-crash topology, so every key
+    // routes to the shard that actually holds its data.
+    let mut c = recovered.client(recovered.admit_vip().unwrap());
+    let scanned: Vec<(String, u64)> =
+        full_scan(&recovered).into_iter().filter(|(k, _)| k != "late").collect();
+    assert_eq!(scanned, expected.into_iter().filter(|(k, _)| k != "late").collect::<Vec<_>>());
+    for (key, value) in &scanned {
+        assert_eq!(c.get(key), Some(*value), "{key} routes to its post-split shard");
+        assert_eq!(
+            recovered.shard_of(key),
+            topology_before.shard_of(key),
+            "{key} placement survives recovery"
+        );
+    }
+    assert_eq!(c.get("late"), None, "post-flush commits are not durable");
+    // The recovered store can keep splitting.
+    let next = recovered.split_shard(0).unwrap();
+    assert_eq!(next, 4);
+    assert_eq!(recovered.topology().version(), 3);
+    c.put("after/recovery", 9);
+    assert_eq!(c.get("after/recovery"), Some(9));
 }

@@ -6,8 +6,8 @@ use asymmetric_progress::core::consensus::model::{
 };
 use asymmetric_progress::hierarchy::theorem4;
 use asymmetric_progress::model::explore::{ExploreConfig, Explorer, Valence};
-use asymmetric_progress::model::{ProcessId, ProcessSet, SystemBuilder, Value};
 use asymmetric_progress::model::programs::ProposeProgram;
+use asymmetric_progress::model::{ProcessId, ProcessSet, SystemBuilder, Value};
 
 fn oracle() -> Explorer {
     Explorer::new(ExploreConfig::default().with_max_states(500_000).with_max_depth(100))

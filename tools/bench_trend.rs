@@ -1,0 +1,224 @@
+//! `bench_trend` — the perf-trajectory CI gate.
+//!
+//! Diffs freshly recorded `BENCH_*.json` files (written by the criterion
+//! shim when `BENCH_JSON` is set) against the committed baseline and
+//! **fails on a >30% ops/s regression** in any series present in both.
+//! New series (no baseline yet) and retired series are reported but never
+//! fail the gate; the baseline is refreshed by committing a fresh file, so
+//! the trajectory stays plottable straight from git history.
+//!
+//! ```text
+//! cargo run -p apc-bench --bin bench_trend -- <baseline.json> <fresh.json>... \
+//!     [--max-regression 0.30] [--skip <substring>]... [--emit <merged.json>]
+//! ```
+//!
+//! Passing **several fresh files** (CI records three back-to-back runs)
+//! gates on the per-series *best* of them: wall-clock noise on shared
+//! runners is one-sided — a throttled run only ever looks slower — so a
+//! genuine regression still fails every run while a noisy dip in one run
+//! does not flap the gate.
+//!
+//! `--emit` writes the merged best-of-N series back out in the report
+//! format (normalized to per-op terms; `ops_per_sec` — the only gated
+//! field — is preserved exactly). CI uploads that file as the refreshed
+//! baseline artifact, so a single throttled run can never ratchet the
+//! committed baseline downward.
+//!
+//! `--skip` exempts series whose name contains the substring from the gate
+//! (they are still printed): use it for series whose variance is dominated
+//! by the environment rather than the code, e.g. fsync-bound disk writes on
+//! shared CI runners.
+//!
+//! Exit code 0 = no gated regression, 1 = regression beyond the threshold,
+//! 2 = usage/parse error. The parser is deliberately minimal: it reads
+//! exactly the one-record-per-line JSON the criterion shim emits (no serde
+//! in the offline workspace).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed benchmark series: name → ops/s.
+type Series = BTreeMap<String, f64>;
+
+/// Extracts the string value of `"key": "…"` from a JSON record line.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts the numeric value of `"key": 123.4` from a JSON record line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the criterion shim's report format: one `{"name": …}` record per
+/// line inside the `"benchmarks"` array.
+fn parse_report(path: &str) -> Result<Series, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut series = Series::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let (Some(name), Some(ops)) =
+            (string_field(line, "name"), number_field(line, "ops_per_sec"))
+        else {
+            continue;
+        };
+        series.insert(name, ops);
+    }
+    if series.is_empty() {
+        return Err(format!("{path} contains no benchmark records"));
+    }
+    Ok(series)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_regression = 0.30f64;
+    let mut skips: Vec<String> = Vec::new();
+    let mut emit: Option<String> = None;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regression" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 && v < 1.0 => max_regression = v,
+                _ => {
+                    eprintln!("--max-regression needs a fraction in (0, 1)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--skip" => match it.next() {
+                Some(s) => skips.push(s.clone()),
+                None => {
+                    eprintln!("--skip needs a series-name substring");
+                    return ExitCode::from(2);
+                }
+            },
+            "--emit" => match it.next() {
+                Some(p) => emit = Some(p.clone()),
+                None => {
+                    eprintln!("--emit needs an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => files.push(arg.clone()),
+        }
+    }
+    let [baseline_path, fresh_paths @ ..] = files.as_slice() else {
+        eprintln!(
+            "usage: bench_trend <baseline.json> <fresh.json>... \
+             [--max-regression 0.30] [--skip <substring>]... [--emit <merged.json>]"
+        );
+        return ExitCode::from(2);
+    };
+    if fresh_paths.is_empty() {
+        eprintln!("bench_trend: need at least one fresh report after the baseline");
+        return ExitCode::from(2);
+    }
+    let baseline = match parse_report(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_trend: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Best-of-N across the fresh runs, per series.
+    let mut fresh = Series::new();
+    for path in fresh_paths {
+        match parse_report(path) {
+            Ok(run) => {
+                for (name, ops) in run {
+                    let best = fresh.entry(name).or_insert(ops);
+                    *best = best.max(ops);
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_trend: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!("{:<52} {:>14} {:>14} {:>8}", "series", "baseline ops/s", "fresh ops/s", "delta");
+    let mut regressions = Vec::new();
+    for (name, &fresh_ops) in &fresh {
+        match baseline.get(name) {
+            Some(&base_ops) if base_ops > 0.0 => {
+                let delta = fresh_ops / base_ops - 1.0;
+                let skipped = skips.iter().any(|s| name.contains(s.as_str()));
+                let flag = if delta < -max_regression {
+                    if skipped {
+                        "  (regressed, skipped)"
+                    } else {
+                        "  << REGRESSION"
+                    }
+                } else {
+                    ""
+                };
+                println!(
+                    "{name:<52} {base_ops:>14.1} {fresh_ops:>14.1} {:>+7.1}%{flag}",
+                    delta * 100.0
+                );
+                if delta < -max_regression && !skipped {
+                    regressions.push((name.clone(), delta));
+                }
+            }
+            _ => println!("{name:<52} {:>14} {fresh_ops:>14.1}      new", "-"),
+        }
+    }
+    for name in baseline.keys().filter(|n| !fresh.contains_key(*n)) {
+        println!("{name:<52} {:>14.1} {:>14}  retired", baseline[name], "-");
+    }
+
+    if let Some(path) = emit {
+        // The merged best-of-N series, in the shim's report format: this is
+        // what CI uploads (and what gets committed as the refreshed
+        // baseline), so a single throttled run can never ratchet the
+        // baseline downward.
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, (name, ops)) in fresh.iter().enumerate() {
+            let ns_per_op = if *ops > 0.0 { 1e9 / ops } else { 0.0 };
+            out.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"ns_per_iter\": {}, \"elements_per_iter\": 1, \
+                 \"ns_per_op\": {ns_per_op:.1}, \"ops_per_sec\": {ops:.1}}}{}\n",
+                ns_per_op.round() as u64,
+                if i + 1 == fresh.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("bench_trend: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("merged best-of-{} series written to {path}", fresh_paths.len());
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "\nbench_trend: OK — no series regressed more than {:.0}%",
+            max_regression * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nbench_trend: FAIL — {} series regressed more than {:.0}%:",
+            regressions.len(),
+            max_regression * 100.0
+        );
+        for (name, delta) in &regressions {
+            eprintln!("  {name}: {:+.1}%", delta * 100.0);
+        }
+        ExitCode::FAILURE
+    }
+}
