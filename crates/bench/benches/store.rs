@@ -11,6 +11,11 @@
 //!   topology machinery (see `hot_key_split` for where the win shows per
 //!   host shape; `examples/store_bench.rs` drives the in-place mid-run
 //!   split with an asserted recovery);
+//! * the **elastic scenario** — the same melt with the automatic policy
+//!   driver (`StoreBuilder::elastic`) doing the splitting and, once the
+//!   load moves away, the merging: `post-auto-split` and
+//!   `post-auto-merge` measure the converged steady states with zero
+//!   manual reconfiguration calls;
 //! * same-shard batching vs one-append-per-op — what the operation layer's
 //!   batching buys;
 //! * the wait-free stats snapshot under guest load — the VIP dashboard
@@ -28,7 +33,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use apc_store::workload::{keys_on_shard, preloaded_shard_log, Scenario};
-use apc_store::{Batch, ShardCmd, Store, StoreBuilder, StoreOp};
+use apc_store::{Batch, ElasticityPolicy, ShardCmd, Store, StoreBuilder, StoreOp};
 
 const CLIENTS: usize = 6;
 const OPS_PER_CLIENT: usize = 40;
@@ -173,6 +178,79 @@ fn hot_key_split(c: &mut Criterion) {
     g.finish();
 }
 
+/// Builds an **elastic** hot-shard cell — same melt as `setup_hot_split`,
+/// but the reconfigurations are the policy driver's, never a manual call —
+/// and drives it to convergence: through the auto-split (`through_merge ==
+/// false`; the returned keys keep the melt aimed at the grown subtree) or
+/// all the way through the cool-down auto-merges back to the original live
+/// set (`through_merge == true`; the returned keys are the cool traffic).
+fn setup_elastic(through_merge: bool) -> (Store, Vec<apc_store::ClientTicket>, Vec<String>) {
+    let store = StoreBuilder::new()
+        .shards(4)
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .elastic(ElasticityPolicy {
+            evaluate_every: 128,
+            // Dwarf the single-core burst length (≤ 900 consecutive
+            // same-shard commits, see the policy docs) so scheduler slices
+            // never read as key-space skew.
+            min_window: 4096,
+            cooldown: 1024,
+            ..ElasticityPolicy::default()
+        })
+        .build()
+        .expect("bench sizing is valid");
+    let hot_keys = keys_on_shard(&store.topology(), 0, HOT_CLIENTS);
+    let mut loader = store.client(store.admit_guest());
+    for key in &hot_keys {
+        loader.put(key, 0);
+    }
+    let tickets: Vec<_> = (0..VIP_CAPACITY)
+        .map(|_| store.admit_vip().expect("mix respects capacity"))
+        .chain((0..HOT_CLIENTS - VIP_CAPACITY).map(|_| store.admit_guest()))
+        .collect();
+    let mut rounds = 0;
+    while store.elastic_report().expect("driver configured").splits == 0 {
+        run_hot_phase(&store, &tickets, &hot_keys);
+        rounds += 1;
+        assert!(rounds < 64, "the melt must trigger an auto-split");
+    }
+    if !through_merge {
+        return (store, tickets, hot_keys);
+    }
+    let cool_keys: Vec<String> =
+        (1..4).flat_map(|s| keys_on_shard(&store.topology(), s, HOT_CLIENTS.div_ceil(3))).collect();
+    let mut rounds = 0;
+    while store.live_shards() > 4 {
+        run_hot_phase(&store, &tickets, &cool_keys);
+        rounds += 1;
+        assert!(rounds < 64, "fading load must trigger the auto-merges");
+    }
+    (store, tickets, cool_keys)
+}
+
+/// The elastic series: the hot workload right after the driver's own
+/// split (`post-auto-split`) and the cool workload right after its merges
+/// unwound the topology (`post-auto-merge`) — the converged steady states
+/// of the two halves of the policy, with zero manual reconfiguration
+/// calls anywhere in the cell.
+fn elastic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/scenarios/elastic");
+    g.sample_size(50);
+    g.throughput(Throughput::Elements((HOT_CLIENTS * HOT_OPS_PER_CLIENT) as u64));
+    for (name, through_merge) in [("post-auto-split", false), ("post-auto-merge", true)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || setup_elastic(through_merge),
+                |(store, tickets, keys)| run_hot_phase(&store, &tickets, &keys),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 fn batching(c: &mut Criterion) {
     const OPS: usize = 64;
     let mut g = c.benchmark_group("store/batching");
@@ -289,5 +367,13 @@ fn recovery(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, scenarios, hot_key_split, batching, stats_snapshot_under_load, recovery);
+criterion_group!(
+    benches,
+    scenarios,
+    hot_key_split,
+    elastic,
+    batching,
+    stats_snapshot_under_load,
+    recovery
+);
 criterion_main!(benches);

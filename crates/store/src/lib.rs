@@ -16,11 +16,18 @@
 //!   [`GroupLayout`](apc_core::group::GroupLayout)-computed arbiter-cascade
 //!   groups (§6.2);
 //! * [`router`] — rendezvous-hashes keys over a **versioned shard
-//!   topology** (HRW at the roots, pairwise HRW down the split tree) and
-//!   plans client batches into at most one log append per shard, merging
-//!   broadcast scans; [`Store::split_shard`](store::Store::split_shard)
-//!   grows the topology **live**, linearizing the bump through the hot
-//!   shard's own consensus log;
+//!   topology** (HRW at the roots, pairwise HRW down the split tree,
+//!   tombstones skipped) and plans client batches into at most one log
+//!   append per live shard, merging broadcast scans; the topology is
+//!   **elastic in both directions**:
+//!   [`Store::split_shard`](store::Store::split_shard) grows it live
+//!   (the bump linearized through the hot shard's own consensus log)
+//!   and [`Store::merge_shard`](store::Store::merge_shard) retires a
+//!   cold child back into its parent (a drain through the child's log
+//!   plus an adoption through the parent's — both sealed, so a merge
+//!   compacts both logs). [`StoreBuilder::elastic`] adds the automatic
+//!   policy driver ([`elastic`]): split on sustained total-share skew,
+//!   merge faded children back, hysteresis + cool-down against thrash;
 //! * [`ops`] + [`store`] — read/write/CAS/scan operations, same-shard
 //!   batching into single universal-construction appends, and wait-free
 //!   snapshot statistics through
@@ -77,6 +84,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod elastic;
 pub mod model;
 pub mod ops;
 pub mod persist;
@@ -85,10 +93,14 @@ pub mod store;
 pub mod workload;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
+pub use elastic::{ElasticDecision, ElasticEngine, ElasticReport, ElasticityPolicy};
 pub use ops::{
-    apply_op, Batch, Key, ShardCmd, ShardSpec, ShardState, SplitSpec, StoreOp, StoreResp,
+    apply_op, AdoptSpec, Batch, Key, MergeSpec, ShardCmd, ShardSpec, ShardState, SplitSpec,
+    StoreOp, StoreResp,
 };
 pub use persist::{PersistError, Persister, RecoverError, ShardSnapshot, StoreSnapshot};
-pub use router::{BatchPlan, BatchReassembly, ShardTopology, TopoNode};
+pub use router::{
+    BatchPlan, BatchReassembly, MergeError, ShardTopology, TopoNode, TopoRecord, TopologyError,
+};
 pub use store::{Client, ShardDigest, ShardLog, SplitError, Store, StoreBuilder};
 pub use workload::Scenario;

@@ -152,6 +152,16 @@ pub const CHECKPOINT_BASE: u32 = 900;
 /// payload.
 pub const SPLIT_BASE: u32 = 800;
 
+/// Merge-retirement markers (the child-side drain of a live merge) are
+/// `MERGE_BASE + pid` — the model of
+/// [`ShardCmd::Merge`](crate::ops::ShardCmd) placing in the child's log.
+pub const MERGE_BASE: u32 = 700;
+
+/// Merge-adoption markers (the parent-side fold-in of a live merge) are
+/// `ADOPT_BASE + pid` — the model of
+/// [`ShardCmd::Adopt`](crate::ops::ShardCmd) placing in the parent's log.
+pub const ADOPT_BASE: u32 = 600;
+
 /// One port placing one value (a batch or a checkpoint) into a multi-cell
 /// log, exactly like the real universal construction walks its cells:
 /// propose to the next free cell; if the cell agreed on someone else's
@@ -300,6 +310,250 @@ pub fn split_commit_system(
     splitter: Option<usize>,
 ) -> (System<MaybeParticipant<LogPlaceProgram>>, Vec<ObjectId>, Vec<Value>) {
     special_commit_system(ports, vips, isolation_window, committers, splitter, SPLIT_BASE)
+}
+
+/// Builds the **single-log merge-vs-commit race**: `committers` race their
+/// batches (`100 + pid`) against `merger`'s retirement install
+/// (`MERGE_BASE + pid`) over a log window of one `(ports,vips)`-live cell
+/// per participant — the model of [`Store::merge_shard`]'s child-side
+/// drain racing concurrent VIP/guest batches through the retiring shard's
+/// own log. (The cross-log half — the drain *then* the adoption — is
+/// [`merge_adopt_system`].)
+///
+/// [`PlacementSafety`] over the result is the child-side merge-safety
+/// claim: the retirement and every batch place **exactly once** (no
+/// committed op is dropped by the drain or replayed after it), and
+/// terminal states place every participant.
+///
+/// # Panics
+///
+/// Panics if `ports == 0`, `vips > ports`, or the merger is also a
+/// committer.
+///
+/// [`Store::merge_shard`]: crate::store::Store::merge_shard
+pub fn merge_commit_system(
+    ports: usize,
+    vips: usize,
+    isolation_window: u8,
+    committers: ProcessSet,
+    merger: Option<usize>,
+) -> (System<MaybeParticipant<LogPlaceProgram>>, Vec<ObjectId>, Vec<Value>) {
+    special_commit_system(ports, vips, isolation_window, committers, merger, MERGE_BASE)
+}
+
+/// One port placing a value in **each of two logs, in order**: the merge
+/// driver's shape. Stage 0 walks the first log's cells until its drain
+/// marker is agreed (the child-side retirement); only then does stage 1
+/// begin walking the second log for the adoption marker (the parent-side
+/// fold-in). Decides the adoption value once both are placed — the model
+/// of [`Store::merge_shard`]'s two sequential `reconfigure` calls.
+///
+/// [`Store::merge_shard`]: crate::store::Store::merge_shard
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DualLogPlaceProgram {
+    stages: [(Vec<ObjectId>, Value); 2],
+    stage: usize,
+    next_cell: usize,
+    started: bool,
+}
+
+impl DualLogPlaceProgram {
+    /// A driver placing `first_value` into `first_cells`, then
+    /// `second_value` into `second_cells`.
+    pub fn new(
+        first_cells: Vec<ObjectId>,
+        first_value: Value,
+        second_cells: Vec<ObjectId>,
+        second_value: Value,
+    ) -> Self {
+        DualLogPlaceProgram {
+            stages: [(first_cells, first_value), (second_cells, second_value)],
+            stage: 0,
+            next_cell: 0,
+            started: false,
+        }
+    }
+}
+
+impl Program for DualLogPlaceProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        if self.started {
+            let decided = last.expect("propose completes with the decided value");
+            let (_, value) = &self.stages[self.stage];
+            if decided == *value {
+                if self.stage == 1 {
+                    return ProgramAction::Decide(*value);
+                }
+                // The drain is placed; move to the adoption log.
+                self.stage = 1;
+                self.next_cell = 0;
+            } else {
+                self.next_cell += 1;
+            }
+        }
+        self.started = true;
+        let (cells, value) = &self.stages[self.stage];
+        match cells.get(self.next_cell) {
+            Some(cell) => ProgramAction::Invoke(Op::Propose(*cell, *value)),
+            // Unreachable when each log has one cell per port placing in
+            // it (pigeonhole); reported by [`PlacementSafety`] if not.
+            None => ProgramAction::Halt,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dual-log-place"
+    }
+}
+
+/// The program of one port in the cross-log merge model: a committer
+/// placing a batch in one log, or the merge driver crossing both.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MergePlaceProgram {
+    /// A client batch placing into a single log.
+    Commit(LogPlaceProgram),
+    /// The merge driver: drain the child log, then adopt into the parent.
+    Merge(DualLogPlaceProgram),
+}
+
+impl Program for MergePlaceProgram {
+    fn resume(&mut self, last: Option<Value>) -> ProgramAction {
+        match self {
+            MergePlaceProgram::Commit(p) => p.resume(last),
+            MergePlaceProgram::Merge(p) => p.resume(last),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            MergePlaceProgram::Commit(p) => p.name(),
+            MergePlaceProgram::Merge(p) => p.name(),
+        }
+    }
+}
+
+/// The cross-log ordering invariant of a live merge: the adoption marker
+/// may appear in the parent's log **only after** the drain marker is
+/// agreed in the child's log. (The real driver proposes the adoption only
+/// once the retirement cell decided; a schedule where the adoption showed
+/// up first would mean adopted keys nobody drained.)
+#[derive(Clone, Debug)]
+pub struct MergeOrder {
+    /// The child (drain) log's cells.
+    pub child_cells: Vec<ObjectId>,
+    /// The parent (adopt) log's cells.
+    pub parent_cells: Vec<ObjectId>,
+    /// The drain marker value.
+    pub drain: Value,
+    /// The adoption marker value.
+    pub adopt: Value,
+}
+
+impl<P: apc_model::Program> apc_model::explore::Invariant<P> for MergeOrder {
+    fn check(&self, sys: &System<P>) -> Result<(), String> {
+        let placed = |cells: &[ObjectId], v: &Value| {
+            cells.iter().any(|c| sys.object(*c).consensus_decision().as_ref() == Some(v))
+        };
+        if placed(&self.parent_cells, &self.adopt) && !placed(&self.child_cells, &self.drain) {
+            return Err(format!(
+                "adoption {} was agreed before drain {} — adopted keys nobody drained",
+                self.adopt, self.drain
+            ));
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &str {
+        "merge-order"
+    }
+}
+
+/// Builds the **cross-log merge race**: `child_committers` race batches in
+/// the child's log and `parent_committers` race batches in the parent's
+/// log while `merger` drains the child (`MERGE_BASE + pid`) and then
+/// adopts into the parent (`ADOPT_BASE + pid`) — the dual-log shape of
+/// [`Store::merge_shard`]. Each log has one `(ports,vips)`-live cell per
+/// port placing into it.
+///
+/// Returns the system, the child cells, the parent cells, and the full
+/// proposal set. Check [`PlacementSafety`] over the **union** of the cells
+/// (no value places twice anywhere — in particular, nothing commits into
+/// both sides of the merge) and [`MergeOrder`] for the cross-log ordering.
+///
+/// # Panics
+///
+/// Panics if `ports == 0`, `vips > ports`, the committer sets overlap, or
+/// the merger is also a committer.
+///
+/// [`Store::merge_shard`]: crate::store::Store::merge_shard
+#[allow(clippy::type_complexity)]
+pub fn merge_adopt_system(
+    ports: usize,
+    vips: usize,
+    isolation_window: u8,
+    child_committers: ProcessSet,
+    parent_committers: ProcessSet,
+    merger: usize,
+) -> (System<MaybeParticipant<MergePlaceProgram>>, Vec<ObjectId>, Vec<ObjectId>, Vec<Value>) {
+    assert!(ports > 0 && vips <= ports, "need 0 < ports and vips ≤ ports");
+    assert!(
+        !child_committers.iter().any(|p| parent_committers.contains(p)),
+        "a committer places in exactly one log"
+    );
+    assert!(
+        !child_committers.iter().chain(parent_committers.iter()).any(|p| p.index() == merger),
+        "the merger does not also commit a batch"
+    );
+    let mut builder = SystemBuilder::new(ports);
+    let child_cells: Vec<ObjectId> = (0..child_committers.iter().count() + 1)
+        .map(|_| {
+            builder.add_live_consensus(
+                ProcessSet::first_n(ports),
+                ProcessSet::first_n(vips),
+                isolation_window,
+            )
+        })
+        .collect();
+    let parent_cells: Vec<ObjectId> = (0..parent_committers.iter().count() + 1)
+        .map(|_| {
+            builder.add_live_consensus(
+                ProcessSet::first_n(ports),
+                ProcessSet::first_n(vips),
+                isolation_window,
+            )
+        })
+        .collect();
+    let mut proposals: Vec<Value> = child_committers
+        .iter()
+        .chain(parent_committers.iter())
+        .map(|p| Value::Num(100 + p.index() as u32))
+        .collect();
+    proposals.push(Value::Num(MERGE_BASE + merger as u32));
+    proposals.push(Value::Num(ADOPT_BASE + merger as u32));
+    let system = builder.build(|pid| {
+        let batch = Value::Num(100 + pid.index() as u32);
+        if child_committers.contains(pid) {
+            MaybeParticipant::Present(MergePlaceProgram::Commit(LogPlaceProgram::new(
+                child_cells.clone(),
+                batch,
+            )))
+        } else if parent_committers.contains(pid) {
+            MaybeParticipant::Present(MergePlaceProgram::Commit(LogPlaceProgram::new(
+                parent_cells.clone(),
+                batch,
+            )))
+        } else if pid.index() == merger {
+            MaybeParticipant::Present(MergePlaceProgram::Merge(DualLogPlaceProgram::new(
+                child_cells.clone(),
+                Value::Num(MERGE_BASE + merger as u32),
+                parent_cells.clone(),
+                Value::Num(ADOPT_BASE + merger as u32),
+            )))
+        } else {
+            MaybeParticipant::Absent
+        }
+    });
+    (system, child_cells, parent_cells, proposals)
 }
 
 /// Shared body of [`checkpointed_commit_system`] and
@@ -453,6 +707,57 @@ mod tests {
         let safety =
             PlacementSafety { cells, participants: ProcessSet::from_indices([0, 1, 2]), proposals };
         let result = explorer.explore(&sys, &[&safety, &NoFaults]);
+        assert!(result.ok(), "violations: {:?}", result.violations.first());
+        assert!(!result.truncated);
+    }
+
+    #[test]
+    fn solo_merger_installs_drain_then_adopt() {
+        let (sys, child_cells, parent_cells, _) =
+            merge_adopt_system(3, 1, 1, ProcessSet::EMPTY, ProcessSet::EMPTY, 2);
+        let mut runner = Runner::new(sys);
+        runner.run_until_terminated(&Schedule::solo(ProcessId::new(2), 1), 200);
+        assert_eq!(
+            runner.system().decision(ProcessId::new(2)),
+            Some(Value::Num(ADOPT_BASE + 2)),
+            "the merger decides once the adoption is placed"
+        );
+        assert_eq!(
+            runner.system().object(child_cells[0]).consensus_decision(),
+            Some(Value::Num(MERGE_BASE + 2)),
+            "the drain occupies the child log's first free cell"
+        );
+        assert_eq!(
+            runner.system().object(parent_cells[0]).consensus_decision(),
+            Some(Value::Num(ADOPT_BASE + 2)),
+            "the adoption occupies the parent log's first free cell"
+        );
+    }
+
+    #[test]
+    fn merge_adopt_small_exhaustive_with_order() {
+        // One committer per log racing the dual-log merger: placement
+        // safety over the union of the cells plus the cross-log ordering,
+        // on every schedule.
+        let child_committers = ProcessSet::from_indices([0]);
+        let parent_committers = ProcessSet::from_indices([1]);
+        let (sys, child_cells, parent_cells, proposals) =
+            merge_adopt_system(3, 1, 1, child_committers, parent_committers, 2);
+        let all_cells: Vec<ObjectId> =
+            child_cells.iter().chain(parent_cells.iter()).copied().collect();
+        let safety = PlacementSafety {
+            cells: all_cells,
+            participants: ProcessSet::from_indices([0, 1, 2]),
+            proposals,
+        };
+        let order = MergeOrder {
+            child_cells,
+            parent_cells,
+            drain: Value::Num(MERGE_BASE + 2),
+            adopt: Value::Num(ADOPT_BASE + 2),
+        };
+        let explorer = Explorer::new(ExploreConfig::default().with_max_states(2_000_000));
+        let result = explorer.explore(&sys, &[&safety, &order, &NoFaults]);
         assert!(result.ok(), "violations: {:?}", result.violations.first());
         assert!(!result.truncated);
     }

@@ -4,9 +4,12 @@
 //! The unit the per-shard log agrees on is a [`ShardCmd`]: either a client
 //! [`Batch`] (one log cell commits an entire batch of same-shard operations
 //! atomically, so a client issuing `k` operations against one shard pays
-//! for **one** consensus-backed append instead of `k`) or a [`SplitSpec`]
-//! — the topology-bump half of a live shard split, installed through the
-//! same consensus path so it linearizes against concurrent batches.
+//! for **one** consensus-backed append instead of `k`) or a
+//! reconfiguration record installed through the same consensus path so it
+//! linearizes against concurrent batches: a [`SplitSpec`] (the
+//! topology-bump half of a live shard split), a [`MergeSpec`] (the
+//! child-side retirement of a live merge, draining the child's state), or
+//! an [`AdoptSpec`] (the parent-side adoption of those drained entries).
 //!
 //! Every batch is stamped with the topology version it was planned under
 //! ([`Batch::planned_at`]). A shard state remembers the version of its own
@@ -226,13 +229,58 @@ pub struct SplitSpec {
     pub version: u64,
 }
 
-/// One agreed log cell's command: a client batch or a split bump.
+/// The child-side half of a live shard **merge**: the retirement record,
+/// installed through the retiring child's own consensus log (sealed, like
+/// a split bump — see [`Store::merge_shard`](crate::store::Store::merge_shard)).
+///
+/// Applying it drains **every** entry out of the child (returned as
+/// [`StoreResp::Entries`], the migration set the merge driver hands to the
+/// parent's [`AdoptSpec`]) and advances the child's
+/// [`ShardState::epoch`] to `version`, after which any batch planned under
+/// an older topology bounces with [`StoreResp::Moved`] — the retired shard
+/// keeps answering, it just answers "moved".
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MergeSpec {
+    /// The bumped topology version (the child's retirement version).
+    pub version: u64,
+}
+
+/// The parent-side half of a live shard merge: the adoption record,
+/// installed through the **parent's** consensus log right after the
+/// child's [`MergeSpec`] drained its state.
+///
+/// Applying it inserts the child's drained entries into the parent. The
+/// parent's epoch is deliberately **not** advanced: keys that routed to
+/// the parent before the merge still route to it after (a merge only adds
+/// the child's keys back), so in-flight parent batches stay valid — the
+/// bounce-and-re-plan cost is paid only by batches aimed at the retired
+/// child, mirroring the split path's minimal disruption.
+///
+/// The entries are `Arc`-shared for the same reason [`Batch::ops`] is: the
+/// record is cloned on every consensus propose/peek on its way through the
+/// log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AdoptSpec {
+    /// The topology version of the merge this adoption completes.
+    pub version: u64,
+    /// The child's drained entries, in key order.
+    pub entries: std::sync::Arc<Vec<(Key, u64)>>,
+}
+
+/// One agreed log cell's command: a client batch or a reconfiguration
+/// (split bump, merge retirement, or merge adoption — admin paths only).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ShardCmd {
     /// A client batch (the common case).
     Batch(Batch),
     /// A live-split topology bump (admin path only).
     Split(SplitSpec),
+    /// A live-merge retirement: drain this (child) shard and start
+    /// bouncing stale batches (admin path only).
+    Merge(MergeSpec),
+    /// A live-merge adoption: fold a retired child's drained entries into
+    /// this (parent) shard (admin path only).
+    Adopt(AdoptSpec),
 }
 
 /// The sequential specification of one shard: an ordered map whose log
@@ -283,6 +331,26 @@ impl SequentialSpec for ShardSpec {
                 }
                 state.epoch = split.version;
                 vec![StoreResp::Entries(outgoing)]
+            }
+            ShardCmd::Merge(merge) => {
+                // Retirement drains everything: the whole state is the
+                // migration set, and the epoch bump makes every batch
+                // planned before the merge bounce deterministically.
+                let outgoing: Vec<(Key, u64)> =
+                    state.entries.iter().map(|(k, v)| (k.clone(), *v)).collect();
+                state.entries.clear();
+                state.epoch = merge.version;
+                vec![StoreResp::Entries(outgoing)]
+            }
+            ShardCmd::Adopt(adopt) => {
+                // Adoption folds the child's keys back in. The child owned
+                // them exclusively, so this never overwrites a live entry;
+                // the parent's epoch stays put (see [`AdoptSpec`]).
+                let adopted = adopt.entries.len() as u64;
+                for (k, v) in adopt.entries.iter() {
+                    state.entries.insert(k.clone(), *v);
+                }
+                vec![StoreResp::Value(Some(adopted))]
             }
         }
     }
@@ -397,6 +465,68 @@ mod tests {
         for (k, _) in &outgoing {
             assert!(!s.contains_key(k), "moved keys leave the parent");
         }
+    }
+
+    #[test]
+    fn merge_drains_everything_and_bounces_older_batches() {
+        let spec = ShardSpec { seed: 9, created_at: 1 };
+        let mut s = spec.init();
+        spec.apply(&mut s, &ShardCmd::Batch(Batch::new(1, vec![StoreOp::Put("a".into(), 1)])));
+        spec.apply(&mut s, &ShardCmd::Batch(Batch::new(1, vec![StoreOp::Put("b".into(), 2)])));
+        let resps = spec.apply(&mut s, &ShardCmd::Merge(MergeSpec { version: 4 }));
+        assert_eq!(
+            resps,
+            vec![StoreResp::Entries(vec![("a".into(), 1), ("b".into(), 2)])],
+            "the migration set is the whole state, in key order"
+        );
+        assert!(s.is_empty(), "retirement leaves the child empty");
+        assert_eq!(s.epoch(), 4);
+        // Anything planned before the merge bounces; the shard keeps
+        // answering even though it is retired.
+        let resps =
+            spec.apply(&mut s, &ShardCmd::Batch(Batch::new(3, vec![StoreOp::Get("a".into())])));
+        assert_eq!(resps, vec![StoreResp::Moved { epoch: 4 }]);
+    }
+
+    #[test]
+    fn adopt_folds_entries_in_without_bumping_the_epoch() {
+        let spec = ShardSpec { seed: 3, created_at: 0 };
+        let mut s = spec.init();
+        spec.apply(&mut s, &ShardCmd::Batch(Batch::new(0, vec![StoreOp::Put("own".into(), 7)])));
+        let adopted = std::sync::Arc::new(vec![("a".to_string(), 1u64), ("b".to_string(), 2)]);
+        let resps =
+            spec.apply(&mut s, &ShardCmd::Adopt(AdoptSpec { version: 2, entries: adopted }));
+        assert_eq!(resps, vec![StoreResp::Value(Some(2))], "adoption reports its entry count");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.epoch(), 0, "adoption must not invalidate in-flight parent batches");
+        // A batch planned before the merge still applies on the parent.
+        let resps =
+            spec.apply(&mut s, &ShardCmd::Batch(Batch::new(0, vec![StoreOp::Get("a".into())])));
+        assert_eq!(resps, vec![StoreResp::Value(Some(1))]);
+    }
+
+    #[test]
+    fn split_then_merge_roundtrips_the_state() {
+        // Drain via a split, then feed the migration set back via Adopt:
+        // the parent state is exactly what it was (modulo epoch).
+        let spec = ShardSpec { seed: 11, created_at: 0 };
+        let mut s = spec.init();
+        for i in 0..32 {
+            s.insert(format!("k{i:02}"), i);
+        }
+        let before: Vec<(Key, u64)> = s.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let resps =
+            spec.apply(&mut s, &ShardCmd::Split(SplitSpec { child_seed: 0xfeed, version: 1 }));
+        let outgoing = match &resps[0] {
+            StoreResp::Entries(entries) => entries.clone(),
+            other => panic!("split returned {other:?}"),
+        };
+        spec.apply(
+            &mut s,
+            &ShardCmd::Adopt(AdoptSpec { version: 2, entries: std::sync::Arc::new(outgoing) }),
+        );
+        let after: Vec<(Key, u64)> = s.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(after, before, "drain + adopt is the identity on the key set");
     }
 
     #[test]

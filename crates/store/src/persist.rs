@@ -18,14 +18,15 @@
 //! absorbs every request that arrived while the previous round was in
 //! flight.
 //!
-//! # File format (version 2, little-endian)
+//! # File format (version 3, little-endian)
 //!
 //! ```text
 //! header:  "APCS" | version u32 | shard_count u32
 //! topology:
 //!          topo_version u64
 //!          node ×shard_count: seed u64 | parent u32 (u32::MAX = root) |
-//!                             created_at u64
+//!                             created_at u64 |
+//!                             retired_at u64 (u64::MAX = live)   [v3+]
 //!          topo_checksum u64           (FNV-1a of the section before it)
 //! frame ×shard_count:
 //!          log_index u64 | epoch u64 | entry_count u64 | payload_len u64
@@ -37,11 +38,18 @@
 //! Version 2 added the topology section and the per-frame `epoch`: a
 //! snapshot taken after live shard splits must restore the **split tree**
 //! (rendezvous seeds, parents, creation versions) or recovered routing
-//! would disagree with the recovered data placement. Version-1 files (no
-//! topology section, no epochs, keys placed by the old `FNV % S` map) are
-//! still readable: decode upgrades them to a fresh root topology and
-//! re-partitions their entries under rendezvous placement, so pre-split
-//! snapshots survive the router change.
+//! would disagree with the recovered data placement. Version 3 added the
+//! per-node `retired_at` **tombstone**: a snapshot taken after live merges
+//! must remember which children were retired back into their parents —
+//! recovery rebuilds tombstoned slots empty and keeps routing around them.
+//! Older files stay readable: a v2 file simply has no tombstones (every
+//! node live), and version-1 files (no topology section, no epochs, keys
+//! placed by the old `FNV % S` map) are upgraded to a fresh root topology
+//! with their entries re-partitioned under rendezvous placement.
+//! Tombstones are validated structurally on read — a retired root, a
+//! retirement version outside the topology's range, a live child under a
+//! tombstone, or a tombstoned frame that still carries entries each fail
+//! closed with their own typed [`PersistError::Corrupt`] message.
 //!
 //! Every decode failure is a typed [`PersistError`] — corruption and
 //! truncation are detected by checksums and bounds checks, never by a
@@ -55,14 +63,14 @@ use std::sync::{Condvar, Mutex};
 
 use crate::admission::AdmissionError;
 use crate::ops::ShardState;
-use crate::router::{fnv1a64, ShardTopology};
+use crate::router::{fnv1a64, ShardTopology, TopoRecord, TopologyError};
 use crate::store::Store;
 
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 4] = *b"APCS";
 
 /// Current snapshot format version.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 
 /// Errors of the persistence layer. Every failure mode is typed; decoding
 /// never panics on corrupt input.
@@ -190,7 +198,7 @@ impl StoreSnapshot {
         self.shards.iter().map(|s| s.state.len() as u64).sum()
     }
 
-    /// Serializes the snapshot into the version-2 frame format.
+    /// Serializes the snapshot into the version-3 frame format.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64 + self.shards.len() * 64);
         buf.extend_from_slice(&MAGIC);
@@ -203,6 +211,7 @@ impl StoreSnapshot {
             put_u64(&mut buf, node.seed);
             put_u32(&mut buf, node.parent.unwrap_or(u32::MAX));
             put_u64(&mut buf, node.created_at);
+            put_u64(&mut buf, node.retired_at.unwrap_or(u64::MAX));
         }
         let topo_checksum = fnv1a64(&buf[topo_start..]);
         put_u64(&mut buf, topo_checksum);
@@ -263,14 +272,21 @@ impl StoreSnapshot {
                 let seed = r.u64()?;
                 let parent = r.u32()?;
                 let created_at = r.u64()?;
-                records.push((seed, (parent != u32::MAX).then_some(parent), created_at));
+                // v2 predates merges: every node is live.
+                let retired = if version >= 3 { r.u64()? } else { u64::MAX };
+                records.push(TopoRecord {
+                    seed,
+                    parent: (parent != u32::MAX).then_some(parent),
+                    created_at,
+                    retired_at: (retired != u64::MAX).then_some(retired),
+                });
             }
             let topo_expected = fnv1a64(&body[topo_start..r.pos]);
             if r.u64()? != topo_expected {
                 return Err(PersistError::Corrupt("topology section checksum mismatch"));
             }
-            let topology = ShardTopology::from_nodes(topo_version, &records)
-                .ok_or(PersistError::Corrupt("topology nodes do not form a split forest"))?;
+            let topology =
+                ShardTopology::from_nodes(topo_version, &records).map_err(topology_error)?;
             (topology, topo_version)
         } else {
             // Version 1 predates live splits: no topology section, no
@@ -310,6 +326,12 @@ impl StoreSnapshot {
             }
             if epoch > topo_version {
                 return Err(PersistError::Corrupt("shard epoch exceeds the topology version"));
+            }
+            if shard_id < topology.shards() && !topology.is_live(shard_id) && !entries.is_empty() {
+                // A merge drains the child before tombstoning it, so a
+                // tombstoned frame with entries means the file lies about
+                // where data lives — those keys would be unreachable.
+                return Err(PersistError::Corrupt("retired shard frame still carries entries"));
             }
             shards
                 .push(ShardSnapshot { log_index, state: ShardState::with_entries(entries, epoch) });
@@ -533,6 +555,19 @@ impl Persister {
     }
 }
 
+/// Maps a structural topology defect to its typed decode error, keeping
+/// tombstone corruption distinguishable from a malformed split forest.
+fn topology_error(e: TopologyError) -> PersistError {
+    PersistError::Corrupt(match e {
+        TopologyError::Empty => "a snapshot needs at least one shard",
+        TopologyError::ForwardParent => "topology nodes do not form a split forest",
+        TopologyError::CreatedBeyondVersion => "node creation version exceeds the topology version",
+        TopologyError::RetiredRoot => "tombstone on a root shard",
+        TopologyError::RetiredOutOfRange => "tombstone outside the topology's version range",
+        TopologyError::LiveChildOfTombstone => "live shard parented to a tombstone",
+    })
+}
+
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
@@ -633,6 +668,188 @@ mod tests {
         for key in ["kept", "moved", "other/17"] {
             assert_eq!(decoded.topology.shard_of(key), topology.shard_of(key));
         }
+    }
+
+    #[test]
+    fn merged_tree_snapshot_roundtrips() {
+        // Split shard 0 twice, merge the later child back: the snapshot
+        // must carry the tombstone and decode to the identical topology.
+        let (t1, c1) = ShardTopology::fresh(2).split(0);
+        let (t2, c2) = t1.split(0);
+        let (t3, parent) = t2.merge(c2).expect("last live child merges");
+        assert_eq!(parent, 0);
+        let mut parent_state = std::collections::BTreeMap::new();
+        parent_state.insert("returned".to_string(), 9u64);
+        let snap = StoreSnapshot {
+            topology: t3.clone(),
+            shards: vec![
+                ShardSnapshot { log_index: 12, state: ShardState::with_entries(parent_state, 2) },
+                ShardSnapshot { log_index: 4, state: ShardState::new() },
+                ShardSnapshot {
+                    log_index: 7,
+                    state: ShardState::with_entries(Default::default(), 1),
+                },
+                // The tombstoned child: empty, epoch = its retirement.
+                ShardSnapshot {
+                    log_index: 3,
+                    state: ShardState::with_entries(Default::default(), 3),
+                },
+            ],
+        };
+        let decoded = StoreSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.topology.version(), 3);
+        assert!(!decoded.topology.is_live(c2), "the tombstone survives the roundtrip");
+        assert_eq!(decoded.topology.live_shards(), 3);
+        for key in ["returned", "a", "zz/17"] {
+            assert_eq!(decoded.topology.shard_of(key), t3.shard_of(key));
+        }
+        let _ = c1;
+    }
+
+    #[test]
+    fn tombstone_corruption_fails_closed_with_typed_errors() {
+        // Re-seal the topology + file checksums around hand-crafted
+        // tombstone defects: each must surface its own Corrupt message,
+        // not a checksum error and not a panic.
+        let encode_with_topology = |records: &[(u64, u32, u64, u64)], topo_version: u64| {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&MAGIC);
+            put_u32(&mut buf, VERSION);
+            put_u32(&mut buf, records.len() as u32);
+            let topo_start = buf.len();
+            put_u64(&mut buf, topo_version);
+            for &(seed, parent, created_at, retired_at) in records {
+                put_u64(&mut buf, seed);
+                put_u32(&mut buf, parent);
+                put_u64(&mut buf, created_at);
+                put_u64(&mut buf, retired_at);
+            }
+            let topo_checksum = fnv1a64(&buf[topo_start..]);
+            put_u64(&mut buf, topo_checksum);
+            for _ in records {
+                let frame_start = buf.len();
+                put_u64(&mut buf, 0); // log_index
+                put_u64(&mut buf, 0); // epoch
+                put_u64(&mut buf, 0); // entry_count
+                put_u64(&mut buf, 0); // payload_len
+                let frame_checksum = fnv1a64(&buf[frame_start..]);
+                put_u64(&mut buf, frame_checksum);
+            }
+            let file_checksum = fnv1a64(&buf);
+            put_u64(&mut buf, file_checksum);
+            buf
+        };
+        // A retired root.
+        let bytes = encode_with_topology(&[(1, u32::MAX, 0, 1)], 1);
+        assert_eq!(
+            StoreSnapshot::decode(&bytes).unwrap_err(),
+            PersistError::Corrupt("tombstone on a root shard")
+        );
+        // Retirement beyond the topology version.
+        let bytes = encode_with_topology(&[(1, u32::MAX, 0, u64::MAX), (2, 0, 1, 9)], 2);
+        assert_eq!(
+            StoreSnapshot::decode(&bytes).unwrap_err(),
+            PersistError::Corrupt("tombstone outside the topology's version range")
+        );
+        // A live child under a tombstone.
+        let bytes = encode_with_topology(
+            &[(1, u32::MAX, 0, u64::MAX), (2, 0, 1, 3), (3, 1, 2, u64::MAX)],
+            3,
+        );
+        assert_eq!(
+            StoreSnapshot::decode(&bytes).unwrap_err(),
+            PersistError::Corrupt("live shard parented to a tombstone")
+        );
+
+        // A tombstoned frame that still carries entries.
+        let (t1, c) = ShardTopology::fresh(1).split(0);
+        let (t2, _) = t1.merge(c).unwrap();
+        let mut orphan = std::collections::BTreeMap::new();
+        orphan.insert("ghost".to_string(), 1u64);
+        let snap = StoreSnapshot {
+            topology: t2,
+            shards: vec![
+                ShardSnapshot { log_index: 1, state: ShardState::new() },
+                ShardSnapshot { log_index: 1, state: ShardState::with_entries(orphan, 2) },
+            ],
+        };
+        assert_eq!(
+            StoreSnapshot::decode(&snap.encode()).unwrap_err(),
+            PersistError::Corrupt("retired shard frame still carries entries")
+        );
+    }
+
+    /// One hand-encoded v2 frame: `(log_index, epoch, entries)`.
+    type V2Frame<'a> = (u64, u64, Vec<(&'a str, u64)>);
+
+    /// Hand-encodes a version-2 snapshot (pre-tombstone format): topology
+    /// nodes without `retired_at`, epoch-ful frames, envelope.
+    fn encode_v2(topo_version: u64, nodes: &[(u64, u32, u64)], shards: &[V2Frame]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        put_u32(&mut buf, 2);
+        put_u32(&mut buf, shards.len() as u32);
+        let topo_start = buf.len();
+        put_u64(&mut buf, topo_version);
+        for &(seed, parent, created_at) in nodes {
+            put_u64(&mut buf, seed);
+            put_u32(&mut buf, parent);
+            put_u64(&mut buf, created_at);
+        }
+        let topo_checksum = fnv1a64(&buf[topo_start..]);
+        put_u64(&mut buf, topo_checksum);
+        for (log_index, epoch, entries) in shards {
+            let frame_start = buf.len();
+            put_u64(&mut buf, *log_index);
+            put_u64(&mut buf, *epoch);
+            put_u64(&mut buf, entries.len() as u64);
+            let payload_len_at = buf.len();
+            put_u64(&mut buf, 0);
+            let payload_start = buf.len();
+            for (key, value) in entries {
+                put_u32(&mut buf, key.len() as u32);
+                buf.extend_from_slice(key.as_bytes());
+                put_u64(&mut buf, *value);
+            }
+            let payload_len = (buf.len() - payload_start) as u64;
+            buf[payload_len_at..payload_len_at + 8].copy_from_slice(&payload_len.to_le_bytes());
+            let sum = fnv1a64(&buf[frame_start..]);
+            put_u64(&mut buf, sum);
+        }
+        let sum = fnv1a64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn version2_snapshots_upgrade_on_read() {
+        // A PR-4-era file: a split topology with no tombstone column. The
+        // upgrade reads every node as live; placement and data are
+        // untouched (v2 placement IS v3 placement with zero tombstones).
+        let (topology, child) = ShardTopology::fresh(2).split(0);
+        let nodes: Vec<(u64, u32, u64)> = (0..topology.shards())
+            .map(|s| {
+                let n = topology.node(s);
+                (n.seed, n.parent.map_or(u32::MAX, |p| p), n.created_at)
+            })
+            .collect();
+        let keyset = ["alpha", "beta", "gamma", "delta"];
+        let mut frames: Vec<V2Frame> = vec![(5, 1, vec![]), (3, 0, vec![]), (1, 1, vec![])];
+        for (i, key) in keyset.iter().enumerate() {
+            frames[topology.shard_of(key)].2.push((key, i as u64));
+        }
+        let bytes = encode_v2(topology.version(), &nodes, &frames);
+        let decoded = StoreSnapshot::decode(&bytes).expect("v2 files stay readable");
+        assert_eq!(decoded.topology, topology, "a v2 topology upgrades to all-live nodes");
+        assert_eq!(decoded.topology.live_shards(), 3);
+        assert_eq!(decoded.entries(), keyset.len() as u64);
+        for (i, key) in keyset.iter().enumerate() {
+            let owner = decoded.topology.shard_of(key);
+            assert_eq!(decoded.shards[owner].state.get(*key), Some(&(i as u64)));
+        }
+        assert_eq!(decoded.shards[child].state.epoch(), 1, "v2 epochs survive the upgrade");
+        assert_eq!(decoded.shards[0].log_index, 5);
     }
 
     /// Hand-encodes a version-1 snapshot (pre-topology format): header,

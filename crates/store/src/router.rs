@@ -20,18 +20,34 @@
 //!   every key that moves, so a live split migrates from one shard's
 //!   checkpoint without touching the others.
 //!
-//! Each topology carries a **version**, bumped by every split. Batches are
-//! stamped with the version they were planned under
+//! The topology is also **elastic downward**: [`ShardTopology::merge`]
+//! retires a child back into its parent — the inverse bump. A retired node
+//! stays in the tree as a **tombstone** (shard ids are dense and stable, so
+//! retirement never renumbers anything) but the placement walk skips it,
+//! which is exactly what makes the merge minimally disruptive too: a merge
+//! moves keys *only* from the retired child *only* back to its parent.
+//! That inverse-exactness holds because merges must unwind splits in
+//! reverse: only a **live leaf that is the last live child of its parent**
+//! may retire ([`MergeError`] names every way a candidate can fail). With
+//! the last live child gone, the parent's descent considers exactly the
+//! prefix of children it considered before that child's split, so
+//! split-then-merge restores the parent's placement verbatim
+//! (property-tested in `tests/store_oracle.rs`).
+//!
+//! Each topology carries a **version**, bumped by every split and every
+//! merge. Batches are stamped with the version they were planned under
 //! ([`Batch::planned_at`](crate::ops::Batch)); a shard whose state has seen
-//! a later split rejects stale sub-batches with
+//! a later reconfiguration rejects stale sub-batches with
 //! [`StoreResp::Moved`](crate::ops::StoreResp) at the linearization point,
 //! and the client re-plans them against the published topology (see
 //! [`Client::execute`](crate::store::Client::execute)).
 //!
 //! [`BatchPlan`] turns one client batch into at most one sub-batch per
-//! shard (the batching contract of the operation layer) and remembers how
-//! to reassemble responses in invocation order, merging broadcast scans
-//! across shards.
+//! **live** shard (the batching contract of the operation layer; tombstones
+//! receive nothing) and remembers how to reassemble responses in invocation
+//! order, merging broadcast scans across shards.
+
+use std::fmt;
 
 use crate::ops::{Key, StoreOp, StoreResp};
 
@@ -66,16 +82,146 @@ pub struct TopoNode {
     pub parent: Option<u32>,
     /// The topology version whose split created this shard (0 for roots).
     pub created_at: u64,
-    /// Shards split off this one, in split order.
+    /// The topology version whose merge retired this shard back into its
+    /// parent (`None` while the shard is live). Retired nodes are
+    /// tombstones: they keep their dense shard id but the placement walk
+    /// skips them.
+    pub retired_at: Option<u64>,
+    /// Shards split off this one, in split order (live and retired).
     children: Vec<u32>,
 }
 
+impl TopoNode {
+    /// Whether this shard is still part of the placement walk.
+    pub fn is_live(&self) -> bool {
+        self.retired_at.is_none()
+    }
+}
+
+/// One persisted/transported topology node: everything
+/// [`ShardTopology::from_nodes`] needs to rebuild a node, in shard-id
+/// order. The inverse of reading [`ShardTopology::node`] fields.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TopoRecord {
+    /// The node's rendezvous seed.
+    pub seed: u64,
+    /// The parent shard id (`None` for roots).
+    pub parent: Option<u32>,
+    /// The topology version whose split created the node.
+    pub created_at: u64,
+    /// The topology version whose merge retired the node (`None` = live).
+    pub retired_at: Option<u64>,
+}
+
+/// Why a set of [`TopoRecord`]s does not rebuild into a valid topology.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TopologyError {
+    /// No nodes at all.
+    Empty,
+    /// A child's parent id is at or above its own (ids grow down every
+    /// path, which also rules out cycles).
+    ForwardParent,
+    /// A node's creation version exceeds the topology version.
+    CreatedBeyondVersion,
+    /// A tombstone on a root: roots can never retire.
+    RetiredRoot,
+    /// A tombstone's retirement version exceeds the topology version or
+    /// precedes the node's creation.
+    RetiredOutOfRange,
+    /// A live node hangs under a retired parent (the walk could never
+    /// reach it).
+    LiveChildOfTombstone,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TopologyError::Empty => "a topology needs at least one shard",
+            TopologyError::ForwardParent => "topology nodes do not form a split forest",
+            TopologyError::CreatedBeyondVersion => {
+                "a node's creation version exceeds the topology version"
+            }
+            TopologyError::RetiredRoot => "a root shard carries a retirement tombstone",
+            TopologyError::RetiredOutOfRange => {
+                "a retirement tombstone is outside the topology's version range"
+            }
+            TopologyError::LiveChildOfTombstone => "a live shard hangs under a retired parent",
+        })
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Why a shard cannot be merged back into its parent right now.
+///
+/// Merges unwind splits in reverse: the candidate must be a live **leaf**
+/// (no live children of its own) and the **last live child** of its
+/// parent's split order — only then does retiring it return every one of
+/// its keys to the parent, and nothing else moves.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MergeError {
+    /// The shard id does not exist in the topology.
+    NoSuchShard {
+        /// The offending shard id.
+        shard: usize,
+        /// The topology's shard count (live + retired).
+        shards: usize,
+    },
+    /// The shard is a root: there is no parent to merge into.
+    RootShard {
+        /// The offending shard id.
+        shard: usize,
+    },
+    /// The shard was already retired by an earlier merge.
+    AlreadyRetired {
+        /// The offending shard id.
+        shard: usize,
+    },
+    /// The shard still has live children; merge those first.
+    HasLiveChildren {
+        /// The offending shard id.
+        shard: usize,
+    },
+    /// A later sibling is still live; splits unwind in reverse order.
+    NotLastLiveChild {
+        /// The offending shard id.
+        shard: usize,
+        /// The sibling that must merge first.
+        last: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoSuchShard { shard, shards } => {
+                write!(f, "no shard {shard} to merge (topology has {shards})")
+            }
+            MergeError::RootShard { shard } => {
+                write!(f, "shard {shard} is a root and has no parent to merge into")
+            }
+            MergeError::AlreadyRetired { shard } => {
+                write!(f, "shard {shard} was already retired by an earlier merge")
+            }
+            MergeError::HasLiveChildren { shard } => {
+                write!(f, "shard {shard} still has live children; merge those first")
+            }
+            MergeError::NotLastLiveChild { shard, last } => {
+                write!(f, "shard {shard} is not its parent's last live child (shard {last} is)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// A versioned shard topology: the rendezvous tree keys route through.
 ///
-/// Topologies are immutable values; a split produces a *new* topology with
-/// the version bumped (the store publishes it atomically next to the shard
-/// handles, see [`Store`](crate::store::Store)). Shard ids are dense
-/// (`0..shards()`) and stable across splits: a split only appends.
+/// Topologies are immutable values; a split or merge produces a *new*
+/// topology with the version bumped (the store publishes it atomically next
+/// to the shard handles, see [`Store`](crate::store::Store)). Shard ids are
+/// dense (`0..shards()`) and stable: a split only appends, a merge only
+/// tombstones.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ShardTopology {
     version: u64,
@@ -97,56 +243,86 @@ impl ShardTopology {
                     seed: root_seed(i),
                     parent: None,
                     created_at: 0,
+                    retired_at: None,
                     children: Vec::new(),
                 })
                 .collect(),
         }
     }
 
-    /// Rebuilds a topology from persisted node records (`seed`, `parent`,
-    /// `created_at` per shard, in shard-id order); the inverse of iterating
-    /// [`ShardTopology::node`].
+    /// Rebuilds a topology from persisted node [`TopoRecord`]s in shard-id
+    /// order; the inverse of iterating [`ShardTopology::node`].
     ///
-    /// Returns `None` if the records do not form a forest (a parent id at
-    /// or above its child's, which also rules out cycles).
-    pub fn from_nodes(version: u64, records: &[(u64, Option<u32>, u64)]) -> Option<Self> {
+    /// # Errors
+    ///
+    /// A [`TopologyError`] naming the structural defect: records that do
+    /// not form a forest, versions outside the topology's range, a retired
+    /// root, or a live node unreachable under a retired parent.
+    pub fn from_nodes(version: u64, records: &[TopoRecord]) -> Result<Self, TopologyError> {
         if records.is_empty() {
-            return None;
+            return Err(TopologyError::Empty);
         }
         let mut nodes: Vec<TopoNode> = records
             .iter()
-            .map(|&(seed, parent, created_at)| TopoNode {
-                seed,
-                parent,
-                created_at,
+            .map(|r| TopoNode {
+                seed: r.seed,
+                parent: r.parent,
+                created_at: r.created_at,
+                retired_at: r.retired_at,
                 children: Vec::new(),
             })
             .collect();
-        for (id, &(_, parent, created_at)) in records.iter().enumerate() {
-            if created_at > version {
-                return None;
+        for (id, r) in records.iter().enumerate() {
+            if r.created_at > version {
+                return Err(TopologyError::CreatedBeyondVersion);
             }
-            if let Some(p) = parent {
+            if let Some(retired_at) = r.retired_at {
+                if r.parent.is_none() {
+                    return Err(TopologyError::RetiredRoot);
+                }
+                if retired_at > version || retired_at <= r.created_at {
+                    return Err(TopologyError::RetiredOutOfRange);
+                }
+            }
+            if let Some(p) = r.parent {
                 // Children are always created after their parent, so a
                 // well-formed forest has strictly increasing ids down every
                 // path.
                 if p as usize >= id {
-                    return None;
+                    return Err(TopologyError::ForwardParent);
+                }
+                if records[p as usize].retired_at.is_some() && r.retired_at.is_none() {
+                    return Err(TopologyError::LiveChildOfTombstone);
                 }
                 nodes[p as usize].children.push(id as u32);
             }
         }
-        Some(ShardTopology { version, nodes })
+        Ok(ShardTopology { version, nodes })
     }
 
-    /// The topology version (bumped by every split).
+    /// The topology version (bumped by every split and merge).
     pub fn version(&self) -> u64 {
         self.version
     }
 
-    /// Number of shards.
+    /// Number of shard slots (live **and** retired — ids are dense and
+    /// stable, so tombstones keep their slot).
     pub fn shards(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of live shards (slots the placement walk can reach).
+    pub fn live_shards(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_live()).count()
+    }
+
+    /// Whether shard `id` is live (routable) rather than a tombstone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a shard id.
+    pub fn is_live(&self, id: usize) -> bool {
+        self.nodes[id].is_live()
     }
 
     /// The topology entry of shard `id`.
@@ -155,8 +331,10 @@ impl ShardTopology {
     }
 
     /// The shard owning `key`: rendezvous among the roots, then down the
-    /// split tree (each child claims the keys whose child-seeded score
-    /// beats the parent-seeded score, in split order).
+    /// split tree (each **live** child claims the keys whose child-seeded
+    /// score beats the parent-seeded score, in split order; tombstones are
+    /// skipped, which is what hands a merged child's keys back to its
+    /// parent).
     pub fn shard_of(&self, key: &str) -> usize {
         let mut owner = self
             .roots()
@@ -165,7 +343,9 @@ impl ShardTopology {
         'descend: loop {
             let here = rendezvous_score(self.nodes[owner].seed, key);
             for &child in &self.nodes[owner].children {
-                if rendezvous_score(self.nodes[child as usize].seed, key) > here {
+                if self.nodes[child as usize].is_live()
+                    && rendezvous_score(self.nodes[child as usize].seed, key) > here
+                {
                     owner = child as usize;
                     continue 'descend;
                 }
@@ -179,9 +359,10 @@ impl ShardTopology {
     ///
     /// # Panics
     ///
-    /// Panics if `parent` is not a shard id.
+    /// Panics if `parent` is not a live shard id.
     pub fn split(&self, parent: usize) -> (ShardTopology, usize) {
         assert!(parent < self.nodes.len(), "no shard {parent} to split");
+        assert!(self.nodes[parent].is_live(), "shard {parent} is retired and cannot split");
         let child = self.nodes.len();
         let version = self.version + 1;
         let mut nodes = self.nodes.clone();
@@ -193,9 +374,62 @@ impl ShardTopology {
             seed: child_seed(self.nodes[parent].seed, version),
             parent: Some(parent as u32),
             created_at: version,
+            retired_at: None,
             children: Vec::new(),
         });
         (ShardTopology { version, nodes }, child)
+    }
+
+    /// Checks whether shard `child` may merge back into its parent right
+    /// now; returns the parent's id.
+    ///
+    /// # Errors
+    ///
+    /// A [`MergeError`] naming the obstruction. Merges unwind splits in
+    /// reverse: the candidate must be live, non-root, a leaf (no live
+    /// children), and the **last live child** in its parent's split order —
+    /// exactly the condition under which retiring it returns all of its
+    /// keys to the parent and moves nothing else.
+    pub fn check_merge(&self, child: usize) -> Result<usize, MergeError> {
+        let Some(node) = self.nodes.get(child) else {
+            return Err(MergeError::NoSuchShard { shard: child, shards: self.nodes.len() });
+        };
+        let Some(parent) = node.parent else {
+            return Err(MergeError::RootShard { shard: child });
+        };
+        if !node.is_live() {
+            return Err(MergeError::AlreadyRetired { shard: child });
+        }
+        if node.children.iter().any(|&c| self.nodes[c as usize].is_live()) {
+            return Err(MergeError::HasLiveChildren { shard: child });
+        }
+        let last_live = self.nodes[parent as usize]
+            .children
+            .iter()
+            .copied()
+            .rfind(|&c| self.nodes[c as usize].is_live())
+            .expect("child is a live child of its parent");
+        if last_live as usize != child {
+            return Err(MergeError::NotLastLiveChild { shard: child, last: last_live as usize });
+        }
+        Ok(parent as usize)
+    }
+
+    /// Merges shard `child` back into its parent: returns the bumped
+    /// topology (the child tombstoned at the new version) and the parent's
+    /// id. The inverse of [`ShardTopology::split`]: placement after the
+    /// merge equals placement before the child's split, restricted to the
+    /// keys the child subtree ever owned.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MergeError`] from [`ShardTopology::check_merge`].
+    pub fn merge(&self, child: usize) -> Result<(ShardTopology, usize), MergeError> {
+        let parent = self.check_merge(child)?;
+        let version = self.version + 1;
+        let mut nodes = self.nodes.clone();
+        nodes[child].retired_at = Some(version);
+        Ok((ShardTopology { version, nodes }, parent))
     }
 
     /// The initial (root) shard ids.
@@ -204,7 +438,8 @@ impl ShardTopology {
     }
 
     /// Plans a batch: splits the ops into per-shard sub-batches, broadcast
-    /// ops (scans) going to every shard.
+    /// ops (scans) going to every **live** shard (tombstones hold no data
+    /// and receive nothing).
     pub fn plan(&self, ops: Vec<StoreOp>) -> BatchPlan {
         let mut per_shard: Vec<Vec<StoreOp>> = vec![Vec::new(); self.shards()];
         let mut slots = Vec::with_capacity(ops.len());
@@ -216,9 +451,12 @@ impl ShardTopology {
                     per_shard[shard].push(op);
                 }
                 None => {
-                    let indices: Vec<usize> = per_shard.iter().map(Vec::len).collect();
-                    for sub in per_shard.iter_mut() {
-                        sub.push(op.clone());
+                    let mut indices = Vec::with_capacity(self.nodes.len());
+                    for (s, sub) in per_shard.iter_mut().enumerate() {
+                        if self.nodes[s].is_live() {
+                            indices.push((s, sub.len()));
+                            sub.push(op.clone());
+                        }
                     }
                     slots.push(RespSlot::Broadcast { indices });
                 }
@@ -255,11 +493,11 @@ enum RespSlot {
         /// Index within that shard's sub-batch.
         index: usize,
     },
-    /// The op was broadcast; `indices[s]` is its index in shard `s`'s
-    /// sub-batch.
+    /// The op was broadcast to every live shard; each entry is a
+    /// `(shard, index-within-that-shard's-sub-batch)` pair.
     Broadcast {
-        /// Per-shard sub-batch indices.
-        indices: Vec<usize>,
+        /// The live shards the op went to, with its sub-batch index there.
+        indices: Vec<(usize, usize)>,
     },
 }
 
@@ -314,7 +552,7 @@ impl BatchReassembly {
                 RespSlot::Broadcast { indices } => {
                     let mut merged: Vec<(Key, u64)> = Vec::new();
                     let mut moved_epoch = None;
-                    for (s, &i) in indices.iter().enumerate() {
+                    for &(s, i) in indices {
                         match &per_shard[s][i] {
                             StoreResp::Entries(entries) => merged.extend(entries.iter().cloned()),
                             StoreResp::Moved { epoch } => {
@@ -425,26 +663,225 @@ mod tests {
         }
     }
 
+    fn records_of(t: &ShardTopology) -> Vec<TopoRecord> {
+        (0..t.shards())
+            .map(|s| {
+                let n = t.node(s);
+                TopoRecord {
+                    seed: n.seed,
+                    parent: n.parent,
+                    created_at: n.created_at,
+                    retired_at: n.retired_at,
+                }
+            })
+            .collect()
+    }
+
+    fn rec(seed: u64, parent: Option<u32>, created_at: u64, retired_at: Option<u64>) -> TopoRecord {
+        TopoRecord { seed, parent, created_at, retired_at }
+    }
+
     #[test]
     fn from_nodes_roundtrips_and_validates() {
         let (t, _) = ShardTopology::fresh(3).split(1);
-        let records: Vec<(u64, Option<u32>, u64)> = (0..t.shards())
-            .map(|s| {
-                let n = t.node(s);
-                (n.seed, n.parent, n.created_at)
-            })
-            .collect();
-        let rebuilt = ShardTopology::from_nodes(t.version(), &records).expect("valid records");
+        let rebuilt =
+            ShardTopology::from_nodes(t.version(), &records_of(&t)).expect("valid records");
         assert_eq!(rebuilt, t);
         for key in ["a", "b", "c", "key/17"] {
             assert_eq!(rebuilt.shard_of(key), t.shard_of(key));
         }
         // A child pointing at itself or a later id is rejected.
-        assert!(ShardTopology::from_nodes(1, &[(1, Some(0), 1), (2, Some(1), 1)]).is_none());
-        assert!(ShardTopology::from_nodes(0, &[(1, Some(1), 0)]).is_none());
-        assert!(ShardTopology::from_nodes(0, &[]).is_none());
+        assert_eq!(
+            ShardTopology::from_nodes(1, &[rec(1, Some(0), 1, None), rec(2, Some(1), 1, None)]),
+            Err(TopologyError::ForwardParent)
+        );
+        assert_eq!(
+            ShardTopology::from_nodes(0, &[rec(1, Some(1), 0, None)]),
+            Err(TopologyError::ForwardParent)
+        );
+        assert_eq!(ShardTopology::from_nodes(0, &[]), Err(TopologyError::Empty));
         // created_at beyond the topology version is rejected.
-        assert!(ShardTopology::from_nodes(0, &[(1, None, 0), (2, Some(0), 1)]).is_none());
+        assert_eq!(
+            ShardTopology::from_nodes(0, &[rec(1, None, 0, None), rec(2, Some(0), 1, None)]),
+            Err(TopologyError::CreatedBeyondVersion)
+        );
+    }
+
+    #[test]
+    fn from_nodes_validates_tombstones() {
+        // A tombstoned topology round-trips.
+        let (t1, child) = ShardTopology::fresh(2).split(0);
+        let (t2, _) = t1.merge(child).expect("fresh child merges");
+        let rebuilt =
+            ShardTopology::from_nodes(t2.version(), &records_of(&t2)).expect("valid tombstones");
+        assert_eq!(rebuilt, t2);
+        // A retired root is invalid.
+        assert_eq!(
+            ShardTopology::from_nodes(1, &[rec(1, None, 0, Some(1))]),
+            Err(TopologyError::RetiredRoot)
+        );
+        // Retirement outside (created_at, version] is invalid.
+        assert_eq!(
+            ShardTopology::from_nodes(2, &[rec(1, None, 0, None), rec(2, Some(0), 1, Some(3))]),
+            Err(TopologyError::RetiredOutOfRange)
+        );
+        assert_eq!(
+            ShardTopology::from_nodes(2, &[rec(1, None, 0, None), rec(2, Some(0), 1, Some(1))]),
+            Err(TopologyError::RetiredOutOfRange)
+        );
+        // A live node under a retired parent is unreachable.
+        assert_eq!(
+            ShardTopology::from_nodes(
+                3,
+                &[rec(1, None, 0, None), rec(2, Some(0), 1, Some(3)), rec(3, Some(1), 2, None),]
+            ),
+            Err(TopologyError::LiveChildOfTombstone)
+        );
+        // Errors render.
+        for e in [
+            TopologyError::Empty,
+            TopologyError::ForwardParent,
+            TopologyError::CreatedBeyondVersion,
+            TopologyError::RetiredRoot,
+            TopologyError::RetiredOutOfRange,
+            TopologyError::LiveChildOfTombstone,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn merge_restores_the_parents_placement_exactly() {
+        // Split shard 1 of 4, then merge the child back: every key routes
+        // exactly where it did before the split.
+        let t0 = ShardTopology::fresh(4);
+        let (t1, child) = t0.split(1);
+        let (t2, parent) = t1.merge(child).expect("last live child merges");
+        assert_eq!(parent, 1);
+        assert_eq!(t2.version(), 2);
+        assert_eq!(t2.shards(), 5, "tombstones keep their slot");
+        assert_eq!(t2.live_shards(), 4);
+        assert!(!t2.is_live(child));
+        assert_eq!(t2.node(child).retired_at, Some(2));
+        for i in 0..2048 {
+            let key = format!("key/{i}");
+            assert_eq!(
+                t2.shard_of(&key),
+                t0.shard_of(&key),
+                "{key} must route as before the split"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_moves_keys_only_child_to_parent() {
+        let (t1, child) = ShardTopology::fresh(3).split(2);
+        let (t2, parent) = t1.merge(child).expect("merge");
+        let mut moved = 0;
+        for i in 0..2048 {
+            let key = format!("k{i}");
+            let (before, after) = (t1.shard_of(&key), t2.shard_of(&key));
+            if before != after {
+                assert_eq!(before, child, "{key} may only leave the retired child");
+                assert_eq!(after, parent, "{key} may only return to the parent");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "the merge must actually hand keys back");
+    }
+
+    #[test]
+    fn merge_eligibility_is_typed() {
+        let t = ShardTopology::fresh(2);
+        assert_eq!(
+            t.check_merge(5),
+            Err(MergeError::NoSuchShard { shard: 5, shards: 2 }),
+            "{}",
+            MergeError::NoSuchShard { shard: 5, shards: 2 }
+        );
+        assert_eq!(t.check_merge(0), Err(MergeError::RootShard { shard: 0 }));
+        // Stack two splits of shard 0: children 2 then 3. Shard 2 is not
+        // the last live child; shard 3 is; splitting 2 gives it a live
+        // child of its own.
+        let (t1, c1) = t.split(0);
+        let (t2, c2) = t1.split(0);
+        assert_eq!((c1, c2), (2, 3));
+        assert_eq!(t2.check_merge(c1), Err(MergeError::NotLastLiveChild { shard: c1, last: c2 }));
+        let (t3, c3) = t2.split(c1);
+        assert_eq!(t3.check_merge(c1), Err(MergeError::HasLiveChildren { shard: c1 }));
+        assert_eq!(t3.check_merge(c3), Ok(c1), "a leaf last-live-child is eligible");
+        // After merging c3 and c2, c1 becomes mergeable.
+        let (t4, _) = t3.merge(c3).unwrap();
+        assert_eq!(t4.check_merge(c3), Err(MergeError::AlreadyRetired { shard: c3 }));
+        let (t5, _) = t4.merge(c2).unwrap();
+        let (t6, _) = t5.merge(c1).unwrap();
+        assert_eq!(t6.live_shards(), 2, "the whole split stack unwinds");
+        for i in 0..512 {
+            let key = format!("unwind/{i}");
+            assert_eq!(t6.shard_of(&key), t.shard_of(&key), "full unwind restores fresh placement");
+        }
+        // Every error renders.
+        for e in [
+            MergeError::NoSuchShard { shard: 1, shards: 1 },
+            MergeError::RootShard { shard: 1 },
+            MergeError::AlreadyRetired { shard: 1 },
+            MergeError::HasLiveChildren { shard: 1 },
+            MergeError::NotLastLiveChild { shard: 1, last: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn split_after_merge_reuses_no_slot_and_routes_fresh() {
+        // Merge a child away, split the same parent again: the new child
+        // gets a fresh slot (append-only ids) and its own seed.
+        let (t1, c1) = ShardTopology::fresh(2).split(0);
+        let (t2, _) = t1.merge(c1).unwrap();
+        let (t3, c2) = t2.split(0);
+        assert_eq!(c2, 3, "tombstoned slots are never reused");
+        assert!(t3.is_live(c2));
+        assert!(!t3.is_live(c1));
+        assert_ne!(
+            t3.node(c2).seed,
+            t3.node(c1).seed,
+            "the bump version differs, so the seed does"
+        );
+        // The new child takes keys only from the parent.
+        for i in 0..1024 {
+            let key = format!("re/{i}");
+            let (a, b) = (t2.shard_of(&key), t3.shard_of(&key));
+            if a != b {
+                assert_eq!(b, c2);
+                assert_eq!(a, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retired and cannot split")]
+    fn splitting_a_tombstone_panics() {
+        let (t1, child) = ShardTopology::fresh(1).split(0);
+        let (t2, _) = t1.merge(child).unwrap();
+        let _ = t2.split(child);
+    }
+
+    #[test]
+    fn broadcasts_skip_tombstones() {
+        let (t1, child) = ShardTopology::fresh(2).split(0);
+        let (t2, _) = t1.merge(child).unwrap();
+        let plan = t2.plan(vec![StoreOp::Scan { from: "".into(), to: "z".into() }]);
+        assert!(plan.sub_batch(child).is_empty(), "tombstones receive no broadcast copy");
+        assert_eq!(plan.active_shards().count(), 2, "both live shards get the scan");
+        let (subs, reassembly) = plan.into_sub_batches();
+        let per_shard: Vec<Vec<StoreResp>> = subs
+            .iter()
+            .map(|sub| {
+                let mut state = crate::ops::ShardState::new();
+                sub.iter().map(|op| crate::ops::apply_op(&mut state, op)).collect()
+            })
+            .collect();
+        assert_eq!(reassembly.reassemble(per_shard), vec![StoreResp::Entries(vec![])]);
     }
 
     #[test]

@@ -17,25 +17,37 @@
 //!   reading store-wide statistics never touches the consensus log, so it
 //!   completes even while guests hammer every shard.
 //!
-//! ## Live shard splits
+//! ## Live shard splits and merges
 //!
-//! The shard set is **not static**: [`Store::split_shard`] carves a hot
-//! shard in two without stopping commits. The split installs a
-//! [`SplitSpec`] record through the shard's own
-//! consensus log inside a sealed
+//! The shard set is **elastic in both directions**: [`Store::split_shard`]
+//! carves a hot shard in two without stopping commits, and
+//! [`Store::merge_shard`] retires a cold child back into its parent — the
+//! inverse bump. A split installs a [`SplitSpec`] record through the
+//! shard's own consensus log inside a sealed
 //! [`ReconfigRecord`](apc_universal::ReconfigRecord) cell, so it
 //! linearizes against every concurrent VIP/guest batch: commits before the
 //! bump migrate with the sealed state, commits after it bounce with
 //! [`StoreResp::Moved`] and are re-planned by the client against the newly
-//! published topology. The store's current `(topology, shards)` pair is one
-//! atomically-published view; readers never lock to route.
+//! published topology. A merge crosses **both** logs: a sealed
+//! [`MergeSpec`] retirement through the child (draining its state,
+//! bouncing stragglers) followed by a sealed [`AdoptSpec`] through the
+//! parent (folding the drained entries in) — each seal doubles as that
+//! log's checkpoint anchor, so a merge also compacts both logs. The
+//! store's current `(topology, shards)` pair is one atomically-published
+//! view; readers never lock to route.
+//!
+//! With [`StoreBuilder::elastic`], the store drives both itself: a policy
+//! engine ([`ElasticityPolicy`]) rides the commit path, splitting on
+//! sustained skew and merging cold children back, with hysteresis and a
+//! cool-down epoch so oscillating load cannot thrash the topology.
 //!
 //! **Consistency:** operations within one shard are linearizable (they go
 //! through that shard's universal log). A multi-shard batch commits
 //! per-shard atomically but is not a single cross-shard atomic action;
-//! broadcast scans are per-shard-consistent merges. Splits preserve all of
-//! this: an operation is applied exactly once — on the shard that owns its
-//! key at its linearization point — or bounced and retried, never both.
+//! broadcast scans are per-shard-consistent merges. Splits and merges
+//! preserve all of this: an operation is applied exactly once — on the
+//! shard that owns its key at its linearization point — or bounced and
+//! retried, never both.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,8 +59,11 @@ use apc_registers::AtomicCell;
 use apc_universal::{AsymmetricFactory, OwnedHandle, Universal};
 
 use crate::admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
-use crate::ops::{Batch, ShardCmd, ShardState, SplitSpec, StoreOp, StoreResp};
-use crate::router::ShardTopology;
+use crate::elastic::{ElasticDecision, ElasticEngine, ElasticReport, ElasticityPolicy};
+use crate::ops::{
+    AdoptSpec, Batch, MergeSpec, ShardCmd, ShardState, SplitSpec, StoreOp, StoreResp,
+};
+use crate::router::{MergeError, ShardTopology};
 
 /// The universal-object type backing one shard.
 pub type ShardLog = Universal<crate::ops::ShardSpec, AsymmetricFactory>;
@@ -77,6 +92,24 @@ struct Shard {
 }
 
 impl Shard {
+    /// Publishes `handle`'s replayed position into the wait-free stats
+    /// snapshot — every path that advances a port's replica (commits and
+    /// reconfigurations alike) must publish, or the dashboard would keep
+    /// reporting a drained shard's old entry count forever.
+    fn publish_digest(
+        &self,
+        port: usize,
+        handle: &OwnedHandle<crate::ops::ShardSpec, AsymmetricFactory>,
+    ) {
+        self.stats.update(
+            port,
+            ShardDigest {
+                commits: handle.replayed_cells(),
+                entries: handle.local_state().len() as u64,
+            },
+        );
+    }
+
     /// Builds one shard over `ports` port slots, optionally resuming from a
     /// recovered `(state, log_index)` pair.
     fn build(
@@ -133,11 +166,17 @@ pub struct StoreBuilder {
     shards: usize,
     admission: AdmissionConfig,
     checkpoint_every: Option<u64>,
+    elastic: Option<ElasticityPolicy>,
 }
 
 impl Default for StoreBuilder {
     fn default() -> Self {
-        StoreBuilder { shards: 4, admission: AdmissionConfig::default(), checkpoint_every: None }
+        StoreBuilder {
+            shards: 4,
+            admission: AdmissionConfig::default(),
+            checkpoint_every: None,
+            elastic: None,
+        }
     }
 }
 
@@ -183,6 +222,26 @@ impl StoreBuilder {
     /// [`Store::checkpoint`] call.
     pub fn checkpoint_every(mut self, k: u64) -> Self {
         self.checkpoint_every = (k > 0).then_some(k);
+        self
+    }
+
+    /// Enables the **automatic elasticity driver**: every
+    /// [`ElasticityPolicy::evaluate_every`] commits, the store evaluates
+    /// the policy against its wait-free stats snapshots and performs a
+    /// [`Store::split_shard`] on a melting shard or a
+    /// [`Store::merge_shard`] on a cold, structurally eligible child — no
+    /// manual call needed.
+    ///
+    /// The driver is passive and never blocks a wait-free commit: the
+    /// evaluation rides whichever **guest-tier** commit crosses the
+    /// cadence boundary (VIP threads never carry reconfiguration work —
+    /// it would break their wait-free bound — so a store serving only
+    /// VIPs never auto-reconfigures), skips itself under try-lock
+    /// contention, and holds for the policy's cool-down after every
+    /// reconfiguration, so oscillating load cannot thrash the topology
+    /// (at most one reconfig per cool-down window).
+    pub fn elastic(mut self, policy: ElasticityPolicy) -> Self {
+        self.elastic = Some(policy);
         self
     }
 
@@ -258,8 +317,22 @@ impl StoreBuilder {
             view: AtomicCell::with_value(Arc::new(StoreView { topology, shards })),
             admin: Mutex::new(()),
             checkpoint_every: self.checkpoint_every,
+            elastic: self.elastic.map(|policy| ElasticSlot {
+                evaluate_every: policy.evaluate_every.max(1),
+                engine: Mutex::new(ElasticEngine::new(policy)),
+            }),
+            total_commits: AtomicU64::new(0),
         })
     }
+}
+
+/// The store-side half of the elasticity driver: the cadence and the
+/// engine it ticks.
+struct ElasticSlot {
+    /// Commits between policy evaluations (cached outside the engine's
+    /// mutex so the fast path never locks to check the cadence).
+    evaluate_every: u64,
+    engine: Mutex<ElasticEngine>,
 }
 
 /// Errors of [`Store::split_shard`].
@@ -272,6 +345,11 @@ pub enum SplitError {
         /// The current shard count.
         shards: usize,
     },
+    /// The shard was retired by a merge; tombstones cannot split.
+    RetiredShard {
+        /// The offending shard id.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for SplitError {
@@ -279,6 +357,9 @@ impl fmt::Display for SplitError {
         match self {
             SplitError::NoSuchShard { shard, shards } => {
                 write!(f, "no shard {shard} to split (store has {shards})")
+            }
+            SplitError::RetiredShard { shard } => {
+                write!(f, "shard {shard} was retired by a merge and cannot split")
             }
         }
     }
@@ -293,12 +374,18 @@ impl std::error::Error for SplitError {}
 pub struct Store {
     admission: Admission,
     /// The current `(topology, shards)` generation; swapped atomically by
-    /// splits, loaded wait-free by every operation. Never `⊥`.
+    /// splits and merges, loaded wait-free by every operation. Never `⊥`.
     view: AtomicCell<Arc<StoreView>>,
-    /// Serializes admin operations (splits and store-wide checkpoints) so a
-    /// durable snapshot's topology always matches its sealed states.
+    /// Serializes admin operations (splits, merges, and store-wide
+    /// checkpoints) so a durable snapshot's topology always matches its
+    /// sealed states.
     admin: Mutex<()>,
     checkpoint_every: Option<u64>,
+    /// The automatic elasticity driver, if configured.
+    elastic: Option<ElasticSlot>,
+    /// Commits across all shards since build — the elasticity cadence
+    /// clock.
+    total_commits: AtomicU64,
 }
 
 impl Store {
@@ -332,17 +419,17 @@ impl Store {
     }
 
     /// Waits for a view of at least `min_version`: the topology a `Moved`
-    /// rejection pointed at. The split driver publishes it right after
-    /// installing the bump, so the wait is bounded by the driver's
+    /// rejection pointed at. The split/merge driver publishes it right
+    /// after installing the bump, so the wait is bounded by the driver's
     /// remaining migration work (microseconds in practice).
     ///
     /// # Panics
     ///
     /// Panics after a generous timeout if the view never arrives — that
-    /// means the split driver died between installing its bump and
-    /// publishing the topology (the store's one cross-thread obligation),
-    /// and a loud failure beats every client of the split shard hanging
-    /// silently forever.
+    /// means the reconfiguration driver died between installing its bump
+    /// and publishing the topology (the store's one cross-thread
+    /// obligation), and a loud failure beats every client of the
+    /// reconfigured shard hanging silently forever.
     fn view_at_least(&self, min_version: u64) -> Arc<StoreView> {
         let start = std::time::Instant::now();
         loop {
@@ -353,15 +440,22 @@ impl Store {
             assert!(
                 start.elapsed() < std::time::Duration::from_secs(60),
                 "topology v{min_version} was committed to a shard log but never published \
-                 (split driver died mid-split?)"
+                 (split/merge driver died mid-reconfig?)"
             );
             std::thread::yield_now();
         }
     }
 
-    /// Number of shards in the current topology.
+    /// Number of shard slots in the current topology (live **and**
+    /// retired — shard ids are dense and stable, so merged-away shards
+    /// keep their slot as tombstones).
     pub fn shards(&self) -> usize {
         self.current_view().topology.shards()
+    }
+
+    /// Number of live (routable) shards in the current topology.
+    pub fn live_shards(&self) -> usize {
+        self.current_view().topology.live_shards()
     }
 
     /// A clone of the current shard topology (version, split tree, seeds).
@@ -402,15 +496,27 @@ impl Store {
             .collect()
     }
 
-    /// The shard with the most committed log cells — the hot shard under a
-    /// skewed workload, read wait-free from the stats snapshots.
+    /// The **live** shard with the most committed log cells — the hot
+    /// shard under a skewed workload, read wait-free from the stats
+    /// snapshots (tombstones stop taking real traffic, so they are
+    /// excluded no matter what their historical digests say).
     pub fn hottest_shard(&self) -> usize {
+        let view = self.current_view();
         self.snapshot_stats()
             .into_iter()
             .enumerate()
-            .max_by_key(|(_, d)| d.commits)
+            .filter(|&(s, _)| view.topology.is_live(s))
+            .max_by_key(|&(s, d)| (d.commits, s))
             .map(|(s, _)| s)
             .unwrap_or(0)
+    }
+
+    /// The running totals of the automatic elasticity driver, or `None`
+    /// when the store was built without [`StoreBuilder::elastic`].
+    pub fn elastic_report(&self) -> Option<ElasticReport> {
+        self.elastic
+            .as_ref()
+            .map(|slot| slot.engine.lock().expect("elastic engine poisoned").report())
     }
 
     /// Splits shard `shard` **live**: commits keep flowing while the split
@@ -440,12 +546,21 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// [`SplitError::NoSuchShard`] if `shard` is out of range.
+    /// [`SplitError::NoSuchShard`] if `shard` is out of range,
+    /// [`SplitError::RetiredShard`] if a merge already tombstoned it.
     pub fn split_shard(&self, shard: usize) -> Result<usize, SplitError> {
         let _admin = self.admin.lock().expect("admin lock poisoned");
+        self.split_locked(shard)
+    }
+
+    /// The body of [`Store::split_shard`]; the caller holds the admin lock.
+    fn split_locked(&self, shard: usize) -> Result<usize, SplitError> {
         let view = self.current_view();
         if shard >= view.topology.shards() {
             return Err(SplitError::NoSuchShard { shard, shards: view.topology.shards() });
+        }
+        if !view.topology.is_live(shard) {
+            return Err(SplitError::RetiredShard { shard });
         }
         let (topology, child) = view.topology.split(shard);
         let split =
@@ -456,6 +571,7 @@ impl Store {
             let slot = view.shards[shard].ports.len() - 1; // guest tier
             let mut handle = view.shards[shard].ports[slot].lock().expect("port slot poisoned");
             let (_, mut resps) = handle.reconfigure(ShardCmd::Split(split));
+            view.shards[shard].publish_digest(slot, &handle);
             match resps.pop() {
                 Some(StoreResp::Entries(entries)) => entries,
                 other => unreachable!("a split bump answers with its migration set, got {other:?}"),
@@ -468,10 +584,103 @@ impl Store {
             self.admission.ports(),
             Some((ShardState::with_entries(outgoing.into_iter().collect(), node.created_at), 0)),
         ));
+        {
+            // Seed the newborn's dashboard so the migrated entries are
+            // visible before its first commit.
+            let slot = child_shard.ports.len() - 1;
+            let handle = child_shard.ports[slot].lock().expect("port slot poisoned");
+            child_shard.publish_digest(slot, &handle);
+        }
         let mut shards = view.shards.clone();
         shards.push(child_shard);
         self.view.store(Arc::new(StoreView { topology, shards }));
         Ok(child)
+    }
+
+    /// Merges shard `child` back into its parent **live** — the inverse of
+    /// [`Store::split_shard`] — and returns the parent's id. Commits keep
+    /// flowing while the merge installs.
+    ///
+    /// The sequence mirrors the split, with the bump crossing **both**
+    /// logs:
+    ///
+    /// 1. compute the bumped topology (the child tombstoned at the new
+    ///    version; structural eligibility per
+    ///    [`ShardTopology::check_merge`] — merges unwind splits in
+    ///    reverse);
+    /// 2. install a [`MergeSpec`] retirement through the **child's** own
+    ///    consensus log inside a sealed reconfig cell — the child-side
+    ///    linearization point. Everything committed to the child before it
+    ///    is drained out as the migration set; batches landing after it
+    ///    under the old topology bounce with [`StoreResp::Moved`] and are
+    ///    re-planned by their clients. The sealed cell compacts the
+    ///    child's log (its last anchor seals an empty state);
+    /// 3. install an [`AdoptSpec`] with the drained entries through the
+    ///    **parent's** consensus log, also sealed — the parent-side
+    ///    linearization point: the parent's anchor now carries the adopted
+    ///    subtree, so the merge compacts the parent's log too (the
+    ///    dual-log anchor). The parent's epoch is *not* bumped: its own
+    ///    keys never move in a merge, so in-flight parent batches stay
+    ///    valid;
+    /// 4. atomically publish the new `(topology, shards)` view. The
+    ///    retired shard keeps its slot (ids stay dense) and keeps
+    ///    answering stale batches with `Moved`, but routing, broadcasts,
+    ///    and the hot-shard detector skip it from now on.
+    ///
+    /// Clients whose keys lived on the child observe the same contract as
+    /// across a split: an operation is applied exactly once — on the shard
+    /// that owns its key at its linearization point — or bounced and
+    /// retried, never both. Between the drain and the adoption the moved
+    /// keys are reachable by **no** batch: old plans bounce at the child,
+    /// and no client can plan against the merged topology until it is
+    /// published, which happens only after the adoption installs.
+    ///
+    /// Both installs ride the guest tier and are lock-free (each failed
+    /// placement attempt is a client batch committing); merges serialize
+    /// with splits and checkpoints on the admin lock.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MergeError`] from [`ShardTopology::check_merge`].
+    pub fn merge_shard(&self, child: usize) -> Result<usize, MergeError> {
+        let _admin = self.admin.lock().expect("admin lock poisoned");
+        self.merge_locked(child)
+    }
+
+    /// The body of [`Store::merge_shard`]; the caller holds the admin lock.
+    fn merge_locked(&self, child: usize) -> Result<usize, MergeError> {
+        let view = self.current_view();
+        let (topology, parent) = view.topology.merge(child)?;
+        let version = topology.version();
+        // Child-side linearization point: retire through the child's own
+        // log. Returns exactly the entries committed before the bump.
+        let outgoing = {
+            let slot = view.shards[child].ports.len() - 1; // guest tier
+            let mut handle = view.shards[child].ports[slot].lock().expect("port slot poisoned");
+            let (_, mut resps) = handle.reconfigure(ShardCmd::Merge(MergeSpec { version }));
+            view.shards[child].publish_digest(slot, &handle);
+            match resps.pop() {
+                Some(StoreResp::Entries(entries)) => entries,
+                other => {
+                    unreachable!("a merge retirement answers with its migration set, got {other:?}")
+                }
+            }
+        };
+        // Parent-side linearization point: adopt through the parent's log
+        // (sealed — the dual-log anchor that also compacts the parent).
+        {
+            let slot = view.shards[parent].ports.len() - 1; // guest tier
+            let mut handle = view.shards[parent].ports[slot].lock().expect("port slot poisoned");
+            let (_, resps) = handle
+                .reconfigure(ShardCmd::Adopt(AdoptSpec { version, entries: Arc::new(outgoing) }));
+            view.shards[parent].publish_digest(slot, &handle);
+            debug_assert!(
+                matches!(resps.first(), Some(StoreResp::Value(Some(_)))),
+                "an adoption answers with its entry count"
+            );
+        }
+        self.view.store(Arc::new(StoreView { topology, shards: view.shards.clone() }));
+        Ok(parent)
     }
 
     /// Seals a checkpoint cell on every shard log and returns the sealed
@@ -525,35 +734,71 @@ impl Store {
 
     /// Commits `batch` on `shard` through `port`: one universal-log append,
     /// a digest publication, and (if configured) the auto-checkpoint
-    /// cadence.
+    /// cadence and the elasticity tick.
     fn commit(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
-        let mut handle = shard.ports[port].lock().expect("port slot poisoned");
-        let resps = handle.apply(ShardCmd::Batch(batch));
-        shard.stats.update(
-            port,
-            ShardDigest {
-                commits: handle.replayed_cells(),
-                entries: handle.local_state().len() as u64,
-            },
-        );
-        if let Some(k) = self.checkpoint_every {
-            let commits = shard.auto_commits.fetch_add(1, Ordering::Relaxed) + 1;
-            if commits.is_multiple_of(k) {
-                let last = shard.ports.len() - 1;
-                if port == last {
-                    handle.checkpoint();
-                } else {
-                    // Ride the guest tier without ever holding two port
-                    // locks: if the seal port is busy, skip — a commit is
-                    // happening there and the next cadence window retries.
-                    drop(handle);
-                    if let Ok(mut sealer) = shard.ports[last].try_lock() {
-                        sealer.checkpoint();
+        let resps = {
+            let mut handle = shard.ports[port].lock().expect("port slot poisoned");
+            let resps = handle.apply(ShardCmd::Batch(batch));
+            shard.publish_digest(port, &handle);
+            if let Some(k) = self.checkpoint_every {
+                let commits = shard.auto_commits.fetch_add(1, Ordering::Relaxed) + 1;
+                if commits.is_multiple_of(k) {
+                    let last = shard.ports.len() - 1;
+                    if port == last {
+                        handle.checkpoint();
+                    } else {
+                        // Ride the guest tier without ever holding two port
+                        // locks: if the seal port is busy, skip — a commit is
+                        // happening there and the next cadence window retries.
+                        drop(handle);
+                        if let Ok(mut sealer) = shard.ports[last].try_lock() {
+                            sealer.checkpoint();
+                        }
                     }
                 }
             }
-        }
+            resps
+        };
+        // The committing handle is released before the tick: a reconfig
+        // decided here locks other ports, and a commit must never hold two.
+        self.elastic_tick(port);
         resps
+    }
+
+    /// One step of the elasticity cadence, ridden by the commit path. Runs
+    /// a policy evaluation every `evaluate_every` commits; everything is
+    /// try-locked, so a busy engine or a concurrent admin operation makes
+    /// this a no-op rather than a stall.
+    ///
+    /// Reconfigurations ride **guest-tier commits only**: applying a
+    /// decision blocks on guest-tier port locks and installs through a
+    /// lock-free (not wait-free) reconfig cell, so letting a VIP thread
+    /// carry that work would break the wait-free bound its port promises.
+    /// A VIP commit crossing the cadence boundary just skips the window —
+    /// the next guest boundary picks the evaluation up. (Corollary: a
+    /// store serving *only* VIPs never auto-reconfigures.)
+    fn elastic_tick(&self, port: usize) {
+        let Some(slot) = &self.elastic else { return };
+        let total = self.total_commits.fetch_add(1, Ordering::Relaxed) + 1;
+        if !total.is_multiple_of(slot.evaluate_every) {
+            return;
+        }
+        if port < self.admission.spec().x() {
+            return; // never on a VIP thread (see above)
+        }
+        let Ok(mut engine) = slot.engine.try_lock() else { return };
+        let Ok(_admin) = self.admin.try_lock() else { return };
+        let stats = self.snapshot_stats();
+        let topology = self.current_view().topology.clone();
+        let decision = engine.evaluate(total, &stats, &topology);
+        let applied = match decision {
+            ElasticDecision::Split(shard) => self.split_locked(shard).is_ok(),
+            ElasticDecision::Merge(shard) => self.merge_locked(shard).is_ok(),
+            ElasticDecision::Hold => false,
+        };
+        if applied {
+            engine.note_reconfigured(decision, total);
+        }
     }
 
     /// Plans and commits `ops` under `view`, one log append per touched
@@ -944,6 +1189,171 @@ mod tests {
         // The audit dashboards agree with the data.
         let entries: u64 = store.snapshot_stats().iter().map(|d| d.entries).sum();
         assert_eq!(entries, check.scan("", "z").len() as u64);
+    }
+
+    #[test]
+    fn merge_preserves_every_key_and_restores_placement() {
+        let store = small_store(2);
+        let mut c = store.client(store.admit_vip().unwrap());
+        for i in 0..64 {
+            c.put(&format!("key/{i:02}"), i);
+        }
+        let placement_before: Vec<usize> =
+            (0..64).map(|i| store.shard_of(&format!("key/{i:02}"))).collect();
+        let before = store.client(store.admit_guest()).scan("", "z");
+        let child = store.split_shard(0).unwrap();
+        let parent = store.merge_shard(child).unwrap();
+        assert_eq!(parent, 0);
+        assert_eq!(store.shards(), 3, "the tombstone keeps its slot");
+        assert_eq!(store.live_shards(), 2);
+        assert_eq!(store.topology().version(), 2);
+        // Nothing lost, nothing duplicated, order preserved.
+        assert_eq!(store.client(store.admit_guest()).scan("", "z"), before);
+        // Placement is exactly what it was before the split.
+        for (i, &was) in placement_before.iter().enumerate() {
+            let key = format!("key/{i:02}");
+            assert_eq!(store.shard_of(&key), was, "{key} must route as before the split");
+            assert_eq!(c.get(&key), Some(i as u64), "{key} survives the round-trip");
+        }
+        // The tombstone holds no data; the stats dashboards agree.
+        let stats = store.snapshot_stats();
+        assert_eq!(stats[child].entries, 0, "the retired child drained everything");
+        let entries: u64 = stats.iter().map(|d| d.entries).sum();
+        assert_eq!(entries, 64);
+        // The store keeps serving and splitting after a merge.
+        assert_eq!(c.put("post-merge", 7), None);
+        assert_eq!(c.get("post-merge"), Some(7));
+        let next = store.split_shard(0).unwrap();
+        assert_eq!(next, 3, "tombstoned slots are never reused");
+    }
+
+    #[test]
+    fn merge_and_split_of_ineligible_shards_are_typed_errors() {
+        let store = small_store(2);
+        assert_eq!(
+            store.merge_shard(9),
+            Err(crate::router::MergeError::NoSuchShard { shard: 9, shards: 2 })
+        );
+        assert_eq!(store.merge_shard(1), Err(crate::router::MergeError::RootShard { shard: 1 }));
+        let child = store.split_shard(0).unwrap();
+        store.merge_shard(child).unwrap();
+        assert_eq!(
+            store.merge_shard(child),
+            Err(crate::router::MergeError::AlreadyRetired { shard: child })
+        );
+        assert_eq!(store.split_shard(child), Err(SplitError::RetiredShard { shard: child }));
+        assert!(store.split_shard(child).unwrap_err().to_string().contains("retired"));
+    }
+
+    #[test]
+    fn merge_races_concurrent_commits_without_loss_or_duplication() {
+        // Writers hammer disjoint keys while a split and its inverse merge
+        // land mid-run: every put survives exactly once, the CAS total
+        // stays exact, and the final placement equals the pre-split one.
+        let store = small_store(2);
+        let vip = store.admit_vip().unwrap();
+        let guests: Vec<_> = (0..3).map(|_| store.admit_guest()).collect();
+        let success = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for (w, t) in guests.iter().copied().chain([vip]).enumerate() {
+                let store = &store;
+                let success = &success;
+                s.spawn(move || {
+                    let mut c = store.client(t);
+                    for i in 0..40 {
+                        c.put(&format!("w{w}/{i:02}"), i);
+                        loop {
+                            let cur = c.get("shared/ctr");
+                            if c.cas("shared/ctr", cur, cur.unwrap_or(0) + 1).0 {
+                                success.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            let store = &store;
+            s.spawn(move || {
+                let child = store.split_shard(0).unwrap();
+                std::thread::yield_now();
+                store.merge_shard(child).unwrap();
+            });
+        });
+        assert_eq!(store.shards(), 3);
+        assert_eq!(store.live_shards(), 2, "the topology round-tripped");
+        let mut check = store.client(store.admit_guest());
+        let puts = check.scan("w", "x");
+        assert_eq!(puts.len(), 4 * 40, "every put survives the split+merge exactly once");
+        assert_eq!(check.get("shared/ctr"), Some(160));
+        assert_eq!(success.load(std::sync::atomic::Ordering::Relaxed), 160);
+        let entries: u64 = store.snapshot_stats().iter().map(|d| d.entries).sum();
+        assert_eq!(entries, check.scan("", "z").len() as u64);
+    }
+
+    #[test]
+    fn elastic_store_auto_splits_on_melt_and_auto_merges_on_cool() {
+        use crate::elastic::ElasticityPolicy;
+        // Aggressive policy so the test stays fast: evaluate every 16
+        // commits, cool down after 64.
+        let store = StoreBuilder::new()
+            .shards(4)
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .elastic(ElasticityPolicy {
+                evaluate_every: 16,
+                cooldown: 64,
+                // A single-threaded client round-robins its keys, so tiny
+                // windows are already burst-free here.
+                min_window: 32,
+                ..ElasticityPolicy::default()
+            })
+            .build()
+            .unwrap();
+        // A guest session: the driver only ever acts from guest-tier
+        // commits (VIP threads never carry reconfiguration work).
+        let mut c = store.client(store.admit_guest());
+        // Melt: hammer keys that all live on one shard under the fresh
+        // topology. The driver must split without any manual call.
+        let hot_keys = crate::workload::keys_on_shard(&store.topology(), 0, 4);
+        let mut rounds = 0;
+        while store.elastic_report().unwrap().splits == 0 {
+            for key in &hot_keys {
+                c.put(key, rounds);
+            }
+            rounds += 1;
+            assert!(rounds < 500, "the melt must trigger an auto-split");
+        }
+        assert!(store.live_shards() > 4, "the driver grew the topology");
+        let grown = store.shards();
+        // Cool: move every bit of traffic to shards 1..: the children of
+        // shard 0 go cold and the driver must retire them, unwinding to
+        // the original live set.
+        let cool_keys: Vec<String> =
+            (1..4).flat_map(|s| crate::workload::keys_on_shard(&store.topology(), s, 3)).collect();
+        let mut rounds = 0;
+        while store.live_shards() > 4 {
+            for key in &cool_keys {
+                c.put(key, rounds);
+            }
+            rounds += 1;
+            assert!(rounds < 2000, "fading load must trigger the auto-merges");
+        }
+        let report = store.elastic_report().unwrap();
+        assert!(report.splits >= 1);
+        assert!(report.merges >= 1);
+        assert_eq!(store.live_shards(), 4, "the topology converged back");
+        assert_eq!(store.shards(), grown, "tombstones keep their slots");
+        // The data survived the whole elastic episode.
+        for key in &hot_keys {
+            assert!(c.get(key).is_some(), "{key} survives auto-split and auto-merge");
+        }
+    }
+
+    #[test]
+    fn elastic_report_is_none_without_the_driver() {
+        let store = small_store(1);
+        assert!(store.elastic_report().is_none());
     }
 
     #[test]

@@ -145,13 +145,14 @@ pub fn keys_on_shard(
     shard: usize,
     count: usize,
 ) -> Vec<String> {
-    // An out-of-range shard would make the unbounded scan below spin
-    // forever; fail loudly instead.
+    // An out-of-range or retired shard would make the unbounded scan below
+    // spin forever (nothing routes to a tombstone); fail loudly instead.
     assert!(
         shard < topology.shards(),
         "no shard {shard} in a {}-shard topology",
         topology.shards()
     );
+    assert!(topology.is_live(shard), "shard {shard} is retired; no key routes to a tombstone");
     (0..).map(key_name).filter(|k| topology.shard_of(k) == shard).take(count).collect()
 }
 

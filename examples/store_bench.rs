@@ -25,7 +25,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use asymmetric_progress::store::workload::{keys_on_shard, preloaded_shard_log, Scenario};
-use asymmetric_progress::store::{Batch, ProgressClass, ShardCmd, Store, StoreBuilder, StoreOp};
+use asymmetric_progress::store::{
+    Batch, ElasticityPolicy, ProgressClass, ShardCmd, Store, StoreBuilder, StoreOp,
+};
 
 const CLIENTS: usize = 8;
 const OPS_PER_CLIENT: usize = 300;
@@ -145,6 +147,7 @@ fn main() {
     }
 
     hot_shard_split_scenario();
+    elastic_scenario();
     recovery_scenario();
 }
 
@@ -233,6 +236,164 @@ fn hot_shard_split_scenario() {
         "post-split ops/s ({recovery:.0}) must recover above the plateau ({plateau:.0})"
     );
     println!("  recovery vs plateau: {:.2}x", recovery / plateau);
+}
+
+/// The **elastic scenario**: the same melt as the hot-key-split scenario,
+/// but **nobody ever calls `split_shard` or `merge_shard`** — the policy
+/// driver configured by `StoreBuilder::elastic` does both. The driver must
+/// auto-split under the melt (ops/s recovering above the melted plateau),
+/// then auto-merge the children back once the load moves away, converging
+/// to the original live shard count — with at most one reconfiguration per
+/// cool-down window along the way.
+fn elastic_scenario() {
+    const ROUNDS: usize = 3;
+    let policy = ElasticityPolicy {
+        evaluate_every: 128,
+        // Two jobs for the window floor. (1) Burst resistance: on a single
+        // core, client streams run as consecutive bursts — up to 3
+        // same-shard clients × OPS_PER_CLIENT (300) = 900 back-to-back
+        // commits on one shard — and the window must dwarf that run length
+        // or a scheduler slice impersonates key-space skew. (2) Let the
+        // melted plateau actually form (≈3 rounds of 2400 commits) before
+        // the driver intervenes, so the pre-split ops/s floor below is a
+        // real plateau, mirroring the manual hot-key-split scenario.
+        min_window: 3 * (CLIENTS * OPS_PER_CLIENT) as u64,
+        cooldown: 2048,
+        ..ElasticityPolicy::default()
+    };
+    println!(
+        "\nelastic scenario: {CLIENTS} clients, one hot key each, zero manual reconfig calls \
+         (evaluate every {} commits, cool down {})",
+        policy.evaluate_every, policy.cooldown
+    );
+
+    let run_phase = |store: &Store,
+                     tickets: &[asymmetric_progress::store::ClientTicket],
+                     label: &str,
+                     keys: &[String]|
+     -> f64 {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for (i, ticket) in tickets.iter().enumerate() {
+                let key = &keys[i % keys.len()];
+                s.spawn(move || {
+                    let mut client = store.client(*ticket);
+                    for step in 0..OPS_PER_CLIENT {
+                        if step % 3 == 0 {
+                            let _ = client.get(key);
+                        } else {
+                            let _ = client.put(key, step as u64);
+                        }
+                    }
+                });
+            }
+        });
+        let ops_per_sec = (CLIENTS * OPS_PER_CLIENT) as f64 / t0.elapsed().as_secs_f64();
+        println!("  {label:<26} {ops_per_sec:>12.0} ops/s  (live shards: {})", store.live_shards());
+        ops_per_sec
+    };
+    let admit = |store: &Store| -> Vec<asymmetric_progress::store::ClientTicket> {
+        (0..VIP_CAPACITY)
+            .map(|_| store.admit_vip().expect("capacity fits"))
+            .chain((0..CLIENTS - VIP_CAPACITY).map(|_| store.admit_guest()))
+            .collect()
+    };
+
+    // Melt the elastic store: the policy's window floor keeps the driver
+    // observing for ≈3 rounds, so the melted plateau (the min over the
+    // pre-split rounds, exactly like the manual hot-key-split scenario)
+    // forms before the first auto-split lands.
+    let store: Store = StoreBuilder::new()
+        .shards(4)
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .elastic(policy)
+        .build()
+        .expect("sizing is valid");
+    let hot_keys = keys_on_shard(&store.topology(), 0, CLIENTS);
+    let mut loader = store.client(store.admit_guest());
+    for key in &hot_keys {
+        loader.put(key, 0);
+    }
+    let tickets = admit(&store);
+    let mut issued = hot_keys.len() as u64;
+    let mut plateau = f64::MAX;
+    let mut melt_rounds = 0usize;
+    while store.elastic_report().expect("driver configured").splits == 0 {
+        plateau = plateau.min(run_phase(
+            &store,
+            &tickets,
+            &format!("melt round {melt_rounds}"),
+            &hot_keys,
+        ));
+        issued += (CLIENTS * OPS_PER_CLIENT) as u64;
+        melt_rounds += 1;
+        assert!(melt_rounds < 64, "the melt must trigger an auto-split");
+    }
+    let after_split = store.elastic_report().unwrap();
+    println!(
+        "  auto-split happened: {} split(s) after {melt_rounds} melt round(s), live shards now {}",
+        after_split.splits,
+        store.live_shards()
+    );
+    assert!(store.live_shards() > 4, "the driver grew the topology on its own");
+    let recovery = (0..ROUNDS)
+        .map(|round| {
+            let r = run_phase(&store, &tickets, &format!("post-auto-split {round}"), &hot_keys);
+            issued += (CLIENTS * OPS_PER_CLIENT) as u64;
+            r
+        })
+        .sum::<f64>()
+        / ROUNDS as f64;
+    assert!(
+        recovery > plateau,
+        "post-auto-split ops/s ({recovery:.0}) must recover above the melted plateau ({plateau:.0})"
+    );
+    println!("  auto-split recovery vs melted plateau: {:.2}x", recovery / plateau);
+
+    // Cool: move every bit of traffic to the other root shards; the
+    // children of shard 0 fade and the driver must retire them.
+    let cool_keys: Vec<String> =
+        (1..4).flat_map(|s| keys_on_shard(&store.topology(), s, CLIENTS.div_ceil(3))).collect();
+    let mut cool_rounds = 0usize;
+    while store.live_shards() > 4 {
+        let _ = run_phase(&store, &tickets, &format!("cool round {cool_rounds}"), &cool_keys);
+        issued += (CLIENTS * OPS_PER_CLIENT) as u64;
+        cool_rounds += 1;
+        assert!(cool_rounds < 64, "fading load must trigger the auto-merges");
+    }
+    let report = store.elastic_report().unwrap();
+    println!(
+        "  auto-merge happened: {} merge(s) after {cool_rounds} cool round(s); \
+         live shards back to {}",
+        report.merges,
+        store.live_shards()
+    );
+    assert!(report.merges >= 1, "the cool phase must shrink the topology");
+    assert_eq!(store.live_shards(), 4, "the topology converged back to its original live set");
+    // Thrash bound: at most one reconfiguration per cool-down window over
+    // the whole episode (plus the one that can land at the very start).
+    let reconfigs = report.splits + report.merges;
+    assert!(
+        reconfigs <= issued / policy.cooldown + 1,
+        "{reconfigs} reconfigs over {issued} commits violates the cool-down discipline"
+    );
+    // Audit: the data survived the whole elastic episode. (Only the keys
+    // some client actually used count: client i drives keys[i % len].)
+    let touched: std::collections::BTreeSet<&String> = hot_keys
+        .iter()
+        .enumerate()
+        .chain(cool_keys.iter().enumerate())
+        .filter(|&(i, _)| i < CLIENTS)
+        .map(|(_, k)| k)
+        .collect();
+    let mut auditor = store.client(store.admit_guest());
+    let survived = auditor.scan("", "\u{10ffff}").len();
+    assert_eq!(survived, touched.len(), "every touched key survives the episode");
+    let entries: u64 = store.snapshot_stats().iter().map(|d| d.entries).sum();
+    assert_eq!(entries, survived as u64, "stats snapshots agree with the scan");
+    println!("  audit: {survived} keys, {reconfigs} reconfigs, zero manual calls");
 }
 
 /// The compaction/recovery scenario: checkpoint, flush, crash, recover,

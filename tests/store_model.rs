@@ -12,10 +12,12 @@ use asymmetric_progress::model::explore::{
     Agreement, ExploreConfig, Explorer, NoFaults, ValidityIn,
 };
 use asymmetric_progress::model::fairness::{fair_livelocks, fair_termination, StateGraph};
+use asymmetric_progress::model::ObjectId;
 use asymmetric_progress::model::{ProcessSet, Value};
 use asymmetric_progress::store::model::{
-    checkpointed_commit_system, proposed_batches, shard_commit_system, split_commit_system,
-    PlacementSafety, CHECKPOINT_BASE, SPLIT_BASE,
+    checkpointed_commit_system, merge_adopt_system, merge_commit_system, proposed_batches,
+    shard_commit_system, split_commit_system, MergeOrder, PlacementSafety, ADOPT_BASE,
+    CHECKPOINT_BASE, MERGE_BASE, SPLIT_BASE,
 };
 
 fn mask_participants(mask: u8, n: usize) -> ProcessSet {
@@ -256,15 +258,154 @@ fn guest_splitter_racing_guest_committer_admits_livelock() {
     assert!(!witnesses.is_empty(), "lockstep guests must admit a livelock witness");
 }
 
-/// The checkpoint and split marker values are namespaced away from batch
-/// ids (and from each other), so none can be confused in a cell decision.
+/// The **merge race matrix**, exhaustively — the child-side half of
+/// [`Store::merge_shard`]: for a (3,1) shard, every committer
+/// participation pattern racing a retirement (drain) install from every
+/// non-committing port satisfies [`PlacementSafety`] on **every** schedule
+/// — no committed batch is dropped by the drain, nothing (batch or
+/// retirement) is agreed by two log cells, and terminal states place every
+/// participant. Mirrors PR 4's split matrix, marker for marker.
+#[test]
+fn merge_install_race_safety_matrix_exhaustive() {
+    for committer_mask in 0u8..8 {
+        for merger in 0usize..3 {
+            if committer_mask & (1 << merger) != 0 {
+                continue; // the merger does not also commit a batch
+            }
+            let committers = mask_participants(committer_mask, 3);
+            let participants = mask_participants(committer_mask | (1 << merger), 3);
+            let (sys, cells, proposals) = merge_commit_system(3, 1, 1, committers, Some(merger));
+            let safety = PlacementSafety { cells, participants, proposals };
+            let explorer = Explorer::new(ExploreConfig::default().with_max_states(400_000));
+            let result = explorer.explore(&sys, &[&safety, &NoFaults]);
+            assert!(
+                result.ok(),
+                "committers {committer_mask:03b} + merge {merger}: {:?}",
+                result.violations.first()
+            );
+            assert!(
+                !result.truncated,
+                "committers {committer_mask:03b} + merge {merger} must be exhaustive"
+            );
+        }
+    }
+}
+
+/// At (4,2): both VIPs and a guest commit while the other guest installs
+/// the retirement — still safe on every schedule.
+#[test]
+fn merge_race_4_2_exhaustive() {
+    let committers = ProcessSet::from_indices([0, 1, 2]);
+    let (sys, cells, proposals) = merge_commit_system(4, 2, 1, committers, Some(3));
+    let safety = PlacementSafety { cells, participants: ProcessSet::first_n(4), proposals };
+    let explorer = Explorer::new(ExploreConfig::default().with_max_states(2_000_000));
+    let result = explorer.explore(&sys, &[&safety, &NoFaults]);
+    assert!(result.ok(), "{:?}", result.violations.first());
+    assert!(!result.truncated);
+}
+
+/// The **cross-log merge matrix**: both halves of the merge — the child
+/// drain and the parent adoption — racing committers on *each* log, for
+/// every placement of up to two committers across the two logs. Placement
+/// safety holds over the union of both logs' cells (in particular, no
+/// batch ever places into both sides of the merge) and the adoption never
+/// precedes the drain, on every schedule.
+#[test]
+fn merge_adopt_race_matrix_exhaustive() {
+    // Committers 0 and 1 each go to the child log, the parent log, or
+    // nowhere; port 2 is always the merger.
+    for c0 in 0u8..3 {
+        for c1 in 0u8..3 {
+            // 0 = absent, 1 = commits on the child log, 2 = on the parent.
+            let mut child: Vec<usize> = Vec::new();
+            let mut parent: Vec<usize> = Vec::new();
+            for (pid, which) in [(0usize, c0), (1, c1)] {
+                match which {
+                    1 => child.push(pid),
+                    2 => parent.push(pid),
+                    _ => {}
+                }
+            }
+            let child_committers: ProcessSet = child.clone().into_iter().collect();
+            let parent_committers: ProcessSet = parent.clone().into_iter().collect();
+            let (sys, child_cells, parent_cells, proposals) =
+                merge_adopt_system(3, 1, 1, child_committers, parent_committers, 2);
+            let all_cells: Vec<ObjectId> =
+                child_cells.iter().chain(parent_cells.iter()).copied().collect();
+            let participants: ProcessSet =
+                child.into_iter().chain(parent).chain([2usize]).collect();
+            let safety = PlacementSafety { cells: all_cells, participants, proposals };
+            let order = MergeOrder {
+                child_cells,
+                parent_cells,
+                drain: Value::Num(MERGE_BASE + 2),
+                adopt: Value::Num(ADOPT_BASE + 2),
+            };
+            let explorer = Explorer::new(ExploreConfig::default().with_max_states(2_000_000));
+            let result = explorer.explore(&sys, &[&safety, &order, &NoFaults]);
+            assert!(result.ok(), "child {c0} / parent {c1}: {:?}", result.violations.first());
+            assert!(!result.truncated, "child {c0} / parent {c1} must be exhaustive");
+        }
+    }
+}
+
+/// VIP wait-freedom survives a merge: a VIP committing (on either side of
+/// the merge) while a guest drives the dual-log retirement terminates on
+/// every fair schedule — the merge rides the guest tier and obeys the
+/// helping rule on both logs, so it cannot block the wait-free class.
+#[test]
+fn vip_commit_racing_merge_terminates_fairly() {
+    // Single-log half (the child drain racing a VIP batch).
+    let committers = ProcessSet::from_indices([0]);
+    let (sys, _, _) = merge_commit_system(3, 1, 1, committers, Some(2));
+    let graph = StateGraph::build(&sys, 500_000);
+    assert!(!graph.truncated());
+    let participants = ProcessSet::from_indices([0, 2]);
+    let verdict = fair_termination(&graph, |pid| participants.contains(pid));
+    assert!(verdict.holds(), "single-log: {verdict:?}");
+
+    // Cross-log: the VIP commits on the child log while the merger crosses
+    // both logs.
+    let (sys, _, _, _) =
+        merge_adopt_system(3, 1, 1, ProcessSet::from_indices([0]), ProcessSet::EMPTY, 2);
+    let graph = StateGraph::build(&sys, 2_000_000);
+    assert!(!graph.truncated());
+    let verdict = fair_termination(&graph, |pid| participants.contains(pid));
+    assert!(verdict.holds(), "cross-log: {verdict:?}");
+}
+
+/// The caveat carries over from splits: merge installation is lock-free
+/// but not wait-free — a guest merger and a guest committer can starve
+/// each other in lockstep, which the checker exhibits as a fair-livelock
+/// witness. This is why `Store::merge_shard` rides the guest tier and
+/// documents the merge as lock-free.
+#[test]
+fn guest_merger_racing_guest_committer_admits_livelock() {
+    let committers = ProcessSet::from_indices([1]);
+    let (sys, _, _) = merge_commit_system(3, 1, 1, committers, Some(2));
+    let graph = StateGraph::build(&sys, 500_000);
+    assert!(!graph.truncated());
+    let witnesses = fair_livelocks(&graph);
+    assert!(!witnesses.is_empty(), "lockstep guests must admit a livelock witness");
+}
+
+/// The checkpoint, split, and merge marker values are namespaced away from
+/// batch ids (and from each other), so none can be confused in a cell
+/// decision.
 #[test]
 fn checkpoint_values_are_disjoint_from_batches() {
     let batches = proposed_batches(ProcessSet::first_n(64));
     for pid in 0..64u32 {
         assert!(!batches.contains(&Value::Num(CHECKPOINT_BASE + pid)));
         assert!(!batches.contains(&Value::Num(SPLIT_BASE + pid)));
-        assert_ne!(CHECKPOINT_BASE + pid, SPLIT_BASE + pid);
+        assert!(!batches.contains(&Value::Num(MERGE_BASE + pid)));
+        assert!(!batches.contains(&Value::Num(ADOPT_BASE + pid)));
+        let markers = [CHECKPOINT_BASE + pid, SPLIT_BASE + pid, MERGE_BASE + pid, ADOPT_BASE + pid];
+        for (i, a) in markers.iter().enumerate() {
+            for b in &markers[i + 1..] {
+                assert_ne!(a, b, "marker namespaces must not collide");
+            }
+        }
     }
 }
 

@@ -249,6 +249,128 @@ proptest! {
         prop_assert_eq!(entries, oracle.len() as u64);
     }
 
+    /// Topology churn is semantically invisible: random op sequences with
+    /// random **splits and merges** interleaved still match the oracle
+    /// response-for-response, and the terminal scan equals the oracle.
+    /// Merge points pick any structurally eligible child at that moment
+    /// (skipped when none exists), so long runs repeatedly grow and shrink
+    /// the same subtrees.
+    #[test]
+    fn sequential_ops_match_oracle_across_splits_and_merges(
+        shards in 1usize..3,
+        encoded in proptest::collection::vec((0u8..6, 0u8..12, 0u64..16), 8..60),
+        churn_points in proptest::collection::vec((0usize..60, 0usize..8, 0u8..2), 1..6),
+    ) {
+        let store = StoreBuilder::new()
+            .shards(shards)
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .build()
+            .expect("valid sizing");
+        let mut client = store.client(store.admit_vip().expect("first vip"));
+        let mut oracle = BTreeMap::new();
+        let mut merges = 0usize;
+        for (i, (kind, key, val)) in encoded.iter().enumerate() {
+            for &(at, target, merge) in &churn_points {
+                if at != i {
+                    continue;
+                }
+                if merge == 1 {
+                    // Merge any structurally eligible child, if one exists.
+                    let topology = store.topology();
+                    let candidates: Vec<usize> =
+                        (0..topology.shards()).filter(|&s| topology.check_merge(s).is_ok()).collect();
+                    if !candidates.is_empty() {
+                        let victim = candidates[target % candidates.len()];
+                        let parent = store.merge_shard(victim).expect("eligible candidate");
+                        let after = store.topology();
+                        prop_assert_eq!(after.node(victim).parent, Some(parent as u32));
+                        merges += 1;
+                    }
+                } else {
+                    // Split an arbitrary live shard mid-stream.
+                    let topology = store.topology();
+                    let live: Vec<usize> =
+                        (0..topology.shards()).filter(|&s| topology.is_live(s)).collect();
+                    let victim = live[target % live.len()];
+                    let child = store.split_shard(victim).expect("live shard splits");
+                    prop_assert_eq!(child, store.shards() - 1, "splits append");
+                }
+            }
+            let op = decode_op(*kind, *key, *val);
+            let got = client.execute(vec![op.clone()]).pop().expect("one response");
+            let want = oracle_apply(&mut oracle, &op);
+            prop_assert_eq!(&got, &want, "op {} ({:?}) diverged under churn", i, op);
+        }
+        let all = client.execute(vec![StoreOp::Scan { from: String::new(), to: "z".into() }]);
+        let want: Vec<(String, u64)> = oracle.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(&all[0], &StoreResp::Entries(want));
+        // Audit: live-shard stats cover exactly the oracle's keys, and
+        // retired shards drained to empty.
+        let topology = store.topology();
+        let stats = store.snapshot_stats();
+        let entries: u64 = stats.iter().map(|d| d.entries).sum();
+        prop_assert_eq!(entries, oracle.len() as u64);
+        for (s, digest) in stats.iter().enumerate() {
+            if !topology.is_live(s) {
+                prop_assert_eq!(digest.entries, 0, "tombstone {} must be empty", s);
+            }
+        }
+        let _ = merges;
+    }
+
+    /// The round-trip (minimal-disruption inverse) property: starting from
+    /// any split history, split any live shard and immediately merge the
+    /// child back — every key's placement is exactly what it was before
+    /// the split, over the whole keyset.
+    #[test]
+    fn split_then_merge_restores_the_parents_placement(
+        roots in 1usize..5,
+        prior_splits in proptest::collection::vec(0usize..16, 0..5),
+        victim_pick in 0usize..16,
+        raw_keys in proptest::collection::vec((0u8..26, 0u64..4096), 16..64),
+    ) {
+        let keys: Vec<String> = raw_keys
+            .iter()
+            .map(|(prefix, n)| format!("{}/{n:04}", (b'a' + prefix) as char))
+            .collect();
+        let mut topology = ShardTopology::fresh(roots);
+        for target in prior_splits {
+            let (bumped, _) = topology.split(target % topology.shards());
+            topology = bumped;
+        }
+        let live: Vec<usize> =
+            (0..topology.shards()).filter(|&s| topology.is_live(s)).collect();
+        let victim = live[victim_pick % live.len()];
+        let before: Vec<usize> = keys.iter().map(|k| topology.shard_of(k)).collect();
+        let (split_topo, child) = topology.split(victim);
+        let (merged, parent) = split_topo.merge(child).expect("a fresh child is eligible");
+        prop_assert_eq!(parent, victim);
+        prop_assert_eq!(merged.live_shards(), topology.live_shards());
+        for (key, &was) in keys.iter().zip(&before) {
+            prop_assert_eq!(
+                merged.shard_of(key), was,
+                "{} must route exactly as before the split", key
+            );
+        }
+        // And unwinding a whole stack restores the fresh roots exactly.
+        let mut unwound = merged;
+        loop {
+            let candidate =
+                (0..unwound.shards()).find(|&s| unwound.check_merge(s).is_ok());
+            match candidate {
+                Some(s) => unwound = unwound.merge(s).expect("eligible").0,
+                None => break,
+            }
+        }
+        prop_assert_eq!(unwound.live_shards(), roots, "every split unwinds");
+        let fresh = ShardTopology::fresh(roots);
+        for key in &keys {
+            prop_assert_eq!(unwound.shard_of(key), fresh.shard_of(key));
+        }
+    }
+
     /// The minimal-disruption property of rendezvous routing: across any
     /// sequence of splits, a key's placement changes **only** at the split
     /// of its current shard, and it moves **only** to the freshly created

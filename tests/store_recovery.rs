@@ -453,3 +453,316 @@ fn post_split_topology_survives_crash_recovery() {
     c.put("after/recovery", 9);
     assert_eq!(c.get("after/recovery"), Some(9));
 }
+
+// ---------------------------------------------------------------------------
+// Elastic-topology recovery: merged trees, tombstones, format upgrades.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64, duplicated here on purpose: the tests below hand-encode and
+/// re-seal snapshot bytes, and the checksum oracle must not share code
+/// with the system under test.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The post-merge roundtrip: a store that split **and merged** live
+/// flushes, crashes, and recovers with its tombstoned topology intact —
+/// same slots, same tombstones, same placement, same data — and can keep
+/// splitting and merging afterwards.
+#[test]
+fn post_merge_topology_survives_crash_recovery() {
+    let path = scratch("post-merge.snapshot");
+    let (expected, topology_before) = {
+        let store = StoreBuilder::new()
+            .shards(2)
+            .vip_capacity(1)
+            .guest_ports(3)
+            .guest_group_width(1)
+            .build()
+            .unwrap();
+        let mut c = store.client(store.admit_vip().unwrap());
+        for i in 0..96u64 {
+            c.put(&format!("key/{i:03}"), i);
+        }
+        // Grow by two, shrink by one: a live tombstone in the middle of
+        // the slot range.
+        let c1 = store.split_shard(0).unwrap();
+        let c2 = store.split_shard(1).unwrap();
+        store.merge_shard(c1).unwrap();
+        assert_eq!(store.shards(), 4);
+        assert_eq!(store.live_shards(), 3);
+        assert_eq!(store.topology().version(), 3);
+        c.put("post/merge", 7);
+        store.checkpoint().write_to(&path).unwrap();
+        // Post-flush commits must not survive.
+        c.put("late", 1);
+        let _ = c2;
+        (full_scan(&store), store.topology())
+    }; // crash
+    let recovered = StoreBuilder::new()
+        .vip_capacity(1)
+        .guest_ports(3)
+        .guest_group_width(1)
+        .recover(&path)
+        .unwrap();
+    assert_eq!(recovered.shards(), 4, "tombstones keep their slot across recovery");
+    assert_eq!(recovered.live_shards(), 3, "the live set survives");
+    let topology_after = recovered.topology();
+    assert_eq!(topology_after, topology_before, "the tombstoned tree survives verbatim");
+    assert!(!topology_after.is_live(2), "shard 2 is still retired");
+    let mut c = recovered.client(recovered.admit_vip().unwrap());
+    let scanned: Vec<(String, u64)> =
+        full_scan(&recovered).into_iter().filter(|(k, _)| k != "late").collect();
+    assert_eq!(scanned, expected.into_iter().filter(|(k, _)| k != "late").collect::<Vec<_>>());
+    for (key, value) in &scanned {
+        assert_eq!(c.get(key), Some(*value), "{key} routes to its post-merge shard");
+        assert_eq!(
+            recovered.shard_of(key),
+            topology_before.shard_of(key),
+            "{key} placement survives recovery"
+        );
+    }
+    assert_eq!(c.get("late"), None, "post-flush commits are not durable");
+    // The tombstone is empty and stays that way; stats agree with data.
+    let stats = recovered.snapshot_stats();
+    assert_eq!(stats[2].entries, 0, "the recovered tombstone holds nothing");
+    // The recovered store keeps reconfiguring: split, then merge it back.
+    let next = recovered.split_shard(0).unwrap();
+    assert_eq!(next, 4);
+    assert_eq!(recovered.merge_shard(next).unwrap(), 0);
+    assert_eq!(recovered.topology().version(), 5);
+    c.put("after/recovery", 9);
+    assert_eq!(c.get("after/recovery"), Some(9));
+    assert_eq!(full_scan(&recovered).len(), scanned.len() + 1);
+}
+
+/// A v2 (PR-4-era, pre-tombstone) snapshot file recovers end-to-end
+/// through `StoreBuilder::recover`: the upgrade reads every node as live
+/// and the store serves exactly the flushed data.
+#[test]
+fn v2_snapshot_files_upgrade_on_recovery() {
+    let path = scratch("v2-upgrade.snapshot");
+    // Hand-encode a v2 file: a fresh(2) topology (roots at version 0) and
+    // two frames. Seeds must match what the router derives for roots, so
+    // take them from a live topology.
+    let topology = asymmetric_progress::store::ShardTopology::fresh(2);
+    let entries: Vec<(String, u64)> = (0..10u64).map(|i| (format!("key/{i:02}"), i * 3)).collect();
+    let mut frames: Vec<Vec<(String, u64)>> = vec![Vec::new(), Vec::new()];
+    for (k, v) in &entries {
+        frames[topology.shard_of(k)].push((k.clone(), *v));
+    }
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"APCS");
+    buf.extend_from_slice(&2u32.to_le_bytes());
+    buf.extend_from_slice(&2u32.to_le_bytes());
+    let topo_start = buf.len();
+    buf.extend_from_slice(&0u64.to_le_bytes()); // topo version
+    for s in 0..2 {
+        let node = topology.node(s);
+        buf.extend_from_slice(&node.seed.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+    }
+    let topo_sum = fnv(&buf[topo_start..]);
+    buf.extend_from_slice(&topo_sum.to_le_bytes());
+    for frame in &frames {
+        let frame_start = buf.len();
+        buf.extend_from_slice(&0u64.to_le_bytes()); // log_index
+        buf.extend_from_slice(&0u64.to_le_bytes()); // epoch
+        buf.extend_from_slice(&(frame.len() as u64).to_le_bytes());
+        let payload_len_at = buf.len();
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let payload_start = buf.len();
+        for (k, v) in frame {
+            buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            buf.extend_from_slice(k.as_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let payload_len = (buf.len() - payload_start) as u64;
+        buf[payload_len_at..payload_len_at + 8].copy_from_slice(&payload_len.to_le_bytes());
+        let sum = fnv(&buf[frame_start..]);
+        buf.extend_from_slice(&sum.to_le_bytes());
+    }
+    let sum = fnv(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    std::fs::write(&path, &buf).unwrap();
+
+    let recovered = StoreBuilder::new()
+        .vip_capacity(1)
+        .guest_ports(2)
+        .guest_group_width(1)
+        .recover(&path)
+        .unwrap();
+    assert_eq!(recovered.shards(), 2);
+    assert_eq!(recovered.live_shards(), 2, "a v2 file upgrades to all-live nodes");
+    assert_eq!(full_scan(&recovered), entries);
+    // The upgraded store is fully elastic: split and merge still work.
+    let child = recovered.split_shard(0).unwrap();
+    recovered.merge_shard(child).unwrap();
+    assert_eq!(full_scan(&recovered), entries, "nothing lost across the upgrade + round-trip");
+}
+
+/// Fault injection on the tombstone column specifically: structurally
+/// invalid retirements (re-sealed so every checksum passes) must fail
+/// closed with their own typed corruption errors — recovery never builds
+/// a store whose tombstones lie.
+#[test]
+fn corrupted_tombstones_fail_closed_with_typed_errors() {
+    let path = scratch("bad-tombstones.snapshot");
+    // node records: (seed, parent, created_at, retired_at)
+    let encode = |records: &[(u64, u32, u64, u64)], topo_version: u64| {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"APCS");
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        let topo_start = buf.len();
+        buf.extend_from_slice(&topo_version.to_le_bytes());
+        for &(seed, parent, created_at, retired_at) in records {
+            buf.extend_from_slice(&seed.to_le_bytes());
+            buf.extend_from_slice(&parent.to_le_bytes());
+            buf.extend_from_slice(&created_at.to_le_bytes());
+            buf.extend_from_slice(&retired_at.to_le_bytes());
+        }
+        let topo_sum = fnv(&buf[topo_start..]);
+        buf.extend_from_slice(&topo_sum.to_le_bytes());
+        for _ in records {
+            let frame_start = buf.len();
+            for _ in 0..4 {
+                buf.extend_from_slice(&0u64.to_le_bytes());
+            }
+            let sum = fnv(&buf[frame_start..]);
+            buf.extend_from_slice(&sum.to_le_bytes());
+        }
+        let sum = fnv(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
+    };
+    let recover = |bytes: &[u8]| {
+        std::fs::write(&path, bytes).unwrap();
+        StoreBuilder::new()
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .recover(&path)
+            .expect_err("corrupt tombstones must not recover")
+    };
+    let live = u64::MAX;
+    // A retired root.
+    let err = recover(&encode(&[(7, u32::MAX, 0, 1)], 1));
+    assert!(
+        matches!(err, RecoverError::Persist(PersistError::Corrupt(m)) if m.contains("root")),
+        "retired root gave {err:?}"
+    );
+    // Retirement beyond the topology version.
+    let err = recover(&encode(&[(7, u32::MAX, 0, live), (8, 0, 1, 9)], 2));
+    assert!(
+        matches!(err, RecoverError::Persist(PersistError::Corrupt(m)) if m.contains("version range")),
+        "out-of-range tombstone gave {err:?}"
+    );
+    // Retirement at or before creation.
+    let err = recover(&encode(&[(7, u32::MAX, 0, live), (8, 0, 2, 2)], 2));
+    assert!(
+        matches!(err, RecoverError::Persist(PersistError::Corrupt(m)) if m.contains("version range")),
+        "pre-creation tombstone gave {err:?}"
+    );
+    // A live child under a tombstone.
+    let err = recover(&encode(&[(7, u32::MAX, 0, live), (8, 0, 1, 3), (9, 1, 2, live)], 3));
+    assert!(
+        matches!(err, RecoverError::Persist(PersistError::Corrupt(m)) if m.contains("tombstone")),
+        "live child of tombstone gave {err:?}"
+    );
+    // And a well-formed tombstone with a lying (non-empty) frame: build a
+    // real post-merge snapshot, then graft data into the retired frame.
+    let store = StoreBuilder::new()
+        .shards(1)
+        .vip_capacity(1)
+        .guest_ports(2)
+        .guest_group_width(1)
+        .build()
+        .unwrap();
+    let mut c = store.client(store.admit_vip().unwrap());
+    for i in 0..8u64 {
+        c.put(&format!("k{i}"), i);
+    }
+    let child = store.split_shard(0).unwrap();
+    store.merge_shard(child).unwrap();
+    let snap = store.checkpoint();
+    let mut tampered = snap;
+    let mut ghost = std::collections::BTreeMap::new();
+    ghost.insert("ghost".to_string(), 1u64);
+    tampered.shards[child] = asymmetric_progress::store::ShardSnapshot {
+        log_index: tampered.shards[child].log_index,
+        state: asymmetric_progress::store::ShardState::with_entries(ghost, 2),
+    };
+    std::fs::write(&path, tampered.encode()).unwrap();
+    let err = StoreBuilder::new()
+        .vip_capacity(1)
+        .guest_ports(2)
+        .guest_group_width(1)
+        .recover(&path)
+        .expect_err("a tombstoned frame with entries must not recover");
+    assert!(
+        matches!(err, RecoverError::Persist(PersistError::Corrupt(m)) if m.contains("carries entries")),
+        "ghost entries gave {err:?}"
+    );
+}
+
+/// Random split/merge churn, then crash + recover: the recovered store
+/// equals the oracle at the last flush and its placement function equals
+/// the pre-crash one — the proptest twin of the deterministic roundtrip.
+#[test]
+fn churned_topology_recovers_exactly() {
+    // Deterministic multi-round churn (no proptest macro needed: the
+    // interesting randomness is the rendezvous placement itself).
+    for seed in 0u64..6 {
+        let path = scratch(&format!("churn-{seed}.snapshot"));
+        let (expected, topo_before) = {
+            let store = StoreBuilder::new()
+                .shards(1 + (seed as usize % 3))
+                .vip_capacity(1)
+                .guest_ports(2)
+                .guest_group_width(1)
+                .build()
+                .unwrap();
+            let mut c = store.client(store.admit_vip().unwrap());
+            let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            for i in 0..60u64 {
+                c.put(&format!("key/{i:02}"), i ^ seed);
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x % 7 == 0 {
+                    let topo = store.topology();
+                    let live: Vec<usize> =
+                        (0..topo.shards()).filter(|&s| topo.is_live(s)).collect();
+                    store.split_shard(live[(x >> 8) as usize % live.len()]).unwrap();
+                } else if x % 7 == 1 {
+                    let topo = store.topology();
+                    if let Some(victim) = (0..topo.shards()).find(|&s| topo.check_merge(s).is_ok())
+                    {
+                        store.merge_shard(victim).unwrap();
+                    }
+                }
+            }
+            store.checkpoint().write_to(&path).unwrap();
+            (full_scan(&store), store.topology())
+        };
+        let recovered = StoreBuilder::new()
+            .vip_capacity(1)
+            .guest_ports(2)
+            .guest_group_width(1)
+            .recover(&path)
+            .unwrap();
+        assert_eq!(recovered.topology(), topo_before, "seed {seed}: churned tree survives");
+        assert_eq!(full_scan(&recovered), expected, "seed {seed}: data survives");
+        let mut c = recovered.client(recovered.admit_vip().unwrap());
+        for (k, v) in &expected {
+            assert_eq!(c.get(k), Some(*v), "seed {seed}: {k} routes correctly after recovery");
+        }
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! Diffs freshly recorded `BENCH_*.json` files (written by the criterion
 //! shim when `BENCH_JSON` is set) against the committed baseline and
-//! **fails on a >30% ops/s regression** in any series present in both.
-//! New series (no baseline yet) and retired series are reported but never
-//! fail the gate; the baseline is refreshed by committing a fresh file, so
-//! the trajectory stays plottable straight from git history.
+//! **fails on an ops/s regression beyond the gate** in any series present
+//! in both. New series (no baseline yet) and retired series are reported
+//! but never fail the gate; the baseline is refreshed by committing a
+//! fresh file, so the trajectory stays plottable straight from git
+//! history.
 //!
 //! ```text
 //! cargo run -p apc-bench --bin bench_trend -- <baseline.json> <fresh.json>... \
@@ -17,6 +18,18 @@
 //! runners is one-sided — a throttled run only ever looks slower — so a
 //! genuine regression still fails every run while a noisy dip in one run
 //! does not flap the gate.
+//!
+//! ## Per-series variance and the tightened gate
+//!
+//! The fresh runs also yield a **per-series variance estimate**: the
+//! relative standard deviation (coefficient of variation) of `ops_per_sec`
+//! across the N runs. `--emit` records it as `ops_stddev` / `ops_cv` next
+//! to each merged series, so the committed baseline carries how noisy each
+//! series was when it was recorded. The gate then **tightens to 20%** for
+//! any series whose *baseline* `ops_cv` is below 10% — a series that
+//! historically barely moves between back-to-back runs does not get the
+//! full 30% slack — while series with no recorded variance (old baselines)
+//! or noisy ones keep the default threshold.
 //!
 //! `--emit` writes the merged best-of-N series back out in the report
 //! format (normalized to per-op terms; `ops_per_sec` — the only gated
@@ -37,8 +50,25 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// One parsed benchmark series: name → ops/s.
-type Series = BTreeMap<String, f64>;
+/// The gate tightens to this threshold for series whose baseline variance
+/// is recorded below [`LOW_VARIANCE_CV`].
+const TIGHT_REGRESSION: f64 = 0.20;
+
+/// "Low variance" = relative stddev across the recorded runs under 10%.
+const LOW_VARIANCE_CV: f64 = 0.10;
+
+/// One parsed benchmark series.
+#[derive(Copy, Clone, Debug, PartialEq)]
+struct Record {
+    /// Throughput (the gated field).
+    ops_per_sec: f64,
+    /// Relative stddev of `ops_per_sec` across the runs that produced the
+    /// file, if recorded (absent in pre-variance baselines).
+    ops_cv: Option<f64>,
+}
+
+/// All series of one report: name → record.
+type Series = BTreeMap<String, Record>;
 
 /// Extracts the string value of `"key": "…"` from a JSON record line.
 fn string_field(line: &str, key: &str) -> Option<String> {
@@ -61,8 +91,7 @@ fn number_field(line: &str, key: &str) -> Option<f64> {
 
 /// Parses the criterion shim's report format: one `{"name": …}` record per
 /// line inside the `"benchmarks"` array.
-fn parse_report(path: &str) -> Result<Series, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+fn parse_report_text(text: &str, what: &str) -> Result<Series, String> {
     let mut series = Series::new();
     for line in text.lines() {
         let line = line.trim().trim_end_matches(',');
@@ -74,12 +103,85 @@ fn parse_report(path: &str) -> Result<Series, String> {
         else {
             continue;
         };
-        series.insert(name, ops);
+        series.insert(name, Record { ops_per_sec: ops, ops_cv: number_field(line, "ops_cv") });
     }
     if series.is_empty() {
-        return Err(format!("{path} contains no benchmark records"));
+        return Err(format!("{what} contains no benchmark records"));
     }
     Ok(series)
+}
+
+fn parse_report(path: &str) -> Result<Series, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_report_text(&text, path)
+}
+
+/// Per-series best-of-N plus the cross-run variance estimate.
+#[derive(Clone, Debug, PartialEq)]
+struct Merged {
+    best: f64,
+    /// Mean across the runs (what the stddev is relative to).
+    mean: f64,
+    /// Relative stddev across the runs; `None` with fewer than 2 samples.
+    cv: Option<f64>,
+}
+
+/// Folds N fresh runs into best-of-N per series, with the coefficient of
+/// variation of each series across the runs that reported it.
+fn merge_runs(runs: &[Series]) -> BTreeMap<String, Merged> {
+    let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for run in runs {
+        for (name, rec) in run {
+            samples.entry(name.clone()).or_default().push(rec.ops_per_sec);
+        }
+    }
+    samples
+        .into_iter()
+        .map(|(name, xs)| {
+            let best = xs.iter().copied().fold(f64::MIN, f64::max);
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let cv = (xs.len() >= 2 && mean > 0.0).then(|| {
+                let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+                var.sqrt() / mean
+            });
+            (name, Merged { best, mean, cv })
+        })
+        .collect()
+}
+
+/// The gate threshold for one series: tightened when the **baseline**
+/// recorded that the series historically varies little between runs.
+fn threshold_for(baseline_cv: Option<f64>, default_threshold: f64) -> f64 {
+    match baseline_cv {
+        Some(cv) if cv < LOW_VARIANCE_CV => default_threshold.min(TIGHT_REGRESSION),
+        _ => default_threshold,
+    }
+}
+
+/// Renders the merged series in the shim's report format, with the
+/// variance columns (`ops_stddev`, `ops_cv`) appended when available.
+fn render_emit(merged: &BTreeMap<String, Merged>) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, m)) in merged.iter().enumerate() {
+        let ops = m.best;
+        let ns_per_op = if ops > 0.0 { 1e9 / ops } else { 0.0 };
+        // The stddev is relative to the cross-run mean, not the emitted
+        // best-of-N ops/s (best >= mean, so cv * best would overstate it).
+        let variance = match m.cv {
+            Some(cv) => {
+                format!(", \"ops_stddev\": {:.1}, \"ops_cv\": {:.4}", cv * m.mean, cv)
+            }
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"ns_per_iter\": {}, \"elements_per_iter\": 1, \
+             \"ns_per_op\": {ns_per_op:.1}, \"ops_per_sec\": {ops:.1}{variance}}}{}\n",
+            ns_per_op.round() as u64,
+            if i + 1 == merged.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn main() -> ExitCode {
@@ -133,31 +235,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // Best-of-N across the fresh runs, per series.
-    let mut fresh = Series::new();
+    let mut runs = Vec::new();
     for path in fresh_paths {
         match parse_report(path) {
-            Ok(run) => {
-                for (name, ops) in run {
-                    let best = fresh.entry(name).or_insert(ops);
-                    *best = best.max(ops);
-                }
-            }
+            Ok(run) => runs.push(run),
             Err(e) => {
                 eprintln!("bench_trend: {e}");
                 return ExitCode::from(2);
             }
         }
     }
+    let fresh = merge_runs(&runs);
 
-    println!("{:<52} {:>14} {:>14} {:>8}", "series", "baseline ops/s", "fresh ops/s", "delta");
+    println!(
+        "{:<52} {:>14} {:>14} {:>8} {:>6}",
+        "series", "baseline ops/s", "fresh ops/s", "delta", "gate"
+    );
     let mut regressions = Vec::new();
-    for (name, &fresh_ops) in &fresh {
+    for (name, merged) in &fresh {
         match baseline.get(name) {
-            Some(&base_ops) if base_ops > 0.0 => {
-                let delta = fresh_ops / base_ops - 1.0;
+            Some(base) if base.ops_per_sec > 0.0 => {
+                let delta = merged.best / base.ops_per_sec - 1.0;
+                let gate = threshold_for(base.ops_cv, max_regression);
                 let skipped = skips.iter().any(|s| name.contains(s.as_str()));
-                let flag = if delta < -max_regression {
+                let flag = if delta < -gate {
                     if skipped {
                         "  (regressed, skipped)"
                     } else {
@@ -167,37 +268,30 @@ fn main() -> ExitCode {
                     ""
                 };
                 println!(
-                    "{name:<52} {base_ops:>14.1} {fresh_ops:>14.1} {:>+7.1}%{flag}",
-                    delta * 100.0
+                    "{name:<52} {:>14.1} {:>14.1} {:>+7.1}% {:>5.0}%{flag}",
+                    base.ops_per_sec,
+                    merged.best,
+                    delta * 100.0,
+                    gate * 100.0,
                 );
-                if delta < -max_regression && !skipped {
-                    regressions.push((name.clone(), delta));
+                if delta < -gate && !skipped {
+                    regressions.push((name.clone(), delta, gate));
                 }
             }
-            _ => println!("{name:<52} {:>14} {fresh_ops:>14.1}      new", "-"),
+            _ => println!("{name:<52} {:>14} {:>14.1}      new", "-", merged.best),
         }
     }
-    for name in baseline.keys().filter(|n| !fresh.contains_key(*n)) {
-        println!("{name:<52} {:>14.1} {:>14}  retired", baseline[name], "-");
+    for (name, base) in baseline.iter().filter(|(n, _)| !fresh.contains_key(*n)) {
+        println!("{name:<52} {:>14.1} {:>14}  retired", base.ops_per_sec, "-");
     }
 
     if let Some(path) = emit {
-        // The merged best-of-N series, in the shim's report format: this is
-        // what CI uploads (and what gets committed as the refreshed
-        // baseline), so a single throttled run can never ratchet the
-        // baseline downward.
-        let mut out = String::from("{\n  \"benchmarks\": [\n");
-        for (i, (name, ops)) in fresh.iter().enumerate() {
-            let ns_per_op = if *ops > 0.0 { 1e9 / ops } else { 0.0 };
-            out.push_str(&format!(
-                "    {{\"name\": \"{name}\", \"ns_per_iter\": {}, \"elements_per_iter\": 1, \
-                 \"ns_per_op\": {ns_per_op:.1}, \"ops_per_sec\": {ops:.1}}}{}\n",
-                ns_per_op.round() as u64,
-                if i + 1 == fresh.len() { "" } else { "," },
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        if let Err(e) = std::fs::write(&path, out) {
+        // The merged best-of-N series with cross-run variance, in the
+        // shim's report format: this is what CI uploads (and what gets
+        // committed as the refreshed baseline), so a single throttled run
+        // can never ratchet the baseline downward — and the recorded
+        // variance is what lets the next gate tighten below the default.
+        if let Err(e) = std::fs::write(&path, render_emit(&fresh)) {
             eprintln!("bench_trend: cannot write {path}: {e}");
             return ExitCode::from(2);
         }
@@ -206,19 +300,101 @@ fn main() -> ExitCode {
 
     if regressions.is_empty() {
         println!(
-            "\nbench_trend: OK — no series regressed more than {:.0}%",
-            max_regression * 100.0
+            "\nbench_trend: OK — no series regressed beyond its gate (default {:.0}%, \
+             tightened to {:.0}% where baseline cv < {:.0}%)",
+            max_regression * 100.0,
+            TIGHT_REGRESSION.min(max_regression) * 100.0,
+            LOW_VARIANCE_CV * 100.0,
         );
         ExitCode::SUCCESS
     } else {
         eprintln!(
-            "\nbench_trend: FAIL — {} series regressed more than {:.0}%:",
-            regressions.len(),
-            max_regression * 100.0
+            "\nbench_trend: FAIL — {} series regressed beyond their gate:",
+            regressions.len()
         );
-        for (name, delta) in &regressions {
-            eprintln!("  {name}: {:+.1}%", delta * 100.0);
+        for (name, delta, gate) in &regressions {
+            eprintln!("  {name}: {:+.1}% (gate {:.0}%)", delta * 100.0, gate * 100.0);
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_records_with_and_without_variance() {
+        let text = r#"{
+  "benchmarks": [
+    {"name": "a/b", "ns_per_iter": 10, "elements_per_iter": 1, "ns_per_op": 10.0, "ops_per_sec": 100000.0},
+    {"name": "c/d", "ns_per_iter": 20, "elements_per_iter": 1, "ns_per_op": 20.0, "ops_per_sec": 50000.0, "ops_stddev": 1000.0, "ops_cv": 0.0200}
+  ]
+}"#;
+        let series = parse_report_text(text, "test").unwrap();
+        assert_eq!(series["a/b"], Record { ops_per_sec: 100000.0, ops_cv: None });
+        assert_eq!(series["c/d"], Record { ops_per_sec: 50000.0, ops_cv: Some(0.02) });
+        assert!(parse_report_text("{}", "empty").is_err());
+    }
+
+    #[test]
+    fn merge_takes_best_and_computes_cv() {
+        let run = |ops: f64| {
+            let mut s = Series::new();
+            s.insert("x".into(), Record { ops_per_sec: ops, ops_cv: None });
+            s
+        };
+        let merged = merge_runs(&[run(90.0), run(110.0), run(100.0)]);
+        let m = &merged["x"];
+        assert_eq!(m.best, 110.0);
+        assert_eq!(m.mean, 100.0);
+        // stddev of {90,110,100} (population) = sqrt(200/3) ≈ 8.165; mean 100.
+        let cv = m.cv.expect("3 samples yield a cv");
+        assert!((cv - 0.081_65).abs() < 1e-4, "cv was {cv}");
+        // The emitted stddev column is cv × mean (the actual stddev), not
+        // cv × best.
+        let mut one = BTreeMap::new();
+        one.insert("x".to_string(), m.clone());
+        let emitted = render_emit(&one);
+        let stddev =
+            number_field(emitted.lines().find(|l| l.contains("\"x\"")).unwrap(), "ops_stddev")
+                .unwrap();
+        assert!((stddev - cv * 100.0).abs() < 0.1, "stddev was {stddev}");
+    }
+
+    #[test]
+    fn single_run_records_no_variance() {
+        let mut s = Series::new();
+        s.insert("x".into(), Record { ops_per_sec: 100.0, ops_cv: None });
+        let merged = merge_runs(&[s]);
+        assert_eq!(merged["x"].cv, None, "one sample must not claim low variance");
+    }
+
+    #[test]
+    fn gate_tightens_only_on_recorded_low_variance() {
+        // No recorded variance: the default stands.
+        assert_eq!(threshold_for(None, 0.30), 0.30);
+        // Low recorded variance: tighten to 20%.
+        assert_eq!(threshold_for(Some(0.05), 0.30), 0.20);
+        // At or above the low-variance line: the default stands.
+        assert_eq!(threshold_for(Some(0.10), 0.30), 0.30);
+        assert_eq!(threshold_for(Some(0.25), 0.30), 0.30);
+        // A user-tightened default is never loosened.
+        assert_eq!(threshold_for(Some(0.05), 0.15), 0.15);
+    }
+
+    #[test]
+    fn emit_roundtrips_through_the_parser() {
+        let mut merged = BTreeMap::new();
+        merged.insert(
+            "s/one".to_string(),
+            Merged { best: 250000.0, mean: 245000.0, cv: Some(0.034) },
+        );
+        merged.insert("s/two".to_string(), Merged { best: 1000.0, mean: 1000.0, cv: None });
+        let text = render_emit(&merged);
+        let parsed = parse_report_text(&text, "emitted").unwrap();
+        assert_eq!(parsed["s/one"].ops_per_sec, 250000.0);
+        assert_eq!(parsed["s/one"].ops_cv, Some(0.034));
+        assert_eq!(parsed["s/two"], Record { ops_per_sec: 1000.0, ops_cv: None });
     }
 }
