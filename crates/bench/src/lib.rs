@@ -18,6 +18,8 @@
 //! machine-readable JSON (see the criterion shim); CI records
 //! `BENCH_store.json` as the perf-trajectory artifact.
 
+#![forbid(unsafe_code)]
+
 use std::sync::Mutex;
 
 /// Runs `f(pid)` on `n` scoped threads and returns per-thread wall times in

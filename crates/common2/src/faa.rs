@@ -3,6 +3,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use apc_progress_macros::progress;
+
 /// A wait-free fetch-and-add counter (consensus number 2).
 ///
 /// Beyond being a Common2 citizen, fetch-and-add is the classic ticket
@@ -30,11 +32,13 @@ impl FetchAndAdd {
     }
 
     /// Atomically adds `delta`, returning the previous value.
+    #[progress(wait_free)]
     pub fn fetch_add(&self, delta: u64) -> u64 {
         self.count.fetch_add(delta, Ordering::SeqCst)
     }
 
     /// Reads the counter.
+    #[progress(wait_free)]
     pub fn read(&self) -> u64 {
         self.count.load(Ordering::SeqCst)
     }

@@ -20,6 +20,7 @@
 //!   agreement violation the explorer finds (the constructive face of
 //!   "consensus number exactly 2").
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod faa;

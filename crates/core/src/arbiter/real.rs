@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use apc_model::ProcessSet;
+use apc_progress_macros::progress;
 use apc_registers::PackedRegister;
 
 use crate::arbiter::Role;
@@ -71,10 +72,12 @@ impl Arbiter {
     }
 
     /// The winning camp, if the arbitration has been resolved.
+    #[progress(wait_free)]
     pub fn poll_winner(&self) -> Option<Role> {
         self.winner.load().map(Role::decode)
     }
 
+    #[progress(wait_free)]
     fn claim_invocation(&self, pid: usize) -> Result<(), ArbiterError> {
         let bit = 1u64 << pid;
         if self.invoked.fetch_or(bit, Ordering::AcqRel) & bit != 0 {
@@ -97,6 +100,7 @@ impl Arbiter {
     ///   outside the owner set (or any pid ≥ 64);
     /// * [`ArbiterError::AlreadyArbitrated`] — second invocation by the same
     ///   process.
+    #[progress(blocking)]
     pub fn arbitrate(&self, pid: usize, role: Role) -> Result<Role, ArbiterError> {
         Ok(self
             .arbitrate_inner(pid, role, &mut || false)?
@@ -114,6 +118,7 @@ impl Arbiter {
     /// # Errors
     ///
     /// As for [`Arbiter::arbitrate`].
+    #[progress(blocking)]
     pub fn arbitrate_cancelable(
         &self,
         pid: usize,

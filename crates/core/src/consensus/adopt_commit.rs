@@ -17,6 +17,7 @@
 
 use std::fmt;
 
+use apc_progress_macros::progress;
 use apc_registers::collect::StoreCollect;
 
 use crate::consensus::ProposeOnce;
@@ -95,6 +96,7 @@ impl<T: Clone + Eq + Send + Sync> AdoptCommit<T> {
     ///
     /// * [`ConsensusError::NotAPort`] if `pid ≥ n`;
     /// * [`ConsensusError::AlreadyProposed`] on a second call by `pid`.
+    #[progress(wait_free)]
     pub fn adopt_commit(&self, pid: usize, value: T) -> Result<(AcOutcome, T), ConsensusError> {
         if pid >= self.n() {
             return Err(ConsensusError::NotAPort { pid });
@@ -116,8 +118,10 @@ impl<T: Clone + Eq + Send + Sync> AdoptCommit<T> {
             (AcOutcome::Commit, value.clone())
         } else {
             // Mixed proposals: flag adopt, carrying the first value collected
-            // (deterministic choice; any collected value is valid).
-            let (_, first) = seen.first().expect("own proposal is present").clone();
+            // (deterministic choice; any collected value is valid). The
+            // collect always contains at least our own phase-1 store, but the
+            // fallback keeps this arm total: our input is valid too.
+            let first = seen.first().map(|(_, v)| v.clone()).unwrap_or_else(|| value.clone());
             (AcOutcome::Adopt, first)
         };
 
@@ -130,7 +134,12 @@ impl<T: Clone + Eq + Send + Sync> AdoptCommit<T> {
         if all_commit {
             // Everyone observed unanimity: commit. All committed values are
             // equal (at most one commit value can exist, see module docs).
-            let (_, (_, w)) = seen2.first().expect("own flag is present").clone();
+            // The collect contains at least our own flag; falling back to
+            // our phase-2 value keeps the path total.
+            let w = seen2
+                .first()
+                .map(|(_, (_, w))| w.clone())
+                .unwrap_or_else(|| phase2_entry.1.clone());
             return Ok((AcOutcome::Commit, w));
         }
         if let Some((_, (_, w))) = seen2.iter().find(|(_, (f, _))| f.is_commit()) {

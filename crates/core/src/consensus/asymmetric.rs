@@ -4,6 +4,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use apc_progress_macros::progress;
 use apc_registers::AtomicCell;
 
 use crate::consensus::{Consensus, ObstructionFreeConsensus, ProposeOnce};
@@ -71,7 +72,9 @@ impl<T: Clone + Eq + Send + Sync> AsymmetricConsensus<T> {
     }
 
     /// Diagnostic: `(wait-free proposals, guest proposals)` seen so far.
+    #[progress(wait_free)]
     pub fn path_stats(&self) -> (u64, u64) {
+        // RELAXED: diagnostic counters; stale reads fine, nothing ordered.
         (
             self.wait_free_proposals.load(Ordering::Relaxed),
             self.guest_proposals.load(Ordering::Relaxed),
@@ -88,6 +91,7 @@ impl<T: Clone + Eq + Send + Sync> AsymmetricConsensus<T> {
     ///
     /// * [`ConsensusError::NotAPort`] if `pid` is not a port;
     /// * [`ConsensusError::AlreadyProposed`] on a second proposal.
+    #[progress(obstruction_free)]
     pub fn propose_bounded(
         &self,
         pid: usize,
@@ -101,22 +105,27 @@ impl<T: Clone + Eq + Send + Sync> AsymmetricConsensus<T> {
             return self.propose(pid, value).map(Some);
         }
         self.once.claim(pid)?;
+        // RELAXED: diagnostic counter; decision safety comes from the slot.
         self.guest_proposals.fetch_add(1, Ordering::Relaxed);
         if let Some(d) = self.decision.load() {
             return Ok(Some(d));
         }
-        let inner = self.guests.as_ref().expect("guest set non-empty for a guest pid");
+        // A guest pid implies a non-empty guest set; stay total anyway.
+        let Some(inner) = self.guests.as_ref() else {
+            return Err(ConsensusError::NotAPort { pid });
+        };
         match inner.propose_bounded(pid, value, max_rounds)? {
-            Some(w) => {
-                let _ = self.decision.set_if_bot(w);
-                Ok(Some(self.decision.load().expect("decision just set")))
-            }
+            Some(w) => Ok(Some(self.decision.decide(w))),
             None => Ok(self.decision.load()),
         }
     }
 }
 
 impl<T: Clone + Eq + Send + Sync> Consensus<T> for AsymmetricConsensus<T> {
+    /// The class below is the *VIP* guarantee: a pid in `X` decides in a
+    /// bounded number of its own steps. Guest pids take the waived
+    /// obstruction-free branch — that asymmetry is the object's contract.
+    #[progress(bounded_wait_free)]
     fn propose(&self, pid: usize, value: T) -> Result<T, ConsensusError> {
         if !self.spec.is_port(pid) {
             return Err(ConsensusError::NotAPort { pid });
@@ -124,23 +133,29 @@ impl<T: Clone + Eq + Send + Sync> Consensus<T> for AsymmetricConsensus<T> {
         self.once.claim(pid)?;
         if self.spec.is_wait_free_for(pid) {
             // Wait-free path: one CAS + one read.
+            // RELAXED: diagnostic counter; the decision slot's CAS carries
+            // all the ordering the protocol needs.
             self.wait_free_proposals.fetch_add(1, Ordering::Relaxed);
-            let _ = self.decision.set_if_bot(value);
-            return Ok(self.decision.load().expect("decision slot set"));
+            return Ok(self.decision.decide(value));
         }
         // Guest path: obstruction-free rounds among the guests, polling the
         // decision slot between rounds (§2 remark: as soon as any value is
         // decided, any process can decide the very same value).
+        // RELAXED: diagnostic counter; see the wait-free arm above.
         self.guest_proposals.fetch_add(1, Ordering::Relaxed);
         if let Some(d) = self.decision.load() {
             return Ok(d);
         }
-        let inner = self.guests.as_ref().expect("guest set non-empty for a guest pid");
+        // A guest pid implies a non-empty guest set; stay total anyway.
+        let Some(inner) = self.guests.as_ref() else {
+            return Err(ConsensusError::NotAPort { pid });
+        };
+        // APC-LINT: allow(progress): guest-pid branch only — VIP pids returned above; guests are obstruction-free by specification (y,x)-liveness
         let w = inner.propose_with_escape(pid, value, &|| self.decision.load())?;
-        let _ = self.decision.set_if_bot(w);
-        Ok(self.decision.load().expect("decision slot set"))
+        Ok(self.decision.decide(w))
     }
 
+    #[progress(wait_free)]
     fn peek(&self) -> Option<T> {
         // Only the outer decision slot counts. An inner guest-protocol
         // decision that has not yet been installed must NOT be reported: a

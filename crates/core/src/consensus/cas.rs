@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use apc_progress_macros::progress;
 use apc_registers::AtomicCell;
 
 use crate::consensus::{Consensus, ProposeOnce};
@@ -53,15 +54,16 @@ impl<T> CasConsensus<T> {
 }
 
 impl<T: Clone + Send + Sync> Consensus<T> for CasConsensus<T> {
+    #[progress(wait_free)]
     fn propose(&self, pid: usize, value: T) -> Result<T, ConsensusError> {
         if !self.spec.is_port(pid) {
             return Err(ConsensusError::NotAPort { pid });
         }
         self.once.claim(pid)?;
-        let _ = self.slot.set_if_bot(value);
-        Ok(self.slot.load().expect("slot was just set by this or an earlier proposal"))
+        Ok(self.slot.decide(value))
     }
 
+    #[progress(wait_free)]
     fn peek(&self) -> Option<T> {
         self.slot.load()
     }

@@ -68,6 +68,7 @@ impl ProposeOnce {
     /// # Errors
     ///
     /// Returns [`ConsensusError::AlreadyProposed`] if `pid` already proposed.
+    #[apc_progress_macros::progress(wait_free)]
     pub(crate) fn claim(&self, pid: usize) -> Result<(), ConsensusError> {
         debug_assert!(pid < 64);
         let bit = 1u64 << pid;

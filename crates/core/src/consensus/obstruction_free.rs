@@ -32,6 +32,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use apc_progress_macros::progress;
 use apc_registers::AtomicCell;
 
 use crate::consensus::adopt_commit::AdoptCommit;
@@ -108,7 +109,9 @@ impl<T: Clone + Eq + Send + Sync> ObstructionFreeConsensus<T> {
 
     /// Total adopt-commit rounds executed across all proposals (diagnostic:
     /// contention shows up as extra rounds).
+    #[progress(wait_free)]
     pub fn rounds_executed(&self) -> u64 {
+        // RELAXED: diagnostic counter; not ordered with round state.
         self.rounds_executed.load(Ordering::Relaxed)
     }
 
@@ -131,6 +134,7 @@ impl<T: Clone + Eq + Send + Sync> ObstructionFreeConsensus<T> {
     /// # Errors
     ///
     /// Same as [`Consensus::propose`].
+    #[progress(obstruction_free)]
     pub fn propose_bounded(
         &self,
         pid: usize,
@@ -156,6 +160,7 @@ impl<T: Clone + Eq + Send + Sync> ObstructionFreeConsensus<T> {
     /// # Errors
     ///
     /// Same as [`Consensus::propose`].
+    #[progress(obstruction_free)]
     pub fn propose_with_escape(
         &self,
         pid: usize,
@@ -191,6 +196,7 @@ impl<T: Clone + Eq + Send + Sync> ObstructionFreeConsensus<T> {
                     return None;
                 }
             }
+            // RELAXED: diagnostic counter; round objects provide ordering.
             self.rounds_executed.fetch_add(1, Ordering::Relaxed);
             let ac = self.round_object(r);
             let (flag, w) =
@@ -211,6 +217,7 @@ impl<T: Clone + Eq + Send + Sync> Consensus<T> for ObstructionFreeConsensus<T> {
     /// only if the caller eventually runs in isolation. Use
     /// [`ObstructionFreeConsensus::propose_bounded`] when non-termination
     /// must be observable.
+    #[progress(obstruction_free)]
     fn propose(&self, pid: usize, value: T) -> Result<T, ConsensusError> {
         if !self.spec.is_port(pid) {
             return Err(ConsensusError::NotAPort { pid });
@@ -221,6 +228,7 @@ impl<T: Clone + Eq + Send + Sync> Consensus<T> for ObstructionFreeConsensus<T> {
             .expect("unbounded rounds end only on decision"))
     }
 
+    #[progress(wait_free)]
     fn peek(&self) -> Option<T> {
         self.decision.load()
     }

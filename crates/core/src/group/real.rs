@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use apc_progress_macros::progress;
 use apc_registers::AtomicCell;
 
 use crate::arbiter::{Arbiter, Role};
@@ -89,6 +90,7 @@ impl<T: Clone + Eq + Send + Sync> GroupConsensus<T> {
     }
 
     /// The final decision, if one exists yet (`ARB_VAL[1]`).
+    #[progress(wait_free)]
     pub fn peek(&self) -> Option<T> {
         self.arb_val[0].load()
     }
@@ -98,6 +100,7 @@ impl<T: Clone + Eq + Send + Sync> GroupConsensus<T> {
     /// # Panics
     ///
     /// Panics if `g` is not in `1..=m`.
+    #[progress(wait_free)]
     pub fn group_value(&self, g: usize) -> Option<T> {
         assert!(g >= 1 && g <= self.layout.m());
         self.val[g - 1].load()
@@ -111,6 +114,7 @@ impl<T: Clone + Eq + Send + Sync> GroupConsensus<T> {
     /// the remark's guarantees hold and are tested: entry 1 (index 0) is
     /// the common decision once set, and any two non-`⊥` observations of
     /// the same entry are equal.
+    #[progress(wait_free)]
     pub fn arb_val_array(&self) -> Vec<Option<T>> {
         self.arb_val.iter().map(|cell| cell.load()).collect()
     }
@@ -121,6 +125,7 @@ impl<T: Clone + Eq + Send + Sync> GroupConsensus<T> {
     /// The waits this helper implements are exactly the reads the paper's
     /// proofs show to be immediately satisfied (Lemma 10's case analysis) —
     /// the loop is defensive, the escape is `T2`.
+    #[progress(blocking)]
     fn await_cell(&self, cell: &AtomicCell<T>) -> Await<T> {
         loop {
             if let Some(v) = cell.load() {
@@ -146,6 +151,7 @@ impl<T: Clone + Eq + Send + Sync> GroupConsensus<T> {
     /// * [`GroupError::AlreadyProposed`] on a second proposal by `pid`
     ///   (surfaced via the group's internal consensus object);
     /// * consensus/arbiter errors on protocol misuse.
+    #[progress(blocking)]
     pub fn propose(&self, pid: usize, value: T) -> Result<T, GroupError> {
         if pid >= self.layout.n() {
             return Err(GroupError::UnknownProcess { pid });

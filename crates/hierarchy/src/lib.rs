@@ -18,6 +18,7 @@
 //! finite-state, and *bounded evidence* (bivalence maintained for N steps)
 //! where the paper's adversary needs unbounded memory.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod corollary1;

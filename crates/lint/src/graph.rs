@@ -1,0 +1,449 @@
+//! Call-site extraction and name resolution over the workspace.
+//!
+//! Resolution is deliberately conservative-by-name: a method call resolves
+//! to every workspace function that could plausibly be its target, narrowed
+//! by receiver when the receiver is `self` or a struct field with a known
+//! type. Calls into non-workspace types produce no edges — only the
+//! denylist of blocking *primitives* catches those.
+
+use std::collections::HashMap;
+
+use crate::lexer::{Delim, Tok, TokKind};
+use crate::parse::FileAst;
+
+/// How a call site spells its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.name(..)`.
+    Method(Recv),
+    /// `Qual::name(..)` — the last path qualifier segment.
+    Path(String),
+    /// `name(..)` with no qualifier.
+    Free,
+    /// `name!(..)`.
+    Macro,
+}
+
+/// The receiver of a method call, as far as tokens reveal it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recv {
+    /// `self.name(..)`.
+    SelfRecv,
+    /// `ident.name(..)` — a field or local.
+    Ident(String),
+    /// Anything else (chained call, index expression, ...).
+    Opaque,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name as written.
+    pub name: String,
+    /// Call shape.
+    pub kind: CallKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Identifies a function in the workspace: (file index, fn index).
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnId {
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub idx: usize,
+}
+
+/// Method names that are blocking primitives wherever they appear.
+const METHOD_DENY: [&str; 12] = [
+    "lock",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "park",
+    "park_timeout",
+    "sleep",
+    "sync_all",
+    "sync_data",
+];
+
+/// Free / path-qualified names that are blocking primitives.
+const FREE_DENY: [&str; 5] = ["sleep", "park", "park_timeout", "spin_loop", "yield_now"];
+
+/// Keywords and value constructors that look like calls but are not.
+fn is_call_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "in"
+            | "let"
+            | "move"
+            | "ref"
+            | "as"
+            | "where"
+            | "impl"
+            | "fn"
+            | "use"
+            | "pub"
+            | "mut"
+            | "Some"
+            | "Ok"
+            | "Err"
+            | "Box"
+            | "Vec"
+            | "assert"
+    )
+}
+
+/// Extracts every call site in the token range `[start, end)`.
+///
+/// Arguments of calls and macro bodies are scanned too (the walk never skips
+/// into-group), so `format!("{}", m.lock())` still yields the `lock` call.
+pub fn extract_calls(toks: &[Tok], start: usize, end: usize) -> Vec<Call> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let name = match &toks[i].kind {
+            TokKind::Ident(s) => s.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        if is_call_keyword(&name) {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        // Look past a turbofish `::<..>` between the name and its argument
+        // list.
+        let mut j = i + 1;
+        if j + 2 < end
+            && matches!(toks[j].kind, TokKind::Punct(':'))
+            && matches!(toks[j + 1].kind, TokKind::Punct(':'))
+            && matches!(toks[j + 2].kind, TokKind::Punct('<'))
+        {
+            let mut k = j + 2;
+            crate::parse::skip_angles(toks, &mut k);
+            j = k;
+        }
+        let is_macro = matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Punct('!')))
+            && matches!(toks.get(j + 1).map(|t| &t.kind), Some(TokKind::Open(_)));
+        let is_paren = matches!(toks.get(j).map(|t| &t.kind), Some(TokKind::Open(Delim::Paren)));
+        if !is_macro && !is_paren {
+            i += 1;
+            continue;
+        }
+        // A nested `fn name(..)` declaration is not a call.
+        if i >= 1 && matches!(&toks[i - 1].kind, TokKind::Ident(k) if k == "fn") {
+            i += 1;
+            continue;
+        }
+        let kind = if is_macro {
+            CallKind::Macro
+        } else if i >= 1 && matches!(toks[i - 1].kind, TokKind::Punct('.')) {
+            let recv = if i >= 2 {
+                match &toks[i - 2].kind {
+                    TokKind::Ident(r) if r == "self" => Recv::SelfRecv,
+                    TokKind::Ident(r) => Recv::Ident(r.clone()),
+                    _ => Recv::Opaque,
+                }
+            } else {
+                Recv::Opaque
+            };
+            CallKind::Method(recv)
+        } else if i >= 2
+            && matches!(toks[i - 1].kind, TokKind::Punct(':'))
+            && matches!(toks[i - 2].kind, TokKind::Punct(':'))
+        {
+            match (i >= 3).then(|| &toks[i - 3].kind) {
+                Some(TokKind::Ident(q)) => CallKind::Path(q.clone()),
+                // `::<T>::name(..)` or leading `::` — treat as opaque path.
+                _ => CallKind::Path(String::new()),
+            }
+        } else {
+            CallKind::Free
+        };
+        out.push(Call { name, kind, line });
+        i += 1; // scan inside the argument list / macro body too
+    }
+    out
+}
+
+/// The parsed workspace with per-function call caches and name indices.
+pub struct Workspace {
+    /// All parsed files.
+    pub files: Vec<FileAst>,
+    /// `calls[file][fn_idx]` — call sites per function body.
+    calls: Vec<Vec<Vec<Call>>>,
+    /// Function name → every [`FnId`] bearing it.
+    by_name: HashMap<String, Vec<FnId>>,
+    /// Self types that exist anywhere in the workspace.
+    known_types: std::collections::HashSet<String>,
+}
+
+impl Workspace {
+    /// Indexes the parsed files.
+    pub fn build(files: Vec<FileAst>) -> Self {
+        let mut by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        let mut known_types = std::collections::HashSet::new();
+        let mut calls = Vec::with_capacity(files.len());
+        for (fi, file) in files.iter().enumerate() {
+            let mut file_calls = Vec::with_capacity(file.fns.len());
+            for (xi, f) in file.fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push(FnId { file: fi, idx: xi });
+                if let Some(t) = &f.self_type {
+                    known_types.insert(t.clone());
+                }
+                file_calls.push(match f.body {
+                    Some((a, b)) => extract_calls(&file.lexed.tokens, a, b),
+                    None => Vec::new(),
+                });
+            }
+            calls.push(file_calls);
+        }
+        Workspace { files, calls, by_name, known_types }
+    }
+
+    /// The function behind an id.
+    pub fn fn_info(&self, id: FnId) -> &crate::parse::FnInfo {
+        &self.files[id.file].fns[id.idx]
+    }
+
+    /// Call sites inside a function's body.
+    pub fn calls_of(&self, id: FnId) -> &[Call] {
+        &self.calls[id.file][id.idx]
+    }
+
+    /// Every function id, in deterministic order.
+    pub fn all_fns(&self) -> impl Iterator<Item = FnId> + '_ {
+        self.files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, file)| (0..file.fns.len()).map(move |xi| FnId { file: fi, idx: xi }))
+    }
+
+    /// Is this call a blocking primitive (denylist), given the calling file?
+    pub fn is_blocking_primitive(&self, caller_file: usize, call: &Call) -> bool {
+        match &call.kind {
+            CallKind::Method(_) => {
+                METHOD_DENY.contains(&call.name.as_str())
+                    || ((call.name == "read" || call.name == "write")
+                        && self.files[caller_file].has_rwlock)
+            }
+            CallKind::Path(_) | CallKind::Free => FREE_DENY.contains(&call.name.as_str()),
+            CallKind::Macro => false,
+        }
+    }
+
+    /// Resolves a call site to candidate workspace functions.
+    ///
+    /// `try_*`-named callees resolve to nothing: by convention they are the
+    /// non-blocking probes of otherwise-blocking operations.
+    pub fn resolve(&self, caller: FnId, call: &Call) -> Vec<FnId> {
+        if call.name.starts_with("try_") {
+            return Vec::new();
+        }
+        let candidates = match self.by_name.get(&call.name) {
+            Some(c) => c,
+            None => return Vec::new(),
+        };
+        let caller_type = self.fn_info(caller).self_type.clone();
+        match &call.kind {
+            CallKind::Macro => Vec::new(),
+            CallKind::Method(Recv::SelfRecv) => {
+                // `self.name(..)`: methods of the caller's own type.
+                match &caller_type {
+                    Some(t) => self.with_type(candidates, t),
+                    None => self.any_method(candidates, None),
+                }
+            }
+            CallKind::Method(Recv::Ident(recv)) => {
+                // Field-type narrowing when the receiver is a known field.
+                match self.files[caller.file].fields.get(recv) {
+                    Some(ty) if !ty.is_empty() => {
+                        if self.known_types.contains(ty) {
+                            self.with_type(candidates, ty)
+                        } else {
+                            // External type: primitives-only coverage.
+                            Vec::new()
+                        }
+                    }
+                    // Poisoned or unknown receiver: widen, minus own type.
+                    _ => self.any_method(candidates, caller_type.as_deref()),
+                }
+            }
+            CallKind::Method(Recv::Opaque) => self.any_method(candidates, caller_type.as_deref()),
+            CallKind::Path(qual) => {
+                let starts_upper = qual.chars().next().is_some_and(char::is_uppercase);
+                if starts_upper && self.known_types.contains(qual) {
+                    self.with_type(candidates, qual)
+                } else if starts_upper {
+                    // External type: no workspace edges.
+                    Vec::new()
+                } else {
+                    // Module-qualified free function.
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|id| self.fn_info(*id).self_type.is_none())
+                        .collect()
+                }
+            }
+            CallKind::Free => candidates
+                .iter()
+                .copied()
+                .filter(|id| self.fn_info(*id).self_type.is_none())
+                .collect(),
+        }
+    }
+
+    fn with_type(&self, candidates: &[FnId], ty: &str) -> Vec<FnId> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|id| self.fn_info(*id).self_type.as_deref() == Some(ty))
+            .collect()
+    }
+
+    /// Same-name methods on any type except `exclude` (the caller's own type
+    /// is already covered by the `self.` case; excluding it here avoids
+    /// spurious self-loops through opaque receivers).
+    fn any_method(&self, candidates: &[FnId], exclude: Option<&str>) -> Vec<FnId> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|id| {
+                let st = self.fn_info(*id).self_type.as_deref();
+                st.is_some() && st != exclude
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use std::path::PathBuf;
+
+    fn ws(srcs: &[&str]) -> Workspace {
+        Workspace::build(
+            srcs.iter()
+                .enumerate()
+                .map(|(i, s)| parse_file(PathBuf::from(format!("f{i}.rs")), s))
+                .collect(),
+        )
+    }
+
+    fn find(ws: &Workspace, qualified: &str) -> FnId {
+        ws.all_fns().find(|id| ws.fn_info(*id).qualified() == qualified).unwrap()
+    }
+
+    #[test]
+    fn method_and_path_calls_extracted() {
+        let w = ws(&["struct A; impl A { fn f(&self) { self.g(); helper(); B::make(); } \
+                      fn g(&self) {} }\nfn helper() {}"]);
+        let f = find(&w, "A::f");
+        let calls = w.calls_of(f);
+        assert_eq!(calls.len(), 3);
+        assert_eq!(calls[0].kind, CallKind::Method(Recv::SelfRecv));
+        assert_eq!(calls[1].kind, CallKind::Free);
+        assert_eq!(calls[2].kind, CallKind::Path("B".into()));
+    }
+
+    #[test]
+    fn self_call_resolves_to_own_type() {
+        let w = ws(&[
+            "struct A; impl A { fn f(&self) { self.step(); } fn step(&self) {} }",
+            "struct B; impl B { fn step(&self) {} }",
+        ]);
+        let f = find(&w, "A::f");
+        let targets = w.resolve(f, &w.calls_of(f)[0]);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(w.fn_info(targets[0]).qualified(), "A::step");
+    }
+
+    #[test]
+    fn field_type_narrowing() {
+        let w = ws(&[
+            "struct Store { stats: Snap } impl Store { fn f(&self) { self.stats.scan(); } }",
+            "struct Snap; impl Snap { fn scan(&self) {} }\nstruct Other; impl Other { fn scan(&self) {} }",
+        ]);
+        let f = find(&w, "Store::f");
+        let scan = w.calls_of(f).iter().find(|c| c.name == "scan").unwrap().clone();
+        let targets = w.resolve(f, &scan);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(w.fn_info(targets[0]).qualified(), "Snap::scan");
+    }
+
+    #[test]
+    fn external_field_type_yields_no_edges() {
+        let w = ws(&["struct S { m: Mutex } impl S { fn f(&self) { self.m.poke(); } }\n\
+             struct T; impl T { fn poke(&self) {} }"]);
+        let f = find(&w, "S::f");
+        let poke = w.calls_of(f).iter().find(|c| c.name == "poke").unwrap().clone();
+        assert!(w.resolve(f, &poke).is_empty());
+    }
+
+    #[test]
+    fn try_prefix_cuts_edges() {
+        let w =
+            ws(&["struct A; impl A { fn f(&self) { self.try_grab(); } fn try_grab(&self) {} }"]);
+        let f = find(&w, "A::f");
+        assert!(w.resolve(f, &w.calls_of(f)[0]).is_empty());
+    }
+
+    #[test]
+    fn blocking_primitives_detected() {
+        let w = ws(&["struct S; impl S { fn f(&self) { self.port.lock(); thread::sleep(d); } }"]);
+        let f = find(&w, "S::f");
+        let calls = w.calls_of(f);
+        let lock = calls.iter().find(|c| c.name == "lock").unwrap();
+        let sleep = calls.iter().find(|c| c.name == "sleep").unwrap();
+        assert!(w.is_blocking_primitive(f.file, lock));
+        assert!(w.is_blocking_primitive(f.file, sleep));
+    }
+
+    #[test]
+    fn rwlock_gates_read_write() {
+        let no_rw = ws(&["struct S; impl S { fn f(&self) { self.file.read(); } }"]);
+        let f = find(&no_rw, "S::f");
+        let read = no_rw.calls_of(f).iter().find(|c| c.name == "read").unwrap().clone();
+        assert!(!no_rw.is_blocking_primitive(f.file, &read));
+
+        let rw =
+            ws(&["use std::sync::RwLock;\nstruct S; impl S { fn f(&self) { self.l.read(); } }"]);
+        let f = find(&rw, "S::f");
+        let read = rw.calls_of(f).iter().find(|c| c.name == "read").unwrap().clone();
+        assert!(rw.is_blocking_primitive(f.file, &read));
+    }
+
+    #[test]
+    fn macro_calls_recorded_and_args_scanned() {
+        let w =
+            ws(&["struct S; impl S { fn f(&self) { panic!(\"{}\", self.g()); } fn g(&self) {} }"]);
+        let f = find(&w, "S::f");
+        let calls = w.calls_of(f);
+        assert!(calls.iter().any(|c| c.name == "panic" && c.kind == CallKind::Macro));
+        assert!(calls.iter().any(|c| c.name == "g"));
+    }
+
+    #[test]
+    fn turbofish_method_call() {
+        let w = ws(&["struct S; impl S { fn f(&self) { self.get::<u64>(); } fn get(&self) {} }"]);
+        let f = find(&w, "S::f");
+        assert_eq!(w.calls_of(f)[0].name, "get");
+    }
+}

@@ -1,0 +1,417 @@
+//! A hand-rolled Rust lexer: just enough to drive item extraction and
+//! call-site scanning.
+//!
+//! The lexer produces a flat token stream with line numbers and a separate
+//! per-line comment table (rules consult comments for `// SAFETY:`,
+//! `// RELAXED:` and `// APC-LINT:` markers). String, char and numeric
+//! literal *contents* are discarded — nothing inside a literal can be a call
+//! site — and nested block comments, raw strings and the `'a` lifetime vs
+//! `'a'` char ambiguity are handled so brace matching never desynchronizes.
+
+use std::collections::HashMap;
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind (with identifier text inline).
+    pub kind: TokKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Kinds of token the analyzer distinguishes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A lifetime or loop label (`'a`), argument text dropped.
+    Lifetime,
+    /// Any literal (string, raw string, char, byte, number); contents dropped.
+    Literal,
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// `(`, `[` or `{`.
+    Open(Delim),
+    /// `)`, `]` or `}`.
+    Close(Delim),
+}
+
+/// Bracket delimiters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` / `)`
+    Paren,
+    /// `[` / `]`
+    Bracket,
+    /// `{` / `}`
+    Brace,
+}
+
+/// Lexer output: the token stream plus the comment text seen on each line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream in source order.
+    pub tokens: Vec<Tok>,
+    /// Comment text per 1-based line (all comments on a line concatenated;
+    /// multi-line block comments contribute to every line they span).
+    pub comments: HashMap<u32, String>,
+    /// Plain (non-doc) comment text per line — the only place waiver
+    /// directives are honored, so documentation may mention their syntax.
+    pub plain: HashMap<u32, String>,
+}
+
+impl Lexed {
+    /// Returns true if any comment on `line` contains `needle`.
+    pub fn comment_contains(&self, line: u32, needle: &str) -> bool {
+        self.comments.get(&line).is_some_and(|c| c.contains(needle))
+    }
+
+    /// Returns true if a comment containing `needle` appears on `line` or on
+    /// one of the `lookback` lines directly above it.
+    pub fn comment_near(&self, line: u32, lookback: u32, needle: &str) -> bool {
+        (line.saturating_sub(lookback)..=line).any(|l| self.comment_contains(l, needle))
+    }
+
+    /// The plain (non-doc) comment text on `line`, if any.
+    pub fn plain_comment(&self, line: u32) -> Option<&str> {
+        self.plain.get(&line).map(String::as_str)
+    }
+}
+
+/// Is this comment text a doc comment (`///`, `//!`, `/**`, `/*!`)?
+fn is_doc_comment(text: &str) -> bool {
+    (text.starts_with("///") && !text.starts_with("////"))
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+        || text.starts_with("/*!")
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs consume to EOF.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($slice:expr) => {
+            line += $slice.iter().filter(|&&b| b == b'\n').count() as u32
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (including /// and //! doc comments).
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                out.comments.entry(line).or_default().push_str(text);
+                if !is_doc_comment(text) {
+                    out.plain.entry(line).or_default().push_str(text);
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested; contributes to every line
+                // it spans.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                for l in start_line..=line {
+                    out.comments.entry(l).or_default().push_str(text);
+                    if !is_doc_comment(text) {
+                        out.plain.entry(l).or_default().push_str(text);
+                    }
+                }
+            }
+            b'"' => {
+                let consumed = scan_string(&bytes[i..]);
+                bump_lines!(&bytes[i..i + consumed]);
+                out.tokens.push(Tok { kind: TokKind::Literal, line });
+                i += consumed;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let consumed = scan_raw_or_byte(bytes, i);
+                out.tokens.push(Tok { kind: TokKind::Literal, line });
+                bump_lines!(&bytes[i..i + consumed]);
+                i += consumed;
+            }
+            b'\'' => {
+                let (consumed, kind) = scan_quote(bytes, i);
+                out.tokens.push(Tok { kind, line });
+                i += consumed;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        i += 1;
+                    } else if c == b'.'
+                        && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                        && bytes.get(i.wrapping_sub(1)) != Some(&b'.')
+                    {
+                        // `1.5` continues the number; `1..2` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let _ = start;
+                out.tokens.push(Tok { kind: TokKind::Literal, line });
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Tok { kind: TokKind::Ident(src[start..i].to_string()), line });
+            }
+            b'(' => {
+                out.tokens.push(Tok { kind: TokKind::Open(Delim::Paren), line });
+                i += 1;
+            }
+            b')' => {
+                out.tokens.push(Tok { kind: TokKind::Close(Delim::Paren), line });
+                i += 1;
+            }
+            b'[' => {
+                out.tokens.push(Tok { kind: TokKind::Open(Delim::Bracket), line });
+                i += 1;
+            }
+            b']' => {
+                out.tokens.push(Tok { kind: TokKind::Close(Delim::Bracket), line });
+                i += 1;
+            }
+            b'{' => {
+                out.tokens.push(Tok { kind: TokKind::Open(Delim::Brace), line });
+                i += 1;
+            }
+            b'}' => {
+                out.tokens.push(Tok { kind: TokKind::Close(Delim::Brace), line });
+                i += 1;
+            }
+            c => {
+                out.tokens.push(Tok { kind: TokKind::Punct(c as char), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Length of a `"..."` string starting at offset 0 (which must be `"`).
+fn scan_string(bytes: &[u8]) -> usize {
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does `r"`, `r#"`, `br"`, `b"`, `b'`... start a raw/byte string here?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        while j < bytes.len() && bytes[j] == b'#' {
+            j += 1;
+        }
+        return j < bytes.len() && bytes[j] == b'"';
+    }
+    // b"..." or b'x'
+    bytes[i] == b'b' && j < bytes.len() && (bytes[j] == b'"' || bytes[j] == b'\'')
+}
+
+/// Length of the raw/byte string starting at `i`.
+fn scan_raw_or_byte(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        let mut hashes = 0;
+        while j < bytes.len() && bytes[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+                // Scan for `"` followed by `hashes` `#`s.
+        while j < bytes.len() {
+            if bytes[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0;
+                while seen < hashes && k < bytes.len() && bytes[k] == b'#' {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return k - i;
+                }
+            }
+            j += 1;
+        }
+        return j - i;
+    }
+    if bytes[j] == b'"' {
+        return j - i + scan_string(&bytes[j..]);
+    }
+    // b'x' byte char
+    let (len, _) = scan_quote(bytes, j);
+    j - i + len
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) starting at a `'`.
+fn scan_quote(bytes: &[u8], i: usize) -> (usize, TokKind) {
+    let next = bytes.get(i + 1).copied();
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: consume to closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return (j - i + 1, TokKind::Literal),
+                    _ => j += 1,
+                }
+            }
+            (j - i, TokKind::Literal)
+        }
+        Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+            // Identifier-ish: lifetime unless a closing quote follows the
+            // single character (`'a'`).
+            let mut j = i + 2;
+            while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            if j == i + 2 && bytes.get(j) == Some(&b'\'') {
+                (3, TokKind::Literal)
+            } else {
+                (j - i, TokKind::Lifetime)
+            }
+        }
+        Some(_) => {
+            // Some other char literal like '+' or '0'.
+            let mut j = i + 1;
+            while j < bytes.len() {
+                if bytes[j] == b'\'' {
+                    return (j - i + 1, TokKind::Literal);
+                }
+                if bytes[j] == b'\n' {
+                    break;
+                }
+                j += 1;
+            }
+            (j - i, TokKind::Literal)
+        }
+        None => (1, TokKind::Punct('\'')),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("fn a() {\n  b();\n}");
+        assert_eq!(l.tokens[0].kind, TokKind::Ident("fn".into()));
+        let b = l.tokens.iter().find(|t| t.kind == TokKind::Ident("b".into())).unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        assert_eq!(
+            idents(r#"let x = "call(me)"; let c = '('; let s = 'a';"#),
+            vec!["let", "x", "let", "c", "let", "s"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(!l.tokens.iter().any(|t| t.kind == TokKind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let x = r#"embedded "quote" and } brace"#; let y = 1;"###);
+        let closes =
+            l.tokens.iter().filter(|t| matches!(t.kind, TokKind::Close(Delim::Brace))).count();
+        assert_eq!(closes, 0);
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Ident("y".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(idents("/* outer /* inner */ still */ fn f() {}"), vec!["fn", "f"]);
+        assert!(l.comments.get(&1).unwrap().contains("inner"));
+    }
+
+    #[test]
+    fn comment_table_records_markers() {
+        let l = lex("// SAFETY: fine\nunsafe { x() }\n");
+        assert!(l.comment_near(2, 3, "SAFETY"));
+        assert!(!l.comment_near(1, 0, "RELAXED"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let l = lex("/* SAFETY:\n   spans\n*/\nunsafe {}\n");
+        assert!(l.comment_near(4, 3, "SAFETY"));
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_eat_dots() {
+        let l = lex("for i in 0..10 { }");
+        let dots = l.tokens.iter().filter(|t| t.kind == TokKind::Punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! # `apc-lint` — progress-condition static analysis
+//!
+//! Enforces the paper's asymmetric progress guarantees at the source level.
+//! Functions declare their progress class with the inert
+//! `#[progress(wait_free | bounded_wait_free | lock_free | obstruction_free
+//! | blocking)]` attribute from `apc-progress-macros`; this crate lexes the
+//! workspace, extracts functions and call sites, builds a name-resolved
+//! call graph, and checks:
+//!
+//! * **R1 `progress`** — no strong-class fn transitively reaches a blocking
+//!   primitive (`Mutex::lock`, channel `recv`, `thread::sleep`/`park`,
+//!   `File::sync_*`, condvar waits) or a weak-annotated callee, except
+//!   through `try_*` probes or an explicit waiver.
+//! * **R2 `safety`** — every `unsafe` site carries `// SAFETY:` (or a
+//!   `# Safety` doc section on `unsafe fn`).
+//! * **R3 `relaxed`** — every `Ordering::Relaxed` carries `// RELAXED:`.
+//! * **R4 `panic`** — no `unwrap`/`expect`/`panic!` in strong-class bodies.
+//! * **R5 `reconfig`** — the PR-5 invariant: no reconfiguration-install
+//!   operation reachable from a (bounded-)wait-free fn.
+//!
+//! Waive a finding in place with `// APC-LINT: allow(<rule>): <reason>`.
+//!
+//! Run it with `cargo run -p apc-lint -- --deny` (CI does).
+
+pub mod graph;
+pub mod lexer;
+pub mod parse;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use graph::Workspace;
+use report::Report;
+
+/// Source roots scanned relative to the workspace root.
+const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tools", "shims"];
+
+/// Path components that mark non-production code.
+const EXCLUDE_COMPONENTS: [&str; 4] = ["tests", "benches", "examples", "fixtures"];
+
+/// Collects every production `.rs` file under the workspace root, sorted.
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if EXCLUDE_COMPONENTS.contains(&name) || name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parses and checks the workspace rooted at `root`.
+///
+/// Paths in the report are relative to `root`.
+pub fn analyze(root: &Path) -> std::io::Result<(Workspace, Report)> {
+    let files = collect_workspace_files(root)?;
+    analyze_files(root, &files)
+}
+
+/// Parses and checks an explicit file list (used by fixture tests).
+pub fn analyze_files(root: &Path, files: &[PathBuf]) -> std::io::Result<(Workspace, Report)> {
+    let mut asts = Vec::with_capacity(files.len());
+    for path in files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        asts.push(parse::parse_file(rel, &src));
+    }
+    let ws = Workspace::build(asts);
+    let mut report = Report {
+        findings: rules::run(&ws),
+        files_scanned: ws.files.len(),
+        fns_total: ws.files.iter().map(|f| f.fns.len()).sum(),
+        fns_annotated: ws.files.iter().flat_map(|f| &f.fns).filter(|f| f.class.is_some()).count(),
+    };
+    report.finish();
+    Ok((ws, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_own_sources_excluding_tests() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_workspace_files(&root).unwrap();
+        assert!(files.iter().any(|p| p.ends_with("crates/lint/src/lib.rs")));
+        assert!(!files.iter().any(|p| {
+            p.components()
+                .any(|c| matches!(c.as_os_str().to_str(), Some("tests" | "benches" | "fixtures")))
+        }));
+    }
+}

@@ -1,0 +1,63 @@
+//! `apc-lint` CLI.
+//!
+//! ```text
+//! cargo run -p apc-lint -- [--deny] [--json PATH] [--root PATH]
+//! ```
+//!
+//! Exit codes: 0 clean (always, without `--deny`), 1 findings under
+//! `--deny`, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    deny: bool,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { root: PathBuf::from("."), deny: false, json: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--json" => {
+                opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a path argument")?));
+            }
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a path argument")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: apc-lint [--deny] [--json PATH] [--root PATH]".into());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("apc-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let (_ws, report) = match apc_lint::analyze(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("apc-lint: failed to scan {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("apc-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::from(report.exit_code(opts.deny) as u8)
+}

@@ -1,0 +1,89 @@
+//! Fixture-driven end-to-end tests for the analyzer, plus the live
+//! workspace self-check: the repository this crate lives in must itself be
+//! lint-clean, always.
+
+use std::path::{Path, PathBuf};
+
+use apc_lint::{analyze, analyze_files};
+
+fn fixture(name: &str) -> (PathBuf, Vec<PathBuf>) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let file = root.join(name);
+    (root, vec![file])
+}
+
+#[test]
+fn known_bad_fires_every_rule_exactly_once() {
+    let (root, files) = fixture("known_bad.rs");
+    let (_ws, report) = analyze_files(&root, &files).unwrap();
+    let mut rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        ["panic", "progress", "reconfig", "relaxed", "safety"],
+        "one finding per rule, nothing else:\n{}",
+        report.render_text(),
+    );
+    assert_eq!(report.exit_code(true), 1, "--deny must fail on findings");
+    assert_eq!(report.exit_code(false), 0, "warn-only mode never fails");
+}
+
+#[test]
+fn blocking_call_two_hops_deep_reports_the_full_chain() {
+    let (root, files) = fixture("known_bad.rs");
+    let (_ws, report) = analyze_files(&root, &files).unwrap();
+    let f =
+        report.findings.iter().find(|f| f.rule == "progress").expect("the deep lock must be found");
+    assert!(
+        f.path.len() >= 3,
+        "the chain must cross both intermediate hops (entry → mid → deep): {:?}",
+        f.path,
+    );
+    assert!(f.path[0].contains("entry"), "chain starts at the annotated source: {:?}", f.path);
+    assert!(
+        f.path.last().unwrap().contains("lock"),
+        "chain ends at the blocking primitive: {:?}",
+        f.path,
+    );
+}
+
+#[test]
+fn reconfig_finding_names_the_sink() {
+    let (root, files) = fixture("known_bad.rs");
+    let (_ws, report) = analyze_files(&root, &files).unwrap();
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "reconfig")
+        .expect("the reconfig sink must be found");
+    assert!(f.message.contains("split_locked"), "message: {}", f.message);
+}
+
+#[test]
+fn known_good_is_clean() {
+    let (root, files) = fixture("known_good.rs");
+    let (_ws, report) = analyze_files(&root, &files).unwrap();
+    assert!(report.findings.is_empty(), "{}", report.render_text());
+    assert!(report.fns_annotated >= 3, "fixture annotations must be parsed");
+    assert_eq!(report.exit_code(true), 0);
+}
+
+/// The self-check: running the analyzer over this very workspace must come
+/// back clean. This is the test-suite twin of the CI `--deny` gate — a
+/// change that introduces an unjustified blocking call, `Relaxed`, panic,
+/// or reconfiguration edge fails `cargo test` too, not just CI.
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (_ws, report) = analyze(&root).unwrap();
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must stay apc-lint-clean:\n{}",
+        report.render_text(),
+    );
+    assert!(
+        report.fns_annotated >= 60,
+        "progress-annotation coverage regressed: only {} annotated fns",
+        report.fns_annotated,
+    );
+}

@@ -1,0 +1,39 @@
+//! Known-good fixture: the same shapes as `known_bad.rs`, but annotated,
+//! justified, or waived the way the production workspace is — the analyzer
+//! must report nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Good {
+    mu: Mutex<u64>,
+    n: AtomicU64,
+}
+
+impl Good {
+    #[apc_progress_macros::progress(wait_free)]
+    pub fn entry(&self) -> u64 {
+        // APC-LINT: allow(progress): fixture — the lock below is uncontended by construction
+        self.deep()
+    }
+
+    fn deep(&self) -> u64 {
+        self.mu.lock().map(|g| *g).unwrap_or(0)
+    }
+
+    #[apc_progress_macros::progress(wait_free)]
+    pub fn relaxed_justified(&self) -> u64 {
+        // RELAXED: diagnostic counter; stale reads are fine, nothing ordered.
+        self.n.load(Ordering::Relaxed)
+    }
+
+    #[apc_progress_macros::progress(blocking)]
+    pub fn slow(&self) -> u64 {
+        *self.mu.lock().expect("fixture")
+    }
+}
+
+pub fn read_raw(p: *const u64) -> u64 {
+    // SAFETY: fixture — the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}

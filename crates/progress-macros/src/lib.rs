@@ -1,0 +1,109 @@
+//! # `apc-progress-macros` — declared progress classes
+//!
+//! The paper attaches a *progress condition to each process*: VIP ports are
+//! (bounded) wait-free, guests are obstruction-free. This crate makes the
+//! corresponding *per-function* promises part of the source text:
+//! [`macro@progress`] is an **inert** attribute that records which progress
+//! class a function's implementation is claimed to provide.
+//!
+//! The attribute changes nothing about the annotated item — it validates its
+//! argument and passes the item through untouched. The claims it records are
+//! enforced *statically* by the `apc-lint` analyzer (see `crates/lint`),
+//! which builds a call graph over the workspace and rejects, e.g., a
+//! `wait_free` function that can transitively reach `Mutex::lock`.
+//!
+//! ## Classes
+//!
+//! In decreasing order of strength:
+//!
+//! | Class | Meaning |
+//! |-------|---------|
+//! | `wait_free` | terminates in a finite number of the caller's own steps |
+//! | `bounded_wait_free` | wait-free with an a-priori bound on those steps |
+//! | `lock_free` | some concurrent caller always makes progress |
+//! | `obstruction_free` | terminates when run long enough in isolation |
+//! | `blocking` | may wait on other processes indefinitely (by design) |
+//!
+//! ## Example
+//!
+//! ```
+//! use apc_progress_macros::progress;
+//!
+//! #[progress(wait_free)]
+//! fn decide(slot: &std::sync::atomic::AtomicU64, v: u64) -> u64 {
+//!     match slot.compare_exchange(
+//!         0,
+//!         v,
+//!         std::sync::atomic::Ordering::AcqRel,
+//!         std::sync::atomic::Ordering::Acquire,
+//!     ) {
+//!         Ok(_) => v,
+//!         Err(prev) => prev,
+//!     }
+//! }
+//! assert_eq!(decide(&std::sync::atomic::AtomicU64::new(0), 7), 7);
+//! ```
+//!
+//! An unknown class is rejected at compile time:
+//!
+//! ```compile_fail
+//! use apc_progress_macros::progress;
+//!
+//! #[progress(sometimes_fast)]
+//! fn nope() {}
+//! ```
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The classes accepted by [`macro@progress`], strongest first.
+const CLASSES: [&str; 5] =
+    ["wait_free", "bounded_wait_free", "lock_free", "obstruction_free", "blocking"];
+
+/// Declares the progress class of a function (or other item).
+///
+/// Takes exactly one argument, one of `wait_free`, `bounded_wait_free`,
+/// `lock_free`, `obstruction_free`, or `blocking`. The item itself is
+/// emitted unchanged; the annotation is consumed by the `apc-lint` static
+/// analyzer, which checks the declared classes against the workspace call
+/// graph.
+#[proc_macro_attribute]
+pub fn progress(attr: TokenStream, item: TokenStream) -> TokenStream {
+    match validate(attr) {
+        Ok(()) => item,
+        Err(msg) => {
+            // Emit the error *and* the original item, so downstream name
+            // resolution still sees the function and reports only one error.
+            let error: TokenStream =
+                format!("::core::compile_error!({msg:?});").parse().expect("valid error tokens");
+            error.into_iter().chain(item).collect()
+        }
+    }
+}
+
+/// Checks that the attribute argument is exactly one known class identifier.
+fn validate(attr: TokenStream) -> Result<(), String> {
+    let mut trees = attr.into_iter();
+    let first = trees.next();
+    let rest = trees.next();
+    match (first, rest) {
+        (Some(TokenTree::Ident(ident)), None) => {
+            let name = ident.to_string();
+            if CLASSES.contains(&name.as_str()) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "unknown progress class `{name}`; expected one of: {}",
+                    CLASSES.join(", ")
+                ))
+            }
+        }
+        (None, _) => Err(format!(
+            "#[progress(..)] needs exactly one class argument; expected one of: {}",
+            CLASSES.join(", ")
+        )),
+        _ => Err(format!(
+            "#[progress(..)] takes exactly one class argument; expected one of: {}",
+            CLASSES.join(", ")
+        )),
+    }
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::atomic::Ordering;
 
+use apc_progress_macros::progress;
 use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
 
 /// A linearizable multi-writer multi-reader atomic register holding an
@@ -47,12 +48,14 @@ impl<T> AtomicCell<T> {
     }
 
     /// Whether the cell currently holds `⊥`.
+    #[progress(wait_free)]
     pub fn is_bot(&self) -> bool {
         let guard = epoch::pin();
         self.inner.load(Ordering::Acquire, &guard).is_null()
     }
 
     /// Stores a value, discarding the previous one.
+    #[progress(wait_free)]
     pub fn store(&self, value: T) {
         let guard = epoch::pin();
         let old = self.inner.swap(Owned::new(value), Ordering::AcqRel, &guard);
@@ -63,6 +66,7 @@ impl<T> AtomicCell<T> {
     }
 
     /// Clears the cell back to `⊥`.
+    #[progress(wait_free)]
     pub fn clear(&self) {
         let guard = epoch::pin();
         let old = self.inner.swap(Shared::null(), Ordering::AcqRel, &guard);
@@ -78,10 +82,12 @@ impl<T> AtomicCell<T> {
     /// reclaimed immediately. This is the building block for *iterative*
     /// teardown of linked structures whose recursive `Drop` would otherwise
     /// overflow the stack on long chains.
+    #[progress(wait_free)]
     pub fn take_mut(&mut self) -> Option<T> {
         // SAFETY: `&mut self` excludes all concurrent access; an unprotected
         // guard is sound because nothing can race the swap or still read the
         // displaced value.
+        // RELAXED: same exclusivity — no observers to synchronize with.
         let old =
             unsafe { self.inner.swap(Shared::null(), Ordering::Relaxed, epoch::unprotected()) };
         if old.is_null() {
@@ -102,6 +108,7 @@ impl<T> AtomicCell<T> {
     ///
     /// Returns `Err(value)` (giving the value back) if the cell was already
     /// set.
+    #[progress(wait_free)]
     pub fn set_if_bot(&self, value: T) -> Result<(), T> {
         let guard = epoch::pin();
         let new = Owned::new(value);
@@ -120,6 +127,7 @@ impl<T> AtomicCell<T> {
 
 impl<T: Clone> AtomicCell<T> {
     /// Reads the current value (cloning it), or `None` if the cell is `⊥`.
+    #[progress(wait_free)]
     pub fn load(&self) -> Option<T> {
         let guard = epoch::pin();
         let shared = self.inner.load(Ordering::Acquire, &guard);
@@ -129,6 +137,7 @@ impl<T: Clone> AtomicCell<T> {
     }
 
     /// Swaps in `value`, returning the previous value.
+    #[progress(wait_free)]
     pub fn swap(&self, value: T) -> Option<T> {
         let guard = epoch::pin();
         let old = self.inner.swap(Owned::new(value), Ordering::AcqRel, &guard);
@@ -138,17 +147,32 @@ impl<T: Clone> AtomicCell<T> {
         previous
     }
 
+    /// *Decides* the cell: installs `value` if the cell is `⊥` and returns
+    /// whatever value the cell holds afterwards (the winner's).
+    ///
+    /// This is the total, panic-free form of the decision-slot idiom used by
+    /// every consensus object in `apc-core`: one CAS, one read, and a
+    /// fallback to the caller's own value in the (caller-contract-violating)
+    /// case where the slot was concurrently cleared after losing the race.
+    #[progress(wait_free)]
+    pub fn decide(&self, value: T) -> T {
+        match self.set_if_bot(value.clone()) {
+            Ok(()) => value,
+            Err(returned) => self.load().unwrap_or(returned),
+        }
+    }
+
     /// Reads the value, initializing the cell with `init()` first if it is
     /// `⊥`. Returns the value that ended up being read.
     ///
     /// Under a race, exactly one initializer wins and all callers observe a
     /// single consistent value.
+    #[progress(wait_free)]
     pub fn load_or_init(&self, init: impl FnOnce() -> T) -> T {
         if let Some(v) = self.load() {
             return v;
         }
-        let _ = self.set_if_bot(init());
-        self.load().expect("cell was just initialized and is never cleared concurrently")
+        self.decide(init())
     }
 
     /// Replaces the current value with `value` iff `keep_new` approves the
@@ -161,6 +185,7 @@ impl<T: Clone> AtomicCell<T> {
     /// version", concurrent publishers never regress the cell, because every
     /// successful swing re-validated the predicate against the value it
     /// displaced.
+    #[progress(lock_free)]
     pub fn update_if(&self, value: T, keep_new: impl Fn(Option<&T>) -> bool) -> bool {
         let guard = epoch::pin();
         let mut new = Owned::new(value);
@@ -210,6 +235,7 @@ impl<T> Drop for AtomicCell<T> {
     fn drop(&mut self) {
         // SAFETY: we have `&mut self`, so no other thread can access the
         // cell; the value can be dropped immediately.
+        // RELAXED: exclusive access — no concurrent writer to order against.
         let shared = unsafe { self.inner.load(Ordering::Relaxed, epoch::unprotected()) };
         if !shared.is_null() {
             drop(unsafe { shared.into_owned() });

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use apc_progress_macros::progress;
+
 use crate::atomic_cell::AtomicCell;
 
 /// A store/collect array over `n` processes.
@@ -51,6 +53,7 @@ impl<T> StoreCollect<T> {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
+    #[progress(wait_free)]
     pub fn store(&self, i: usize, value: T) {
         self.slots[i].store(value);
     }
@@ -61,6 +64,7 @@ impl<T: Clone> StoreCollect<T> {
     ///
     /// The result is a *regular* collect: it need not correspond to any
     /// single instant.
+    #[progress(wait_free)]
     pub fn collect(&self) -> Vec<Option<T>> {
         self.slots.iter().map(|s| s.load()).collect()
     }
@@ -70,11 +74,13 @@ impl<T: Clone> StoreCollect<T> {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
+    #[progress(wait_free)]
     pub fn load(&self, i: usize) -> Option<T> {
         self.slots[i].load()
     }
 
     /// Collects and returns only the set values (with their slot indices).
+    #[progress(wait_free)]
     pub fn collect_set(&self) -> Vec<(usize, T)> {
         self.collect().into_iter().enumerate().filter_map(|(i, v)| v.map(|v| (i, v))).collect()
     }

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use apc_progress_macros::progress;
+
 /// The sentinel encoding `⊥` inside the packed word.
 const BOT: u64 = u64::MAX;
 
@@ -42,6 +44,7 @@ impl PackedRegister {
     }
 
     /// Reads the register.
+    #[progress(wait_free)]
     pub fn load(&self) -> Option<u64> {
         decode(self.word.load(Ordering::Acquire))
     }
@@ -51,12 +54,14 @@ impl PackedRegister {
     /// # Panics
     ///
     /// Panics if `value == u64::MAX` (reserved for `⊥`).
+    #[progress(wait_free)]
     pub fn store(&self, value: u64) {
         assert_ne!(value, BOT, "u64::MAX is reserved for ⊥");
         self.word.store(value, Ordering::Release);
     }
 
     /// Resets the register to `⊥`.
+    #[progress(wait_free)]
     pub fn clear(&self) {
         self.word.store(BOT, Ordering::Release);
     }
@@ -67,6 +72,7 @@ impl PackedRegister {
     /// # Panics
     ///
     /// Panics if `value == u64::MAX` (reserved for `⊥`).
+    #[progress(wait_free)]
     pub fn set_if_bot(&self, value: u64) -> bool {
         assert_ne!(value, BOT, "u64::MAX is reserved for ⊥");
         self.word.compare_exchange(BOT, value, Ordering::AcqRel, Ordering::Acquire).is_ok()
@@ -78,6 +84,7 @@ impl PackedRegister {
     /// This is the paper's `wait(R ≠ ⊥)` statement. It blocks by design —
     /// callers use it exactly where the paper's algorithms wait (e.g. the
     /// guest branch of the arbiter, line 04 of Figure 4).
+    #[progress(blocking)]
     pub fn await_value(&self) -> u64 {
         loop {
             if let Some(v) = self.load() {

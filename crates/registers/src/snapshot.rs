@@ -17,6 +17,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use apc_progress_macros::progress;
+
 use crate::atomic_cell::AtomicCell;
 
 #[derive(Clone, Debug)]
@@ -92,6 +94,7 @@ impl<T: Clone> SwmrSnapshot<T> {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
+    #[progress(wait_free)]
     pub fn update(&self, i: usize, value: T) {
         let embedded = self.scan();
         let seq = self.read_slot(i).0 + 1;
@@ -102,7 +105,10 @@ impl<T: Clone> SwmrSnapshot<T> {
     ///
     /// Wait-free: after at most `n` observed interferences the scan borrows
     /// an embedded snapshot written entirely inside its own interval.
+    #[progress(wait_free)]
     pub fn scan(&self) -> Vec<T> {
+        // RELAXED: diagnostic counter; snapshot correctness rests on the
+        // double collect below, not on this increment's ordering.
         self.scans.fetch_add(1, Ordering::Relaxed);
         let n = self.len();
         let mut moved = vec![0u32; n];
@@ -121,6 +127,7 @@ impl<T: Clone> SwmrSnapshot<T> {
                     if moved[i] >= 2 {
                         // Component i's writer performed a complete update
                         // inside this scan: borrow its embedded snapshot.
+                        // RELAXED: diagnostic counter only.
                         self.borrowed.fetch_add(1, Ordering::Relaxed);
                         if let Some(entry) = self.slots[i].load() {
                             return entry.embedded;
@@ -137,12 +144,14 @@ impl<T: Clone> SwmrSnapshot<T> {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
+    #[progress(wait_free)]
     pub fn read(&self, i: usize) -> T {
         self.read_slot(i).1
     }
 
     /// Diagnostic: `(total scans started, scans resolved by borrowing)`.
     pub fn scan_stats(&self) -> (u64, u64) {
+        // RELAXED: diagnostic counters; stale reads are fine.
         (self.scans.load(Ordering::Relaxed), self.borrowed.load(Ordering::Relaxed))
     }
 }

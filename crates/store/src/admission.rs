@@ -23,6 +23,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use apc_progress_macros::progress;
+
 use apc_core::group::GroupLayout;
 use apc_core::liveness::Liveness;
 use apc_model::ProcessSet;
@@ -197,6 +199,10 @@ impl Admission {
     ///
     /// [`AdmissionError::VipCapacityExhausted`] when a VIP is requested and
     /// all wait-free ports are taken. Guest admission never fails.
+    /// Lock-free, not wait-free: the VIP arm's `fetch_update` is a CAS retry
+    /// loop, so one admission can be starved by others — but some admission
+    /// always completes. Guest admission is a single `fetch_add`.
+    #[progress(lock_free)]
     pub fn admit(&self, class: ProgressClass) -> Result<ClientTicket, AdmissionError> {
         match class {
             ProgressClass::Vip => {
@@ -208,28 +214,42 @@ impl Admission {
                     })
                     .map_err(|_| AdmissionError::VipCapacityExhausted { capacity })?;
                 Ok(ClientTicket {
+                    // RELAXED: the RMW's atomicity alone guarantees unique
+                    // ids; no other state is published through this counter.
                     id: self.next_id.fetch_add(1, Ordering::Relaxed),
                     class: ProgressClass::Vip,
                     port: slot,
                     group: None,
                 })
             }
-            ProgressClass::Guest => {
-                let k = self.guests_issued.fetch_add(1, Ordering::Relaxed);
-                let guest_slot = (k % self.cfg.guest_ports as u64) as usize;
-                Ok(ClientTicket {
-                    id: self.next_id.fetch_add(1, Ordering::Relaxed),
-                    class: ProgressClass::Guest,
-                    port: self.cfg.vip_capacity + guest_slot,
-                    group: Some(self.layout.group_of(guest_slot)),
-                })
-            }
+            ProgressClass::Guest => Ok(self.admit_guest()),
+        }
+    }
+
+    /// Admits a guest directly. Guest admission is unbounded, so unlike the
+    /// VIP arm of [`Admission::admit`] it cannot fail — and it is wait-free:
+    /// two unconditional `fetch_add`s, no retry loop.
+    #[progress(wait_free)]
+    pub fn admit_guest(&self) -> ClientTicket {
+        // RELAXED: round-robin distribution needs only atomicity — any
+        // interleaving of increments yields a valid slot.
+        let k = self.guests_issued.fetch_add(1, Ordering::Relaxed);
+        let guest_slot = (k % self.cfg.guest_ports as u64) as usize;
+        ClientTicket {
+            // RELAXED: unique ids via atomicity, as in the VIP arm.
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            class: ProgressClass::Guest,
+            port: self.cfg.vip_capacity + guest_slot,
+            group: Some(self.layout.group_of(guest_slot)),
         }
     }
 
     /// How many clients of each class have been admitted so far
     /// (`(vips, guests)`).
+    #[progress(wait_free)]
     pub fn issued(&self) -> (usize, u64) {
+        // RELAXED: the guest counter is diagnostic; only the VIP count
+        // gates capacity and it is read with Acquire.
         (self.vips_issued.load(Ordering::Acquire), self.guests_issued.load(Ordering::Relaxed))
     }
 }

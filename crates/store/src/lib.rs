@@ -81,6 +81,7 @@
 //! assert_eq!(digests.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;

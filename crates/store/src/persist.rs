@@ -61,6 +61,8 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex};
 
+use apc_progress_macros::progress;
+
 use crate::admission::AdmissionError;
 use crate::ops::ShardState;
 use crate::router::{fnv1a64, ShardTopology, TopoRecord, TopologyError};
@@ -377,6 +379,7 @@ impl StoreSnapshot {
         tmp_name.push(format!(
             ".{}-{}.tmp",
             std::process::id(),
+            // RELAXED: only uniqueness matters, which atomicity provides.
             TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
         let tmp = path.with_file_name(tmp_name);
@@ -497,6 +500,7 @@ impl Persister {
     /// Number of physical flush cycles performed so far. With `k`
     /// concurrent [`Persister::persist`] calls this is between 1 and `k` —
     /// the group-commit win is `k − flushes()`.
+    #[progress(blocking)]
     pub fn flushes(&self) -> u64 {
         self.state.lock().expect("persister state poisoned").flushes
     }
@@ -516,6 +520,7 @@ impl Persister {
     /// whole-store and atomically renamed, so neither a later failure nor
     /// a later success can un-write it). `Err` with the latest flush error
     /// otherwise.
+    #[progress(blocking)]
     pub fn persist(&self, store: &Store) -> Result<u64, PersistError> {
         let mut st = self.state.lock().expect("persister state poisoned");
         st.requested += 1;

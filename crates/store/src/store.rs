@@ -54,6 +54,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use apc_core::liveness::Liveness;
+use apc_progress_macros::progress;
 use apc_registers::snapshot::SwmrSnapshot;
 use apc_registers::AtomicCell;
 use apc_universal::{AsymmetricFactory, OwnedHandle, Universal};
@@ -399,13 +400,15 @@ impl Store {
     /// # Errors
     ///
     /// [`AdmissionError::VipCapacityExhausted`] once all `x` ports are owned.
+    #[progress(lock_free)]
     pub fn admit_vip(&self) -> Result<ClientTicket, AdmissionError> {
         self.admission.admit(ProgressClass::Vip)
     }
 
     /// Admits an obstruction-free guest client (never fails).
+    #[progress(wait_free)]
     pub fn admit_guest(&self) -> ClientTicket {
-        self.admission.admit(ProgressClass::Guest).expect("guest admission is unbounded")
+        self.admission.admit_guest()
     }
 
     /// Opens a client session for `ticket`.
@@ -430,6 +433,7 @@ impl Store {
     /// and publishing the topology (the store's one cross-thread
     /// obligation), and a loud failure beats every client of the
     /// reconfigured shard hanging silently forever.
+    #[progress(blocking)]
     fn view_at_least(&self, min_version: u64) -> Arc<StoreView> {
         let start = std::time::Instant::now();
         loop {
@@ -486,6 +490,7 @@ impl Store {
     /// in a bounded number of steps regardless of guest contention. It is
     /// also the hot-shard detector: a shard whose `commits` digest runs away
     /// from the others is the one to [`split`](Store::split_shard).
+    #[progress(wait_free)]
     pub fn snapshot_stats(&self) -> Vec<ShardDigest> {
         self.current_view()
             .shards
@@ -500,6 +505,7 @@ impl Store {
     /// shard under a skewed workload, read wait-free from the stats
     /// snapshots (tombstones stop taking real traffic, so they are
     /// excluded no matter what their historical digests say).
+    #[progress(wait_free)]
     pub fn hottest_shard(&self) -> usize {
         let view = self.current_view();
         self.snapshot_stats()
@@ -513,6 +519,7 @@ impl Store {
 
     /// The running totals of the automatic elasticity driver, or `None`
     /// when the store was built without [`StoreBuilder::elastic`].
+    #[progress(blocking)]
     pub fn elastic_report(&self) -> Option<ElasticReport> {
         self.elastic
             .as_ref()
@@ -548,6 +555,7 @@ impl Store {
     ///
     /// [`SplitError::NoSuchShard`] if `shard` is out of range,
     /// [`SplitError::RetiredShard`] if a merge already tombstoned it.
+    #[progress(blocking)]
     pub fn split_shard(&self, shard: usize) -> Result<usize, SplitError> {
         let _admin = self.admin.lock().expect("admin lock poisoned");
         self.split_locked(shard)
@@ -642,6 +650,7 @@ impl Store {
     /// # Errors
     ///
     /// Any [`MergeError`] from [`ShardTopology::check_merge`].
+    #[progress(blocking)]
     pub fn merge_shard(&self, child: usize) -> Result<usize, MergeError> {
         let _admin = self.admin.lock().expect("admin lock poisoned");
         self.merge_locked(child)
@@ -695,6 +704,7 @@ impl Store {
     /// handles bootstrap from it and the retired cells become reclaimable.
     /// Serializes with [`Store::split_shard`] so the snapshot's topology
     /// always matches its sealed states.
+    #[progress(blocking)]
     pub fn checkpoint(&self) -> crate::persist::StoreSnapshot {
         let _admin = self.admin.lock().expect("admin lock poisoned");
         let view = self.current_view();
@@ -723,6 +733,7 @@ impl Store {
     /// the replay-work meter summed across all shards and ports. A store
     /// recovered from a checkpoint at index `k` starts near zero here even
     /// though its logs resume at `k`.
+    #[progress(blocking)]
     pub fn replay_steps(&self) -> u64 {
         self.current_view()
             .shards
@@ -732,37 +743,82 @@ impl Store {
             .sum()
     }
 
-    /// Commits `batch` on `shard` through `port`: one universal-log append,
-    /// a digest publication, and (if configured) the auto-checkpoint
-    /// cadence and the elasticity tick.
+    /// Commits `batch` on `shard` through `port`, dispatching on the port's
+    /// tier so each tier's progress class is its own auditable function:
+    /// [`Store::commit_vip`] (bounded wait-free) never runs the elasticity
+    /// tick; [`Store::commit_guest`] (obstruction-free) carries it.
     fn commit(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
-        let resps = {
-            let mut handle = shard.ports[port].lock().expect("port slot poisoned");
-            let resps = handle.apply(ShardCmd::Batch(batch));
-            shard.publish_digest(port, &handle);
-            if let Some(k) = self.checkpoint_every {
-                let commits = shard.auto_commits.fetch_add(1, Ordering::Relaxed) + 1;
-                if commits.is_multiple_of(k) {
-                    let last = shard.ports.len() - 1;
-                    if port == last {
-                        handle.checkpoint();
-                    } else {
-                        // Ride the guest tier without ever holding two port
-                        // locks: if the seal port is busy, skip — a commit is
-                        // happening there and the next cadence window retries.
-                        drop(handle);
-                        if let Ok(mut sealer) = shard.ports[last].try_lock() {
-                            sealer.checkpoint();
-                        }
-                    }
-                }
-            }
-            resps
-        };
+        if port < self.admission.spec().x() {
+            self.commit_vip(shard, port, batch)
+        } else {
+            self.commit_guest(shard, port, batch)
+        }
+    }
+
+    /// A VIP-tier commit: one universal-log append through the client's
+    /// exclusively-owned port plus a digest publication, in a bounded
+    /// number of the caller's own steps. The cadence clock still advances
+    /// ([`Store::note_commit`]), but the policy evaluation — and every
+    /// reconfiguration it could install — stays off this path.
+    #[progress(bounded_wait_free)]
+    fn commit_vip(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+        let resps = self.commit_on(shard, port, batch);
+        self.note_commit();
+        resps
+    }
+
+    /// A guest-tier commit: the same log append over a **shared** port
+    /// (queued behind the port mutex) followed by the elasticity tick —
+    /// the obstruction-free tier is also the tier that pays for
+    /// reconfiguration.
+    #[progress(obstruction_free)]
+    fn commit_guest(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+        let resps = self.commit_on(shard, port, batch);
         // The committing handle is released before the tick: a reconfig
         // decided here locks other ports, and a commit must never hold two.
         self.elastic_tick(port);
         resps
+    }
+
+    /// The tier-independent commit body: one universal-log append, a digest
+    /// publication, and (if configured) the auto-checkpoint cadence.
+    fn commit_on(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+        // APC-LINT: allow(progress): a VIP port's mutex is uncontended by construction (one exclusive owner, and reconfiguration never touches VIP ports), so the VIP path's lock is bounded; guest ports share theirs by design
+        let mut handle = shard.ports[port].lock().expect("port slot poisoned");
+        let resps = handle.apply(ShardCmd::Batch(batch));
+        shard.publish_digest(port, &handle);
+        if let Some(k) = self.checkpoint_every {
+            // RELAXED: cadence counter — the checkpoint trigger needs an
+            // exact count (atomicity) but no cross-thread ordering.
+            let commits = shard.auto_commits.fetch_add(1, Ordering::Relaxed) + 1;
+            if commits.is_multiple_of(k) {
+                let last = shard.ports.len() - 1;
+                if port == last {
+                    handle.checkpoint();
+                } else {
+                    // Ride the guest tier without ever holding two port
+                    // locks: if the seal port is busy, skip — a commit is
+                    // happening there and the next cadence window retries.
+                    drop(handle);
+                    if let Ok(mut sealer) = shard.ports[last].try_lock() {
+                        sealer.checkpoint();
+                    }
+                }
+            }
+        }
+        resps
+    }
+
+    /// Advances the elasticity cadence clock without ever evaluating the
+    /// policy: the VIP half of the commit-path bookkeeping. VIP commits
+    /// count toward the cadence, but the evaluation itself only rides
+    /// guest commits ([`Store::elastic_tick`]).
+    #[progress(wait_free)]
+    fn note_commit(&self) {
+        if self.elastic.is_some() {
+            // RELAXED: cadence counter, exactly as in `elastic_tick`.
+            self.total_commits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// One step of the elasticity cadence, ridden by the commit path. Runs
@@ -777,8 +833,14 @@ impl Store {
     /// A VIP commit crossing the cadence boundary just skips the window —
     /// the next guest boundary picks the evaluation up. (Corollary: a
     /// store serving *only* VIPs never auto-reconfigures.)
+    ///
+    /// Only [`Store::commit_guest`] calls this; the `port` guard below is
+    /// the runtime mirror of that static routing.
+    #[progress(blocking)]
     fn elastic_tick(&self, port: usize) {
         let Some(slot) = &self.elastic else { return };
+        // RELAXED: cadence counter — the evaluation trigger needs an exact
+        // count (atomicity) but no cross-thread ordering.
         let total = self.total_commits.fetch_add(1, Ordering::Relaxed) + 1;
         if !total.is_multiple_of(slot.evaluate_every) {
             return;
@@ -847,11 +909,13 @@ pub struct Client<'a> {
 
 impl Client<'_> {
     /// This session's admission ticket.
+    #[progress(wait_free)]
     pub fn ticket(&self) -> ClientTicket {
         self.ticket
     }
 
     /// The session's progress class.
+    #[progress(wait_free)]
     pub fn class(&self) -> ProgressClass {
         self.ticket.class()
     }
@@ -865,6 +929,13 @@ impl Client<'_> {
     /// operations against the newly published topology and patches their
     /// responses in place — already-applied operations are never re-issued,
     /// so nothing commits twice and nothing is dropped.
+    ///
+    /// The class below is the **floor** over admitted tiers: a guest
+    /// session shares its port, so its commits queue behind the port
+    /// mutex. A VIP session's commits are bounded wait-free
+    /// (`Store::commit_vip`) except across a concurrent reconfiguration,
+    /// where the `Moved` retry waits for the new topology to publish.
+    #[progress(obstruction_free)]
     pub fn execute(&mut self, ops: Vec<StoreOp>) -> Vec<StoreResp> {
         let view = self.store.current_view();
         let mut resps = self.store.execute_in(&view, self.ticket.port(), ops.clone());
@@ -895,21 +966,25 @@ impl Client<'_> {
     }
 
     /// Reads `key`.
+    #[progress(obstruction_free)]
     pub fn get(&mut self, key: &str) -> Option<u64> {
         self.execute_one(StoreOp::Get(key.into())).expect_value()
     }
 
     /// Writes `key`, returning the previous value.
+    #[progress(obstruction_free)]
     pub fn put(&mut self, key: &str, value: u64) -> Option<u64> {
         self.execute_one(StoreOp::Put(key.into(), value)).expect_value()
     }
 
     /// Removes `key`, returning the removed value.
+    #[progress(obstruction_free)]
     pub fn remove(&mut self, key: &str) -> Option<u64> {
         self.execute_one(StoreOp::Remove(key.into())).expect_value()
     }
 
     /// Compare-and-set on `key`; returns `(ok, actual)`.
+    #[progress(obstruction_free)]
     pub fn cas(&mut self, key: &str, expect: Option<u64>, new: u64) -> (bool, Option<u64>) {
         match self.execute_one(StoreOp::Cas { key: key.into(), expect, new }) {
             StoreResp::Cas { ok, actual } => (ok, actual),
@@ -918,6 +993,7 @@ impl Client<'_> {
     }
 
     /// Range scan over `[from, to)` merged across all shards, in key order.
+    #[progress(obstruction_free)]
     pub fn scan(&mut self, from: &str, to: &str) -> Vec<(String, u64)> {
         match self.execute_one(StoreOp::Scan { from: from.into(), to: to.into() }) {
             StoreResp::Entries(entries) => entries,

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use apc_core::consensus::Consensus;
 use apc_core::error::ConsensusError;
+use apc_progress_macros::progress;
 use apc_registers::AtomicCell;
 
 use crate::factory::ConsensusFactory;
@@ -275,6 +276,7 @@ where
 
     /// Log index of the latest agreed checkpoint this object knows about
     /// (0 if none was ever taken): where a fresh handle starts replaying.
+    #[progress(wait_free)]
     pub fn anchor_index(&self) -> u64 {
         self.latest_anchor().index
     }
@@ -285,6 +287,7 @@ where
 
     /// Claims the port bit for `pid` and builds its initial replay state
     /// from the latest checkpoint anchor.
+    #[progress(wait_free)]
     fn take_port(&self, pid: usize) -> Result<Replay<S, F::Object>, UniversalError> {
         if pid >= self.n || !self.factory.spec().is_port(pid) {
             return Err(UniversalError::NotAPort { pid });
@@ -312,6 +315,7 @@ where
     /// * [`UniversalError::NotAPort`] if `pid` is not a port of the
     ///   factory's liveness spec;
     /// * [`UniversalError::HandleTaken`] if the handle was already taken.
+    #[progress(wait_free)]
     pub fn handle(&self, pid: usize) -> Result<Handle<'_, S, F>, UniversalError> {
         Ok(Handle { obj: self, replay: self.take_port(pid)? })
     }
@@ -326,6 +330,7 @@ where
     /// # Errors
     ///
     /// Same as [`Universal::handle`].
+    #[progress(wait_free)]
     pub fn owned_handle(self: &Arc<Self>, pid: usize) -> Result<OwnedHandle<S, F>, UniversalError> {
         Ok(OwnedHandle { obj: Arc::clone(self), replay: self.take_port(pid)? })
     }
@@ -373,6 +378,7 @@ where
 {
     /// Applies `op` through the given replay state (the shared body of
     /// [`Handle::apply`] and [`OwnedHandle::apply`]).
+    #[progress(bounded_wait_free)]
     fn apply_through(&self, replay: &mut Replay<S, F::Object>, op: S::Op) -> S::Resp {
         replay.seq += 1;
         let my_seq = replay.seq;
@@ -407,6 +413,7 @@ where
     /// other port's record committed instead. The proposer still obeys the
     /// helping rule, so it never undermines the wait-free bound of the
     /// privileged set.
+    #[progress(lock_free)]
     fn reconfigure_through(&self, replay: &mut Replay<S, F::Object>, op: S::Op) -> (u64, S::Resp) {
         replay.seq += 1;
         let my_seq = replay.seq;
@@ -443,6 +450,7 @@ where
     /// Proposes a checkpoint through the replay state (the shared body of
     /// [`Handle::checkpoint`] and [`OwnedHandle::checkpoint`]); returns the
     /// log index of the agreed checkpoint cell.
+    #[progress(lock_free)]
     fn checkpoint_through(&self, replay: &mut Replay<S, F::Object>) -> u64 {
         loop {
             let decided = self.decide_current_cell(replay, || {
@@ -497,6 +505,7 @@ where
             .filter(|a| a.seq > replay.applied[slot])
             .map(|a| LogRecord::Op(OpRecord { pid: slot as u8, seq: a.seq, op: a.op }));
         let proposal = candidate.unwrap_or_else(fallback);
+        // APC-LINT: allow(progress): dynamic dispatch through the factory's consensus object; its class is the factory's liveness spec (wait-free for the VIP set), checked at the object, not here
         match replay.cursor.cons.propose(replay.pid, proposal) {
             Ok(decided) => decided,
             Err(ConsensusError::AlreadyProposed { .. }) => replay
@@ -611,6 +620,8 @@ where
     /// Progress: wait-free if `pid` is in the factory's wait-free set
     /// (placement within ~2·n cells by the helping rule); otherwise
     /// obstruction-free.
+    #[progress(bounded_wait_free)]
+    #[progress(bounded_wait_free)]
     pub fn apply(&mut self, op: S::Op) -> S::Resp {
         self.obj.apply_through(&mut self.replay, op)
     }
@@ -625,6 +636,7 @@ where
     ///
     /// Progress: lock-free — each failed placement attempt is another
     /// port's operation committing.
+    #[progress(lock_free)]
     pub fn checkpoint(&mut self) -> u64 {
         self.obj.checkpoint_through(&mut self.replay)
     }
@@ -640,6 +652,7 @@ where
     ///
     /// Progress: lock-free, like [`Handle::checkpoint`] — each failed
     /// placement attempt is another port's record committing.
+    #[progress(lock_free)]
     pub fn reconfigure(&mut self, op: S::Op) -> (u64, S::Resp) {
         self.obj.reconfigure_through(&mut self.replay, op)
     }
@@ -703,11 +716,14 @@ where
     }
 
     /// Applies `op` to the shared object; see [`Handle::apply`].
+    #[progress(bounded_wait_free)]
+    #[progress(bounded_wait_free)]
     pub fn apply(&mut self, op: S::Op) -> S::Resp {
         self.obj.apply_through(&mut self.replay, op)
     }
 
     /// Seals a checkpoint; see [`Handle::checkpoint`].
+    #[progress(lock_free)]
     pub fn checkpoint(&mut self) -> u64 {
         // Split the borrow: `obj` and `replay` are disjoint fields.
         let OwnedHandle { obj, replay } = self;
@@ -716,6 +732,7 @@ where
 
     /// Applies `op` and seals the post-op state in one agreed cell; see
     /// [`Handle::reconfigure`].
+    #[progress(lock_free)]
     pub fn reconfigure(&mut self, op: S::Op) -> (u64, S::Resp) {
         let OwnedHandle { obj, replay } = self;
         obj.reconfigure_through(replay, op)

@@ -45,6 +45,7 @@
 //! assert_eq!(h1.apply(apc_universal::seq::CounterOp::Get), 5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod seq;

@@ -77,6 +77,7 @@ impl Guard {
             drop(Box::from_raw(ptr.cast::<T>()));
         }
         if !shared.ptr.is_null() {
+            // APC-LINT: allow(progress): shim-only global garbage mutex, held for one push; upstream crossbeam-epoch retires into per-thread bags without locking
             let mut garbage = GARBAGE.lock().expect("garbage list poisoned");
             garbage.push(Garbage { ptr: shared.ptr.cast::<u8>(), drop_fn: drop_box::<T> });
             GARBAGE_LEN.store(garbage.len(), Ordering::Release);
