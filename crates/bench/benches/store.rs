@@ -20,6 +20,10 @@
 //!   batching buys;
 //! * the wait-free stats snapshot under guest load — the VIP dashboard
 //!   path;
+//! * the **observability series** (`store/obs/*`) — the scrape+encode
+//!   cost on a loaded store, and the commit path with vs without
+//!   concurrent scrapers: the measured twin of the lint-verified
+//!   wait-free scrape path (scraping must not tax the clients);
 //! * the compaction/recovery scenario — fresh-handle replay with and
 //!   without a checkpoint (the O(delta) vs O(history) win), snapshot
 //!   save (seal + write) and crash recovery from disk.
@@ -300,6 +304,67 @@ fn stats_snapshot_under_load(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR-7 observability series: what the wait-free scrape path costs —
+/// to the scraper (`scrape-encode`: one full registry read plus the
+/// Prometheus text encoding, on a loaded store that has been through a
+/// reconfig so every series is populated) and, crucially, to the clients
+/// being watched (`commit-no-scrape` vs `commit-under-scrape`: the same
+/// uniform commit storm, the latter with dashboard pollers hammering
+/// [`Store::scrape`] the whole time). The pair rides the `bench_trend`
+/// gate together: a scrape path that started taking locks or queueing
+/// behind the commit path would surface as an under-scrape regression,
+/// complementing the `apc-lint` static proof with a measured one.
+///
+/// [`Store::scrape`]: apc_store::Store::scrape
+fn observability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/obs");
+    g.sample_size(50);
+
+    // Load + reconfigure once so the scrape carries every series: both
+    // tiers' commit histograms, per-shard gauges, and reconfig events.
+    let store = build_store(4);
+    let mut loader = store.client(store.admit_guest());
+    for i in 0..256 {
+        loader.put(&format!("key/{i:04}"), i);
+    }
+    store.split_shard(0).expect("shard 0 exists");
+    g.bench_function("scrape-encode", |b| {
+        b.iter(|| {
+            let text = apc_store::encode_prometheus(&store.scrape());
+            assert!(text.contains("store_commits_total"), "scrape must carry the registry");
+            criterion::black_box(text);
+        })
+    });
+
+    g.throughput(Throughput::Elements((CLIENTS * OPS_PER_CLIENT) as u64));
+    for (name, scrapers) in [("commit-no-scrape", 0usize), ("commit-under-scrape", 2)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || setup_scenario(Scenario::Uniform, 4),
+                |(store, tickets)| {
+                    let stop = std::sync::atomic::AtomicBool::new(false);
+                    std::thread::scope(|s| {
+                        for _ in 0..scrapers {
+                            s.spawn(|| {
+                                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                                    criterion::black_box(apc_store::encode_prometheus(
+                                        &store.scrape(),
+                                    ));
+                                    std::thread::yield_now();
+                                }
+                            });
+                        }
+                        run_scenario(Scenario::Uniform, &store, &tickets);
+                        stop.store(true, std::sync::atomic::Ordering::Release);
+                    });
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 /// The compaction/recovery scenario: what a checkpoint buys a late-joining
 /// replica, and what durability costs end to end.
 fn recovery(c: &mut Criterion) {
@@ -374,6 +439,7 @@ criterion_group!(
     elastic,
     batching,
     stats_snapshot_under_load,
+    observability,
     recovery
 );
 criterion_main!(benches);

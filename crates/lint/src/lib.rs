@@ -31,7 +31,7 @@ pub mod rules;
 use std::path::{Path, PathBuf};
 
 use graph::Workspace;
-use report::Report;
+use report::{CrateCoverage, Report};
 
 /// Source roots scanned relative to the workspace root.
 const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tools", "shims"];
@@ -90,9 +90,40 @@ pub fn analyze_files(root: &Path, files: &[PathBuf]) -> std::io::Result<(Workspa
         files_scanned: ws.files.len(),
         fns_total: ws.files.iter().map(|f| f.fns.len()).sum(),
         fns_annotated: ws.files.iter().flat_map(|f| &f.fns).filter(|f| f.class.is_some()).count(),
+        coverage: coverage_by_crate(&ws),
     };
     report.finish();
     Ok((ws, report))
+}
+
+/// Aggregates `annotated/total` function counts per crate — the
+/// observability twin of the `--deny` gate: coverage is *surfaced* (in the
+/// text report, the JSON artifact, and the CI step summary) so annotation
+/// erosion is visible long before it becomes a reachability finding.
+fn coverage_by_crate(ws: &Workspace) -> Vec<CrateCoverage> {
+    let mut by_crate: std::collections::BTreeMap<String, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for file in &ws.files {
+        let entry = by_crate.entry(crate_of(&file.path)).or_default();
+        entry.0 += file.fns.len();
+        entry.1 += file.fns.iter().filter(|f| f.class.is_some()).count();
+    }
+    by_crate
+        .into_iter()
+        .map(|(name, (fns_total, fns_annotated))| CrateCoverage { name, fns_total, fns_annotated })
+        .collect()
+}
+
+/// The crate component of a repo-relative path: `crates/<name>` and
+/// `shims/<name>` keep their second component, anything else (`src`,
+/// `tools`, a fixture file handed in directly) is grouped by its first.
+fn crate_of(rel: &Path) -> String {
+    let mut comps = rel.components().filter_map(|c| c.as_os_str().to_str());
+    match (comps.next(), comps.next()) {
+        (Some(top @ ("crates" | "shims")), Some(name)) => format!("{top}/{name}"),
+        (Some(top), _) => top.to_string(),
+        (None, _) => String::from("(unknown)"),
+    }
 }
 
 #[cfg(test)]

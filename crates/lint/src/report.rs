@@ -19,6 +19,18 @@ pub struct Finding {
     pub path: Vec<String>,
 }
 
+/// `#[progress(..)]` annotation coverage for one crate (one top-level
+/// source component: `crates/<name>`, `shims/<name>`, `src`, `tools`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrateCoverage {
+    /// Crate path relative to the workspace root, e.g. `crates/store`.
+    pub name: String,
+    /// Total functions extracted from the crate.
+    pub fns_total: usize,
+    /// Functions carrying a `#[progress(..)]` class.
+    pub fns_annotated: usize,
+}
+
 /// The analyzer's aggregate output.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -30,6 +42,8 @@ pub struct Report {
     pub fns_total: usize,
     /// Functions carrying a `#[progress(..)]` class.
     pub fns_annotated: usize,
+    /// Per-crate annotation coverage, sorted by crate name.
+    pub coverage: Vec<CrateCoverage>,
 }
 
 impl Report {
@@ -57,6 +71,12 @@ impl Report {
                 let _ = writeln!(out, "    {}{}", "  ".repeat(i), hop);
             }
         }
+        if !self.coverage.is_empty() {
+            let _ = writeln!(out, "annotation coverage (annotated/total fns):");
+            for c in &self.coverage {
+                let _ = writeln!(out, "  {}: {}/{}", c.name, c.fns_annotated, c.fns_total);
+            }
+        }
         let _ = writeln!(
             out,
             "apc-lint: {} finding(s) across {} file(s); {} fn(s), {} annotated",
@@ -68,13 +88,31 @@ impl Report {
         out
     }
 
-    /// Renders the machine-readable report (`apc-lint/1` schema).
+    /// Renders the machine-readable report (`apc-lint/2` schema; v2 added
+    /// the per-crate `coverage` block).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": \"apc-lint/1\",");
+        let _ = writeln!(out, "  \"schema\": \"apc-lint/2\",");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"fns_total\": {},", self.fns_total);
         let _ = writeln!(out, "  \"fns_annotated\": {},", self.fns_annotated);
+        out.push_str("  \"coverage\": [");
+        for (i, c) in self.coverage.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"crate\": {}, \"fns_total\": {}, \"fns_annotated\": {}}}",
+                json_str(&c.name),
+                c.fns_total,
+                c.fns_annotated,
+            );
+        }
+        if !self.coverage.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
         let _ = writeln!(out, "  \"finding_count\": {},", self.findings.len());
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
@@ -148,15 +186,40 @@ mod tests {
             files_scanned: 1,
             fns_total: 2,
             fns_annotated: 1,
+            coverage: vec![],
         };
         r.finish();
         let j = r.render_json();
-        assert!(j.contains("\"schema\": \"apc-lint/1\""));
+        assert!(j.contains("\"schema\": \"apc-lint/2\""));
         assert!(j.contains("\\\"b\\\""));
         assert!(j.contains("bad\\nthing"));
         assert!(j.contains("\"path\": [\"X::f\", \"lock @ a.rs:3\"]"));
         assert_eq!(r.exit_code(true), 1);
         assert_eq!(r.exit_code(false), 0);
+    }
+
+    #[test]
+    fn coverage_block_renders_in_text_and_json() {
+        let r = Report {
+            findings: vec![],
+            files_scanned: 3,
+            fns_total: 10,
+            fns_annotated: 4,
+            coverage: vec![
+                CrateCoverage { name: "crates/obs".into(), fns_total: 6, fns_annotated: 4 },
+                CrateCoverage { name: "tools".into(), fns_total: 4, fns_annotated: 0 },
+            ],
+        };
+        let t = r.render_text();
+        assert!(t.contains("annotation coverage (annotated/total fns):"), "{t}");
+        assert!(t.contains("  crates/obs: 4/6"), "{t}");
+        assert!(t.contains("  tools: 0/4"), "{t}");
+        let j = r.render_json();
+        assert!(
+            j.contains("{\"crate\": \"crates/obs\", \"fns_total\": 6, \"fns_annotated\": 4}"),
+            "{j}"
+        );
+        assert!(j.contains("\"coverage\": ["), "{j}");
     }
 
     #[test]

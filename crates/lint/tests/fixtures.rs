@@ -59,6 +59,36 @@ fn reconfig_finding_names_the_sink() {
     assert!(f.message.contains("split_locked"), "message: {}", f.message);
 }
 
+/// Pins the PR-7 observability contract mechanically: a scrape annotated
+/// wait-free that reaches a blocking primitive (here, the engine mutex one
+/// hop down) MUST fail the lint — so the real `Store::scrape` can only
+/// stay green by actually staying off every lock and consensus path.
+#[test]
+fn blocking_scrape_fails_the_progress_rule() {
+    let (root, files) = fixture("blocking_scrape.rs");
+    let (_ws, report) = analyze_files(&root, &files).unwrap();
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        ["progress"],
+        "exactly the blocking-scrape finding:\n{}",
+        report.render_text()
+    );
+    let f = &report.findings[0];
+    assert!(f.message.contains("scrape"), "names the scrape entry point: {}", f.message);
+    assert!(
+        f.path.first().is_some_and(|hop| hop.contains("scrape")),
+        "chain starts at the scrape: {:?}",
+        f.path,
+    );
+    assert!(
+        f.path.last().is_some_and(|hop| hop.contains("lock")),
+        "chain ends at the blocking primitive: {:?}",
+        f.path,
+    );
+    assert_eq!(report.exit_code(true), 1, "--deny rejects a blocking scrape");
+}
+
 #[test]
 fn known_good_is_clean() {
     let (root, files) = fixture("known_good.rs");
@@ -86,4 +116,19 @@ fn live_workspace_is_clean() {
         "progress-annotation coverage regressed: only {} annotated fns",
         report.fns_annotated,
     );
+    // The coverage block must break the workspace down by crate, and the
+    // observability crate's record/read surface must stay fully swept.
+    let obs = report
+        .coverage
+        .iter()
+        .find(|c| c.name == "crates/obs")
+        .expect("coverage reports crates/obs");
+    assert!(
+        obs.fns_annotated >= 8,
+        "apc-obs scrape/record annotations regressed: {}/{}",
+        obs.fns_annotated,
+        obs.fns_total,
+    );
+    let total: usize = report.coverage.iter().map(|c| c.fns_total).sum();
+    assert_eq!(total, report.fns_total, "coverage partitions every scanned fn");
 }

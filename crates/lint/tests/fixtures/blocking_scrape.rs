@@ -1,0 +1,29 @@
+//! Fixture: an intentionally **blocking scrape path** — the observability
+//! anti-pattern PR 7's metrics layer is designed (and lint-gated) to
+//! exclude. A `#[progress(wait_free)]` scrape reaches a mutex lock one
+//! call hop down: a dashboard poller on this path would queue behind the
+//! engine lock and steal progress from the clients it is watching.
+//!
+//! Never compiled — consumed by `tests/fixtures.rs` through
+//! [`apc_lint::analyze_files`]. Expected findings: exactly one `progress`
+//! violation (`scrape → read_engine → lock`).
+
+use std::sync::Mutex;
+
+pub struct BadObservability {
+    engine: Mutex<u64>,
+}
+
+impl BadObservability {
+    #[apc_progress_macros::progress(wait_free)]
+    pub fn scrape(&self) -> u64 {
+        self.read_engine()
+    }
+
+    fn read_engine(&self) -> u64 {
+        match self.engine.lock() {
+            Ok(v) => *v,
+            Err(_) => 0,
+        }
+    }
+}

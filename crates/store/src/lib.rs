@@ -86,6 +86,7 @@
 
 pub mod admission;
 pub mod elastic;
+pub mod metrics;
 pub mod model;
 pub mod ops;
 pub mod persist;
@@ -94,6 +95,10 @@ pub mod store;
 pub mod workload;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
+pub use apc_obs::{
+    encode_prometheus, Counter, FixedHistogram, Gauge, HistogramSnapshot, MetricsSnapshot, Sample,
+    SampleValue,
+};
 pub use elastic::{ElasticDecision, ElasticEngine, ElasticReport, ElasticityPolicy};
 pub use ops::{
     apply_op, AdoptSpec, Batch, Key, MergeSpec, ShardCmd, ShardSpec, ShardState, SplitSpec,

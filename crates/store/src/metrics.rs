@@ -1,0 +1,443 @@
+//! Store-side metric registry: the wait-free record half of the
+//! observability layer.
+//!
+//! [`StoreMetrics`] is an always-on field of [`Store`](crate::Store),
+//! fed exclusively from paths that are already wait-free (or bounded
+//! wait-free) for their tier: commit bookkeeping rides
+//! `commit_vip`/`commit_guest`, reconfiguration events ride the admin-side
+//! split/merge drivers, and elastic decisions ride the guest-tier tick.
+//! Every record method is a bounded number of the caller's own atomic
+//! steps ([`apc_obs`] primitives only), so instrumentation never weakens a
+//! path's progress class — `apc-lint --deny` proves it.
+//!
+//! The read half is [`Store::scrape`](crate::Store::scrape), which folds
+//! these instruments together with the wait-free per-shard digest
+//! snapshots into one [`MetricsSnapshot`]. See `METRICS.md` at the repo
+//! root for the full series catalogue.
+
+use apc_obs::{Counter, FixedHistogram, Gauge, Sample, SampleValue};
+use apc_progress_macros::progress;
+
+use crate::admission::ProgressClass;
+use crate::elastic::ElasticDecision;
+
+/// Commit→apply latency bucket bounds, in nanoseconds: 1µs…64ms in
+/// powers of four, sized for an in-memory consensus append (µs-scale) with
+/// headroom for scheduler preemption outliers.
+const COMMIT_LATENCY_NS_BOUNDS: [u64; 9] =
+    [1_000, 4_000, 16_000, 64_000, 256_000, 1_000_000, 4_000_000, 16_000_000, 64_000_000];
+
+/// Batch-size bucket bounds (operations per committed sub-batch).
+const BATCH_OPS_BOUNDS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Converts an [`std::time::Instant`] origin into elapsed nanoseconds,
+/// saturating at `u64::MAX` (585 years of latency is off the chart
+/// anyway).
+pub(crate) fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The per-tier commit instruments: VIP and guest are separate series
+/// end-to-end, mirroring the paper's asymmetric per-tier guarantees.
+struct TierMetrics {
+    /// Committed sub-batches (one universal-log append each).
+    commits: Counter,
+    /// Operations bounced [`StoreResp::Moved`](crate::ops::StoreResp) by a
+    /// reconfiguration epoch check (re-planned by the client, never lost).
+    moved_ops: Counter,
+    /// Operations per committed sub-batch.
+    batch_ops: FixedHistogram,
+    /// Wall-clock latency of one commit (plan hand-off to responses).
+    latency_ns: FixedHistogram,
+}
+
+impl TierMetrics {
+    fn new() -> Self {
+        TierMetrics {
+            commits: Counter::new(),
+            moved_ops: Counter::new(),
+            batch_ops: FixedHistogram::new(&BATCH_OPS_BOUNDS),
+            latency_ns: FixedHistogram::new(&COMMIT_LATENCY_NS_BOUNDS),
+        }
+    }
+
+    /// Records one committed sub-batch: three bounded instrument updates.
+    #[progress(wait_free)]
+    fn record(&self, ops: u64, latency_ns: u64, moved_ops: u64) {
+        self.commits.inc();
+        self.batch_ops.observe(ops);
+        self.latency_ns.observe(latency_ns);
+        if moved_ops > 0 {
+            self.moved_ops.add(moved_ops);
+        }
+    }
+
+    /// Appends this tier's samples, labelled `tier`.
+    #[progress(wait_free)]
+    fn append_samples(&self, out: &mut Vec<Sample>, tier: &'static str) {
+        let label = || vec![("tier", String::from(tier))];
+        out.push(Sample {
+            name: "store_commits_total",
+            help: "Committed sub-batches (one universal-log append each).",
+            labels: label(),
+            value: SampleValue::Counter(self.commits.get()),
+        });
+        out.push(Sample {
+            name: "store_moved_ops_total",
+            help: "Operations bounced Moved by a reconfiguration epoch check.",
+            labels: label(),
+            value: SampleValue::Counter(self.moved_ops.get()),
+        });
+        out.push(Sample {
+            name: "store_commit_ops",
+            help: "Operations per committed sub-batch.",
+            labels: label(),
+            value: SampleValue::Histogram(self.batch_ops.snapshot()),
+        });
+        out.push(Sample {
+            name: "store_commit_latency_ns",
+            help: "Commit latency in nanoseconds (plan hand-off to responses).",
+            labels: label(),
+            value: SampleValue::Histogram(self.latency_ns.snapshot()),
+        });
+    }
+}
+
+/// The store's metric registry. All record methods are wait-free; the
+/// caller's progress class is never weakened by instrumentation.
+pub(crate) struct StoreMetrics {
+    vip: TierMetrics,
+    guest: TierMetrics,
+    /// Applied splits / merges / adoptions (an adoption is the parent-side
+    /// half of every merge).
+    splits: Counter,
+    merges: Counter,
+    adopts: Counter,
+    /// Topology version installed by the most recent reconfiguration.
+    reconfig_last_version: Gauge,
+    /// Elastic-engine decisions by kind, and how many were applied.
+    elastic_split_decisions: Counter,
+    elastic_merge_decisions: Counter,
+    elastic_hold_decisions: Counter,
+    elastic_applied_splits: Counter,
+    elastic_applied_merges: Counter,
+    /// Checkpoint seals triggered by the auto-checkpoint cadence.
+    auto_checkpoints: Counter,
+    /// Log cells replayed while booting this store (≈0 unless recovering
+    /// ahead of a checkpoint anchor; set once at build time).
+    recovery_replay_steps: Gauge,
+}
+
+impl StoreMetrics {
+    pub(crate) fn new() -> Self {
+        StoreMetrics {
+            vip: TierMetrics::new(),
+            guest: TierMetrics::new(),
+            splits: Counter::new(),
+            merges: Counter::new(),
+            adopts: Counter::new(),
+            reconfig_last_version: Gauge::new(),
+            elastic_split_decisions: Counter::new(),
+            elastic_merge_decisions: Counter::new(),
+            elastic_hold_decisions: Counter::new(),
+            elastic_applied_splits: Counter::new(),
+            elastic_applied_merges: Counter::new(),
+            auto_checkpoints: Counter::new(),
+            recovery_replay_steps: Gauge::new(),
+        }
+    }
+
+    /// Records one committed sub-batch on `tier`'s series.
+    #[progress(wait_free)]
+    pub(crate) fn record_commit(
+        &self,
+        tier: ProgressClass,
+        ops: u64,
+        latency_ns: u64,
+        moved_ops: u64,
+    ) {
+        match tier {
+            ProgressClass::Vip => self.vip.record(ops, latency_ns, moved_ops),
+            ProgressClass::Guest => self.guest.record(ops, latency_ns, moved_ops),
+        }
+    }
+
+    /// Records an applied split installing topology `version`.
+    #[progress(wait_free)]
+    pub(crate) fn record_split(&self, version: u64) {
+        self.splits.inc();
+        self.reconfig_last_version.set(version);
+    }
+
+    /// Records an applied merge retirement installing topology `version`.
+    #[progress(wait_free)]
+    pub(crate) fn record_merge(&self, version: u64) {
+        self.merges.inc();
+        self.reconfig_last_version.set(version);
+    }
+
+    /// Records the parent-side adoption half of a merge.
+    #[progress(wait_free)]
+    pub(crate) fn record_adopt(&self) {
+        self.adopts.inc();
+    }
+
+    /// Records one elastic-engine evaluation outcome.
+    #[progress(wait_free)]
+    pub(crate) fn record_elastic(&self, decision: ElasticDecision, applied: bool) {
+        match decision {
+            ElasticDecision::Split(_) => {
+                self.elastic_split_decisions.inc();
+                if applied {
+                    self.elastic_applied_splits.inc();
+                }
+            }
+            ElasticDecision::Merge(_) => {
+                self.elastic_merge_decisions.inc();
+                if applied {
+                    self.elastic_applied_merges.inc();
+                }
+            }
+            ElasticDecision::Hold => self.elastic_hold_decisions.inc(),
+        }
+    }
+
+    /// Records one cadence-triggered checkpoint seal.
+    #[progress(wait_free)]
+    pub(crate) fn record_auto_checkpoint(&self) {
+        self.auto_checkpoints.inc();
+    }
+
+    /// Sets the boot-time replay-work gauge (once, at build).
+    #[progress(wait_free)]
+    pub(crate) fn set_recovery_replay_steps(&self, steps: u64) {
+        self.recovery_replay_steps.set(steps);
+    }
+
+    /// The registry's samples (tier series first, then event counters).
+    ///
+    /// Counter reads go through the instrument fields directly (never
+    /// through borrowed locals) so the call graph stays statically
+    /// resolvable for `apc-lint`'s reachability rule.
+    #[progress(wait_free)]
+    pub(crate) fn samples(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        self.vip.append_samples(&mut out, "vip");
+        self.guest.append_samples(&mut out, "guest");
+        let reconfigs = [
+            ("split", self.splits.get()),
+            ("merge", self.merges.get()),
+            ("adopt", self.adopts.get()),
+        ];
+        for (kind, count) in reconfigs {
+            out.push(Sample {
+                name: "store_reconfigs_total",
+                help: "Applied reconfiguration events by kind.",
+                labels: vec![("kind", String::from(kind))],
+                value: SampleValue::Counter(count),
+            });
+        }
+        out.push(Sample {
+            name: "store_reconfig_last_version",
+            help: "Topology version installed by the most recent reconfiguration.",
+            labels: Vec::new(),
+            value: SampleValue::Gauge(self.reconfig_last_version.get()),
+        });
+        let decisions = [
+            ("split", self.elastic_split_decisions.get()),
+            ("merge", self.elastic_merge_decisions.get()),
+            ("hold", self.elastic_hold_decisions.get()),
+        ];
+        for (decision, count) in decisions {
+            out.push(Sample {
+                name: "store_elastic_decisions_total",
+                help: "Elastic-engine policy decisions by kind.",
+                labels: vec![("decision", String::from(decision))],
+                value: SampleValue::Counter(count),
+            });
+        }
+        let applied = [
+            ("split", self.elastic_applied_splits.get()),
+            ("merge", self.elastic_applied_merges.get()),
+        ];
+        for (decision, count) in applied {
+            out.push(Sample {
+                name: "store_elastic_applied_total",
+                help: "Elastic-engine decisions that were applied to the topology.",
+                labels: vec![("decision", String::from(decision))],
+                value: SampleValue::Counter(count),
+            });
+        }
+        out.push(Sample {
+            name: "store_auto_checkpoints_total",
+            help: "Checkpoint seals triggered by the auto-checkpoint cadence.",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.auto_checkpoints.get()),
+        });
+        out.push(Sample {
+            name: "store_recovery_replay_steps",
+            help: "Log cells replayed while booting this store (set at build).",
+            labels: Vec::new(),
+            value: SampleValue::Gauge(self.recovery_replay_steps.get()),
+        });
+        out
+    }
+}
+
+/// Flush-latency bucket bounds, in nanoseconds: 0.1ms…1s — fsync-bound
+/// cycles live in the millisecond range.
+const FLUSH_LATENCY_NS_BOUNDS: [u64; 7] =
+    [100_000, 1_000_000, 4_000_000, 16_000_000, 64_000_000, 256_000_000, 1_000_000_000];
+
+/// The [`Persister`](crate::persist::Persister)'s instruments. Recorded
+/// from the (blocking) flush path, but kept in atomics **outside** the
+/// flush-state mutex so [`PersistMetrics::samples`] — and through it
+/// `Persister::scrape` — stays wait-free: a dashboard never queues behind
+/// an in-flight fsync.
+#[derive(Debug)]
+pub(crate) struct PersistMetrics {
+    /// Physical seal-and-write cycles.
+    flushes: Counter,
+    /// Cycles whose write failed (the atomic rename keeps earlier
+    /// successful snapshots intact).
+    failures: Counter,
+    /// Durability requests satisfied by another caller's cycle — the
+    /// group-commit win.
+    coalesced: Counter,
+    /// Wall-clock latency of one seal-and-write cycle.
+    flush_latency_ns: FixedHistogram,
+}
+
+impl PersistMetrics {
+    pub(crate) fn new() -> Self {
+        PersistMetrics {
+            flushes: Counter::new(),
+            failures: Counter::new(),
+            coalesced: Counter::new(),
+            flush_latency_ns: FixedHistogram::new(&FLUSH_LATENCY_NS_BOUNDS),
+        }
+    }
+
+    /// Records one physical flush cycle and its outcome.
+    #[progress(wait_free)]
+    pub(crate) fn record_flush(&self, latency_ns: u64, ok: bool) {
+        self.flushes.inc();
+        self.flush_latency_ns.observe(latency_ns);
+        if !ok {
+            self.failures.inc();
+        }
+    }
+
+    /// Records a request covered by another caller's flush cycle.
+    #[progress(wait_free)]
+    pub(crate) fn record_coalesced(&self) {
+        self.coalesced.inc();
+    }
+
+    /// The persister's samples.
+    #[progress(wait_free)]
+    pub(crate) fn samples(&self) -> Vec<Sample> {
+        vec![
+            Sample {
+                name: "store_persist_flushes_total",
+                help: "Physical snapshot seal-and-write cycles.",
+                labels: Vec::new(),
+                value: SampleValue::Counter(self.flushes.get()),
+            },
+            Sample {
+                name: "store_persist_flush_failures_total",
+                help: "Flush cycles whose snapshot write failed.",
+                labels: Vec::new(),
+                value: SampleValue::Counter(self.failures.get()),
+            },
+            Sample {
+                name: "store_persist_coalesced_total",
+                help: "Durability requests satisfied by another caller's flush (group commit).",
+                labels: Vec::new(),
+                value: SampleValue::Counter(self.coalesced.get()),
+            },
+            Sample {
+                name: "store_persist_flush_latency_ns",
+                help: "Wall-clock latency of one seal-and-write cycle, in nanoseconds.",
+                labels: Vec::new(),
+                value: SampleValue::Histogram(self.flush_latency_ns.snapshot()),
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use apc_obs::MetricsSnapshot;
+
+    use super::*;
+
+    fn snap(m: &StoreMetrics) -> MetricsSnapshot {
+        MetricsSnapshot { samples: m.samples() }
+    }
+
+    #[test]
+    fn tiers_are_separate_series() {
+        let m = StoreMetrics::new();
+        m.record_commit(ProgressClass::Vip, 4, 1_500, 0);
+        m.record_commit(ProgressClass::Vip, 2, 900, 1);
+        m.record_commit(ProgressClass::Guest, 8, 70_000, 0);
+        let s = snap(&m);
+        assert_eq!(s.value("store_commits_total", &[("tier", "vip")]), Some(2));
+        assert_eq!(s.value("store_commits_total", &[("tier", "guest")]), Some(1));
+        assert_eq!(s.value("store_moved_ops_total", &[("tier", "vip")]), Some(1));
+        assert_eq!(s.value("store_moved_ops_total", &[("tier", "guest")]), Some(0));
+        let vip_lat = s.histogram("store_commit_latency_ns", &[("tier", "vip")]).unwrap();
+        assert_eq!(vip_lat.count, 2);
+        let guest_ops = s.histogram("store_commit_ops", &[("tier", "guest")]).unwrap();
+        assert_eq!(guest_ops.sum, 8);
+    }
+
+    #[test]
+    fn reconfig_and_elastic_events_accumulate() {
+        let m = StoreMetrics::new();
+        m.record_split(3);
+        m.record_merge(4);
+        m.record_adopt();
+        m.record_elastic(ElasticDecision::Split(0), true);
+        m.record_elastic(ElasticDecision::Split(0), false);
+        m.record_elastic(ElasticDecision::Merge(1), true);
+        m.record_elastic(ElasticDecision::Hold, false);
+        m.record_auto_checkpoint();
+        m.set_recovery_replay_steps(17);
+        let s = snap(&m);
+        assert_eq!(s.value("store_reconfigs_total", &[("kind", "split")]), Some(1));
+        assert_eq!(s.value("store_reconfigs_total", &[("kind", "merge")]), Some(1));
+        assert_eq!(s.value("store_reconfigs_total", &[("kind", "adopt")]), Some(1));
+        assert_eq!(s.value("store_reconfig_last_version", &[]), Some(4));
+        assert_eq!(s.value("store_elastic_decisions_total", &[("decision", "split")]), Some(2));
+        assert_eq!(s.value("store_elastic_applied_total", &[("decision", "split")]), Some(1));
+        assert_eq!(s.value("store_elastic_decisions_total", &[("decision", "hold")]), Some(1));
+        assert_eq!(s.value("store_auto_checkpoints_total", &[]), Some(1));
+        assert_eq!(s.value("store_recovery_replay_steps", &[]), Some(17));
+    }
+
+    #[test]
+    fn persist_metrics_track_cycles_and_coalescing() {
+        let m = PersistMetrics::new();
+        m.record_flush(2_000_000, true);
+        m.record_flush(300_000_000, false);
+        m.record_coalesced();
+        m.record_coalesced();
+        let s = MetricsSnapshot { samples: m.samples() };
+        assert_eq!(s.value("store_persist_flushes_total", &[]), Some(2));
+        assert_eq!(s.value("store_persist_flush_failures_total", &[]), Some(1));
+        assert_eq!(s.value("store_persist_coalesced_total", &[]), Some(2));
+        let lat = s.histogram("store_persist_flush_latency_ns", &[]).unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 302_000_000);
+    }
+
+    #[test]
+    fn elapsed_ns_is_monotone_and_total() {
+        let t0 = std::time::Instant::now();
+        let a = elapsed_ns(t0);
+        let b = elapsed_ns(t0);
+        assert!(b >= a);
+    }
+}

@@ -61,9 +61,11 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex};
 
+use apc_obs::MetricsSnapshot;
 use apc_progress_macros::progress;
 
 use crate::admission::AdmissionError;
+use crate::metrics::{elapsed_ns, PersistMetrics};
 use crate::ops::ShardState;
 use crate::router::{fnv1a64, ShardTopology, TopoRecord, TopologyError};
 use crate::store::Store;
@@ -444,6 +446,9 @@ pub struct Persister {
     path: PathBuf,
     state: Mutex<FlushState>,
     arrived: Condvar,
+    /// Flush instruments — atomics outside the state mutex, so scraping
+    /// never queues behind an in-flight fsync.
+    metrics: PersistMetrics,
 }
 
 #[derive(Debug, Default)]
@@ -489,7 +494,19 @@ impl Persister {
             path: path.into(),
             state: Mutex::new(FlushState::default()),
             arrived: Condvar::new(),
+            metrics: PersistMetrics::new(),
         }
+    }
+
+    /// A wait-free scrape of the persister's metric series (flush cycles,
+    /// failures, coalesced requests, flush latency), ready to
+    /// [`merge`](MetricsSnapshot::merge) into a
+    /// [`Store::scrape`](crate::Store::scrape) snapshot. Reads atomics
+    /// only — never the flush-state mutex — so a dashboard poller cannot
+    /// queue behind an in-flight fsync.
+    #[progress(wait_free)]
+    pub fn scrape(&self) -> MetricsSnapshot {
+        MetricsSnapshot { samples: self.metrics.samples() }
     }
 
     /// The snapshot path.
@@ -525,8 +542,14 @@ impl Persister {
         let mut st = self.state.lock().expect("persister state poisoned");
         st.requested += 1;
         let my_gen = st.requested;
+        // Whether this caller performed a physical cycle itself; a request
+        // covered without ever leading was coalesced into someone else's.
+        let mut led = false;
         loop {
             if st.completed >= my_gen {
+                if !led {
+                    self.metrics.record_coalesced();
+                }
                 return if st.completed_ok >= my_gen {
                     Ok(st.flushes)
                 } else {
@@ -542,8 +565,11 @@ impl Persister {
                 let target = st.requested;
                 drop(st);
                 let guard = LeaderGuard(self);
+                let start = std::time::Instant::now();
                 let outcome = store.checkpoint().write_to(&self.path);
                 std::mem::forget(guard); // normal path: finalize below
+                self.metrics.record_flush(elapsed_ns(start), outcome.is_ok());
+                led = true;
                 st = self.state.lock().expect("persister state poisoned");
                 st.flushing = false;
                 st.completed = target;

@@ -59,8 +59,11 @@ use apc_registers::snapshot::SwmrSnapshot;
 use apc_registers::AtomicCell;
 use apc_universal::{AsymmetricFactory, OwnedHandle, Universal};
 
+use apc_obs::{MetricsSnapshot, Sample, SampleValue};
+
 use crate::admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
 use crate::elastic::{ElasticDecision, ElasticEngine, ElasticReport, ElasticityPolicy};
+use crate::metrics::{elapsed_ns, StoreMetrics};
 use crate::ops::{
     AdoptSpec, Batch, MergeSpec, ShardCmd, ShardState, SplitSpec, StoreOp, StoreResp,
 };
@@ -313,7 +316,7 @@ impl StoreBuilder {
                 Arc::new(Shard::build(shard_spec, spec, ports, resume))
             })
             .collect();
-        Ok(Store {
+        let store = Store {
             admission,
             view: AtomicCell::with_value(Arc::new(StoreView { topology, shards })),
             admin: Mutex::new(()),
@@ -323,7 +326,13 @@ impl StoreBuilder {
                 engine: Mutex::new(ElasticEngine::new(policy)),
             }),
             total_commits: AtomicU64::new(0),
-        })
+            metrics: StoreMetrics::new(),
+        };
+        // The boot-time replay-work gauge: ~0 for a fresh build, O(delta)
+        // past the anchors when recovering. Uncontended here — the store
+        // has not been shared yet.
+        store.metrics.set_recovery_replay_steps(store.replay_steps());
+        Ok(store)
     }
 }
 
@@ -387,6 +396,9 @@ pub struct Store {
     /// Commits across all shards since build — the elasticity cadence
     /// clock.
     total_commits: AtomicU64,
+    /// The always-on metric registry; every record path is wait-free, so
+    /// instrumentation never weakens a commit path's progress class.
+    metrics: StoreMetrics,
 }
 
 impl Store {
@@ -505,16 +517,96 @@ impl Store {
     /// shard under a skewed workload, read wait-free from the stats
     /// snapshots (tombstones stop taking real traffic, so they are
     /// excluded no matter what their historical digests say).
+    ///
+    /// **Determinism:** ties — including the all-zero digests of an idle
+    /// or freshly built store — resolve to the **lowest** live shard id.
+    /// Root shards never retire, so the lowest live id always exists and
+    /// the answer is stable across repeated calls on a quiescent store
+    /// (it does not depend on iterator or `max_by` tie-breaking order).
     #[progress(wait_free)]
     pub fn hottest_shard(&self) -> usize {
         let view = self.current_view();
-        self.snapshot_stats()
-            .into_iter()
-            .enumerate()
-            .filter(|&(s, _)| view.topology.is_live(s))
-            .max_by_key(|&(s, d)| (d.commits, s))
-            .map(|(s, _)| s)
-            .unwrap_or(0)
+        let mut hottest: Option<(usize, u64)> = None;
+        for (s, d) in self.snapshot_stats().into_iter().enumerate() {
+            if !view.topology.is_live(s) {
+                continue;
+            }
+            // Strict `>` keeps the lowest id among equally hot shards.
+            match hottest {
+                Some((_, best)) if d.commits <= best => {}
+                _ => hottest = Some((s, d.commits)),
+            }
+        }
+        match hottest {
+            Some((s, _)) => s,
+            None => 0,
+        }
+    }
+
+    /// A wait-free scrape of every exported metric series: the registry's
+    /// commit/reconfig/elastic instruments plus scrape-time topology
+    /// gauges and the per-shard digest series, ready for
+    /// [`encode_prometheus`](apc_obs::encode_prometheus).
+    ///
+    /// This is the dashboard entry point, and it keeps the VIP dashboard
+    /// contract of [`Store::snapshot_stats`]: the whole scrape is a
+    /// bounded number of the scraper's own steps — register snapshots and
+    /// atomic loads only, never a consensus-log append, a port lock, or
+    /// the elastic engine's mutex — so a monitoring poller can never
+    /// steal progress from VIP clients. `apc-lint --deny` enforces this
+    /// transitively.
+    #[progress(wait_free)]
+    pub fn scrape(&self) -> MetricsSnapshot {
+        let view = self.current_view();
+        let mut samples = self.metrics.samples();
+        let gauges: [(&'static str, &'static str, u64); 4] = [
+            (
+                "store_topology_version",
+                "Version of the currently published shard topology.",
+                view.topology.version(),
+            ),
+            (
+                "store_shards_total",
+                "Shard slots in the topology (live and retired tombstones).",
+                view.topology.shards() as u64,
+            ),
+            (
+                "store_shards_live",
+                "Live (routable) shards in the topology.",
+                view.topology.live_shards() as u64,
+            ),
+            (
+                "store_hottest_shard",
+                "Live shard with the most committed log cells (lowest id on ties).",
+                self.hottest_shard() as u64,
+            ),
+        ];
+        for (name, help, value) in gauges {
+            samples.push(Sample {
+                name,
+                help,
+                labels: Vec::new(),
+                value: SampleValue::Gauge(value),
+            });
+        }
+        for (s, d) in self.snapshot_stats().into_iter().enumerate() {
+            let labels = || {
+                vec![("shard", format!("{s}")), ("live", format!("{}", view.topology.is_live(s)))]
+            };
+            samples.push(Sample {
+                name: "store_shard_commits",
+                help: "Committed log cells per shard (freshest port digest).",
+                labels: labels(),
+                value: SampleValue::Gauge(d.commits),
+            });
+            samples.push(Sample {
+                name: "store_shard_entries",
+                help: "Live keys per shard (freshest port digest).",
+                labels: labels(),
+                value: SampleValue::Gauge(d.entries),
+            });
+        }
+        MetricsSnapshot { samples }
     }
 
     /// The running totals of the automatic elasticity driver, or `None`
@@ -601,6 +693,7 @@ impl Store {
         }
         let mut shards = view.shards.clone();
         shards.push(child_shard);
+        self.metrics.record_split(topology.version());
         self.view.store(Arc::new(StoreView { topology, shards }));
         Ok(child)
     }
@@ -688,6 +781,8 @@ impl Store {
                 "an adoption answers with its entry count"
             );
         }
+        self.metrics.record_merge(version);
+        self.metrics.record_adopt();
         self.view.store(Arc::new(StoreView { topology, shards: view.shards.clone() }));
         Ok(parent)
     }
@@ -762,8 +857,11 @@ impl Store {
     /// reconfiguration it could install — stays off this path.
     #[progress(bounded_wait_free)]
     fn commit_vip(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+        let ops = batch.ops.len() as u64;
+        let start = std::time::Instant::now();
         let resps = self.commit_on(shard, port, batch);
         self.note_commit();
+        self.metrics.record_commit(ProgressClass::Vip, ops, elapsed_ns(start), count_moved(&resps));
         resps
     }
 
@@ -773,7 +871,15 @@ impl Store {
     /// reconfiguration.
     #[progress(obstruction_free)]
     fn commit_guest(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+        let ops = batch.ops.len() as u64;
+        let start = std::time::Instant::now();
         let resps = self.commit_on(shard, port, batch);
+        self.metrics.record_commit(
+            ProgressClass::Guest,
+            ops,
+            elapsed_ns(start),
+            count_moved(&resps),
+        );
         // The committing handle is released before the tick: a reconfig
         // decided here locks other ports, and a commit must never hold two.
         self.elastic_tick(port);
@@ -795,6 +901,7 @@ impl Store {
                 let last = shard.ports.len() - 1;
                 if port == last {
                     handle.checkpoint();
+                    self.metrics.record_auto_checkpoint();
                 } else {
                     // Ride the guest tier without ever holding two port
                     // locks: if the seal port is busy, skip — a commit is
@@ -802,6 +909,7 @@ impl Store {
                     drop(handle);
                     if let Ok(mut sealer) = shard.ports[last].try_lock() {
                         sealer.checkpoint();
+                        self.metrics.record_auto_checkpoint();
                     }
                 }
             }
@@ -858,6 +966,7 @@ impl Store {
             ElasticDecision::Merge(shard) => self.merge_locked(shard).is_ok(),
             ElasticDecision::Hold => false,
         };
+        self.metrics.record_elastic(decision, applied);
         if applied {
             engine.note_reconfigured(decision, total);
         }
@@ -883,6 +992,11 @@ impl Store {
             .collect();
         reassembly.reassemble(per_shard)
     }
+}
+
+/// Operations in `resps` bounced by a reconfiguration epoch check.
+fn count_moved(resps: &[StoreResp]) -> u64 {
+    resps.iter().filter(|r| matches!(r, StoreResp::Moved { .. })).count() as u64
 }
 
 impl fmt::Debug for Store {
@@ -1150,6 +1264,109 @@ mod tests {
         let total_entries: u64 = after.iter().map(|d| d.entries).sum();
         assert_eq!(total_entries, 8, "digests cover every committed key");
         assert!(after.iter().any(|d| d.commits > 0));
+    }
+
+    #[test]
+    fn hottest_shard_on_all_zero_digests_is_the_lowest_live_id() {
+        // A fresh store has all-zero digests: the documented answer is the
+        // lowest live shard id (always 0 — roots never retire), stable
+        // across calls, not an accident of max_by tie-breaking order.
+        let store = small_store(3);
+        assert!(store.snapshot_stats().iter().all(|d| d.commits == 0));
+        assert_eq!(store.hottest_shard(), 0);
+        assert_eq!(store.hottest_shard(), 0, "idle answer is stable");
+    }
+
+    #[test]
+    fn hottest_shard_ties_resolve_to_the_lowest_id() {
+        // One commit per shard: every digest ties, so the lowest id wins.
+        let store = small_store(3);
+        let mut c = store.client(store.admit_vip().unwrap());
+        for shard in 0..3 {
+            let key = (0..).map(|i| format!("t{i}")).find(|k| store.shard_of(k) == shard).unwrap();
+            c.put(&key, 1);
+        }
+        let stats = store.snapshot_stats();
+        assert!(stats.iter().all(|d| d.commits == stats[0].commits), "tie precondition");
+        assert_eq!(store.hottest_shard(), 0);
+    }
+
+    #[test]
+    fn hottest_shard_skips_retired_shards_and_tracks_heat() {
+        let store = small_store(1);
+        let mut c = store.client(store.admit_guest());
+        for i in 0..8 {
+            c.put(&format!("k{i}"), i);
+        }
+        let child = store.split_shard(0).unwrap();
+        // Heat the child, then retire it: a tombstone's historical digests
+        // must never elect it.
+        let on_child = (0..).map(|i| format!("c{i}")).find(|k| store.shard_of(k) == child).unwrap();
+        for i in 0..16 {
+            c.put(&on_child, i);
+        }
+        assert_eq!(store.hottest_shard(), child);
+        store.merge_shard(child).unwrap();
+        assert_eq!(store.hottest_shard(), 0, "only live shards are eligible");
+    }
+
+    #[test]
+    fn scrape_exports_tier_topology_and_shard_series() {
+        let store = small_store(2);
+        let mut v = store.client(store.admit_vip().unwrap());
+        let mut g = store.client(store.admit_guest());
+        for i in 0..5 {
+            v.put(&format!("v{i}"), i);
+        }
+        for i in 0..3 {
+            g.put(&format!("g{i}"), i);
+        }
+        let snap = store.scrape();
+        let vip = snap.value("store_commits_total", &[("tier", "vip")]).unwrap();
+        let guest = snap.value("store_commits_total", &[("tier", "guest")]).unwrap();
+        assert_eq!(vip, 5, "one single-op batch per put, one commit each");
+        assert_eq!(guest, 3);
+        assert_eq!(snap.value("store_moved_ops_total", &[("tier", "vip")]), Some(0));
+        let lat = snap.histogram("store_commit_latency_ns", &[("tier", "vip")]).unwrap();
+        assert_eq!(lat.count, vip, "every commit is timed");
+        let ops = snap.histogram("store_commit_ops", &[("tier", "guest")]).unwrap();
+        assert_eq!(ops.sum, 3, "three single-op guest batches");
+        assert_eq!(snap.value("store_topology_version", &[]), Some(0));
+        assert_eq!(snap.value("store_shards_total", &[]), Some(2));
+        assert_eq!(snap.value("store_shards_live", &[]), Some(2));
+        let per_shard: u64 = (0..2)
+            .map(|s| {
+                let shard = format!("{s}");
+                snap.value("store_shard_entries", &[("shard", &shard)]).unwrap()
+            })
+            .sum();
+        assert_eq!(per_shard, 8, "per-shard entry gauges cover every key");
+        let text = apc_obs::encode_prometheus(&snap);
+        assert!(text.contains("store_commits_total{tier=\"vip\"} 5"));
+        assert!(text.contains("# TYPE store_commit_latency_ns histogram"));
+    }
+
+    #[test]
+    fn scrape_tracks_reconfig_events_and_tombstones() {
+        let store = small_store(1);
+        let mut c = store.client(store.admit_guest());
+        for i in 0..8 {
+            c.put(&format!("k{i}"), i);
+        }
+        let child = store.split_shard(0).unwrap();
+        let snap = store.scrape();
+        assert_eq!(snap.value("store_reconfigs_total", &[("kind", "split")]), Some(1));
+        assert_eq!(snap.value("store_reconfig_last_version", &[]), Some(1));
+        assert_eq!(snap.value("store_topology_version", &[]), Some(1));
+        store.merge_shard(child).unwrap();
+        let snap = store.scrape();
+        assert_eq!(snap.value("store_reconfigs_total", &[("kind", "merge")]), Some(1));
+        assert_eq!(snap.value("store_reconfigs_total", &[("kind", "adopt")]), Some(1));
+        assert_eq!(snap.value("store_reconfig_last_version", &[]), Some(2));
+        assert_eq!(snap.value("store_shards_total", &[]), Some(2));
+        assert_eq!(snap.value("store_shards_live", &[]), Some(1));
+        let tomb = snap.value("store_shard_commits", &[("shard", "1"), ("live", "false")]);
+        assert!(tomb.is_some(), "retired shards stay exported, labelled live=\"false\"");
     }
 
     #[test]

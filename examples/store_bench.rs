@@ -148,7 +148,131 @@ fn main() {
 
     hot_shard_split_scenario();
     elastic_scenario();
+    observability_scenario();
     recovery_scenario();
+}
+
+/// The **observability scenario**: a dashboard poller scrapes the store the
+/// whole time the load runs — legal precisely because [`Store::scrape`] is
+/// on the lint-verified wait-free path (atomics only, no lock, no consensus
+/// log) — then the final scrape is audited against ground truth: the tier
+/// counters must account for every issued commit, the latency histograms
+/// must have observed exactly the commits they label, and a live split must
+/// show up in the reconfig event series. The persister's own scrape is
+/// exercised under flush-request pile-up (coalescing), and a trimmed
+/// Prometheus exposition is printed — what `GET /metrics` would serve.
+///
+/// [`Store::scrape`]: asymmetric_progress::store::Store::scrape
+fn observability_scenario() {
+    use asymmetric_progress::store::encode_prometheus;
+    use asymmetric_progress::store::persist::Persister;
+    use std::sync::atomic::AtomicBool;
+
+    println!("\nobservability scenario: wait-free scrape under load");
+    let store: Store = StoreBuilder::new()
+        .shards(4)
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .build()
+        .expect("sizing is valid");
+    let vips = VIP_CAPACITY;
+    let guests = CLIENTS - VIP_CAPACITY;
+    let tickets: Vec<_> = (0..vips)
+        .map(|_| store.admit_vip().expect("capacity fits"))
+        .chain((0..guests).map(|_| store.admit_guest()))
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let scrapes = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let store = &store;
+        let stop = &stop;
+        let scrapes = &scrapes;
+        s.spawn(move || {
+            // The poller: a full registry read + text encoding per loop.
+            while !stop.load(Ordering::Acquire) {
+                let text = encode_prometheus(&store.scrape());
+                assert!(!text.is_empty());
+                scrapes.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+            }
+        });
+        let clients: Vec<_> = tickets
+            .iter()
+            .enumerate()
+            .map(|(i, ticket)| {
+                s.spawn(move || {
+                    let mut client = store.client(*ticket);
+                    for step in 0..OPS_PER_CLIENT {
+                        let _ = client.execute(vec![Scenario::Uniform.op(i, step, KEY_SPACE)]);
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        // Only now may the poller wind down — it scraped through the
+        // whole storm.
+        stop.store(true, Ordering::Release);
+    });
+    println!("  {} scrapes served concurrently with the load", scrapes.load(Ordering::Relaxed));
+
+    // Audit the final scrape against ground truth.
+    let snap = store.scrape();
+    let vip = snap.value("store_commits_total", &[("tier", "vip")]).expect("vip series");
+    let guest = snap.value("store_commits_total", &[("tier", "guest")]).expect("guest series");
+    assert_eq!(vip, (vips * OPS_PER_CLIENT) as u64, "every VIP commit accounted for");
+    assert_eq!(guest, (guests * OPS_PER_CLIENT) as u64, "every guest commit accounted for");
+    for (tier, commits) in [("vip", vip), ("guest", guest)] {
+        let h = snap
+            .histogram("store_commit_latency_ns", &[("tier", tier)])
+            .expect("latency histogram");
+        assert_eq!(h.count, commits, "{tier} latency histogram observed every commit");
+    }
+    println!("  tier counters: vip {vip} + guest {guest} commits, histograms agree");
+
+    let child = store.split_shard(store.hottest_shard()).expect("hot shard exists");
+    let snap = store.scrape();
+    assert_eq!(snap.value("store_reconfigs_total", &[("kind", "split")]), Some(1));
+    assert_eq!(snap.value("store_topology_version", &[]), Some(1));
+    println!("  live split -> child {child} visible in the event series (topology v1)");
+
+    // The persister's scrape under flush-request pile-up: concurrent
+    // requests coalesce onto one leader's fsync, and the counters must
+    // account for every request as either a flush or a coalesced ride.
+    const REQUESTS: usize = 6;
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/tmp-example");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let persister = Persister::new(dir.join("obs.snapshot"));
+    std::thread::scope(|s| {
+        for _ in 0..REQUESTS {
+            s.spawn(|| persister.persist(&store).expect("flush"));
+        }
+    });
+    let psnap = persister.scrape();
+    let flushes = psnap.value("store_persist_flushes_total", &[]).expect("flush series");
+    let coalesced = psnap.value("store_persist_coalesced_total", &[]).expect("coalesce series");
+    assert_eq!(flushes + coalesced, REQUESTS as u64, "every request flushed or coalesced");
+    assert_eq!(psnap.value("store_persist_flush_failures_total", &[]), Some(0));
+    println!("  persister: {flushes} fsync(s) served {REQUESTS} requests ({coalesced} coalesced)");
+
+    // The exposition a `GET /metrics` handler would serve, trimmed.
+    let text = encode_prometheus(&store.scrape());
+    let shown: Vec<&str> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with("store_commits_total")
+                || l.starts_with("store_reconfigs_total")
+                || l.starts_with("store_topology_version")
+                || l.starts_with("store_shards_live")
+        })
+        .collect();
+    println!("  exposition excerpt ({} lines total):", text.lines().count());
+    for line in shown {
+        println!("    {line}");
+    }
 }
 
 /// The hot-key-split scenario: every client hammers its own hot key, all of

@@ -11,7 +11,9 @@ use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
-use asymmetric_progress::store::{ShardTopology, StoreBuilder, StoreOp, StoreResp};
+use asymmetric_progress::store::{
+    ElasticityPolicy, ShardTopology, StoreBuilder, StoreOp, StoreResp,
+};
 
 /// The independent oracle: the sequential meaning of one operation.
 fn oracle_apply(state: &mut BTreeMap<String, u64>, op: &StoreOp) -> StoreResp {
@@ -400,6 +402,122 @@ proptest! {
                 }
             }
             topology = bumped;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The elastic driver's report under **concurrent** topology churn:
+    /// guest committers keep the policy engine ticking while manual splits
+    /// and merges race the driver's own reconfigurations. Afterwards the
+    /// window counters, the live-shard view, and the wait-free scrape must
+    /// tell one consistent story — every reconfiguration, whoever initiated
+    /// it, is exactly one version bump, one event-counter bump, and (for a
+    /// merge) one adoption.
+    #[test]
+    fn elastic_report_and_scrape_stay_consistent_under_churn(
+        clients in 2usize..4,
+        ops_per_client in 16usize..48,
+        churn in proptest::collection::vec((0u8..2, 0usize..8), 1..5),
+    ) {
+        let store = StoreBuilder::new()
+            .shards(4)
+            .vip_capacity(1)
+            .guest_ports(4)
+            .guest_group_width(2)
+            .elastic(ElasticityPolicy {
+                evaluate_every: 4,
+                min_window: 8,
+                cooldown: 16,
+                ..ElasticityPolicy::default()
+            })
+            .build()
+            .expect("valid sizing");
+        let tickets: Vec<_> = (0..clients).map(|_| store.admit_guest()).collect();
+        let mut manual = 0u64;
+        std::thread::scope(|s| {
+            for (c, ticket) in tickets.iter().enumerate() {
+                let store = &store;
+                s.spawn(move || {
+                    let mut client = store.client(*ticket);
+                    for step in 0..ops_per_client {
+                        client.put(&format!("c{c}/k{:02}", step % 8), step as u64);
+                    }
+                });
+            }
+            // Manual churn racing both the committers and the driver. A
+            // candidate picked from a topology snapshot may be gone (the
+            // driver got there first) — a rejected reconfig is fine, it
+            // just must not be *miscounted*.
+            for &(merge, target) in &churn {
+                let topology = store.topology();
+                if merge == 1 {
+                    let candidates: Vec<usize> = (0..topology.shards())
+                        .filter(|&sh| topology.check_merge(sh).is_ok())
+                        .collect();
+                    if let Some(&victim) = candidates.get(target % candidates.len().max(1)) {
+                        if store.merge_shard(victim).is_ok() {
+                            manual += 1;
+                        }
+                    }
+                } else {
+                    let live: Vec<usize> =
+                        (0..topology.shards()).filter(|&sh| topology.is_live(sh)).collect();
+                    if store.split_shard(live[target % live.len()]).is_ok() {
+                        manual += 1;
+                    }
+                }
+                std::thread::yield_now();
+            }
+        });
+
+        let report = store.elastic_report().expect("driver configured");
+        let topology = store.topology();
+        let snap = store.scrape();
+
+        // Every reconfiguration — manual or the driver's — bumped the
+        // version exactly once and landed in the event counters.
+        let splits = snap.value("store_reconfigs_total", &[("kind", "split")]).expect("series");
+        let merges = snap.value("store_reconfigs_total", &[("kind", "merge")]).expect("series");
+        let adopts = snap.value("store_reconfigs_total", &[("kind", "adopt")]).expect("series");
+        prop_assert_eq!(splits + merges, topology.version(), "reconfig events == version bumps");
+        prop_assert_eq!(adopts, merges, "every merge adopts the child's keys into the parent");
+        prop_assert_eq!(
+            manual + report.splits + report.merges,
+            splits + merges,
+            "every reconfiguration is either the churn thread's or the driver's"
+        );
+        prop_assert_eq!(snap.value("store_reconfig_last_version", &[]), Some(topology.version()));
+
+        // Window counters: a driver decision implies an evaluation, and the
+        // applied decisions in the scrape match the report exactly.
+        prop_assert!(report.evaluations >= report.splits + report.merges);
+        prop_assert_eq!(
+            snap.value("store_elastic_applied_total", &[("decision", "split")]),
+            Some(report.splits)
+        );
+        prop_assert_eq!(
+            snap.value("store_elastic_applied_total", &[("decision", "merge")]),
+            Some(report.merges)
+        );
+
+        // Live-shard set: the topology view, `Store::live_shards`, and the
+        // scrape's gauges are all the same world.
+        let live = (0..topology.shards()).filter(|&sh| topology.is_live(sh)).count();
+        prop_assert_eq!(store.live_shards(), live);
+        prop_assert_eq!(snap.value("store_shards_live", &[]), Some(live as u64));
+        prop_assert_eq!(snap.value("store_shards_total", &[]), Some(topology.shards() as u64));
+
+        // And the data survived the whole episode: every distinct key some
+        // client wrote is scannable, and retired shards drained to empty.
+        let mut auditor = store.client(store.admit_guest());
+        prop_assert_eq!(auditor.scan("", "z").len(), clients * 8);
+        for (sh, digest) in store.snapshot_stats().iter().enumerate() {
+            if !topology.is_live(sh) {
+                prop_assert_eq!(digest.entries, 0, "tombstone {} must be empty", sh);
+            }
         }
     }
 }

@@ -766,3 +766,46 @@ fn churned_topology_recovers_exactly() {
         }
     }
 }
+
+/// The persister's scrape: flush cycles, failures, and group-commit
+/// coalescing reconcile with `flushes()` — and under `k` concurrent
+/// requests, every request is accounted for as either a led cycle or a
+/// coalesced ride-along.
+#[test]
+fn persister_scrape_counts_flushes_failures_and_coalescing() {
+    use asymmetric_progress::store::persist::Persister;
+
+    let path = scratch("persist-metrics.snapshot");
+    let store = StoreBuilder::new().shards(2).build().unwrap();
+    let persister = Persister::new(&path);
+    store.client(store.admit_guest()).put("k", 1);
+    persister.persist(&store).unwrap();
+    persister.persist(&store).unwrap();
+
+    const CONCURRENT: u64 = 6;
+    std::thread::scope(|s| {
+        for _ in 0..CONCURRENT {
+            s.spawn(|| persister.persist(&store).unwrap());
+        }
+    });
+
+    let snap = persister.scrape();
+    let flushes = snap.value("store_persist_flushes_total", &[]).unwrap();
+    let coalesced = snap.value("store_persist_coalesced_total", &[]).unwrap();
+    assert_eq!(flushes, persister.flushes(), "scrape agrees with the state-mutex counter");
+    assert_eq!(snap.value("store_persist_flush_failures_total", &[]), Some(0));
+    assert_eq!(
+        flushes + coalesced,
+        2 + CONCURRENT,
+        "every request either led a cycle or coalesced into one"
+    );
+    let lat = snap.histogram("store_persist_flush_latency_ns", &[]).unwrap();
+    assert_eq!(lat.count, flushes, "every physical cycle is timed");
+
+    // A failing flush (unwritable target) shows up as a failure cycle.
+    let bad = Persister::new(scratch("no-such-dir").join("deep").join("x.snapshot"));
+    assert!(bad.persist(&store).is_err());
+    let snap = bad.scrape();
+    assert_eq!(snap.value("store_persist_flushes_total", &[]), Some(1));
+    assert_eq!(snap.value("store_persist_flush_failures_total", &[]), Some(1));
+}

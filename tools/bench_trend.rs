@@ -1,25 +1,32 @@
-//! `bench_trend` — the perf-trajectory CI gate.
+//! `bench_trend` — the perf-trajectory CI gate **and trend reporter**.
 //!
 //! Diffs freshly recorded `BENCH_*.json` files (written by the criterion
 //! shim when `BENCH_JSON` is set) against the committed baseline and
 //! **fails on an ops/s regression beyond the gate** in any series present
-//! in both. New series (no baseline yet) and retired series are reported
-//! but never fail the gate; the baseline is refreshed by committing a
-//! fresh file, so the trajectory stays plottable straight from git
-//! history.
+//! in both. New series (no baseline yet) never fail the gate; baseline
+//! series **missing** from every fresh run are warned about loudly, listed
+//! in the emitted artifact, and fail the gate under `--deny-missing` —
+//! a silently dropped bench must never pass as "no regression". The
+//! baseline is refreshed by committing a fresh file, so the trajectory
+//! stays plottable straight from git history — which is exactly what the
+//! `report` subcommand does.
 //!
 //! ```text
 //! cargo run -p apc-bench --bin bench_trend -- <baseline.json> <fresh.json>... \
-//!     [--max-regression 0.30] [--skip <substring>]... [--emit <merged.json>]
+//!     [--max-regression 0.30] [--skip <substring>]... [--emit <merged.json>] \
+//!     [--deny-missing]
+//!
+//! cargo run -p apc-bench --bin bench_trend -- report \
+//!     [--git <FILE>] [--dir <DIR>] [--out <report.html>] [extra.json...]
 //! ```
+//!
+//! ## Gate mode
 //!
 //! Passing **several fresh files** (CI records three back-to-back runs)
 //! gates on the per-series *best* of them: wall-clock noise on shared
 //! runners is one-sided — a throttled run only ever looks slower — so a
 //! genuine regression still fails every run while a noisy dip in one run
 //! does not flap the gate.
-//!
-//! ## Per-series variance and the tightened gate
 //!
 //! The fresh runs also yield a **per-series variance estimate**: the
 //! relative standard deviation (coefficient of variation) of `ops_per_sec`
@@ -33,21 +40,45 @@
 //!
 //! `--emit` writes the merged best-of-N series back out in the report
 //! format (normalized to per-op terms; `ops_per_sec` — the only gated
-//! field — is preserved exactly). CI uploads that file as the refreshed
-//! baseline artifact, so a single throttled run can never ratchet the
-//! committed baseline downward.
+//! field — is preserved exactly), plus a top-level `missing_from_fresh`
+//! list naming every baseline series no fresh run reported. CI uploads
+//! that file as the refreshed baseline artifact, so a single throttled run
+//! can never ratchet the committed baseline downward — and a dropped bench
+//! is visible in the artifact itself.
 //!
 //! `--skip` exempts series whose name contains the substring from the gate
 //! (they are still printed): use it for series whose variance is dominated
 //! by the environment rather than the code, e.g. fsync-bound disk writes on
 //! shared CI runners.
 //!
-//! Exit code 0 = no gated regression, 1 = regression beyond the threshold,
-//! 2 = usage/parse error. The parser is deliberately minimal: it reads
-//! exactly the one-record-per-line JSON the criterion shim emits (no serde
-//! in the offline workspace).
+//! ## Report mode
+//!
+//! `report` renders the perf *trajectory* — every series' ops/s across
+//! PRs — as one self-contained HTML file with inline SVG charts (no
+//! external assets, viewable straight from a CI artifact):
+//!
+//! * `--git BENCH_store.json` walks `git log --reverse` over the committed
+//!   baseline and takes one point per commit that touched it (the stacked-
+//!   PR history; unparsable or absent revisions are skipped with a note);
+//! * `--dir DIR` takes one point per `*.json` artifact in `DIR`, in
+//!   filename order (for archived artifact collections);
+//! * trailing positional files are appended as the freshest points (CI
+//!   passes the just-merged `BENCH_store.merged.json` so the report ends
+//!   at "this build").
+//!
+//! Each chart draws the ops/s polyline with a shaded ±stddev band where
+//! the artifact recorded `ops_cv`, and the summary table shows first/best/
+//! last throughput and the last-over-first delta per series.
+//!
+//! Exit code 0 = no gated regression, 1 = regression beyond the threshold
+//! (or a missing series under `--deny-missing`), 2 = usage/parse error.
+//! The parser is deliberately minimal: it reads exactly the
+//! one-record-per-line JSON the criterion shim emits (no serde in the
+//! offline workspace) — which is also why the emitted `missing_from_fresh`
+//! line is parser-safe: only lines *starting* with `{` are record
+//! candidates.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 /// The gate tightens to this threshold for series whose baseline variance
@@ -149,6 +180,12 @@ fn merge_runs(runs: &[Series]) -> BTreeMap<String, Merged> {
         .collect()
 }
 
+/// Baseline series that no fresh run reported — a dropped bench, not a
+/// regression-free one.
+fn missing_series(baseline: &Series, fresh: &BTreeMap<String, Merged>) -> Vec<String> {
+    baseline.keys().filter(|n| !fresh.contains_key(*n)).cloned().collect()
+}
+
 /// The gate threshold for one series: tightened when the **baseline**
 /// recorded that the series historically varies little between runs.
 fn threshold_for(baseline_cv: Option<f64>, default_threshold: f64) -> f64 {
@@ -159,8 +196,11 @@ fn threshold_for(baseline_cv: Option<f64>, default_threshold: f64) -> f64 {
 }
 
 /// Renders the merged series in the shim's report format, with the
-/// variance columns (`ops_stddev`, `ops_cv`) appended when available.
-fn render_emit(merged: &BTreeMap<String, Merged>) -> String {
+/// variance columns (`ops_stddev`, `ops_cv`) appended when available and
+/// the dropped-baseline-series list as a top-level `missing_from_fresh`
+/// key (parser-safe: the line does not start with `{`, so a re-parse of
+/// the artifact sees only the records).
+fn render_emit(merged: &BTreeMap<String, Merged>, missing: &[String]) -> String {
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, (name, m)) in merged.iter().enumerate() {
         let ops = m.best;
@@ -180,15 +220,341 @@ fn render_emit(merged: &BTreeMap<String, Merged>) -> String {
             if i + 1 == merged.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"missing_from_fresh\": [");
+    for (i, name) in missing.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\""));
+    }
+    out.push_str("]\n}\n");
     out
+}
+
+// ---------------------------------------------------------------------------
+// Report mode: the perf trajectory across PRs as self-contained SVG/HTML.
+// ---------------------------------------------------------------------------
+
+/// One historical point of the trajectory: where it came from (a git
+/// revision or an artifact file name) and its parsed series.
+struct TrendPoint {
+    label: String,
+    series: Series,
+}
+
+/// One point per commit that touched `file`, oldest first, read via
+/// `git show <rev>:<file>` so the walk never touches the working tree.
+fn collect_git_points(file: &str) -> Result<Vec<TrendPoint>, String> {
+    let log = std::process::Command::new("git")
+        .args(["log", "--reverse", "--format=%h", "--", file])
+        .output()
+        .map_err(|e| format!("cannot run git log: {e}"))?;
+    if !log.status.success() {
+        return Err(format!("git log failed: {}", String::from_utf8_lossy(&log.stderr).trim()));
+    }
+    let revs = String::from_utf8_lossy(&log.stdout);
+    let mut points = Vec::new();
+    for rev in revs.lines().map(str::trim).filter(|r| !r.is_empty()) {
+        let show = std::process::Command::new("git")
+            .args(["show", &format!("{rev}:{file}")])
+            .output()
+            .map_err(|e| format!("cannot run git show: {e}"))?;
+        if !show.status.success() {
+            // The commit touched the path without leaving a readable file
+            // (e.g. a deletion); not a trajectory point.
+            continue;
+        }
+        match parse_report_text(&String::from_utf8_lossy(&show.stdout), rev) {
+            Ok(series) => points.push(TrendPoint { label: rev.to_string(), series }),
+            Err(_) => eprintln!("bench_trend: note — {rev}:{file} is not a report, skipped"),
+        }
+    }
+    Ok(points)
+}
+
+/// One point per `*.json` artifact in `dir`, in filename order (archive
+/// the artifacts with sortable names — e.g. zero-padded PR numbers — and
+/// the order is the trajectory).
+fn collect_dir_points(dir: &str) -> Result<Vec<TrendPoint>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    let mut points = Vec::new();
+    for name in names {
+        let path = format!("{dir}/{name}");
+        match parse_report(&path) {
+            Ok(series) => points.push(TrendPoint { label: name, series }),
+            Err(e) => eprintln!("bench_trend: note — {e}, skipped"),
+        }
+    }
+    Ok(points)
+}
+
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Shortens 1234567.0 to "1.23M" for axis labels.
+fn human(ops: f64) -> String {
+    if ops >= 1e6 {
+        format!("{:.2}M", ops / 1e6)
+    } else if ops >= 1e3 {
+        format!("{:.1}k", ops / 1e3)
+    } else {
+        format!("{ops:.0}")
+    }
+}
+
+/// One series' inline SVG: the ops/s polyline over the points (gaps where
+/// a point lacks the series) with a shaded ±stddev band where recorded.
+fn svg_for_series(name: &str, points: &[TrendPoint]) -> String {
+    const W: f64 = 720.0;
+    const H: f64 = 160.0;
+    const PAD_L: f64 = 56.0;
+    const PAD_R: f64 = 12.0;
+    const PAD_T: f64 = 10.0;
+    const PAD_B: f64 = 24.0;
+    let values: Vec<Option<(f64, f64)>> = points
+        .iter()
+        .map(|p| {
+            p.series.get(name).map(|r| (r.ops_per_sec, r.ops_cv.unwrap_or(0.0) * r.ops_per_sec))
+        })
+        .collect();
+    let y_max =
+        values.iter().flatten().map(|&(ops, sd)| ops + sd).fold(0.0_f64, f64::max).max(1.0) * 1.05;
+    let x_of = |i: usize| {
+        let n = values.len().max(2) - 1;
+        PAD_L + (W - PAD_L - PAD_R) * i as f64 / n as f64
+    };
+    let y_of = |v: f64| H - PAD_B - (H - PAD_T - PAD_B) * (v / y_max);
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\n\
+         <rect x=\"{PAD_L}\" y=\"{PAD_T}\" width=\"{}\" height=\"{}\" fill=\"#fafafa\" \
+         stroke=\"#ddd\"/>\n\
+         <text x=\"4\" y=\"{:.1}\" font-size=\"10\" fill=\"#666\">{}</text>\n\
+         <text x=\"4\" y=\"{:.1}\" font-size=\"10\" fill=\"#666\">0</text>\n",
+        W - PAD_L - PAD_R,
+        H - PAD_T - PAD_B,
+        PAD_T + 10.0,
+        human(y_max),
+        H - PAD_B,
+    );
+    // Contiguous runs of present points: band polygon + polyline each.
+    let mut run: Vec<(usize, f64, f64)> = Vec::new();
+    let flush = |run: &mut Vec<(usize, f64, f64)>, svg: &mut String| {
+        if run.len() >= 2 {
+            let band_top: Vec<String> = run
+                .iter()
+                .map(|&(i, ops, sd)| format!("{:.1},{:.1}", x_of(i), y_of(ops + sd)))
+                .collect();
+            let band_bot: Vec<String> = run
+                .iter()
+                .rev()
+                .map(|&(i, ops, sd)| format!("{:.1},{:.1}", x_of(i), y_of((ops - sd).max(0.0))))
+                .collect();
+            svg.push_str(&format!(
+                "<polygon points=\"{} {}\" fill=\"#4a90d9\" opacity=\"0.15\"/>\n",
+                band_top.join(" "),
+                band_bot.join(" "),
+            ));
+            let line: Vec<String> =
+                run.iter().map(|&(i, ops, _)| format!("{:.1},{:.1}", x_of(i), y_of(ops))).collect();
+            svg.push_str(&format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"#2a6fb0\" stroke-width=\"1.5\"/>\n",
+                line.join(" "),
+            ));
+        }
+        for &(i, ops, _) in run.iter() {
+            svg.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"#2a6fb0\"/>\n",
+                x_of(i),
+                y_of(ops),
+            ));
+        }
+        run.clear();
+    };
+    for (i, v) in values.iter().enumerate() {
+        match v {
+            Some((ops, sd)) => run.push((i, *ops, *sd)),
+            None => flush(&mut run, &mut svg),
+        }
+    }
+    flush(&mut run, &mut svg);
+    if let Some(first) = points.first() {
+        svg.push_str(&format!(
+            "<text x=\"{PAD_L}\" y=\"{:.1}\" font-size=\"10\" fill=\"#666\">{}</text>\n",
+            H - 8.0,
+            html_escape(&first.label),
+        ));
+    }
+    if let Some(last) = points.last() {
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" fill=\"#666\" \
+             text-anchor=\"end\">{}</text>\n",
+            W - PAD_R,
+            H - 8.0,
+            html_escape(&last.label),
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// The whole report: one chart per series (union across points) plus the
+/// first/best/last summary table. Self-contained — inline SVG + inline
+/// CSS, no scripts, no external assets.
+fn render_report(points: &[TrendPoint]) -> String {
+    let names: BTreeSet<&str> =
+        points.iter().flat_map(|p| p.series.keys()).map(String::as_str).collect();
+    let mut html = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>bench_trend perf trajectory</title>\n\
+         <style>\n\
+         body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:780px;color:#222}\n\
+         h2{font-size:1rem;margin:1.5rem 0 .25rem;font-family:ui-monospace,monospace}\n\
+         table{border-collapse:collapse;width:100%;margin-top:1.5rem}\n\
+         th,td{border:1px solid #ddd;padding:.3rem .5rem;text-align:right;\
+         font-variant-numeric:tabular-nums}\n\
+         th:first-child,td:first-child{text-align:left;font-family:ui-monospace,monospace}\n\
+         .up{color:#1a7f37}.down{color:#b42318}\n\
+         </style></head><body>\n<h1>Perf trajectory</h1>\n",
+    );
+    html.push_str(&format!(
+        "<p>{} series over {} point(s). The shaded band is ±1 recorded stddev \
+         (cross-run, where the artifact carries <code>ops_cv</code>).</p>\n",
+        names.len(),
+        points.len(),
+    ));
+    for name in &names {
+        html.push_str(&format!("<h2>{}</h2>\n", html_escape(name)));
+        html.push_str(&svg_for_series(name, points));
+    }
+    html.push_str(
+        "<table><tr><th>series</th><th>points</th><th>first ops/s</th>\
+         <th>best ops/s</th><th>last ops/s</th><th>last/first</th></tr>\n",
+    );
+    for name in &names {
+        let vals: Vec<f64> =
+            points.iter().filter_map(|p| p.series.get(*name)).map(|r| r.ops_per_sec).collect();
+        let (Some(&first), Some(&last)) = (vals.first(), vals.last()) else { continue };
+        let best = vals.iter().copied().fold(f64::MIN, f64::max);
+        let delta = if first > 0.0 { last / first - 1.0 } else { 0.0 };
+        let class = if delta >= 0.0 { "up" } else { "down" };
+        html.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td class=\"{class}\">{:+.1}%</td></tr>\n",
+            html_escape(name),
+            vals.len(),
+            human(first),
+            human(best),
+            human(last),
+            delta * 100.0,
+        ));
+    }
+    html.push_str("</table>\n</body></html>\n");
+    html
+}
+
+fn report_main(args: &[String]) -> ExitCode {
+    let mut git: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut out = String::from("bench_trend_report.html");
+    let mut extra = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--git" => match it.next() {
+                Some(f) => git = Some(f.clone()),
+                None => {
+                    eprintln!("--git needs a tracked report path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--dir" => match it.next() {
+                Some(d) => dir = Some(d.clone()),
+                None => {
+                    eprintln!("--dir needs a directory of report artifacts");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => {
+                    eprintln!("--out needs an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => extra.push(arg.clone()),
+        }
+    }
+    let mut points = Vec::new();
+    if let Some(file) = &git {
+        match collect_git_points(file) {
+            Ok(mut p) => points.append(&mut p),
+            Err(e) => {
+                eprintln!("bench_trend: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(d) = &dir {
+        match collect_dir_points(d) {
+            Ok(mut p) => points.append(&mut p),
+            Err(e) => {
+                eprintln!("bench_trend: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for path in &extra {
+        match parse_report(path) {
+            Ok(series) => {
+                let label = path.rsplit('/').next().unwrap_or(path).to_string();
+                points.push(TrendPoint { label, series });
+            }
+            Err(e) => {
+                eprintln!("bench_trend: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if points.is_empty() {
+        eprintln!(
+            "bench_trend: no trajectory points (need --git FILE, --dir DIR, or report files)"
+        );
+        return ExitCode::from(2);
+    }
+    if let Err(e) = std::fs::write(&out, render_report(&points)) {
+        eprintln!("bench_trend: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("bench_trend: trajectory report over {} point(s) written to {out}", points.len());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("report") {
+        return report_main(&args[1..]);
+    }
     let mut max_regression = 0.30f64;
     let mut skips: Vec<String> = Vec::new();
     let mut emit: Option<String> = None;
+    let mut deny_missing = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -214,13 +580,16 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--deny-missing" => deny_missing = true,
             _ => files.push(arg.clone()),
         }
     }
     let [baseline_path, fresh_paths @ ..] = files.as_slice() else {
         eprintln!(
             "usage: bench_trend <baseline.json> <fresh.json>... \
-             [--max-regression 0.30] [--skip <substring>]... [--emit <merged.json>]"
+             [--max-regression 0.30] [--skip <substring>]... [--emit <merged.json>] \
+             [--deny-missing]\n   or: bench_trend report [--git FILE] [--dir DIR] \
+             [--out report.html] [extra.json...]"
         );
         return ExitCode::from(2);
     };
@@ -246,6 +615,7 @@ fn main() -> ExitCode {
         }
     }
     let fresh = merge_runs(&runs);
+    let missing = missing_series(&baseline, &fresh);
 
     println!(
         "{:<52} {:>14} {:>14} {:>8} {:>6}",
@@ -281,8 +651,23 @@ fn main() -> ExitCode {
             _ => println!("{name:<52} {:>14} {:>14.1}      new", "-", merged.best),
         }
     }
-    for (name, base) in baseline.iter().filter(|(n, _)| !fresh.contains_key(*n)) {
-        println!("{name:<52} {:>14.1} {:>14}  retired", base.ops_per_sec, "-");
+    for name in &missing {
+        let base = baseline[name].ops_per_sec;
+        println!("{name:<52} {base:>14.1} {:>14}  MISSING", "-");
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "\nbench_trend: WARNING — {} baseline series missing from every fresh run:",
+            missing.len()
+        );
+        for name in &missing {
+            eprintln!("  {name}");
+        }
+        eprintln!(
+            "  a dropped bench cannot be gated; restore the bench (or deliberately retire \
+             the series by refreshing the committed baseline){}",
+            if deny_missing { " — failing (--deny-missing)" } else { "" },
+        );
     }
 
     if let Some(path) = emit {
@@ -291,13 +676,18 @@ fn main() -> ExitCode {
         // committed as the refreshed baseline), so a single throttled run
         // can never ratchet the baseline downward — and the recorded
         // variance is what lets the next gate tighten below the default.
-        if let Err(e) = std::fs::write(&path, render_emit(&fresh)) {
+        // The missing list rides along so a dropped bench is visible in
+        // the artifact itself, not only in scrolled-away job logs.
+        if let Err(e) = std::fs::write(&path, render_emit(&fresh, &missing)) {
             eprintln!("bench_trend: cannot write {path}: {e}");
             return ExitCode::from(2);
         }
         println!("merged best-of-{} series written to {path}", fresh_paths.len());
     }
 
+    if deny_missing && !missing.is_empty() {
+        return ExitCode::FAILURE;
+    }
     if regressions.is_empty() {
         println!(
             "\nbench_trend: OK — no series regressed beyond its gate (default {:.0}%, \
@@ -355,7 +745,7 @@ mod tests {
         // cv × best.
         let mut one = BTreeMap::new();
         one.insert("x".to_string(), m.clone());
-        let emitted = render_emit(&one);
+        let emitted = render_emit(&one, &[]);
         let stddev =
             number_field(emitted.lines().find(|l| l.contains("\"x\"")).unwrap(), "ops_stddev")
                 .unwrap();
@@ -391,10 +781,102 @@ mod tests {
             Merged { best: 250000.0, mean: 245000.0, cv: Some(0.034) },
         );
         merged.insert("s/two".to_string(), Merged { best: 1000.0, mean: 1000.0, cv: None });
-        let text = render_emit(&merged);
+        let text = render_emit(&merged, &[]);
         let parsed = parse_report_text(&text, "emitted").unwrap();
         assert_eq!(parsed["s/one"].ops_per_sec, 250000.0);
         assert_eq!(parsed["s/one"].ops_cv, Some(0.034));
         assert_eq!(parsed["s/two"], Record { ops_per_sec: 1000.0, ops_cv: None });
+    }
+
+    #[test]
+    fn missing_series_are_detected_listed_and_parser_safe() {
+        let mut baseline = Series::new();
+        baseline.insert("kept".into(), Record { ops_per_sec: 100.0, ops_cv: None });
+        baseline.insert("dropped/a".into(), Record { ops_per_sec: 200.0, ops_cv: None });
+        baseline.insert("dropped/b".into(), Record { ops_per_sec: 300.0, ops_cv: None });
+        let mut run = Series::new();
+        run.insert("kept".into(), Record { ops_per_sec: 105.0, ops_cv: None });
+        let fresh = merge_runs(&[run]);
+        let missing = missing_series(&baseline, &fresh);
+        assert_eq!(missing, ["dropped/a", "dropped/b"]);
+        // The emitted artifact names them at the top level…
+        let text = render_emit(&fresh, &missing);
+        assert!(text.contains("\"missing_from_fresh\": [\"dropped/a\", \"dropped/b\"]"), "{text}");
+        // …without polluting a re-parse of the artifact as a baseline.
+        let reparsed = parse_report_text(&text, "emitted").unwrap();
+        assert_eq!(reparsed.len(), 1);
+        assert!(reparsed.contains_key("kept"));
+    }
+
+    fn point(label: &str, entries: &[(&str, f64, Option<f64>)]) -> TrendPoint {
+        let mut series = Series::new();
+        for (name, ops, cv) in entries {
+            series.insert(name.to_string(), Record { ops_per_sec: *ops, ops_cv: *cv });
+        }
+        TrendPoint { label: label.to_string(), series }
+    }
+
+    #[test]
+    fn report_charts_every_series_with_bands_and_summary() {
+        let points = vec![
+            point("aaa1111", &[("s/x", 100.0, Some(0.05)), ("s/y", 10.0, None)]),
+            point("bbb2222", &[("s/x", 120.0, Some(0.04))]),
+            point("ccc3333", &[("s/x", 150.0, None), ("s/y", 12.0, None)]),
+        ];
+        let html = render_report(&points);
+        assert!(html.contains("<h2>s/x</h2>"), "one chart per series");
+        assert!(html.contains("<h2>s/y</h2>"));
+        assert_eq!(html.matches("<svg ").count(), 2);
+        assert!(html.contains("<polyline"), "ops/s polyline drawn");
+        assert!(html.contains("<polygon"), "variance band drawn where cv is recorded");
+        assert!(html.contains("aaa1111") && html.contains("ccc3333"), "first/last labels");
+        assert!(html.contains("+50.0%"), "s/x last/first delta in the summary table");
+        assert!(html.contains("+20.0%"), "s/y last/first delta in the summary table");
+        assert!(!html.contains("<script"), "self-contained: no scripts");
+    }
+
+    #[test]
+    fn report_series_gaps_break_the_polyline_not_the_chart() {
+        // s/g exists at points 0 and 2 only: two isolated dots, no line
+        // bridging the gap (a bridged gap would fake continuity).
+        let points = vec![
+            point("p0", &[("s/g", 100.0, None)]),
+            point("p1", &[("other", 1.0, None)]),
+            point("p2", &[("s/g", 90.0, None)]),
+        ];
+        let html = render_report(&points);
+        let chart = html.split("<h2>s/g</h2>").nth(1).unwrap().split("</svg>").next().unwrap();
+        assert!(!chart.contains("<polyline"), "no line across the gap");
+        assert_eq!(chart.matches("<circle").count(), 2, "both real points drawn");
+    }
+
+    #[test]
+    fn dir_points_are_sorted_and_skip_non_reports() {
+        let dir = std::env::temp_dir().join(format!("bench-trend-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| std::fs::write(dir.join(name), body).unwrap();
+        write(
+            "02-later.json",
+            "{\n  \"benchmarks\": [\n    {\"name\": \"s\", \"ops_per_sec\": 200.0}\n  ]\n}\n",
+        );
+        write(
+            "01-earlier.json",
+            "{\n  \"benchmarks\": [\n    {\"name\": \"s\", \"ops_per_sec\": 100.0}\n  ]\n}\n",
+        );
+        write("not-a-report.json", "{}");
+        write("ignored.txt", "nope");
+        let points = collect_dir_points(dir.to_str().unwrap()).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["01-earlier.json", "02-later.json"], "filename order = trajectory");
+        assert_eq!(points[0].series["s"].ops_per_sec, 100.0);
+        assert_eq!(points[1].series["s"].ops_per_sec, 200.0);
+    }
+
+    #[test]
+    fn human_axis_labels() {
+        assert_eq!(human(1_234_567.0), "1.23M");
+        assert_eq!(human(45_600.0), "45.6k");
+        assert_eq!(human(250.0), "250");
     }
 }
