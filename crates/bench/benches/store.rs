@@ -26,7 +26,13 @@
 //!   wait-free scrape path (scraping must not tax the clients);
 //! * the compaction/recovery scenario — fresh-handle replay with and
 //!   without a checkpoint (the O(delta) vs O(history) win), snapshot
-//!   save (seal + write) and crash recovery from disk.
+//!   save (seal + write) and crash recovery from disk;
+//! * the **durability series** (`store/wal/*`) — the op-granular WAL's
+//!   two progress classes: `group-append` (what logging a frame costs a
+//!   commit that never waits for the disk), `sync-commit` (the VIP
+//!   fsync-acknowledged path end to end; fsync-bound, so exempt from the
+//!   trend gate like snapshot-save) and `replay` (crash recovery =
+//!   segment scan + collapsed-effect replay).
 //!
 //! Run with `BENCH_JSON=BENCH_store.json cargo bench -p apc-bench --bench
 //! store` to record the machine-readable series; CI diffs them against the
@@ -432,6 +438,119 @@ fn recovery(c: &mut Criterion) {
     g.finish();
 }
 
+/// The durability scenario: what each durability class costs, and what
+/// crash recovery through the WAL costs.
+fn wal(c: &mut Criterion) {
+    use apc_store::wal::{Wal, WalConfig};
+
+    let scratch_dir =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp-bench/wal");
+    let _ = std::fs::remove_dir_all(&scratch_dir);
+    std::fs::create_dir_all(&scratch_dir).expect("bench scratch dir");
+    // Deterministic flush points: the group series must measure the
+    // buffered append alone, never a racing background fsync.
+    let cfg = WalConfig { background_flusher: false, ..WalConfig::default() };
+
+    let mut g = c.benchmark_group("store/wal");
+
+    // What WAL logging costs a group commit: the full commit path with a
+    // frame encode + buffer append riding along, no disk wait. Compare
+    // against `store/scenarios/uniform/*` for the no-WAL commit cost.
+    let wal = Wal::open(scratch_dir.join("group-append"), cfg).expect("fresh wal");
+    let store = StoreBuilder::new()
+        .shards(2)
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .build_with_wal(wal)
+        .expect("bench sizing is valid");
+    let mut client = store.client(store.admit_guest());
+    let mut i = 0u64;
+    g.bench_function("group-append", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            criterion::black_box(client.put(&format!("key/{:04}", i % 256), i));
+        })
+    });
+    drop(store);
+
+    // The VIP's synchronous-durability commit: append + group-commit
+    // flush + fsync, acknowledged end to end. Fsync-bound by design.
+    let wal = Wal::open(scratch_dir.join("sync-commit"), cfg).expect("fresh wal");
+    let store = StoreBuilder::new()
+        .shards(2)
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .build_with_wal(wal)
+        .expect("bench sizing is valid");
+    let mut client = store.client(store.admit_vip().expect("vip port"));
+    g.sample_size(10);
+    g.bench_function("sync-commit", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let resps = client
+                .execute_durable(vec![StoreOp::Put(format!("key/{:04}", i % 256), i)])
+                .expect("sync acknowledged");
+            criterion::black_box(resps);
+        })
+    });
+    drop(store);
+
+    // Crash recovery through the log: scan the dead process's segments,
+    // collapse the frames, replay by key into a fresh store. The WAL twin
+    // of `store/recovery/snapshot-recover`.
+    const FRAMES: u64 = 256;
+    let pristine = scratch_dir.join("replay-pristine");
+    {
+        let wal = Wal::open(&pristine, cfg).expect("fresh wal");
+        let store = StoreBuilder::new()
+            .shards(2)
+            .vip_capacity(VIP_CAPACITY)
+            .guest_ports(6)
+            .guest_group_width(2)
+            .build_with_wal(std::sync::Arc::clone(&wal))
+            .expect("bench sizing is valid");
+        let mut loader = store.client(store.admit_guest());
+        for i in 0..FRAMES {
+            loader.put(&format!("key/{i:04}"), i);
+        }
+        wal.sync().expect("seed flush");
+        wal.simulate_crash();
+    }
+    let seed: Vec<(std::path::PathBuf, Vec<u8>)> = std::fs::read_dir(&pristine)
+        .expect("pristine wal dir")
+        .flatten()
+        .map(|e| (e.path(), std::fs::read(e.path()).expect("segment bytes")))
+        .collect();
+    let replay_dir = scratch_dir.join("replay");
+    g.bench_function("replay", |b| {
+        b.iter_batched(
+            || {
+                let _ = std::fs::remove_dir_all(&replay_dir);
+                std::fs::create_dir_all(&replay_dir).expect("replay dir");
+                for (path, bytes) in &seed {
+                    let name = path.file_name().expect("segment file name");
+                    std::fs::write(replay_dir.join(name), bytes).expect("reseed segment");
+                }
+            },
+            |()| {
+                let wal = Wal::open(&replay_dir, cfg).expect("reopen after crash");
+                let recovered = StoreBuilder::new()
+                    .shards(2)
+                    .vip_capacity(VIP_CAPACITY)
+                    .guest_ports(6)
+                    .guest_group_width(2)
+                    .recover_with_wal(replay_dir.join("absent.snapshot"), wal)
+                    .expect("wal replay");
+                criterion::black_box(recovered.shards());
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     scenarios,
@@ -440,6 +559,7 @@ criterion_group!(
     batching,
     stats_snapshot_under_load,
     observability,
-    recovery
+    recovery,
+    wal
 );
 criterion_main!(benches);

@@ -171,9 +171,9 @@ impl<T: Clone + Eq + Send + Sync> ObstructionFreeConsensus<T> {
             return Err(ConsensusError::NotAPort { pid });
         }
         self.once.claim(pid)?;
-        Ok(self
-            .run_rounds(pid, value, None, escape)
-            .expect("unbounded rounds end only on a decision or escape"))
+        let decided = self.run_rounds(pid, value, None, escape);
+        // APC-LINT: allow(panic): with `max_rounds: None` the round loop has no bound to exhaust — it returns only on a decision or escape, so this arm is unreachable by construction, not an environmental failure
+        Ok(decided.expect("unbounded rounds end only on a decision or escape"))
     }
 
     fn run_rounds(
@@ -223,9 +223,9 @@ impl<T: Clone + Eq + Send + Sync> Consensus<T> for ObstructionFreeConsensus<T> {
             return Err(ConsensusError::NotAPort { pid });
         }
         self.once.claim(pid)?;
-        Ok(self
-            .run_rounds(pid, value, None, &|| None)
-            .expect("unbounded rounds end only on decision"))
+        let decided = self.run_rounds(pid, value, None, &|| None);
+        // APC-LINT: allow(panic): with `max_rounds: None` the round loop has no bound to exhaust — it returns only on a decision, so this arm is unreachable by construction, not an environmental failure
+        Ok(decided.expect("unbounded rounds end only on decision"))
     }
 
     #[progress(wait_free)]

@@ -55,6 +55,14 @@ impl Class {
     pub fn is_strong(self) -> bool {
         matches!(self, Class::WaitFree | Class::BoundedWaitFree | Class::LockFree)
     }
+
+    /// Classes that promise *some* liveness — everything above `blocking`.
+    /// R4 holds these to a no-panic standard: even the obstruction-free
+    /// tier promised to keep retrying, and an abort is strictly worse
+    /// than waiting.
+    pub fn is_nonblocking(self) -> bool {
+        self != Class::Blocking
+    }
 }
 
 /// One extracted function.

@@ -9,9 +9,12 @@
 //!   `# Safety` doc section for `unsafe fn`).
 //! * `relaxed` (R3) — every `Ordering::Relaxed` carries a `RELAXED:`
 //!   justification comment.
-//! * `panic` (R4) — no `unwrap`/`expect`/`panic!`-family in strong-class
-//!   function bodies (plain asserts are allowed: they signal broken
-//!   invariants, not environmental failure).
+//! * `panic` (R4) — no `unwrap`/`expect`/`panic!`-family in any
+//!   *non-blocking* function body — strong classes and `obstruction_free`
+//!   alike. A panicking guest aborts its thread, which is strictly worse
+//!   than the unbounded-but-live retrying it promised; only `blocking`
+//!   fns, which never promised liveness, may panic. (Plain asserts are
+//!   allowed: they signal broken invariants, not environmental failure.)
 //! * `reconfig` (R5) — the PR-5 invariant: no reconfiguration-install
 //!   operation (`split_locked`, `merge_locked`, `elastic_tick`,
 //!   `install_view`) is reachable from a (bounded-)wait-free fn.
@@ -341,11 +344,13 @@ fn check_relaxed(ws: &Workspace, findings: &mut Vec<Finding>) {
     }
 }
 
-/// `panic` (R4): strong-class bodies must not unwrap/expect or panic.
+/// `panic` (R4): non-blocking bodies must not unwrap/expect or panic.
+/// Covers the strong classes *and* `obstruction_free`: the guest tier's
+/// promise is weak but real, and a panic forfeits it entirely.
 fn check_panic(ws: &Workspace, findings: &mut Vec<Finding>) {
     for id in ws.all_fns() {
         let f = ws.fn_info(id);
-        if f.is_test || !f.class.is_some_and(Class::is_strong) {
+        if f.is_test || !f.class.is_some_and(Class::is_nonblocking) {
             continue;
         }
         let class = f.class.expect("checked above").name();
@@ -522,6 +527,20 @@ mod tests {
         let hits: Vec<_> = f.iter().filter(|x| x.rule == "panic").collect();
         assert_eq!(hits.len(), 1); // only the wait_free one
         assert!(hits[0].message.contains("`unwrap`"));
+    }
+
+    #[test]
+    fn panic_in_obstruction_free_fn_flagged() {
+        // The guest tier promised unbounded-but-live retrying; an abort
+        // forfeits that, so R4 covers obstruction_free too. Only
+        // `blocking` — which never promised liveness — may panic.
+        let f = analyze(&[
+            "struct S; impl S {\n#[progress(obstruction_free)]\nfn g(&self) { self.slot.take().expect(\"occupied\"); }\n\
+             #[progress(blocking)]\nfn b(&self) { self.slot.take().expect(\"occupied\"); }\n}",
+        ]);
+        let hits: Vec<_> = f.iter().filter(|x| x.rule == "panic").collect();
+        assert_eq!(hits.len(), 1); // only the obstruction_free one
+        assert!(hits[0].message.contains("obstruction_free fn `S::g`"));
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub mod ops;
 pub mod persist;
 pub mod router;
 pub mod store;
+pub mod wal;
 pub mod workload;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
@@ -109,4 +110,5 @@ pub use router::{
     BatchPlan, BatchReassembly, MergeError, ShardTopology, TopoNode, TopoRecord, TopologyError,
 };
 pub use store::{Client, ShardDigest, ShardLog, SplitError, Store, StoreBuilder};
+pub use wal::{DurabilityClass, DurabilityError, Wal, WalConfig, WalFrame, WalRecovery};
 pub use workload::Scenario;

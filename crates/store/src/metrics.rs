@@ -366,6 +366,188 @@ impl PersistMetrics {
     }
 }
 
+/// Group-size bucket bounds (frames coalesced into one WAL flush cycle).
+const WAL_GROUP_FRAMES_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// The [`Wal`](crate::wal::Wal)'s instruments. Same discipline as
+/// [`PersistMetrics`]: recorded from the (blocking) append/flush paths,
+/// kept in atomics **outside** the buffer mutex, so
+/// [`Wal::scrape`](crate::wal::Wal::scrape) stays wait-free — a dashboard
+/// never queues behind an in-flight fsync.
+#[derive(Debug)]
+pub(crate) struct WalMetrics {
+    /// Frames enqueued, split by durability class.
+    group_appends: Counter,
+    sync_appends: Counter,
+    /// Bytes of encoded frames enqueued.
+    appended_bytes: Counter,
+    /// Write-and-fsync cycles, and how many failed.
+    flushes: Counter,
+    failures: Counter,
+    /// Frames coalesced into one flush cycle — the group-commit win.
+    group_frames: FixedHistogram,
+    /// Wall-clock latency of one write-and-fsync cycle.
+    fsync_latency_ns: FixedHistogram,
+    /// Segment rotations (size threshold or checkpoint seal).
+    rotations: Counter,
+    /// Segments deleted by checkpoint truncation.
+    segments_deleted: Counter,
+    /// `DurabilityClass::Sync` requests denied to the guest tier.
+    sync_denied: Counter,
+    /// Frames replayed from pre-existing segments at open (set once).
+    replay_frames: Gauge,
+    /// Torn tails cut off at open (expected crash damage).
+    torn_tails: Counter,
+}
+
+impl WalMetrics {
+    pub(crate) fn new() -> Self {
+        WalMetrics {
+            group_appends: Counter::new(),
+            sync_appends: Counter::new(),
+            appended_bytes: Counter::new(),
+            flushes: Counter::new(),
+            failures: Counter::new(),
+            group_frames: FixedHistogram::new(&WAL_GROUP_FRAMES_BOUNDS),
+            fsync_latency_ns: FixedHistogram::new(&FLUSH_LATENCY_NS_BOUNDS),
+            rotations: Counter::new(),
+            segments_deleted: Counter::new(),
+            sync_denied: Counter::new(),
+            replay_frames: Gauge::new(),
+            torn_tails: Counter::new(),
+        }
+    }
+
+    /// Records one enqueued frame.
+    #[progress(wait_free)]
+    pub(crate) fn record_append(&self, bytes: u64, class: crate::wal::DurabilityClass) {
+        match class {
+            crate::wal::DurabilityClass::Group => self.group_appends.inc(),
+            crate::wal::DurabilityClass::Sync => self.sync_appends.inc(),
+        }
+        self.appended_bytes.add(bytes);
+    }
+
+    /// Records one write-and-fsync cycle: its latency, how many frames it
+    /// coalesced, and its outcome.
+    #[progress(wait_free)]
+    pub(crate) fn record_flush(&self, latency_ns: u64, frames: u64, ok: bool) {
+        self.flushes.inc();
+        self.fsync_latency_ns.observe(latency_ns);
+        self.group_frames.observe(frames);
+        if !ok {
+            self.failures.inc();
+        }
+    }
+
+    /// Records one segment rotation.
+    #[progress(wait_free)]
+    pub(crate) fn record_rotation(&self) {
+        self.rotations.inc();
+    }
+
+    /// Records a checkpoint truncation deleting `segments` segments.
+    #[progress(wait_free)]
+    pub(crate) fn record_truncation(&self, segments: u64) {
+        self.segments_deleted.add(segments);
+    }
+
+    /// Records a guest-tier synchronous-durability request that was
+    /// denied (asymmetric durability: sync is a VIP privilege).
+    #[progress(wait_free)]
+    pub(crate) fn record_sync_denied(&self) {
+        self.sync_denied.inc();
+    }
+
+    /// Sets the open-time replay gauge (once).
+    #[progress(wait_free)]
+    pub(crate) fn set_replay_frames(&self, frames: u64) {
+        self.replay_frames.set(frames);
+    }
+
+    /// Records a torn tail cut off at open.
+    #[progress(wait_free)]
+    pub(crate) fn record_torn_tail(&self) {
+        self.torn_tails.inc();
+    }
+
+    /// The WAL's samples.
+    #[progress(wait_free)]
+    pub(crate) fn samples(&self) -> Vec<Sample> {
+        let appends = [("group", self.group_appends.get()), ("sync", self.sync_appends.get())];
+        let mut out = Vec::new();
+        for (class, count) in appends {
+            out.push(Sample {
+                name: "store_wal_appends_total",
+                help: "WAL frames enqueued, by durability class.",
+                labels: vec![("class", String::from(class))],
+                value: SampleValue::Counter(count),
+            });
+        }
+        out.push(Sample {
+            name: "store_wal_appended_bytes_total",
+            help: "Bytes of encoded WAL frames enqueued.",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.appended_bytes.get()),
+        });
+        out.push(Sample {
+            name: "store_wal_flushes_total",
+            help: "WAL write-and-fsync cycles.",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.flushes.get()),
+        });
+        out.push(Sample {
+            name: "store_wal_flush_failures_total",
+            help: "WAL flush cycles that failed.",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.failures.get()),
+        });
+        out.push(Sample {
+            name: "store_wal_group_frames",
+            help: "Frames coalesced into one WAL flush cycle (group-commit size).",
+            labels: Vec::new(),
+            value: SampleValue::Histogram(self.group_frames.snapshot()),
+        });
+        out.push(Sample {
+            name: "store_wal_fsync_latency_ns",
+            help: "Wall-clock latency of one WAL write-and-fsync cycle, in nanoseconds.",
+            labels: Vec::new(),
+            value: SampleValue::Histogram(self.fsync_latency_ns.snapshot()),
+        });
+        out.push(Sample {
+            name: "store_wal_rotations_total",
+            help: "WAL segment rotations (size threshold or checkpoint seal).",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.rotations.get()),
+        });
+        out.push(Sample {
+            name: "store_wal_segments_deleted_total",
+            help: "WAL segments deleted by checkpoint truncation.",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.segments_deleted.get()),
+        });
+        out.push(Sample {
+            name: "store_wal_sync_denied_total",
+            help: "Guest-tier synchronous-durability requests denied (VIP privilege).",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.sync_denied.get()),
+        });
+        out.push(Sample {
+            name: "store_wal_replay_frames",
+            help: "Frames replayed from pre-existing segments at WAL open.",
+            labels: Vec::new(),
+            value: SampleValue::Gauge(self.replay_frames.get()),
+        });
+        out.push(Sample {
+            name: "store_wal_torn_tails_total",
+            help: "Torn tails cut off at WAL open (expected crash damage).",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.torn_tails.get()),
+        });
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use apc_obs::MetricsSnapshot;
@@ -431,6 +613,37 @@ mod tests {
         let lat = s.histogram("store_persist_flush_latency_ns", &[]).unwrap();
         assert_eq!(lat.count, 2);
         assert_eq!(lat.sum, 302_000_000);
+    }
+
+    #[test]
+    fn wal_metrics_track_appends_flushes_and_lifecycle() {
+        let m = WalMetrics::new();
+        m.record_append(64, crate::wal::DurabilityClass::Group);
+        m.record_append(32, crate::wal::DurabilityClass::Group);
+        m.record_append(48, crate::wal::DurabilityClass::Sync);
+        m.record_flush(2_000_000, 3, true);
+        m.record_flush(500_000_000, 1, false);
+        m.record_rotation();
+        m.record_truncation(4);
+        m.record_sync_denied();
+        m.set_replay_frames(7);
+        m.record_torn_tail();
+        let s = MetricsSnapshot { samples: m.samples() };
+        assert_eq!(s.value("store_wal_appends_total", &[("class", "group")]), Some(2));
+        assert_eq!(s.value("store_wal_appends_total", &[("class", "sync")]), Some(1));
+        assert_eq!(s.value("store_wal_appended_bytes_total", &[]), Some(144));
+        assert_eq!(s.value("store_wal_flushes_total", &[]), Some(2));
+        assert_eq!(s.value("store_wal_flush_failures_total", &[]), Some(1));
+        let group = s.histogram("store_wal_group_frames", &[]).unwrap();
+        assert_eq!(group.count, 2);
+        assert_eq!(group.sum, 4);
+        let lat = s.histogram("store_wal_fsync_latency_ns", &[]).unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(s.value("store_wal_rotations_total", &[]), Some(1));
+        assert_eq!(s.value("store_wal_segments_deleted_total", &[]), Some(4));
+        assert_eq!(s.value("store_wal_sync_denied_total", &[]), Some(1));
+        assert_eq!(s.value("store_wal_replay_frames", &[]), Some(7));
+        assert_eq!(s.value("store_wal_torn_tails_total", &[]), Some(1));
     }
 
     #[test]

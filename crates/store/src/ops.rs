@@ -98,6 +98,17 @@ pub enum StoreResp {
         /// that routes correctly for it).
         epoch: u64,
     },
+    /// The operation could not be placed: a reconfiguration bounced it
+    /// ([`StoreResp::Moved`]) and the required topology was never
+    /// published within the store's view-wait bound — the reconfiguration
+    /// driver likely died between installing its bump and publishing.
+    /// Nothing was applied for this operation; retrying is safe once the
+    /// topology recovers. This is the typed, non-panicking surface of what
+    /// used to be a client-thread abort.
+    Unavailable {
+        /// The topology version the retry loop was waiting for.
+        version: u64,
+    },
 }
 
 impl StoreResp {

@@ -449,6 +449,11 @@ pub struct Persister {
     /// Flush instruments — atomics outside the state mutex, so scraping
     /// never queues behind an in-flight fsync.
     metrics: PersistMetrics,
+    /// The op-granular WAL this persister coordinates with
+    /// ([`Persister::with_wal`]): each checkpoint seal rotates it first
+    /// and truncates the pre-rotation segments once the snapshot rename
+    /// lands.
+    wal: Option<std::sync::Arc<crate::wal::Wal>>,
 }
 
 #[derive(Debug, Default)]
@@ -495,7 +500,29 @@ impl Persister {
             state: Mutex::new(FlushState::default()),
             arrived: Condvar::new(),
             metrics: PersistMetrics::new(),
+            wal: None,
         }
+    }
+
+    /// Couples this persister to an op-granular [`Wal`](crate::wal::Wal):
+    /// every checkpoint seal rotates the WAL to a fresh segment *before*
+    /// sealing and truncates the pre-rotation segments once the snapshot
+    /// rename is durable — so the WAL only ever holds the delta since the
+    /// last successful snapshot, and recovery is snapshot + short replay.
+    ///
+    /// Safe ordering argument: a frame in a pre-rotation segment logs a
+    /// commit whose log cell is at or below the index this cycle seals, so
+    /// its effect is inside the snapshot (and replaying it anyway would be
+    /// an idempotent no-op). If the snapshot write *fails*, nothing is
+    /// truncated and the frames stay replayable.
+    pub fn with_wal(mut self, wal: std::sync::Arc<crate::wal::Wal>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&std::sync::Arc<crate::wal::Wal>> {
+        self.wal.as_ref()
     }
 
     /// A wait-free scrape of the persister's metric series (flush cycles,
@@ -506,7 +533,11 @@ impl Persister {
     /// queue behind an in-flight fsync.
     #[progress(wait_free)]
     pub fn scrape(&self) -> MetricsSnapshot {
-        MetricsSnapshot { samples: self.metrics.samples() }
+        let mut samples = self.metrics.samples();
+        if let Some(wal) = &self.wal {
+            samples.extend(wal.scrape().samples);
+        }
+        MetricsSnapshot { samples }
     }
 
     /// The snapshot path.
@@ -566,7 +597,7 @@ impl Persister {
                 drop(st);
                 let guard = LeaderGuard(self);
                 let start = std::time::Instant::now();
-                let outcome = store.checkpoint().write_to(&self.path);
+                let outcome = self.seal_cycle(store);
                 std::mem::forget(guard); // normal path: finalize below
                 self.metrics.record_flush(elapsed_ns(start), outcome.is_ok());
                 led = true;
@@ -584,6 +615,52 @@ impl Persister {
             }
         }
     }
+
+    /// One physical seal cycle. With a WAL attached: rotate it to a fresh
+    /// segment, seal and write the snapshot, then truncate the
+    /// pre-rotation segments — strictly in that order, so a failure at
+    /// any point leaves every un-snapshotted frame replayable (see
+    /// [`Persister::with_wal`]).
+    #[progress(blocking)]
+    fn seal_cycle(&self, store: &Store) -> Result<(), PersistError> {
+        let cut = match &self.wal {
+            Some(wal) => Some(wal.rotate()?),
+            None => None,
+        };
+        store.checkpoint().write_to(&self.path)?;
+        if let (Some(wal), Some(cut)) = (&self.wal, cut) {
+            wal.truncate_before(cut);
+        }
+        Ok(())
+    }
+}
+
+/// Removes orphaned `<snapshot>.<pid>-<seq>.tmp` siblings that a crash
+/// mid-[`StoreSnapshot::write_to`] left next to `path` — a temp file that
+/// was written but never renamed. Such a file is garbage by construction
+/// (a completed write renames its temp away atomically), so recovery must
+/// neither trust it nor trip over it; it is swept before the snapshot is
+/// read. Returns how many files were removed.
+///
+/// Only safe at boot, before any concurrent flusher targets `path`: a
+/// live [`Persister`]'s in-flight temp file would match the pattern too.
+pub(crate) fn sweep_orphan_tmps(path: &Path) -> u64 {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else { return 0 };
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let prefix = format!("{name}.");
+    let Ok(entries) = fs::read_dir(&dir) else { return 0 };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let file_name = entry.file_name();
+        let Some(s) = file_name.to_str() else { continue };
+        if s.starts_with(&prefix) && s.ends_with(".tmp") && fs::remove_file(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
 }
 
 /// Maps a structural topology defect to its typed decode error, keeping

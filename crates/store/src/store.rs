@@ -52,6 +52,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use apc_core::liveness::Liveness;
 use apc_progress_macros::progress;
@@ -68,6 +69,7 @@ use crate::ops::{
     AdoptSpec, Batch, MergeSpec, ShardCmd, ShardState, SplitSpec, StoreOp, StoreResp,
 };
 use crate::router::{MergeError, ShardTopology};
+use crate::wal::{DurabilityClass, DurabilityError, Wal, WalFrame};
 
 /// The universal-object type backing one shard.
 pub type ShardLog = Universal<crate::ops::ShardSpec, AsymmetricFactory>;
@@ -171,6 +173,7 @@ pub struct StoreBuilder {
     admission: AdmissionConfig,
     checkpoint_every: Option<u64>,
     elastic: Option<ElasticityPolicy>,
+    view_wait: Duration,
 }
 
 impl Default for StoreBuilder {
@@ -180,6 +183,7 @@ impl Default for StoreBuilder {
             admission: AdmissionConfig::default(),
             checkpoint_every: None,
             elastic: None,
+            view_wait: Duration::from_secs(60),
         }
     }
 }
@@ -249,6 +253,18 @@ impl StoreBuilder {
         self
     }
 
+    /// Bounds how long a client's `Moved` retry waits for a bumped
+    /// topology to publish (default 60s). If the reconfiguration driver
+    /// dies between installing its bump and publishing the view, affected
+    /// operations degrade to the typed
+    /// [`StoreResp::Unavailable`](crate::ops::StoreResp::Unavailable)
+    /// response once the bound expires — the client thread is never
+    /// aborted.
+    pub fn view_wait_timeout(mut self, timeout: Duration) -> Self {
+        self.view_wait = timeout;
+        self
+    }
+
     /// Builds the store: admission layer, topology, and `S` shard logs with
     /// their port pools and stats snapshots.
     ///
@@ -257,7 +273,22 @@ impl StoreBuilder {
     /// Propagates [`AdmissionError::BadConfig`] for unrealizable sizings
     /// (including `shards == 0`).
     pub fn build(self) -> Result<Store, AdmissionError> {
-        self.build_from(None)
+        self.build_from(None, None)
+    }
+
+    /// Builds the store with an op-granular [`Wal`] attached: every commit
+    /// logs its resolved effects between checkpoints, closing the
+    /// since-last-snapshot crash window, and VIP sessions may opt into
+    /// synchronous durability ([`Client::execute_durable`]). Pair the
+    /// store with [`Persister::with_wal`](crate::persist::Persister::with_wal)
+    /// so checkpoint seals rotate and truncate the log, and recover with
+    /// [`StoreBuilder::recover_with_wal`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StoreBuilder::build`].
+    pub fn build_with_wal(self, wal: Arc<Wal>) -> Result<Store, AdmissionError> {
+        self.build_from(None, Some(wal))
     }
 
     /// Rebuilds a store from a durable snapshot previously written by the
@@ -281,17 +312,79 @@ impl StoreBuilder {
     /// checksum mismatch, truncation),
     /// [`RecoverError::Admission`](crate::persist::RecoverError::Admission)
     /// for unrealizable admission sizings.
+    /// Recovery first sweeps any orphaned `*.tmp` siblings a crash left
+    /// next to the snapshot (a temp file that was written but never
+    /// renamed is garbage by construction — it is neither trusted nor
+    /// tripped over).
     pub fn recover(
         self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<Store, crate::persist::RecoverError> {
+        let path = path.as_ref();
+        crate::persist::sweep_orphan_tmps(path);
         let snapshot = crate::persist::StoreSnapshot::read_from(path)?;
-        Ok(self.build_from(Some(snapshot))?)
+        Ok(self.build_from(Some(snapshot), None)?)
+    }
+
+    /// Full crash recovery: snapshot + WAL replay. Rebuilds the store from
+    /// the snapshot at `path` (as [`StoreBuilder::recover`], including the
+    /// orphaned-tmp sweep; a *missing* snapshot is a fresh store — the
+    /// process may have died before its first checkpoint), then re-applies
+    /// the effects `wal` recovered from the dead process's segments:
+    /// frames sort into per-shard linearization order by their
+    /// `(epoch, shard, cell)` stamps, collapse to one final effect per
+    /// key, and replay **by key** through fresh routing — so replay is
+    /// exact even across splits/merges installed after the snapshot, and
+    /// idempotent where the snapshot already contains an effect. The
+    /// replayed effects are re-logged into `wal`'s fresh segment, so a
+    /// second crash during recovery loses nothing.
+    ///
+    /// On return, the store serves with `wal` attached (as
+    /// [`StoreBuilder::build_with_wal`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`StoreBuilder::recover`], except a missing snapshot file is not
+    /// an error here. Corrupt WAL segments fail closed in
+    /// [`Wal::open`] — before this is ever called.
+    pub fn recover_with_wal(
+        self,
+        path: impl AsRef<std::path::Path>,
+        wal: Arc<Wal>,
+    ) -> Result<Store, crate::persist::RecoverError> {
+        let path = path.as_ref();
+        crate::persist::sweep_orphan_tmps(path);
+        let snapshot = match crate::persist::StoreSnapshot::read_from(path) {
+            Ok(snap) => Some(snap),
+            Err(crate::persist::PersistError::Io {
+                kind: std::io::ErrorKind::NotFound, ..
+            }) => None,
+            Err(e) => return Err(e.into()),
+        };
+        let recovery = wal.take_recovered();
+        let store = self.build_from(snapshot, Some(wal))?;
+        if let Some(recovery) = recovery {
+            let effects = recovery.collapsed_effects();
+            if !effects.is_empty() {
+                let ops: Vec<StoreOp> = effects
+                    .into_iter()
+                    .map(|(key, effect)| match effect {
+                        Some(value) => StoreOp::Put(key, value),
+                        None => StoreOp::Remove(key),
+                    })
+                    .collect();
+                // Replay rides a guest session: recovery is boot-time
+                // work and must never consume a VIP port.
+                store.client(store.admit_guest()).execute(ops);
+            }
+        }
+        Ok(store)
     }
 
     fn build_from(
         self,
         snapshot: Option<crate::persist::StoreSnapshot>,
+        wal: Option<Arc<Wal>>,
     ) -> Result<Store, AdmissionError> {
         let topology = match &snapshot {
             Some(snap) => snap.topology.clone(),
@@ -327,6 +420,8 @@ impl StoreBuilder {
             }),
             total_commits: AtomicU64::new(0),
             metrics: StoreMetrics::new(),
+            wal,
+            view_wait: self.view_wait,
         };
         // The boot-time replay-work gauge: ~0 for a fresh build, O(delta)
         // past the anchors when recovering. Uncontended here — the store
@@ -399,6 +494,14 @@ pub struct Store {
     /// The always-on metric registry; every record path is wait-free, so
     /// instrumentation never weakens a commit path's progress class.
     metrics: StoreMetrics,
+    /// The op-granular WAL, if attached ([`StoreBuilder::build_with_wal`]
+    /// / [`StoreBuilder::recover_with_wal`]): every commit logs its
+    /// resolved effects, and VIP sessions may demand fsync'd durability
+    /// ([`Client::execute_durable`]).
+    wal: Option<Arc<Wal>>,
+    /// Bound on a client's wait for a bumped-but-unpublished topology
+    /// before degrading to [`StoreResp::Unavailable`].
+    view_wait: Duration,
 }
 
 impl Store {
@@ -435,30 +538,36 @@ impl Store {
 
     /// Waits for a view of at least `min_version`: the topology a `Moved`
     /// rejection pointed at. The split/merge driver publishes it right
-    /// after installing the bump, so the wait is bounded by the driver's
-    /// remaining migration work (microseconds in practice).
+    /// after installing the bump, so the wait is normally bounded by the
+    /// driver's remaining migration work (microseconds in practice) and
+    /// the first few yield-only spins catch it.
     ///
-    /// # Panics
-    ///
-    /// Panics after a generous timeout if the view never arrives — that
-    /// means the reconfiguration driver died between installing its bump
-    /// and publishing the topology (the store's one cross-thread
-    /// obligation), and a loud failure beats every client of the
-    /// reconfigured shard hanging silently forever.
+    /// The wait is **bounded** (`StoreBuilder::view_wait_timeout`): a
+    /// yield, then exponential backoff sleeps capped at 1ms, until the
+    /// deadline. `None` past the deadline means the reconfiguration
+    /// driver died between installing its bump and publishing the
+    /// topology (the store's one cross-thread obligation); the caller
+    /// surfaces that as the typed [`StoreResp::Unavailable`] instead of
+    /// aborting the client thread.
     #[progress(blocking)]
-    fn view_at_least(&self, min_version: u64) -> Arc<StoreView> {
-        let start = std::time::Instant::now();
+    fn view_at_least(&self, min_version: u64) -> Option<Arc<StoreView>> {
+        let deadline = std::time::Instant::now() + self.view_wait;
+        let mut backoff_ns: u64 = 0;
         loop {
             let view = self.current_view();
             if view.topology.version() >= min_version {
-                return view;
+                return Some(view);
             }
-            assert!(
-                start.elapsed() < std::time::Duration::from_secs(60),
-                "topology v{min_version} was committed to a shard log but never published \
-                 (split/merge driver died mid-reconfig?)"
-            );
-            std::thread::yield_now();
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            if backoff_ns == 0 {
+                std::thread::yield_now();
+                backoff_ns = 1_000;
+            } else {
+                std::thread::sleep(Duration::from_nanos(backoff_ns));
+                backoff_ns = (backoff_ns * 2).min(1_000_000);
+            }
         }
     }
 
@@ -842,11 +951,18 @@ impl Store {
     /// tier so each tier's progress class is its own auditable function:
     /// [`Store::commit_vip`] (bounded wait-free) never runs the elasticity
     /// tick; [`Store::commit_guest`] (obstruction-free) carries it.
-    fn commit(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+    fn commit(
+        &self,
+        shard: &Shard,
+        shard_id: usize,
+        port: usize,
+        batch: Batch,
+        durability: DurabilityClass,
+    ) -> Vec<StoreResp> {
         if port < self.admission.spec().x() {
-            self.commit_vip(shard, port, batch)
+            self.commit_vip(shard, shard_id, port, batch, durability)
         } else {
-            self.commit_guest(shard, port, batch)
+            self.commit_guest(shard, shard_id, port, batch, durability)
         }
     }
 
@@ -856,10 +972,17 @@ impl Store {
     /// ([`Store::note_commit`]), but the policy evaluation — and every
     /// reconfiguration it could install — stays off this path.
     #[progress(bounded_wait_free)]
-    fn commit_vip(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+    fn commit_vip(
+        &self,
+        shard: &Shard,
+        shard_id: usize,
+        port: usize,
+        batch: Batch,
+        durability: DurabilityClass,
+    ) -> Vec<StoreResp> {
         let ops = batch.ops.len() as u64;
         let start = std::time::Instant::now();
-        let resps = self.commit_on(shard, port, batch);
+        let resps = self.commit_on(shard, shard_id, port, batch, durability);
         self.note_commit();
         self.metrics.record_commit(ProgressClass::Vip, ops, elapsed_ns(start), count_moved(&resps));
         resps
@@ -870,10 +993,17 @@ impl Store {
     /// the obstruction-free tier is also the tier that pays for
     /// reconfiguration.
     #[progress(obstruction_free)]
-    fn commit_guest(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+    fn commit_guest(
+        &self,
+        shard: &Shard,
+        shard_id: usize,
+        port: usize,
+        batch: Batch,
+        durability: DurabilityClass,
+    ) -> Vec<StoreResp> {
         let ops = batch.ops.len() as u64;
         let start = std::time::Instant::now();
-        let resps = self.commit_on(shard, port, batch);
+        let resps = self.commit_on(shard, shard_id, port, batch, durability);
         self.metrics.record_commit(
             ProgressClass::Guest,
             ops,
@@ -887,11 +1017,40 @@ impl Store {
     }
 
     /// The tier-independent commit body: one universal-log append, a digest
-    /// publication, and (if configured) the auto-checkpoint cadence.
-    fn commit_on(&self, shard: &Shard, port: usize, batch: Batch) -> Vec<StoreResp> {
+    /// publication, a WAL effect frame (if a WAL is attached), and (if
+    /// configured) the auto-checkpoint cadence.
+    fn commit_on(
+        &self,
+        shard: &Shard,
+        shard_id: usize,
+        port: usize,
+        batch: Batch,
+        durability: DurabilityClass,
+    ) -> Vec<StoreResp> {
+        let wal_ops = self.wal.as_ref().map(|_| Arc::clone(&batch.ops));
         // APC-LINT: allow(progress): a VIP port's mutex is uncontended by construction (one exclusive owner, and reconfiguration never touches VIP ports), so the VIP path's lock is bounded; guest ports share theirs by design
         let mut handle = shard.ports[port].lock().expect("port slot poisoned");
         let resps = handle.apply(ShardCmd::Batch(batch));
+        if let (Some(wal), Some(ops)) = (&self.wal, wal_ops) {
+            // Frame the commit's resolved effects while still holding the
+            // port lock: the handle's replay cursor is exactly one past
+            // this batch's log cell here, giving the frame its exact
+            // per-shard linearization stamp. The enqueue is a bounded
+            // encode-and-append into the group-commit buffer — fsync never
+            // happens under a port lock; a VIP that wants it blocks in
+            // `Client::execute_durable`, after every lock is released.
+            let effects = crate::wal::resolved_effects(&ops, &resps);
+            if !effects.is_empty() {
+                // APC-LINT: allow(progress): durability is its own progress class (the module's thesis): logging an effect frame is a bounded buffer append under the WAL mutex, whose critical sections are all bounded memcpys — never an fsync
+                wal.enqueue(&WalFrame {
+                    epoch: handle.local_state().epoch(),
+                    shard: shard_id as u32,
+                    cell: handle.replayed_cells(),
+                    class: durability,
+                    effects,
+                });
+            }
+        }
         shard.publish_digest(port, &handle);
         if let Some(k) = self.checkpoint_every {
             // RELAXED: cadence counter — the checkpoint trigger needs an
@@ -975,7 +1134,13 @@ impl Store {
     /// Plans and commits `ops` under `view`, one log append per touched
     /// shard, returning responses in invocation order (stale sub-batches
     /// come back as [`StoreResp::Moved`]).
-    fn execute_in(&self, view: &StoreView, port: usize, ops: Vec<StoreOp>) -> Vec<StoreResp> {
+    fn execute_in(
+        &self,
+        view: &StoreView,
+        port: usize,
+        ops: Vec<StoreOp>,
+        durability: DurabilityClass,
+    ) -> Vec<StoreResp> {
         let plan = view.topology.plan(ops);
         let (subs, reassembly) = plan.into_sub_batches();
         let version = view.topology.version();
@@ -986,11 +1151,16 @@ impl Store {
                 if sub.is_empty() {
                     Vec::new()
                 } else {
-                    self.commit(&view.shards[s], port, Batch::new(version, sub))
+                    self.commit(&view.shards[s], s, port, Batch::new(version, sub), durability)
                 }
             })
             .collect();
         reassembly.reassemble(per_shard)
+    }
+
+    /// The attached op-granular WAL, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 }
 
@@ -1048,11 +1218,57 @@ impl Client<'_> {
     /// session shares its port, so its commits queue behind the port
     /// mutex. A VIP session's commits are bounded wait-free
     /// (`Store::commit_vip`) except across a concurrent reconfiguration,
-    /// where the `Moved` retry waits for the new topology to publish.
+    /// where the `Moved` retry waits (bounded) for the new topology to
+    /// publish; past the bound those operations come back
+    /// [`StoreResp::Unavailable`] instead of hanging or aborting.
     #[progress(obstruction_free)]
     pub fn execute(&mut self, ops: Vec<StoreOp>) -> Vec<StoreResp> {
+        self.execute_with(ops, DurabilityClass::Group)
+    }
+
+    /// Executes a batch under the VIP-only **synchronous durability
+    /// class**: on `Ok`, every effect of the batch is fsync'd into the
+    /// store's WAL and survives a kill at any later point — the
+    /// durability half of the paper's asymmetric guarantees. Guest
+    /// sessions are refused ([`DurabilityError::GuestTier`]): their
+    /// commits always ride the coalesced group flusher, exactly as their
+    /// progress class rides the shared ports.
+    ///
+    /// The commit itself is applied in memory before the fsync wait, so
+    /// an `Err` after a partial flush failure means "applied but not
+    /// durably acknowledged" — the same contract as a failed
+    /// [`Persister::persist`](crate::persist::Persister::persist).
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::GuestTier`] for non-VIP sessions,
+    /// [`DurabilityError::NoWal`] if the store was built without a WAL,
+    /// [`DurabilityError::Wal`] if the covering flush failed.
+    #[progress(blocking)]
+    pub fn execute_durable(
+        &mut self,
+        ops: Vec<StoreOp>,
+    ) -> Result<Vec<StoreResp>, DurabilityError> {
+        let store = self.store;
+        if !matches!(self.ticket.class(), ProgressClass::Vip) {
+            if let Some(wal) = store.wal() {
+                wal.metrics().record_sync_denied();
+            }
+            return Err(DurabilityError::GuestTier);
+        }
+        let Some(wal) = store.wal() else {
+            return Err(DurabilityError::NoWal);
+        };
+        let resps = self.execute_with(ops, DurabilityClass::Sync);
+        wal.sync().map_err(DurabilityError::Wal)?;
+        Ok(resps)
+    }
+
+    /// The execute body, parameterized by the durability class its WAL
+    /// frames carry.
+    fn execute_with(&mut self, ops: Vec<StoreOp>, durability: DurabilityClass) -> Vec<StoreResp> {
         let view = self.store.current_view();
-        let mut resps = self.store.execute_in(&view, self.ticket.port(), ops.clone());
+        let mut resps = self.store.execute_in(&view, self.ticket.port(), ops.clone(), durability);
         loop {
             let moved: Vec<(usize, u64)> = resps
                 .iter()
@@ -1065,53 +1281,86 @@ impl Client<'_> {
             if moved.is_empty() {
                 return resps;
             }
-            let need = moved.iter().map(|&(_, e)| e).max().expect("moved is non-empty");
-            let view = self.store.view_at_least(need);
+            let Some(need) = moved.iter().map(|&(_, e)| e).max() else {
+                return resps; // moved is non-empty here; total anyway
+            };
+            let Some(view) = self.store.view_at_least(need) else {
+                // The bumped topology never published (dead reconfig
+                // driver): degrade the still-bounced slots to the typed
+                // response instead of crashing the client thread.
+                for &(slot, _) in &moved {
+                    resps[slot] = StoreResp::Unavailable { version: need };
+                }
+                return resps;
+            };
             let retry: Vec<StoreOp> = moved.iter().map(|&(i, _)| ops[i].clone()).collect();
-            let retried = self.store.execute_in(&view, self.ticket.port(), retry);
+            let retried = self.store.execute_in(&view, self.ticket.port(), retry, durability);
             for (&(slot, _), resp) in moved.iter().zip(retried) {
                 resps[slot] = resp;
             }
         }
     }
 
+    /// Executes one operation. Total by construction: one op in, one
+    /// response out; a shape mismatch (a store bug) degrades to
+    /// `Value(None)` rather than aborting the client thread.
     fn execute_one(&mut self, op: StoreOp) -> StoreResp {
-        self.execute(vec![op]).pop().expect("one op, one response")
+        match self.execute(vec![op]).pop() {
+            Some(resp) => resp,
+            None => StoreResp::Value(None),
+        }
     }
 
-    /// Reads `key`.
+    /// Reads `key`. `None` means absent — or, degenerately, that the
+    /// operation came back [`StoreResp::Unavailable`] (use
+    /// [`Client::execute`] to distinguish).
     #[progress(obstruction_free)]
     pub fn get(&mut self, key: &str) -> Option<u64> {
-        self.execute_one(StoreOp::Get(key.into())).expect_value()
+        match self.execute_one(StoreOp::Get(key.into())) {
+            StoreResp::Value(v) => v,
+            _ => None,
+        }
     }
 
-    /// Writes `key`, returning the previous value.
+    /// Writes `key`, returning the previous value (`None` if absent or
+    /// unavailable — see [`Client::get`]).
     #[progress(obstruction_free)]
     pub fn put(&mut self, key: &str, value: u64) -> Option<u64> {
-        self.execute_one(StoreOp::Put(key.into(), value)).expect_value()
+        match self.execute_one(StoreOp::Put(key.into(), value)) {
+            StoreResp::Value(v) => v,
+            _ => None,
+        }
     }
 
-    /// Removes `key`, returning the removed value.
+    /// Removes `key`, returning the removed value (`None` if absent or
+    /// unavailable — see [`Client::get`]).
     #[progress(obstruction_free)]
     pub fn remove(&mut self, key: &str) -> Option<u64> {
-        self.execute_one(StoreOp::Remove(key.into())).expect_value()
+        match self.execute_one(StoreOp::Remove(key.into())) {
+            StoreResp::Value(v) => v,
+            _ => None,
+        }
     }
 
-    /// Compare-and-set on `key`; returns `(ok, actual)`.
+    /// Compare-and-set on `key`; returns `(ok, actual)`. An unavailable
+    /// topology reads as a failed CAS with `actual: None` — nothing was
+    /// applied (use [`Client::execute`] to distinguish).
     #[progress(obstruction_free)]
     pub fn cas(&mut self, key: &str, expect: Option<u64>, new: u64) -> (bool, Option<u64>) {
         match self.execute_one(StoreOp::Cas { key: key.into(), expect, new }) {
             StoreResp::Cas { ok, actual } => (ok, actual),
-            other => panic!("cas returned {other:?}"),
+            _ => (false, None),
         }
     }
 
-    /// Range scan over `[from, to)` merged across all shards, in key order.
+    /// Range scan over `[from, to)` merged across all shards, in key
+    /// order. An unavailable topology reads as an empty scan (use
+    /// [`Client::execute`] to distinguish).
     #[progress(obstruction_free)]
     pub fn scan(&mut self, from: &str, to: &str) -> Vec<(String, u64)> {
         match self.execute_one(StoreOp::Scan { from: from.into(), to: to.into() }) {
             StoreResp::Entries(entries) => entries,
-            other => panic!("scan returned {other:?}"),
+            _ => Vec::new(),
         }
     }
 }

@@ -1,0 +1,1277 @@
+//! Op-granular write-ahead log: the durability layer between checkpoints.
+//!
+//! The [`persist`](crate::persist) layer's guarantee is *prefix consistency
+//! as of the last snapshot flush* — every commit since the last checkpoint
+//! dies with the process. This module closes that window with an
+//! append-only, segmented WAL that logs the **resolved effects** of every
+//! mutating batch between checkpoints, and — the paper's thesis extended
+//! to durability — makes durability an **asymmetric progress class of its
+//! own**:
+//!
+//! * **guest / default** ([`DurabilityClass::Group`]): a commit enqueues
+//!   its frame into the coalescing buffer and returns; a background
+//!   flusher (or the next [`Wal::sync`] leader) writes and fsyncs many
+//!   frames per cycle — the group-commit win. A crash may lose the frames
+//!   buffered since the last cycle, and recovery restores a *consistent
+//!   per-shard prefix* of what was logged;
+//! * **VIP opt-in** ([`DurabilityClass::Sync`], via
+//!   [`Client::execute_durable`](crate::store::Client::execute_durable)):
+//!   the commit returns only after its frame — and everything enqueued
+//!   before it — is fsync'd. Acknowledged sync commits survive a kill at
+//!   any point. Only the VIP tier may opt in: hard guarantees are bounded,
+//!   exactly as the admission layer bounds the wait-free tier.
+//!
+//! ## Why effects, not operations
+//!
+//! A frame records what a batch **did** (`key → Some(value)` /
+//! `key → None`), with compare-and-set resolved at its linearization
+//! point. Effects are absolute, so replay is idempotent (last writer wins
+//! per key) and re-applying an effect already captured by a snapshot is
+//! harmless. Each frame is stamped with the committing shard's
+//! `(epoch, shard, cell)` — the cell index comes from the committing
+//! port's own replay cursor, which is exact at commit time — so recovery
+//! can sort frames into per-shard linearization order even when two ports
+//! of one shard raced to the buffer in the wrong order. Effects are
+//! re-applied **by key** through fresh routing, which makes replay
+//! indifferent to splits and merges that happened after the snapshot.
+//!
+//! ## On-disk format (version 1, little-endian)
+//!
+//! ```text
+//! segment file "wal-{seq:016x}.apcw":
+//!   header: "APCW" | version u32 | segment_seq u64          (16 bytes)
+//!   frame ×N:
+//!     payload_len u32
+//!     payload: epoch u64 | shard u32 | cell u64 | class u8 |
+//!              effect_count u32 |
+//!              effect ×count: tag u8 (0 = set, 1 = delete) |
+//!                             key_len u32 | key bytes |
+//!                             value u64 (tag 0 only)
+//!     crc u64                       (FNV-1a of the payload)
+//! ```
+//!
+//! Segments rotate at [`WalConfig::segment_bytes`] and are truncated at
+//! each checkpoint seal: [`Persister`](crate::persist::Persister) rotates
+//! to a fresh segment *before* sealing, writes the snapshot, and deletes
+//! every segment older than the rotation point — safe because any frame
+//! in an older segment logs a cell below its shard's seal index, so its
+//! effect is inside the snapshot (and re-applying it would be a no-op
+//! anyway).
+//!
+//! ## Failure policy
+//!
+//! Decoding fails closed with typed [`PersistError`]s. A **torn tail** —
+//! the unique suffix a crash can tear, with no valid frame anywhere after
+//! it — is expected damage: the valid prefix is recovered and the tear is
+//! counted ([`WalRecovery::torn_tail`]). A bad frame **followed by a
+//! valid one** (a bit flip in the middle of the log) is not crash damage
+//! and recovery refuses it outright.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Duration;
+
+use apc_obs::MetricsSnapshot;
+use apc_progress_macros::progress;
+
+use crate::metrics::{elapsed_ns, WalMetrics};
+use crate::ops::{Key, StoreOp, StoreResp};
+use crate::persist::PersistError;
+use crate::router::fnv1a64;
+
+/// Magic bytes opening every WAL segment file.
+pub const WAL_MAGIC: [u8; 4] = *b"APCW";
+
+/// Current WAL segment format version.
+pub const WAL_VERSION: u32 = 1;
+
+/// Segment header size: magic + version + segment sequence number.
+const SEGMENT_HEADER: usize = 16;
+
+/// Upper bound on one frame's payload — a decode-time sanity cap so a
+/// corrupted length field cannot make the reader attempt a huge
+/// allocation.
+const MAX_FRAME_PAYLOAD: u32 = 16 << 20;
+
+/// The durability class of one commit — the paper's asymmetric progress
+/// conditions applied to the durability axis.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum DurabilityClass {
+    /// Ride the coalesced group-commit flusher (the default): the commit
+    /// returns as soon as its frame is buffered; a crash may lose frames
+    /// buffered since the last flush cycle.
+    #[default]
+    Group,
+    /// Synchronous durability (VIP opt-in): the commit returns only after
+    /// its frame is fsync'd. See
+    /// [`Client::execute_durable`](crate::store::Client::execute_durable).
+    Sync,
+}
+
+/// Errors of the synchronous-durability commit path
+/// ([`Client::execute_durable`](crate::store::Client::execute_durable)).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DurabilityError {
+    /// Synchronous durability is a VIP privilege; guest commits always
+    /// ride the group flusher (asymmetric durability, by design).
+    GuestTier,
+    /// The store was built without a WAL; there is nothing to fsync.
+    NoWal,
+    /// The WAL flush itself failed; the commit is applied in memory but
+    /// its durability is **not** acknowledged.
+    Wal(PersistError),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::GuestTier => {
+                f.write_str("synchronous durability is a VIP privilege (guest tier denied)")
+            }
+            DurabilityError::NoWal => f.write_str("the store has no WAL attached"),
+            DurabilityError::Wal(e) => write!(f, "WAL flush failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+/// Tuning knobs of the WAL's group-commit flusher and segment layout.
+/// These are the durability-side twins of the ops layer's batching knobs;
+/// [`Persister`](crate::persist::Persister) carries them via
+/// [`Persister::with_wal`](crate::persist::Persister::with_wal).
+#[derive(Copy, Clone, Debug)]
+pub struct WalConfig {
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes (checkpoint seals also rotate, regardless of size).
+    pub segment_bytes: u64,
+    /// Flush cadence of the background flusher: maximum time a buffered
+    /// group-commit frame waits before a write-and-fsync cycle.
+    pub flush_interval: Duration,
+    /// Nudge the flusher early once this many frames are buffered — the
+    /// maximum coalescing window of one group commit.
+    pub max_coalesced_frames: u64,
+    /// Spawn the background flusher thread. Without it, frames are only
+    /// flushed by [`Wal::sync`] callers (sync commits and checkpoint
+    /// rotations) — useful for deterministic tests.
+    pub background_flusher: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 4 << 20,
+            flush_interval: Duration::from_millis(2),
+            max_coalesced_frames: 128,
+            background_flusher: true,
+        }
+    }
+}
+
+/// One logged commit: the resolved effects of a mutating batch, stamped
+/// with its per-shard linearization position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WalFrame {
+    /// The committing shard instance's creation/split epoch
+    /// ([`ShardState::epoch`](crate::ops::ShardState::epoch)) — the major
+    /// replay sort key: a key's writes on an earlier shard instance all
+    /// precede its writes on a later one.
+    pub epoch: u64,
+    /// The shard id the batch committed on.
+    pub shard: u32,
+    /// The committing port's replay cursor right after the append — one
+    /// past the batch's own log cell, exact and monotone per shard.
+    pub cell: u64,
+    /// The durability class the commit was issued under.
+    pub class: DurabilityClass,
+    /// Resolved effects in batch order: `Some(v)` writes, `None` deletes.
+    /// Failed CAS and read-only ops contribute nothing.
+    pub effects: Vec<(Key, Option<u64>)>,
+}
+
+/// Everything [`Wal::open`] recovered from the segments already on disk,
+/// consumed by
+/// [`StoreBuilder::recover_with_wal`](crate::StoreBuilder::recover_with_wal).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct WalRecovery {
+    /// Every decoded frame, in file order.
+    pub frames: Vec<WalFrame>,
+    /// Whether a torn tail was cut off (expected crash damage; the frames
+    /// above are the valid prefix).
+    pub torn_tail: bool,
+    /// Segments scanned.
+    pub segments: u64,
+}
+
+impl WalRecovery {
+    /// Collapses the recovered frames into one final effect per key, in
+    /// per-shard linearization order: frames sort by
+    /// `(epoch, shard, cell)` — exact within a shard instance, and
+    /// instance-ordered for keys that migrated across a split or merge —
+    /// then fold left, last writer per key winning.
+    pub fn collapsed_effects(&self) -> BTreeMap<Key, Option<u64>> {
+        let mut ordered: Vec<&WalFrame> = self.frames.iter().collect();
+        ordered.sort_by_key(|f| (f.epoch, f.shard, f.cell));
+        let mut out = BTreeMap::new();
+        for frame in ordered {
+            for (key, effect) in &frame.effects {
+                out.insert(key.clone(), *effect);
+            }
+        }
+        out
+    }
+}
+
+/// Resolves the effects of one committed batch from its `(op, response)`
+/// pairs, as decided at the batch's linearization point: a `Put` sets, a
+/// `Remove` deletes, a *successful* `Cas` sets its new value; reads,
+/// failed CAS, and bounced (`Moved`) operations have no effect. The
+/// result is what a [`WalFrame`] records — absolute last-writer-wins
+/// effects, which is what makes replay idempotent.
+pub fn resolved_effects(ops: &[StoreOp], resps: &[StoreResp]) -> Vec<(Key, Option<u64>)> {
+    ops.iter()
+        .zip(resps)
+        .filter_map(|(op, resp)| match (op, resp) {
+            (_, StoreResp::Moved { .. } | StoreResp::Unavailable { .. }) => None,
+            (StoreOp::Put(key, value), _) => Some((key.clone(), Some(*value))),
+            (StoreOp::Remove(key), _) => Some((key.clone(), None)),
+            (StoreOp::Cas { key, new, .. }, StoreResp::Cas { ok: true, .. }) => {
+                Some((key.clone(), Some(*new)))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// The write half of one open segment.
+struct SegmentWriter {
+    file: fs::File,
+    /// Bytes written so far, header included (the rotation meter).
+    bytes: u64,
+}
+
+/// Mutable WAL state: the buffer, the open segment, and the group-commit
+/// generations (the same leader/waiter protocol as
+/// [`Persister::persist`](crate::persist::Persister::persist)).
+struct WalInner {
+    /// The open segment (`None` after an open failure; the next flush
+    /// cycle retries).
+    writer: Option<SegmentWriter>,
+    /// Sequence number of the open segment.
+    seg_seq: u64,
+    /// Encoded frames awaiting their write-and-fsync cycle.
+    pending: Vec<u8>,
+    /// Frames inside `pending`.
+    pending_frames: u64,
+    /// Generation of the newest enqueued frame.
+    appended: u64,
+    /// Generation through which flush cycles have completed.
+    completed: u64,
+    /// Generation through which a *successful* cycle has completed: every
+    /// frame at or below this line is fsync'd.
+    completed_ok: u64,
+    /// Whether a leader is currently flushing.
+    flushing: bool,
+    /// The most recent flush failure (returned to sync waiters whose
+    /// frames no successful cycle has covered).
+    last_error: Option<PersistError>,
+    /// Set by [`Wal::simulate_crash`] and on drop: enqueues become no-ops
+    /// and the flusher exits.
+    shutdown: bool,
+}
+
+/// The channel between the WAL and its background flusher thread. Kept
+/// outside [`Wal`] (its own `Arc`) so the thread can sleep without holding
+/// the WAL alive — a dropped WAL must actually drop.
+struct FlusherSignal {
+    state: Mutex<FlusherNudge>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct FlusherNudge {
+    nudged: bool,
+    shutdown: bool,
+}
+
+/// The op-granular write-ahead log: an append-only sequence of effect
+/// frames in rotated, checksummed segment files, with a coalescing
+/// group-commit flusher. See the [module docs](self).
+pub struct Wal {
+    dir: PathBuf,
+    cfg: WalConfig,
+    inner: Mutex<WalInner>,
+    /// Wakes sync waiters when a flush cycle completes.
+    flushed: Condvar,
+    signal: Arc<FlusherSignal>,
+    /// WAL instruments — atomics outside the buffer mutex, so scraping
+    /// never queues behind an in-flight fsync.
+    metrics: WalMetrics,
+    /// Frames recovered from pre-existing segments at open, taken once by
+    /// [`StoreBuilder::recover_with_wal`](crate::StoreBuilder::recover_with_wal).
+    recovered: Mutex<Option<WalRecovery>>,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal").field("dir", &self.dir).field("cfg", &self.cfg).finish()
+    }
+}
+
+impl Wal {
+    /// Opens a WAL in `dir` (created if missing): scans any segments a
+    /// previous process left behind (fail-closed; see the
+    /// [module docs](self) failure policy), then starts a **fresh**
+    /// segment after the highest existing sequence — an old segment is
+    /// never appended to, so recovery never has to distinguish two
+    /// processes' writes inside one file.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] if the directory or segment cannot be
+    /// created, any decode variant if the existing segments are corrupt
+    /// beyond a torn tail.
+    pub fn open(dir: impl Into<PathBuf>, cfg: WalConfig) -> Result<Arc<Wal>, PersistError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let (recovery, next_seq) = read_segments(&dir)?;
+        let metrics = WalMetrics::new();
+        metrics.set_replay_frames(recovery.frames.len() as u64);
+        if recovery.torn_tail {
+            metrics.record_torn_tail();
+        }
+        let writer = open_segment(&dir, next_seq)?;
+        let wal = Arc::new(Wal {
+            dir,
+            cfg,
+            inner: Mutex::new(WalInner {
+                writer: Some(writer),
+                seg_seq: next_seq,
+                pending: Vec::new(),
+                pending_frames: 0,
+                appended: 0,
+                completed: 0,
+                completed_ok: 0,
+                flushing: false,
+                last_error: None,
+                shutdown: false,
+            }),
+            flushed: Condvar::new(),
+            signal: Arc::new(FlusherSignal {
+                state: Mutex::new(FlusherNudge::default()),
+                cv: Condvar::new(),
+            }),
+            metrics,
+            recovered: Mutex::new(Some(recovery)),
+        });
+        if cfg.background_flusher {
+            let weak = Arc::downgrade(&wal);
+            let signal = Arc::clone(&wal.signal);
+            let interval = cfg.flush_interval;
+            std::thread::spawn(move || flusher_loop(weak, signal, interval));
+        }
+        Ok(wal)
+    }
+
+    /// The segment directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> WalConfig {
+        self.cfg
+    }
+
+    /// Takes the frames recovered from pre-existing segments (once).
+    pub(crate) fn take_recovered(&self) -> Option<WalRecovery> {
+        self.recovered.lock().ok().and_then(|mut slot| slot.take())
+    }
+
+    /// A wait-free scrape of the WAL's metric series (appends, flush
+    /// cycles, fsync latency, group sizes, rotations, truncations),
+    /// ready to [`merge`](MetricsSnapshot::merge) into a
+    /// [`Store::scrape`](crate::Store::scrape) snapshot. Reads atomics
+    /// only — never the buffer mutex — so a dashboard poller cannot
+    /// queue behind an in-flight fsync.
+    #[progress(wait_free)]
+    pub fn scrape(&self) -> MetricsSnapshot {
+        MetricsSnapshot { samples: self.metrics.samples() }
+    }
+
+    /// The WAL's instrument registry (commit-path counters live here so
+    /// the store can record sync denials without locking).
+    pub(crate) fn metrics(&self) -> &WalMetrics {
+        &self.metrics
+    }
+
+    /// Enqueues one frame into the group-commit buffer and returns its
+    /// generation (a ticket [`Wal::sync`] can wait on). Never blocks on
+    /// I/O: the critical section is an encode-and-append under the buffer
+    /// mutex. Frames enqueued after [`Wal::simulate_crash`] are silently
+    /// discarded — a crashed log writes nothing.
+    ///
+    /// Durability is classless here: the *frame* records the commit's
+    /// class for recovery accounting, but blocking-until-fsync is the
+    /// caller's choice, made by following up with [`Wal::sync`].
+    #[progress(blocking)]
+    pub fn enqueue(&self, frame: &WalFrame) -> u64 {
+        let mut st = self.inner.lock().expect("WAL state poisoned");
+        if st.shutdown {
+            return st.appended;
+        }
+        let before = st.pending.len();
+        encode_frame(&mut st.pending, frame);
+        let bytes = (st.pending.len() - before) as u64;
+        st.pending_frames += 1;
+        st.appended += 1;
+        let gen = st.appended;
+        let nudge = st.pending_frames >= self.cfg.max_coalesced_frames;
+        drop(st);
+        self.metrics.record_append(bytes, frame.class);
+        if nudge {
+            self.nudge_flusher();
+        }
+        gen
+    }
+
+    /// Blocks until every frame enqueued before this call is fsync'd —
+    /// the synchronous-durability wait. Concurrent callers coalesce into
+    /// one write-and-fsync cycle via the same leader/waiter protocol as
+    /// [`Persister::persist`](crate::persist::Persister::persist).
+    ///
+    /// # Errors
+    ///
+    /// `Ok` iff a successful cycle covered this call's frames — then they
+    /// are durably on disk. `Err` with the latest flush error otherwise.
+    #[progress(blocking)]
+    pub fn sync(&self) -> Result<(), PersistError> {
+        let mut st = self.inner.lock().expect("WAL state poisoned");
+        let my_gen = st.appended;
+        loop {
+            if st.completed >= my_gen {
+                return if st.completed_ok >= my_gen {
+                    Ok(())
+                } else {
+                    Err(st
+                        .last_error
+                        .clone()
+                        .unwrap_or(PersistError::Corrupt("flush failed without recording why")))
+                };
+            }
+            if !st.flushing {
+                st = self.flush_cycle(st);
+            } else {
+                st = self.flushed.wait(st).expect("WAL state poisoned");
+            }
+        }
+    }
+
+    /// Rotates to a fresh segment and returns its sequence number — the
+    /// checkpoint-coordination point: the caller seals its snapshot
+    /// *after* rotating, then calls [`Wal::truncate_before`] with the
+    /// returned sequence once the snapshot is durably renamed. Pending
+    /// frames are flushed (and fsync'd) into the old segment first, so
+    /// the rotation point cleanly separates pre-seal from post-seal
+    /// frames.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] if the flush or the new segment's creation
+    /// fails (the WAL stays usable; the next cycle retries the open).
+    #[progress(blocking)]
+    pub fn rotate(&self) -> Result<u64, PersistError> {
+        let mut st = self.inner.lock().expect("WAL state poisoned");
+        // Drain the buffer through the normal leadership protocol first.
+        while st.flushing {
+            st = self.flushed.wait(st).expect("WAL state poisoned");
+        }
+        if st.pending_frames > 0 {
+            st = self.flush_cycle(st);
+            if st.completed_ok < st.completed {
+                let err = st
+                    .last_error
+                    .clone()
+                    .unwrap_or(PersistError::Corrupt("flush failed without recording why"));
+                return Err(err);
+            }
+        }
+        let next = st.seg_seq + 1;
+        let writer = open_segment(&self.dir, next)?;
+        st.writer = Some(writer);
+        st.seg_seq = next;
+        drop(st);
+        self.metrics.record_rotation();
+        Ok(next)
+    }
+
+    /// Deletes every segment with a sequence number below `seq` (parsed
+    /// from the file names this module writes; foreign files are left
+    /// alone). Returns how many were removed. Called by the
+    /// [`Persister`](crate::persist::Persister) after its snapshot rename
+    /// lands — see [`Wal::rotate`] for why this is safe.
+    #[progress(blocking)]
+    pub fn truncate_before(&self, seq: u64) -> u64 {
+        let mut deleted = 0;
+        let Ok(entries) = fs::read_dir(&self.dir) else { return 0 };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(s) = name.to_str().and_then(segment_seq_of) else { continue };
+            if s < seq && fs::remove_file(entry.path()).is_ok() {
+                deleted += 1;
+            }
+        }
+        if deleted > 0 {
+            self.metrics.record_truncation(deleted);
+        }
+        deleted
+    }
+
+    /// Frames buffered but not yet flushed (test/diagnostic visibility).
+    #[progress(blocking)]
+    pub fn pending_frames(&self) -> u64 {
+        self.inner.lock().expect("WAL state poisoned").pending_frames
+    }
+
+    /// Fault-injection hook: model a process kill. The buffer is
+    /// discarded un-written (exactly what a crash does to it), the
+    /// flusher is stopped, and every later enqueue is a no-op. The
+    /// segment files are left as the "dead process" wrote them, ready to
+    /// be recovered — or further mutilated — by a test.
+    pub fn simulate_crash(&self) {
+        if let Ok(mut st) = self.inner.lock() {
+            st.shutdown = true;
+            st.pending.clear();
+            st.pending_frames = 0;
+        }
+        if let Ok(mut sig) = self.signal.state.lock() {
+            sig.shutdown = true;
+        }
+        self.signal.cv.notify_all();
+        self.flushed.notify_all();
+    }
+
+    /// One write-and-fsync cycle as the leader. Takes the guard holding
+    /// `flushing == false`, returns with the lock re-acquired and the
+    /// cycle's generations published.
+    fn flush_cycle<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, WalInner>,
+    ) -> std::sync::MutexGuard<'a, WalInner> {
+        st.flushing = true;
+        let target = st.appended;
+        let batch = std::mem::take(&mut st.pending);
+        let frames = st.pending_frames;
+        st.pending_frames = 0;
+        // Take the writer out so I/O runs without the lock: enqueues keep
+        // landing in the (fresh) buffer meanwhile.
+        let mut writer = st.writer.take();
+        let seg_seq = st.seg_seq;
+        drop(st);
+        let start = std::time::Instant::now();
+        let outcome = self.write_batch(&mut writer, seg_seq, &batch);
+        let rotated = match &outcome {
+            Ok(r) => *r,
+            Err(_) => false,
+        };
+        self.metrics.record_flush(elapsed_ns(start), frames, outcome.is_ok());
+        if rotated {
+            self.metrics.record_rotation();
+        }
+        let mut st = self.inner.lock().expect("WAL state poisoned");
+        if st.writer.is_none() {
+            st.writer = writer;
+            if rotated {
+                st.seg_seq = seg_seq + 1;
+            }
+        }
+        st.flushing = false;
+        st.completed = target;
+        match outcome {
+            Ok(_) => st.completed_ok = target,
+            Err(e) => st.last_error = Some(e),
+        }
+        self.flushed.notify_all();
+        st
+    }
+
+    /// Writes one batch to the open segment and fsyncs it, rotating first
+    /// if the segment is over its size threshold. Returns whether a
+    /// rotation happened. Reopens the segment if a previous cycle failed
+    /// to.
+    fn write_batch(
+        &self,
+        writer: &mut Option<SegmentWriter>,
+        seg_seq: u64,
+        batch: &[u8],
+    ) -> Result<bool, PersistError> {
+        if batch.is_empty() {
+            return Ok(false);
+        }
+        let mut rotated = false;
+        if writer.as_ref().is_some_and(|w| w.bytes >= self.cfg.segment_bytes) {
+            // Seal the full segment (it was fsync'd by the cycle that
+            // filled it) and roll forward.
+            *writer = Some(open_segment(&self.dir, seg_seq + 1)?);
+            rotated = true;
+        }
+        if writer.is_none() {
+            // A previous cycle failed to open the segment; retry here.
+            *writer = Some(open_segment(&self.dir, seg_seq)?);
+        }
+        let w = writer.as_mut().expect("writer was just ensured above");
+        w.file.write_all(batch)?;
+        w.file.sync_all()?;
+        w.bytes += batch.len() as u64;
+        Ok(rotated)
+    }
+
+    /// Wakes the background flusher early (buffer reached the coalescing
+    /// cap).
+    fn nudge_flusher(&self) {
+        if let Ok(mut sig) = self.signal.state.lock() {
+            sig.nudged = true;
+        }
+        self.signal.cv.notify_all();
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Stop the flusher, then make a clean shutdown durable (a crash
+        // never runs this — tests model one with `simulate_crash`).
+        if let Ok(mut sig) = self.signal.state.lock() {
+            sig.shutdown = true;
+        }
+        self.signal.cv.notify_all();
+        let Ok(mut st) = self.inner.lock() else { return };
+        if st.shutdown || st.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut st.pending);
+        st.pending_frames = 0;
+        let mut writer = st.writer.take();
+        let seg_seq = st.seg_seq;
+        drop(st);
+        let _ = self.write_batch(&mut writer, seg_seq, &batch);
+    }
+}
+
+/// The background flusher: sleeps on its own signal (holding only a
+/// [`Weak`] to the WAL, so a dropped WAL actually drops), wakes on the
+/// cadence or an early nudge, and runs one flush cycle if there is work.
+fn flusher_loop(weak: Weak<Wal>, signal: Arc<FlusherSignal>, interval: Duration) {
+    loop {
+        {
+            let mut sig = match signal.state.lock() {
+                Ok(s) => s,
+                Err(_) => return,
+            };
+            if !sig.nudged && !sig.shutdown {
+                sig = match signal.cv.wait_timeout(sig, interval) {
+                    Ok((s, _)) => s,
+                    Err(_) => return,
+                };
+            }
+            if sig.shutdown {
+                return;
+            }
+            sig.nudged = false;
+        }
+        let Some(wal) = weak.upgrade() else { return };
+        let st = wal.inner.lock().expect("WAL state poisoned");
+        if st.shutdown {
+            return;
+        }
+        if st.pending_frames > 0 && !st.flushing {
+            drop(wal.flush_cycle(st));
+        }
+        // `wal` drops here: the thread never holds the Arc across a sleep.
+    }
+}
+
+/// Opens (creates) segment `seq` and writes its header; best-effort
+/// fsyncs the directory so the creation itself survives a crash.
+fn open_segment(dir: &Path, seq: u64) -> Result<SegmentWriter, PersistError> {
+    let path = dir.join(segment_name(seq));
+    let mut file = fs::File::create(&path)?;
+    let mut header = Vec::with_capacity(SEGMENT_HEADER);
+    header.extend_from_slice(&WAL_MAGIC);
+    header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    header.extend_from_slice(&seq.to_le_bytes());
+    file.write_all(&header)?;
+    file.sync_all()?;
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(SegmentWriter { file, bytes: SEGMENT_HEADER as u64 })
+}
+
+/// The file name of segment `seq`.
+pub fn segment_name(seq: u64) -> String {
+    format!("wal-{seq:016x}.apcw")
+}
+
+/// Parses a segment sequence number back out of a file name written by
+/// [`segment_name`]; `None` for foreign files.
+fn segment_seq_of(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".apcw")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Encodes one frame (length prefix, payload, CRC) into `buf`.
+fn encode_frame(buf: &mut Vec<u8>, frame: &WalFrame) {
+    let len_at = buf.len();
+    buf.extend_from_slice(&0u32.to_le_bytes()); // payload_len, patched below
+    let payload_start = buf.len();
+    buf.extend_from_slice(&frame.epoch.to_le_bytes());
+    buf.extend_from_slice(&frame.shard.to_le_bytes());
+    buf.extend_from_slice(&frame.cell.to_le_bytes());
+    buf.push(match frame.class {
+        DurabilityClass::Group => 0,
+        DurabilityClass::Sync => 1,
+    });
+    buf.extend_from_slice(&(frame.effects.len() as u32).to_le_bytes());
+    for (key, effect) in &frame.effects {
+        buf.push(match effect {
+            Some(_) => 0,
+            None => 1,
+        });
+        buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        buf.extend_from_slice(key.as_bytes());
+        if let Some(value) = effect {
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+    }
+    let payload_len = (buf.len() - payload_start) as u32;
+    buf[len_at..len_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+    let crc = fnv1a64(&buf[payload_start..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes one frame's payload (everything between the length prefix and
+/// the CRC).
+fn decode_payload(payload: &[u8]) -> Result<WalFrame, PersistError> {
+    let mut r = FrameReader { buf: payload, pos: 0 };
+    let epoch = r.u64()?;
+    let shard = r.u32()?;
+    let cell = r.u64()?;
+    let class = match r.u8()? {
+        0 => DurabilityClass::Group,
+        1 => DurabilityClass::Sync,
+        _ => return Err(PersistError::Corrupt("unknown durability class tag")),
+    };
+    let count = r.u32()? as usize;
+    let mut effects = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let key_len = r.u32()? as usize;
+        let key = std::str::from_utf8(r.take(key_len)?)
+            .map_err(|_| PersistError::Corrupt("WAL key is not valid UTF-8"))?
+            .to_owned();
+        let effect = match tag {
+            0 => Some(r.u64()?),
+            1 => None,
+            _ => return Err(PersistError::Corrupt("unknown WAL effect tag")),
+        };
+        effects.push((key, effect));
+    }
+    if r.pos != payload.len() {
+        return Err(PersistError::Corrupt("trailing bytes inside a WAL frame"));
+    }
+    Ok(WalFrame { epoch, shard, cell, class, effects })
+}
+
+/// A bounds-checked little-endian reader over one frame payload.
+struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Corrupt("length overflows"))?;
+        if end > self.buf.len() {
+            return Err(PersistError::Truncated {
+                needed: n,
+                available: self.buf.len() - self.pos,
+            });
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// One segment's parse result: the frames that decoded cleanly, and the
+/// first failure (if any) with whether any *valid* frame follows it.
+struct SegmentScan {
+    seq: u64,
+    frames: Vec<WalFrame>,
+    failure: Option<PersistError>,
+    /// A valid frame decodes *after* the failure — mid-log corruption,
+    /// never crash damage.
+    valid_after_failure: bool,
+}
+
+/// Parses one segment file.
+fn scan_segment(path: &Path) -> Result<SegmentScan, PersistError> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < SEGMENT_HEADER {
+        // A header torn mid-write: structurally empty. Whether that is
+        // tolerable (tail) or not (middle) is the caller's call.
+        return Ok(SegmentScan {
+            seq: u64::MAX,
+            frames: Vec::new(),
+            failure: Some(PersistError::Truncated {
+                needed: SEGMENT_HEADER,
+                available: bytes.len(),
+            }),
+            valid_after_failure: false,
+        });
+    }
+    if bytes[..4] != WAL_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version == 0 || version > WAL_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let mut frames = Vec::new();
+    let mut pos = SEGMENT_HEADER;
+    let mut failure = None;
+    let mut failure_end = 0;
+    while pos < bytes.len() {
+        match scan_frame(&bytes, pos) {
+            Ok((frame, next)) => {
+                frames.push(frame);
+                pos = next;
+            }
+            Err((e, skip_to)) => {
+                failure = Some(e);
+                failure_end = skip_to;
+                break;
+            }
+        }
+    }
+    // Look past the failure: if the bad frame's extent was still readable,
+    // any valid frame after it proves mid-log corruption.
+    let mut valid_after_failure = false;
+    if failure.is_some() && failure_end > 0 {
+        let mut pos = failure_end;
+        while pos < bytes.len() {
+            match scan_frame(&bytes, pos) {
+                Ok((_, next)) => {
+                    valid_after_failure = true;
+                    pos = next;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    Ok(SegmentScan { seq, frames, failure, valid_after_failure })
+}
+
+/// Decodes the frame starting at `pos`. On success returns the frame and
+/// the next frame's offset; on failure, the error and the offset just
+/// past the frame's claimed extent (0 when even that is unknowable —
+/// i.e. the tear reaches the end of the file).
+fn scan_frame(bytes: &[u8], pos: usize) -> Result<(WalFrame, usize), (PersistError, usize)> {
+    let avail = bytes.len() - pos;
+    if avail < 4 {
+        return Err((PersistError::Truncated { needed: 4, available: avail }, 0));
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_PAYLOAD {
+        return Err((PersistError::Corrupt("WAL frame length exceeds the sanity cap"), 0));
+    }
+    let payload_start = pos + 4;
+    let crc_at = payload_start + len as usize;
+    let end = crc_at + 8;
+    if end > bytes.len() {
+        return Err((PersistError::Truncated { needed: end - pos, available: avail }, 0));
+    }
+    let payload = &bytes[payload_start..crc_at];
+    let stored = u64::from_le_bytes(bytes[crc_at..end].try_into().expect("8 bytes"));
+    if fnv1a64(payload) != stored {
+        return Err((PersistError::ChecksumMismatch { shard: None }, end));
+    }
+    match decode_payload(payload) {
+        Ok(frame) => Ok((frame, end)),
+        Err(e) => Err((e, end)),
+    }
+}
+
+/// Scans every segment in `dir`, applying the failure policy from the
+/// [module docs](self): a failure qualifies as a torn tail only when no
+/// valid frame exists anywhere after it — in its own segment or a later
+/// one. Returns the recovery and the sequence number the next fresh
+/// segment should use.
+fn read_segments(dir: &Path) -> Result<(WalRecovery, u64), PersistError> {
+    let mut paths: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)?.flatten() {
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(segment_seq_of) {
+            paths.push((seq, entry.path()));
+        }
+    }
+    paths.sort();
+    let mut recovery = WalRecovery::default();
+    let mut next_seq = 1;
+    let mut tear: Option<PersistError> = None;
+    for (name_seq, path) in &paths {
+        let scan = scan_segment(path)?;
+        if scan.seq != u64::MAX && scan.seq != *name_seq {
+            return Err(PersistError::Corrupt("WAL segment header disagrees with its file name"));
+        }
+        recovery.segments += 1;
+        next_seq = name_seq + 1;
+        if tear.is_some() && (!scan.frames.is_empty() || scan.failure.is_some()) {
+            // Frames (or further damage) after an earlier segment's tear:
+            // one crash cannot tear the middle of the log.
+            return Err(tear.take().expect("tear is some"));
+        }
+        recovery.frames.extend(scan.frames);
+        if let Some(e) = scan.failure {
+            if scan.valid_after_failure {
+                return Err(e);
+            }
+            tear = Some(e);
+        }
+    }
+    recovery.torn_tail = tear.is_some();
+    Ok((recovery, next_seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch directory under the workspace target dir, unique per
+    /// test, cleared of any previous run's leftovers.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp-unit-tests/wal-unit")
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn no_flusher() -> WalConfig {
+        WalConfig { background_flusher: false, ..WalConfig::default() }
+    }
+
+    fn frame(shard: u32, cell: u64, effects: &[(&str, Option<u64>)]) -> WalFrame {
+        WalFrame {
+            epoch: 0,
+            shard,
+            cell,
+            class: DurabilityClass::Group,
+            effects: effects.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn enqueue_sync_replay_roundtrip() {
+        let dir = scratch("roundtrip");
+        let wal = Wal::open(&dir, no_flusher()).unwrap();
+        assert_eq!(wal.take_recovered().unwrap(), WalRecovery::default());
+        wal.enqueue(&frame(0, 1, &[("a", Some(1)), ("b", Some(2))]));
+        wal.enqueue(&frame(1, 1, &[("c", None)]));
+        assert_eq!(wal.pending_frames(), 2);
+        wal.sync().unwrap();
+        assert_eq!(wal.pending_frames(), 0);
+        drop(wal);
+        let reopened = Wal::open(&dir, no_flusher()).unwrap();
+        let rec = reopened.take_recovered().unwrap();
+        assert!(!rec.torn_tail);
+        assert_eq!(rec.frames.len(), 2);
+        assert_eq!(rec.frames[0].effects, vec![("a".to_string(), Some(1)), ("b".into(), Some(2))]);
+        assert_eq!(rec.frames[1].effects, vec![("c".to_string(), None)]);
+    }
+
+    #[test]
+    fn clean_drop_flushes_pending() {
+        let dir = scratch("drop-flush");
+        let wal = Wal::open(&dir, no_flusher()).unwrap();
+        wal.enqueue(&frame(0, 1, &[("k", Some(9))]));
+        drop(wal); // no sync: the Drop impl writes the tail out
+        let reopened = Wal::open(&dir, no_flusher()).unwrap();
+        assert_eq!(reopened.take_recovered().unwrap().frames.len(), 1);
+    }
+
+    #[test]
+    fn simulated_crash_loses_exactly_the_unsynced_buffer() {
+        let dir = scratch("crash-buffer");
+        let wal = Wal::open(&dir, no_flusher()).unwrap();
+        wal.enqueue(&frame(0, 1, &[("durable", Some(1))]));
+        wal.sync().unwrap();
+        wal.enqueue(&frame(0, 2, &[("lost", Some(2))]));
+        wal.simulate_crash();
+        drop(wal);
+        let reopened = Wal::open(&dir, no_flusher()).unwrap();
+        let rec = reopened.take_recovered().unwrap();
+        assert!(!rec.torn_tail, "an un-written buffer is not a torn file");
+        assert_eq!(rec.frames.len(), 1);
+        assert_eq!(rec.frames[0].effects[0].0, "durable");
+    }
+
+    #[test]
+    fn torn_tail_recovers_valid_prefix_at_every_truncation_offset() {
+        let dir = scratch("torn-tail");
+        let wal = Wal::open(&dir, no_flusher()).unwrap();
+        wal.enqueue(&frame(0, 1, &[("a", Some(1))]));
+        wal.enqueue(&frame(0, 2, &[("b", Some(2))]));
+        wal.enqueue(&frame(0, 3, &[("c", Some(3))]));
+        wal.sync().unwrap();
+        wal.simulate_crash();
+        let seg = dir.join(segment_name(1));
+        let good = fs::read(&seg).unwrap();
+        drop(wal);
+        for cut in SEGMENT_HEADER..good.len() {
+            fs::write(&seg, &good[..cut]).unwrap();
+            let (rec, _) = read_segments(&dir).unwrap_or_else(|e| {
+                panic!("truncation to {cut} bytes must stay recoverable, got {e}")
+            });
+            assert!(
+                rec.frames.len() < 3 || cut == good.len(),
+                "a cut at {cut} cannot keep all frames"
+            );
+            // The prefix property: recovered frames are exactly the first k.
+            for (i, f) in rec.frames.iter().enumerate() {
+                assert_eq!(f.cell, (i + 1) as u64, "cut {cut} recovered out of order");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_log_bit_flip_fails_closed() {
+        let dir = scratch("bit-flip");
+        let wal = Wal::open(&dir, no_flusher()).unwrap();
+        wal.enqueue(&frame(0, 1, &[("a", Some(1))]));
+        wal.enqueue(&frame(0, 2, &[("b", Some(2))]));
+        wal.enqueue(&frame(0, 3, &[("c", Some(3))]));
+        wal.sync().unwrap();
+        wal.simulate_crash();
+        drop(wal);
+        let seg = dir.join(segment_name(1));
+        let good = fs::read(&seg).unwrap();
+        // Flip one byte inside the FIRST frame's payload: frames 2 and 3
+        // still decode after it, so this is corruption, not a tear.
+        let mut bad = good.clone();
+        bad[SEGMENT_HEADER + 6] ^= 0x40;
+        fs::write(&seg, &bad).unwrap();
+        let err = read_segments(&dir).expect_err("mid-log corruption must fail closed");
+        assert_eq!(err, PersistError::ChecksumMismatch { shard: None });
+        // The same flip in the LAST frame is a tear: prefix recovered.
+        let mut tail = good.clone();
+        let last_len = tail.len();
+        tail[last_len - 9] ^= 0x40; // inside the last frame's payload/crc
+        fs::write(&seg, &tail).unwrap();
+        let (rec, _) = read_segments(&dir).expect("tail damage recovers the prefix");
+        assert!(rec.torn_tail);
+        assert_eq!(rec.frames.len(), 2);
+    }
+
+    #[test]
+    fn rotation_and_truncation_manage_segments() {
+        let dir = scratch("rotate");
+        let wal = Wal::open(&dir, no_flusher()).unwrap();
+        wal.enqueue(&frame(0, 1, &[("old", Some(1))]));
+        wal.sync().unwrap();
+        let cut = wal.rotate().unwrap();
+        assert_eq!(cut, 2);
+        wal.enqueue(&frame(0, 2, &[("new", Some(2))]));
+        wal.sync().unwrap();
+        assert_eq!(wal.truncate_before(cut), 1, "exactly the pre-rotation segment goes");
+        drop(wal);
+        let reopened = Wal::open(&dir, no_flusher()).unwrap();
+        let rec = reopened.take_recovered().unwrap();
+        assert_eq!(rec.frames.len(), 1);
+        assert_eq!(rec.frames[0].effects[0].0, "new");
+    }
+
+    #[test]
+    fn size_threshold_rotates_automatically() {
+        let dir = scratch("auto-rotate");
+        let cfg = WalConfig { segment_bytes: 64, ..no_flusher() };
+        let wal = Wal::open(&dir, cfg).unwrap();
+        for i in 0..8 {
+            wal.enqueue(&frame(0, i + 1, &[("key-with-some-length", Some(i))]));
+            wal.sync().unwrap();
+        }
+        drop(wal);
+        let segs = fs::read_dir(&dir).unwrap().count();
+        assert!(segs > 1, "64-byte threshold must have rotated, found {segs} segment(s)");
+        let reopened = Wal::open(&dir, no_flusher()).unwrap();
+        assert_eq!(reopened.take_recovered().unwrap().frames.len(), 8);
+    }
+
+    #[test]
+    fn frames_after_a_torn_segment_fail_closed() {
+        let dir = scratch("torn-middle");
+        let wal = Wal::open(&dir, no_flusher()).unwrap();
+        wal.enqueue(&frame(0, 1, &[("a", Some(1))]));
+        wal.sync().unwrap();
+        wal.rotate().unwrap();
+        wal.enqueue(&frame(0, 2, &[("b", Some(2))]));
+        wal.sync().unwrap();
+        wal.simulate_crash();
+        drop(wal);
+        // Tear the FIRST segment: frames live in the second, so the tear
+        // is mid-log.
+        let seg1 = dir.join(segment_name(1));
+        let bytes = fs::read(&seg1).unwrap();
+        fs::write(&seg1, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(read_segments(&dir).is_err(), "a torn middle segment must fail closed");
+    }
+
+    #[test]
+    fn collapsed_effects_order_by_epoch_shard_cell() {
+        let rec = WalRecovery {
+            frames: vec![
+                // Same shard, cells out of file order: cell order wins.
+                WalFrame {
+                    epoch: 0,
+                    shard: 0,
+                    cell: 5,
+                    class: DurabilityClass::Group,
+                    effects: vec![("k".into(), Some(2))],
+                },
+                WalFrame {
+                    epoch: 0,
+                    shard: 0,
+                    cell: 4,
+                    class: DurabilityClass::Group,
+                    effects: vec![("k".into(), Some(1))],
+                },
+                // A later shard instance (epoch 3) writes last.
+                WalFrame {
+                    epoch: 3,
+                    shard: 2,
+                    cell: 1,
+                    class: DurabilityClass::Sync,
+                    effects: vec![("k".into(), Some(9)), ("gone".into(), None)],
+                },
+            ],
+            torn_tail: false,
+            segments: 1,
+        };
+        let effects = rec.collapsed_effects();
+        assert_eq!(effects.get("k"), Some(&Some(9)));
+        assert_eq!(effects.get("gone"), Some(&None));
+    }
+
+    #[test]
+    fn background_flusher_makes_group_commits_durable() {
+        let dir = scratch("flusher");
+        let cfg = WalConfig {
+            flush_interval: Duration::from_millis(1),
+            background_flusher: true,
+            ..WalConfig::default()
+        };
+        let wal = Wal::open(&dir, cfg).unwrap();
+        wal.enqueue(&frame(0, 1, &[("k", Some(1))]));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while wal.pending_frames() > 0 {
+            assert!(std::time::Instant::now() < deadline, "flusher never drained the buffer");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        wal.simulate_crash(); // buffer already empty: nothing to lose
+        drop(wal);
+        let reopened = Wal::open(&dir, no_flusher()).unwrap();
+        assert_eq!(reopened.take_recovered().unwrap().frames.len(), 1);
+    }
+
+    #[test]
+    fn foreign_files_are_ignored_everywhere() {
+        let dir = scratch("foreign");
+        let wal = Wal::open(&dir, no_flusher()).unwrap();
+        fs::write(dir.join("notes.txt"), b"not a segment").unwrap();
+        fs::write(dir.join("wal-zzzz.apcw"), b"bad name").unwrap();
+        wal.enqueue(&frame(0, 1, &[("k", Some(1))]));
+        wal.sync().unwrap();
+        let cut = wal.rotate().unwrap();
+        wal.truncate_before(cut);
+        assert!(dir.join("notes.txt").exists());
+        assert!(dir.join("wal-zzzz.apcw").exists());
+        drop(wal);
+        let reopened = Wal::open(&dir, no_flusher()).unwrap();
+        assert_eq!(reopened.take_recovered().unwrap().frames.len(), 0);
+    }
+
+    #[test]
+    fn unsupported_version_and_bad_magic_are_typed() {
+        let dir = scratch("bad-header");
+        fs::create_dir_all(&dir).unwrap();
+        let seg = dir.join(segment_name(1));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        fs::write(&seg, &bytes).unwrap();
+        assert_eq!(
+            read_segments(&dir).unwrap_err(),
+            PersistError::UnsupportedVersion { found: 99 }
+        );
+        bytes[..4].copy_from_slice(b"XXXX");
+        bytes[4..8].copy_from_slice(&WAL_VERSION.to_le_bytes());
+        fs::write(&seg, &bytes).unwrap();
+        assert_eq!(read_segments(&dir).unwrap_err(), PersistError::BadMagic);
+    }
+
+    #[test]
+    fn resolved_effects_capture_exactly_the_mutations() {
+        let ops = vec![
+            StoreOp::Get("r".into()),
+            StoreOp::Put("p".into(), 1),
+            StoreOp::Remove("d".into()),
+            StoreOp::Cas { key: "won".into(), expect: None, new: 7 },
+            StoreOp::Cas { key: "lost".into(), expect: None, new: 8 },
+            StoreOp::Put("bounced".into(), 9),
+            StoreOp::Scan { from: "".into(), to: "z".into() },
+        ];
+        let resps = vec![
+            StoreResp::Value(None),
+            StoreResp::Value(None),
+            StoreResp::Value(Some(3)),
+            StoreResp::Cas { ok: true, actual: None },
+            StoreResp::Cas { ok: false, actual: Some(2) },
+            StoreResp::Moved { epoch: 4 },
+            StoreResp::Entries(Vec::new()),
+        ];
+        assert_eq!(
+            resolved_effects(&ops, &resps),
+            vec![("p".to_string(), Some(1)), ("d".to_string(), None), ("won".to_string(), Some(7)),],
+            "reads, failed CAS, and bounced ops have no effect"
+        );
+    }
+
+    #[test]
+    fn errors_render() {
+        assert!(DurabilityError::GuestTier.to_string().contains("VIP"));
+        assert!(DurabilityError::NoWal.to_string().contains("WAL"));
+        assert!(DurabilityError::Wal(PersistError::BadMagic).to_string().contains("magic"));
+    }
+}

@@ -20,6 +20,13 @@
 //! reports the seal+fsync and recover timings, audits the recovered state
 //! against the pre-crash scan, and quantifies the replay-cost win (a fresh
 //! replica's replay steps with vs without a checkpoint).
+//!
+//! Last, the **durability scenario** attaches the op-granular WAL: VIP
+//! commits opt into fsync-acknowledged `Sync` durability, guest commits
+//! ride the coalesced group flusher (and are *denied* `Sync` — the typed
+//! asymmetry), the process "crashes" with frames still buffered, and
+//! snapshot + WAL replay recovers every acknowledged commit — audited,
+//! with the `store_wal_*` series printed from the persister's scrape.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -150,6 +157,7 @@ fn main() {
     elastic_scenario();
     observability_scenario();
     recovery_scenario();
+    durability_scenario();
 }
 
 /// The **observability scenario**: a dashboard poller scrapes the store the
@@ -584,5 +592,116 @@ fn recovery_scenario() {
     println!(
         "  replay-cost win: fresh replica replays {with} cells post-checkpoint \
          vs {without} without (O(delta) vs O(history))"
+    );
+}
+
+/// The **durability scenario**: the op-granular WAL closes the crash
+/// window the checkpoint layer leaves open, asymmetrically — VIP commits
+/// opt into fsync-acknowledged durability (`Client::execute_durable`),
+/// guest commits ride the coalesced group flusher and are *denied* the
+/// sync path with a typed error. The process then "crashes" with group
+/// frames still buffered; snapshot + WAL replay must recover every
+/// acknowledged commit exactly.
+///
+/// [`Client::execute_durable`]: asymmetric_progress::store::store::Client::execute_durable
+fn durability_scenario() {
+    use asymmetric_progress::store::persist::Persister;
+    use asymmetric_progress::store::wal::{DurabilityError, Wal, WalConfig};
+
+    const VIP_COMMITS: u64 = 64;
+    const GUEST_COMMITS: u64 = 256;
+    println!(
+        "\ndurability scenario: {VIP_COMMITS} sync (VIP) + {GUEST_COMMITS} group (guest) commits"
+    );
+
+    let dir =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/tmp-example/durability");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let snapshot = dir.join("store.snapshot");
+    let wal_dir = dir.join("wal");
+
+    let synced_scan;
+    {
+        let wal = Wal::open(&wal_dir, WalConfig::default()).expect("fresh wal");
+        let store = StoreBuilder::new()
+            .shards(2)
+            .vip_capacity(VIP_CAPACITY)
+            .guest_ports(6)
+            .guest_group_width(2)
+            .build_with_wal(std::sync::Arc::clone(&wal))
+            .expect("sizing is valid");
+        let persister = Persister::new(&snapshot).with_wal(std::sync::Arc::clone(&wal));
+
+        // The asymmetry, surfaced as a typed error: a guest may not buy
+        // synchronous durability.
+        let mut guest = store.client(store.admit_guest());
+        assert_eq!(
+            guest.execute_durable(vec![StoreOp::Put("guest/denied".into(), 0)]),
+            Err(DurabilityError::GuestTier),
+            "sync durability is a VIP privilege"
+        );
+
+        // Guests ride the group flusher…
+        for i in 0..GUEST_COMMITS {
+            guest.put(&format!("guest/{i:04}"), i);
+        }
+        // …VIPs pay the fsync and get the acknowledgement.
+        let mut vip = store.client(store.admit_vip().expect("vip port"));
+        let t0 = Instant::now();
+        for i in 0..VIP_COMMITS {
+            vip.execute_durable(vec![StoreOp::Put(format!("vip/{i:04}"), i)])
+                .expect("sync acknowledged");
+        }
+        let sync_wall = t0.elapsed();
+        println!(
+            "  {} sync commits acknowledged in {:?} ({:.0?}/commit, fsync-bound by design)",
+            VIP_COMMITS,
+            sync_wall,
+            sync_wall / VIP_COMMITS as u32
+        );
+
+        // A mid-run checkpoint rotates + truncates the log…
+        persister.persist(&store).expect("checkpoint");
+        // …and the tail after it keeps logging.
+        for i in 0..GUEST_COMMITS {
+            guest.put(&format!("guest-late/{i:04}"), i);
+        }
+        vip.execute_durable(vec![StoreOp::Put("vip/final".into(), 7)]).expect("sync acknowledged");
+        // Everything up to the last fsync is durable; the sync above
+        // flushed every buffered group frame with it.
+        synced_scan = store.client(store.admit_guest()).scan("", "\u{10ffff}");
+
+        let snap = persister.scrape();
+        let flushes = snap.value("store_wal_flushes_total", &[]).unwrap_or(0);
+        let group = snap.value("store_wal_appends_total", &[("class", "group")]).unwrap_or(0);
+        let sync = snap.value("store_wal_appends_total", &[("class", "sync")]).unwrap_or(0);
+        println!(
+            "  wal scrape: {group} group + {sync} sync frames over {flushes} flush cycles \
+             (coalescing {:.1} frames/cycle), {} denied sync attempt(s)",
+            (group + sync) as f64 / flushes.max(1) as f64,
+            snap.value("store_wal_sync_denied_total", &[]).unwrap_or(0),
+        );
+        wal.simulate_crash(); // frames buffered since the last fsync die here
+    }
+
+    let t0 = Instant::now();
+    let wal = Wal::open(&wal_dir, WalConfig::default()).expect("reopen after crash");
+    let recovered = StoreBuilder::new()
+        .vip_capacity(VIP_CAPACITY)
+        .guest_ports(6)
+        .guest_group_width(2)
+        .recover_with_wal(&snapshot, wal)
+        .expect("snapshot + wal replay");
+    let boot = t0.elapsed();
+    let recovered_scan = recovered.client(recovered.admit_guest()).scan("", "\u{10ffff}");
+    assert_eq!(
+        recovered_scan, synced_scan,
+        "snapshot + wal replay must recover exactly the fsync'd state"
+    );
+    println!(
+        "  crash + recover (snapshot + wal replay): {boot:?}, {} keys back — every \
+         sync-acknowledged commit survived",
+        recovered_scan.len()
     );
 }
