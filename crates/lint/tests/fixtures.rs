@@ -89,6 +89,37 @@ fn blocking_scrape_fails_the_progress_rule() {
     assert_eq!(report.exit_code(true), 1, "--deny rejects a blocking scrape");
 }
 
+/// Pins the PR-9 wire contract mechanically: a reactor VIP dispatch
+/// annotated bounded-wait-free that reaches a blocking primitive (here, a
+/// shared queue mutex one hop down) MUST fail the lint — so the real
+/// `StoreServer::dispatch_vip` can only stay green by actually keeping
+/// the whole VIP serve path off every lock and unbounded wait.
+#[test]
+fn blocking_vip_dispatch_fails_the_progress_rule() {
+    let (root, files) = fixture("blocking_vip_dispatch.rs");
+    let (_ws, report) = analyze_files(&root, &files).unwrap();
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        ["progress"],
+        "exactly the blocking-dispatch finding:\n{}",
+        report.render_text()
+    );
+    let f = &report.findings[0];
+    assert!(f.message.contains("dispatch_vip"), "names the dispatch entry point: {}", f.message);
+    assert!(
+        f.path.first().is_some_and(|hop| hop.contains("dispatch_vip")),
+        "chain starts at the dispatch: {:?}",
+        f.path,
+    );
+    assert!(
+        f.path.last().is_some_and(|hop| hop.contains("lock")),
+        "chain ends at the blocking primitive: {:?}",
+        f.path,
+    );
+    assert_eq!(report.exit_code(true), 1, "--deny rejects a blocking VIP dispatch");
+}
+
 #[test]
 fn known_good_is_clean() {
     let (root, files) = fixture("known_good.rs");
@@ -105,7 +136,7 @@ fn known_good_is_clean() {
 #[test]
 fn live_workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let (_ws, report) = analyze(&root).unwrap();
+    let (ws, report) = analyze(&root).unwrap();
     assert!(
         report.findings.is_empty(),
         "the workspace must stay apc-lint-clean:\n{}",
@@ -131,4 +162,30 @@ fn live_workspace_is_clean() {
     );
     let total: usize = report.coverage.iter().map(|c| c.fns_total).sum();
     assert_eq!(total, report.fns_total, "coverage partitions every scanned fn");
+    // The wire front-end must be swept too, and the reactor's VIP serve
+    // path must keep its bounded-wait-free annotation: weakening (or
+    // dropping) it would silently exempt the whole wire VIP path from the
+    // progress sweep. The finding-free assertion above is what proves the
+    // annotation *holds*; this pins that it stays *claimed*.
+    let net = report
+        .coverage
+        .iter()
+        .find(|c| c.name == "crates/net")
+        .expect("coverage reports crates/net");
+    assert!(
+        net.fns_annotated >= 12,
+        "apc-net annotations regressed: {}/{}",
+        net.fns_annotated,
+        net.fns_total
+    );
+    let dispatch = ws
+        .all_fns()
+        .map(|id| ws.fn_info(id))
+        .find(|f| f.name == "dispatch_vip" && f.self_type.as_deref() == Some("StoreServer"))
+        .expect("the reactor must keep a StoreServer::dispatch_vip fn");
+    assert_eq!(
+        dispatch.class,
+        Some(apc_lint::parse::Class::BoundedWaitFree),
+        "StoreServer::dispatch_vip must stay annotated bounded_wait_free",
+    );
 }

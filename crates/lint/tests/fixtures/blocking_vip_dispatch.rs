@@ -1,0 +1,31 @@
+//! Fixture: an intentionally **blocking VIP dispatch path** — the wire
+//! anti-pattern PR 9's reactor is designed (and lint-gated) to exclude. A
+//! `#[progress(bounded_wait_free)]` dispatch reaches a mutex lock one call
+//! hop down: a reactor on this path would let one slow guest connection
+//! stall every VIP request behind the shared queue lock, flattening the
+//! asymmetric tiers the wire front-end exists to preserve.
+//!
+//! Never compiled — consumed by `tests/fixtures.rs` through
+//! [`apc_lint::analyze_files`]. Expected findings: exactly one `progress`
+//! violation (`dispatch_vip → pop_shared_queue → lock`).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub struct BadReactor {
+    shared_queue: Mutex<VecDeque<u64>>,
+}
+
+impl BadReactor {
+    #[apc_progress_macros::progress(bounded_wait_free)]
+    pub fn dispatch_vip(&self) -> Option<u64> {
+        self.pop_shared_queue()
+    }
+
+    fn pop_shared_queue(&self) -> Option<u64> {
+        match self.shared_queue.lock() {
+            Ok(mut q) => q.pop_front(),
+            Err(_) => None,
+        }
+    }
+}

@@ -1,0 +1,789 @@
+//! The length-prefixed binary codec for the unified
+//! [`Request`]`→`[`Response`](apc_store::Response) envelope (protocol
+//! spec: `docs/WIRE.md`).
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! | payload_len: u32 LE | payload | fnv1a64(payload): u64 LE |
+//! payload = | version: u8 | kind: u8 | body |
+//! ```
+//!
+//! The shape deliberately mirrors the WAL's on-disk frames (`APCW`
+//! segments): a sanity-capped length prefix, the payload, a 64-bit FNV-1a
+//! checksum — and the same failure policy. A frame that is merely
+//! *incomplete* is "awaiting more bytes" while the stream lives (the
+//! streaming [`FrameReader`] returns `Ok(None)`); the same bytes at
+//! stream close are a **torn tail** and the connection fails closed. A
+//! frame that is *wrong* — oversized length prefix, checksum mismatch,
+//! unknown version/kind/discriminant, trailing bytes, non-UTF-8 keys —
+//! always fails closed: no partial decode is ever surfaced.
+//!
+//! All integers are little-endian. Strings are `len: u32 | utf8 bytes`.
+//! `Option<u64>`/`Option<u32>` are `tag: u8 (0|1) | value if 1`.
+
+use std::fmt;
+
+use apc_store::{DurabilityClass, Request, StoreError, StoreOp, StoreResp, TierCredential};
+
+/// Protocol version carried by every frame (`docs/WIRE.md`).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Decode sanity cap on a frame's payload length: anything larger fails
+/// closed as [`CodecError::FrameTooLarge`] before a byte of payload is
+/// buffered beyond it. Tighter than the WAL's 16 MiB cap — a wire
+/// front-end bounds per-connection memory, not a trusted local log.
+pub const MAX_WIRE_PAYLOAD: u32 = 1 << 20;
+
+/// Sanity cap on decoded list lengths (ops per request, results per
+/// response, entries per scan result).
+pub const MAX_WIRE_LIST: u32 = 1 << 16;
+
+/// Frame kind: the connection handshake ([`Message::Hello`]).
+pub const KIND_HELLO: u8 = 1;
+/// Frame kind: one request envelope ([`Message::Request`]).
+pub const KIND_REQUEST: u8 = 2;
+/// Frame kind: one response envelope ([`Message::Response`]).
+pub const KIND_RESPONSE: u8 = 3;
+
+/// Bytes a frame spends on framing around its payload (length prefix +
+/// checksum).
+pub const FRAME_OVERHEAD: usize = 4 + 8;
+
+/// One per-operation outcome as it travels the wire.
+pub type WireResult = Result<StoreResp, StoreError>;
+
+/// A decoded frame payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// The connection handshake: the claimed tier credential. Must be the
+    /// first (and only) `Hello` on a connection.
+    Hello(TierCredential),
+    /// A pipelined request: correlation id + the unified envelope.
+    Request {
+        /// Client-chosen correlation id, echoed by the response.
+        id: u64,
+        /// The envelope, exactly as [`apc_store::Client::request`] takes it.
+        req: Request,
+    },
+    /// A response: correlation id + per-operation outcomes.
+    Response {
+        /// The correlation id of the request this answers.
+        id: u64,
+        /// Per-operation outcomes in invocation order.
+        results: Vec<WireResult>,
+    },
+}
+
+/// Why a frame (or stream) failed to decode. Every variant fails closed:
+/// the reactor drops the connection rather than guessing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The length prefix exceeds [`MAX_WIRE_PAYLOAD`].
+    FrameTooLarge {
+        /// The claimed payload length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+    /// A body field ran past the end of its payload (or a closed stream
+    /// ended mid-frame — the torn tail).
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The payload does not match its FNV-1a trailer.
+    ChecksumMismatch,
+    /// The frame speaks a protocol version this build does not.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// An unknown kind/tag/discriminant byte.
+    UnknownDiscriminant {
+        /// Which field carried it.
+        what: &'static str,
+        /// The byte found.
+        found: u8,
+    },
+    /// The body decoded completely but bytes remain — a framing bug, not
+    /// tolerated.
+    TrailingBytes {
+        /// Leftover byte count.
+        extra: usize,
+    },
+    /// A wire string is not valid UTF-8.
+    BadUtf8,
+    /// A decoded list length exceeds [`MAX_WIRE_LIST`].
+    OversizedList {
+        /// The claimed element count.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload length {len} exceeds the {max}-byte cap")
+            }
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated frame: needed {needed} bytes, had {available}")
+            }
+            CodecError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            CodecError::BadVersion { found } => {
+                write!(f, "unsupported wire version {found} (this build speaks {WIRE_VERSION})")
+            }
+            CodecError::UnknownDiscriminant { what, found } => {
+                write!(f, "unknown {what} discriminant {found}")
+            }
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete body")
+            }
+            CodecError::BadUtf8 => write!(f, "wire string is not valid UTF-8"),
+            CodecError::OversizedList { len, max } => {
+                write!(f, "list length {len} exceeds the {max}-element cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// FNV-1a over `bytes` — the same checksum the WAL frames use.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+    }
+}
+
+/// Wraps a finished payload into a full frame (length prefix + checksum).
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    put_u32(&mut out, payload.len() as u32);
+    let crc = fnv1a64(&payload);
+    out.extend_from_slice(&payload);
+    put_u64(&mut out, crc);
+    out
+}
+
+fn payload_head(kind: u8) -> Vec<u8> {
+    vec![WIRE_VERSION, kind]
+}
+
+/// Encodes the handshake frame.
+pub fn encode_hello(credential: &TierCredential) -> Vec<u8> {
+    let mut p = payload_head(KIND_HELLO);
+    match credential {
+        TierCredential::Guest => p.push(0),
+        TierCredential::Vip { token } => {
+            p.push(1);
+            put_u64(&mut p, *token);
+        }
+    }
+    frame(p)
+}
+
+fn put_op(p: &mut Vec<u8>, op: &StoreOp) {
+    match op {
+        StoreOp::Get(key) => {
+            p.push(0);
+            put_str(p, key);
+        }
+        StoreOp::Put(key, value) => {
+            p.push(1);
+            put_str(p, key);
+            put_u64(p, *value);
+        }
+        StoreOp::Remove(key) => {
+            p.push(2);
+            put_str(p, key);
+        }
+        StoreOp::Cas { key, expect, new } => {
+            p.push(3);
+            put_str(p, key);
+            put_opt_u64(p, *expect);
+            put_u64(p, *new);
+        }
+        StoreOp::Scan { from, to } => {
+            p.push(4);
+            put_str(p, from);
+            put_str(p, to);
+        }
+    }
+}
+
+/// Encodes one request frame: correlation id + the unified envelope.
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut p = payload_head(KIND_REQUEST);
+    put_u64(&mut p, id);
+    match req.durability {
+        DurabilityClass::Group => p.push(0),
+        DurabilityClass::Sync => p.push(1),
+    }
+    match req.deadline_ms {
+        None => p.push(0),
+        Some(ms) => {
+            p.push(1);
+            put_u32(&mut p, ms);
+        }
+    }
+    put_u32(&mut p, req.retry_budget);
+    match req.credential {
+        TierCredential::Guest => p.push(0),
+        TierCredential::Vip { token } => {
+            p.push(1);
+            put_u64(&mut p, token);
+        }
+    }
+    put_u32(&mut p, req.ops.len() as u32);
+    for op in &req.ops {
+        put_op(&mut p, op);
+    }
+    frame(p)
+}
+
+/// Encodes one response frame.
+///
+/// The wire vocabulary is **normalized**: the legacy in-band rejection
+/// variants [`StoreResp::Moved`] and [`StoreResp::Unavailable`] are
+/// encoded as their consolidated [`StoreError`] twins (wire discriminants
+/// `1` and `4`), so a wire peer sees exactly one error surface.
+pub fn encode_response(id: u64, results: &[WireResult]) -> Vec<u8> {
+    let mut p = payload_head(KIND_RESPONSE);
+    put_u64(&mut p, id);
+    put_u32(&mut p, results.len() as u32);
+    for result in results {
+        match result {
+            Ok(StoreResp::Moved { epoch }) => put_err(&mut p, &StoreError::Moved { epoch: *epoch }),
+            Ok(StoreResp::Unavailable { version }) => {
+                put_err(&mut p, &StoreError::Unavailable { version: *version })
+            }
+            Ok(resp) => {
+                p.push(0);
+                put_resp(&mut p, resp);
+            }
+            Err(err) => put_err(&mut p, err),
+        }
+    }
+    frame(p)
+}
+
+fn put_resp(p: &mut Vec<u8>, resp: &StoreResp) {
+    match resp {
+        StoreResp::Value(v) => {
+            p.push(0);
+            put_opt_u64(p, *v);
+        }
+        StoreResp::Cas { ok, actual } => {
+            p.push(1);
+            p.push(u8::from(*ok));
+            put_opt_u64(p, *actual);
+        }
+        StoreResp::Entries(entries) => {
+            p.push(2);
+            put_u32(p, entries.len() as u32);
+            for (k, v) in entries {
+                put_str(p, k);
+                put_u64(p, *v);
+            }
+        }
+        // Normalized to errors by `encode_response`; kept total here for
+        // direct callers.
+        StoreResp::Moved { epoch } => {
+            p.push(3);
+            put_u64(p, *epoch);
+        }
+        StoreResp::Unavailable { version } => {
+            p.push(4);
+            put_u64(p, *version);
+        }
+    }
+}
+
+fn put_err(p: &mut Vec<u8>, err: &StoreError) {
+    p.push(1); // result tag: error
+    match err {
+        StoreError::Moved { epoch } => {
+            p.push(err.wire_discriminant());
+            put_u64(p, *epoch);
+        }
+        StoreError::GuestTier => p.push(err.wire_discriminant()),
+        StoreError::RetryBudgetExhausted { budget } => {
+            p.push(err.wire_discriminant());
+            put_u32(p, *budget);
+        }
+        StoreError::Unavailable { version } => {
+            p.push(err.wire_discriminant());
+            put_u64(p, *version);
+        }
+        StoreError::Corrupt { detail } => {
+            p.push(err.wire_discriminant());
+            put_str(p, detail);
+        }
+        // `StoreError` is non_exhaustive: a variant this codec predates
+        // degrades to wire `Corrupt` carrying its display text, so old
+        // peers fail closed on the payload rather than misdecoding it.
+        other => {
+            p.push(5);
+            put_str(p, &other.to_string());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over one payload.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Rd<'a> {
+        Rd { buf, pos: 0 }
+    }
+
+    fn need(&self, n: usize) -> Result<(), CodecError> {
+        let available = self.buf.len() - self.pos;
+        if available < n {
+            return Err(CodecError::Truncated { needed: n, available });
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        self.need(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        self.need(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn str_(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let bytes = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            found => Err(CodecError::UnknownDiscriminant { what: "option", found }),
+        }
+    }
+
+    fn list_len(&mut self) -> Result<u32, CodecError> {
+        let len = self.u32()?;
+        if len > MAX_WIRE_LIST {
+            return Err(CodecError::OversizedList { len, max: MAX_WIRE_LIST });
+        }
+        Ok(len)
+    }
+
+    fn finish(self) -> Result<(), CodecError> {
+        let extra = self.buf.len() - self.pos;
+        if extra > 0 {
+            return Err(CodecError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+fn read_credential(rd: &mut Rd<'_>) -> Result<TierCredential, CodecError> {
+    match rd.u8()? {
+        0 => Ok(TierCredential::Guest),
+        1 => Ok(TierCredential::Vip { token: rd.u64()? }),
+        found => Err(CodecError::UnknownDiscriminant { what: "credential", found }),
+    }
+}
+
+fn read_op(rd: &mut Rd<'_>) -> Result<StoreOp, CodecError> {
+    match rd.u8()? {
+        0 => Ok(StoreOp::Get(rd.str_()?)),
+        1 => Ok(StoreOp::Put(rd.str_()?, rd.u64()?)),
+        2 => Ok(StoreOp::Remove(rd.str_()?)),
+        3 => Ok(StoreOp::Cas { key: rd.str_()?, expect: rd.opt_u64()?, new: rd.u64()? }),
+        4 => Ok(StoreOp::Scan { from: rd.str_()?, to: rd.str_()? }),
+        found => Err(CodecError::UnknownDiscriminant { what: "op", found }),
+    }
+}
+
+fn read_result(rd: &mut Rd<'_>) -> Result<WireResult, CodecError> {
+    match rd.u8()? {
+        0 => {
+            let resp = match rd.u8()? {
+                0 => StoreResp::Value(rd.opt_u64()?),
+                1 => {
+                    let ok = match rd.u8()? {
+                        0 => false,
+                        1 => true,
+                        found => {
+                            return Err(CodecError::UnknownDiscriminant { what: "bool", found })
+                        }
+                    };
+                    StoreResp::Cas { ok, actual: rd.opt_u64()? }
+                }
+                2 => {
+                    let len = rd.list_len()?;
+                    let mut entries = Vec::new();
+                    for _ in 0..len {
+                        let k = rd.str_()?;
+                        let v = rd.u64()?;
+                        entries.push((k, v));
+                    }
+                    StoreResp::Entries(entries)
+                }
+                3 => StoreResp::Moved { epoch: rd.u64()? },
+                4 => StoreResp::Unavailable { version: rd.u64()? },
+                found => return Err(CodecError::UnknownDiscriminant { what: "resp", found }),
+            };
+            Ok(Ok(resp))
+        }
+        1 => {
+            let err = match rd.u8()? {
+                1 => StoreError::Moved { epoch: rd.u64()? },
+                2 => StoreError::GuestTier,
+                3 => StoreError::RetryBudgetExhausted { budget: rd.u32()? },
+                4 => StoreError::Unavailable { version: rd.u64()? },
+                5 => StoreError::Corrupt { detail: rd.str_()? },
+                found => return Err(CodecError::UnknownDiscriminant { what: "error", found }),
+            };
+            Ok(Err(err))
+        }
+        found => Err(CodecError::UnknownDiscriminant { what: "result", found }),
+    }
+}
+
+/// Decodes one complete frame payload (as returned by
+/// [`FrameReader::next_payload`]) into a [`Message`]. Fails closed on any
+/// structural fault.
+pub fn decode_message(payload: &[u8]) -> Result<Message, CodecError> {
+    let mut rd = Rd::new(payload);
+    let version = rd.u8()?;
+    if version != WIRE_VERSION {
+        return Err(CodecError::BadVersion { found: version });
+    }
+    let kind = rd.u8()?;
+    let msg = match kind {
+        KIND_HELLO => Message::Hello(read_credential(&mut rd)?),
+        KIND_REQUEST => {
+            let id = rd.u64()?;
+            let durability = match rd.u8()? {
+                0 => DurabilityClass::Group,
+                1 => DurabilityClass::Sync,
+                found => return Err(CodecError::UnknownDiscriminant { what: "durability", found }),
+            };
+            let deadline_ms = match rd.u8()? {
+                0 => None,
+                1 => Some(rd.u32()?),
+                found => return Err(CodecError::UnknownDiscriminant { what: "deadline", found }),
+            };
+            let retry_budget = rd.u32()?;
+            let credential = read_credential(&mut rd)?;
+            let n = rd.list_len()?;
+            let mut ops = Vec::new();
+            for _ in 0..n {
+                ops.push(read_op(&mut rd)?);
+            }
+            Message::Request {
+                id,
+                req: Request { ops, credential, durability, deadline_ms, retry_budget },
+            }
+        }
+        KIND_RESPONSE => {
+            let id = rd.u64()?;
+            let n = rd.list_len()?;
+            let mut results = Vec::new();
+            for _ in 0..n {
+                results.push(read_result(&mut rd)?);
+            }
+            Message::Response { id, results }
+        }
+        found => return Err(CodecError::UnknownDiscriminant { what: "kind", found }),
+    };
+    rd.finish()?;
+    Ok(msg)
+}
+
+/// The streaming frame extractor: push raw connection bytes in, pull
+/// complete checksum-verified payloads out.
+///
+/// Mirrors the WAL's torn-tail policy: an incomplete frame is `Ok(None)`
+/// ("await more bytes") while the stream lives; [`FrameReader::buffered`]
+/// at stream close detects the torn tail so the connection can fail
+/// closed. A structurally wrong frame — oversized length prefix, checksum
+/// mismatch — is an immediate error and poisons the stream (every later
+/// call returns the same error).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    poisoned: Option<CodecError>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes received from the connection.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame. Non-zero
+    /// at stream close means a torn tail.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete, checksum-verified frame payload.
+    /// `Ok(None)` means "no complete frame yet — feed more bytes".
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut lb = [0u8; 4];
+        lb.copy_from_slice(&self.buf[..4]);
+        let len = u32::from_le_bytes(lb);
+        if len > MAX_WIRE_PAYLOAD {
+            let err = CodecError::FrameTooLarge { len, max: MAX_WIRE_PAYLOAD };
+            self.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        let total = 4 + len as usize + 8;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len as usize].to_vec();
+        let mut cb = [0u8; 8];
+        cb.copy_from_slice(&self.buf[4 + len as usize..total]);
+        if fnv1a64(&payload) != u64::from_le_bytes(cb) {
+            let err = CodecError::ChecksumMismatch;
+            self.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request::new(vec![
+            StoreOp::Get("alpha".into()),
+            StoreOp::Put("beta".into(), 7),
+            StoreOp::Cas { key: "gamma".into(), expect: Some(1), new: 2 },
+            StoreOp::Scan { from: "a".into(), to: "z".into() },
+            StoreOp::Remove("delta".into()),
+        ])
+        .credential(TierCredential::Vip { token: 42 })
+        .durability(DurabilityClass::Sync)
+        .deadline_ms(250)
+        .retry_budget(8)
+    }
+
+    fn decode_one(frame: &[u8]) -> Message {
+        let mut reader = FrameReader::new();
+        reader.push(frame);
+        let payload = reader.next_payload().unwrap().expect("one complete frame");
+        assert_eq!(reader.buffered(), 0);
+        decode_message(&payload).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let req = sample_request();
+        let msg = decode_one(&encode_request(99, &req));
+        assert_eq!(msg, Message::Request { id: 99, req });
+    }
+
+    #[test]
+    fn hello_roundtrips() {
+        for cred in [TierCredential::Guest, TierCredential::Vip { token: u64::MAX }] {
+            assert_eq!(decode_one(&encode_hello(&cred)), Message::Hello(cred));
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_and_normalizes_legacy_rejections() {
+        let results: Vec<WireResult> = vec![
+            Ok(StoreResp::Value(Some(3))),
+            Ok(StoreResp::Cas { ok: true, actual: None }),
+            Ok(StoreResp::Entries(vec![("k".into(), 9)])),
+            Ok(StoreResp::Moved { epoch: 4 }),
+            Ok(StoreResp::Unavailable { version: 6 }),
+            Err(StoreError::GuestTier),
+            Err(StoreError::RetryBudgetExhausted { budget: 5 }),
+            Err(StoreError::Corrupt { detail: "flush failed".into() }),
+        ];
+        let msg = decode_one(&encode_response(7, &results));
+        let Message::Response { id, results: decoded } = msg else { panic!("expected a response") };
+        assert_eq!(id, 7);
+        assert_eq!(decoded[3], Err(StoreError::Moved { epoch: 4 }));
+        assert_eq!(decoded[4], Err(StoreError::Unavailable { version: 6 }));
+        assert_eq!(decoded[..3], results[..3]);
+        assert_eq!(decoded[5..], results[5..]);
+    }
+
+    #[test]
+    fn streaming_reassembles_byte_by_byte() {
+        let frame = encode_request(1, &sample_request());
+        let mut reader = FrameReader::new();
+        for (i, b) in frame.iter().enumerate() {
+            reader.push(&[*b]);
+            let got = reader.next_payload().unwrap();
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "no frame before byte {i}");
+            } else {
+                assert!(got.is_some(), "complete at the last byte");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_closed_and_poisons() {
+        let mut reader = FrameReader::new();
+        reader.push(&(MAX_WIRE_PAYLOAD + 1).to_le_bytes());
+        reader.push(&[0u8; 16]);
+        let err = reader.next_payload().unwrap_err();
+        assert!(matches!(err, CodecError::FrameTooLarge { .. }));
+        // Poisoned: the stream never yields again.
+        assert!(reader.next_payload().is_err());
+    }
+
+    #[test]
+    fn corrupted_byte_fails_the_checksum() {
+        let mut frame = encode_hello(&TierCredential::Guest);
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0x40;
+        let mut reader = FrameReader::new();
+        reader.push(&frame);
+        match reader.next_payload() {
+            Err(CodecError::ChecksumMismatch) => {}
+            // Flips in the length prefix surface as the other closed
+            // failures; a flip that still parses must not decode cleanly.
+            Err(_) => {}
+            Ok(Some(payload)) => {
+                assert!(decode_message(&payload).is_err(), "corrupt frame decoded cleanly");
+            }
+            Ok(None) => {} // length prefix grew: stream legitimately waits
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_pending_not_error() {
+        let frame = encode_request(3, &sample_request());
+        let mut reader = FrameReader::new();
+        reader.push(&frame[..frame.len() - 3]);
+        assert_eq!(reader.next_payload().unwrap(), None);
+        assert!(reader.buffered() > 0, "the torn tail stays visible for close-time checks");
+    }
+
+    #[test]
+    fn unknown_discriminants_fail_closed() {
+        // Unknown kind.
+        let mut p = vec![WIRE_VERSION, 0x7f];
+        p.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            decode_message(&p),
+            Err(CodecError::UnknownDiscriminant { what: "kind", .. })
+        ));
+        // Unknown op tag inside a request.
+        let good = encode_request(1, &Request::new(vec![StoreOp::Get("k".into())]));
+        let mut reader = FrameReader::new();
+        reader.push(&good);
+        let mut payload = reader.next_payload().unwrap().expect("frame");
+        let last_op_tag = payload.len() - ("k".len() + 4 + 1);
+        payload[last_op_tag] = 0x6e;
+        assert!(matches!(
+            decode_message(&payload),
+            Err(CodecError::UnknownDiscriminant { what: "op", .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_fail_closed() {
+        let frame = encode_hello(&TierCredential::Guest);
+        let mut reader = FrameReader::new();
+        reader.push(&frame);
+        let mut payload = reader.next_payload().unwrap().expect("frame");
+        payload.push(0);
+        assert!(matches!(decode_message(&payload), Err(CodecError::TrailingBytes { extra: 1 })));
+    }
+
+    #[test]
+    fn oversized_list_fails_closed_without_allocation() {
+        // A request claiming 2^20 ops in a tiny payload must be rejected
+        // by the list cap, not by attempting to materialize the list.
+        let mut p = vec![WIRE_VERSION, KIND_REQUEST];
+        p.extend_from_slice(&7u64.to_le_bytes()); // id
+        p.push(0); // durability
+        p.push(0); // deadline
+        p.extend_from_slice(&4u32.to_le_bytes()); // budget
+        p.push(0); // guest credential
+        p.extend_from_slice(&(1u32 << 20).to_le_bytes()); // op count
+        assert!(matches!(decode_message(&p), Err(CodecError::OversizedList { .. })));
+    }
+}

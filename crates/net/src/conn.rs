@@ -1,0 +1,127 @@
+//! Simulated duplex connections: the offline stand-in for TCP sockets.
+//!
+//! The build environment has no network access (and the workspace
+//! deliberately hand-rolls its reactor instead of pulling in tokio), so a
+//! "connection" here is a pair of in-memory byte pipes shared between a
+//! client thread and the reactor. The surface is socket-shaped — send
+//! bytes, drain bytes, half-aware close — so a real TCP transport can
+//! replace [`sim_pair`] without touching the codec or the reactor logic.
+//!
+//! Pipes are deliberately *blocking-free*: every operation drains or
+//! appends under a short mutex hold and returns immediately — there is no
+//! "wait for data" primitive, because the reactor must never park. A
+//! poisoned pipe mutex (a peer thread panicked mid-append) degrades to
+//! the poisoned guard's data rather than propagating the panic.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One direction of a duplex connection.
+#[derive(Debug, Default)]
+struct Pipe {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+fn locked(pipe: &Mutex<Pipe>) -> MutexGuard<'_, Pipe> {
+    match pipe.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One endpoint of a simulated duplex connection (cheaply cloneable;
+/// clones share the same pipes, like `dup`ed file descriptors).
+#[derive(Clone, Debug)]
+pub struct ConnEnd {
+    /// Bytes this end writes; the peer drains them.
+    tx: Arc<Mutex<Pipe>>,
+    /// Bytes the peer writes; this end drains them.
+    rx: Arc<Mutex<Pipe>>,
+}
+
+/// Creates a connected pair of endpoints.
+pub fn sim_pair() -> (ConnEnd, ConnEnd) {
+    let a2b = Arc::new(Mutex::new(Pipe::default()));
+    let b2a = Arc::new(Mutex::new(Pipe::default()));
+    (ConnEnd { tx: Arc::clone(&a2b), rx: Arc::clone(&b2a) }, ConnEnd { tx: b2a, rx: a2b })
+}
+
+impl ConnEnd {
+    /// Appends `bytes` to the outbound pipe. Returns `false` — without
+    /// writing — once either side has closed.
+    pub fn send(&self, bytes: &[u8]) -> bool {
+        let mut pipe = locked(&self.tx);
+        if pipe.closed {
+            return false;
+        }
+        pipe.buf.extend(bytes);
+        true
+    }
+
+    /// Drains every available inbound byte into `out`, returning how many
+    /// arrived. Never waits.
+    pub fn drain_into(&self, out: &mut Vec<u8>) -> usize {
+        let mut pipe = locked(&self.rx);
+        let n = pipe.buf.len();
+        out.extend(pipe.buf.drain(..));
+        n
+    }
+
+    /// Hangs up both directions. Buffered inbound bytes remain drainable
+    /// (a close with a part-written frame is exactly the torn tail the
+    /// codec's close-time check catches).
+    pub fn close(&self) {
+        locked(&self.tx).closed = true;
+        locked(&self.rx).closed = true;
+    }
+
+    /// True once either side has hung up.
+    pub fn is_closed(&self) -> bool {
+        locked(&self.tx).closed
+    }
+
+    /// Inbound bytes currently buffered and undrained.
+    pub fn pending(&self) -> usize {
+        locked(&self.rx).buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_flow_both_ways() {
+        let (a, b) = sim_pair();
+        assert!(a.send(b"ping"));
+        assert!(b.send(b"pong"));
+        let mut buf = Vec::new();
+        assert_eq!(b.drain_into(&mut buf), 4);
+        assert_eq!(buf, b"ping");
+        buf.clear();
+        assert_eq!(a.drain_into(&mut buf), 4);
+        assert_eq!(buf, b"pong");
+        assert_eq!(a.drain_into(&mut buf), 0);
+    }
+
+    #[test]
+    fn close_stops_sends_but_keeps_buffered_bytes() {
+        let (a, b) = sim_pair();
+        assert!(a.send(b"tail"));
+        a.close();
+        assert!(!a.send(b"late"));
+        assert!(!b.send(b"either"), "close hangs up both directions");
+        assert!(b.is_closed());
+        let mut buf = Vec::new();
+        assert_eq!(b.drain_into(&mut buf), 4, "pre-close bytes survive for torn-tail checks");
+    }
+
+    #[test]
+    fn clones_share_the_pipes() {
+        let (a, b) = sim_pair();
+        let a2 = a.clone();
+        assert!(a2.send(b"x"));
+        assert_eq!(b.pending(), 1);
+    }
+}

@@ -1,0 +1,69 @@
+//! # `apc-net` — the wire-protocol front-end for `apc-store`
+//!
+//! Puts the store's unified [`Request`](apc_store::Request)`→`
+//! [`Response`](apc_store::Response) envelope on a wire: a length-prefixed
+//! binary codec ([`codec`]), simulated in-memory connections ([`conn`] —
+//! the offline stand-in for TCP), and a hand-rolled single-threaded
+//! reactor ([`reactor`]) that multiplexes thousands of connections onto
+//! the admission layer's asymmetric tiers.
+//!
+//! The design carries the paper's asymmetric progress guarantees across
+//! the network boundary instead of flattening them:
+//!
+//! * **VIP isolation** — admission is keyed by connection credential
+//!   (a token from [`ServerConfig::vip_tokens`]), each reactor turn
+//!   serves *every* VIP request through a lint-verified
+//!   `bounded_wait_free` dispatch path, and guest load can only add
+//!   drain work, never make a VIP request wait on guest progress.
+//! * **Backpressure as a value** — guest overload is shed with a typed
+//!   [`StoreError::RetryBudgetExhausted`](apc_store::StoreError) response
+//!   (the wire's 429), and every wire retry budget is clamped finite so
+//!   the in-process API's blocking arm is unreachable from the network.
+//! * **Fail-closed framing** — the codec mirrors the WAL's torn-tail
+//!   policy: incomplete frames wait, structurally wrong frames (bad
+//!   checksum, oversized prefix, unknown discriminant) poison the
+//!   connection.
+//!
+//! The reactor's listener also answers plain `GET /metrics` with the
+//! merged store + `store_net_*` Prometheus scrape (see `METRICS.md`), so
+//! one simulated port serves both the binary protocol and observability.
+//!
+//! Protocol spec: `docs/WIRE.md`.
+//!
+//! ## Example
+//!
+//! ```
+//! use apc_net::{NetClient, ServerConfig, StoreServer};
+//! use apc_store::{Request, StoreBuilder, StoreOp, StoreResp, TierCredential};
+//!
+//! let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
+//! let cfg = ServerConfig { vip_tokens: vec![0xfeed], ..ServerConfig::default() };
+//! let mut server = StoreServer::new(&store, cfg);
+//!
+//! let vip = TierCredential::Vip { token: 0xfeed };
+//! let mut client = NetClient::connect(&mut server, vip);
+//! client.send(&Request::new(vec![
+//!     StoreOp::Put("wire/1".into(), 11),
+//!     StoreOp::Get("wire/1".into()),
+//! ]).credential(vip));
+//!
+//! server.poll();
+//! let responses = client.drain().unwrap();
+//! assert_eq!(responses[0].1[1], Ok(StoreResp::Value(Some(11))));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod conn;
+pub mod metrics;
+pub mod reactor;
+
+pub use codec::{
+    decode_message, encode_hello, encode_request, encode_response, CodecError, FrameReader,
+    Message, WireResult, MAX_WIRE_LIST, MAX_WIRE_PAYLOAD, WIRE_VERSION,
+};
+pub use conn::{sim_pair, ConnEnd};
+pub use metrics::{NetMetrics, NET_LATENCY_NS_BOUNDS};
+pub use reactor::{NetClient, PollStats, ServerConfig, StoreServer};

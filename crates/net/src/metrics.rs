@@ -1,0 +1,265 @@
+//! Wire-path observability: the `store_net_*` metric family.
+//!
+//! Mirrors the store's own metrics layer: wait-free recording on the hot
+//! path (atomic counters and a fixed-bound histogram — no locks, no
+//! allocation), with scraping kept off to the side. Every per-tier series
+//! is split into its own `vip`/`guest` instrument pair so the recording
+//! path never formats a label; labels are attached only at scrape time.
+
+use apc_obs::{Counter, FixedHistogram, Gauge, MetricsSnapshot, Sample, SampleValue};
+use apc_progress_macros::progress;
+
+/// Bucket bounds for request round-trip latency, in nanoseconds: powers
+/// of four from 1 µs to 64 ms (matching the store's commit-latency
+/// histogram so tier comparisons line up bucket-for-bucket).
+pub const NET_LATENCY_NS_BOUNDS: [u64; 9] =
+    [1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000, 4_096_000, 16_384_000, 65_536_000];
+
+/// Per-tier instrument bundle.
+#[derive(Debug)]
+struct TierMetrics {
+    conns_accepted: Counter,
+    conns_denied: Counter,
+    requests: Counter,
+    ops: Counter,
+    shed: Counter,
+    latency_ns: FixedHistogram,
+}
+
+impl TierMetrics {
+    fn new() -> Self {
+        Self {
+            conns_accepted: Counter::new(),
+            conns_denied: Counter::new(),
+            requests: Counter::new(),
+            ops: Counter::new(),
+            shed: Counter::new(),
+            latency_ns: FixedHistogram::new(&NET_LATENCY_NS_BOUNDS),
+        }
+    }
+}
+
+/// Wait-free instruments for the wire front-end.
+///
+/// One instance lives inside each
+/// [`StoreServer`](crate::reactor::StoreServer); scrape through
+/// [`NetMetrics::scrape`] or the server's `GET /metrics` endpoint.
+#[derive(Debug)]
+pub struct NetMetrics {
+    vip: TierMetrics,
+    guest: TierMetrics,
+    conns_open: Gauge,
+    conns_closed: Counter,
+    codec_errors: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    http_hits: Counter,
+}
+
+impl Default for NetMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetMetrics {
+    /// Creates a zeroed instrument set.
+    pub fn new() -> Self {
+        Self {
+            vip: TierMetrics::new(),
+            guest: TierMetrics::new(),
+            conns_open: Gauge::new(),
+            conns_closed: Counter::new(),
+            codec_errors: Counter::new(),
+            frames_in: Counter::new(),
+            frames_out: Counter::new(),
+            http_hits: Counter::new(),
+        }
+    }
+
+    fn tier(&self, vip: bool) -> &TierMetrics {
+        if vip {
+            &self.vip
+        } else {
+            &self.guest
+        }
+    }
+
+    /// Records an accepted handshake on the given tier.
+    #[progress(wait_free)]
+    pub fn record_accept(&self, vip: bool) {
+        self.tier(vip).conns_accepted.inc();
+        self.conns_open.set(self.conns_open.get() + 1);
+    }
+
+    /// Records a denied handshake (bad credential / over-capacity).
+    #[progress(wait_free)]
+    pub fn record_deny(&self, vip: bool) {
+        self.tier(vip).conns_denied.inc();
+    }
+
+    /// Records a connection teardown.
+    #[progress(wait_free)]
+    pub fn record_close(&self) {
+        self.conns_closed.inc();
+        self.conns_open.set(self.conns_open.get().saturating_sub(1));
+    }
+
+    /// Records a served request: its op count and round-trip latency.
+    #[progress(wait_free)]
+    pub fn record_request(&self, vip: bool, ops: u64, latency_ns: u64) {
+        let tier = self.tier(vip);
+        tier.requests.inc();
+        tier.ops.add(ops);
+        tier.latency_ns.observe(latency_ns);
+    }
+
+    /// Records a request shed by backpressure (typed 429, never served).
+    #[progress(wait_free)]
+    pub fn record_shed(&self, vip: bool) {
+        self.tier(vip).shed.inc();
+    }
+
+    /// Records a frame decoded off a connection.
+    #[progress(wait_free)]
+    pub fn record_frame_in(&self) {
+        self.frames_in.inc();
+    }
+
+    /// Records a frame written to a connection.
+    #[progress(wait_free)]
+    pub fn record_frame_out(&self) {
+        self.frames_out.inc();
+    }
+
+    /// Records a codec failure (poisoned stream, torn tail, bad frame).
+    #[progress(wait_free)]
+    pub fn record_codec_error(&self) {
+        self.codec_errors.inc();
+    }
+
+    /// Records a plain-HTTP hit on the listener (e.g. `GET /metrics`).
+    #[progress(wait_free)]
+    pub fn record_http_hit(&self) {
+        self.http_hits.inc();
+    }
+
+    /// Current `store_net_*` samples.
+    pub fn samples(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for (label, tier) in [("vip", &self.vip), ("guest", &self.guest)] {
+            out.push(Sample {
+                name: "store_net_conns_accepted_total",
+                help: "Connections accepted after handshake, by tier",
+                labels: vec![("tier", label.to_string())],
+                value: SampleValue::Counter(tier.conns_accepted.get()),
+            });
+            out.push(Sample {
+                name: "store_net_conns_denied_total",
+                help: "Handshakes refused (bad credential or over-capacity), by tier",
+                labels: vec![("tier", label.to_string())],
+                value: SampleValue::Counter(tier.conns_denied.get()),
+            });
+            out.push(Sample {
+                name: "store_net_requests_total",
+                help: "Wire requests served, by tier",
+                labels: vec![("tier", label.to_string())],
+                value: SampleValue::Counter(tier.requests.get()),
+            });
+            out.push(Sample {
+                name: "store_net_ops_total",
+                help: "Store operations carried by served wire requests, by tier",
+                labels: vec![("tier", label.to_string())],
+                value: SampleValue::Counter(tier.ops.get()),
+            });
+            out.push(Sample {
+                name: "store_net_backpressure_shed_total",
+                help:
+                    "Requests answered with RetryBudgetExhausted instead of being served, by tier",
+                labels: vec![("tier", label.to_string())],
+                value: SampleValue::Counter(tier.shed.get()),
+            });
+            out.push(Sample {
+                name: "store_net_request_latency_ns",
+                help: "Round-trip request latency inside the reactor, by tier",
+                labels: vec![("tier", label.to_string())],
+                value: SampleValue::Histogram(tier.latency_ns.snapshot()),
+            });
+        }
+        out.push(Sample {
+            name: "store_net_conns_open",
+            help: "Connections currently registered with the reactor",
+            labels: Vec::new(),
+            value: SampleValue::Gauge(self.conns_open.get()),
+        });
+        out.push(Sample {
+            name: "store_net_conns_closed_total",
+            help: "Connections torn down (either side)",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.conns_closed.get()),
+        });
+        out.push(Sample {
+            name: "store_net_codec_errors_total",
+            help: "Connections dropped for wire-protocol violations",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.codec_errors.get()),
+        });
+        out.push(Sample {
+            name: "store_net_frames_in_total",
+            help: "Frames decoded off connections",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.frames_in.get()),
+        });
+        out.push(Sample {
+            name: "store_net_frames_out_total",
+            help: "Frames written to connections",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.frames_out.get()),
+        });
+        out.push(Sample {
+            name: "store_net_http_metrics_hits_total",
+            help: "Plain-HTTP requests served by the listener",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.http_hits.get()),
+        });
+        out
+    }
+
+    /// Snapshot of just the net-layer series.
+    pub fn scrape(&self) -> MetricsSnapshot {
+        MetricsSnapshot { samples: self.samples() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_cover_both_tiers_and_globals() {
+        let m = NetMetrics::new();
+        m.record_accept(true);
+        m.record_accept(false);
+        m.record_deny(false);
+        m.record_request(true, 3, 2_000);
+        m.record_shed(false);
+        m.record_close();
+        let snap = m.scrape();
+        let vip = [("tier", "vip")];
+        let guest = [("tier", "guest")];
+        assert_eq!(snap.value("store_net_conns_accepted_total", &vip), Some(1));
+        assert_eq!(snap.value("store_net_conns_denied_total", &guest), Some(1));
+        assert_eq!(snap.value("store_net_ops_total", &vip), Some(3));
+        assert_eq!(snap.value("store_net_backpressure_shed_total", &guest), Some(1));
+        assert_eq!(snap.value("store_net_conns_open", &[]), Some(1));
+        let hist = snap.histogram("store_net_request_latency_ns", &vip).unwrap();
+        assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn open_gauge_never_underflows() {
+        let m = NetMetrics::new();
+        m.record_close();
+        assert_eq!(m.scrape().value("store_net_conns_open", &[]), Some(0));
+    }
+}

@@ -1,0 +1,703 @@
+//! The single-threaded reactor: multiplexes many simulated connections
+//! onto one [`Store`]'s admission tiers.
+//!
+//! One [`StoreServer::poll`] call is one reactor turn, in three phases:
+//!
+//! 1. **Ingest** — drain every connection's bytes, extract complete
+//!    frames, finish handshakes ([`Message::Hello`] → admission) and
+//!    answer plain-HTTP probes (`GET /metrics` serves the merged
+//!    store + net Prometheus scrape). Decoded requests are queued by the
+//!    *connection's* admitted tier, never by what the frame claims.
+//! 2. **VIP dispatch** — every queued VIP request is served, no cap. The
+//!    per-request work is `StoreServer::dispatch_vip`, annotated
+//!    `bounded_wait_free` and lint-verified: the whole serve path down to
+//!    the store's port commit is a bounded number of steps, so a guest
+//!    flood can make this phase *longer* (more conns to drain) but can
+//!    never make any single VIP request wait on guest progress.
+//! 3. **Guest dispatch** — queued guest requests are served up to
+//!    [`ServerConfig::guest_dispatch_per_poll`]; the overflow is **shed**
+//!    with a typed [`StoreError::RetryBudgetExhausted`] response (the
+//!    wire's 429) instead of buffering unboundedly or blocking the
+//!    reactor. Backpressure is a value, not a stall.
+//!
+//! ## Admission is keyed by connection credential
+//!
+//! A VIP handshake must present a token from
+//! [`ServerConfig::vip_tokens`]; the server admits one VIP ticket per
+//! distinct token (cached in `vip_sessions`, so reconnects reuse the same
+//! port) and refuses unknown tokens or over-capacity admissions with a
+//! typed [`StoreError::GuestTier`] response before closing. Guests are
+//! admitted unboundedly, one ticket per connection. A serving connection
+//! whose request claims a different tier than its handshake earned is
+//! answered with `GuestTier` errors — frames cannot escalate privilege.
+//!
+//! ## The wire never blocks
+//!
+//! Request retry budgets are clamped to
+//! [`ServerConfig::wire_retry_budget_cap`], so the in-process API's
+//! blocking "wait for the topology" arm ([`apc_store::UNBOUNDED_RETRIES`])
+//! is unreachable from the wire: a reconfiguration race surfaces as a
+//! typed `RetryBudgetExhausted` after finitely many re-plans. `Sync`
+//! durability is the one deliberate exception — it fsyncs on the reactor
+//! thread via the store's own (VIP-gated) blocking arm.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use apc_obs::{encode_prometheus, MetricsSnapshot};
+use apc_progress_macros::progress;
+use apc_store::{
+    ClientTicket, DurabilityClass, ProgressClass, Request, Response, Store, StoreError,
+    TierCredential,
+};
+
+use crate::codec::{decode_message, encode_hello, encode_request, encode_response};
+use crate::codec::{CodecError, FrameReader, Message, WireResult};
+use crate::conn::{sim_pair, ConnEnd};
+use crate::metrics::NetMetrics;
+
+/// Tuning knobs for a [`StoreServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Tokens whose `Hello` handshake may claim the VIP tier. Each
+    /// distinct token is backed by at most one admitted VIP ticket
+    /// (reconnects reuse it), so the list's length bounds how much VIP
+    /// port capacity the wire can consume.
+    pub vip_tokens: Vec<u64>,
+    /// Guest requests served per [`StoreServer::poll`]; arrivals beyond
+    /// this are shed with [`StoreError::RetryBudgetExhausted`].
+    pub guest_dispatch_per_poll: usize,
+    /// Cap applied to every wire request's retry budget. Keeps the
+    /// blocking [`apc_store::UNBOUNDED_RETRIES`] arm unreachable from the
+    /// network.
+    pub wire_retry_budget_cap: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            vip_tokens: Vec::new(),
+            guest_dispatch_per_poll: 256,
+            wire_retry_budget_cap: 16,
+        }
+    }
+}
+
+/// What one reactor turn did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PollStats {
+    /// Complete frames ingested.
+    pub frames: usize,
+    /// Requests dispatched to the store (both tiers).
+    pub served: usize,
+    /// Guest requests shed with `RetryBudgetExhausted`.
+    pub shed: usize,
+    /// Connections that transitioned to closed during the turn.
+    pub closed: usize,
+}
+
+/// Per-connection lifecycle.
+#[derive(Debug)]
+enum ConnState {
+    /// Awaiting the `Hello` frame (or an HTTP sniff).
+    Handshake,
+    /// Admitted; requests dispatch under this ticket.
+    Serving(ClientTicket),
+    /// Speaking plain HTTP; accumulating the request head.
+    Http(Vec<u8>),
+    /// Torn down (either side).
+    Closed,
+}
+
+#[derive(Debug)]
+struct ConnSlot {
+    end: ConnEnd,
+    reader: FrameReader,
+    state: ConnState,
+}
+
+/// The reactor: owns the server side of every simulated connection and
+/// drives them against one [`Store`].
+///
+/// Single-threaded by design — progress isolation between tiers comes
+/// from the store's port structure and the phase ordering of
+/// [`StoreServer::poll`], not from thread scheduling.
+#[derive(Debug)]
+pub struct StoreServer<'a> {
+    store: &'a Store,
+    cfg: ServerConfig,
+    metrics: NetMetrics,
+    /// One admitted VIP ticket per authorized token, reused across
+    /// reconnects so a flapping VIP client cannot leak ports.
+    vip_sessions: BTreeMap<u64, ClientTicket>,
+    conns: Vec<ConnSlot>,
+}
+
+impl<'a> StoreServer<'a> {
+    /// A reactor over `store` with the given tuning.
+    pub fn new(store: &'a Store, cfg: ServerConfig) -> StoreServer<'a> {
+        StoreServer {
+            store,
+            cfg,
+            metrics: NetMetrics::new(),
+            vip_sessions: BTreeMap::new(),
+            conns: Vec::new(),
+        }
+    }
+
+    /// Opens a new simulated connection and returns the client endpoint.
+    /// The connection serves nothing until its `Hello` handshake lands in
+    /// a later [`StoreServer::poll`].
+    pub fn connect(&mut self) -> ConnEnd {
+        let (client, server) = sim_pair();
+        self.conns.push(ConnSlot {
+            end: server,
+            reader: FrameReader::new(),
+            state: ConnState::Handshake,
+        });
+        client
+    }
+
+    /// The net-layer instruments (live; scrape any time).
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Connections registered with the reactor (any state).
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// The merged scrape: the store's own series plus `store_net_*`.
+    pub fn scrape(&self) -> MetricsSnapshot {
+        let mut snap = self.store.scrape();
+        snap.merge(self.metrics.scrape());
+        snap
+    }
+
+    /// One reactor turn: ingest, VIP dispatch, guest dispatch + shed.
+    pub fn poll(&mut self) -> PollStats {
+        let mut stats = PollStats::default();
+        let closed_before = self.closed_count();
+        let mut vip_q: Vec<(usize, u64, Request)> = Vec::new();
+        let mut guest_q: Vec<(usize, u64, Request)> = Vec::new();
+        let mut scratch = Vec::new();
+
+        // Phase 1: ingest every connection.
+        for i in 0..self.conns.len() {
+            if matches!(self.conns[i].state, ConnState::Closed) {
+                continue;
+            }
+            scratch.clear();
+            self.conns[i].end.drain_into(&mut scratch);
+
+            // HTTP sniff: a fresh connection whose first bytes spell
+            // "GET " is a plain-HTTP probe, not a codec peer. (The sniff
+            // needs the prefix in one chunk — true of any real client,
+            // which writes the request head with a single send.)
+            if matches!(self.conns[i].state, ConnState::Handshake)
+                && self.conns[i].reader.buffered() == 0
+                && scratch.starts_with(b"GET ")
+            {
+                self.conns[i].state = ConnState::Http(Vec::new());
+            }
+
+            match self.conns[i].state {
+                ConnState::Http(_) => self.ingest_http(i, &scratch),
+                ConnState::Handshake | ConnState::Serving(_) => {
+                    self.conns[i].reader.push(&scratch);
+                    self.ingest_frames(i, &mut stats, &mut vip_q, &mut guest_q);
+                }
+                ConnState::Closed => {}
+            }
+
+            // Peer hang-up: any bytes still buffered are a torn tail —
+            // the stream died mid-frame — and fail closed, mirroring the
+            // WAL's recovery policy.
+            if !matches!(self.conns[i].state, ConnState::Closed) && self.conns[i].end.is_closed() {
+                let torn = self.conns[i].reader.buffered() > 0;
+                self.close_conn(i, torn);
+            }
+        }
+
+        // Phase 2: serve every VIP request — no cap, by construction.
+        for (i, id, req) in vip_q {
+            let ticket = match &self.conns[i].state {
+                ConnState::Serving(t) => *t,
+                _ => continue,
+            };
+            let resp = self.serve_request(ticket, req);
+            self.send_response(i, id, &resp.results);
+            stats.served += 1;
+        }
+
+        // Phase 3: serve guests up to the per-turn cap; shed the rest.
+        let cap = self.cfg.guest_dispatch_per_poll;
+        for (n, (i, id, req)) in guest_q.into_iter().enumerate() {
+            let ticket = match &self.conns[i].state {
+                ConnState::Serving(t) => *t,
+                _ => continue,
+            };
+            if n < cap {
+                let resp = self.serve_request(ticket, req);
+                self.send_response(i, id, &resp.results);
+                stats.served += 1;
+            } else {
+                self.metrics.record_shed(false);
+                let err = StoreError::RetryBudgetExhausted { budget: req.retry_budget };
+                let resp = Response::fail_all(req.ops.len(), err);
+                self.send_response(i, id, &resp.results);
+                stats.shed += 1;
+            }
+        }
+
+        stats.closed = self.closed_count() - closed_before;
+        stats
+    }
+
+    fn closed_count(&self) -> usize {
+        self.conns.iter().filter(|c| matches!(c.state, ConnState::Closed)).count()
+    }
+
+    /// Extracts and handles every complete frame buffered on conn `i`.
+    fn ingest_frames(
+        &mut self,
+        i: usize,
+        stats: &mut PollStats,
+        vip_q: &mut Vec<(usize, u64, Request)>,
+        guest_q: &mut Vec<(usize, u64, Request)>,
+    ) {
+        loop {
+            let payload = match self.conns[i].reader.next_payload() {
+                Ok(Some(p)) => p,
+                Ok(None) => return,
+                Err(_) => {
+                    self.close_conn(i, true);
+                    return;
+                }
+            };
+            self.metrics.record_frame_in();
+            stats.frames += 1;
+            let msg = match decode_message(&payload) {
+                Ok(m) => m,
+                Err(_) => {
+                    self.close_conn(i, true);
+                    return;
+                }
+            };
+            match msg {
+                Message::Hello(cred) => {
+                    if matches!(self.conns[i].state, ConnState::Handshake) {
+                        self.finish_handshake(i, cred);
+                        if matches!(self.conns[i].state, ConnState::Closed) {
+                            return;
+                        }
+                    } else {
+                        // A second Hello is a protocol violation.
+                        self.close_conn(i, true);
+                        return;
+                    }
+                }
+                Message::Request { id, req } => match &self.conns[i].state {
+                    ConnState::Serving(t) => match t.class() {
+                        ProgressClass::Vip => vip_q.push((i, id, req)),
+                        ProgressClass::Guest => guest_q.push((i, id, req)),
+                    },
+                    // Requests before the handshake are a violation.
+                    _ => {
+                        self.close_conn(i, true);
+                        return;
+                    }
+                },
+                // Clients do not send responses.
+                Message::Response { .. } => {
+                    self.close_conn(i, true);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Admits (or refuses) a handshake credential on conn `i`.
+    fn finish_handshake(&mut self, i: usize, cred: TierCredential) {
+        match cred {
+            TierCredential::Vip { token } => {
+                let ticket = if self.cfg.vip_tokens.contains(&token) {
+                    match self.vip_sessions.get(&token) {
+                        Some(t) => Some(*t),
+                        None => match self.store.admit_vip() {
+                            Ok(t) => {
+                                self.vip_sessions.insert(token, t);
+                                Some(t)
+                            }
+                            Err(_) => None,
+                        },
+                    }
+                } else {
+                    None
+                };
+                match ticket {
+                    Some(t) => {
+                        self.conns[i].state = ConnState::Serving(t);
+                        self.metrics.record_accept(true);
+                    }
+                    None => {
+                        // Unknown token or VIP capacity exhausted: the
+                        // credential does not grant the claimed tier.
+                        self.metrics.record_deny(true);
+                        self.send_response(i, 0, &[Err(StoreError::GuestTier)]);
+                        self.close_conn(i, false);
+                    }
+                }
+            }
+            TierCredential::Guest => {
+                let t = self.store.admit_guest();
+                self.conns[i].state = ConnState::Serving(t);
+                self.metrics.record_accept(false);
+            }
+        }
+    }
+
+    /// Accumulates HTTP bytes on conn `i`; answers and closes once the
+    /// request head is complete.
+    fn ingest_http(&mut self, i: usize, bytes: &[u8]) {
+        let head = if let ConnState::Http(buf) = &mut self.conns[i].state {
+            buf.extend_from_slice(bytes);
+            find_subsequence(buf, b"\r\n\r\n")
+                .map(|pos| String::from_utf8_lossy(&buf[..pos]).into_owned())
+        } else {
+            None
+        };
+        if let Some(head) = head {
+            self.metrics.record_http_hit();
+            let response = self.http_response(&head);
+            self.conns[i].end.send(response.as_bytes());
+            self.close_conn(i, false);
+        }
+    }
+
+    fn http_response(&self, head: &str) -> String {
+        let path = head.split_whitespace().nth(1).unwrap_or("");
+        if path == "/metrics" {
+            let body = encode_prometheus(&self.scrape());
+            format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+        } else {
+            let body = "not found\n";
+            format!(
+                "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+        }
+    }
+
+    /// Dispatches one admitted request under the connection's ticket.
+    fn serve_request(&self, ticket: ClientTicket, mut req: Request) -> Response {
+        // Frames cannot escalate: the request's claimed tier must match
+        // what the handshake earned.
+        if req.credential.class() != ticket.class() {
+            return Response::fail_all(req.ops.len(), StoreError::GuestTier);
+        }
+        // The wire never reaches the blocking unbounded-retry arm.
+        req.retry_budget = req.retry_budget.min(self.cfg.wire_retry_budget_cap);
+        req.credential = TierCredential::for_ticket(&ticket);
+        match (req.durability, ticket.class()) {
+            (DurabilityClass::Sync, _) => self.dispatch_durable(ticket, req),
+            (DurabilityClass::Group, ProgressClass::Vip) => self.dispatch_vip(ticket, req),
+            (DurabilityClass::Group, ProgressClass::Guest) => self.dispatch_guest(ticket, req),
+        }
+    }
+
+    /// The VIP serve path: a bounded number of the reactor's own steps
+    /// from envelope to committed response — lint-verified down through
+    /// [`apc_store::Client::request_vip`] and the store's port commit.
+    #[progress(bounded_wait_free)]
+    fn dispatch_vip(&self, ticket: ClientTicket, req: Request) -> Response {
+        let started = Instant::now();
+        let ops = req.ops.len() as u64;
+        let mut client = self.store.client(ticket);
+        let resp = client.request_vip(req);
+        self.metrics.record_request(true, ops, elapsed_ns(started));
+        resp
+    }
+
+    /// The guest serve path: obstruction-free, like the tier it serves.
+    #[progress(obstruction_free)]
+    fn dispatch_guest(&self, ticket: ClientTicket, req: Request) -> Response {
+        let started = Instant::now();
+        let ops = req.ops.len() as u64;
+        let mut client = self.store.client(ticket);
+        let resp = client.request_guest(req);
+        self.metrics.record_request(false, ops, elapsed_ns(started));
+        resp
+    }
+
+    /// `Sync` durability fsyncs on the reactor thread — deliberately
+    /// blocking, and VIP-gated by the store itself.
+    #[progress(blocking)]
+    fn dispatch_durable(&self, ticket: ClientTicket, req: Request) -> Response {
+        let started = Instant::now();
+        let vip = ticket.class() == ProgressClass::Vip;
+        let ops = req.ops.len() as u64;
+        let mut client = self.store.client(ticket);
+        let resp = client.request(req);
+        self.metrics.record_request(vip, ops, elapsed_ns(started));
+        resp
+    }
+
+    fn send_response(&self, i: usize, id: u64, results: &[WireResult]) {
+        let frame = encode_response(id, results);
+        if self.conns[i].end.send(&frame) {
+            self.metrics.record_frame_out();
+        }
+    }
+
+    fn close_conn(&mut self, i: usize, fault: bool) {
+        if matches!(self.conns[i].state, ConnState::Closed) {
+            return;
+        }
+        if fault {
+            self.metrics.record_codec_error();
+        }
+        self.conns[i].end.close();
+        self.conns[i].state = ConnState::Closed;
+        self.metrics.record_close();
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// A client-side convenience wrapper over one [`ConnEnd`]: correlation-id
+/// bookkeeping plus frame reassembly. This is what the loadgen and tests
+/// drive; it is intentionally dumb — no retries, no reconnects.
+#[derive(Debug)]
+pub struct NetClient {
+    end: ConnEnd,
+    reader: FrameReader,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Opens a connection on `server` and sends the `Hello` handshake.
+    pub fn connect(server: &mut StoreServer<'_>, credential: TierCredential) -> NetClient {
+        NetClient::from_end(server.connect(), credential)
+    }
+
+    /// Wraps an already-opened endpoint (for loadgen threads that receive
+    /// their `ConnEnd`s from the reactor thread) and sends the handshake.
+    pub fn from_end(end: ConnEnd, credential: TierCredential) -> NetClient {
+        end.send(&encode_hello(&credential));
+        NetClient { end, reader: FrameReader::new(), next_id: 1 }
+    }
+
+    /// Sends one request frame; returns its correlation id.
+    pub fn send(&mut self, req: &Request) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.end.send(&encode_request(id, req));
+        id
+    }
+
+    /// Drains every complete response currently buffered.
+    pub fn drain(&mut self) -> Result<Vec<(u64, Vec<WireResult>)>, CodecError> {
+        let mut raw = Vec::new();
+        self.end.drain_into(&mut raw);
+        self.reader.push(&raw);
+        let mut out = Vec::new();
+        while let Some(payload) = self.reader.next_payload()? {
+            match decode_message(&payload)? {
+                Message::Response { id, results } => out.push((id, results)),
+                Message::Hello(_) => {
+                    return Err(CodecError::UnknownDiscriminant {
+                        what: "server frame kind",
+                        found: crate::codec::KIND_HELLO,
+                    })
+                }
+                Message::Request { .. } => {
+                    return Err(CodecError::UnknownDiscriminant {
+                        what: "server frame kind",
+                        found: crate::codec::KIND_REQUEST,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// True once the server (or this side) hung up.
+    pub fn is_closed(&self) -> bool {
+        self.end.is_closed()
+    }
+
+    /// Hangs up.
+    pub fn close(&self) {
+        self.end.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apc_store::{StoreBuilder, StoreOp, StoreResp};
+
+    fn server_fixture(store: &Store) -> StoreServer<'_> {
+        StoreServer::new(
+            store,
+            ServerConfig {
+                vip_tokens: vec![7],
+                guest_dispatch_per_poll: 4,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn handshake_then_request_roundtrip() {
+        let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
+        let mut server = server_fixture(&store);
+        let mut vip = NetClient::connect(&mut server, TierCredential::Vip { token: 7 });
+        vip.send(
+            &Request::new(vec![StoreOp::Put("k".into(), 5), StoreOp::Get("k".into())])
+                .credential(TierCredential::Vip { token: 7 }),
+        );
+        let stats = server.poll();
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.shed, 0);
+        let got = vip.drain().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1[1], Ok(StoreResp::Value(Some(5))));
+    }
+
+    #[test]
+    fn unknown_vip_token_is_refused_with_guest_tier() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = server_fixture(&store);
+        let mut intruder = NetClient::connect(&mut server, TierCredential::Vip { token: 999 });
+        server.poll();
+        let got = intruder.drain().unwrap();
+        assert_eq!(got, vec![(0, vec![Err(StoreError::GuestTier)])]);
+        assert!(intruder.is_closed());
+        assert_eq!(
+            server.metrics().scrape().value("store_net_conns_denied_total", &[("tier", "vip")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn guest_overflow_is_shed_with_typed_429() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = server_fixture(&store);
+        let mut guests: Vec<NetClient> =
+            (0..6).map(|_| NetClient::connect(&mut server, TierCredential::Guest)).collect();
+        for (n, g) in guests.iter_mut().enumerate() {
+            g.send(&Request::new(vec![StoreOp::Put(format!("g/{n}"), n as u64)]));
+        }
+        let stats = server.poll();
+        assert_eq!(stats.served, 4, "guest_dispatch_per_poll caps the turn");
+        assert_eq!(stats.shed, 2);
+        let mut shed_seen = 0;
+        for g in &mut guests {
+            for (_, results) in g.drain().unwrap() {
+                if matches!(results[0], Err(StoreError::RetryBudgetExhausted { .. })) {
+                    shed_seen += 1;
+                } else {
+                    assert!(results[0].is_ok());
+                }
+            }
+        }
+        assert_eq!(shed_seen, 2);
+    }
+
+    #[test]
+    fn frames_cannot_escalate_tier() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = server_fixture(&store);
+        let mut guest = NetClient::connect(&mut server, TierCredential::Guest);
+        // A guest connection sending a VIP-credentialed request frame.
+        guest.send(
+            &Request::new(vec![StoreOp::Get("k".into())])
+                .credential(TierCredential::Vip { token: 7 }),
+        );
+        server.poll();
+        let got = guest.drain().unwrap();
+        assert_eq!(got[0].1, vec![Err(StoreError::GuestTier)]);
+    }
+
+    #[test]
+    fn http_metrics_endpoint_serves_merged_scrape() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = server_fixture(&store);
+        let mut guest = NetClient::connect(&mut server, TierCredential::Guest);
+        guest.send(&Request::new(vec![StoreOp::Put("k".into(), 1)]));
+        server.poll();
+        let probe = server.connect();
+        probe.send(b"GET /metrics HTTP/1.1\r\nHost: sim\r\n\r\n");
+        server.poll();
+        let mut body = Vec::new();
+        probe.drain_into(&mut body);
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "got: {text}");
+        assert!(text.contains("store_net_requests_total{tier=\"guest\"} 1"), "got: {text}");
+        assert!(probe.is_closed(), "metrics probes are one-shot");
+        // Unknown paths 404.
+        let probe2 = server.connect();
+        probe2.send(b"GET /nope HTTP/1.1\r\n\r\n");
+        server.poll();
+        let mut body2 = Vec::new();
+        probe2.drain_into(&mut body2);
+        assert!(String::from_utf8(body2).unwrap().starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn garbage_frames_fail_closed() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = server_fixture(&store);
+        let raw = server.connect();
+        raw.send(&[0xff; 64]);
+        server.poll();
+        assert!(raw.is_closed());
+        assert_eq!(server.metrics().scrape().value("store_net_codec_errors_total", &[]), Some(1));
+    }
+
+    #[test]
+    fn torn_tail_at_close_counts_as_codec_error() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = server_fixture(&store);
+        let guest = NetClient::connect(&mut server, TierCredential::Guest);
+        server.poll();
+        // Send half a frame, then hang up.
+        let frame = encode_request(9, &Request::new(vec![StoreOp::Get("k".into())]));
+        guest.end.send(&frame[..frame.len() / 2]);
+        guest.close();
+        server.poll();
+        assert_eq!(server.metrics().scrape().value("store_net_codec_errors_total", &[]), Some(1));
+    }
+
+    #[test]
+    fn vip_sessions_are_reused_across_reconnects() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = server_fixture(&store);
+        let a = NetClient::connect(&mut server, TierCredential::Vip { token: 7 });
+        server.poll();
+        a.close();
+        server.poll();
+        // VIP capacity is 1, yet the same token reconnects fine: the
+        // session ticket is cached, not re-admitted.
+        let mut b = NetClient::connect(&mut server, TierCredential::Vip { token: 7 });
+        b.send(
+            &Request::new(vec![StoreOp::Get("k".into())])
+                .credential(TierCredential::Vip { token: 7 }),
+        );
+        let stats = server.poll();
+        assert_eq!(stats.served, 1);
+        assert_eq!(b.drain().unwrap().len(), 1);
+    }
+}

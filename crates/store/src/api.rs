@@ -1,0 +1,335 @@
+//! The unified `Request → Response` envelope: one operation surface for
+//! the in-process [`Client`](crate::store::Client) and the wire protocol.
+//!
+//! Historically the client grew four ad-hoc entry points (`execute`,
+//! `execute_durable`, `get`/`put`/`cas`/`remove` via `execute_one`, and
+//! `scan`), each with its own partial error vocabulary smeared across
+//! response variants ([`StoreResp::Moved`], [`StoreResp::Unavailable`])
+//! and a separate durability error type. None of that had a shape a codec
+//! could serialize. This module fixes the surface:
+//!
+//! * [`Request`] — `{ ops, credential, durability, deadline_ms,
+//!   retry_budget }`, the envelope shared **verbatim** by
+//!   [`Client::request`](crate::store::Client::request) and the `apc-net`
+//!   wire frames;
+//! * [`Response`] — per-operation `Result<StoreResp, StoreError>` in
+//!   invocation order;
+//! * [`StoreError`] — the consolidated, `#[non_exhaustive]` error surface
+//!   with **stable wire discriminants**.
+//!
+//! The legacy entry points survive as thin wrappers over
+//! [`Client::request`](crate::store::Client::request) (see the mapping
+//! table below), so nothing breaks — but new code, and every byte on the
+//! wire, speaks this envelope.
+//!
+//! ## Error consolidation map
+//!
+//! | legacy surface                              | consolidated form                      | wire |
+//! |---------------------------------------------|----------------------------------------|------|
+//! | [`StoreResp::Moved`] `{ epoch }`            | [`StoreError::Moved`] `{ epoch }`      | `1`  |
+//! | [`DurabilityError::GuestTier`], tier over-claim | [`StoreError::GuestTier`]          | `2`  |
+//! | (new) retry budget / deadline exhausted     | [`StoreError::RetryBudgetExhausted`]   | `3`  |
+//! | [`StoreResp::Unavailable`] `{ version }`, [`DurabilityError::NoWal`] | [`StoreError::Unavailable`] `{ version }` | `4` |
+//! | [`DurabilityError::Wal`] (failed covering flush), codec/persist corruption | [`StoreError::Corrupt`] | `5` |
+//!
+//! `Moved` never escapes the in-process arms (the retry loop consumes it);
+//! it exists so a wire peer that implements its own re-plan loop can see
+//! the bounce. `RetryBudgetExhausted` is the envelope's 429: the typed
+//! "try again later" that the guest tier surfaces **instead of blocking**.
+//!
+//! [`StoreResp::Moved`]: crate::ops::StoreResp::Moved
+//! [`StoreResp::Unavailable`]: crate::ops::StoreResp::Unavailable
+//! [`DurabilityError::GuestTier`]: crate::wal::DurabilityError::GuestTier
+//! [`DurabilityError::NoWal`]: crate::wal::DurabilityError::NoWal
+//! [`DurabilityError::Wal`]: crate::wal::DurabilityError::Wal
+
+use std::fmt;
+
+use crate::admission::{ClientTicket, ProgressClass};
+use crate::ops::{StoreOp, StoreResp};
+use crate::wal::DurabilityClass;
+
+/// Sentinel retry budget: "retry until the topology publishes, waiting if
+/// needed" — the legacy in-process semantics. [`Client::request`] routes
+/// requests carrying this budget through the (blocking) waiting arm; any
+/// finite budget takes the non-blocking bounded arms. The wire front-end
+/// always clamps budgets to a finite value, so no reactor thread ever
+/// waits.
+///
+/// [`Client::request`]: crate::store::Client::request
+pub const UNBOUNDED_RETRIES: u32 = u32::MAX;
+
+/// How a connection (or in-process session) identifies its progress tier.
+///
+/// On the wire this is the **handshake**: VIP service is keyed by the
+/// credential's token, which the server maps to one admitted VIP port —
+/// guests cannot occupy a VIP slot no matter how many connect, so a flood
+/// of guests can never starve a VIP port. In process, the session's
+/// [`ClientTicket`] is authoritative; the credential merely must not
+/// *over-claim* (a guest ticket presenting a VIP credential is refused
+/// with [`StoreError::GuestTier`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TierCredential {
+    /// Claims a bounded-wait-free VIP port, keyed by `token`.
+    Vip {
+        /// The credential key: the server maps each accepted token to one
+        /// admitted VIP port (connections sharing a token share the port).
+        token: u64,
+    },
+    /// Claims only the obstruction-free shared guest tier (never refused).
+    Guest,
+}
+
+impl TierCredential {
+    /// The progress class this credential claims.
+    pub fn class(&self) -> ProgressClass {
+        match self {
+            TierCredential::Vip { .. } => ProgressClass::Vip,
+            TierCredential::Guest => ProgressClass::Guest,
+        }
+    }
+
+    /// The credential a session's own ticket vouches for.
+    pub fn for_ticket(ticket: &ClientTicket) -> TierCredential {
+        match ticket.class() {
+            ProgressClass::Vip => TierCredential::Vip { token: ticket.id() },
+            ProgressClass::Guest => TierCredential::Guest,
+        }
+    }
+}
+
+/// The unified request envelope: a batch of operations plus the service
+/// terms they are executed under. One `Request` is one wire frame and one
+/// [`Client::request`](crate::store::Client::request) call — the two paths
+/// share this struct verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Operations, answered in invocation order.
+    pub ops: Vec<StoreOp>,
+    /// The claimed progress tier (see [`TierCredential`]).
+    pub credential: TierCredential,
+    /// WAL durability class the commit's effect frames carry.
+    /// [`DurabilityClass::Sync`] additionally makes the response wait for
+    /// the covering fsync — VIP-only, exactly as
+    /// [`Client::execute_durable`](crate::store::Client::execute_durable).
+    pub durability: DurabilityClass,
+    /// Relative patience in milliseconds, measured from dispatch; `None`
+    /// means no deadline. Enforced by the **bounded** arms (between `Moved`
+    /// retries) and by the wire front-end (a request that out-waits its
+    /// deadline in a backpressure queue is shed). The legacy waiting arm
+    /// (`retry_budget == UNBOUNDED_RETRIES`) bounds its waits with the
+    /// store-wide `view_wait_timeout` instead.
+    pub deadline_ms: Option<u32>,
+    /// How many `Moved` re-plan rounds the request will pay for before the
+    /// remaining operations come back
+    /// [`StoreError::RetryBudgetExhausted`]. Finite budgets make the VIP
+    /// arm *bounded* wait-free end to end — the budget is the a-priori
+    /// step bound. [`UNBOUNDED_RETRIES`] selects the legacy waiting arm.
+    pub retry_budget: u32,
+}
+
+impl Request {
+    /// A guest-tier, group-durability request with unbounded retries — the
+    /// legacy `execute` semantics. Chain the builder methods to tighten
+    /// the terms.
+    pub fn new(ops: Vec<StoreOp>) -> Request {
+        Request {
+            ops,
+            credential: TierCredential::Guest,
+            durability: DurabilityClass::Group,
+            deadline_ms: None,
+            retry_budget: UNBOUNDED_RETRIES,
+        }
+    }
+
+    /// Sets the tier credential.
+    pub fn credential(mut self, credential: TierCredential) -> Request {
+        self.credential = credential;
+        self
+    }
+
+    /// Sets the durability class.
+    pub fn durability(mut self, durability: DurabilityClass) -> Request {
+        self.durability = durability;
+        self
+    }
+
+    /// Sets the relative deadline in milliseconds.
+    pub fn deadline_ms(mut self, ms: u32) -> Request {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets a finite retry budget (routing the request through the
+    /// non-blocking bounded arms).
+    pub fn retry_budget(mut self, budget: u32) -> Request {
+        self.retry_budget = budget;
+        self
+    }
+}
+
+/// The unified response envelope: one `Result` per requested operation,
+/// in invocation order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Per-operation outcomes.
+    pub results: Vec<Result<StoreResp, StoreError>>,
+}
+
+impl Response {
+    /// A response failing every one of `n` operations with `err`.
+    pub fn fail_all(n: usize, err: StoreError) -> Response {
+        Response { results: (0..n).map(|_| Err(err.clone())).collect() }
+    }
+
+    /// True when every operation succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+
+    /// Degrades the envelope back to the legacy `Vec<StoreResp>` shape the
+    /// thin wrappers still expose: `Moved` and `Unavailable` errors map to
+    /// their historical response variants; the envelope-only errors
+    /// (`GuestTier`, `RetryBudgetExhausted`, `Corrupt`) degrade to
+    /// [`StoreResp::Unavailable`] — the legacy vocabulary's closest
+    /// "nothing applied / not acknowledged" shape.
+    pub fn into_legacy(self) -> Vec<StoreResp> {
+        self.results
+            .into_iter()
+            .map(|r| match r {
+                Ok(resp) => resp,
+                Err(StoreError::Moved { epoch }) => StoreResp::Moved { epoch },
+                Err(StoreError::Unavailable { version }) => StoreResp::Unavailable { version },
+                Err(_) => StoreResp::Unavailable { version: 0 },
+            })
+            .collect()
+    }
+}
+
+/// The consolidated store error surface, with **stable wire
+/// discriminants** (see [`StoreError::wire_discriminant`] and
+/// `docs/WIRE.md`). `#[non_exhaustive]`: future variants may be added
+/// without a breaking release; unknown discriminants received over the
+/// wire fail closed in the codec.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The operation's shard split or merged between planning and commit;
+    /// nothing was applied. `epoch` is the topology version the retry must
+    /// plan against. Wire discriminant `1`.
+    Moved {
+        /// Minimum topology version a re-plan needs.
+        epoch: u64,
+    },
+    /// The request claimed a service class its tier is not entitled to —
+    /// a guest presenting a VIP credential, or requesting VIP-only
+    /// synchronous durability. Wire discriminant `2`.
+    GuestTier,
+    /// The request's patience ran out: its `Moved` retry budget was spent,
+    /// its deadline passed, or the guest tier's backpressure shed it — the
+    /// typed 429. Nothing beyond the reported operations was applied; try
+    /// again later. Wire discriminant `3`.
+    RetryBudgetExhausted {
+        /// The budget the request arrived with.
+        budget: u32,
+    },
+    /// The store could not serve the operation: the re-planned topology
+    /// never published (dead reconfiguration driver), or a required
+    /// subsystem (e.g. a WAL for synchronous durability) is absent.
+    /// Wire discriminant `4`.
+    Unavailable {
+        /// Topology version that failed to publish (0 when the failure is
+        /// not topology-related).
+        version: u64,
+    },
+    /// Data integrity failure: the covering durability flush failed
+    /// ("applied but not durably acknowledged"), or a wire frame failed
+    /// its checksum/structure checks. Wire discriminant `5`.
+    Corrupt {
+        /// Human-readable failure description.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// The stable one-byte wire discriminant (pinned by `docs/WIRE.md`
+    /// and the codec tests; never renumber).
+    pub fn wire_discriminant(&self) -> u8 {
+        match self {
+            StoreError::Moved { .. } => 1,
+            StoreError::GuestTier => 2,
+            StoreError::RetryBudgetExhausted { .. } => 3,
+            StoreError::Unavailable { .. } => 4,
+            StoreError::Corrupt { .. } => 5,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Moved { epoch } => {
+                write!(f, "moved: re-plan against topology version {epoch}")
+            }
+            StoreError::GuestTier => {
+                write!(f, "guest tier: the claimed service class is VIP-only")
+            }
+            StoreError::RetryBudgetExhausted { budget } => {
+                write!(f, "retry budget exhausted (budget {budget}): try again later")
+            }
+            StoreError::Unavailable { version } => {
+                write!(f, "unavailable (topology version {version} never published)")
+            }
+            StoreError::Corrupt { detail } => write!(f, "corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_discriminants_are_pinned() {
+        // The wire contract: these numbers may never change.
+        assert_eq!(StoreError::Moved { epoch: 3 }.wire_discriminant(), 1);
+        assert_eq!(StoreError::GuestTier.wire_discriminant(), 2);
+        assert_eq!(StoreError::RetryBudgetExhausted { budget: 8 }.wire_discriminant(), 3);
+        assert_eq!(StoreError::Unavailable { version: 9 }.wire_discriminant(), 4);
+        assert_eq!(StoreError::Corrupt { detail: "x".into() }.wire_discriminant(), 5);
+    }
+
+    #[test]
+    fn legacy_degradation_keeps_moved_and_unavailable() {
+        let resp = Response {
+            results: vec![
+                Ok(StoreResp::Value(Some(7))),
+                Err(StoreError::Moved { epoch: 2 }),
+                Err(StoreError::Unavailable { version: 5 }),
+                Err(StoreError::GuestTier),
+            ],
+        };
+        assert_eq!(
+            resp.into_legacy(),
+            vec![
+                StoreResp::Value(Some(7)),
+                StoreResp::Moved { epoch: 2 },
+                StoreResp::Unavailable { version: 5 },
+                StoreResp::Unavailable { version: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn request_builder_defaults_are_legacy_semantics() {
+        let req = Request::new(vec![StoreOp::Get("k".into())]);
+        assert_eq!(req.credential, TierCredential::Guest);
+        assert_eq!(req.retry_budget, UNBOUNDED_RETRIES);
+        assert!(req.deadline_ms.is_none());
+        let req = req.retry_budget(4).deadline_ms(10);
+        assert_eq!(req.retry_budget, 4);
+        assert_eq!(req.deadline_ms, Some(10));
+    }
+}

@@ -85,6 +85,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod api;
 pub mod elastic;
 pub mod metrics;
 pub mod model;
@@ -100,6 +101,7 @@ pub use apc_obs::{
     encode_prometheus, Counter, FixedHistogram, Gauge, HistogramSnapshot, MetricsSnapshot, Sample,
     SampleValue,
 };
+pub use api::{Request, Response, StoreError, TierCredential, UNBOUNDED_RETRIES};
 pub use elastic::{ElasticDecision, ElasticEngine, ElasticReport, ElasticityPolicy};
 pub use ops::{
     apply_op, AdoptSpec, Batch, Key, MergeSpec, ShardCmd, ShardSpec, ShardState, SplitSpec,

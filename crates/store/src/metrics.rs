@@ -1,7 +1,7 @@
 //! Store-side metric registry: the wait-free record half of the
 //! observability layer.
 //!
-//! [`StoreMetrics`] is an always-on field of [`Store`](crate::Store),
+//! `StoreMetrics` is an always-on field of [`Store`](crate::Store),
 //! fed exclusively from paths that are already wait-free (or bounded
 //! wait-free) for their tier: commit bookkeeping rides
 //! `commit_vip`/`commit_guest`, reconfiguration events ride the admin-side
@@ -12,7 +12,7 @@
 //!
 //! The read half is [`Store::scrape`](crate::Store::scrape), which folds
 //! these instruments together with the wait-free per-shard digest
-//! snapshots into one [`MetricsSnapshot`]. See `METRICS.md` at the repo
+//! snapshots into one [`MetricsSnapshot`](apc_obs::MetricsSnapshot). See `METRICS.md` at the repo
 //! root for the full series catalogue.
 
 use apc_obs::{Counter, FixedHistogram, Gauge, Sample, SampleValue};

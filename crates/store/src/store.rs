@@ -63,6 +63,7 @@ use apc_universal::{AsymmetricFactory, OwnedHandle, Universal};
 use apc_obs::{MetricsSnapshot, Sample, SampleValue};
 
 use crate::admission::{Admission, AdmissionConfig, AdmissionError, ClientTicket, ProgressClass};
+use crate::api::{Request, Response, StoreError, TierCredential, UNBOUNDED_RETRIES};
 use crate::elastic::{ElasticDecision, ElasticEngine, ElasticReport, ElasticityPolicy};
 use crate::metrics::{elapsed_ns, StoreMetrics};
 use crate::ops::{
@@ -257,7 +258,7 @@ impl StoreBuilder {
     /// topology to publish (default 60s). If the reconfiguration driver
     /// dies between installing its bump and publishing the view, affected
     /// operations degrade to the typed
-    /// [`StoreResp::Unavailable`](crate::ops::StoreResp::Unavailable)
+    /// [`StoreResp::Unavailable`]
     /// response once the bound expires — the client thread is never
     /// aborted.
     pub fn view_wait_timeout(mut self, timeout: Duration) -> Self {
@@ -1158,6 +1159,72 @@ impl Store {
         reassembly.reassemble(per_shard)
     }
 
+    /// The VIP-pinned twin of [`Store::execute_in`]: plans `ops` and
+    /// commits every sub-batch through [`Store::commit_vip`] directly, so
+    /// the whole planning-and-commit round is a bounded number of the
+    /// caller's own steps — the building block of the bounded request arm
+    /// ([`Client::request_vip`]). Only VIP ports may be passed here (the
+    /// caller's ticket enforces that).
+    #[progress(bounded_wait_free)]
+    fn execute_vip_in(
+        &self,
+        view: &StoreView,
+        port: usize,
+        ops: Vec<StoreOp>,
+        durability: DurabilityClass,
+    ) -> Vec<StoreResp> {
+        let plan = view.topology.plan(ops);
+        let (subs, reassembly) = plan.into_sub_batches();
+        let version = view.topology.version();
+        let per_shard: Vec<Vec<StoreResp>> = subs
+            .into_iter()
+            .enumerate()
+            .map(|(s, sub)| {
+                if sub.is_empty() {
+                    Vec::new()
+                } else {
+                    self.commit_vip(&view.shards[s], s, port, Batch::new(version, sub), durability)
+                }
+            })
+            .collect();
+        reassembly.reassemble(per_shard)
+    }
+
+    /// The guest-pinned twin of [`Store::execute_in`]: every sub-batch
+    /// commits through [`Store::commit_guest`] (queued behind the shared
+    /// port, carrying the elasticity tick) — the building block of the
+    /// non-blocking guest request arm ([`Client::request_guest`]).
+    #[progress(obstruction_free)]
+    fn execute_guest_in(
+        &self,
+        view: &StoreView,
+        port: usize,
+        ops: Vec<StoreOp>,
+        durability: DurabilityClass,
+    ) -> Vec<StoreResp> {
+        let plan = view.topology.plan(ops);
+        let (subs, reassembly) = plan.into_sub_batches();
+        let version = view.topology.version();
+        let per_shard: Vec<Vec<StoreResp>> = subs
+            .into_iter()
+            .enumerate()
+            .map(|(s, sub)| {
+                if sub.is_empty() {
+                    Vec::new()
+                } else {
+                    self.commit_guest(
+                        &view.shards[s],
+                        s,
+                        port,
+                        Batch::new(version, sub),
+                        durability,
+                    )
+                }
+            })
+            .collect();
+        reassembly.reassemble(per_shard)
+    }
+
     /// The attached op-granular WAL, if any.
     pub fn wal(&self) -> Option<&Arc<Wal>> {
         self.wal.as_ref()
@@ -1204,15 +1271,266 @@ impl Client<'_> {
         self.ticket.class()
     }
 
+    /// This session's own tier credential — what the in-process wrappers
+    /// put into the [`Request`] envelope.
+    #[progress(wait_free)]
+    pub fn credential(&self) -> TierCredential {
+        TierCredential::for_ticket(&self.ticket)
+    }
+
+    /// **The unified entry point**: executes one [`Request`] envelope and
+    /// returns its [`Response`] — the same envelope the `apc-net` wire
+    /// codec serializes, so a request behaves identically whether it
+    /// arrived in process or over a connection.
+    ///
+    /// Routing, by the envelope's terms:
+    ///
+    /// * `retry_budget == `[`UNBOUNDED_RETRIES`] — the legacy **waiting
+    ///   arm**: `Moved` retries wait (bounded by the store-wide
+    ///   `view_wait_timeout`) for the re-planned topology to publish; this
+    ///   is what [`Client::execute`] wraps.
+    /// * finite `retry_budget` — the **non-blocking bounded arms**
+    ///   ([`Client::request_vip`] / [`Client::request_guest`]): no waits
+    ///   anywhere; a spent budget or deadline surfaces as the typed
+    ///   [`StoreError::RetryBudgetExhausted`] (the envelope's 429) instead
+    ///   of blocking. The wire front-end always takes these arms.
+    /// * `durability == `[`DurabilityClass::Sync`] — VIP-only; the
+    ///   response additionally waits for the covering fsync, and a failed
+    ///   flush downgrades applied operations to [`StoreError::Corrupt`]
+    ///   ("applied but not durably acknowledged").
+    ///
+    /// The in-process ticket is authoritative: a request whose credential
+    /// claims more than the session's admission is refused with
+    /// [`StoreError::GuestTier`] on every operation.
+    pub fn request(&mut self, req: Request) -> Response {
+        let sync = matches!(req.durability, DurabilityClass::Sync);
+        let mut resp = self.request_unsynced(req);
+        if sync {
+            self.await_durability(&mut resp);
+        }
+        resp
+    }
+
+    /// [`Client::request`] minus the synchronous-durability wait: the
+    /// shared dispatcher for the public entry point and the legacy
+    /// `execute_durable` wrapper (which performs its own fsync so it can
+    /// keep returning the historical [`DurabilityError`]).
+    fn request_unsynced(&mut self, req: Request) -> Response {
+        // Over-claim gate: in process, the admission ticket is the
+        // authority; the credential may only restate (or understate) it.
+        if req.credential.class() == ProgressClass::Vip
+            && !matches!(self.ticket.class(), ProgressClass::Vip)
+        {
+            return Response::fail_all(req.ops.len(), StoreError::GuestTier);
+        }
+        // Synchronous durability is VIP-only and needs a WAL — gate once,
+        // for every arm.
+        if matches!(req.durability, DurabilityClass::Sync) {
+            if !matches!(self.ticket.class(), ProgressClass::Vip) {
+                if let Some(wal) = self.store.wal() {
+                    wal.metrics().record_sync_denied();
+                }
+                return Response::fail_all(req.ops.len(), StoreError::GuestTier);
+            }
+            if self.store.wal().is_none() {
+                return Response::fail_all(req.ops.len(), StoreError::Unavailable { version: 0 });
+            }
+        }
+        if req.retry_budget == UNBOUNDED_RETRIES {
+            let Request { ops, durability, .. } = req;
+            return self.request_waiting(ops, durability);
+        }
+        match self.ticket.class() {
+            ProgressClass::Vip => self.request_vip(req),
+            ProgressClass::Guest => self.request_guest(req),
+        }
+    }
+
+    /// The **bounded VIP arm**: executes the envelope in a bounded number
+    /// of the caller's own steps — commits go through the exclusively
+    /// owned port (`Store::commit_vip`), and the `Moved` re-plan loop
+    /// never waits for a topology to publish: each round re-reads the
+    /// current view and spends one unit of the request's `retry_budget`,
+    /// so the budget is the a-priori step bound. A spent budget (or
+    /// passed deadline) degrades exactly the still-bounced operations to
+    /// [`StoreError::RetryBudgetExhausted`].
+    ///
+    /// This is the arm the `apc-net` reactor pins with `apc-lint`: the
+    /// wire front-end's VIP dispatch must stay on it, so no guest flood —
+    /// and no reconfiguration — can make a VIP connection wait.
+    ///
+    /// Synchronous durability note: this arm stamps WAL frames with the
+    /// requested class but never performs the (blocking) fsync wait
+    /// itself; [`Client::request`] adds it. A direct caller that needs
+    /// the sync acknowledgment must use [`Client::request`].
+    #[progress(bounded_wait_free)]
+    pub fn request_vip(&mut self, req: Request) -> Response {
+        if !matches!(self.ticket.class(), ProgressClass::Vip) {
+            return Response::fail_all(req.ops.len(), StoreError::GuestTier);
+        }
+        let Request { ops, durability, deadline_ms, retry_budget, .. } = req;
+        let started = std::time::Instant::now();
+        let port = self.ticket.port();
+        let view = self.store.current_view();
+        let first = self.store.execute_vip_in(&view, port, ops.clone(), durability);
+        let mut results: Vec<Result<StoreResp, StoreError>> = first.into_iter().map(Ok).collect();
+        let mut budget = retry_budget;
+        loop {
+            let moved: Vec<(usize, u64)> = results
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| match r {
+                    Ok(StoreResp::Moved { epoch }) => Some((i, *epoch)),
+                    _ => None,
+                })
+                .collect();
+            if moved.is_empty() {
+                return Response { results };
+            }
+            let expired = deadline_ms.is_some_and(|ms| {
+                started.elapsed() >= std::time::Duration::from_millis(u64::from(ms))
+            });
+            if budget == 0 || expired {
+                for &(slot, _) in &moved {
+                    results[slot] = Err(StoreError::RetryBudgetExhausted { budget: retry_budget });
+                }
+                return Response { results };
+            }
+            budget -= 1;
+            let Some(need) = moved.iter().map(|&(_, e)| e).max() else {
+                return Response { results }; // moved is non-empty here; total anyway
+            };
+            let view = self.store.current_view();
+            if view.topology.version() < need {
+                continue; // not yet published: spend one budget unit, re-check
+            }
+            let retry: Vec<StoreOp> =
+                moved.iter().filter_map(|&(i, _)| ops.get(i).cloned()).collect();
+            let retried = self.store.execute_vip_in(&view, port, retry, durability);
+            for (&(slot, _), resp) in moved.iter().zip(retried) {
+                results[slot] = Ok(resp);
+            }
+        }
+    }
+
+    /// The **bounded guest arm**: the obstruction-free twin of
+    /// [`Client::request_vip`] — commits queue behind the shared guest
+    /// port (`Store::commit_guest`, which also carries the elasticity
+    /// tick), but the `Moved` re-plan loop is the same non-waiting,
+    /// budget-bounded round: backpressure surfaces as the typed
+    /// [`StoreError::RetryBudgetExhausted`] instead of a wait. Guests may
+    /// never stamp synchronous durability
+    /// ([`StoreError::GuestTier`]).
+    #[progress(obstruction_free)]
+    pub fn request_guest(&mut self, req: Request) -> Response {
+        if !matches!(self.ticket.class(), ProgressClass::Guest) {
+            return Response::fail_all(req.ops.len(), StoreError::GuestTier);
+        }
+        if matches!(req.durability, DurabilityClass::Sync) {
+            if let Some(wal) = self.store.wal() {
+                wal.metrics().record_sync_denied();
+            }
+            return Response::fail_all(req.ops.len(), StoreError::GuestTier);
+        }
+        let Request { ops, durability, deadline_ms, retry_budget, .. } = req;
+        let started = std::time::Instant::now();
+        let port = self.ticket.port();
+        let view = self.store.current_view();
+        let first = self.store.execute_guest_in(&view, port, ops.clone(), durability);
+        let mut results: Vec<Result<StoreResp, StoreError>> = first.into_iter().map(Ok).collect();
+        let mut budget = retry_budget;
+        loop {
+            let moved: Vec<(usize, u64)> = results
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| match r {
+                    Ok(StoreResp::Moved { epoch }) => Some((i, *epoch)),
+                    _ => None,
+                })
+                .collect();
+            if moved.is_empty() {
+                return Response { results };
+            }
+            let expired = deadline_ms.is_some_and(|ms| {
+                started.elapsed() >= std::time::Duration::from_millis(u64::from(ms))
+            });
+            if budget == 0 || expired {
+                for &(slot, _) in &moved {
+                    results[slot] = Err(StoreError::RetryBudgetExhausted { budget: retry_budget });
+                }
+                return Response { results };
+            }
+            budget -= 1;
+            let Some(need) = moved.iter().map(|&(_, e)| e).max() else {
+                return Response { results }; // moved is non-empty here; total anyway
+            };
+            let view = self.store.current_view();
+            if view.topology.version() < need {
+                continue; // not yet published: spend one budget unit, re-check
+            }
+            let retry: Vec<StoreOp> =
+                moved.iter().filter_map(|&(i, _)| ops.get(i).cloned()).collect();
+            let retried = self.store.execute_guest_in(&view, port, retry, durability);
+            for (&(slot, _), resp) in moved.iter().zip(retried) {
+                results[slot] = Ok(resp);
+            }
+        }
+    }
+
+    /// The **waiting arm** (legacy semantics): `Moved` retries wait —
+    /// bounded by `view_wait_timeout` — for the re-planned topology, and
+    /// a publish that never comes degrades to
+    /// [`StoreError::Unavailable`].
+    #[progress(blocking)]
+    fn request_waiting(&mut self, ops: Vec<StoreOp>, durability: DurabilityClass) -> Response {
+        let resps = self.execute_with(ops, durability);
+        Response {
+            results: resps
+                .into_iter()
+                .map(|r| match r {
+                    StoreResp::Unavailable { version } => Err(StoreError::Unavailable { version }),
+                    StoreResp::Moved { epoch } => Err(StoreError::Moved { epoch }),
+                    ok => Ok(ok),
+                })
+                .collect(),
+        }
+    }
+
+    /// The synchronous-durability tail of [`Client::request`]: waits for
+    /// the WAL flush covering the envelope's commits; a failed flush
+    /// downgrades every applied operation to [`StoreError::Corrupt`] —
+    /// "applied but not durably acknowledged", the same contract as
+    /// [`Client::execute_durable`].
+    #[progress(blocking)]
+    fn await_durability(&mut self, resp: &mut Response) {
+        let Some(wal) = self.store.wal() else { return }; // gated upstream; total anyway
+        if let Err(err) = wal.sync() {
+            let detail = format!("durability flush failed: {err}");
+            for slot in resp.results.iter_mut() {
+                if slot.is_ok() {
+                    *slot = Err(StoreError::Corrupt { detail: detail.clone() });
+                }
+            }
+        }
+    }
+
     /// Executes a batch of operations, one log append per touched shard,
     /// returning responses in invocation order.
     ///
+    /// A **thin wrapper** over [`Client::request`]: the envelope carries
+    /// this session's own credential, group durability, and an unbounded
+    /// retry budget (the waiting arm), then degrades the per-operation
+    /// `Result`s back to the legacy [`StoreResp`] vocabulary
+    /// ([`Response::into_legacy`]). New code should speak
+    /// [`Client::request`] directly.
+    ///
     /// If a shard split between planning and commit, the affected
     /// operations come back [`StoreResp::Moved`] from their old shard
-    /// (nothing applied); this loop transparently re-plans exactly those
-    /// operations against the newly published topology and patches their
-    /// responses in place — already-applied operations are never re-issued,
-    /// so nothing commits twice and nothing is dropped.
+    /// (nothing applied); the envelope's retry loop transparently
+    /// re-plans exactly those operations against the newly published
+    /// topology and patches their responses in place — already-applied
+    /// operations are never re-issued, so nothing commits twice and
+    /// nothing is dropped.
     ///
     /// The class below is the **floor** over admitted tiers: a guest
     /// session shares its port, so its commits queue behind the port
@@ -1223,7 +1541,8 @@ impl Client<'_> {
     /// [`StoreResp::Unavailable`] instead of hanging or aborting.
     #[progress(obstruction_free)]
     pub fn execute(&mut self, ops: Vec<StoreOp>) -> Vec<StoreResp> {
-        self.execute_with(ops, DurabilityClass::Group)
+        let credential = self.credential();
+        self.request(Request::new(ops).credential(credential)).into_legacy()
     }
 
     /// Executes a batch under the VIP-only **synchronous durability
@@ -1233,6 +1552,13 @@ impl Client<'_> {
     /// sessions are refused ([`DurabilityError::GuestTier`]): their
     /// commits always ride the coalesced group flusher, exactly as their
     /// progress class rides the shared ports.
+    ///
+    /// A **thin wrapper** over the [`Request`] envelope (durability
+    /// [`DurabilityClass::Sync`]), kept for its historical
+    /// [`DurabilityError`] signature; it performs the covering fsync
+    /// itself so the flush error arrives un-degraded. New code should use
+    /// [`Client::request`], where a failed flush surfaces as
+    /// [`StoreError::Corrupt`] per operation.
     ///
     /// The commit itself is applied in memory before the fsync wait, so
     /// an `Err` after a partial flush failure means "applied but not
@@ -1259,7 +1585,9 @@ impl Client<'_> {
         let Some(wal) = store.wal() else {
             return Err(DurabilityError::NoWal);
         };
-        let resps = self.execute_with(ops, DurabilityClass::Sync);
+        let credential = self.credential();
+        let req = Request::new(ops).credential(credential).durability(DurabilityClass::Sync);
+        let resps = self.request_unsynced(req).into_legacy();
         wal.sync().map_err(DurabilityError::Wal)?;
         Ok(resps)
     }

@@ -1,72 +1,136 @@
-//! A work queue with a VIP consumer: asymmetric universal objects in action.
+//! A work queue with a VIP consumer: asymmetric service tiers in action.
 //!
 //! Run with: `cargo run --example ticket_queue`
 //!
-//! A FIFO queue is shared by several producers and one *dispatcher*. The
-//! dispatcher drives downstream machinery and must never be blocked by
-//! producer contention, so it gets the wait-free slot of an `(n,1)`-live
-//! universal object; producers are obstruction-free (they retry under
-//! contention, which the OS scheduler resolves quickly in practice).
+//! A FIFO ticket queue is built *on the store*: producers claim globally
+//! ordered slots with a CAS on a sequence key and publish their items under
+//! zero-padded slot keys; one *dispatcher* drains the slot range with
+//! scan+remove batches. The dispatcher drives downstream machinery and must
+//! never be blocked by producer contention, so it holds the store's VIP
+//! ticket and every one of its requests rides the bounded wait-free arm;
+//! producers are obstruction-free guests (they retry CAS losses, which the
+//! scheduler resolves quickly in practice).
+//!
+//! Everything speaks the **unified request envelope** — claims, publishes,
+//! drains — with finite retry budgets throughout: contention and topology
+//! races surface as typed response values, never as blocked threads.
 //!
 //! The run demonstrates both halves of the contract:
-//! * every produced item is dispatched exactly once, in per-producer order
-//!   (linearizability of the universal construction);
-//! * the dispatcher's operations complete in a bounded number of its own
-//!   steps even while producers hammer the queue (wait-freedom).
+//! * every produced item is dispatched exactly once, in claim order
+//!   (linearizability of the per-shard consensus logs);
+//! * the dispatcher's requests complete in a bounded number of its own
+//!   steps even while producers hammer the sequence key (wait-freedom).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use asymmetric_progress::core::liveness::Liveness;
-use asymmetric_progress::universal::seq::{Queue, QueueOp};
-use asymmetric_progress::universal::{AsymmetricFactory, Universal};
+use asymmetric_progress::store::{Request, StoreBuilder, StoreOp, StoreResp};
 
 const PRODUCERS: usize = 5;
 const ITEMS_PER_PRODUCER: u64 = 40;
+const SEQ_KEY: &str = "queue/seq";
 
 fn main() {
-    let n = PRODUCERS + 1; // pid 0 is the dispatcher
-    let spec = Liveness::new_first_n(n, 1);
-    println!("work queue: {spec} (dispatcher = p0, wait-free)");
-    let queue = Universal::new(Queue, AsymmetricFactory::new(spec), n);
+    let store = StoreBuilder::new().shards(2).vip_capacity(1).build().expect("valid sizing");
+    let total = PRODUCERS as u64 * ITEMS_PER_PRODUCER;
+    println!("ticket queue over the store: dispatcher = VIP, {PRODUCERS} guest producers");
 
-    let mut dispatched: Vec<u64> = Vec::new();
+    let cas_retries = AtomicU64::new(0);
+    let mut dispatched: Vec<(u64, u64)> = Vec::new(); // (slot, item)
+
     std::thread::scope(|s| {
         for p in 0..PRODUCERS {
-            let queue = &queue;
+            let store = &store;
+            let cas_retries = &cas_retries;
             s.spawn(move || {
-                let pid = p + 1;
-                let mut h = queue.handle(pid).expect("one handle per pid");
+                let mut client = store.client(store.admit_guest());
+                let credential = client.credential();
                 for i in 0..ITEMS_PER_PRODUCER {
-                    h.apply(QueueOp::Enqueue(pid as u64 * 1_000 + i));
+                    // Claim the next slot: CAS the sequence key upward
+                    // until we win one. Losses are typed Cas{ok:false}
+                    // responses carrying the fresh value — no re-read.
+                    let mut expect = None;
+                    let slot = loop {
+                        let claim = Request::new(vec![StoreOp::Cas {
+                            key: SEQ_KEY.into(),
+                            expect,
+                            new: expect.map_or(1, |v| v + 1),
+                        }])
+                        .credential(credential)
+                        .retry_budget(4);
+                        match &store_resp(client.request(claim))[0] {
+                            StoreResp::Cas { ok: true, actual } => {
+                                break actual.unwrap_or(0);
+                            }
+                            StoreResp::Cas { ok: false, actual } => {
+                                cas_retries.fetch_add(1, Ordering::Relaxed);
+                                expect = *actual;
+                            }
+                            other => panic!("unexpected claim response: {other:?}"),
+                        }
+                    };
+                    // Publish the item under its slot key.
+                    let item = (p + 1) as u64 * 1_000 + i;
+                    let publish =
+                        Request::new(vec![StoreOp::Put(format!("queue/slot/{slot:06}"), item)])
+                            .credential(credential)
+                            .retry_budget(4);
+                    let resp = client.request(publish);
+                    assert!(resp.is_ok(), "publish failed: {:?}", resp.results);
                 }
             });
         }
 
-        // Dispatcher: drain concurrently with production.
-        let queue = &queue;
+        // Dispatcher: drain concurrently with production, VIP tier.
+        let store = &store;
         let dispatched = &mut dispatched;
         s.spawn(move || {
-            let mut h = queue.handle(0).expect("dispatcher handle");
-            let total = PRODUCERS as u64 * ITEMS_PER_PRODUCER;
+            let mut client = store.client(store.admit_vip().expect("the VIP slot"));
+            let credential = client.credential();
             while (dispatched.len() as u64) < total {
-                if let Some(item) = h.apply(QueueOp::Dequeue) {
-                    dispatched.push(item);
-                } else {
+                // One bounded envelope scans the published slot range…
+                let scan = Request::new(vec![StoreOp::Scan {
+                    from: "queue/slot/".into(),
+                    to: "queue/slot/~".into(),
+                }])
+                .credential(credential)
+                .retry_budget(8);
+                let StoreResp::Entries(entries) = store_resp(client.request(scan)).remove(0) else {
+                    panic!("scan must return entries")
+                };
+                if entries.is_empty() {
                     std::thread::yield_now();
+                    continue;
+                }
+                // …and a second removes what it saw, as one batch.
+                let removes: Vec<StoreOp> =
+                    entries.iter().map(|(k, _)| StoreOp::Remove(k.clone())).collect();
+                let resp =
+                    client.request(Request::new(removes).credential(credential).retry_budget(8));
+                for ((key, item), removed) in entries.into_iter().zip(store_resp(resp)) {
+                    // The dispatcher is the only consumer, so every remove
+                    // must hit (exactly-once dispatch).
+                    assert_eq!(removed, StoreResp::Value(Some(item)), "{key} vanished");
+                    let slot: u64 =
+                        key.rsplit('/').next().unwrap().parse().expect("zero-padded slot");
+                    dispatched.push((slot, item));
                 }
             }
         });
     });
 
     // Exactly-once dispatch.
-    let total = PRODUCERS as u64 * ITEMS_PER_PRODUCER;
     assert_eq!(dispatched.len() as u64, total, "every item dispatched");
-    let unique: std::collections::HashSet<u64> = dispatched.iter().copied().collect();
+    let unique: std::collections::HashSet<u64> = dispatched.iter().map(|(_, item)| *item).collect();
     assert_eq!(unique.len() as u64, total, "no duplicates");
 
-    // Per-producer FIFO order.
+    // Per-producer FIFO: a producer publishes slot k before claiming any
+    // later slot, so its items can only ever be scanned — and therefore
+    // dispatched — in claim order. (Global slot order is *not* guaranteed:
+    // a higher slot may be published, scanned, and dispatched before a
+    // lower one whose producer is still between claim and publish.)
     let mut last_seen: HashMap<u64, u64> = HashMap::new();
-    for &item in &dispatched {
+    for (_, item) in &dispatched {
         let producer = item / 1_000;
         let seq = item % 1_000;
         if let Some(&prev) = last_seen.get(&producer) {
@@ -75,6 +139,17 @@ fn main() {
         last_seen.insert(producer, seq);
     }
 
-    println!("dispatched {total} items, exactly once, per-producer FIFO order preserved");
-    println!("first 10 dispatched: {:?}", &dispatched[..10.min(dispatched.len())]);
+    println!(
+        "dispatched {total} items, exactly once, per-producer FIFO preserved \
+         ({} CAS losses retried by guests)",
+        cas_retries.load(Ordering::Relaxed)
+    );
+    let first: Vec<u64> = dispatched.iter().take(10).map(|(_, item)| *item).collect();
+    println!("first 10 dispatched: {first:?}");
+}
+
+/// Unwraps every per-op result of a response (this example's requests are
+/// all expected to succeed; typed errors are panics here).
+fn store_resp(resp: asymmetric_progress::store::Response) -> Vec<StoreResp> {
+    resp.results.into_iter().map(|r| r.unwrap_or_else(|e| panic!("request failed: {e}"))).collect()
 }

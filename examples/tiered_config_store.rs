@@ -3,22 +3,24 @@
 //! Run with: `cargo run --example tiered_config_store`
 //!
 //! §1.2: "in some applications, some processes are more important than
-//! others from the object liveness point of view". Here, a small replicated
+//! others from the object liveness point of view". Here, a small sharded
 //! configuration store is shared by two *control-plane* threads (which must
 //! never be blocked — they hold leases, answer health checks) and several
 //! *worker* threads (which may retry under contention).
 //!
-//! The store is the universal construction over a key→value map, driven by
-//! `(n,2)`-live consensus cells: control-plane operations are wait-free,
-//! worker operations obstruction-free. One object, two service classes —
-//! an asymmetric progress condition.
+//! This version drives the service layer through its **unified request
+//! envelope**: every operation — control-plane lease writes, worker
+//! progress reports, the final audit scan — is one
+//! [`Request`](asymmetric_progress::store::Request) with an explicit tier
+//! credential and a *finite* retry budget, answered by a
+//! [`Response`](asymmetric_progress::store::Response) whose failures are
+//! typed values, not blocked threads. Control-plane requests ride the
+//! bounded wait-free VIP arm; workers ride the obstruction-free guest arm.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use asymmetric_progress::core::liveness::Liveness;
-use asymmetric_progress::universal::seq::{KvOp, KvStore};
-use asymmetric_progress::universal::{AsymmetricFactory, Universal};
+use asymmetric_progress::store::{Request, StoreBuilder, StoreOp, StoreResp, TierCredential};
 
 const CONTROL_THREADS: usize = 2;
 const WORKER_THREADS: usize = 6;
@@ -26,43 +28,71 @@ const CONTROL_OPS: usize = 200;
 const WORKER_OPS: usize = 100;
 
 fn main() {
-    // One extra port reserved for the post-hoc auditor.
-    let n = CONTROL_THREADS + WORKER_THREADS + 1;
-    let spec = Liveness::new_first_n(n, CONTROL_THREADS);
-    println!("tiered config store: {spec}");
-    let store = Universal::new(KvStore, AsymmetricFactory::new(spec), n);
+    let store =
+        StoreBuilder::new().shards(4).vip_capacity(CONTROL_THREADS).build().expect("valid sizing");
+    println!(
+        "tiered config store: {} shards, VIP capacity {CONTROL_THREADS}, guests unbounded",
+        store.snapshot_stats().len()
+    );
+
+    // Admission up front: the VIP tier is bounded (hard guarantees are,
+    // per Theorem 3), so control-plane tickets are claimed before spawn.
+    let control_tickets: Vec<_> =
+        (0..CONTROL_THREADS).map(|_| store.admit_vip().expect("within VIP capacity")).collect();
+    assert!(store.admit_vip().is_err(), "the VIP tier is full — by design");
 
     let control_nanos = AtomicU64::new(0);
     let worker_nanos = AtomicU64::new(0);
+    let typed_rejections = AtomicU64::new(0);
 
     std::thread::scope(|s| {
-        // Control plane: wait-free puts of lease/epoch keys.
-        for pid in 0..CONTROL_THREADS {
+        // Control plane: wait-free lease/epoch writes through the envelope.
+        for (pid, ticket) in control_tickets.into_iter().enumerate() {
             let store = &store;
             let control_nanos = &control_nanos;
             s.spawn(move || {
-                let mut h = store.handle(pid).expect("one handle per pid");
+                let mut client = store.client(ticket);
+                let credential = client.credential();
                 let t0 = Instant::now();
                 for i in 0..CONTROL_OPS {
-                    h.apply(KvOp::Put(format!("lease/{pid}"), i as u64));
+                    let mut ops = vec![StoreOp::Put(format!("lease/{pid}"), i as u64)];
                     if i % 10 == 0 {
-                        h.apply(KvOp::Get("epoch".into()));
+                        ops.push(StoreOp::Get("epoch".into()));
                     }
+                    // A finite budget keeps this off the blocking arm: a
+                    // topology race would surface as a typed error after
+                    // at most 8 re-plans, never as an unbounded wait.
+                    let resp =
+                        client.request(Request::new(ops).credential(credential).retry_budget(8));
+                    assert!(resp.is_ok(), "control-plane request failed: {:?}", resp.results);
                 }
                 control_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             });
         }
-        // Workers: obstruction-free progress reports.
+        // Workers: obstruction-free progress reports, same envelope.
         for w in 0..WORKER_THREADS {
-            let pid = CONTROL_THREADS + w;
             let store = &store;
             let worker_nanos = &worker_nanos;
+            let typed_rejections = &typed_rejections;
             s.spawn(move || {
-                let mut h = store.handle(pid).expect("one handle per pid");
+                let mut client = store.client(store.admit_guest());
+                let credential = client.credential();
                 let t0 = Instant::now();
                 for i in 0..WORKER_OPS {
-                    h.apply(KvOp::Put(format!("progress/{w}"), i as u64));
+                    let req = Request::new(vec![StoreOp::Put(format!("progress/{w}"), i as u64)])
+                        .credential(credential)
+                        .retry_budget(4);
+                    let resp = client.request(req);
+                    assert!(resp.is_ok(), "worker request failed: {:?}", resp.results);
                 }
+                // A guest claiming the VIP tier gets a typed refusal — the
+                // envelope cannot escalate what admission granted.
+                let sneak = client.request(
+                    Request::new(vec![StoreOp::Get("epoch".into())])
+                        .credential(TierCredential::Vip { token: 0 }),
+                );
+                assert!(!sneak.is_ok(), "tier escalation must be refused");
+                typed_rejections.fetch_add(1, Ordering::Relaxed);
                 worker_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             });
         }
@@ -71,26 +101,36 @@ fn main() {
     let control_per_op =
         control_nanos.load(Ordering::Relaxed) / (CONTROL_THREADS * CONTROL_OPS) as u64;
     let worker_per_op = worker_nanos.load(Ordering::Relaxed) / (WORKER_THREADS * WORKER_OPS) as u64;
-    println!("control-plane (wait-free) mean latency:   {control_per_op:>8} ns/op");
-    println!("workers      (obstr.-free) mean latency:  {worker_per_op:>8} ns/op");
+    println!("control-plane (VIP, bounded wait-free) mean latency: {control_per_op:>8} ns/op");
+    println!("workers      (guest, obstruction-free) mean latency: {worker_per_op:>8} ns/op");
     println!(
-        "asymmetry visible: control plane {} workers",
-        if control_per_op <= worker_per_op { "≤" } else { "> (unusual; OS noise)" }
+        "typed tier refusals (no thread ever blocked): {}",
+        typed_rejections.load(Ordering::Relaxed)
     );
 
-    // Audit the final state through the reserved reader port: every key
-    // must hold its last written value.
-    println!("\nfinal state (audited through the reserved port):");
-    let mut auditor = store.handle(n - 1).expect("reserved port");
+    // Audit the final state through one more guest session: every key must
+    // hold its last written value. One envelope, one scan.
+    let mut auditor = store.client(store.admit_guest());
+    let resp = auditor.request(
+        Request::new(vec![StoreOp::Scan { from: String::new(), to: "z".into() }])
+            .credential(auditor.credential())
+            .retry_budget(4),
+    );
+    let Ok(StoreResp::Entries(entries)) = &resp.results[0] else {
+        panic!("audit scan failed: {:?}", resp.results)
+    };
+    println!("\nfinal state (audited through a guest envelope):");
     for pid in 0..CONTROL_THREADS {
-        let v = auditor.apply(KvOp::Get(format!("lease/{pid}")));
-        assert_eq!(v, Some(CONTROL_OPS as u64 - 1), "lease/{pid} audit");
-        println!("  lease/{pid}    = {v:?}");
+        let key = format!("lease/{pid}");
+        let v = entries.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+        assert_eq!(v, Some(CONTROL_OPS as u64 - 1), "{key} audit");
+        println!("  {key}    = {v:?}");
     }
     for w in 0..WORKER_THREADS {
-        let v = auditor.apply(KvOp::Get(format!("progress/{w}")));
-        assert_eq!(v, Some(WORKER_OPS as u64 - 1), "progress/{w} audit");
-        println!("  progress/{w} = {v:?}");
+        let key = format!("progress/{w}");
+        let v = entries.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+        assert_eq!(v, Some(WORKER_OPS as u64 - 1), "{key} audit");
+        println!("  {key} = {v:?}");
     }
     println!(
         "\naudit passed: {} control ops and {} worker ops linearized",

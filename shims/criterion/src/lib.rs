@@ -80,6 +80,22 @@ pub fn write_json_report() -> Option<String> {
     }
 }
 
+/// Records an externally measured result into the JSON report, alongside
+/// the timed series.
+///
+/// For benches that drive their own measurement loop — latency percentiles
+/// over a load run, a wall-clock throughput — where [`Bencher::iter`]'s
+/// mean-of-repeats shape does not fit. The record lands in the same
+/// `BENCH_JSON` report (and trend gate) as every timed series.
+pub fn report_measurement(name: &str, ns_per_iter: u128, elements_per_iter: u64) {
+    println!("bench {name:<50} {ns_per_iter:>12} ns/iter (reported)");
+    RESULTS.lock().expect("bench results poisoned").push(BenchRecord {
+        name: name.to_owned(),
+        ns_per_iter,
+        elements_per_iter: elements_per_iter.max(1),
+    });
+}
+
 /// Per-iteration work declared by a benchmark group, used to scale
 /// per-iteration times into per-operation rates.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -361,5 +377,16 @@ mod tests {
             .find(|r| r.name == "shim-test/report-registers")
             .expect("record registered");
         assert_eq!(rec.elements_per_iter, 10);
+    }
+
+    #[test]
+    fn report_measurement_registers_records() {
+        report_measurement("shim-test/reported", 1234, 3);
+        let results = RESULTS.lock().unwrap();
+        let rec = results
+            .iter()
+            .find(|r| r.name == "shim-test/reported")
+            .expect("reported record registered");
+        assert_eq!((rec.ns_per_iter, rec.elements_per_iter), (1234, 3));
     }
 }

@@ -27,6 +27,11 @@
 //!   classes (bounded wait-free VIP tier, unbounded obstruction-free guest
 //!   tier), built on the universal construction, with checkpoint-sealed
 //!   crash-recoverable persistence (`store::persist`).
+//! * [`net`] — the wire-protocol front-end: a length-prefixed binary codec
+//!   for the store's unified `Request`/`Response` envelope, simulated
+//!   connections, and a single-threaded reactor that preserves the
+//!   asymmetric tiers across the network boundary (VIP dispatch stays
+//!   bounded wait-free; guest overload sheds as typed backpressure).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +59,7 @@ pub use apc_common2 as common2;
 pub use apc_core as core;
 pub use apc_hierarchy as hierarchy;
 pub use apc_model as model;
+pub use apc_net as net;
 pub use apc_registers as registers;
 pub use apc_store as store;
 pub use apc_universal as universal;

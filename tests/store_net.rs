@@ -1,0 +1,280 @@
+//! Integration tests for the wire front-end: the net scenario family.
+//!
+//! These are the `store/scenarios/net/*` acceptance scenarios: handshake
+//! and request/response on both tiers, guest overload answered with typed
+//! backpressure while the VIP tier stays served, a 10k-connection smoke,
+//! the `GET /metrics` listener, and wrapper-vs-envelope equivalence.
+
+use asymmetric_progress::net::{NetClient, ServerConfig, StoreServer};
+use asymmetric_progress::store::{
+    DurabilityClass, Request, StoreBuilder, StoreError, StoreOp, StoreResp, TierCredential,
+};
+
+const VIP_TOKEN: u64 = 0xbeef;
+
+fn server_cfg(guest_cap: usize) -> ServerConfig {
+    ServerConfig {
+        vip_tokens: vec![VIP_TOKEN],
+        guest_dispatch_per_poll: guest_cap,
+        ..ServerConfig::default()
+    }
+}
+
+/// Polls until the client has at least one response (bounded turns).
+fn poll_until(
+    server: &mut StoreServer<'_>,
+    client: &mut NetClient,
+) -> Vec<(u64, Vec<Result<StoreResp, StoreError>>)> {
+    for _ in 0..64 {
+        server.poll();
+        let got = client.drain().expect("clean wire");
+        if !got.is_empty() {
+            return got;
+        }
+    }
+    panic!("no response after 64 reactor turns");
+}
+
+#[test]
+fn net_handshake_and_roundtrip_both_tiers() {
+    let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
+    let mut server = StoreServer::new(&store, server_cfg(256));
+
+    let mut vip = NetClient::connect(&mut server, TierCredential::Vip { token: VIP_TOKEN });
+    let mut guest = NetClient::connect(&mut server, TierCredential::Guest);
+
+    let id = vip.send(
+        &Request::new(vec![StoreOp::Put("net/epoch".into(), 7), StoreOp::Get("net/epoch".into())])
+            .credential(TierCredential::Vip { token: VIP_TOKEN })
+            .retry_budget(8),
+    );
+    let got = poll_until(&mut server, &mut vip);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, id, "response correlates by request id");
+    assert_eq!(got[0].1[1], Ok(StoreResp::Value(Some(7))));
+
+    let id = guest.send(
+        &Request::new(vec![StoreOp::Get("net/epoch".into())])
+            .credential(TierCredential::Guest)
+            .retry_budget(8),
+    );
+    let got = poll_until(&mut server, &mut guest);
+    assert_eq!(got[0].0, id);
+    assert_eq!(got[0].1[0], Ok(StoreResp::Value(Some(7))), "guest reads the VIP write");
+}
+
+/// The acceptance scenario: guests flooding past the per-turn dispatch cap
+/// are shed with typed `RetryBudgetExhausted` — never blocked — while every
+/// VIP request in the same turn is served (no VIP 429s, bounded turns).
+#[test]
+fn net_guest_overload_sheds_typed_while_vip_is_served() {
+    let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
+    let cap = 8usize;
+    let mut server = StoreServer::new(&store, server_cfg(cap));
+
+    let mut vip = NetClient::connect(&mut server, TierCredential::Vip { token: VIP_TOKEN });
+    let mut guests: Vec<NetClient> =
+        (0..cap * 4).map(|_| NetClient::connect(&mut server, TierCredential::Guest)).collect();
+    server.poll(); // handshakes
+
+    // Everyone submits in the same reactor turn.
+    for (g, guest) in guests.iter_mut().enumerate() {
+        guest.send(
+            &Request::new(vec![StoreOp::Put(format!("flood/{g}"), g as u64)])
+                .credential(TierCredential::Guest)
+                .retry_budget(4),
+        );
+    }
+    vip.send(
+        &Request::new(vec![StoreOp::Put("vip/alive".into(), 1)])
+            .credential(TierCredential::Vip { token: VIP_TOKEN })
+            .retry_budget(4),
+    );
+    let stats = server.poll();
+
+    // The VIP answer is served this very turn, successfully.
+    let got = vip.drain().expect("clean wire");
+    assert_eq!(got.len(), 1, "VIP served in the overload turn");
+    assert!(got[0].1.iter().all(|r| r.is_ok()), "no VIP 429 under guest flood: {got:?}");
+
+    // Exactly `cap` guests were served; the rest got the typed 429.
+    assert_eq!(stats.shed, cap * 3, "overflow beyond the cap is shed");
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for guest in &mut guests {
+        for (_, results) in guest.drain().expect("clean wire") {
+            match &results[0] {
+                Ok(StoreResp::Value(_)) => served += 1,
+                Err(StoreError::RetryBudgetExhausted { budget }) => {
+                    assert_eq!(*budget, 4, "the 429 echoes the request's budget");
+                    shed += 1;
+                }
+                other => panic!("unexpected guest result: {other:?}"),
+            }
+        }
+    }
+    assert_eq!((served, shed), (cap, cap * 3));
+
+    // The scrape agrees: sheds are guest-only.
+    let snap = server.scrape();
+    assert_eq!(snap.value("store_net_backpressure_shed_total", &[("tier", "vip")]), Some(0));
+    assert_eq!(
+        snap.value("store_net_backpressure_shed_total", &[("tier", "guest")]),
+        Some(cap as u64 * 3)
+    );
+
+    // Shed guests retry and eventually land — backpressure is recoverable.
+    let mut landed = 0usize;
+    for round in 0..8 {
+        for (g, guest) in guests.iter_mut().enumerate() {
+            guest.send(
+                &Request::new(vec![StoreOp::Put(format!("retry/{round}/{g}"), 1)])
+                    .credential(TierCredential::Guest)
+                    .retry_budget(4),
+            );
+        }
+        server.poll();
+        for guest in &mut guests {
+            for (_, results) in guest.drain().expect("clean wire") {
+                if results[0].is_ok() {
+                    landed += 1;
+                }
+            }
+        }
+    }
+    assert!(landed >= cap * 8, "retries make progress: {landed}");
+
+    // Even after the retry storm, the VIP tier has shed nothing.
+    let snap = server.scrape();
+    assert_eq!(snap.value("store_net_backpressure_shed_total", &[("tier", "vip")]), Some(0));
+}
+
+/// 10k concurrent connections multiplexed by one reactor: every one
+/// completes a pipelined two-request exchange.
+#[test]
+fn net_ten_thousand_connections_smoke() {
+    let store = StoreBuilder::new().shards(4).vip_capacity(1).build().unwrap();
+    let mut server = StoreServer::new(&store, server_cfg(4_096));
+
+    let mut conns: Vec<NetClient> =
+        (0..10_000).map(|_| NetClient::connect(&mut server, TierCredential::Guest)).collect();
+    assert_eq!(server.conn_count(), 10_000);
+
+    // Pipelining: both requests go out before any response is read.
+    for (c, conn) in conns.iter_mut().enumerate() {
+        conn.send(
+            &Request::new(vec![StoreOp::Put(format!("smoke/{c}"), c as u64)])
+                .credential(TierCredential::Guest)
+                .retry_budget(8),
+        );
+        conn.send(
+            &Request::new(vec![StoreOp::Get(format!("smoke/{c}"))])
+                .credential(TierCredential::Guest)
+                .retry_budget(8),
+        );
+    }
+    let mut done = vec![0usize; conns.len()];
+    for _ in 0..64 {
+        server.poll();
+        for (c, conn) in conns.iter_mut().enumerate() {
+            for (_, results) in conn.drain().expect("clean wire") {
+                match &results[0] {
+                    Ok(StoreResp::Value(None)) => done[c] += 1,
+                    Ok(StoreResp::Value(v)) => {
+                        assert_eq!(*v, Some(c as u64), "conn {c} reads its own write");
+                        done[c] += 1;
+                    }
+                    Err(StoreError::RetryBudgetExhausted { .. }) => {
+                        // Typed backpressure: resend the read.
+                        conn.send(
+                            &Request::new(vec![StoreOp::Get(format!("smoke/{c}"))])
+                                .credential(TierCredential::Guest)
+                                .retry_budget(8),
+                        );
+                    }
+                    other => panic!("conn {c}: unexpected result {other:?}"),
+                }
+            }
+        }
+        if done.iter().all(|&d| d >= 2) {
+            break;
+        }
+    }
+    assert!(done.iter().all(|&d| d >= 2), "every connection completed its exchange");
+    assert_eq!(
+        server.scrape().value("store_net_conns_accepted_total", &[("tier", "guest")]),
+        Some(10_000)
+    );
+}
+
+/// The listener doubles as the observability endpoint: a plain HTTP `GET
+/// /metrics` on a fresh connection returns the merged store+net scrape.
+#[test]
+fn net_http_metrics_lists_net_series() {
+    let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
+    let mut server = StoreServer::new(&store, server_cfg(64));
+
+    let mut guest = NetClient::connect(&mut server, TierCredential::Guest);
+    guest.send(
+        &Request::new(vec![StoreOp::Put("probe".into(), 1)])
+            .credential(TierCredential::Guest)
+            .retry_budget(4),
+    );
+    poll_until(&mut server, &mut guest);
+
+    let http = server.connect();
+    http.send(b"GET /metrics HTTP/1.1\r\nHost: sim\r\n\r\n");
+    server.poll();
+    let mut body = Vec::new();
+    http.drain_into(&mut body);
+    let text = String::from_utf8(body).expect("utf-8 exposition");
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "served: {}", &text[..40.min(text.len())]);
+    for series in [
+        "store_net_conns_accepted_total",
+        "store_net_requests_total",
+        "store_net_request_latency_ns",
+        "store_net_http_metrics_hits_total",
+        "store_commits_total", // the store scrape is merged in
+    ] {
+        assert!(text.contains(series), "exposition must carry {series}");
+    }
+    assert!(http.is_closed(), "the HTTP connection closes after the reply");
+}
+
+/// The legacy wrappers are now thin sugar over the envelope: both paths
+/// must produce identical results and identical store state.
+#[test]
+fn net_wrappers_and_envelope_agree() {
+    let store = StoreBuilder::new().shards(2).vip_capacity(2).build().unwrap();
+
+    let mut sugar = store.client(store.admit_vip().unwrap());
+    let mut envelope = store.client(store.admit_vip().unwrap());
+
+    // Wrapper path.
+    let w1 = sugar.execute(vec![StoreOp::Put("wrap/a".into(), 1)]);
+    let w2 = sugar.get("wrap/a");
+    // Envelope path, same shape.
+    let e1 = envelope.request(
+        Request::new(vec![StoreOp::Put("env/a".into(), 1)])
+            .credential(envelope.credential())
+            .durability(DurabilityClass::Group),
+    );
+    let e2 = envelope.request(
+        Request::new(vec![StoreOp::Get("env/a".into())]).credential(envelope.credential()),
+    );
+
+    assert_eq!(w1, e1.into_legacy(), "put: wrapper ≡ envelope");
+    assert_eq!(w2, Some(1));
+    assert_eq!(e2.results[0], Ok(StoreResp::Value(Some(1))));
+
+    // And over the wire, the same envelope yields the same answers.
+    let mut server = StoreServer::new(&store, server_cfg(64));
+    let mut conn = NetClient::connect(&mut server, TierCredential::Guest);
+    conn.send(
+        &Request::new(vec![StoreOp::Get("wrap/a".into()), StoreOp::Get("env/a".into())])
+            .credential(TierCredential::Guest)
+            .retry_budget(8),
+    );
+    let got = poll_until(&mut server, &mut conn);
+    assert_eq!(got[0].1, vec![Ok(StoreResp::Value(Some(1))), Ok(StoreResp::Value(Some(1)))]);
+}
