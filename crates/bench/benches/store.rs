@@ -566,6 +566,12 @@ fn wal(c: &mut Criterion) {
 ///   percentiles *include* retried requests — exactly what a caller sees.
 ///   The p999 rides the trend report but is exempt from the CI gate (a
 ///   single scheduler hiccup on a shared runner owns that percentile).
+/// * `pipelined-batched` / `pipelined-unbatched` — the PR-10 batching win:
+///   16 guest connections each pipeline 8 single-op envelopes; batched
+///   mode coalesces each poll turn's drain into one planned store round
+///   (~one log append per shard) while unbatched commits every envelope
+///   alone. Both record ns per envelope served; the acceptance bar is
+///   batched ≥ 2x the unbatched throughput.
 fn net(c: &mut Criterion) {
     use apc_net::{
         decode_message, encode_request, FrameReader, NetClient, ServerConfig, StoreServer,
@@ -665,6 +671,51 @@ fn net(c: &mut Criterion) {
         wall_ns / (lat.len() as u128),
         1,
     );
+
+    // The batching A/B: identical pipelined load, the only difference is
+    // `batch_guest_dispatch`. Manual-timed for the same reason as the
+    // loadgen — one measurement spans a whole send-all/serve-all cycle.
+    const PIPE_CONNS: usize = 16;
+    const PIPE_DEPTH: usize = 8;
+    const PIPE_ITERS: usize = 200;
+    for (name, batch) in [("pipelined-batched", true), ("pipelined-unbatched", false)] {
+        let store = build_store(2);
+        let cfg = ServerConfig {
+            vip_tokens: vec![],
+            batch_guest_dispatch: batch,
+            ..ServerConfig::default()
+        };
+        let mut server = StoreServer::new(&store, cfg);
+        let mut conns: Vec<NetClient> = (0..PIPE_CONNS)
+            .map(|_| NetClient::connect(&mut server, TierCredential::Guest))
+            .collect();
+        server.poll(); // handshakes
+        let mut spent: u128 = 0;
+        for round in 0..PIPE_ITERS {
+            let t0 = Instant::now();
+            for (c, conn) in conns.iter_mut().enumerate() {
+                for d in 0..PIPE_DEPTH {
+                    conn.send(
+                        &Request::new(vec![StoreOp::Put(format!("pipe/{c:02}/{d}"), round as u64)])
+                            .credential(TierCredential::Guest)
+                            .retry_budget(8),
+                    );
+                }
+            }
+            let mut got = 0usize;
+            while got < PIPE_CONNS * PIPE_DEPTH {
+                server.poll();
+                for conn in conns.iter_mut() {
+                    let responses = conn.drain().expect("clean wire");
+                    assert!(responses.iter().all(|(_, r)| r.iter().all(Result::is_ok)));
+                    got += responses.len();
+                }
+            }
+            spent += t0.elapsed().as_nanos();
+        }
+        let envelopes = (PIPE_ITERS * PIPE_CONNS * PIPE_DEPTH) as u128;
+        criterion::report_measurement(&format!("store/net/{name}"), spent / envelopes, 1);
+    }
 }
 
 criterion_group!(

@@ -120,6 +120,42 @@ fn blocking_vip_dispatch_fails_the_progress_rule() {
     assert_eq!(report.exit_code(true), 1, "--deny rejects a blocking VIP dispatch");
 }
 
+/// Pins the PR-10 batching contract mechanically: per-shard coalescing of
+/// guest envelopes must never sit on the VIP serve path. A VIP dispatch
+/// that reaches the batch accumulator's lock MUST fail the lint — so the
+/// real reactor can only stay green by batching strictly after the VIP
+/// phase, on its own obstruction-free arm.
+#[test]
+fn batching_on_the_vip_path_fails_the_progress_rule() {
+    let (root, files) = fixture("batching_blocks_vip.rs");
+    let (_ws, report) = analyze_files(&root, &files).unwrap();
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        ["progress"],
+        "exactly the batching-blocks-VIP finding:\n{}",
+        report.render_text()
+    );
+    let f = &report.findings[0];
+    assert!(f.message.contains("dispatch_vip"), "names the dispatch entry point: {}", f.message);
+    assert!(
+        f.path.first().is_some_and(|hop| hop.contains("dispatch_vip")),
+        "chain starts at the VIP dispatch: {:?}",
+        f.path,
+    );
+    assert!(
+        f.path.iter().any(|hop| hop.contains("join_batch")),
+        "chain crosses the coalescer: {:?}",
+        f.path,
+    );
+    assert!(
+        f.path.last().is_some_and(|hop| hop.contains("lock")),
+        "chain ends at the accumulator lock: {:?}",
+        f.path,
+    );
+    assert_eq!(report.exit_code(true), 1, "--deny rejects batching on the VIP path");
+}
+
 #[test]
 fn known_good_is_clean() {
     let (root, files) = fixture("known_good.rs");
@@ -173,7 +209,7 @@ fn live_workspace_is_clean() {
         .find(|c| c.name == "crates/net")
         .expect("coverage reports crates/net");
     assert!(
-        net.fns_annotated >= 12,
+        net.fns_annotated >= 15,
         "apc-net annotations regressed: {}/{}",
         net.fns_annotated,
         net.fns_total
@@ -187,5 +223,19 @@ fn live_workspace_is_clean() {
         dispatch.class,
         Some(apc_lint::parse::Class::BoundedWaitFree),
         "StoreServer::dispatch_vip must stay annotated bounded_wait_free",
+    );
+    // The batching arm introduced in PR 10 must stay *claimed* at the
+    // guest tier's class — dropping the annotation would exempt the
+    // coalesced path from the sweep, and upgrading it would be a lie the
+    // finding-free assertion can't catch.
+    let batch = ws
+        .all_fns()
+        .map(|id| ws.fn_info(id))
+        .find(|f| f.name == "dispatch_guest_batch" && f.self_type.as_deref() == Some("StoreServer"))
+        .expect("the reactor must keep a StoreServer::dispatch_guest_batch fn");
+    assert_eq!(
+        batch.class,
+        Some(apc_lint::parse::Class::ObstructionFree),
+        "StoreServer::dispatch_guest_batch must stay annotated obstruction_free",
     );
 }

@@ -1,0 +1,37 @@
+//! Fixture: a **batch coalescer on the VIP dispatch path** — the exact
+//! anti-pattern PR 10's per-shard batching must not introduce. Coalescing
+//! guest envelopes behind a shared accumulator is fine *in the guest
+//! phase*; here a `#[progress(bounded_wait_free)]` VIP dispatch routes
+//! through the coalescer's mutex one hop down, which would let a slow
+//! guest batch stall every VIP frame behind the accumulator lock. The
+//! real reactor batches strictly after the VIP phase, on its own
+//! obstruction-free arm; this fixture proves the lint catches the design
+//! the moment batching leaks into VIP dispatch.
+//!
+//! Never compiled — consumed by `tests/fixtures.rs` through
+//! [`apc_lint::analyze_files`]. Expected findings: exactly one `progress`
+//! violation (`dispatch_vip → join_batch → lock`).
+
+use std::sync::Mutex;
+
+pub struct BatchingReactor {
+    pending_batch: Mutex<Vec<u64>>,
+}
+
+impl BatchingReactor {
+    #[apc_progress_macros::progress(bounded_wait_free)]
+    pub fn dispatch_vip(&self, frame: u64) -> usize {
+        // Wrong: a VIP frame must never wait for the guest coalescer.
+        self.join_batch(frame)
+    }
+
+    fn join_batch(&self, frame: u64) -> usize {
+        match self.pending_batch.lock() {
+            Ok(mut batch) => {
+                batch.push(frame);
+                batch.len()
+            }
+            Err(_) => 0,
+        }
+    }
+}

@@ -192,6 +192,14 @@ fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
 }
 
 /// Wraps a finished payload into a full frame (length prefix + checksum).
+///
+/// Callers are responsible for keeping `payload` within
+/// [`MAX_WIRE_PAYLOAD`]: a larger frame is structurally valid to *build*
+/// but the peer's decoder fails closed on it and poisons the stream.
+/// [`encode_response`] enforces the cap itself (the one message whose size
+/// the remote peer does not control — see the oversize policy there);
+/// [`encode_hello`] cannot exceed it; [`encode_request`] callers own their
+/// envelope's size, exactly like any other client-side protocol limit.
 fn frame(payload: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
     put_u32(&mut out, payload.len() as u32);
@@ -283,24 +291,74 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
 /// variants [`StoreResp::Moved`] and [`StoreResp::Unavailable`] are
 /// encoded as their consolidated [`StoreError`] twins (wire discriminants
 /// `1` and `4`), so a wire peer sees exactly one error surface.
+///
+/// ## The encode-side payload cap
+///
+/// The response is the one frame whose size the *receiving* peer cannot
+/// control — a bounded request (a `Scan` is ~12 bytes) can legitimately
+/// produce an unbounded reply. Emitting a payload beyond
+/// [`MAX_WIRE_PAYLOAD`] would make the peer's own decoder fail closed and
+/// poison the whole stream, turning a large scan into a torn connection.
+/// So the cap is enforced **here, at encode**: when the results would
+/// overflow the payload budget, every result larger than its fair share
+/// of the budget (`budget / results.len()`) is replaced by a typed
+/// [`StoreError::Corrupt`] whose detail starts with `oversized:` — a
+/// valid, in-cap frame where the oversized operations (and only those)
+/// fail closed *individually*, telling the caller to narrow the
+/// operation. Results that fit their share are transmitted untouched.
+/// (`docs/WIRE.md` § "Oversized responses" is the normative text.)
 pub fn encode_response(id: u64, results: &[WireResult]) -> Vec<u8> {
     let mut p = payload_head(KIND_RESPONSE);
     put_u64(&mut p, id);
     put_u32(&mut p, results.len() as u32);
-    for result in results {
-        match result {
-            Ok(StoreResp::Moved { epoch }) => put_err(&mut p, &StoreError::Moved { epoch: *epoch }),
-            Ok(StoreResp::Unavailable { version }) => {
-                put_err(&mut p, &StoreError::Unavailable { version: *version })
-            }
-            Ok(resp) => {
-                p.push(0);
-                put_resp(&mut p, resp);
-            }
-            Err(err) => put_err(&mut p, err),
+    let budget = (MAX_WIRE_PAYLOAD as usize).saturating_sub(p.len());
+    let encoded: Vec<Vec<u8>> = results.iter().map(encode_result).collect();
+    if encoded.iter().map(Vec::len).sum::<usize>() <= budget {
+        for e in &encoded {
+            p.extend_from_slice(e);
+        }
+        return frame(p);
+    }
+    // Overflow: fair-share replacement. Every kept result and every
+    // replacement is at most `share` bytes, so the payload stays in cap
+    // for any result count the decoder's list cap admits.
+    let share = budget / results.len().max(1);
+    for e in &encoded {
+        if e.len() <= share {
+            p.extend_from_slice(e);
+        } else {
+            put_oversize_err(&mut p, e.len(), share);
         }
     }
     frame(p)
+}
+
+/// One result's wire bytes, with the legacy in-band rejections normalized
+/// to their error twins.
+fn encode_result(result: &WireResult) -> Vec<u8> {
+    let mut p = Vec::new();
+    match result {
+        Ok(StoreResp::Moved { epoch }) => put_err(&mut p, &StoreError::Moved { epoch: *epoch }),
+        Ok(StoreResp::Unavailable { version }) => {
+            put_err(&mut p, &StoreError::Unavailable { version: *version })
+        }
+        Ok(resp) => {
+            p.push(0);
+            put_resp(&mut p, resp);
+        }
+        Err(err) => put_err(&mut p, err),
+    }
+    p
+}
+
+/// The typed oversize signal: a [`StoreError::Corrupt`] whose detail names
+/// the dropped result's size, truncated so the whole encoding fits in
+/// `budget` bytes (result tag + discriminant + string header cost 6).
+fn put_oversize_err(p: &mut Vec<u8>, dropped: usize, budget: usize) {
+    let mut detail =
+        format!("oversized: {dropped}-byte result exceeds the wire payload cap; narrow the scan");
+    detail.truncate(budget.saturating_sub(6)); // ASCII-only: safe to cut anywhere
+    put_err(p, &StoreError::Corrupt { detail });
 }
 
 fn put_resp(p: &mut Vec<u8>, resp: &StoreResp) {
@@ -354,6 +412,10 @@ fn put_err(p: &mut Vec<u8>, err: &StoreError) {
         StoreError::Corrupt { detail } => {
             p.push(err.wire_discriminant());
             put_str(p, detail);
+        }
+        StoreError::DeadlineExceeded { deadline_ms } => {
+            p.push(err.wire_discriminant());
+            put_u32(p, *deadline_ms);
         }
         // `StoreError` is non_exhaustive: a variant this codec predates
         // degrades to wire `Corrupt` carrying its display text, so old
@@ -501,6 +563,7 @@ fn read_result(rd: &mut Rd<'_>) -> Result<WireResult, CodecError> {
                 3 => StoreError::RetryBudgetExhausted { budget: rd.u32()? },
                 4 => StoreError::Unavailable { version: rd.u64()? },
                 5 => StoreError::Corrupt { detail: rd.str_()? },
+                6 => StoreError::DeadlineExceeded { deadline_ms: rd.u32()? },
                 found => return Err(CodecError::UnknownDiscriminant { what: "error", found }),
             };
             Ok(Err(err))
@@ -677,6 +740,7 @@ mod tests {
             Err(StoreError::GuestTier),
             Err(StoreError::RetryBudgetExhausted { budget: 5 }),
             Err(StoreError::Corrupt { detail: "flush failed".into() }),
+            Err(StoreError::DeadlineExceeded { deadline_ms: 250 }),
         ];
         let msg = decode_one(&encode_response(7, &results));
         let Message::Response { id, results: decoded } = msg else { panic!("expected a response") };
@@ -685,6 +749,74 @@ mod tests {
         assert_eq!(decoded[4], Err(StoreError::Unavailable { version: 6 }));
         assert_eq!(decoded[..3], results[..3]);
         assert_eq!(decoded[5..], results[5..]);
+    }
+
+    #[test]
+    fn deadline_exceeded_roundtrips_discriminant_6() {
+        let results: Vec<WireResult> = vec![Err(StoreError::DeadlineExceeded { deadline_ms: 50 })];
+        let frame = encode_response(1, &results);
+        // The wire byte itself is pinned: version, kind, id, count, result
+        // tag, then discriminant 6.
+        let payload_start = 4; // skip the length prefix
+        assert_eq!(frame[payload_start + 1], KIND_RESPONSE);
+        assert_eq!(frame[payload_start + 2 + 8 + 4], 1, "error result tag");
+        assert_eq!(frame[payload_start + 2 + 8 + 4 + 1], 6, "DeadlineExceeded discriminant");
+        let Message::Response { results: decoded, .. } = decode_one(&frame) else {
+            panic!("expected a response")
+        };
+        assert_eq!(decoded, results);
+    }
+
+    #[test]
+    fn oversized_entries_are_replaced_with_typed_corrupt_at_encode() {
+        // One Scan reply bigger than the whole payload cap, flanked by
+        // small results that must survive untouched.
+        let huge: Vec<(String, u64)> =
+            (0..40_000).map(|i| (format!("key-{i:08}-{}", "x".repeat(24)), i as u64)).collect();
+        let results: Vec<WireResult> = vec![
+            Ok(StoreResp::Value(Some(1))),
+            Ok(StoreResp::Entries(huge)),
+            Err(StoreError::GuestTier),
+        ];
+        let frame = encode_response(9, &results);
+        assert!(
+            frame.len() <= MAX_WIRE_PAYLOAD as usize + FRAME_OVERHEAD,
+            "encode must never build a frame the peer fails closed on"
+        );
+        let Message::Response { id, results: decoded } = decode_one(&frame) else {
+            panic!("expected a response")
+        };
+        assert_eq!(id, 9);
+        assert_eq!(decoded[0], results[0]);
+        assert_eq!(decoded[2], results[2]);
+        match &decoded[1] {
+            Err(StoreError::Corrupt { detail }) => {
+                assert!(detail.starts_with("oversized"), "typed oversize signal, got {detail:?}");
+            }
+            other => panic!("oversized result must fail closed individually, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn many_oversized_results_still_fit_the_cap() {
+        // Worst case: every result oversized. Fair-share replacement must
+        // keep the frame in cap even when each replacement carries detail.
+        let big_entries: Vec<(String, u64)> =
+            (0..8_000).map(|i| (format!("k{i:06}{}", "y".repeat(120)), i as u64)).collect();
+        let results: Vec<WireResult> =
+            (0..24).map(|_| Ok(StoreResp::Entries(big_entries.clone()))).collect();
+        let frame = encode_response(2, &results);
+        assert!(frame.len() <= MAX_WIRE_PAYLOAD as usize + FRAME_OVERHEAD);
+        let Message::Response { results: decoded, .. } = decode_one(&frame) else {
+            panic!("expected a response")
+        };
+        assert_eq!(decoded.len(), 24);
+        for r in &decoded {
+            assert!(
+                matches!(r, Err(StoreError::Corrupt { detail }) if detail.starts_with("oversized")),
+                "every oversized slot fails closed, got {r:?}"
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,11 @@ use apc_progress_macros::progress;
 pub const NET_LATENCY_NS_BOUNDS: [u64; 9] =
     [1_000, 4_000, 16_000, 64_000, 256_000, 1_024_000, 4_096_000, 16_384_000, 65_536_000];
 
+/// Bucket bounds for batched-dispatch size: how many guest envelopes one
+/// coalesced store commit carried. Powers of two up to the reactor's
+/// plausible per-turn drain.
+pub const BATCH_ENVELOPES_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
 /// Per-tier instrument bundle.
 #[derive(Debug)]
 struct TierMetrics {
@@ -23,6 +28,7 @@ struct TierMetrics {
     requests: Counter,
     ops: Counter,
     shed: Counter,
+    deadline_shed: Counter,
     latency_ns: FixedHistogram,
 }
 
@@ -34,6 +40,7 @@ impl TierMetrics {
             requests: Counter::new(),
             ops: Counter::new(),
             shed: Counter::new(),
+            deadline_shed: Counter::new(),
             latency_ns: FixedHistogram::new(&NET_LATENCY_NS_BOUNDS),
         }
     }
@@ -54,6 +61,9 @@ pub struct NetMetrics {
     frames_in: Counter,
     frames_out: Counter,
     http_hits: Counter,
+    batch_dispatches: Counter,
+    batch_envelopes: FixedHistogram,
+    guest_queue_depth: Gauge,
 }
 
 impl Default for NetMetrics {
@@ -74,6 +84,9 @@ impl NetMetrics {
             frames_in: Counter::new(),
             frames_out: Counter::new(),
             http_hits: Counter::new(),
+            batch_dispatches: Counter::new(),
+            batch_envelopes: FixedHistogram::new(&BATCH_ENVELOPES_BOUNDS),
+            guest_queue_depth: Gauge::new(),
         }
     }
 
@@ -118,6 +131,29 @@ impl NetMetrics {
     #[progress(wait_free)]
     pub fn record_shed(&self, vip: bool) {
         self.tier(vip).shed.inc();
+    }
+
+    /// Records a request shed because its deadline expired before
+    /// dispatch (typed [`DeadlineExceeded`](apc_store::StoreError), never
+    /// served). The `vip` series exists only to prove it stays zero: VIP
+    /// frames are never shed.
+    #[progress(wait_free)]
+    pub fn record_deadline_shed(&self, vip: bool) {
+        self.tier(vip).deadline_shed.inc();
+    }
+
+    /// Records one coalesced guest dispatch and how many envelopes it
+    /// carried.
+    #[progress(wait_free)]
+    pub fn record_batch(&self, envelopes: u64) {
+        self.batch_dispatches.inc();
+        self.batch_envelopes.observe(envelopes);
+    }
+
+    /// Records the guest backlog depth left at the end of a poll turn.
+    #[progress(wait_free)]
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.guest_queue_depth.set(depth);
     }
 
     /// Records a frame decoded off a connection.
@@ -180,6 +216,13 @@ impl NetMetrics {
                 value: SampleValue::Counter(tier.shed.get()),
             });
             out.push(Sample {
+                name: "store_net_deadline_shed_total",
+                help: "Requests shed pre-dispatch with DeadlineExceeded, by tier \
+                       (the vip series is pinned at zero: VIP frames are never shed)",
+                labels: vec![("tier", label.to_string())],
+                value: SampleValue::Counter(tier.deadline_shed.get()),
+            });
+            out.push(Sample {
                 name: "store_net_request_latency_ns",
                 help: "Round-trip request latency inside the reactor, by tier",
                 labels: vec![("tier", label.to_string())],
@@ -222,6 +265,24 @@ impl NetMetrics {
             labels: Vec::new(),
             value: SampleValue::Counter(self.http_hits.get()),
         });
+        out.push(Sample {
+            name: "store_net_batch_dispatches_total",
+            help: "Coalesced guest dispatches (one per-shard-planned store commit group)",
+            labels: Vec::new(),
+            value: SampleValue::Counter(self.batch_dispatches.get()),
+        });
+        out.push(Sample {
+            name: "store_net_batch_envelopes",
+            help: "Guest envelopes carried per coalesced dispatch",
+            labels: Vec::new(),
+            value: SampleValue::Histogram(self.batch_envelopes.snapshot()),
+        });
+        out.push(Sample {
+            name: "store_net_guest_queue_depth",
+            help: "Guest frames carried over in the reactor backlog after the last poll turn",
+            labels: Vec::new(),
+            value: SampleValue::Gauge(self.guest_queue_depth.get()),
+        });
         out
     }
 
@@ -254,6 +315,27 @@ mod tests {
         assert_eq!(snap.value("store_net_conns_open", &[]), Some(1));
         let hist = snap.histogram("store_net_request_latency_ns", &vip).unwrap();
         assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn batching_and_deadline_series_are_scraped() {
+        let m = NetMetrics::new();
+        m.record_deadline_shed(false);
+        m.record_deadline_shed(false);
+        m.record_batch(8);
+        m.record_batch(3);
+        m.record_queue_depth(5);
+        let snap = m.scrape();
+        assert_eq!(snap.value("store_net_deadline_shed_total", &[("tier", "guest")]), Some(2));
+        assert_eq!(
+            snap.value("store_net_deadline_shed_total", &[("tier", "vip")]),
+            Some(0),
+            "the vip series exists to prove it stays zero"
+        );
+        assert_eq!(snap.value("store_net_batch_dispatches_total", &[]), Some(2));
+        let hist = snap.histogram("store_net_batch_envelopes", &[]).unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(snap.value("store_net_guest_queue_depth", &[]), Some(5));
     }
 
     #[test]

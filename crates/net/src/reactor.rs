@@ -14,11 +14,37 @@
 //!    the store's port commit is a bounded number of steps, so a guest
 //!    flood can make this phase *longer* (more conns to drain) but can
 //!    never make any single VIP request wait on guest progress.
-//! 3. **Guest dispatch** — queued guest requests are served up to
-//!    [`ServerConfig::guest_dispatch_per_poll`]; the overflow is **shed**
-//!    with a typed [`StoreError::RetryBudgetExhausted`] response (the
-//!    wire's 429) instead of buffering unboundedly or blocking the
-//!    reactor. Backpressure is a value, not a stall.
+//! 3. **Guest dispatch** — the turn's guest arrivals join a bounded
+//!    backlog ([`ServerConfig::guest_queue_depth`]) behind frames carried
+//!    over from earlier turns; up to
+//!    [`ServerConfig::guest_dispatch_per_poll`] are served from the
+//!    front, oldest first. A frame whose `deadline_ms` expired while it
+//!    queued is shed **pre-dispatch** with a typed
+//!    [`StoreError::DeadlineExceeded`] — serving it would burn a store
+//!    commit whose response the client will discard — and the wait it
+//!    did survive is debited from the deadline the store sees. Overflow
+//!    beyond the backlog depth is shed from the back (newest arrivals)
+//!    with a typed [`StoreError::RetryBudgetExhausted`] (the wire's 429)
+//!    instead of buffering unboundedly or blocking the reactor.
+//!    Backpressure is a value, not a stall.
+//!
+//! ## Per-shard batching of pipelined guest envelopes
+//!
+//! With [`ServerConfig::batch_guest_dispatch`] (the default), the guest
+//! envelopes dispatched in one turn are **coalesced** into a single store
+//! round via [`apc_store::Client::request_guest_many`]: the store's batch
+//! planner splits the combined op vector per shard, so N pipelined
+//! single-op requests cost ~one log append per shard instead of N, and
+//! the results demultiplex back to each owning `(conn, request-id)`.
+//! Batching is transparent — same per-envelope responses, budgets, and
+//! deadline errors as per-envelope dispatch (property-tested against the
+//! oracle in `tests/store_net.rs`) — and it cannot erode the asymmetric
+//! guarantees: the batch runs strictly *after* the VIP phase under the
+//! server's own guest session, so coalescing can delay other guests but
+//! never a VIP frame. `Sync`-durability and tier-mismatched envelopes
+//! keep the per-envelope path. VIP frames are never batched, never
+//! queued across turns, never deadline-shed: every VIP frame is still
+//! served in its arrival turn.
 //!
 //! ## Admission is keyed by connection credential
 //!
@@ -41,7 +67,7 @@
 //! durability is the one deliberate exception — it fsyncs on the reactor
 //! thread via the store's own (VIP-gated) blocking arm.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 use apc_obs::{encode_prometheus, MetricsSnapshot};
@@ -65,8 +91,22 @@ pub struct ServerConfig {
     /// port capacity the wire can consume.
     pub vip_tokens: Vec<u64>,
     /// Guest requests served per [`StoreServer::poll`]; arrivals beyond
-    /// this are shed with [`StoreError::RetryBudgetExhausted`].
+    /// this wait in the backlog (up to
+    /// [`ServerConfig::guest_queue_depth`]) or are shed with
+    /// [`StoreError::RetryBudgetExhausted`].
     pub guest_dispatch_per_poll: usize,
+    /// Guest frames that may carry over between poll turns after the
+    /// per-turn dispatch cap is spent. Overflow beyond this depth is shed
+    /// (newest first) with the typed 429. `0` restores the legacy
+    /// shed-everything-same-turn behavior. A queued frame's wait is
+    /// debited from its `deadline_ms`; frames that expire while queued
+    /// are shed pre-dispatch with [`StoreError::DeadlineExceeded`].
+    pub guest_queue_depth: usize,
+    /// Coalesce the turn's dispatched guest envelopes into one store
+    /// round through the batch planner (default). Off = per-envelope
+    /// dispatch, observationally equivalent but ~one log append per
+    /// envelope instead of per shard.
+    pub batch_guest_dispatch: bool,
     /// Cap applied to every wire request's retry budget. Keeps the
     /// blocking [`apc_store::UNBOUNDED_RETRIES`] arm unreachable from the
     /// network.
@@ -78,6 +118,8 @@ impl Default for ServerConfig {
         ServerConfig {
             vip_tokens: Vec::new(),
             guest_dispatch_per_poll: 256,
+            guest_queue_depth: 1024,
+            batch_guest_dispatch: true,
             wire_retry_budget_cap: 16,
         }
     }
@@ -92,8 +134,22 @@ pub struct PollStats {
     pub served: usize,
     /// Guest requests shed with `RetryBudgetExhausted`.
     pub shed: usize,
+    /// Guest requests shed pre-dispatch with `DeadlineExceeded`.
+    pub deadline_shed: usize,
+    /// Coalesced guest dispatches performed (0 or 1 per turn).
+    pub batches: usize,
     /// Connections that transitioned to closed during the turn.
     pub closed: usize,
+}
+
+/// A guest frame waiting in the reactor backlog, stamped with its
+/// arrival instant so queue wait can be charged against its deadline.
+#[derive(Debug)]
+struct QueuedGuest {
+    conn: usize,
+    id: u64,
+    req: Request,
+    arrived: Instant,
 }
 
 /// Per-connection lifecycle.
@@ -131,6 +187,12 @@ pub struct StoreServer<'a> {
     /// reconnects so a flapping VIP client cannot leak ports.
     vip_sessions: BTreeMap<u64, ClientTicket>,
     conns: Vec<ConnSlot>,
+    /// Guest frames carried over between poll turns, oldest first.
+    guest_backlog: VecDeque<QueuedGuest>,
+    /// The server's own guest session: coalesced dispatches commit under
+    /// this ticket (guest ports are interchangeable shared slots, so the
+    /// batch riding one fixed port changes nothing observable).
+    batch_ticket: ClientTicket,
 }
 
 impl<'a> StoreServer<'a> {
@@ -142,6 +204,8 @@ impl<'a> StoreServer<'a> {
             metrics: NetMetrics::new(),
             vip_sessions: BTreeMap::new(),
             conns: Vec::new(),
+            guest_backlog: VecDeque::new(),
+            batch_ticket: store.admit_guest(),
         }
     }
 
@@ -231,28 +295,118 @@ impl<'a> StoreServer<'a> {
             stats.served += 1;
         }
 
-        // Phase 3: serve guests up to the per-turn cap; shed the rest.
+        // Phase 3: the turn's guest arrivals join the backlog behind any
+        // carried-over frames; serve from the front, oldest first.
+        let now = Instant::now();
+        for (i, id, req) in guest_q {
+            self.guest_backlog.push_back(QueuedGuest { conn: i, id, req, arrived: now });
+        }
         let cap = self.cfg.guest_dispatch_per_poll;
-        for (n, (i, id, req)) in guest_q.into_iter().enumerate() {
-            let ticket = match &self.conns[i].state {
-                ConnState::Serving(t) => *t,
-                _ => continue,
-            };
-            if n < cap {
-                let resp = self.serve_request(ticket, req);
-                self.send_response(i, id, &resp.results);
+        let mut dispatch: Vec<QueuedGuest> = Vec::new();
+        while dispatch.len() < cap {
+            let Some(mut q) = self.guest_backlog.pop_front() else { break };
+            if !matches!(self.conns[q.conn].state, ConnState::Serving(_)) {
+                continue;
+            }
+            // Queue wait is charged against the frame's own deadline:
+            // an expired frame is shed here, before it burns a store
+            // commit whose response the client will discard; a live one
+            // carries only its *remaining* deadline into dispatch.
+            if let Some(ms) = q.req.deadline_ms {
+                let waited = q.arrived.elapsed().as_millis();
+                if waited >= u128::from(ms) {
+                    self.metrics.record_deadline_shed(false);
+                    let err = StoreError::DeadlineExceeded { deadline_ms: ms };
+                    let resp = Response::fail_all(q.req.ops.len(), err);
+                    self.send_response(q.conn, q.id, &resp.results);
+                    stats.deadline_shed += 1;
+                    continue;
+                }
+                q.req.deadline_ms = Some(ms - waited as u32);
+            }
+            dispatch.push(q);
+        }
+        // Overflow beyond the backlog depth is shed from the back — the
+        // newest arrivals lose, so a queued frame's position only ever
+        // improves.
+        while self.guest_backlog.len() > self.cfg.guest_queue_depth {
+            let Some(q) = self.guest_backlog.pop_back() else { break };
+            if !matches!(self.conns[q.conn].state, ConnState::Serving(_)) {
+                continue;
+            }
+            self.metrics.record_shed(false);
+            let err = StoreError::RetryBudgetExhausted { budget: q.req.retry_budget };
+            let resp = Response::fail_all(q.req.ops.len(), err);
+            self.send_response(q.conn, q.id, &resp.results);
+            stats.shed += 1;
+        }
+        self.metrics.record_queue_depth(self.guest_backlog.len() as u64);
+
+        if self.cfg.batch_guest_dispatch {
+            self.serve_guest_turn_batched(dispatch, &mut stats);
+        } else {
+            for q in dispatch {
+                let ticket = match &self.conns[q.conn].state {
+                    ConnState::Serving(t) => *t,
+                    _ => continue,
+                };
+                let resp = self.serve_request(ticket, q.req);
+                self.send_response(q.conn, q.id, &resp.results);
                 stats.served += 1;
-            } else {
-                self.metrics.record_shed(false);
-                let err = StoreError::RetryBudgetExhausted { budget: req.retry_budget };
-                let resp = Response::fail_all(req.ops.len(), err);
-                self.send_response(i, id, &resp.results);
-                stats.shed += 1;
             }
         }
 
         stats.closed = self.closed_count() - closed_before;
         stats
+    }
+
+    /// Serves one turn's guest dispatch set, coalescing every batchable
+    /// envelope into a single store round. `Sync`-durability and
+    /// tier-mismatched envelopes take the per-envelope path (for guests
+    /// both are state-free refusals, so their relative order against the
+    /// batch is unobservable).
+    fn serve_guest_turn_batched(&mut self, dispatch: Vec<QueuedGuest>, stats: &mut PollStats) {
+        let mut owners: Vec<(usize, u64, u64)> = Vec::new(); // (conn, id, ops)
+        let mut reqs: Vec<Request> = Vec::new();
+        for q in dispatch {
+            let ticket = match &self.conns[q.conn].state {
+                ConnState::Serving(t) => *t,
+                _ => continue,
+            };
+            let mut req = q.req;
+            // The same admission gates as `serve_request`, applied
+            // before the envelope may join the batch.
+            if req.credential.class() != ticket.class() {
+                let resp = Response::fail_all(req.ops.len(), StoreError::GuestTier);
+                self.send_response(q.conn, q.id, &resp.results);
+                stats.served += 1;
+                continue;
+            }
+            if req.durability == DurabilityClass::Sync {
+                let resp = self.serve_request(ticket, req);
+                self.send_response(q.conn, q.id, &resp.results);
+                stats.served += 1;
+                continue;
+            }
+            req.retry_budget = req.retry_budget.min(self.cfg.wire_retry_budget_cap);
+            req.credential = TierCredential::for_ticket(&self.batch_ticket);
+            owners.push((q.conn, q.id, req.ops.len() as u64));
+            reqs.push(req);
+        }
+        if reqs.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        let envelopes = reqs.len() as u64;
+        let responses = self.dispatch_guest_batch(reqs);
+        let ns = elapsed_ns(started);
+        self.metrics.record_batch(envelopes);
+        stats.batches += 1;
+        for ((conn, id, ops), resp) in owners.into_iter().zip(responses) {
+            self.metrics.record_request(false, ops, ns);
+            self.send_response(conn, id, &resp.results);
+            stats.served += 1;
+        }
     }
 
     fn closed_count(&self) -> usize {
@@ -434,6 +588,18 @@ impl<'a> StoreServer<'a> {
         resp
     }
 
+    /// The coalesced guest serve path: every batchable envelope
+    /// dispatched this turn rides one store round under the server's own
+    /// guest session — the store's batch planner turns N pipelined
+    /// single-op envelopes into ~one log append per shard. Runs strictly
+    /// after the VIP phase, so coalescing can delay other guests but
+    /// never a VIP frame; obstruction-free like the tier it serves.
+    #[progress(obstruction_free)]
+    fn dispatch_guest_batch(&self, reqs: Vec<Request>) -> Vec<Response> {
+        let mut client = self.store.client(self.batch_ticket);
+        client.request_guest_many(reqs)
+    }
+
     /// `Sync` durability fsyncs on the reactor thread — deliberately
     /// blocking, and VIP-gated by the store itself.
     #[progress(blocking)]
@@ -549,11 +715,14 @@ mod tests {
     use apc_store::{StoreBuilder, StoreOp, StoreResp};
 
     fn server_fixture(store: &Store) -> StoreServer<'_> {
+        // Legacy shed-same-turn semantics (`guest_queue_depth: 0`) keep
+        // the overflow tests deterministic about *which turn* sheds.
         StoreServer::new(
             store,
             ServerConfig {
                 vip_tokens: vec![7],
                 guest_dispatch_per_poll: 4,
+                guest_queue_depth: 0,
                 ..ServerConfig::default()
             },
         )
@@ -614,6 +783,124 @@ mod tests {
             }
         }
         assert_eq!(shed_seen, 2);
+    }
+
+    #[test]
+    fn pipelined_guests_coalesce_into_one_batch() {
+        let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
+        // Default queue depth: the second wave waits in the backlog
+        // instead of being shed same-turn.
+        let mut server = StoreServer::new(
+            &store,
+            ServerConfig { guest_dispatch_per_poll: 4, ..ServerConfig::default() },
+        );
+        let mut guests: Vec<NetClient> =
+            (0..4).map(|_| NetClient::connect(&mut server, TierCredential::Guest)).collect();
+        for (n, g) in guests.iter_mut().enumerate() {
+            g.send(&Request::new(vec![StoreOp::Put(format!("b/{n}"), n as u64)]));
+            g.send(&Request::new(vec![StoreOp::Get(format!("b/{n}"))]));
+        }
+        // 8 envelopes, cap 4: the first turn serves one 4-envelope batch.
+        let stats = server.poll();
+        assert_eq!(stats.served, 4);
+        assert_eq!(stats.batches, 1, "the turn's guests ride one coalesced dispatch");
+        server.poll();
+        for (n, g) in guests.iter_mut().enumerate() {
+            let got = g.drain().unwrap();
+            assert_eq!(got.len(), 2, "guest {n} got both responses");
+            assert_eq!(got[0].1, vec![Ok(StoreResp::Value(None))], "Put acks");
+            assert_eq!(got[1].1, vec![Ok(StoreResp::Value(Some(n as u64)))], "Get sees its Put");
+        }
+        let snap = server.metrics().scrape();
+        assert_eq!(snap.value("store_net_batch_dispatches_total", &[]), Some(2));
+        assert_eq!(snap.value("store_net_requests_total", &[("tier", "guest")]), Some(8));
+    }
+
+    #[test]
+    fn expired_guest_frame_is_shed_pre_dispatch_as_deadline_exceeded() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = server_fixture(&store);
+        let mut guest = NetClient::connect(&mut server, TierCredential::Guest);
+        let mut vip = NetClient::connect(&mut server, TierCredential::Vip { token: 7 });
+        // A zero deadline is expired on arrival — the guest frame must be
+        // shed with the typed deadline error, never dispatched.
+        guest.send(&Request::new(vec![StoreOp::Put("k".into(), 1)]).deadline_ms(0));
+        // The VIP frame with the same zero deadline is still served:
+        // VIP frames are never shed, never deadline-adjusted.
+        vip.send(
+            &Request::new(vec![StoreOp::Put("v".into(), 2)])
+                .credential(TierCredential::Vip { token: 7 })
+                .deadline_ms(0),
+        );
+        let stats = server.poll();
+        assert_eq!(stats.deadline_shed, 1);
+        assert_eq!(stats.shed, 0, "a deadline shed is not a 429");
+        assert_eq!(stats.served, 1, "the VIP frame");
+        let got = guest.drain().unwrap();
+        assert_eq!(got[0].1, vec![Err(StoreError::DeadlineExceeded { deadline_ms: 0 })]);
+        assert_eq!(vip.drain().unwrap()[0].1, vec![Ok(StoreResp::Value(None))]);
+        let snap = server.metrics().scrape();
+        assert_eq!(snap.value("store_net_deadline_shed_total", &[("tier", "guest")]), Some(1));
+        assert_eq!(snap.value("store_net_deadline_shed_total", &[("tier", "vip")]), Some(0));
+    }
+
+    #[test]
+    fn backlog_carries_guests_across_turns_up_to_depth() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = StoreServer::new(
+            &store,
+            ServerConfig {
+                guest_dispatch_per_poll: 2,
+                guest_queue_depth: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let mut guests: Vec<NetClient> =
+            (0..6).map(|_| NetClient::connect(&mut server, TierCredential::Guest)).collect();
+        for (n, g) in guests.iter_mut().enumerate() {
+            g.send(&Request::new(vec![StoreOp::Put(format!("q/{n}"), n as u64)]));
+        }
+        // Turn 1: 2 served, 2 queued, the 2 newest shed as 429.
+        let stats = server.poll();
+        assert_eq!((stats.served, stats.shed), (2, 2));
+        assert_eq!(
+            server.metrics().scrape().value("store_net_guest_queue_depth", &[]),
+            Some(2),
+            "the survivors wait in the backlog"
+        );
+        // Turn 2: the backlog drains — no new arrivals needed.
+        let stats = server.poll();
+        assert_eq!((stats.served, stats.shed), (2, 0));
+        assert_eq!(server.metrics().scrape().value("store_net_guest_queue_depth", &[]), Some(0));
+        let mut ok = 0;
+        let mut shed = 0;
+        for g in &mut guests {
+            for (_, results) in g.drain().unwrap() {
+                match &results[0] {
+                    Ok(_) => ok += 1,
+                    Err(StoreError::RetryBudgetExhausted { .. }) => shed += 1,
+                    other => panic!("unexpected result: {other:?}"),
+                }
+            }
+        }
+        assert_eq!((ok, shed), (4, 2));
+    }
+
+    #[test]
+    fn unbatched_dispatch_still_serves_pipelines() {
+        let store = StoreBuilder::new().shards(1).vip_capacity(1).build().unwrap();
+        let mut server = StoreServer::new(
+            &store,
+            ServerConfig { batch_guest_dispatch: false, ..ServerConfig::default() },
+        );
+        let mut guest = NetClient::connect(&mut server, TierCredential::Guest);
+        guest.send(&Request::new(vec![StoreOp::Put("u".into(), 9)]));
+        guest.send(&Request::new(vec![StoreOp::Get("u".into())]));
+        let stats = server.poll();
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.batches, 0);
+        let got = guest.drain().unwrap();
+        assert_eq!(got[1].1, vec![Ok(StoreResp::Value(Some(9)))]);
     }
 
     #[test]

@@ -52,7 +52,7 @@ fn decode_request(
 }
 
 fn decode_result(tag: u8, a: u64, b: u64) -> WireResult {
-    match tag % 8 {
+    match tag % 9 {
         0 => Ok(StoreResp::Value(a.is_multiple_of(2).then_some(b))),
         1 => {
             Ok(StoreResp::Cas { ok: a.is_multiple_of(2), actual: b.is_multiple_of(2).then_some(a) })
@@ -62,6 +62,7 @@ fn decode_result(tag: u8, a: u64, b: u64) -> WireResult {
         4 => Err(StoreError::GuestTier),
         5 => Err(StoreError::RetryBudgetExhausted { budget: a as u32 }),
         6 => Err(StoreError::Unavailable { version: a }),
+        7 => Err(StoreError::DeadlineExceeded { deadline_ms: a as u32 }),
         _ => Err(StoreError::Corrupt { detail: format!("detail/{a}/{b}") }),
     }
 }
@@ -99,7 +100,7 @@ proptest! {
     /// to their consolidated error twins.
     #[test]
     fn response_roundtrips(
-        encoded in proptest::collection::vec((0u8..8, 0u64..1000, 0u64..1000), 0..16),
+        encoded in proptest::collection::vec((0u8..9, 0u64..1000, 0u64..1000), 0..16),
         id in 0u64..u64::MAX,
     ) {
         let results: Vec<WireResult> =
@@ -109,6 +110,43 @@ proptest! {
         else { panic!("expected a response") };
         prop_assert_eq!(got_id, id);
         prop_assert_eq!(got, results);
+    }
+
+    /// The encode-side payload cap: no generated result set — including
+    /// `Entries` bodies far beyond the cap — ever produces a frame the
+    /// peer's decoder rejects. Oversized slots degrade to a typed
+    /// `Corrupt { detail: "oversized..." }`; in-share slots are verbatim.
+    #[test]
+    fn encode_response_never_exceeds_the_payload_cap(
+        encoded in proptest::collection::vec((0u8..9, 0u64..1000, 0u64..1000), 0..8),
+        huge_positions in proptest::collection::vec(0usize..8, 0..3),
+        entry_count in 1usize..60_000,
+        id in 0u64..u64::MAX,
+    ) {
+        let mut results: Vec<WireResult> =
+            encoded.iter().map(|(t, a, b)| decode_result(*t, *a, *b)).collect();
+        for pos in huge_positions {
+            if results.is_empty() { break; }
+            let slot = pos % results.len();
+            let entries = (0..entry_count)
+                .map(|i| (format!("bulk/{i:06}/{}", "p".repeat(20)), i as u64))
+                .collect();
+            results[slot] = Ok(StoreResp::Entries(entries));
+        }
+        let frame = encode_response(id, &results);
+        // The streaming reader is the peer's cap oracle: it must accept
+        // the frame whole rather than failing closed on its length.
+        let payload = reframe(&frame);
+        prop_assert!(payload.len() <= MAX_WIRE_PAYLOAD as usize);
+        let Message::Response { id: got_id, results: got } = decode_message(&payload).unwrap()
+        else { panic!("expected a response") };
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got.len(), results.len());
+        for (g, want) in got.iter().zip(&results) {
+            let replaced =
+                matches!(g, Err(StoreError::Corrupt { detail }) if detail.starts_with("oversized"));
+            prop_assert!(g == want || replaced, "slot neither verbatim nor typed-oversized");
+        }
     }
 
     /// Hello frames roundtrip for every credential shape.

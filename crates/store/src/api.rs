@@ -28,14 +28,18 @@
 //! |---------------------------------------------|----------------------------------------|------|
 //! | [`StoreResp::Moved`] `{ epoch }`            | [`StoreError::Moved`] `{ epoch }`      | `1`  |
 //! | [`DurabilityError::GuestTier`], tier over-claim | [`StoreError::GuestTier`]          | `2`  |
-//! | (new) retry budget / deadline exhausted     | [`StoreError::RetryBudgetExhausted`]   | `3`  |
+//! | (new) retry budget spent / backpressure shed | [`StoreError::RetryBudgetExhausted`]  | `3`  |
 //! | [`StoreResp::Unavailable`] `{ version }`, [`DurabilityError::NoWal`] | [`StoreError::Unavailable`] `{ version }` | `4` |
 //! | [`DurabilityError::Wal`] (failed covering flush), codec/persist corruption | [`StoreError::Corrupt`] | `5` |
+//! | (new) deadline expiry                       | [`StoreError::DeadlineExceeded`]       | `6`  |
 //!
 //! `Moved` never escapes the in-process arms (the retry loop consumes it);
 //! it exists so a wire peer that implements its own re-plan loop can see
 //! the bounce. `RetryBudgetExhausted` is the envelope's 429: the typed
 //! "try again later" that the guest tier surfaces **instead of blocking**.
+//! `DeadlineExceeded` is its timeout twin: the request's own patience (not
+//! the store's) ran out — retrying immediately with the same deadline is
+//! pointless, which is exactly why the two are distinct discriminants.
 //!
 //! [`StoreResp::Moved`]: crate::ops::StoreResp::Moved
 //! [`StoreResp::Unavailable`]: crate::ops::StoreResp::Unavailable
@@ -116,9 +120,10 @@ pub struct Request {
     /// Relative patience in milliseconds, measured from dispatch; `None`
     /// means no deadline. Enforced by the **bounded** arms (between `Moved`
     /// retries) and by the wire front-end (a request that out-waits its
-    /// deadline in a backpressure queue is shed). The legacy waiting arm
-    /// (`retry_budget == UNBOUNDED_RETRIES`) bounds its waits with the
-    /// store-wide `view_wait_timeout` instead.
+    /// deadline in a backpressure queue is shed before dispatch); expiry
+    /// surfaces as the typed [`StoreError::DeadlineExceeded`]. The legacy
+    /// waiting arm (`retry_budget == UNBOUNDED_RETRIES`) bounds its waits
+    /// with the store-wide `view_wait_timeout` instead.
     pub deadline_ms: Option<u32>,
     /// How many `Moved` re-plan rounds the request will pay for before the
     /// remaining operations come back
@@ -225,10 +230,11 @@ pub enum StoreError {
     /// a guest presenting a VIP credential, or requesting VIP-only
     /// synchronous durability. Wire discriminant `2`.
     GuestTier,
-    /// The request's patience ran out: its `Moved` retry budget was spent,
-    /// its deadline passed, or the guest tier's backpressure shed it — the
-    /// typed 429. Nothing beyond the reported operations was applied; try
-    /// again later. Wire discriminant `3`.
+    /// The store's patience ran out: the request's `Moved` retry budget
+    /// was spent, or the guest tier's backpressure shed it — the typed
+    /// 429. Nothing beyond the reported operations was applied; try again
+    /// later. (A passed *deadline* is the distinct
+    /// [`StoreError::DeadlineExceeded`].) Wire discriminant `3`.
     RetryBudgetExhausted {
         /// The budget the request arrived with.
         budget: u32,
@@ -249,6 +255,18 @@ pub enum StoreError {
         /// Human-readable failure description.
         detail: String,
     },
+    /// The request's deadline passed before the reported operations could
+    /// be served: the wire front-end shed the frame before dispatch, or a
+    /// `Moved` re-plan boundary found the deadline already behind it.
+    /// Distinct from [`StoreError::RetryBudgetExhausted`] — budget may
+    /// well remain; it is *time* that ran out, so re-sending with the
+    /// same deadline is pointless. Wire discriminant `6`.
+    DeadlineExceeded {
+        /// The deadline budget the request carried, in milliseconds (as
+        /// seen by the arm that expired it — the wire front-end debits
+        /// queue wait before dispatch).
+        deadline_ms: u32,
+    },
 }
 
 impl StoreError {
@@ -261,6 +279,7 @@ impl StoreError {
             StoreError::RetryBudgetExhausted { .. } => 3,
             StoreError::Unavailable { .. } => 4,
             StoreError::Corrupt { .. } => 5,
+            StoreError::DeadlineExceeded { .. } => 6,
         }
     }
 }
@@ -281,6 +300,9 @@ impl fmt::Display for StoreError {
                 write!(f, "unavailable (topology version {version} never published)")
             }
             StoreError::Corrupt { detail } => write!(f, "corrupt: {detail}"),
+            StoreError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline exceeded ({deadline_ms} ms): the request out-waited itself")
+            }
         }
     }
 }
@@ -299,6 +321,7 @@ mod tests {
         assert_eq!(StoreError::RetryBudgetExhausted { budget: 8 }.wire_discriminant(), 3);
         assert_eq!(StoreError::Unavailable { version: 9 }.wire_discriminant(), 4);
         assert_eq!(StoreError::Corrupt { detail: "x".into() }.wire_discriminant(), 5);
+        assert_eq!(StoreError::DeadlineExceeded { deadline_ms: 50 }.wire_discriminant(), 6);
     }
 
     #[test]

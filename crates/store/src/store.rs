@@ -1351,9 +1351,12 @@ impl Client<'_> {
     /// owned port (`Store::commit_vip`), and the `Moved` re-plan loop
     /// never waits for a topology to publish: each round re-reads the
     /// current view and spends one unit of the request's `retry_budget`,
-    /// so the budget is the a-priori step bound. A spent budget (or
-    /// passed deadline) degrades exactly the still-bounced operations to
-    /// [`StoreError::RetryBudgetExhausted`].
+    /// so the budget is the a-priori step bound. A spent budget degrades
+    /// exactly the still-bounced operations to
+    /// [`StoreError::RetryBudgetExhausted`]; a deadline found expired at a
+    /// re-plan boundary degrades them to
+    /// [`StoreError::DeadlineExceeded`] instead — budget backpressure and
+    /// timeout are distinct, typed outcomes.
     ///
     /// This is the arm the `apc-net` reactor pins with `apc-lint`: the
     /// wire front-end's VIP dispatch must stay on it, so no guest flood —
@@ -1390,7 +1393,18 @@ impl Client<'_> {
             let expired = deadline_ms.is_some_and(|ms| {
                 started.elapsed() >= std::time::Duration::from_millis(u64::from(ms))
             });
-            if budget == 0 || expired {
+            // A passed deadline outranks remaining budget: the caller's
+            // *time* ran out, which is actionable differently from the
+            // store's backpressure (don't re-send with the same deadline).
+            if expired {
+                for &(slot, _) in &moved {
+                    results[slot] = Err(StoreError::DeadlineExceeded {
+                        deadline_ms: deadline_ms.unwrap_or(0),
+                    });
+                }
+                return Response { results };
+            }
+            if budget == 0 {
                 for &(slot, _) in &moved {
                     results[slot] = Err(StoreError::RetryBudgetExhausted { budget: retry_budget });
                 }
@@ -1454,7 +1468,16 @@ impl Client<'_> {
             let expired = deadline_ms.is_some_and(|ms| {
                 started.elapsed() >= std::time::Duration::from_millis(u64::from(ms))
             });
-            if budget == 0 || expired {
+            // Same precedence as the VIP arm: time-out before budget-out.
+            if expired {
+                for &(slot, _) in &moved {
+                    results[slot] = Err(StoreError::DeadlineExceeded {
+                        deadline_ms: deadline_ms.unwrap_or(0),
+                    });
+                }
+                return Response { results };
+            }
+            if budget == 0 {
                 for &(slot, _) in &moved {
                     results[slot] = Err(StoreError::RetryBudgetExhausted { budget: retry_budget });
                 }
@@ -1475,6 +1498,147 @@ impl Client<'_> {
                 results[slot] = Ok(resp);
             }
         }
+    }
+
+    /// The **coalesced guest arm**: executes many guest envelopes as one
+    /// planning-and-commit round — the combined operation list is planned
+    /// once and costs ~one log append per touched shard for the *whole
+    /// batch*, instead of one per envelope — while preserving every
+    /// envelope's own service terms. This is what the `apc-net` reactor
+    /// rides to batch the pipelined guest frames of one poll turn.
+    ///
+    /// Per-envelope semantics are kept intact:
+    ///
+    /// * each envelope's `retry_budget` is charged once per `Moved`
+    ///   re-plan round *it participates in* (envelopes whose operations
+    ///   all landed are never charged), and a spent budget degrades only
+    ///   that envelope's bounced operations to
+    ///   [`StoreError::RetryBudgetExhausted`];
+    /// * each envelope's `deadline_ms` is checked at the same re-plan
+    ///   boundaries and degrades its bounced operations to
+    ///   [`StoreError::DeadlineExceeded`];
+    /// * envelopes the guest tier must refuse (synchronous durability, a
+    ///   VIP over-claim) are refused individually with
+    ///   [`StoreError::GuestTier`], exactly as [`Client::request_guest`]
+    ///   would — they do not poison their batch-mates.
+    ///
+    /// Responses come back in envelope order, each with its results in
+    /// invocation order: observationally equivalent to dispatching the
+    /// envelopes one at a time, in order, on this session.
+    #[progress(obstruction_free)]
+    pub fn request_guest_many(&mut self, reqs: Vec<Request>) -> Vec<Response> {
+        if !matches!(self.ticket.class(), ProgressClass::Guest) {
+            return reqs
+                .iter()
+                .map(|r| Response::fail_all(r.ops.len(), StoreError::GuestTier))
+                .collect();
+        }
+        let started = std::time::Instant::now();
+        let port = self.ticket.port();
+        // Build the combined operation list; `owner[i]` names the
+        // envelope that contributed combined slot `i`. Envelopes the
+        // guest tier refuses get their response up front and contribute
+        // no slots.
+        let mut out: Vec<Response> =
+            reqs.iter().map(|r| Response { results: Vec::with_capacity(r.ops.len()) }).collect();
+        let mut combined: Vec<StoreOp> = Vec::new();
+        let mut owner: Vec<usize> = Vec::new();
+        for (e, req) in reqs.iter().enumerate() {
+            if matches!(req.durability, DurabilityClass::Sync) {
+                if let Some(wal) = self.store.wal() {
+                    wal.metrics().record_sync_denied();
+                }
+                out[e] = Response::fail_all(req.ops.len(), StoreError::GuestTier);
+                continue;
+            }
+            if req.credential.class() == ProgressClass::Vip {
+                out[e] = Response::fail_all(req.ops.len(), StoreError::GuestTier);
+                continue;
+            }
+            for op in &req.ops {
+                combined.push(op.clone());
+                owner.push(e);
+            }
+        }
+        if combined.is_empty() {
+            return out;
+        }
+        let view = self.store.current_view();
+        let first =
+            self.store.execute_guest_in(&view, port, combined.clone(), DurabilityClass::Group);
+        let mut results: Vec<Result<StoreResp, StoreError>> = first.into_iter().map(Ok).collect();
+        let mut budgets: Vec<u32> = reqs.iter().map(|r| r.retry_budget).collect();
+        loop {
+            let moved: Vec<(usize, u64)> = results
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| match r {
+                    Ok(StoreResp::Moved { epoch }) => Some((i, *epoch)),
+                    _ => None,
+                })
+                .collect();
+            if moved.is_empty() {
+                break;
+            }
+            // Settle each bounced slot against its own envelope's terms —
+            // the same precedence as the single-envelope arm (time-out
+            // before budget-out) — and keep only the slots whose envelope
+            // still has both budget and time.
+            let mut retry_slots: Vec<(usize, u64)> = Vec::new();
+            let mut charged: Vec<bool> = vec![false; reqs.len()];
+            for &(slot, epoch) in &moved {
+                let e = match owner.get(slot) {
+                    Some(&e) => e,
+                    None => continue, // unreachable: owner is slot-aligned
+                };
+                let deadline_ms = reqs.get(e).and_then(|r| r.deadline_ms);
+                let expired = deadline_ms.is_some_and(|ms| {
+                    started.elapsed() >= std::time::Duration::from_millis(u64::from(ms))
+                });
+                if expired {
+                    results[slot] = Err(StoreError::DeadlineExceeded {
+                        deadline_ms: deadline_ms.unwrap_or(0),
+                    });
+                } else if budgets.get(e).copied().unwrap_or(0) == 0 {
+                    results[slot] = Err(StoreError::RetryBudgetExhausted {
+                        budget: reqs.get(e).map_or(0, |r| r.retry_budget),
+                    });
+                } else {
+                    retry_slots.push((slot, epoch));
+                    charged[e] = true;
+                }
+            }
+            if retry_slots.is_empty() {
+                break;
+            }
+            for (e, hit) in charged.iter().enumerate() {
+                if *hit {
+                    budgets[e] = budgets[e].saturating_sub(1);
+                }
+            }
+            let Some(need) = retry_slots.iter().map(|&(_, e)| e).max() else {
+                break; // retry_slots is non-empty here; total anyway
+            };
+            let view = self.store.current_view();
+            if view.topology.version() < need {
+                continue; // not yet published: each waiting envelope spent one unit
+            }
+            let retry: Vec<StoreOp> =
+                retry_slots.iter().filter_map(|&(i, _)| combined.get(i).cloned()).collect();
+            let retried = self.store.execute_guest_in(&view, port, retry, DurabilityClass::Group);
+            for (&(slot, _), resp) in retry_slots.iter().zip(retried) {
+                results[slot] = Ok(resp);
+            }
+        }
+        // Demultiplex: combined slots were appended envelope-by-envelope
+        // in order, so sequential pushes restore each envelope's results
+        // in invocation order.
+        for (slot, r) in results.into_iter().enumerate() {
+            if let Some(&e) = owner.get(slot) {
+                out[e].results.push(r);
+            }
+        }
+        out
     }
 
     /// The **waiting arm** (legacy semantics): `Moved` retries wait —
@@ -2410,5 +2574,59 @@ mod tests {
             .unwrap();
         let mut check = recovered.client(recovered.admit_guest());
         assert_eq!(check.scan("", "z").len(), 8);
+    }
+
+    #[test]
+    fn request_guest_many_matches_sequential_dispatch() {
+        let batched_store = small_store(2);
+        let sequential_store = small_store(2);
+        let envelopes = || {
+            vec![
+                Request::new(vec![StoreOp::Put("m/a".into(), 1), StoreOp::Get("m/b".into())]),
+                Request::new(vec![StoreOp::Put("m/b".into(), 2), StoreOp::Get("m/a".into())]),
+                Request::new(vec![
+                    StoreOp::Cas { key: "m/a".into(), expect: Some(1), new: 9 },
+                    StoreOp::Remove("m/b".into()),
+                    StoreOp::Get("m/a".into()),
+                ]),
+            ]
+        };
+        let mut batched = batched_store.client(batched_store.admit_guest());
+        let got = batched.request_guest_many(envelopes());
+        let mut sequential = sequential_store.client(sequential_store.admit_guest());
+        let want: Vec<Response> =
+            envelopes().into_iter().map(|req| sequential.request_guest(req)).collect();
+        assert_eq!(got, want, "one coalesced round ≡ one envelope at a time");
+        // Cross-envelope visibility inside the batch: envelope 2's Cas
+        // saw envelope 0's Put, its Get sees its own Cas.
+        assert_eq!(got[2].results[0], Ok(StoreResp::Cas { ok: true, actual: Some(1) }));
+        assert_eq!(got[2].results[2], Ok(StoreResp::Value(Some(9))));
+    }
+
+    #[test]
+    fn request_guest_many_refuses_sync_envelopes_individually() {
+        let store = small_store(1);
+        let mut c = store.client(store.admit_guest());
+        let got = c.request_guest_many(vec![
+            Request::new(vec![StoreOp::Put("s/a".into(), 1)]),
+            Request::new(vec![StoreOp::Put("s/b".into(), 2)]).durability(DurabilityClass::Sync),
+            Request::new(vec![StoreOp::Get("s/a".into())]),
+        ]);
+        assert_eq!(got[0].results, vec![Ok(StoreResp::Value(None))]);
+        assert_eq!(
+            got[1].results,
+            vec![Err(StoreError::GuestTier)],
+            "a Sync envelope is refused alone, not with its batch-mates"
+        );
+        assert_eq!(got[2].results, vec![Ok(StoreResp::Value(Some(1)))]);
+        assert_eq!(c.get("s/b"), None, "the refused envelope committed nothing");
+    }
+
+    #[test]
+    fn request_guest_many_requires_a_guest_session() {
+        let store = small_store(1);
+        let mut vip = store.client(store.admit_vip().unwrap());
+        let got = vip.request_guest_many(vec![Request::new(vec![StoreOp::Put("v".into(), 1)])]);
+        assert_eq!(got[0].results, vec![Err(StoreError::GuestTier)]);
     }
 }

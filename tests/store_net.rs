@@ -5,6 +5,10 @@
 //! backpressure while the VIP tier stays served, a 10k-connection smoke,
 //! the `GET /metrics` listener, and wrapper-vs-envelope equivalence.
 
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
 use asymmetric_progress::net::{NetClient, ServerConfig, StoreServer};
 use asymmetric_progress::store::{
     DurabilityClass, Request, StoreBuilder, StoreError, StoreOp, StoreResp, TierCredential,
@@ -70,7 +74,10 @@ fn net_handshake_and_roundtrip_both_tiers() {
 fn net_guest_overload_sheds_typed_while_vip_is_served() {
     let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
     let cap = 8usize;
-    let mut server = StoreServer::new(&store, server_cfg(cap));
+    // `guest_queue_depth: 0` pins the legacy semantics this scenario is
+    // about: overflow sheds in the arrival turn, not after queueing.
+    let mut server =
+        StoreServer::new(&store, ServerConfig { guest_queue_depth: 0, ..server_cfg(cap) });
 
     let mut vip = NetClient::connect(&mut server, TierCredential::Vip { token: VIP_TOKEN });
     let mut guests: Vec<NetClient> =
@@ -277,4 +284,176 @@ fn net_wrappers_and_envelope_agree() {
     );
     let got = poll_until(&mut server, &mut conn);
     assert_eq!(got[0].1, vec![Ok(StoreResp::Value(Some(1))), Ok(StoreResp::Value(Some(1)))]);
+}
+
+/// A guest frame whose deadline is already behind it is shed pre-dispatch
+/// with the typed `DeadlineExceeded` — which round-trips the wire as
+/// discriminant 6 — while a VIP frame with the same dead deadline is
+/// still served: VIP frames are never shed.
+#[test]
+fn net_deadline_expiry_is_typed_and_never_touches_vip() {
+    let store = StoreBuilder::new().shards(2).vip_capacity(1).build().unwrap();
+    let mut server = StoreServer::new(&store, server_cfg(64));
+    let mut vip = NetClient::connect(&mut server, TierCredential::Vip { token: VIP_TOKEN });
+    let mut guest = NetClient::connect(&mut server, TierCredential::Guest);
+
+    guest.send(
+        &Request::new(vec![StoreOp::Put("late".into(), 1)])
+            .credential(TierCredential::Guest)
+            .retry_budget(8)
+            .deadline_ms(0),
+    );
+    vip.send(
+        &Request::new(vec![StoreOp::Put("vip/fine".into(), 2)])
+            .credential(TierCredential::Vip { token: VIP_TOKEN })
+            .retry_budget(8)
+            .deadline_ms(0),
+    );
+    let stats = server.poll();
+    assert_eq!(stats.deadline_shed, 1, "the guest frame expired in the queue");
+
+    let got = guest.drain().expect("clean wire");
+    assert_eq!(
+        got[0].1,
+        vec![Err(StoreError::DeadlineExceeded { deadline_ms: 0 })],
+        "expiry is a typed deadline error, not a 429"
+    );
+    let got = vip.drain().expect("clean wire");
+    assert!(got[0].1[0].is_ok(), "VIP frames are never deadline-shed: {got:?}");
+
+    let snap = server.scrape();
+    assert_eq!(snap.value("store_net_deadline_shed_total", &[("tier", "guest")]), Some(1));
+    assert_eq!(snap.value("store_net_deadline_shed_total", &[("tier", "vip")]), Some(0));
+    assert_eq!(snap.value("store_net_backpressure_shed_total", &[("tier", "guest")]), Some(0));
+}
+
+/// The independent oracle: the sequential meaning of one operation.
+fn oracle_apply(state: &mut BTreeMap<String, u64>, op: &StoreOp) -> StoreResp {
+    match op {
+        StoreOp::Get(k) => StoreResp::Value(state.get(k).copied()),
+        StoreOp::Put(k, v) => StoreResp::Value(state.insert(k.clone(), *v)),
+        StoreOp::Remove(k) => StoreResp::Value(state.remove(k)),
+        StoreOp::Cas { key, expect, new } => {
+            let actual = state.get(key).copied();
+            if actual == *expect {
+                state.insert(key.clone(), *new);
+                StoreResp::Cas { ok: true, actual }
+            } else {
+                StoreResp::Cas { ok: false, actual }
+            }
+        }
+        StoreOp::Scan { from, to } => {
+            let mut entries: Vec<(String, u64)> = state
+                .iter()
+                .filter(|(k, _)| *from <= **k && **k < *to)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            entries.sort();
+            StoreResp::Entries(entries)
+        }
+    }
+}
+
+/// Decodes a generated `(kind, key, val)` triple into an operation over a
+/// small key space (cross-guest collisions are the point).
+fn decode_op(kind: u8, key: u8, val: u64) -> StoreOp {
+    let k = format!("key/{:02}", key % 12);
+    match kind % 6 {
+        0 | 1 => StoreOp::Put(k, val),
+        2 => StoreOp::Get(k),
+        3 => StoreOp::Remove(k),
+        4 => StoreOp::Cas { key: k, expect: (!val.is_multiple_of(3)).then_some(val / 2), new: val },
+        _ => {
+            let hi = format!("key/{:02}", (key % 12).saturating_add(val as u8 % 5));
+            StoreOp::Scan { from: k, to: hi }
+        }
+    }
+}
+
+/// Drives one server over every guest's pipelined envelopes and returns
+/// each guest's responses in correlation-id order.
+fn run_pipelines(
+    batch: bool,
+    shards: usize,
+    pipelines: &[Vec<Vec<StoreOp>>],
+) -> Vec<Vec<(u64, Vec<Result<StoreResp, StoreError>>)>> {
+    let store = StoreBuilder::new().shards(shards).vip_capacity(1).build().unwrap();
+    let mut server =
+        StoreServer::new(&store, ServerConfig { batch_guest_dispatch: batch, ..server_cfg(256) });
+    let mut guests: Vec<NetClient> =
+        pipelines.iter().map(|_| NetClient::connect(&mut server, TierCredential::Guest)).collect();
+    for (g, pipeline) in pipelines.iter().enumerate() {
+        for ops in pipeline {
+            guests[g]
+                .send(&Request::new(ops.clone()).credential(TierCredential::Guest).retry_budget(8));
+        }
+    }
+    let want: Vec<usize> = pipelines.iter().map(Vec::len).collect();
+    let mut out: Vec<Vec<(u64, Vec<Result<StoreResp, StoreError>>)>> =
+        pipelines.iter().map(|_| Vec::new()).collect();
+    for _ in 0..64 {
+        server.poll();
+        for (g, guest) in guests.iter_mut().enumerate() {
+            out[g].extend(guest.drain().expect("clean wire"));
+        }
+        if out.iter().zip(&want).all(|(got, want)| got.len() >= *want) {
+            break;
+        }
+    }
+    for transcript in &mut out {
+        transcript.sort_by_key(|(id, _)| *id);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Batching transparency on the wire: coalesced dispatch must be
+    /// observationally equivalent to one-envelope-at-a-time dispatch, and
+    /// both must match the sequential `BTreeMap` oracle response-for-
+    /// response. (Arrival order is deterministic: the reactor ingests
+    /// connections in index order, each connection's pipeline in send
+    /// order — the oracle applies ops in exactly that order.)
+    #[test]
+    fn net_batched_dispatch_is_observationally_equivalent(
+        shards in 1usize..4,
+        encoded in proptest::collection::vec(          // per guest…
+            proptest::collection::vec(                 // …per envelope…
+                proptest::collection::vec((0u8..6, 0u8..12, 0u64..16), 1..4), // …ops
+                1..6),
+            1..5),
+    ) {
+        let pipelines: Vec<Vec<Vec<StoreOp>>> = encoded
+            .iter()
+            .map(|envs| {
+                envs.iter()
+                    .map(|ops| ops.iter().map(|&(k, key, v)| decode_op(k, key, v)).collect())
+                    .collect()
+            })
+            .collect();
+
+        let mut oracle = BTreeMap::new();
+        let expect: Vec<Vec<Vec<StoreResp>>> = pipelines
+            .iter()
+            .map(|envs| {
+                envs.iter()
+                    .map(|ops| ops.iter().map(|op| oracle_apply(&mut oracle, op)).collect())
+                    .collect()
+            })
+            .collect();
+
+        let batched = run_pipelines(true, shards, &pipelines);
+        let unbatched = run_pipelines(false, shards, &pipelines);
+        prop_assert_eq!(&batched, &unbatched, "batching must be transparent");
+        for (g, (transcript, envs)) in batched.iter().zip(&expect).enumerate() {
+            prop_assert_eq!(transcript.len(), envs.len(), "guest {} answered in full", g);
+            for ((_, results), want) in transcript.iter().zip(envs) {
+                for (got, resp) in results.iter().zip(want) {
+                    prop_assert_eq!(got.as_ref(), Ok(resp), "guest {} diverged from oracle", g);
+                }
+                prop_assert_eq!(results.len(), want.len());
+            }
+        }
+    }
 }
